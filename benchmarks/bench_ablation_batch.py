@@ -1,0 +1,60 @@
+"""Ablation A8: the adaptivity cost of batched cleaning.
+
+Sequential CPClean re-optimises after every human answer; batched CPClean
+(`repro.cleaning.batch`) asks for ``B`` answers per round. This bench
+sweeps the batch size on one workload and reports cleaning effort and the
+number of selection rounds — the latency/effort trade-off a crowdsourced
+deployment cares about. Expected shape: effort grows (weakly, with noise)
+as batches coarsen, while rounds shrink roughly like ``effort / B``.
+"""
+
+import numpy as np
+
+from repro.cleaning.batch import run_batch_clean
+from repro.cleaning.oracle import GroundTruthOracle
+from repro.data.task import build_cleaning_task
+from repro.utils.tables import format_table
+
+N_TRAIN, N_VAL, K, SEED = 70, 8, 3, 13
+BATCH_SIZES = (1, 2, 4, 8)
+
+
+def test_ablation_batch_sizes(benchmark, emit):
+    task = build_cleaning_task(
+        "bank", n_train=N_TRAIN, n_val=N_VAL, n_test=10, k=K, seed=SEED
+    )
+    oracle = GroundTruthOracle(task.gt_choice)
+
+    def run_all():
+        return {
+            batch: run_batch_clean(
+                task.incomplete, task.val_X, oracle, batch_size=batch, k=K
+            )
+            for batch in BATCH_SIZES
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    n_dirty = task.incomplete.n_uncertain
+    rows = []
+    for batch, report in results.items():
+        assert report.cp_fraction_final == 1.0, f"batch={batch} did not certify"
+        rounds = -(-report.n_cleaned // batch) if report.n_cleaned else 0
+        rows.append(
+            [str(batch), str(report.n_cleaned), f"{100 * report.n_cleaned / n_dirty:.0f}%", str(rounds)]
+        )
+    emit(
+        format_table(
+            ["batch size", "examples cleaned", "% of dirty", "selection rounds"],
+            rows,
+            title=(
+                f"Ablation A8 — batched cleaning (bank-like, N={N_TRAIN}, "
+                f"|Dval|={N_VAL}, K={K}, {n_dirty} dirty rows)"
+            ),
+        )
+    )
+    # Rounds must shrink as batches grow; effort stays bounded by dirty rows.
+    rounds_by_batch = [
+        -(-results[b].n_cleaned // b) for b in BATCH_SIZES if results[b].n_cleaned
+    ]
+    assert rounds_by_batch == sorted(rounds_by_batch, reverse=True)

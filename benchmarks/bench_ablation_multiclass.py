@@ -1,0 +1,59 @@
+"""Ablation A4: SS-DC-MC vs tally enumeration as the label space grows.
+
+Appendix A.3's motivation: with many classes the number of label tallies
+``C(|Y|+K-1, K)`` dominates, and SS-DC-MC replaces the enumeration with a
+dynamic program polynomial in ``|Y|``. Both must stay exact; the crossover
+should appear within a modest sweep.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.engine import sortscan_counts
+from repro.core.multiclass import sortscan_counts_multiclass
+from repro.experiments.complexity import random_instance
+from repro.utils.tables import format_table
+
+N, M, K = 60, 3, 5
+LABEL_SWEEP = [2, 4, 8, 12]
+
+
+def test_ablation_multiclass_scaling(benchmark, emit):
+    def run():
+        rows = []
+        rng = np.random.default_rng(2)
+        last_ratio = None
+        for n_labels in LABEL_SWEEP:
+            dataset, t = random_instance(N, M, n_labels=n_labels, n_features=4, seed=rng)
+
+            start = time.perf_counter()
+            enum = sortscan_counts(dataset, t, k=K)
+            enum_time = time.perf_counter() - start
+
+            start = time.perf_counter()
+            mc = sortscan_counts_multiclass(dataset, t, k=K)
+            mc_time = time.perf_counter() - start
+
+            assert enum == mc
+            last_ratio = enum_time / mc_time
+            rows.append(
+                [
+                    n_labels,
+                    f"{enum_time * 1e3:.1f} ms",
+                    f"{mc_time * 1e3:.1f} ms",
+                    f"{last_ratio:.1f}x",
+                ]
+            )
+        return rows, last_ratio
+
+    rows, last_ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["|Y|", "tally enumeration", "SS-DC-MC", "MC advantage"],
+            rows,
+            title=f"Ablation A4 — label-space scaling (N={N}, M={M}, K={K})",
+        )
+    )
+    # At the largest label count the enumeration penalty must be visible.
+    assert last_ratio > 1.0, "SS-DC-MC should win for large label spaces"

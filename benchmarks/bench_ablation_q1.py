@@ -1,0 +1,58 @@
+"""Ablation A2: MM vs the counting engine for the checking query Q1.
+
+The paper's point in §3.2: for binary classification, Q1 does not need
+counting at all — two extreme worlds suffice, at ``O(NM)``. This bench
+confirms MM and the Q2-based check always agree and measures the speedup.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.engine import sortscan_counts
+from repro.core.minmax import minmax_checks_all
+from repro.experiments.complexity import random_instance
+from repro.utils.tables import format_table
+
+SIZES = [50, 100, 200, 400]
+M, K = 3, 3
+
+
+def test_ablation_q1_minmax_vs_counting(benchmark, emit):
+    def run():
+        rows = []
+        rng = np.random.default_rng(1)
+        for n in SIZES:
+            dataset, _ = random_instance(n, M, n_labels=2, n_features=4, seed=rng)
+            points = [rng.normal(size=4) for _ in range(3)]
+
+            start = time.perf_counter()
+            mm = [minmax_checks_all(dataset, t, k=K) for t in points]
+            mm_time = time.perf_counter() - start
+
+            start = time.perf_counter()
+            counting = []
+            for t in points:
+                counts = sortscan_counts(dataset, t, k=K)
+                total = sum(counts)
+                counting.append([c == total for c in counts])
+            ss_time = time.perf_counter() - start
+
+            assert mm == counting, f"MM disagrees with counting at N={n}"
+            rows.append(
+                [n, f"{mm_time * 1e3:.2f} ms", f"{ss_time * 1e3:.2f} ms", f"{ss_time / mm_time:.1f}x"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["N", "MM (Q1)", "SS counting (Q1)", "MM speedup"],
+            rows,
+            title=f"Ablation A2 — Q1 via MinMax vs via counting (M={M}, K={K}, binary)",
+        )
+    )
+    # MM should win at every size.
+    for row in rows:
+        speedup = float(row[3].rstrip("x"))
+        assert speedup > 1.0, f"MM slower than counting at N={row[0]}"

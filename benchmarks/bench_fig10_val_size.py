@@ -1,0 +1,69 @@
+"""Regenerates Figure 10: the effect of the validation-set size.
+
+The paper varies ``|Dval|`` from 200 to 1400 and observes that both the gap
+closed and the cleaning effort grow with the validation size and then
+plateau: a small validation set is easy to certify (little cleaning) but
+generalises poorly to the test set; past a point, more validation examples
+change nothing. We sweep proportionally scaled sizes and assert the
+monotone-then-flat shape loosely (cleaning effort at the largest size must
+be at least the effort at the smallest).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.recipes import recipe_names
+from repro.experiments.config import get_scale
+from repro.experiments.curves import sweep_validation_size
+from repro.utils.tables import format_percent, format_table
+
+_RESULTS = {}
+
+
+def _val_sizes():
+    scale = get_scale()
+    base = scale.n_val
+    return [max(4, base // 4), max(6, base // 2), base, base * 2]
+
+
+def _run_recipe(recipe: str):
+    scale = get_scale()
+    return sweep_validation_size(
+        recipe,
+        val_sizes=_val_sizes(),
+        n_train=scale.n_train,
+        n_test=scale.n_test,
+        seed=1,
+    )
+
+
+@pytest.mark.parametrize("recipe", recipe_names())
+def test_fig10_validation_sweep(benchmark, recipe):
+    results = benchmark.pedantic(_run_recipe, args=(recipe,), rounds=1, iterations=1)
+    _RESULTS[recipe] = results
+
+    efforts = [r.examples_cleaned_fraction for r in results]
+    assert all(0.0 <= e <= 1.0 for e in efforts)
+    # Larger validation sets cannot be easier to certify than much smaller
+    # ones (allow slack for seed noise at laptop scale).
+    assert efforts[-1] >= efforts[0] - 0.25
+
+
+def test_fig10_report(benchmark, emit):
+    if len(_RESULTS) < len(recipe_names()):
+        pytest.skip("per-recipe sweeps did not all run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # report-only test
+    sizes = _val_sizes()
+    rows = []
+    for recipe in recipe_names():
+        gap = [format_percent(r.gap_closed) for r in _RESULTS[recipe]]
+        effort = [format_percent(r.examples_cleaned_fraction) for r in _RESULTS[recipe]]
+        rows.append([recipe, "gap closed", *gap])
+        rows.append([recipe, "examples cleaned", *effort])
+    emit(
+        format_table(
+            ["dataset", "series", *[f"|Dval|={s}" for s in sizes]],
+            rows,
+            title="Figure 10 — CPClean outcome vs validation-set size",
+        )
+    )

@@ -1,0 +1,111 @@
+"""Regenerates Figure 4: the complexity summary of the CP algorithms.
+
+The paper's Figure 4 is a table of asymptotic bounds:
+
+    K  |Y|  Query   Alg.  Complexity
+    1   2   Q1/Q2   SS    O(NM log NM)
+    K   2   Q1      MM    O(NM)
+    K  |Y|  Q1/Q2   SS    O(NM (log NM + K^2 log N))
+
+We verify the bounds empirically: runtimes over an ``N`` sweep are fitted
+with a log-log slope, which must be near 1 for the near-linear algorithms
+(MM, SS engine, SS-DC tree at fixed K) and near 2 for the naive
+per-candidate-DP reference. Brute force is measured on tiny instances only,
+to exhibit the exponential wall the polynomial algorithms avoid.
+"""
+
+import pytest
+
+from repro.experiments.complexity import fit_growth_exponent, measure_runtime
+from repro.utils.tables import format_table
+
+SWEEP = [40, 80, 160, 320]
+M = 3
+
+
+def _sweep(algorithm: str, k: int, n_labels: int = 2, sizes=None):
+    sizes = sizes or SWEEP
+    points = [
+        measure_runtime(algorithm, n_rows=n, m_candidates=M, k=k, n_labels=n_labels, repeats=2)
+        for n in sizes
+    ]
+    return points, fit_growth_exponent(sizes, [p.seconds for p in points])
+
+
+class TestFigure4:
+    def test_fig4_polynomial_algorithms(self, benchmark, emit):
+        def run_all():
+            results = {}
+            results["MM (Q1, K=3, |Y|=2)"] = _sweep("minmax", k=3)
+            results["SS engine (Q2, K=1)"] = _sweep("ss-engine", k=1)
+            results["SS engine (Q2, K=3)"] = _sweep("ss-engine", k=3)
+            results["SS-DC tree (Q2, K=3)"] = _sweep("ss-tree", k=3)
+            results["SS-DC-MC (Q2, K=3, |Y|=4)"] = _sweep("ss-multiclass", k=3, n_labels=4)
+            results["SS naive DP (Q2, K=3)"] = _sweep(
+                "ss-naive", k=3, sizes=[20, 40, 80, 160]
+            )
+            return results
+
+        results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+        rows = []
+        for name, (points, slope) in results.items():
+            times = "  ".join(f"{p.seconds * 1e3:7.1f}" for p in points)
+            sizes = [p.n_rows for p in points]
+            rows.append([name, str(sizes), times + " ms", f"{slope:.2f}"])
+        emit(
+            format_table(
+                ["algorithm", "N sweep", "runtimes", "log-log slope"],
+                rows,
+                title=(
+                    "Figure 4 — empirical complexity of the CP algorithms "
+                    f"(M={M}; slope ~1 = near-linear in N)"
+                ),
+            )
+        )
+
+        # The polynomial algorithms must be clearly sub-quadratic in N...
+        for name in (
+            "MM (Q1, K=3, |Y|=2)",
+            "SS engine (Q2, K=1)",
+            "SS engine (Q2, K=3)",
+            "SS-DC tree (Q2, K=3)",
+            "SS-DC-MC (Q2, K=3, |Y|=4)",
+        ):
+            _points, slope = results[name]
+            assert slope < 1.7, f"{name} grew with exponent {slope:.2f}"
+        # ...while the naive reference is about quadratic.
+        _points, naive_slope = results["SS naive DP (Q2, K=3)"]
+        assert naive_slope > 1.5, f"naive SS grew with exponent {naive_slope:.2f}"
+
+    def test_fig4_bruteforce_wall(self, benchmark, emit):
+        """Brute force is exponential: the per-world cost times M^N."""
+
+        def run():
+            sizes = [6, 8, 10, 12]
+            points = [
+                measure_runtime("bruteforce", n_rows=n, m_candidates=2, k=1, repeats=1)
+                for n in sizes
+            ]
+            return sizes, points
+
+        sizes, points = benchmark.pedantic(run, rounds=1, iterations=1)
+        ss = [
+            measure_runtime("ss-engine", n_rows=n, m_candidates=2, k=1, repeats=1)
+            for n in sizes
+        ]
+        rows = [
+            [n, f"{2**n}", f"{bf.seconds * 1e3:.1f} ms", f"{fast.seconds * 1e3:.2f} ms"]
+            for n, bf, fast in zip(sizes, points, ss)
+        ]
+        emit(
+            format_table(
+                ["N", "#worlds", "brute force", "SS engine"],
+                rows,
+                title="Figure 4 (context) — exponential enumeration vs polynomial SS",
+            )
+        )
+        # doubling the instance multiplies brute force by ~4x (2 extra rows),
+        # while SS stays within a small factor.
+        assert points[-1].seconds / points[0].seconds > 8
+        assert ss[-1].seconds / max(ss[0].seconds, 1e-9) < 8

@@ -1,0 +1,102 @@
+"""Regenerates Table 2: end-to-end performance comparison.
+
+Per dataset: test accuracy of Ground Truth and Default Cleaning, the gap
+closed by BoostClean / HoloClean / CPClean, the fraction of dirty examples
+CPClean had a human clean before every validation example was CP'ed, and
+the gap closed when CPClean is stopped at a 20% cleaning budget.
+
+Paper reference rows (their hardware/datasets):
+
+    dataset      GT    Default  Boost  Holo  CPClean(gap, cleaned)  CP@20%
+    BabyProduct  0.668 0.589     1%     1%    99%  64%               72%
+    Supreme      0.968 0.877    12%    -4%   100%  15%              100%
+    Bank         0.643 0.558    20%    11%   102%  93%               52%
+    Puma         0.794 0.747    28%   -64%   102%  63%               40%
+
+We reproduce the *shape*: CPClean closes (near) the whole gap with partial
+cleaning effort, BoostClean is consistently positive but smaller, HoloClean
+is erratic (can be negative). One dataset per test so failures stay local.
+"""
+
+import pytest
+
+from repro.data.recipes import recipe_names
+from repro.experiments.config import get_scale
+from repro.experiments.end_to_end import average_end_to_end
+from repro.utils.tables import format_percent, format_table
+
+_RESULTS = {}
+
+
+def _run_recipe(recipe: str):
+    scale = get_scale()
+    seeds = list(range(1, 1 + max(scale.n_seeds, 2)))
+    return average_end_to_end(
+        recipe,
+        seeds=seeds,
+        n_train=scale.n_train,
+        n_val=scale.n_val,
+        n_test=scale.n_test,
+    )
+
+
+@pytest.mark.parametrize("recipe", recipe_names())
+def test_table2_row(benchmark, recipe):
+    result = benchmark.pedantic(_run_recipe, args=(recipe,), rounds=1, iterations=1)
+    _RESULTS[recipe] = result
+
+    # Shape assertions (loose: laptop scale is noisy).
+    assert result.ground_truth_accuracy > result.default_accuracy - 0.02, (
+        "ground truth should (weakly) dominate default cleaning"
+    )
+    assert result.cp_clean_examples_cleaned <= 1.0
+    # CPClean certifies the validation set on every run.
+    for individual in result.raw["individual"]:
+        assert individual.raw["cp_fraction_final"] == 1.0
+
+
+def test_table2_report(benchmark, emit):
+    if len(_RESULTS) < len(recipe_names()):
+        pytest.skip("per-recipe rows did not all run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # report-only test
+    rows = []
+    for recipe in recipe_names():
+        r = _RESULTS[recipe]
+        rows.append(
+            [
+                recipe,
+                f"{r.ground_truth_accuracy:.3f}",
+                f"{r.default_accuracy:.3f}",
+                format_percent(r.boost_clean_gap),
+                format_percent(r.holo_clean_gap),
+                format_percent(r.cp_clean_gap),
+                format_percent(r.cp_clean_examples_cleaned),
+                format_percent(r.cp_clean_budget_gap),
+            ]
+        )
+    emit(
+        format_table(
+            [
+                "dataset",
+                "GT acc",
+                "Default acc",
+                "Boost gap",
+                "Holo gap",
+                "CPClean gap",
+                "CP cleaned",
+                "CP@20% gap",
+            ],
+            rows,
+            title="Table 2 — end-to-end performance comparison (seed-averaged)",
+        )
+    )
+
+    # Aggregate shape check: CPClean's average gap closed beats both
+    # automatic baselines on average across datasets.
+    import numpy as np
+
+    cp = np.mean([_RESULTS[r].cp_clean_gap for r in recipe_names()])
+    boost = np.mean([_RESULTS[r].boost_clean_gap for r in recipe_names()])
+    holo = np.mean([_RESULTS[r].holo_clean_gap for r in recipe_names()])
+    assert cp > boost, f"CPClean ({cp:.2f}) should beat BoostClean ({boost:.2f}) on average"
+    assert cp > holo, f"CPClean ({cp:.2f}) should beat HoloClean ({holo:.2f}) on average"

@@ -1,0 +1,31 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index), prints it, and appends it to
+``benchmarks/output/results.txt`` so the rows survive pytest's output
+capturing. Benchmarks honour the ``REPRO_SCALE`` environment variable
+(``quick`` / ``default`` / ``large``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a report block and persist it to benchmarks/output/results.txt."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / "results.txt"
+
+    def _emit(text: str) -> None:
+        block = "\n" + text + "\n"
+        print(block)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(block)
+
+    return _emit

@@ -1,0 +1,52 @@
+"""Screening: does this dirty dataset need cleaning at all?
+
+The paper's first practical message (§2, "Connections to Data Cleaning"): if
+the checking query Q1 returns true for every point of a large validation
+set, cleaning the training set cannot change the model's predictions — the
+true world is one of the possible worlds, and all of them already agree.
+
+This example builds a dirty training set, screens a validation set with Q1,
+and reports how many points are already certain and how the fraction changes
+with the missing rate. Run with::
+
+    python examples/certain_prediction_screening.py
+"""
+
+import numpy as np
+
+from repro.core.queries import certain_label
+from repro.data.task import build_cleaning_task
+from repro.utils.tables import format_percent, format_table
+
+K = 3
+rows = []
+for missing_rate in (0.05, 0.1, 0.2, 0.4):
+    task = build_cleaning_task(
+        "supreme", n_train=80, n_val=40, n_test=40, missing_rate=missing_rate, seed=7
+    )
+    certain = 0
+    for t in task.val_X:
+        if certain_label(task.incomplete, t, k=K) is not None:
+            certain += 1
+    fraction = certain / task.val_X.shape[0]
+    rows.append(
+        [
+            format_percent(missing_rate),
+            len(task.dirty_rows),
+            f"{certain}/{task.val_X.shape[0]}",
+            format_percent(fraction),
+        ]
+    )
+
+print(
+    format_table(
+        ["missing rate", "dirty rows", "CP'ed val points", "CP'ed fraction"],
+        rows,
+        title="How much incompleteness actually matters (Q1 screening, supreme recipe)",
+    )
+)
+print(
+    "\nReading: for every CP'ed validation point, *no* amount of cleaning can\n"
+    "change the classifier's prediction — human effort is only warranted for\n"
+    "the residual uncertain points, which is what CPClean prioritises."
+)

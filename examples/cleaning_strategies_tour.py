@@ -1,0 +1,76 @@
+"""A tour of the cleaning strategies: sequential, batched, weighted, heuristic.
+
+One workload, five ways to decide what a human should clean next:
+
+1. CPClean — the paper's sequential information maximisation (Algorithm 3);
+2. batched CPClean — the same objective, several answers per round;
+3. weighted CPClean — a non-uniform prior over which repair is the truth;
+4. membership-uncertainty — a cheaper validation-aware heuristic;
+5. random — the uninformed baseline.
+
+All strategies stop at the same certificate: every validation prediction is
+certain. They differ only in how much human effort that takes.
+
+Run with::
+
+    python examples/cleaning_strategies_tour.py
+"""
+
+import numpy as np
+
+from repro.cleaning import (
+    GroundTruthOracle,
+    MembershipUncertaintyStrategy,
+    distance_to_default_weights,
+    run_batch_clean,
+    run_cp_clean,
+    run_policy,
+    run_random_clean,
+    run_weighted_cp_clean,
+)
+from repro.data import build_cleaning_task
+
+K = 3
+# Small on purpose: the weighted-prior strategy does exact rational
+# arithmetic per (row, candidate, validation point) and is the slow one.
+task = build_cleaning_task(
+    "bank", n_train=30, n_val=5, n_test=40, max_row_candidates=5, seed=5
+)
+oracle = GroundTruthOracle(task.gt_choice)
+n_dirty = task.incomplete.n_uncertain
+print(f"workload: {task.name}, {task.incomplete.n_rows} training rows, "
+      f"{n_dirty} dirty, {task.val_X.shape[0]} validation points\n")
+
+results: list[tuple[str, int, str]] = []
+
+report = run_cp_clean(task.incomplete, task.val_X, oracle, k=K)
+results.append(("CPClean (sequential)", report.n_cleaned, "1 row per round"))
+
+report = run_batch_clean(task.incomplete, task.val_X, oracle, batch_size=4, k=K)
+rounds = -(-report.n_cleaned // 4)
+results.append(("CPClean (batch=4)", report.n_cleaned, f"{rounds} rounds"))
+
+weights = distance_to_default_weights(task.incomplete, task.default_choice)
+report = run_weighted_cp_clean(task.incomplete, task.val_X, oracle, weights=weights, k=K)
+results.append(("CPClean (weighted prior)", report.n_cleaned, "repairs near default likelier"))
+
+report = run_policy(
+    MembershipUncertaintyStrategy(), task.incomplete, task.val_X, oracle, k=K
+)
+results.append(("membership heuristic", report.n_cleaned, "no entropy computation"))
+
+report = run_random_clean(task.incomplete, task.val_X, oracle, k=K, seed=0)
+results.append(("random", report.n_cleaned, "uninformed baseline"))
+
+width = max(len(name) for name, _, _ in results)
+print(f"{'strategy':<{width}}  cleaned  note")
+for name, cleaned, note in results:
+    print(f"{name:<{width}}  {cleaned:>3}/{n_dirty:<3}  {note}")
+
+best = min(results, key=lambda item: item[1])
+worst = max(results, key=lambda item: item[1])
+print(
+    f"\nevery strategy reached the same certificate; effort ranged from "
+    f"{best[1]} ({best[0]}) to {worst[1]} ({worst[0]}) of {n_dirty} dirty rows."
+)
+assert all(cleaned <= n_dirty for _, cleaned, _ in results)

@@ -1,0 +1,111 @@
+"""The full file-to-file workflow: dirty CSV in, certified clean CSV out.
+
+Everything a practitioner does with this library, end to end, on a file:
+
+1. write a dirty CSV (here: generated, with missing numerics and categories);
+2. load it and split off a clean validation set;
+3. screen: which validation predictions can cleaning even change?
+4. run CPClean against a (simulated) human until everything is certain;
+5. materialise the certified world and write the clean CSV back out.
+
+Run with::
+
+    python examples/csv_workflow.py
+"""
+
+import csv
+import tempfile
+import pathlib
+
+import numpy as np
+
+from repro.cleaning import GroundTruthOracle, run_cp_clean
+from repro.core.screening import screen_dataset
+from repro.data import load_csv_workload, read_csv, write_csv
+
+rng = np.random.default_rng(11)
+workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro_csv_"))
+dirty_path = workdir / "products_dirty.csv"
+clean_path = workdir / "products_certified.csv"
+
+# ---------------------------------------------------------------------------
+# 1. A dirty product table: two numeric columns, one categorical, a label.
+#    ~20% of rows lose a cell (the label column stays complete).
+# ---------------------------------------------------------------------------
+brands = ["acme", "globex", "initech"]
+truth_rows = []
+with open(dirty_path, "w", newline="", encoding="utf-8") as handle:
+    writer = csv.writer(handle)
+    writer.writerow(["weight", "size", "brand", "price"])
+    for _ in range(80):
+        brand = brands[int(rng.integers(3))]
+        weight = float(rng.normal(2.0 + brands.index(brand), 0.5))
+        size = float(rng.normal(10.0, 2.0))
+        price = "high" if weight + 0.2 * size > 4.5 else "low"
+        truth_rows.append((weight, size, brand, price))
+        row = [f"{weight:.2f}", f"{size:.1f}", brand, price]
+        if rng.random() < 0.2:
+            row[int(rng.integers(3))] = ""  # knock out one feature cell
+        writer.writerow(row)
+print(f"wrote dirty file: {dirty_path}")
+
+# ---------------------------------------------------------------------------
+# 2. Load: complete rows become the validation set, the rest the training
+#    set with candidate-repair sets (min/p25/mean/p75/max, top categories).
+# ---------------------------------------------------------------------------
+workload = load_csv_workload(dirty_path, label_column="price", n_val=16, k=3, seed=0)
+incomplete = workload.incomplete
+print(
+    f"train rows: {incomplete.n_rows} ({incomplete.n_uncertain} dirty), "
+    f"validation rows: {workload.val_X.shape[0]}, "
+    f"possible worlds: {incomplete.n_worlds()}"
+)
+
+# ---------------------------------------------------------------------------
+# 3. Screen before cleaning anything.
+# ---------------------------------------------------------------------------
+before = screen_dataset(incomplete, workload.val_X, k=3)
+print("\n--- screening before cleaning ---")
+print(before.summary())
+
+# ---------------------------------------------------------------------------
+# 4. CPClean with a simulated human: the oracle answers with the candidate
+#    closest to the ground truth (the paper's §5.1 protocol). Here we use
+#    candidate 0 deterministically as the "truth" for demonstration.
+# ---------------------------------------------------------------------------
+gt_choice = [0] * incomplete.n_rows
+report = run_cp_clean(incomplete, workload.val_X, GroundTruthOracle(gt_choice), k=3)
+print("\n--- cleaning ---")
+print(
+    f"CPClean asked the human about {report.n_cleaned} of "
+    f"{incomplete.n_uncertain} dirty rows; validation certainty: "
+    f"{report.cp_fraction_final:.0%}"
+)
+
+# ---------------------------------------------------------------------------
+# 5. Materialise a certified world and write it back as a CSV. Rows the
+#    human never touched keep their first candidate — any choice yields the
+#    same validation predictions, which is exactly the certificate. The raw
+#    (pre-encoding) repairs come from the repair space; the schema decodes
+#    categorical codes and labels back to the file's vocabulary.
+# ---------------------------------------------------------------------------
+choice = [0] * incomplete.n_rows
+for row, cand in report.final_fixed.items():
+    choice[row] = cand
+
+raw = workload.table.take(workload.train_rows).copy()
+for row in range(raw.n_rows):
+    versions = workload.repair_space.row_repairs(row)
+    num, cat = versions[min(choice[row], len(versions) - 1)]
+    raw.numeric[row] = num
+    raw.categorical[row] = cat
+write_csv(raw, clean_path, schema=workload.schema)
+print(f"\nwrote certified clean file: {clean_path}")
+
+reread, _ = read_csv(clean_path, label_column="price")
+assert reread.missing_rate() == 0.0, "certified output must be complete"
+print(f"re-read check: missing rate = {reread.missing_rate():.0%} (complete)")
+print(
+    "\nEvery remaining repair choice is provably irrelevant to the "
+    "validation predictions — that is the certificate CPClean provides."
+)

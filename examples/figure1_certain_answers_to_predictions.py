@@ -1,0 +1,101 @@
+"""Figure 1 end to end: from certain ANSWERS to certain PREDICTIONS.
+
+The paper's opening figure runs one incomplete table through both worlds:
+
+* the database world — ``SELECT * FROM Person WHERE age < 30`` returns the
+  *certain answers* (tuples that survive in every possible world);
+* the ML world — a classifier trained on every possible world either agrees
+  on a test point (a *certain prediction*) or splits, in which case the
+  counting query reports the vote.
+
+This example builds that exact table with :mod:`repro.codd`, evaluates the
+SQL query, bridges the table into an incomplete training set, and runs the
+CP queries on it. Run with::
+
+    python examples/figure1_certain_answers_to_predictions.py
+"""
+
+import numpy as np
+
+from repro.codd import (
+    Attribute,
+    CoddTable,
+    Comparison,
+    Literal,
+    Null,
+    Project,
+    Scan,
+    Select,
+    certain_answers,
+    codd_table_to_incomplete_dataset,
+    possible_answers,
+)
+from repro.core import certain_label, q2_counts
+
+# ---------------------------------------------------------------------------
+# The Codd table of Figure 1: Kevin's age is NULL. In a Codd table every
+# NULL ranges over a finite domain, which induces the possible worlds.
+# ---------------------------------------------------------------------------
+person = CoddTable(
+    ("name", "age"),
+    [
+        ("John", 32),
+        ("Anna", 29),
+        ("Kevin", Null([1, 2, 30])),  # the paper instantiates 1, 2 and 30
+    ],
+)
+print(person)
+print(f"possible worlds: {person.n_worlds()}")
+
+# ---------------------------------------------------------------------------
+# Database side: SELECT name FROM Person WHERE age < 30.
+# Anna is a certain answer; Kevin is only possible (age may be 30).
+# ---------------------------------------------------------------------------
+query = Project(
+    Select(Scan("T"), Comparison(Attribute("age"), "<", Literal(30))), ("name",)
+)
+sure = certain_answers(query, person)
+maybe = possible_answers(query, person)
+print(f"\ncertain answers:  {sorted(sure.rows)}")
+print(f"possible answers: {sorted(maybe.rows)}")
+assert sure.rows == {("Anna",)}
+assert maybe.rows == {("Anna",), ("Kevin",)}
+
+# ---------------------------------------------------------------------------
+# Cleaning a cell grows the certain answers monotonically — once Kevin's
+# age is revealed as 2, he joins the certain answers.
+# ---------------------------------------------------------------------------
+cleaned = person.with_cell_fixed(2, 1, 2)
+print(f"\nafter cleaning Kevin's age to 2: {sorted(certain_answers(query, cleaned).rows)}")
+assert certain_answers(query, cleaned).rows == {("Anna",), ("Kevin",)}
+
+# ---------------------------------------------------------------------------
+# ML side: bridge the same table into an incomplete training set. We attach
+# a label column (say, "responded to the survey") and ask whether a new
+# person with age 28 can be certainly classified by a 1-NN classifier.
+# ---------------------------------------------------------------------------
+labelled = CoddTable(
+    ("age", "responded"),
+    [
+        (32, 0),
+        (29, 1),
+        (Null([1.0, 2.0, 30.0]), 1),
+    ],
+)
+dataset = codd_table_to_incomplete_dataset(labelled, ("age",), "responded")
+print(f"\nbridged dataset: {dataset}")
+
+t = np.array([28.0])
+counts = q2_counts(dataset, t, k=1)
+label = certain_label(dataset, t, k=1)
+print(f"Q2 counts for t=28: {counts} (out of {dataset.n_worlds()} worlds)")
+print(f"certain prediction: {label}")
+assert sum(counts) == dataset.n_worlds()
+
+# With k=3 every training row votes, so the (certain) labels decide alone
+# and the prediction becomes certain despite the NULL.
+label_k3 = certain_label(dataset, t, k=3)
+print(f"certain prediction with k=3: {label_k3}")
+assert label_k3 == 1
+
+print("\nSame table, both semantics: certain answers <-> certain predictions.")

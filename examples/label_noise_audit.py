@@ -1,0 +1,77 @@
+"""Auditing label noise with the label-uncertainty extension.
+
+The paper's data model (Definition 1) assumes labels are trustworthy. In
+practice, some labels are dubious too. This example flags a few training
+rows as "label suspect" (their label set becomes the whole label space) and
+asks: which test points can *still* be certainly predicted, no matter how
+those suspect labels resolve — and no matter which candidate repairs the
+dirty features take?
+
+Run with::
+
+    python examples/label_noise_audit.py
+"""
+
+import numpy as np
+
+from repro.core import IncompleteDataset
+from repro.core.label_uncertainty import (
+    LabelUncertainDataset,
+    label_uncertain_certain_label,
+    label_uncertain_counts,
+)
+
+rng = np.random.default_rng(42)
+
+# ---------------------------------------------------------------------------
+# A small two-cluster binary problem with feature incompleteness: each dirty
+# row has three candidate repairs.
+# ---------------------------------------------------------------------------
+n_per_class = 6
+clean_0 = rng.normal(loc=(-2.0, 0.0), scale=0.6, size=(n_per_class, 2))
+clean_1 = rng.normal(loc=(+2.0, 0.0), scale=0.6, size=(n_per_class, 2))
+
+candidate_sets = []
+for point in np.vstack([clean_0, clean_1]):
+    if rng.random() < 0.4:  # dirty row: three candidate repairs
+        repairs = point + rng.normal(scale=1.0, size=(3, 2))
+        candidate_sets.append(repairs)
+    else:
+        candidate_sets.append(point.reshape(1, -1))
+labels = [0] * n_per_class + [1] * n_per_class
+base = IncompleteDataset(candidate_sets, labels)
+print(base)
+
+# ---------------------------------------------------------------------------
+# Mark two rows as label-suspect: their labels may be flipped.
+# ---------------------------------------------------------------------------
+suspects = [1, 8]
+audited = LabelUncertainDataset.from_incomplete(base, flip_rows=suspects)
+print(f"label-suspect rows: {suspects}")
+print(f"worlds with feature-only uncertainty: {base.n_worlds()}")
+print(f"worlds with labels uncertain too:     {audited.n_worlds()}")
+
+# ---------------------------------------------------------------------------
+# Screen a grid of test points: certain under feature noise alone, under
+# label noise too, or genuinely contested?
+# ---------------------------------------------------------------------------
+from repro.core import certain_label  # noqa: E402  (grouped for the narrative)
+
+print(f"\n{'test point':>14} {'feature-only':>14} {'with label noise':>18}  Q2 counts")
+for x in (-3.0, -1.0, 0.0, 1.0, 3.0):
+    t = np.array([x, 0.0])
+    feature_only = certain_label(base, t, k=3)
+    with_labels = label_uncertain_certain_label(audited, t, k=3)
+    counts = label_uncertain_counts(audited, t, k=3)
+    fo = "CP'ed: %d" % feature_only if feature_only is not None else "not CP'ed"
+    wl = "CP'ed: %d" % with_labels if with_labels is not None else "not CP'ed"
+    print(f"{x:>14} {fo:>14} {wl:>18}  {counts}")
+
+    # Label uncertainty can only destroy certainty, never create it.
+    if with_labels is not None:
+        assert feature_only == with_labels
+
+print(
+    "\nPoints deep inside a cluster stay certain even against label flips;\n"
+    "points near the boundary lose certainty the moment labels are suspect."
+)

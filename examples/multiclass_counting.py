@@ -1,0 +1,72 @@
+"""Multi-class certain predictions with the SS-DC-MC algorithm.
+
+The tally-enumeration engines pay ``C(|Y|+K-1, K)`` per scan step, which
+explodes as the label space grows; Appendix A.3's SS-DC-MC stays polynomial
+in ``|Y|``. This example runs both on a 6-class incomplete dataset, checks
+they agree exactly, and times them side by side as ``|Y|`` grows. Run with::
+
+    python examples/multiclass_counting.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.engine import sortscan_counts
+from repro.core.entropy import counts_to_probabilities
+from repro.core.multiclass import sortscan_counts_multiclass
+from repro.utils.tables import format_table
+
+
+def random_multiclass_dataset(n_rows, m, n_labels, rng):
+    sets = [rng.normal(size=(m, 3)) for _ in range(n_rows)]
+    labels = rng.integers(0, n_labels, size=n_rows)
+    labels[:n_labels] = np.arange(n_labels)
+    return IncompleteDataset(sets, labels)
+
+
+rng = np.random.default_rng(0)
+
+# ---------------------------------------------------------------------------
+# A 6-class example: both engines, identical counts.
+# ---------------------------------------------------------------------------
+dataset = random_multiclass_dataset(n_rows=30, m=3, n_labels=6, rng=rng)
+t = rng.normal(size=3)
+counts_enum = sortscan_counts(dataset, t, k=5)
+counts_mc = sortscan_counts_multiclass(dataset, t, k=5)
+assert counts_enum == counts_mc
+probs = counts_to_probabilities(counts_mc)
+print("6-class prediction distribution over", dataset.n_worlds(), "possible worlds:")
+for label, p in enumerate(probs):
+    bar = "#" * round(40 * p)
+    print(f"  label {label}: {p:6.3f} {bar}")
+
+# ---------------------------------------------------------------------------
+# Scaling in |Y|: tally enumeration vs SS-DC-MC.
+# ---------------------------------------------------------------------------
+rows = []
+for n_labels in (2, 4, 8, 12, 16):
+    dataset = random_multiclass_dataset(n_rows=40, m=3, n_labels=n_labels, rng=rng)
+    t = rng.normal(size=3)
+
+    start = time.perf_counter()
+    a = sortscan_counts(dataset, t, k=5)
+    t_enum = time.perf_counter() - start
+
+    start = time.perf_counter()
+    b = sortscan_counts_multiclass(dataset, t, k=5)
+    t_mc = time.perf_counter() - start
+    assert a == b
+    rows.append([n_labels, f"{t_enum * 1e3:.1f} ms", f"{t_mc * 1e3:.1f} ms"])
+
+print()
+print(
+    format_table(
+        ["|Y|", "tally enumeration", "SS-DC-MC"],
+        rows,
+        title="Counting-query runtime as the label space grows (N=40, M=3, K=5)",
+    )
+)
+print("\nBoth engines are exact; SS-DC-MC's advantage grows with |Y| and K\n"
+      "because it never enumerates the C(|Y|+K-1, K) label tallies.")

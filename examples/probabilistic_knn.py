@@ -1,0 +1,71 @@
+"""Q2 as a probabilistic classifier over a tuple-independent database.
+
+The paper notes (§2, "Connections to Probabilistic Databases") that the
+counting query is exactly the semantics of evaluating a KNN classifier over
+a block tuple-independent probabilistic database with a uniform prior:
+``P(label = y) = Q2(D, t, y) / |I_D|``.
+
+This example turns that into a working *probabilistic KNN*: it predicts
+label distributions for test points over a dirty training set, calibrates
+an abstention threshold, and shows that predictions with high world-support
+are far more accurate than low-support ones. Run with::
+
+    python examples/probabilistic_knn.py
+"""
+
+import numpy as np
+
+from repro.core.entropy import counts_to_probabilities
+from repro.core.queries import q2_counts
+from repro.data.task import build_cleaning_task
+from repro.utils.tables import format_percent, format_table
+
+task = build_cleaning_task("bank", n_train=80, n_val=16, n_test=120, seed=11)
+print(f"task: {task.name}, {len(task.dirty_rows)} dirty rows, "
+      f"{task.incomplete.n_worlds():.3e} possible worlds" if task.incomplete.n_worlds() < 10**300
+      else f"task: {task.name}, {len(task.dirty_rows)} dirty rows")
+
+# ---------------------------------------------------------------------------
+# Probabilistic predictions: distribution over labels per test point.
+# ---------------------------------------------------------------------------
+confidences, predictions = [], []
+for t in task.test_X:
+    counts = q2_counts(task.incomplete, t, k=task.k)
+    probs = counts_to_probabilities(counts)
+    label = int(np.argmax(probs))
+    predictions.append(label)
+    confidences.append(probs[label])
+
+predictions = np.array(predictions)
+confidences = np.array(confidences)
+correct = predictions == task.test_y
+
+# ---------------------------------------------------------------------------
+# Accuracy stratified by world-support confidence.
+# ---------------------------------------------------------------------------
+rows = []
+bins = [(1.0, 1.0), (0.9, 1.0), (0.7, 0.9), (0.5, 0.7)]
+for low, high in bins:
+    if low == high:
+        mask = confidences >= 1.0
+        label = "certain (CP'ed)"
+    else:
+        mask = (confidences >= low) & (confidences < high)
+        label = f"[{low:.1f}, {high:.1f})"
+    if mask.sum() == 0:
+        rows.append([label, 0, "-"])
+    else:
+        rows.append([label, int(mask.sum()), format_percent(correct[mask].mean())])
+
+print(
+    format_table(
+        ["world support", "#test points", "accuracy"],
+        rows,
+        title="Probabilistic KNN over incomplete data (bank recipe)",
+    )
+)
+overall = correct.mean()
+print(f"\noverall accuracy: {format_percent(overall)}")
+print("Reading: the support Q2/|worlds| is a usable confidence score —\n"
+      "CP'ed points are maximally reliable, low-support points are the ones\n"
+      "whose outcome genuinely depends on how the data would be cleaned.")

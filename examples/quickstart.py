@@ -1,0 +1,55 @@
+"""Quickstart: certain predictions over a tiny incomplete dataset.
+
+This walks the paper's running example (Figure 6): three training rows, two
+of them with two candidate values each, a 1-NN classifier, and the two CP
+queries. Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import IncompleteDataset, certain_label, q1, q2_counts
+from repro.core.entropy import counts_to_probabilities, prediction_entropy
+
+# ---------------------------------------------------------------------------
+# An incomplete training set. Each row has a *candidate set* of possible
+# feature vectors (here 1-D values) and a known label. Rows 1 and 2 carry two
+# candidates each, row 3 as well — so there are 2 * 2 * 2 = 8 possible worlds.
+# ---------------------------------------------------------------------------
+dataset = IncompleteDataset(
+    candidate_sets=[
+        np.array([[5.0], [2.0]]),  # C1 - label 1
+        np.array([[6.0], [4.0]]),  # C2 - label 1
+        np.array([[3.0], [1.0]]),  # C3 - label 0
+    ],
+    labels=[1, 1, 0],
+)
+print(dataset)
+print(f"possible worlds: {dataset.n_worlds()}")
+
+# ---------------------------------------------------------------------------
+# The two CP queries for a test point t = 0 under a 1-NN classifier.
+# ---------------------------------------------------------------------------
+t = np.array([0.0])
+
+counts = q2_counts(dataset, t, k=1)
+print(f"\nQ2 counting query: {counts}")
+print("  -> label 0 is predicted in", counts[0], "worlds; label 1 in", counts[1])
+assert counts == [6, 2], "this is exactly the paper's Figure 6 result"
+
+print(f"Q1 checking query, label 0: {q1(dataset, t, 0, k=1)}")
+print(f"Q1 checking query, label 1: {q1(dataset, t, 1, k=1)}")
+print(f"certain label: {certain_label(dataset, t, k=1)}  (None = not CP'ed)")
+
+probs = counts_to_probabilities(counts)
+print(f"\nprediction distribution: {probs}")
+print(f"prediction entropy: {prediction_entropy(counts):.3f} bits")
+
+# ---------------------------------------------------------------------------
+# Cleaning row 3 (revealing its true value) changes the picture: fixing it to
+# its second candidate (value 1.0) makes label 0 the certain prediction.
+# ---------------------------------------------------------------------------
+cleaned = dataset.restrict_row(2, 1)
+print(f"\nafter cleaning row 3 to value 1.0: counts = {q2_counts(cleaned, t, k=1)}")
+print(f"certain label now: {certain_label(cleaned, t, k=1)}")

@@ -1,0 +1,61 @@
+"""Debugging uncertainty with witnesses: *show me the worlds that disagree*.
+
+Screening tells you a prediction is not certain; a **witness** makes that
+concrete — two full repairs of the training data under which the trained
+classifiers predict different labels. This is the artifact you show a data
+steward: "if these cells resolve this way you get label 0, that way label 1."
+
+Run with::
+
+    python examples/witness_debugging.py
+"""
+
+import numpy as np
+
+from repro.core import IncompleteDataset, certain_label, find_witness, q2_counts
+
+# ---------------------------------------------------------------------------
+# A borderline customer: two dirty training rows straddle the test point.
+# ---------------------------------------------------------------------------
+dataset = IncompleteDataset(
+    candidate_sets=[
+        np.array([[0.8, 0.0], [3.0, 0.0]]),   # row 0 (label 0): near OR far
+        np.array([[1.0, 0.2], [4.0, 4.0]]),   # row 1 (label 1): near OR far
+        np.array([[2.0, 0.0]]),               # row 2 (label 0), clean
+        np.array([[2.2, 0.4]]),               # row 3 (label 1), clean
+        np.array([[5.0, 5.0]]),               # row 4 (label 1), clean, far
+    ],
+    labels=[0, 1, 0, 1, 1],
+)
+t = np.array([1.0, 0.0])
+K = 3
+
+counts = q2_counts(dataset, t, k=K)
+print(f"dataset: {dataset}")
+print(f"Q2 counts at t={t.tolist()}: {counts} over {dataset.n_worlds()} worlds")
+print(f"certain label: {certain_label(dataset, t, k=K)}")
+
+witness = find_witness(dataset, t, k=K)
+assert witness is not None, "this instance is contested by construction"
+
+print("\nwitness — two concrete repairs that flip the prediction:")
+for name, choice, label in (
+    ("world A", witness.choice_a, witness.label_a),
+    ("world B", witness.choice_b, witness.label_b),
+):
+    world = dataset.world(list(choice))
+    print(f"  {name}: prediction = {label}")
+    for row in dataset.uncertain_rows():
+        print(
+            f"    row {row} (label {dataset.label_of(row)}) repaired to "
+            f"{world[row].tolist()}"
+        )
+
+# ---------------------------------------------------------------------------
+# Clean the decisive row (row 0 here) and the witness disappears.
+# ---------------------------------------------------------------------------
+fixed = dataset.with_row_fixed(0, dataset.candidates(0)[0])
+fixed = fixed.with_row_fixed(1, fixed.candidates(1)[1])
+print(f"\nafter cleaning both dirty rows: certain label = {certain_label(fixed, t, k=K)}")
+assert find_witness(fixed, t, k=K) is None
+print("no witness exists any more — the prediction is certified.")

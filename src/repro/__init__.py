@@ -1,0 +1,54 @@
+"""repro — Certain Predictions for nearest-neighbour classifiers over incomplete data.
+
+A from-scratch reproduction of Karlaš et al., *"Nearest Neighbor Classifiers
+over Incomplete Information: From Certain Answers to Certain Predictions"*
+(VLDB 2020). The package provides:
+
+* :mod:`repro.core` — the incomplete-dataset model, the KNN substrate and
+  polynomial-time exact algorithms for the two CP queries (checking ``q1``
+  and counting ``q2``);
+* :mod:`repro.data` — synthetic dataset recipes, missingness injection and
+  candidate-repair generation;
+* :mod:`repro.cleaning` — the CPClean algorithm and every baseline cleaner
+  from the paper's evaluation;
+* :mod:`repro.experiments` — harnesses that regenerate the paper's tables
+  and figures.
+
+Quickstart::
+
+    import numpy as np
+    from repro import IncompleteDataset, q2_counts, certain_label
+
+    dataset = IncompleteDataset(
+        [np.array([[5.0], [2.0]]), np.array([[6.0], [4.0]]), np.array([[3.0], [1.0]])],
+        labels=[1, 1, 0],
+    )
+    t = np.array([0.0])
+    q2_counts(dataset, t, k=1)      # [6, 2] — worlds per predicted label
+    certain_label(dataset, t, k=1)  # None  — the prediction is not certain
+"""
+
+from repro.core import (
+    IncompleteDataset,
+    KNNClassifier,
+    PreparedQuery,
+    certain_label,
+    prediction_entropy,
+    q1,
+    q2,
+    q2_counts,
+)
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "IncompleteDataset",
+    "KNNClassifier",
+    "PreparedQuery",
+    "q1",
+    "q2",
+    "q2_counts",
+    "certain_label",
+    "prediction_entropy",
+    "__version__",
+]

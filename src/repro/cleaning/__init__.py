@@ -1,0 +1,65 @@
+"""Data cleaning for ML: CPClean and every baseline of the paper's evaluation."""
+
+from repro.cleaning.baselines import default_clean_classifier, ground_truth_classifier
+from repro.cleaning.batch import rank_rows_by_expected_entropy, run_batch_clean
+from repro.cleaning.information import (
+    information_gains,
+    optimal_cleaning_set,
+    row_information_gain,
+    validation_entropy,
+)
+from repro.cleaning.boost_clean import BoostCleanModel, run_boost_clean
+from repro.cleaning.cp_clean import CPCleanStrategy, run_cp_clean
+from repro.cleaning.holo_clean import holo_cell_confidences, run_holo_clean
+from repro.cleaning.holo_priors import holo_candidate_weights
+from repro.cleaning.oracle import CleaningOracle, GroundTruthOracle, NoisyOracle
+from repro.cleaning.policies import (
+    POLICIES,
+    DirtiestFirstStrategy,
+    MembershipUncertaintyStrategy,
+    ReachCountStrategy,
+    run_policy,
+)
+from repro.cleaning.random_clean import RandomCleanStrategy, run_random_clean
+from repro.cleaning.report import CleaningReport, CleaningStep
+from repro.cleaning.weighted_clean import (
+    WeightedCPCleanStrategy,
+    distance_to_default_weights,
+    run_weighted_cp_clean,
+)
+from repro.cleaning.sequential import CleaningSession, CleaningStrategy
+
+__all__ = [
+    "CleaningSession",
+    "CleaningStrategy",
+    "CleaningReport",
+    "CleaningStep",
+    "CleaningOracle",
+    "GroundTruthOracle",
+    "NoisyOracle",
+    "CPCleanStrategy",
+    "run_cp_clean",
+    "RandomCleanStrategy",
+    "run_random_clean",
+    "run_boost_clean",
+    "BoostCleanModel",
+    "run_holo_clean",
+    "holo_cell_confidences",
+    "holo_candidate_weights",
+    "ground_truth_classifier",
+    "default_clean_classifier",
+    "POLICIES",
+    "ReachCountStrategy",
+    "MembershipUncertaintyStrategy",
+    "DirtiestFirstStrategy",
+    "run_policy",
+    "WeightedCPCleanStrategy",
+    "run_weighted_cp_clean",
+    "distance_to_default_weights",
+    "run_batch_clean",
+    "rank_rows_by_expected_entropy",
+    "validation_entropy",
+    "row_information_gain",
+    "information_gains",
+    "optimal_cleaning_set",
+]

@@ -1,0 +1,70 @@
+"""Standalone-cleaner confidences as priors for ML-aware cleaning.
+
+The paper's evaluation treats HoloClean and CPClean as competitors, but its
+outlook suggests combining them: a standalone probabilistic cleaner knows
+*which repair is likely*, an ML-aware cleaner knows *which repair matters*.
+This module is that bridge — it turns the per-cell repair confidences of
+the HoloClean stand-in (:func:`repro.cleaning.holo_clean.holo_cell_confidences`)
+into per-row candidate priors for
+:class:`~repro.cleaning.weighted_clean.WeightedCPCleanStrategy`:
+
+* a row's candidates are the Cartesian product of its missing cells'
+  repairs (:meth:`RepairSpace.row_repairs` order, including the truncation
+  cap), so a candidate's weight is the product of its cells' confidences;
+* weights are snapped to a rational grid and renormalised exactly, because
+  the weighted engine demands distributions that sum to exactly 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from fractions import Fraction
+
+from repro.cleaning.holo_clean import holo_cell_confidences
+from repro.data.repairs import RepairSpace
+from repro.data.table import Table
+
+__all__ = ["holo_candidate_weights"]
+
+#: Grid used to rationalise float confidences before exact normalisation.
+_GRID = 1_000_000
+
+
+def holo_candidate_weights(
+    table: Table,
+    repair_space: RepairSpace | None = None,
+    max_row_candidates: int = 25,
+    n_neighbors: int = 15,
+) -> list[list[Fraction]]:
+    """Per-row candidate priors from the HoloClean-style repair model.
+
+    The weight list of row ``i`` matches
+    ``repair_space.row_repairs(i)`` index for index (hence also the
+    candidate order of :func:`repro.data.ingest.incomplete_from_dirty_table`
+    when built from the same repair space). Clean rows get the trivial
+    ``[1]`` prior.
+    """
+    if repair_space is None:
+        repair_space = RepairSpace(table, max_row_candidates=max_row_candidates)
+    confidences = holo_cell_confidences(table, repair_space, n_neighbors=n_neighbors)
+
+    weights: list[list[Fraction]] = []
+    for row in range(table.n_rows):
+        cells = repair_space.missing_cells(row)
+        if not cells:
+            weights.append([Fraction(1)])
+            continue
+        per_cell = [confidences[(row, kind, col)] for kind, col in cells]
+        raw = [
+            max(
+                int(round(_GRID * math.prod(combo))),
+                1,  # keep every candidate reachable (validity assumption)
+            )
+            for combo in itertools.islice(
+                itertools.product(*per_cell), repair_space.max_row_candidates
+            )
+        ]
+        total = sum(raw)
+        weights.append([Fraction(value, total) for value in raw])
+    return weights

@@ -1,0 +1,172 @@
+"""Information-theoretic instrumentation for the cleaning objective (§4.1, App. C).
+
+CPClean is analysed through sequential information maximisation: cleaning
+row ``i`` is worth ``I(A_D(Dval); c_i)`` bits about the validation
+predictions, and Corollary 1 bounds how close the greedy policy gets to the
+best size-``t`` set ``D_Opt``. This module computes those quantities
+*exactly* from Q2 counts, so the guarantee can be inspected empirically:
+
+* :func:`validation_entropy` — ``H(A_D(Dval) | pins)``, Equation (3);
+* :func:`row_information_gain` — ``I(A_D(Dval); c_i | pins)`` for one row
+  under the uniform candidate prior of Equation (4);
+* :func:`information_gains` — the gain of every remaining dirty row (the
+  quantity CPClean greedily maximises — its argmax is CPClean's pick);
+* :func:`optimal_cleaning_set` — brute-force ``D_Opt`` for small instances
+  (enumerate subsets and joint candidate assignments), the yardstick in
+  Corollary 1;
+* :func:`greedy_vs_optimal_curve` — the measured analogue of the
+  ``1 - exp(-T/θt')`` bound.
+
+Entropies are in nats (natural log), matching
+:func:`repro.core.entropy.prediction_entropy`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.cleaning.sequential import CleaningSession
+from repro.core.entropy import prediction_entropy
+
+__all__ = [
+    "validation_entropy",
+    "row_information_gain",
+    "information_gains",
+    "set_information_gain",
+    "optimal_cleaning_set",
+    "greedy_vs_optimal_curve",
+]
+
+
+def validation_entropy(
+    session: CleaningSession, fixed: Mapping[int, int] | None = None
+) -> float:
+    """``H(A_D(Dval) | pins)`` — the average per-point prediction entropy.
+
+    ``fixed`` defaults to the session's own pins; pass an explicit mapping
+    to evaluate hypothetical cleaning states.
+    """
+    pins = session.fixed if fixed is None else dict(fixed)
+    if session.n_val == 0:
+        return 0.0
+    total = sum(
+        prediction_entropy(query.counts(pins)) for query in session.queries
+    )
+    return total / session.n_val
+
+
+def row_information_gain(session: CleaningSession, row: int) -> float:
+    """``I(A_D(Dval); c_i | pins)`` for one dirty row, uniform prior (Eq. 4).
+
+    The mutual information equals the current conditional entropy minus the
+    expected entropy after cleaning the row — exactly the quantity whose
+    *minimisation* drives Algorithm 3's selection step.
+    """
+    if row in session.fixed:
+        raise ValueError(f"row {row} is already cleaned")
+    m = int(session.dataset.candidate_counts()[row])
+    before = validation_entropy(session)
+    after = 0.0
+    for query in session.queries:
+        variants = query.counts_per_fixing(row, session.fixed)
+        after += sum(prediction_entropy(counts) for counts in variants)
+    after /= m * max(session.n_val, 1)
+    # Numerical floor: conditioning can only reduce entropy in expectation.
+    return max(before - after, 0.0)
+
+
+def information_gains(session: CleaningSession) -> dict[int, float]:
+    """Information gain of every remaining dirty row (CPClean picks the argmax)."""
+    return {
+        row: row_information_gain(session, row)
+        for row in session.remaining_dirty_rows()
+    }
+
+
+def set_information_gain(session: CleaningSession, rows: Sequence[int]) -> float:
+    """``I(A_D(Dval); {c_i : i in rows} | pins)`` by joint-assignment enumeration.
+
+    Exponential in ``len(rows)`` (the product of their candidate counts);
+    intended for the small instances where ``D_Opt`` is computable at all.
+    """
+    rows = list(dict.fromkeys(rows))
+    for row in rows:
+        if row in session.fixed:
+            raise ValueError(f"row {row} is already cleaned")
+    counts = session.dataset.candidate_counts()
+    before = validation_entropy(session)
+    domains = [range(int(counts[row])) for row in rows]
+    n_assignments = math.prod(len(d) for d in domains)
+    after = 0.0
+    for assignment in itertools.product(*domains):
+        pins = {**session.fixed, **dict(zip(rows, assignment))}
+        after += validation_entropy(session, pins)
+    after /= max(n_assignments, 1)
+    return max(before - after, 0.0)
+
+
+def optimal_cleaning_set(
+    session: CleaningSession, size: int, max_subsets: int = 5_000
+) -> tuple[tuple[int, ...], float]:
+    """``D_Opt``: the size-``size`` row set with maximal joint information gain.
+
+    Brute force over all subsets of the remaining dirty rows; guarded by
+    ``max_subsets`` because the problem is NP-hard in general [Ko et al.].
+    Returns ``(rows, gain)``.
+    """
+    remaining = session.remaining_dirty_rows()
+    if size > len(remaining):
+        raise ValueError(
+            f"size {size} exceeds the {len(remaining)} remaining dirty rows"
+        )
+    n_subsets = math.comb(len(remaining), size)
+    if n_subsets > max_subsets:
+        raise ValueError(
+            f"{n_subsets} candidate subsets exceed the cap {max_subsets}; "
+            "optimal_cleaning_set is only meant for small instances"
+        )
+    best_rows: tuple[int, ...] = ()
+    best_gain = -1.0
+    for subset in itertools.combinations(remaining, size):
+        gain = set_information_gain(session, subset)
+        if gain > best_gain:
+            best_rows, best_gain = subset, gain
+    return best_rows, best_gain
+
+
+def greedy_vs_optimal_curve(
+    session: CleaningSession,
+    oracle,
+    horizon: int,
+    optimal_size: int,
+) -> dict[str, list[float] | float]:
+    """Measure Corollary 1's quantities on a live session.
+
+    Runs ``horizon`` greedy (max-information) cleaning steps, recording the
+    cumulative information gathered after each, and compares against the
+    optimal size-``optimal_size`` set's information. Returns a dict with
+    ``greedy_curve`` (cumulative gain after step T), ``optimal`` (the
+    ``I(A_D(Dval); D_Opt)`` reference) and ``initial_entropy``.
+
+    The session is mutated (rows actually get cleaned), mirroring how the
+    guarantee speaks about the executed policy.
+    """
+    initial = validation_entropy(session)
+    optimal_rows, optimal_gain = optimal_cleaning_set(session, optimal_size)
+    curve: list[float] = []
+    for _ in range(horizon):
+        remaining = session.remaining_dirty_rows()
+        if not remaining:
+            break
+        gains = information_gains(session)
+        row = max(gains, key=lambda r: (gains[r], -r))
+        session.clean_row(row, oracle(row))
+        curve.append(initial - validation_entropy(session))
+    return {
+        "greedy_curve": curve,
+        "optimal": optimal_gain,
+        "optimal_rows": list(optimal_rows),
+        "initial_entropy": initial,
+    }

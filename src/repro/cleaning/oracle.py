@@ -1,0 +1,65 @@
+"""Simulated human-cleaning oracles (paper §5.1 cleaning protocol).
+
+The paper simulates the human in the loop by "picking the candidate repair
+that is closest to the ground truth". An oracle here is anything callable as
+``oracle(row) -> candidate_index``; :class:`GroundTruthOracle` implements
+the paper's protocol from a cleaning task's precomputed choices, and
+:class:`NoisyOracle` is an extension for robustness experiments (a human who
+sometimes picks a wrong candidate).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fraction
+
+__all__ = ["CleaningOracle", "GroundTruthOracle", "NoisyOracle"]
+
+#: Any callable mapping a training-row index to the chosen candidate index.
+CleaningOracle = Callable[[int], int]
+
+
+class GroundTruthOracle:
+    """The paper's oracle: always returns the closest-to-truth candidate."""
+
+    def __init__(self, gt_choice: Sequence[int]) -> None:
+        self._choice = np.asarray(gt_choice, dtype=np.int64)
+
+    def __call__(self, row: int) -> int:
+        if not 0 <= row < self._choice.shape[0]:
+            raise IndexError(f"row {row} out of range [0, {self._choice.shape[0]})")
+        return int(self._choice[row])
+
+
+class NoisyOracle:
+    """A fallible human: answers the truth with probability ``1 - error_rate``.
+
+    On an error, a uniformly random *other* candidate of the row is
+    returned. Candidate counts must be supplied so errors stay in range.
+    """
+
+    def __init__(
+        self,
+        gt_choice: Sequence[int],
+        candidate_counts: Sequence[int],
+        error_rate: float = 0.1,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self._choice = np.asarray(gt_choice, dtype=np.int64)
+        self._counts = np.asarray(candidate_counts, dtype=np.int64)
+        if self._choice.shape != self._counts.shape:
+            raise ValueError("gt_choice and candidate_counts must have the same length")
+        self.error_rate = check_fraction(error_rate, "error_rate")
+        self._rng = ensure_rng(seed)
+
+    def __call__(self, row: int) -> int:
+        truth = int(self._choice[row])
+        count = int(self._counts[row])
+        if count <= 1 or self._rng.random() >= self.error_rate:
+            return truth
+        wrong = int(self._rng.integers(0, count - 1))
+        return wrong if wrong < truth else wrong + 1

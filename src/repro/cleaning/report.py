@@ -1,0 +1,62 @@
+"""Step-by-step records of a sequential cleaning run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CleaningStep", "CleaningReport"]
+
+
+@dataclass(frozen=True)
+class CleaningStep:
+    """One human-cleaning interaction.
+
+    ``cp_fraction_before`` is the fraction of validation examples that were
+    already certainly predicted when the row was selected;
+    ``expected_entropy`` is the selection criterion's value for the chosen
+    row (``None`` for strategies that do not estimate it).
+    """
+
+    iteration: int
+    row: int
+    chosen_candidate: int
+    cp_fraction_before: float
+    expected_entropy: float | None = None
+
+
+@dataclass
+class CleaningReport:
+    """The outcome of a sequential cleaning run.
+
+    Attributes
+    ----------
+    steps:
+        One :class:`CleaningStep` per human interaction, in order.
+    final_fixed:
+        Mapping of cleaned row -> chosen candidate index.
+    cp_fraction_final:
+        Fraction of validation examples CP'ed after the last step.
+    terminated_early:
+        True when the run stopped because of a cleaning budget rather than
+        full validation certainty.
+    """
+
+    steps: list[CleaningStep] = field(default_factory=list)
+    final_fixed: dict[int, int] = field(default_factory=dict)
+    cp_fraction_final: float = 0.0
+    terminated_early: bool = False
+
+    @property
+    def n_cleaned(self) -> int:
+        """Number of examples a human was asked to clean."""
+        return len(self.steps)
+
+    def cleaned_rows(self) -> list[int]:
+        """Row indices in cleaning order."""
+        return [step.row for step in self.steps]
+
+    def cp_fraction_curve(self) -> list[float]:
+        """CP'ed validation fraction before each step plus the final value."""
+        curve = [step.cp_fraction_before for step in self.steps]
+        curve.append(self.cp_fraction_final)
+        return curve

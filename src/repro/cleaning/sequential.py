@@ -1,0 +1,146 @@
+"""The shared human-in-the-loop cleaning session (paper §4, Algorithm 3 skeleton).
+
+Both CPClean and the RandomClean baseline run the same outer loop:
+
+1. stop when every validation example is certainly predicted (or a budget
+   is exhausted);
+2. select the next dirty training row by some strategy;
+3. ask the (simulated) human oracle for its true candidate;
+4. fix the row and repeat.
+
+:class:`CleaningSession` owns the loop, the per-validation-point
+:class:`~repro.core.prepared.PreparedQuery` caches, and the CP bookkeeping;
+strategies only implement :meth:`CleaningStrategy.select`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.cleaning.oracle import CleaningOracle
+from repro.cleaning.report import CleaningReport, CleaningStep
+from repro.core.dataset import IncompleteDataset
+from repro.core.entropy import certain_label_from_counts
+from repro.core.kernels import Kernel, resolve_kernel
+from repro.core.prepared import PreparedQuery
+from repro.utils.validation import check_matrix
+
+__all__ = ["CleaningStrategy", "CleaningSession"]
+
+
+class CleaningStrategy(ABC):
+    """Chooses which dirty row to clean next."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def select(self, session: "CleaningSession", remaining: list[int]) -> tuple[int, float | None]:
+        """Return ``(row, expected_entropy_or_None)`` for the next cleaning step."""
+
+
+class CleaningSession:
+    """One cleaning run over an incomplete training set and a validation set."""
+
+    def __init__(
+        self,
+        dataset: IncompleteDataset,
+        val_X: np.ndarray,
+        k: int = 3,
+        kernel: Kernel | str | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.val_X = check_matrix(val_X, "val_X", n_cols=dataset.n_features)
+        self.k = k
+        self.kernel = resolve_kernel(kernel)
+        self.queries = [
+            PreparedQuery(dataset, t, k=k, kernel=self.kernel) for t in self.val_X
+        ]
+        self.fixed: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_val(self) -> int:
+        return self.val_X.shape[0]
+
+    def remaining_dirty_rows(self) -> list[int]:
+        """Dirty rows that have not been cleaned yet."""
+        return [row for row in self.dataset.uncertain_rows() if row not in self.fixed]
+
+    def val_certain_labels(self) -> list[int | None]:
+        """The CP'ed label (or None) of every validation point, given cleaning so far."""
+        if self.dataset.n_labels == 2:
+            return [query.certain_label_minmax(self.fixed) for query in self.queries]
+        return [
+            certain_label_from_counts(query.counts(self.fixed)) for query in self.queries
+        ]
+
+    def cp_fraction(self) -> float:
+        """Fraction of validation points currently CP'ed.
+
+        An empty validation set is trivially fully certain (there is
+        nothing left for cleaning to change), so it reports 1.0.
+        """
+        labels = self.val_certain_labels()
+        if not labels:
+            return 1.0
+        return sum(label is not None for label in labels) / len(labels)
+
+    def all_certain(self) -> bool:
+        return all(label is not None for label in self.val_certain_labels())
+
+    # ------------------------------------------------------------------
+    def clean_row(self, row: int, candidate: int) -> None:
+        """Record a human answer: pin ``row`` to ``candidate``."""
+        if row in self.fixed:
+            raise ValueError(f"row {row} was already cleaned")
+        counts = self.dataset.candidate_counts()
+        if not 0 <= candidate < counts[row]:
+            raise IndexError(
+                f"candidate {candidate} out of range for row {row} with {counts[row]} candidates"
+            )
+        self.fixed[row] = candidate
+
+    def run(
+        self,
+        strategy: CleaningStrategy,
+        oracle: CleaningOracle,
+        max_cleaned: int | None = None,
+        on_step=None,
+    ) -> CleaningReport:
+        """Execute the cleaning loop (Algorithm 3's outer structure).
+
+        ``on_step(step)`` is an optional callback invoked after every
+        cleaning interaction (used by the experiment harness to trace
+        accuracy curves).
+        """
+        report = CleaningReport()
+        iteration = 0
+        while True:
+            cp_before = self.cp_fraction()
+            if cp_before >= 1.0:
+                break
+            remaining = self.remaining_dirty_rows()
+            if not remaining:
+                break
+            if max_cleaned is not None and iteration >= max_cleaned:
+                report.terminated_early = True
+                break
+            row, expected_entropy = strategy.select(self, remaining)
+            candidate = oracle(row)
+            self.clean_row(row, candidate)
+            step = CleaningStep(
+                iteration=iteration,
+                row=row,
+                chosen_candidate=candidate,
+                cp_fraction_before=cp_before,
+                expected_entropy=expected_entropy,
+            )
+            report.steps.append(step)
+            if on_step is not None:
+                on_step(step)
+            iteration += 1
+        report.final_fixed = dict(self.fixed)
+        report.cp_fraction_final = self.cp_fraction()
+        return report

@@ -1,0 +1,287 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the library's headline workflows:
+
+* ``demo``   — the paper's Figure 6 walkthrough (the two CP queries);
+* ``screen`` — Q1 screening of a validation set over a dirty recipe
+  ("how much of this dataset's incompleteness actually matters?");
+* ``clean``  — a full CPClean session against a simulated human oracle,
+  with the RandomClean comparison at equal budget.
+
+The CLI is a thin layer over the library; every command accepts ``--seed``
+and size flags so runs are reproducible and laptop-sized by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Certain Predictions for KNN over incomplete data (VLDB 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run the paper's Figure 6 example")
+
+    screen = sub.add_parser("screen", help="Q1-screen a dirty dataset recipe")
+    _add_task_flags(screen)
+
+    clean = sub.add_parser("clean", help="run a CPClean session on a recipe")
+    _add_task_flags(clean)
+    clean.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="maximum number of rows to have the human clean (default: until certain)",
+    )
+    clean.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="human answers per selection round (1 = the paper's sequential Algorithm 3)",
+    )
+
+    csv_screen = sub.add_parser(
+        "csv-screen",
+        help="Q1-screen a dirty CSV file and rank the rows worth cleaning",
+    )
+    csv_screen.add_argument("--input", required=True, help="path to the CSV file")
+    csv_screen.add_argument("--label", required=True, help="name of the label column")
+    csv_screen.add_argument("--n-val", type=int, default=32)
+    csv_screen.add_argument("--k", type=int, default=3)
+    csv_screen.add_argument("--seed", type=int, default=0)
+    csv_screen.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="how many cleaning recommendations to print",
+    )
+
+    sql = sub.add_parser(
+        "sql",
+        help="run a SQL query over a dirty CSV with certain-answer semantics",
+    )
+    sql.add_argument("--input", required=True, help="path to the CSV file")
+    sql.add_argument("--label", required=True, help="name of the label column")
+    sql.add_argument(
+        "--query",
+        required=True,
+        help="SELECT ... FROM T [WHERE ...] (the table is always named T)",
+    )
+    sql.add_argument(
+        "--limit", type=int, default=20, help="print at most this many answer rows"
+    )
+    return parser
+
+
+def _add_task_flags(parser: argparse.ArgumentParser) -> None:
+    from repro.data.recipes import recipe_names
+
+    parser.add_argument("--recipe", choices=recipe_names(), default="supreme")
+    parser.add_argument("--n-train", type=int, default=100)
+    parser.add_argument("--n-val", type=int, default=24)
+    parser.add_argument("--n-test", type=int, default=200)
+    parser.add_argument("--missing-rate", type=float, default=None)
+    parser.add_argument("--k", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _command_demo() -> int:
+    from repro.core.dataset import IncompleteDataset
+    from repro.core.queries import certain_label, q2_counts
+
+    dataset = IncompleteDataset(
+        [np.array([[5.0], [2.0]]), np.array([[6.0], [4.0]]), np.array([[3.0], [1.0]])],
+        labels=[1, 1, 0],
+    )
+    t = np.array([0.0])
+    counts = q2_counts(dataset, t, k=1)
+    print("Figure 6 dataset:", dataset)
+    print(f"Q2 counts for t=0, 1-NN: {counts} (paper: [6, 2])")
+    print(f"certain label: {certain_label(dataset, t, k=1)} (None = not CP'ed)")
+    return 0
+
+
+def _build_task(args: argparse.Namespace):
+    from repro.data.task import build_cleaning_task
+
+    return build_cleaning_task(
+        args.recipe,
+        n_train=args.n_train,
+        n_val=args.n_val,
+        n_test=args.n_test,
+        missing_rate=args.missing_rate,
+        k=args.k,
+        seed=args.seed,
+    )
+
+
+def _command_screen(args: argparse.Namespace) -> int:
+    from repro.core.screening import screen_dataset
+
+    task = _build_task(args)
+    result = screen_dataset(task.incomplete, task.val_X, k=task.k)
+    certain, total = result.n_certain, result.n_points
+    print(f"recipe={task.name} dirty_rows={len(task.dirty_rows)}/{task.incomplete.n_rows}")
+    print(f"validation points certainly predicted: {certain}/{total} ({result.cp_fraction:.0%})")
+    if certain == total:
+        print("all validation predictions are certain: cleaning cannot change them.")
+    else:
+        print(f"{total - certain} predictions still depend on how the data is cleaned.")
+    return 0
+
+
+def _command_clean(args: argparse.Namespace) -> int:
+    from repro.cleaning.oracle import GroundTruthOracle
+    from repro.cleaning.cp_clean import run_cp_clean
+    from repro.cleaning.random_clean import run_random_clean
+    from repro.core.knn import KNNClassifier
+    from repro.experiments.metrics import gap_closed
+
+    task = _build_task(args)
+    gt_acc = KNNClassifier(k=task.k).fit(task.train_gt_X, task.train_labels).accuracy(
+        task.test_X, task.test_y
+    )
+    default_acc = KNNClassifier(k=task.k).fit(
+        task.train_default_X, task.train_labels
+    ).accuracy(task.test_X, task.test_y)
+    print(f"recipe={task.name} dirty={len(task.dirty_rows)} "
+          f"GT acc={gt_acc:.3f} default acc={default_acc:.3f}")
+
+    oracle = GroundTruthOracle(task.gt_choice)
+    if args.batch > 1:
+        from repro.cleaning.batch import run_batch_clean
+
+        report = run_batch_clean(
+            task.incomplete, task.val_X, oracle, batch_size=args.batch,
+            k=task.k, max_cleaned=args.budget,
+        )
+    else:
+        report = run_cp_clean(
+            task.incomplete, task.val_X, oracle, k=task.k, max_cleaned=args.budget
+        )
+
+    def world_accuracy(fixed):
+        choice = task.default_choice.copy()
+        for row, cand in fixed.items():
+            choice[row] = cand
+        world = task.incomplete.world([int(c) for c in choice])
+        return KNNClassifier(k=task.k).fit(world, task.train_labels).accuracy(
+            task.test_X, task.test_y
+        )
+
+    cp_acc = world_accuracy(report.final_fixed)
+    print(f"CPClean: cleaned {report.n_cleaned} rows, "
+          f"val CP'ed {report.cp_fraction_final:.0%}, "
+          f"test acc {cp_acc:.3f}, gap closed "
+          f"{gap_closed(cp_acc, default_acc, gt_acc):.0%}")
+
+    random_report = run_random_clean(
+        task.incomplete, task.val_X, oracle, k=task.k,
+        max_cleaned=report.n_cleaned, seed=args.seed,
+    )
+    rand_acc = world_accuracy(random_report.final_fixed)
+    print(f"RandomClean (same budget): test acc {rand_acc:.3f}, gap closed "
+          f"{gap_closed(rand_acc, default_acc, gt_acc):.0%}")
+    return 0
+
+
+def _command_csv_screen(args: argparse.Namespace) -> int:
+    from repro.cleaning.information import information_gains
+    from repro.cleaning.sequential import CleaningSession
+    from repro.core.screening import screen_dataset
+    from repro.data.ingest import load_csv_workload
+
+    workload = load_csv_workload(
+        args.input, args.label, n_val=args.n_val, k=args.k, seed=args.seed
+    )
+    incomplete = workload.incomplete
+    dirty = incomplete.uncertain_rows()
+    print(
+        f"file={args.input} rows={workload.table.n_rows} "
+        f"train={incomplete.n_rows} val={workload.val_X.shape[0]} "
+        f"dirty={len(dirty)} worlds={incomplete.n_worlds()}"
+    )
+
+    result = screen_dataset(incomplete, workload.val_X, k=args.k)
+    certain, total = result.n_certain, result.n_points
+    print(f"validation points certainly predicted: {certain}/{total} ({result.cp_fraction:.0%})")
+    if certain == total:
+        print("all validation predictions are certain: cleaning cannot change them.")
+        return 0
+
+    session = CleaningSession(incomplete, workload.val_X, k=args.k)
+    gains = information_gains(session)
+    ranked = sorted(gains.items(), key=lambda item: (-item[1], item[0]))
+    print(f"\nrows worth cleaning first (top {min(args.top, len(ranked))}):")
+    for row, gain in ranked[: args.top]:
+        csv_row = int(workload.train_rows[row]) + 2  # 1-based + header line
+        print(
+            f"  csv line {csv_row}: {incomplete.candidates(row).shape[0]} candidate "
+            f"repairs, information gain {gain:.4f} nats"
+        )
+    return 0
+
+
+def _command_sql(args: argparse.Namespace) -> int:
+    from repro.codd.certain import certain_answers, possible_answers
+    from repro.codd.from_table import codd_table_from_dirty_table
+    from repro.codd.sql import SqlError, parse_sql
+    from repro.data.io import read_csv
+
+    try:
+        query = parse_sql(args.query)
+    except SqlError as exc:
+        print(f"SQL error: {exc}", file=sys.stderr)
+        return 2
+
+    table, schema = read_csv(args.input, args.label)
+    codd = codd_table_from_dirty_table(table, schema=schema)
+    print(
+        f"file={args.input} rows={len(codd)} null_cells={codd.n_variables} "
+        f"possible_worlds={codd.n_worlds()}"
+    )
+
+    sure = certain_answers(query, codd)
+    maybe = possible_answers(query, codd)
+    uncertain = maybe.rows - sure.rows
+    print(f"\ncertain answers ({len(sure)} rows, true in every world):")
+    for row in sorted(sure.rows, key=repr)[: args.limit]:
+        print("  " + ", ".join(str(v) for v in row))
+    if len(sure) > args.limit:
+        print(f"  ... {len(sure) - args.limit} more")
+    print(f"\npossible-but-not-certain answers ({len(uncertain)} rows):")
+    for row in sorted(uncertain, key=repr)[: args.limit]:
+        print("  " + ", ".join(str(v) for v in row))
+    if len(uncertain) > args.limit:
+        print(f"  ... {len(uncertain) - args.limit} more")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _command_demo()
+    if args.command == "screen":
+        return _command_screen(args)
+    if args.command == "clean":
+        return _command_clean(args)
+    if args.command == "csv-screen":
+        return _command_csv_screen(args)
+    if args.command == "sql":
+        return _command_sql(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Codd tables, c-tables and certain answers (the database side of Figure 1).
+
+The paper motivates *certain predictions* as the machine-learning analogue of
+*certain answers* over incomplete databases: a Codd table with ``n`` NULL
+variables over finite domains represents exponentially many possible worlds,
+and a query answer is *certain* when it appears in the answer over every
+world.  This subpackage implements that database side of the bridge:
+
+* :mod:`repro.codd.relation` — complete relations with named attributes and
+  set semantics;
+* :mod:`repro.codd.algebra` — a small relational-algebra AST (select,
+  project, join, union, difference, rename) with an analysable predicate
+  language;
+* :mod:`repro.codd.codd_table` — Codd tables: relations whose cells may hold
+  NULL variables with finite domains, inducing a set of possible worlds;
+* :mod:`repro.codd.certain` — certain and possible answers, both by naive
+  world enumeration and by the tractable three-valued evaluation for
+  select-project queries;
+* :mod:`repro.codd.ctable` — conditional tables (c-tables), a strong
+  representation system closed under the full algebra;
+* :mod:`repro.codd.bridge` — the Figure-1 bridge: turning a Codd table with
+  a label column into an :class:`~repro.core.dataset.IncompleteDataset` so
+  the CP queries can run where the SQL queries stop.
+"""
+
+from repro.codd.algebra import (
+    Attribute,
+    Comparison,
+    Conjunction,
+    Difference,
+    Disjunction,
+    Join,
+    Literal,
+    Negation,
+    Project,
+    Query,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    evaluate,
+)
+from repro.codd.bridge import codd_table_to_incomplete_dataset
+from repro.codd.certain import (
+    certain_answers,
+    certain_answers_naive,
+    certain_answers_select_project,
+    possible_answers,
+    possible_answers_naive,
+)
+from repro.codd.codd_table import CoddTable, Null
+from repro.codd.ctable import (
+    CTable,
+    ConditionalRow,
+    ctable_certain_answers,
+    ctable_certain_rows,
+    ctable_possible_answers,
+    evaluate_ctable,
+)
+from repro.codd.from_table import codd_table_from_dirty_table
+from repro.codd.relation import Relation
+from repro.codd.sql import SqlError, parse_sql
+
+__all__ = [
+    "Attribute",
+    "CTable",
+    "CoddTable",
+    "Comparison",
+    "ConditionalRow",
+    "Conjunction",
+    "Difference",
+    "Disjunction",
+    "Join",
+    "Literal",
+    "Negation",
+    "Null",
+    "Project",
+    "Query",
+    "Relation",
+    "Rename",
+    "Scan",
+    "Select",
+    "Union",
+    "certain_answers",
+    "certain_answers_naive",
+    "certain_answers_select_project",
+    "codd_table_from_dirty_table",
+    "codd_table_to_incomplete_dataset",
+    "ctable_certain_answers",
+    "ctable_certain_rows",
+    "ctable_possible_answers",
+    "evaluate",
+    "evaluate_ctable",
+    "parse_sql",
+    "possible_answers",
+    "possible_answers_naive",
+    "SqlError",
+]

@@ -1,0 +1,289 @@
+"""A small relational-algebra AST and evaluator over complete relations.
+
+The AST is deliberately analysable rather than opaque: predicates are built
+from :class:`Attribute`, :class:`Literal` and :class:`Comparison` nodes
+combined with :class:`Conjunction` / :class:`Disjunction` / :class:`Negation`.
+This lets :mod:`repro.codd.certain` evaluate the same predicate under
+three-valued logic over incomplete cells, and lets :mod:`repro.codd.ctable`
+propagate predicates into row conditions.
+
+Queries are trees of :class:`Scan`, :class:`Select`, :class:`Project`,
+:class:`Join`, :class:`Union`, :class:`Difference` and :class:`Rename`
+nodes; :func:`evaluate` runs a query against a database, a mapping from
+relation name to :class:`~repro.codd.relation.Relation`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.codd.relation import Relation
+
+__all__ = [
+    "Attribute",
+    "Literal",
+    "Comparison",
+    "Conjunction",
+    "Disjunction",
+    "Negation",
+    "Predicate",
+    "Term",
+    "Scan",
+    "Select",
+    "Project",
+    "Join",
+    "Union",
+    "Difference",
+    "Rename",
+    "Query",
+    "evaluate",
+]
+
+
+# ----------------------------------------------------------------------
+# Terms: the leaves of a predicate
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Attribute:
+    """A reference to an attribute of the input schema."""
+
+    name: str
+
+    def resolve(self, schema: Sequence[str], row: Sequence[Any]) -> Any:
+        try:
+            return row[list(schema).index(self.name)]
+        except ValueError:
+            raise KeyError(f"attribute {self.name!r} not in schema {tuple(schema)}") from None
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value."""
+
+    value: Any
+
+    def resolve(self, schema: Sequence[str], row: Sequence[Any]) -> Any:
+        return self.value
+
+
+Term = Attribute | Literal
+
+_COMPARATORS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+# ----------------------------------------------------------------------
+# Predicates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` where ``op`` is one of ``== != < <= > >=``."""
+
+    left: Term
+    op: str
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def holds(self, schema: Sequence[str], row: Sequence[Any]) -> bool:
+        return bool(
+            _COMPARATORS[self.op](
+                self.left.resolve(schema, row), self.right.resolve(schema, row)
+            )
+        )
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """Logical AND of sub-predicates."""
+
+    parts: tuple["Predicate", ...]
+
+    def __init__(self, *parts: "Predicate") -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def holds(self, schema: Sequence[str], row: Sequence[Any]) -> bool:
+        return all(p.holds(schema, row) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Disjunction:
+    """Logical OR of sub-predicates."""
+
+    parts: tuple["Predicate", ...]
+
+    def __init__(self, *parts: "Predicate") -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def holds(self, schema: Sequence[str], row: Sequence[Any]) -> bool:
+        return any(p.holds(schema, row) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Negation:
+    """Logical NOT of a sub-predicate."""
+
+    part: "Predicate"
+
+    def holds(self, schema: Sequence[str], row: Sequence[Any]) -> bool:
+        return not self.part.holds(schema, row)
+
+
+Predicate = Comparison | Conjunction | Disjunction | Negation
+
+
+def predicate_attributes(pred: Predicate) -> set[str]:
+    """All attribute names a predicate reads (used by the certain-answer rules)."""
+    if isinstance(pred, Comparison):
+        names = set()
+        for term in (pred.left, pred.right):
+            if isinstance(term, Attribute):
+                names.add(term.name)
+        return names
+    if isinstance(pred, (Conjunction, Disjunction)):
+        out: set[str] = set()
+        for part in pred.parts:
+            out |= predicate_attributes(part)
+        return out
+    if isinstance(pred, Negation):
+        return predicate_attributes(pred.part)
+    raise TypeError(f"not a predicate: {pred!r}")
+
+
+# ----------------------------------------------------------------------
+# Query nodes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scan:
+    """A base-relation reference by name."""
+
+    relation: str
+
+
+@dataclass(frozen=True)
+class Select:
+    """``σ_pred(child)``."""
+
+    child: "Query"
+    predicate: Predicate
+
+
+@dataclass(frozen=True)
+class Project:
+    """``π_attributes(child)``."""
+
+    child: "Query"
+    attributes: tuple[str, ...]
+
+    def __init__(self, child: "Query", attributes: Sequence[str]) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "attributes", tuple(attributes))
+
+
+@dataclass(frozen=True)
+class Join:
+    """Natural join of two sub-queries."""
+
+    left: "Query"
+    right: "Query"
+
+
+@dataclass(frozen=True)
+class Union:
+    """Set union of two union-compatible sub-queries."""
+
+    left: "Query"
+    right: "Query"
+
+
+@dataclass(frozen=True)
+class Difference:
+    """Set difference ``left - right``."""
+
+    left: "Query"
+    right: "Query"
+
+
+@dataclass(frozen=True)
+class Rename:
+    """Attribute renaming via a mapping (missing attributes kept)."""
+
+    child: "Query"
+    mapping: tuple[tuple[str, str], ...]
+
+    def __init__(self, child: "Query", mapping: Mapping[str, str]) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "mapping", tuple(sorted(mapping.items())))
+
+
+Query = Scan | Select | Project | Join | Union | Difference | Rename
+
+
+def is_positive(query: Query) -> bool:
+    """True iff the query uses no ``Difference`` and no ``Negation``.
+
+    Positive (monotone) queries are the fragment for which possible-world
+    reasoning behaves monotonically; the tractable certain-answer rules in
+    :mod:`repro.codd.certain` require this.
+    """
+    if isinstance(query, Scan):
+        return True
+    if isinstance(query, Select):
+        return _predicate_positive(query.predicate) and is_positive(query.child)
+    if isinstance(query, (Project, Rename)):
+        return is_positive(query.child)
+    if isinstance(query, (Join, Union)):
+        return is_positive(query.left) and is_positive(query.right)
+    if isinstance(query, Difference):
+        return False
+    raise TypeError(f"not a query: {query!r}")
+
+
+def _predicate_positive(pred: Predicate) -> bool:
+    if isinstance(pred, Comparison):
+        return True
+    if isinstance(pred, (Conjunction, Disjunction)):
+        return all(_predicate_positive(p) for p in pred.parts)
+    if isinstance(pred, Negation):
+        return False
+    raise TypeError(f"not a predicate: {pred!r}")
+
+
+# ----------------------------------------------------------------------
+# Evaluation over complete relations
+# ----------------------------------------------------------------------
+def evaluate(query: Query, database: Mapping[str, Relation]) -> Relation:
+    """Evaluate ``query`` against a database of complete relations."""
+    if isinstance(query, Scan):
+        try:
+            return database[query.relation]
+        except KeyError:
+            raise KeyError(
+                f"relation {query.relation!r} not in database {sorted(database)}"
+            ) from None
+    if isinstance(query, Select):
+        child = evaluate(query.child, database)
+        return child.with_rows(
+            row for row in child if query.predicate.holds(child.schema, row)
+        )
+    if isinstance(query, Project):
+        return evaluate(query.child, database).project(query.attributes)
+    if isinstance(query, Join):
+        return evaluate(query.left, database).natural_join(evaluate(query.right, database))
+    if isinstance(query, Union):
+        return evaluate(query.left, database).union(evaluate(query.right, database))
+    if isinstance(query, Difference):
+        return evaluate(query.left, database).difference(evaluate(query.right, database))
+    if isinstance(query, Rename):
+        return evaluate(query.child, database).renamed(dict(query.mapping))
+    raise TypeError(f"not a query: {query!r}")

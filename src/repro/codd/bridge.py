@@ -1,0 +1,88 @@
+"""The Figure-1 bridge: from a Codd table to an incomplete ML dataset.
+
+The paper's opening figure runs the same incomplete table through both
+worlds: a SQL query (certain answers) and an ML classifier (certain
+predictions). :func:`codd_table_to_incomplete_dataset` is that bridge — it
+turns a Codd table whose feature cells may be NULL into an
+:class:`~repro.core.dataset.IncompleteDataset` whose per-row candidate sets
+are the Cartesian products of the NULL domains (§2: "attribute-level data
+repairs … merged together with Cartesian products").
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.codd.codd_table import CoddTable, Null
+from repro.core.dataset import IncompleteDataset
+
+__all__ = ["codd_table_to_incomplete_dataset"]
+
+
+def codd_table_to_incomplete_dataset(
+    table: CoddTable,
+    feature_attributes: Sequence[str],
+    label_attribute: str,
+    max_candidates_per_row: int = 10_000,
+) -> IncompleteDataset:
+    """Convert a Codd table into the paper's incomplete-dataset model.
+
+    Parameters
+    ----------
+    table:
+        The source Codd table. Feature cells must be numeric constants or
+        :class:`~repro.codd.codd_table.Null` markers with numeric domains;
+        label cells must be non-NULL integers (the paper assumes no label
+        uncertainty).
+    feature_attributes:
+        Which attributes become the ``d`` feature dimensions, in order.
+    label_attribute:
+        The attribute holding the class label.
+    max_candidates_per_row:
+        Guard against pathological per-row Cartesian blow-up.
+
+    Returns
+    -------
+    IncompleteDataset
+        One training row per table row; the candidate set of a row is the
+        Cartesian product of its NULL-cell domains (a single candidate when
+        the row is complete).
+    """
+    feat_idx = [table.attribute_index(a) for a in feature_attributes]
+    label_idx = table.attribute_index(label_attribute)
+    if label_idx in feat_idx:
+        raise ValueError(f"label attribute {label_attribute!r} also listed as a feature")
+
+    candidate_sets: list[np.ndarray] = []
+    labels: list[int] = []
+    for r, row in enumerate(table.rows):
+        label_cell = row[label_idx]
+        if isinstance(label_cell, Null):
+            raise ValueError(
+                f"row {r}: label attribute {label_attribute!r} is NULL; the CP "
+                "data model assumes certain labels (Definition 1)"
+            )
+        labels.append(int(label_cell))
+
+        axes: list[tuple[float, ...]] = []
+        n_candidates = 1
+        for idx in feat_idx:
+            cell = row[idx]
+            if isinstance(cell, Null):
+                axis = tuple(float(v) for v in cell.domain)
+            else:
+                axis = (float(cell),)
+            n_candidates *= len(axis)
+            axes.append(axis)
+        if n_candidates > max_candidates_per_row:
+            raise ValueError(
+                f"row {r} expands to {n_candidates} candidates, above the cap "
+                f"{max_candidates_per_row}"
+            )
+        candidates = np.array(list(itertools.product(*axes)), dtype=np.float64)
+        candidate_sets.append(candidates)
+
+    return IncompleteDataset(candidate_sets, labels)

@@ -1,0 +1,253 @@
+"""Certain and possible answers over Codd tables.
+
+Implements the paper's §1 definition
+
+    ``sure(Q, T) = ∩ { Q(I) | I ∈ rep(T) }``
+
+two ways:
+
+* :func:`certain_answers_naive` / :func:`possible_answers_naive` — literal
+  world enumeration, usable as a test oracle on small tables (this is the
+  same role :mod:`repro.core.bruteforce` plays for the CP queries);
+* :func:`certain_answers_select_project` — the classic tractable evaluation
+  for select-project queries over a single Codd table: because every NULL
+  variable appears in exactly one cell, rows are independent, and a constant
+  tuple is certain iff **some row yields it under every valuation of that
+  row's own variables**. The per-row check enumerates only the row-local
+  domain product (the paper's ``M``-bounded candidate sets), never the
+  global ``M^n`` world set.
+
+:func:`certain_answers` dispatches: the tractable path when the query shape
+allows it, the naive path (with a world-count guard) otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.codd.algebra import Project, Query, Rename, Scan, Select, evaluate
+from repro.codd.codd_table import CoddTable, Null
+from repro.codd.relation import Relation
+
+__all__ = [
+    "certain_answers",
+    "certain_answers_database",
+    "certain_answers_naive",
+    "certain_answers_select_project",
+    "possible_answers",
+    "possible_answers_database",
+    "possible_answers_naive",
+]
+
+#: Refuse naive enumeration beyond this many worlds.
+MAX_NAIVE_WORLDS = 1_000_000
+
+
+# ----------------------------------------------------------------------
+# Naive oracle: enumerate every world
+# ----------------------------------------------------------------------
+def _check_enumerable(table: CoddTable) -> None:
+    n = table.n_worlds()
+    if n > MAX_NAIVE_WORLDS:
+        raise ValueError(
+            f"table has {n} possible worlds, above the naive-enumeration cap "
+            f"{MAX_NAIVE_WORLDS}; use the tractable select-project evaluation"
+        )
+
+
+def certain_answers_naive(query: Query, table: CoddTable, name: str = "T") -> Relation:
+    """``sure(Q, T)`` by intersecting ``Q`` over every possible world.
+
+    ``name`` is the relation name the query's :class:`Scan` nodes refer to.
+    """
+    _check_enumerable(table)
+    result: Relation | None = None
+    for world in table.possible_worlds():
+        answer = evaluate(query, {name: world})
+        if result is None:
+            result = answer
+        else:
+            result = result.with_rows(result.rows & answer.rows)
+        if not result.rows:
+            break  # the intersection can only shrink
+    assert result is not None  # at least one world always exists
+    return result
+
+
+def possible_answers_naive(query: Query, table: CoddTable, name: str = "T") -> Relation:
+    """The union counterpart: tuples appearing in *some* world's answer."""
+    _check_enumerable(table)
+    result: Relation | None = None
+    for world in table.possible_worlds():
+        answer = evaluate(query, {name: world})
+        result = answer if result is None else result.with_rows(result.rows | answer.rows)
+    assert result is not None
+    return result
+
+
+# ----------------------------------------------------------------------
+# Multi-table databases (worlds are products of per-table worlds)
+# ----------------------------------------------------------------------
+def _iter_database_worlds(database: dict[str, CoddTable]):
+    names = sorted(database)
+    world_iters = [list(database[name].possible_worlds()) for name in names]
+    for combo in itertools.product(*world_iters):
+        yield dict(zip(names, combo))
+
+
+def _check_database_enumerable(database: dict[str, CoddTable]) -> None:
+    total = 1
+    for table in database.values():
+        total *= table.n_worlds()
+    if total > MAX_NAIVE_WORLDS:
+        raise ValueError(
+            f"database has {total} possible worlds, above the naive-enumeration "
+            f"cap {MAX_NAIVE_WORLDS}"
+        )
+
+
+def certain_answers_database(query: Query, database: dict[str, CoddTable]) -> Relation:
+    """``sure(Q, DB)`` over several Codd tables (e.g. a join across two).
+
+    Worlds of the database are the products of each table's worlds (tables
+    are independent); answers certain in every combination are returned.
+    Naive enumeration with the usual world-count guard.
+    """
+    _check_database_enumerable(database)
+    result: Relation | None = None
+    for world in _iter_database_worlds(database):
+        answer = evaluate(query, world)
+        result = answer if result is None else result.with_rows(result.rows & answer.rows)
+        if not result.rows:
+            break
+    assert result is not None
+    return result
+
+
+def possible_answers_database(query: Query, database: dict[str, CoddTable]) -> Relation:
+    """Union counterpart of :func:`certain_answers_database`."""
+    _check_database_enumerable(database)
+    result: Relation | None = None
+    for world in _iter_database_worlds(database):
+        answer = evaluate(query, world)
+        result = answer if result is None else result.with_rows(result.rows | answer.rows)
+    assert result is not None
+    return result
+
+
+# ----------------------------------------------------------------------
+# Tractable select-project evaluation
+# ----------------------------------------------------------------------
+def _unwrap_select_project(
+    query: Query,
+) -> tuple[Select | None, tuple[str, ...] | None, dict[str, str]] | None:
+    """Decompose ``π?(σ?(ρ?(Scan)))`` or return None if the shape differs.
+
+    Returns ``(select_node, projected_attributes, rename_mapping)``; any of
+    the first two may be absent.
+    """
+    project: tuple[str, ...] | None = None
+    if isinstance(query, Project):
+        project = query.attributes
+        query = query.child
+    select: Select | None = None
+    if isinstance(query, Select):
+        select = query
+        query = query.child
+    rename: dict[str, str] = {}
+    if isinstance(query, Rename):
+        rename = dict(query.mapping)
+        query = query.child
+    if isinstance(query, Scan):
+        return select, project, rename
+    return None
+
+
+def _row_local_valuations(row: tuple[Any, ...]):
+    """All completions of one row, enumerating only its own NULL domains."""
+    null_cols = [c for c, cell in enumerate(row) if isinstance(cell, Null)]
+    domains = [row[c].domain for c in null_cols]
+    for combo in itertools.product(*domains):
+        cells = list(row)
+        for c, value in zip(null_cols, combo):
+            cells[c] = value
+        yield tuple(cells)
+
+
+def certain_answers_select_project(query: Query, table: CoddTable) -> Relation:
+    """Certain answers for a select-project(-rename) query over one Codd table.
+
+    Correctness argument (rows independent because every variable appears in
+    one cell): a constant tuple ``u`` is in ``Q(I)`` for every world ``I``
+    iff some row produces ``u`` under **all** of its own completions — if
+    every row had a failing completion, combining those completions would
+    build a world whose answer misses ``u``.
+    """
+    shape = _unwrap_select_project(query)
+    if shape is None:
+        raise ValueError(
+            "query is not of select-project(-rename) shape over a single Scan; "
+            "use certain_answers() for the general (naive) path"
+        )
+    select, project, rename = shape
+    schema = tuple(rename.get(a, a) for a in table.schema)
+    out_schema = project if project is not None else schema
+    out_indices = [schema.index(a) for a in out_schema]
+
+    certain_rows: set[tuple[Any, ...]] = set()
+    for row in table.rows:
+        completions = iter(_row_local_valuations(row))
+        first = next(completions)
+        if select is not None and not select.predicate.holds(schema, first):
+            continue
+        candidate = tuple(first[i] for i in out_indices)
+        ok = True
+        for completion in completions:
+            if select is not None and not select.predicate.holds(schema, completion):
+                ok = False
+                break
+            if tuple(completion[i] for i in out_indices) != candidate:
+                ok = False
+                break
+        if ok:
+            certain_rows.add(candidate)
+    return Relation(out_schema, certain_rows)
+
+
+def possible_answers_select_project(query: Query, table: CoddTable) -> Relation:
+    """Possible answers for the same query fragment: some row, some completion."""
+    shape = _unwrap_select_project(query)
+    if shape is None:
+        raise ValueError(
+            "query is not of select-project(-rename) shape over a single Scan; "
+            "use possible_answers() for the general (naive) path"
+        )
+    select, project, rename = shape
+    schema = tuple(rename.get(a, a) for a in table.schema)
+    out_schema = project if project is not None else schema
+    out_indices = [schema.index(a) for a in out_schema]
+
+    possible_rows: set[tuple[Any, ...]] = set()
+    for row in table.rows:
+        for completion in _row_local_valuations(row):
+            if select is None or select.predicate.holds(schema, completion):
+                possible_rows.add(tuple(completion[i] for i in out_indices))
+    return Relation(out_schema, possible_rows)
+
+
+# ----------------------------------------------------------------------
+# Dispatcher
+# ----------------------------------------------------------------------
+def certain_answers(query: Query, table: CoddTable, name: str = "T") -> Relation:
+    """``sure(Q, T)``: tractable path when possible, naive enumeration otherwise."""
+    if _unwrap_select_project(query) is not None:
+        return certain_answers_select_project(query, table)
+    return certain_answers_naive(query, table, name=name)
+
+
+def possible_answers(query: Query, table: CoddTable, name: str = "T") -> Relation:
+    """Possible answers: tractable path when possible, naive enumeration otherwise."""
+    if _unwrap_select_project(query) is not None:
+        return possible_answers_select_project(query, table)
+    return possible_answers_naive(query, table, name=name)

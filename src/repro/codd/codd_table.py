@@ -1,0 +1,195 @@
+"""Codd tables: relations whose cells may hold NULL variables.
+
+A :class:`CoddTable` is the paper's Figure-1 object: a relation in which
+some cells contain :class:`Null` markers. Each Null is a *distinct* variable
+(Codd semantics: variables are never shared between cells) ranging over a
+finite domain, so a table with nulls ``v_1 .. v_n`` over domains
+``D_1 .. D_n`` represents ``|D_1| × ... × |D_n|`` possible worlds — each a
+complete :class:`~repro.codd.relation.Relation`.
+
+Finite domains keep the possible-world set enumerable, exactly as the
+paper's incomplete *dataset* bounds each candidate set ``C_i`` by ``M``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Any
+
+from repro.codd.relation import Relation, _check_schema
+
+__all__ = ["Null", "CoddTable"]
+
+
+class Null:
+    """A NULL variable with a finite domain of possible values.
+
+    Each instance is a distinct variable; two ``Null`` objects never compare
+    equal even with identical domains (Codd tables do not share variables
+    between cells).
+    """
+
+    __slots__ = ("_domain",)
+
+    def __init__(self, domain: Iterable[Any]) -> None:
+        values = tuple(dict.fromkeys(domain))  # dedupe, keep order
+        if not values:
+            raise ValueError("a NULL variable needs a non-empty domain")
+        self._domain = values
+
+    @property
+    def domain(self) -> tuple[Any, ...]:
+        """The possible values of this variable."""
+        return self._domain
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in self._domain[:3])
+        suffix = ", ..." if len(self._domain) > 3 else ""
+        return f"Null({{{preview}{suffix}}})"
+
+
+class CoddTable:
+    """A relation with NULL variables in some cells.
+
+    Parameters
+    ----------
+    schema:
+        Ordered attribute names.
+    rows:
+        Sequence of tuples whose entries are either constants or
+        :class:`Null` instances. Unlike :class:`Relation`, rows form a
+        *list*, not a set: two rows that look identical before valuation may
+        differ after it.
+    """
+
+    def __init__(self, schema: Sequence[str], rows: Sequence[Sequence[Any]]) -> None:
+        self._schema = _check_schema(schema)
+        arity = len(self._schema)
+        table: list[tuple[Any, ...]] = []
+        variables: list[tuple[int, int, Null]] = []
+        for r, row in enumerate(rows):
+            tup = tuple(row)
+            if len(tup) != arity:
+                raise ValueError(
+                    f"row {r} has arity {len(tup)}, schema {self._schema} needs {arity}"
+                )
+            for c, cell in enumerate(tup):
+                if isinstance(cell, Null):
+                    variables.append((r, c, cell))
+            table.append(tup)
+        self._rows = tuple(table)
+        self._variables = tuple(variables)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> tuple[str, ...]:
+        """Ordered attribute names."""
+        return self._schema
+
+    @property
+    def rows(self) -> tuple[tuple[Any, ...], ...]:
+        """Rows with constants and :class:`Null` markers."""
+        return self._rows
+
+    @property
+    def variables(self) -> tuple[tuple[int, int, Null], ...]:
+        """All NULL variables as ``(row, column, null)`` triples."""
+        return self._variables
+
+    @property
+    def n_variables(self) -> int:
+        """Number of NULL cells."""
+        return len(self._variables)
+
+    def n_worlds(self) -> int:
+        """Exact number of possible worlds (big int)."""
+        return math.prod(len(null.domain) for _, _, null in self._variables)
+
+    def is_complete(self) -> bool:
+        """True iff the table holds no NULLs."""
+        return not self._variables
+
+    def attribute_index(self, name: str) -> int:
+        """Position of attribute ``name`` in the schema."""
+        try:
+            return self._schema.index(name)
+        except ValueError:
+            raise KeyError(f"attribute {name!r} not in schema {self._schema}") from None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"CoddTable(schema={self._schema}, n_rows={len(self._rows)}, "
+            f"n_variables={self.n_variables}, n_worlds={self.n_worlds()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Possible-world semantics
+    # ------------------------------------------------------------------
+    def world(self, valuation: Mapping[tuple[int, int], Any]) -> Relation:
+        """Materialise the world where each NULL cell takes ``valuation[(r, c)]``.
+
+        Every NULL cell must be assigned a value from its domain.
+        """
+        filled: list[tuple[Any, ...]] = []
+        seen: set[tuple[int, int]] = set()
+        for r, row in enumerate(self._rows):
+            cells = []
+            for c, cell in enumerate(row):
+                if isinstance(cell, Null):
+                    if (r, c) not in valuation:
+                        raise KeyError(f"valuation missing NULL cell ({r}, {c})")
+                    value = valuation[(r, c)]
+                    if value not in cell.domain:
+                        raise ValueError(
+                            f"value {value!r} outside the domain of NULL cell ({r}, {c})"
+                        )
+                    cells.append(value)
+                    seen.add((r, c))
+                else:
+                    cells.append(cell)
+            filled.append(tuple(cells))
+        extra = set(valuation) - seen
+        if extra:
+            raise KeyError(f"valuation assigns non-NULL cells {sorted(extra)}")
+        return Relation(self._schema, filled)
+
+    def possible_worlds(self) -> Iterator[Relation]:
+        """Iterate over every possible world (``n_worlds()`` relations).
+
+        The iteration order is the lexicographic product of the variable
+        domains in ``(row, column)`` order, so it is deterministic.
+        """
+        cells = [(r, c) for r, c, _ in self._variables]
+        domains = [null.domain for _, _, null in self._variables]
+        for combo in itertools.product(*domains):
+            yield self.world(dict(zip(cells, combo)))
+
+    # ------------------------------------------------------------------
+    # Constructors / derivation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "CoddTable":
+        """Wrap a complete relation as a Codd table without NULLs."""
+        return cls(relation.schema, sorted(relation.rows, key=repr))
+
+    def with_cell_fixed(self, row: int, column: int, value: Any) -> "CoddTable":
+        """A copy in which NULL cell ``(row, column)`` is replaced by ``value``.
+
+        Mirrors :meth:`repro.core.dataset.IncompleteDataset.with_row_fixed`:
+        the value must come from the variable's domain (validity assumption).
+        """
+        cell = self._rows[row][column]
+        if not isinstance(cell, Null):
+            raise ValueError(f"cell ({row}, {column}) is not NULL")
+        if value not in cell.domain:
+            raise ValueError(f"value {value!r} outside the domain of cell ({row}, {column})")
+        rows = [list(r) for r in self._rows]
+        rows[row][column] = value
+        return CoddTable(self._schema, rows)

@@ -1,0 +1,498 @@
+"""Conditional tables (c-tables): a strong representation system.
+
+Codd tables are a *weak* representation system: the answer of a query over a
+Codd table is in general not itself a Codd table. Conditional tables fix
+this (Imieliński & Lipski): cells may hold shared variables, and each row
+carries a *local condition* — a boolean formula over the variables — that
+states when the row exists. This module implements
+
+* the variable / condition language (:class:`CVar`, :class:`CTrue`,
+  :class:`CComparison`, :class:`CAnd`, :class:`COr`, :class:`CNot`);
+* :class:`CTable` with possible-world semantics over finite variable
+  domains;
+* :func:`evaluate_ctable` — select, project, rename, union, join **and
+  difference** over c-tables, returning c-tables (closure under the full
+  relational algebra);
+* certain-answer extraction: :func:`ctable_certain_rows` (the syntactic
+  fast path: constant rows with valid conditions) and
+  :func:`ctable_certain_answers` (the complete semantics by valuation
+  enumeration).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.codd.algebra import (
+    Attribute,
+    Comparison,
+    Conjunction,
+    Difference,
+    Disjunction,
+    Join,
+    Literal,
+    Negation,
+    Predicate,
+    Project,
+    Query,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.codd.relation import Relation, _check_schema
+
+__all__ = [
+    "CVar",
+    "Condition",
+    "CTrue",
+    "CComparison",
+    "CAnd",
+    "COr",
+    "CNot",
+    "ConditionalRow",
+    "CTable",
+    "evaluate_ctable",
+    "ctable_certain_rows",
+    "ctable_certain_answers",
+    "ctable_possible_answers",
+]
+
+#: Refuse valuation enumeration beyond this many assignments.
+MAX_VALUATIONS = 1_000_000
+
+
+# ----------------------------------------------------------------------
+# Variables and conditions
+# ----------------------------------------------------------------------
+class CVar:
+    """A named variable shared across cells and conditions, over a finite domain."""
+
+    __slots__ = ("name", "domain")
+
+    def __init__(self, name: str, domain: Sequence[Any]) -> None:
+        if not name:
+            raise ValueError("variable names must be non-empty")
+        values = tuple(dict.fromkeys(domain))
+        if not values:
+            raise ValueError(f"variable {name!r} needs a non-empty domain")
+        self.name = name
+        self.domain = values
+
+    def __repr__(self) -> str:
+        return f"CVar({self.name!r})"
+
+
+def _resolve(term: Any, valuation: Mapping[str, Any]) -> Any:
+    if isinstance(term, CVar):
+        return valuation[term.name]
+    return term
+
+
+_COMPARATORS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class CTrue:
+    """The always-true condition."""
+
+    def holds(self, valuation: Mapping[str, Any]) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class CComparison:
+    """``left op right`` where terms are constants or :class:`CVar`."""
+
+    left: Any
+    op: str
+    right: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def holds(self, valuation: Mapping[str, Any]) -> bool:
+        return bool(
+            _COMPARATORS[self.op](_resolve(self.left, valuation), _resolve(self.right, valuation))
+        )
+
+
+@dataclass(frozen=True)
+class CAnd:
+    parts: tuple["Condition", ...]
+
+    def __init__(self, *parts: "Condition") -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def holds(self, valuation: Mapping[str, Any]) -> bool:
+        return all(p.holds(valuation) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class COr:
+    parts: tuple["Condition", ...]
+
+    def __init__(self, *parts: "Condition") -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def holds(self, valuation: Mapping[str, Any]) -> bool:
+        return any(p.holds(valuation) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class CNot:
+    part: "Condition"
+
+    def holds(self, valuation: Mapping[str, Any]) -> bool:
+        return not self.part.holds(valuation)
+
+
+Condition = CTrue | CComparison | CAnd | COr | CNot
+
+
+def _condition_vars(cond: Condition) -> dict[str, CVar]:
+    if isinstance(cond, CTrue):
+        return {}
+    if isinstance(cond, CComparison):
+        out = {}
+        for term in (cond.left, cond.right):
+            if isinstance(term, CVar):
+                out[term.name] = term
+        return out
+    if isinstance(cond, (CAnd, COr)):
+        out = {}
+        for part in cond.parts:
+            out.update(_condition_vars(part))
+        return out
+    if isinstance(cond, CNot):
+        return _condition_vars(cond.part)
+    raise TypeError(f"not a condition: {cond!r}")
+
+
+# ----------------------------------------------------------------------
+# Conditional rows and tables
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConditionalRow:
+    """A row of cell terms plus the condition under which it exists."""
+
+    cells: tuple[Any, ...]
+    condition: Condition = CTrue()
+
+    def __init__(self, cells: Sequence[Any], condition: Condition | None = None) -> None:
+        object.__setattr__(self, "cells", tuple(cells))
+        object.__setattr__(self, "condition", condition if condition is not None else CTrue())
+
+    def instantiate(self, valuation: Mapping[str, Any]) -> tuple[Any, ...] | None:
+        """The concrete tuple in this valuation, or None if the condition fails."""
+        if not self.condition.holds(valuation):
+            return None
+        return tuple(_resolve(cell, valuation) for cell in self.cells)
+
+
+class CTable:
+    """A conditional table: schema, conditional rows, shared variables."""
+
+    def __init__(self, schema: Sequence[str], rows: Sequence[ConditionalRow]) -> None:
+        self._schema = _check_schema(schema)
+        arity = len(self._schema)
+        variables: dict[str, CVar] = {}
+        checked: list[ConditionalRow] = []
+        for i, row in enumerate(rows):
+            if len(row.cells) != arity:
+                raise ValueError(
+                    f"row {i} has arity {len(row.cells)}, schema {self._schema} needs {arity}"
+                )
+            for cell in row.cells:
+                if isinstance(cell, CVar):
+                    self._register(variables, cell)
+            for var in _condition_vars(row.condition).values():
+                self._register(variables, var)
+            checked.append(row)
+        self._rows = tuple(checked)
+        self._variables = dict(sorted(variables.items()))
+
+    @staticmethod
+    def _register(variables: dict[str, CVar], var: CVar) -> None:
+        existing = variables.get(var.name)
+        if existing is not None and existing is not var and existing.domain != var.domain:
+            raise ValueError(
+                f"variable {var.name!r} used with two different domains: "
+                f"{existing.domain} and {var.domain}"
+            )
+        variables[var.name] = var
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> tuple[str, ...]:
+        return self._schema
+
+    @property
+    def rows(self) -> tuple[ConditionalRow, ...]:
+        return self._rows
+
+    @property
+    def variables(self) -> dict[str, CVar]:
+        """All variables by name (cells and conditions combined)."""
+        return dict(self._variables)
+
+    def n_valuations(self) -> int:
+        """Number of variable assignments (product of domain sizes)."""
+        out = 1
+        for var in self._variables.values():
+            out *= len(var.domain)
+        return out
+
+    def valuations(self) -> Iterator[dict[str, Any]]:
+        """Iterate every assignment of all variables, deterministically."""
+        names = list(self._variables)
+        domains = [self._variables[n].domain for n in names]
+        for combo in itertools.product(*domains):
+            yield dict(zip(names, combo))
+
+    def world(self, valuation: Mapping[str, Any]) -> Relation:
+        """The complete relation this valuation induces."""
+        rows = []
+        for row in self._rows:
+            tup = row.instantiate(valuation)
+            if tup is not None:
+                rows.append(tup)
+        return Relation(self._schema, rows)
+
+    def possible_worlds(self) -> Iterator[Relation]:
+        """All worlds (one per valuation; distinct valuations may coincide)."""
+        for valuation in self.valuations():
+            yield self.world(valuation)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"CTable(schema={self._schema}, n_rows={len(self._rows)}, "
+            f"n_variables={len(self._variables)})"
+        )
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "CTable":
+        """Wrap a complete relation: every row exists unconditionally."""
+        return cls(relation.schema, [ConditionalRow(row) for row in sorted(relation.rows, key=repr)])
+
+    @classmethod
+    def from_codd_table(cls, table) -> "CTable":
+        """Lift a Codd table: every NULL becomes a fresh variable ``v{r}_{c}``.
+
+        Codd tables are the special case of c-tables with unconditional rows
+        and unshared variables; certain/possible answers agree between the
+        two representations (tested).
+        """
+        from repro.codd.codd_table import CoddTable, Null
+
+        if not isinstance(table, CoddTable):
+            raise TypeError(f"expected a CoddTable, got {type(table).__name__}")
+        rows = []
+        for r, row in enumerate(table.rows):
+            cells = [
+                CVar(f"v{r}_{c}", cell.domain) if isinstance(cell, Null) else cell
+                for c, cell in enumerate(row)
+            ]
+            rows.append(ConditionalRow(cells))
+        return cls(table.schema, rows)
+
+
+# ----------------------------------------------------------------------
+# Lifting algebra predicates into conditions
+# ----------------------------------------------------------------------
+def _lift_term(term: Attribute | Literal, schema: Sequence[str], cells: Sequence[Any]) -> Any:
+    if isinstance(term, Attribute):
+        try:
+            return cells[list(schema).index(term.name)]
+        except ValueError:
+            raise KeyError(f"attribute {term.name!r} not in schema {tuple(schema)}") from None
+    return term.value
+
+
+def _lift_predicate(pred: Predicate, schema: Sequence[str], cells: Sequence[Any]) -> Condition:
+    """Turn a selection predicate into a condition over the row's cell terms."""
+    if isinstance(pred, Comparison):
+        left = _lift_term(pred.left, schema, cells)
+        right = _lift_term(pred.right, schema, cells)
+        if not isinstance(left, CVar) and not isinstance(right, CVar):
+            # Constant comparison: fold now.
+            return CTrue() if Comparison(Literal(left), pred.op, Literal(right)).holds((), ()) else CNot(CTrue())
+        return CComparison(left, pred.op, right)
+    if isinstance(pred, Conjunction):
+        return CAnd(*(_lift_predicate(p, schema, cells) for p in pred.parts))
+    if isinstance(pred, Disjunction):
+        return COr(*(_lift_predicate(p, schema, cells) for p in pred.parts))
+    if isinstance(pred, Negation):
+        return CNot(_lift_predicate(pred.part, schema, cells))
+    raise TypeError(f"not a predicate: {pred!r}")
+
+
+def _cells_equal_condition(
+    left_cells: Sequence[Any], right_cells: Sequence[Any]
+) -> Condition:
+    """The condition that two tuples of terms are component-wise equal."""
+    parts: list[Condition] = []
+    for a, b in zip(left_cells, right_cells):
+        if not isinstance(a, CVar) and not isinstance(b, CVar):
+            if a != b:
+                return CNot(CTrue())
+            continue
+        parts.append(CComparison(a, "==", b))
+    if not parts:
+        return CTrue()
+    return CAnd(*parts)
+
+
+# ----------------------------------------------------------------------
+# Algebra over c-tables (closure)
+# ----------------------------------------------------------------------
+def evaluate_ctable(query: Query, database: Mapping[str, CTable]) -> CTable:
+    """Evaluate a relational-algebra query over c-tables, returning a c-table.
+
+    The construction follows Imieliński & Lipski: selection conjoins the
+    lifted predicate into each row's condition; projection drops cells;
+    join pairs rows and conjoins cell-equality conditions on the shared
+    attributes; union concatenates; difference keeps a left row with the
+    condition that **no** right row both exists and equals it.
+    """
+    if isinstance(query, Scan):
+        try:
+            return database[query.relation]
+        except KeyError:
+            raise KeyError(
+                f"relation {query.relation!r} not in database {sorted(database)}"
+            ) from None
+    if isinstance(query, Select):
+        child = evaluate_ctable(query.child, database)
+        rows = [
+            ConditionalRow(
+                row.cells,
+                CAnd(row.condition, _lift_predicate(query.predicate, child.schema, row.cells)),
+            )
+            for row in child.rows
+        ]
+        return CTable(child.schema, rows)
+    if isinstance(query, Project):
+        child = evaluate_ctable(query.child, database)
+        indices = [child.schema.index(a) for a in query.attributes]
+        rows = [
+            ConditionalRow(tuple(row.cells[i] for i in indices), row.condition)
+            for row in child.rows
+        ]
+        return CTable(query.attributes, rows)
+    if isinstance(query, Rename):
+        child = evaluate_ctable(query.child, database)
+        mapping = dict(query.mapping)
+        return CTable(tuple(mapping.get(a, a) for a in child.schema), list(child.rows))
+    if isinstance(query, Union):
+        left = evaluate_ctable(query.left, database)
+        right = evaluate_ctable(query.right, database)
+        if left.schema != right.schema:
+            raise ValueError(
+                f"union needs identical schemas, got {left.schema} and {right.schema}"
+            )
+        return CTable(left.schema, list(left.rows) + list(right.rows))
+    if isinstance(query, Join):
+        left = evaluate_ctable(query.left, database)
+        right = evaluate_ctable(query.right, database)
+        shared = [a for a in left.schema if a in right.schema]
+        li = [left.schema.index(a) for a in shared]
+        ri = [right.schema.index(a) for a in shared]
+        right_extra = [i for i, a in enumerate(right.schema) if a not in shared]
+        out_schema = left.schema + tuple(right.schema[i] for i in right_extra)
+        rows = []
+        for lrow in left.rows:
+            for rrow in right.rows:
+                equal = _cells_equal_condition(
+                    [lrow.cells[i] for i in li], [rrow.cells[i] for i in ri]
+                )
+                cells = lrow.cells + tuple(rrow.cells[i] for i in right_extra)
+                rows.append(
+                    ConditionalRow(cells, CAnd(lrow.condition, rrow.condition, equal))
+                )
+        return CTable(out_schema, rows)
+    if isinstance(query, Difference):
+        left = evaluate_ctable(query.left, database)
+        right = evaluate_ctable(query.right, database)
+        if left.schema != right.schema:
+            raise ValueError(
+                f"difference needs identical schemas, got {left.schema} and {right.schema}"
+            )
+        rows = []
+        for lrow in left.rows:
+            absent_parts: list[Condition] = [
+                CNot(CAnd(rrow.condition, _cells_equal_condition(lrow.cells, rrow.cells)))
+                for rrow in right.rows
+            ]
+            rows.append(ConditionalRow(lrow.cells, CAnd(lrow.condition, *absent_parts)))
+        return CTable(left.schema, rows)
+    raise TypeError(f"not a query: {query!r}")
+
+
+# ----------------------------------------------------------------------
+# Certain answers over c-tables
+# ----------------------------------------------------------------------
+def ctable_certain_rows(table: CTable) -> Relation:
+    """The syntactic fast path: constant rows whose condition is valid.
+
+    Sound but not complete — a tuple can be certain through different rows
+    in different valuations; use :func:`ctable_certain_answers` for the full
+    semantics. Validity is checked by enumerating the condition's own
+    variables only.
+    """
+    out: set[tuple[Any, ...]] = set()
+    for row in table.rows:
+        if any(isinstance(cell, CVar) for cell in row.cells):
+            continue
+        own_vars = _condition_vars(row.condition)
+        names = list(own_vars)
+        domains = [own_vars[n].domain for n in names]
+        if all(
+            row.condition.holds(dict(zip(names, combo)))
+            for combo in itertools.product(*domains)
+        ):
+            out.add(row.cells)
+    return Relation(table.schema, out)
+
+
+def _check_valuations(table: CTable) -> None:
+    n = table.n_valuations()
+    if n > MAX_VALUATIONS:
+        raise ValueError(
+            f"c-table has {n} valuations, above the enumeration cap {MAX_VALUATIONS}"
+        )
+
+
+def ctable_certain_answers(table: CTable) -> Relation:
+    """Tuples present in the world of **every** valuation."""
+    _check_valuations(table)
+    result: frozenset[tuple[Any, ...]] | None = None
+    for world in table.possible_worlds():
+        result = world.rows if result is None else result & world.rows
+        if not result:
+            break
+    assert result is not None
+    return Relation(table.schema, result)
+
+
+def ctable_possible_answers(table: CTable) -> Relation:
+    """Tuples present in the world of **some** valuation."""
+    _check_valuations(table)
+    rows: set[tuple[Any, ...]] = set()
+    for world in table.possible_worlds():
+        rows |= world.rows
+    return Relation(table.schema, rows)

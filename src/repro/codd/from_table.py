@@ -1,0 +1,84 @@
+"""From a dirty mixed-type table to a Codd table.
+
+The data side of the library (:mod:`repro.data`) represents dirtiness as
+NaN / missing-category cells; the database side (:mod:`repro.codd`)
+represents it as NULL variables over finite domains. This module converts
+the former into the latter — missing numeric cells get the column's repair
+candidates (min/p25/mean/p75/max) as their domain, missing categorical
+cells the column's top categories — so the *same file* can answer both of
+Figure 1's questions: certain answers to a SQL query and certain
+predictions of a classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codd.codd_table import CoddTable, Null
+from repro.data.io import CsvSchema
+from repro.data.repairs import RepairSpace
+from repro.data.table import MISSING_CATEGORY, Table
+
+__all__ = ["codd_table_from_dirty_table"]
+
+
+def codd_table_from_dirty_table(
+    table: Table,
+    schema: CsvSchema | None = None,
+    repair_space: RepairSpace | None = None,
+) -> CoddTable:
+    """Convert a dirty :class:`Table` into a :class:`CoddTable`.
+
+    Parameters
+    ----------
+    table:
+        The dirty table; missing cells become NULL variables.
+    schema:
+        Optional CSV schema. With it, categorical codes and labels are
+        decoded back to their original strings (so SQL predicates can say
+        ``brand = 'acme'``); without it, integer codes are used.
+    repair_space:
+        Repair candidates defining the NULL domains; built from ``table``
+        with defaults when omitted.
+
+    Returns
+    -------
+    CoddTable
+        Schema is ``numeric_names + categorical_names + [label]``; the label
+        column is always complete.
+    """
+    if repair_space is None:
+        repair_space = RepairSpace(table)
+    label_name = schema.label_name if schema is not None else "label"
+    out_schema = list(table.numeric_names) + list(table.categorical_names) + [label_name]
+
+    def decode_cat(column_index: int, code: int):
+        if schema is None:
+            return int(code)
+        name = table.categorical_names[column_index]
+        encoding = schema.category_encodings[name]
+        if 0 <= code < len(encoding):
+            return encoding[code]
+        return f"<other:{code}>"  # repair candidates include a fresh "other" code
+
+    rows = []
+    for r in range(table.n_rows):
+        cells: list[object] = []
+        for j in range(table.n_numeric):
+            value = table.numeric[r, j]
+            if np.isnan(value):
+                domain = [float(v) for v in repair_space.numeric_candidates[j]]
+                cells.append(Null(domain))
+            else:
+                cells.append(float(value))
+        for j in range(table.n_categorical):
+            code = int(table.categorical[r, j])
+            if code == MISSING_CATEGORY:
+                domain = [decode_cat(j, c) for c in repair_space.categorical_candidates[j]]
+                cells.append(Null(domain))
+            else:
+                cells.append(decode_cat(j, code))
+        label = int(table.labels[r])
+        cells.append(schema.decode_label(label) if schema is not None else label)
+        rows.append(cells)
+    return CoddTable(out_schema, rows)

@@ -1,0 +1,163 @@
+"""Complete relations with named attributes and set semantics.
+
+A :class:`Relation` is the substrate everything else in :mod:`repro.codd`
+builds on: a schema (ordered tuple of attribute names) plus a *set* of rows.
+Set semantics matches the textbook treatment of certain answers (duplicate
+tuples carry no information), and makes the certain-answer intersection
+``sure(Q, T) = ∩ Q(I)`` a plain set intersection.
+
+Cell values are arbitrary hashable Python scalars (numbers, strings,
+booleans); the algebra only ever compares them, so no numeric coercion is
+applied.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+__all__ = ["Relation"]
+
+
+def _check_schema(schema: Sequence[str]) -> tuple[str, ...]:
+    names = tuple(schema)
+    if not names:
+        raise ValueError("a relation needs at least one attribute")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate attribute names in schema {names}")
+    for name in names:
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"attribute names must be non-empty strings, got {name!r}")
+    return names
+
+
+class Relation:
+    """An immutable relation: a schema and a set of same-arity rows.
+
+    Parameters
+    ----------
+    schema:
+        Ordered attribute names, e.g. ``("name", "age")``.
+    rows:
+        Iterable of tuples, each of the schema's arity. Duplicates are
+        collapsed (set semantics).
+    """
+
+    def __init__(self, schema: Sequence[str], rows: Iterable[Sequence[Any]] = ()) -> None:
+        self._schema = _check_schema(schema)
+        arity = len(self._schema)
+        collected: set[tuple[Any, ...]] = set()
+        for row in rows:
+            tup = tuple(row)
+            if len(tup) != arity:
+                raise ValueError(
+                    f"row {tup!r} has arity {len(tup)}, schema {self._schema} needs {arity}"
+                )
+            collected.add(tup)
+        self._rows = frozenset(collected)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> tuple[str, ...]:
+        """Ordered attribute names."""
+        return self._schema
+
+    @property
+    def rows(self) -> frozenset[tuple[Any, ...]]:
+        """The row set."""
+        return self._rows
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self._schema)
+
+    def attribute_index(self, name: str) -> int:
+        """Position of attribute ``name`` in the schema."""
+        try:
+            return self._schema.index(name)
+        except ValueError:
+            raise KeyError(f"attribute {name!r} not in schema {self._schema}") from None
+
+    def column(self, name: str) -> set[Any]:
+        """The set of values appearing in attribute ``name``."""
+        idx = self.attribute_index(name)
+        return {row[idx] for row in self._rows}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def __contains__(self, row: Sequence[Any]) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._schema == other._schema and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._schema, self._rows))
+
+    def __repr__(self) -> str:
+        return f"Relation(schema={self._schema}, n_rows={len(self._rows)})"
+
+    # ------------------------------------------------------------------
+    # Derivation helpers used by the algebra
+    # ------------------------------------------------------------------
+    def with_rows(self, rows: Iterable[Sequence[Any]]) -> "Relation":
+        """A relation with the same schema but different rows."""
+        return Relation(self._schema, rows)
+
+    def renamed(self, mapping: dict[str, str]) -> "Relation":
+        """A copy with attributes renamed via ``mapping`` (missing keys kept)."""
+        new_schema = tuple(mapping.get(name, name) for name in self._schema)
+        return Relation(new_schema, self._rows)
+
+    def project(self, attributes: Sequence[str]) -> "Relation":
+        """Projection onto ``attributes`` (set semantics removes duplicates)."""
+        indices = [self.attribute_index(a) for a in attributes]
+        return Relation(attributes, {tuple(row[i] for i in indices) for row in self._rows})
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union; schemas must match exactly."""
+        self._check_compatible(other, "union")
+        return Relation(self._schema, self._rows | other._rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference ``self - other``; schemas must match exactly."""
+        self._check_compatible(other, "difference")
+        return Relation(self._schema, self._rows - other._rows)
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """Natural join on the shared attribute names.
+
+        With no shared attributes this degenerates to the Cartesian product,
+        as in the textbook definition.
+        """
+        shared = [a for a in self._schema if a in other._schema]
+        left_idx = [self.attribute_index(a) for a in shared]
+        right_idx = [other.attribute_index(a) for a in shared]
+        right_extra = [i for i, a in enumerate(other._schema) if a not in shared]
+        out_schema = self._schema + tuple(other._schema[i] for i in right_extra)
+
+        by_key: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+        for row in other._rows:
+            by_key.setdefault(tuple(row[i] for i in right_idx), []).append(row)
+
+        out_rows: set[tuple[Any, ...]] = set()
+        for row in self._rows:
+            key = tuple(row[i] for i in left_idx)
+            for match in by_key.get(key, ()):
+                out_rows.add(row + tuple(match[i] for i in right_extra))
+        return Relation(out_schema, out_rows)
+
+    def _check_compatible(self, other: "Relation", op: str) -> None:
+        if self._schema != other._schema:
+            raise ValueError(
+                f"{op} needs identical schemas, got {self._schema} and {other._schema}"
+            )

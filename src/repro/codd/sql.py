@@ -1,0 +1,198 @@
+"""A miniature SQL front door for the Codd-table machinery.
+
+The paper presents its Figure-1 example as SQL (``SELECT * FROM Person
+WHERE age < 30``); this module parses exactly that fragment into the
+relational-algebra AST of :mod:`repro.codd.algebra`, so examples, the CLI
+and tests can write the query the way the paper does:
+
+    >>> parse_sql("SELECT name FROM person WHERE age < 30")
+    Project(child=Select(child=Scan(relation='person'), ...), attributes=('name',))
+
+Supported grammar (case-insensitive keywords)::
+
+    query      := SELECT columns FROM identifier [WHERE predicate]
+    columns    := '*' | identifier (',' identifier)*
+    predicate  := disjunct (OR disjunct)*
+    disjunct   := conjunct (AND conjunct)*
+    conjunct   := NOT conjunct | '(' predicate ')' | comparison
+    comparison := term op term,   op ∈ {=, ==, !=, <>, <, <=, >, >=}
+    term       := identifier | number | 'string' | "string"
+
+This is intentionally a fragment — single table, no aggregation, no nested
+queries — matching the select-project class for which certain answers are
+tractable over Codd tables.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.codd.algebra import (
+    Attribute,
+    Comparison,
+    Conjunction,
+    Disjunction,
+    Literal,
+    Negation,
+    Predicate,
+    Project,
+    Query,
+    Scan,
+    Select,
+)
+
+__all__ = ["parse_sql", "SqlError"]
+
+
+class SqlError(ValueError):
+    """Raised on any lexical or syntactic problem in the SQL text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<string>'[^']*'|"[^"]*")
+      | (?P<op><>|<=|>=|!=|==|=|<|>)
+      | (?P<punct>[(),*])
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "or", "not"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise SqlError(f"cannot tokenise SQL at: {remainder[:25]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "ident" and value.lower() in _KEYWORDS:
+            tokens.append(("keyword", value.lower()))
+        else:
+            tokens.append((kind, value))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    def _peek(self) -> tuple[str, str] | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise SqlError("unexpected end of query")
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> str:
+        token = self._next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            want = value if value is not None else kind
+            raise SqlError(f"expected {want!r}, got {token[1]!r}")
+        return token[1]
+
+    # ------------------------------------------------------------------
+    def parse_query(self) -> Query:
+        self._expect("keyword", "select")
+        columns = self._parse_columns()
+        self._expect("keyword", "from")
+        table = self._expect("ident")
+        predicate: Predicate | None = None
+        token = self._peek()
+        if token == ("keyword", "where"):
+            self._next()
+            predicate = self._parse_predicate()
+        if self._peek() is not None:
+            raise SqlError(f"trailing tokens after query: {self._peek()[1]!r}")
+
+        query: Query = Scan(table)
+        if predicate is not None:
+            query = Select(query, predicate)
+        if columns is not None:
+            query = Project(query, columns)
+        return query
+
+    def _parse_columns(self) -> tuple[str, ...] | None:
+        token = self._peek()
+        if token == ("punct", "*"):
+            self._next()
+            return None
+        columns = [self._expect("ident")]
+        while self._peek() == ("punct", ","):
+            self._next()
+            columns.append(self._expect("ident"))
+        return tuple(columns)
+
+    # ------------------------------------------------------------------
+    def _parse_predicate(self) -> Predicate:
+        parts = [self._parse_disjunct()]
+        while self._peek() == ("keyword", "or"):
+            self._next()
+            parts.append(self._parse_disjunct())
+        return parts[0] if len(parts) == 1 else Disjunction(*parts)
+
+    def _parse_disjunct(self) -> Predicate:
+        parts = [self._parse_conjunct()]
+        while self._peek() == ("keyword", "and"):
+            self._next()
+            parts.append(self._parse_conjunct())
+        return parts[0] if len(parts) == 1 else Conjunction(*parts)
+
+    def _parse_conjunct(self) -> Predicate:
+        token = self._peek()
+        if token == ("keyword", "not"):
+            self._next()
+            return Negation(self._parse_conjunct())
+        if token == ("punct", "("):
+            self._next()
+            inner = self._parse_predicate()
+            self._expect("punct", ")")
+            return inner
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Comparison:
+        left = self._parse_term()
+        kind, op = self._next()
+        if kind != "op":
+            raise SqlError(f"expected a comparison operator, got {op!r}")
+        op = {"=": "==", "<>": "!="}.get(op, op)
+        right = self._parse_term()
+        return Comparison(left, op, right)
+
+    def _parse_term(self) -> Attribute | Literal:
+        kind, value = self._next()
+        if kind == "ident":
+            return Attribute(value)
+        if kind == "number":
+            number = float(value)
+            return Literal(int(number) if number.is_integer() else number)
+        if kind == "string":
+            return Literal(value[1:-1])
+        raise SqlError(f"expected a column, number or string, got {value!r}")
+
+
+def parse_sql(text: str) -> Query:
+    """Parse a ``SELECT ... FROM ... [WHERE ...]`` string into the algebra AST.
+
+    Raises :class:`SqlError` on anything outside the supported fragment.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise SqlError("empty query")
+    return _Parser(tokens).parse_query()

@@ -1,0 +1,61 @@
+"""Brute-force answers to the CP queries by world enumeration (paper §2).
+
+This is the paper's "naive algorithm": iterate over every possible world,
+train the classifier, predict, and tally. Its cost is ``O(M^N)``, so it only
+serves as the *ground-truth oracle* for testing the polynomial-time SS and MM
+algorithms on small instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.kernels import Kernel, resolve_kernel
+from repro.core.knn import KNNClassifier
+from repro.core.worlds import DEFAULT_MAX_WORLDS, iter_worlds
+from repro.utils.validation import check_positive_int, check_vector
+
+__all__ = ["brute_force_counts", "brute_force_check"]
+
+
+def brute_force_counts(
+    dataset: IncompleteDataset,
+    t: np.ndarray,
+    k: int = 3,
+    kernel: Kernel | str | None = None,
+    max_worlds: int = DEFAULT_MAX_WORLDS,
+) -> list[int]:
+    """Exact ``Q2`` by enumeration: ``result[y]`` counts worlds predicting ``y``.
+
+    The returned list has one entry per label in ``0 .. dataset.n_labels-1``
+    and sums to the total number of possible worlds.
+    """
+    k = check_positive_int(k, "k")
+    t = check_vector(t, "t", length=dataset.n_features)
+    if k > dataset.n_rows:
+        raise ValueError(f"k={k} exceeds the number of training rows {dataset.n_rows}")
+    kernel = resolve_kernel(kernel)
+
+    counts = [0] * dataset.n_labels
+    labels = dataset.labels
+    for _choice, features in iter_worlds(dataset, max_worlds=max_worlds):
+        clf = KNNClassifier(k=k, kernel=kernel).fit(features, labels)
+        counts[clf.predict_one(t)] += 1
+    return counts
+
+
+def brute_force_check(
+    dataset: IncompleteDataset,
+    t: np.ndarray,
+    label: int,
+    k: int = 3,
+    kernel: Kernel | str | None = None,
+    max_worlds: int = DEFAULT_MAX_WORLDS,
+) -> bool:
+    """Exact ``Q1`` by enumeration: true iff every world predicts ``label``."""
+    counts = brute_force_counts(dataset, t, k=k, kernel=kernel, max_worlds=max_worlds)
+    if not 0 <= label < len(counts):
+        raise ValueError(f"label {label} outside the label space of size {len(counts)}")
+    total = sum(counts)
+    return counts[label] == total

@@ -1,0 +1,196 @@
+"""The incomplete-dataset data model (paper §2, Definitions 1-2).
+
+An :class:`IncompleteDataset` is the paper's ``D = {(C_i, y_i)}``: each
+training example ``i`` has a finite *candidate set* ``C_i`` of possible
+feature vectors and a known class label ``y_i``. A row with a single
+candidate is *certain* (clean); a row with several candidates is *uncertain*
+(dirty). The cross product of all candidate choices induces the set of
+possible worlds (see :mod:`repro.core.worlds`).
+
+Candidate sets are ragged: each row may have a different number of
+candidates. The paper's uniform-``M`` setting is the special case in which
+every dirty row has exactly ``M`` candidates.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+__all__ = ["IncompleteDataset"]
+
+
+class IncompleteDataset:
+    """An incomplete training set ``D = {(C_i, y_i)}``.
+
+    Parameters
+    ----------
+    candidate_sets:
+        A sequence of ``N`` arrays; entry ``i`` has shape ``(m_i, d)`` and
+        lists the candidate feature vectors of row ``i``. ``m_i >= 1``.
+    labels:
+        Integer class labels of shape ``(N,)``; labels are assumed to be
+        ``0 .. n_labels-1`` (use :meth:`from_arrays` helpers upstream to
+        encode arbitrary labels).
+
+    Notes
+    -----
+    Instances are treated as immutable by the query engines; the cleaning
+    code derives new datasets via :meth:`with_row_fixed` /
+    :meth:`restrict_row` instead of mutating in place.
+    """
+
+    def __init__(self, candidate_sets: Sequence[np.ndarray], labels: Sequence[int]) -> None:
+        if len(candidate_sets) == 0:
+            raise ValueError("an incomplete dataset needs at least one row")
+        labels_arr = np.asarray(labels, dtype=np.int64)
+        if labels_arr.ndim != 1 or labels_arr.shape[0] != len(candidate_sets):
+            raise ValueError(
+                f"labels must be a vector of length {len(candidate_sets)}, "
+                f"got shape {labels_arr.shape}"
+            )
+        if labels_arr.min() < 0:
+            raise ValueError("labels must be non-negative integers")
+
+        first = check_matrix(candidate_sets[0], "candidate_sets[0]")
+        dim = first.shape[1]
+        sets: list[np.ndarray] = []
+        for i, cand in enumerate(candidate_sets):
+            matrix = check_matrix(cand, f"candidate_sets[{i}]", n_cols=dim)
+            if matrix.shape[0] < 1:
+                raise ValueError(f"candidate_sets[{i}] must contain at least one candidate")
+            matrix = matrix.copy()
+            matrix.setflags(write=False)
+            sets.append(matrix)
+
+        self._candidate_sets = sets
+        self._labels = labels_arr.copy()
+        self._labels.setflags(write=False)
+        self._dim = dim
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Number of training examples ``N``."""
+        return len(self._candidate_sets)
+
+    @property
+    def n_features(self) -> int:
+        """Feature dimensionality ``d``."""
+        return self._dim
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Read-only label vector of shape ``(N,)``."""
+        return self._labels
+
+    @property
+    def n_labels(self) -> int:
+        """Size of the label space ``|Y|`` (``max label + 1``)."""
+        return int(self._labels.max()) + 1
+
+    def candidates(self, row: int) -> np.ndarray:
+        """The candidate set ``C_row`` as a read-only ``(m_row, d)`` array."""
+        return self._candidate_sets[row]
+
+    def candidate_counts(self) -> np.ndarray:
+        """Vector of candidate-set sizes ``m_i`` for every row."""
+        return np.array([c.shape[0] for c in self._candidate_sets], dtype=np.int64)
+
+    def label_of(self, row: int) -> int:
+        """The (certain) label ``y_row``."""
+        return int(self._labels[row])
+
+    def is_certain(self, row: int) -> bool:
+        """True iff row ``row`` has exactly one candidate."""
+        return self._candidate_sets[row].shape[0] == 1
+
+    def uncertain_rows(self) -> list[int]:
+        """Indices of rows with more than one candidate (dirty rows)."""
+        return [i for i, c in enumerate(self._candidate_sets) if c.shape[0] > 1]
+
+    def certain_rows(self) -> list[int]:
+        """Indices of rows with exactly one candidate (clean rows)."""
+        return [i for i, c in enumerate(self._candidate_sets) if c.shape[0] == 1]
+
+    @property
+    def n_uncertain(self) -> int:
+        """Number of dirty rows."""
+        return len(self.uncertain_rows())
+
+    def n_worlds(self) -> int:
+        """Exact number of possible worlds ``|I_D| = prod_i m_i`` (big int)."""
+        return math.prod(int(c.shape[0]) for c in self._candidate_sets)
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:
+        return (
+            f"IncompleteDataset(n_rows={self.n_rows}, n_features={self.n_features}, "
+            f"n_labels={self.n_labels}, n_uncertain={self.n_uncertain})"
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_complete(cls, features: np.ndarray, labels: Sequence[int]) -> "IncompleteDataset":
+        """Wrap a complete dataset: every row gets a singleton candidate set."""
+        matrix = check_matrix(features, "features")
+        return cls([matrix[i : i + 1] for i in range(matrix.shape[0])], labels)
+
+    # ------------------------------------------------------------------
+    # Derivation (used by cleaning)
+    # ------------------------------------------------------------------
+    def with_row_fixed(self, row: int, value: np.ndarray) -> "IncompleteDataset":
+        """A copy of the dataset in which row ``row`` is certain with ``value``.
+
+        ``value`` must be one of the row's candidates (the *valid dataset*
+        assumption of §2: the true value is always in the candidate set).
+        """
+        value = np.asarray(value, dtype=np.float64).reshape(-1)
+        if value.shape[0] != self._dim:
+            raise ValueError(f"value must have {self._dim} features, got {value.shape[0]}")
+        if not any(np.array_equal(value, cand) for cand in self._candidate_sets[row]):
+            raise ValueError(
+                f"value is not among the {self._candidate_sets[row].shape[0]} "
+                f"candidates of row {row} (the dataset would become invalid)"
+            )
+        sets = list(self._candidate_sets)
+        sets[row] = value.reshape(1, -1)
+        return IncompleteDataset(sets, self._labels)
+
+    def restrict_row(self, row: int, candidate_index: int) -> "IncompleteDataset":
+        """A copy with row ``row`` restricted to its ``candidate_index``-th candidate."""
+        cands = self._candidate_sets[row]
+        if not 0 <= candidate_index < cands.shape[0]:
+            raise IndexError(
+                f"candidate_index {candidate_index} out of range for row {row} "
+                f"with {cands.shape[0]} candidates"
+            )
+        sets = list(self._candidate_sets)
+        sets[row] = cands[candidate_index : candidate_index + 1]
+        return IncompleteDataset(sets, self._labels)
+
+    def world(self, choice: Sequence[int]) -> np.ndarray:
+        """Materialise the possible world selecting ``choice[i]`` from ``C_i``.
+
+        Returns the ``(N, d)`` feature matrix of the world; labels are shared
+        across worlds and available via :attr:`labels`.
+        """
+        if len(choice) != self.n_rows:
+            raise ValueError(f"choice must have length {self.n_rows}, got {len(choice)}")
+        rows = []
+        for i, j in enumerate(choice):
+            cands = self._candidate_sets[i]
+            if not 0 <= j < cands.shape[0]:
+                raise IndexError(f"choice[{i}]={j} out of range (row has {cands.shape[0]} candidates)")
+            rows.append(cands[j])
+        return np.stack(rows, axis=0)

@@ -1,0 +1,62 @@
+"""Prediction probabilities and entropy from exact world counts (paper §4).
+
+``Q2`` returns exact big-integer counts; CPClean's objective is the entropy
+of the induced prediction distribution ``p_y = Q2(D, t, y) / |I_D|``
+(Eq. (3)). Counts can exceed float range, so probabilities are formed with
+:class:`fractions.Fraction` before the (exactly rounded) conversion to float.
+
+Entropies are reported in bits (log base 2); CPClean only compares
+entropies, so the base is a presentation choice.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from fractions import Fraction
+
+__all__ = [
+    "counts_to_probabilities",
+    "prediction_entropy",
+    "certain_label_from_counts",
+    "is_certain_from_counts",
+]
+
+
+def counts_to_probabilities(counts: Sequence[int]) -> list[float]:
+    """Normalise world counts into prediction probabilities.
+
+    Uses exact rational arithmetic so astronomically large counts (the
+    totals grow like ``M^N``) convert without overflow.
+    """
+    total = sum(counts)
+    if total <= 0:
+        raise ValueError("counts must sum to a positive number of worlds")
+    if any(c < 0 for c in counts):
+        raise ValueError("counts must be non-negative")
+    return [float(Fraction(int(c), int(total))) for c in counts]
+
+
+def prediction_entropy(counts: Sequence[int]) -> float:
+    """Shannon entropy (bits) of the prediction distribution of ``counts``.
+
+    Zero iff the prediction is certain (all worlds agree on one label).
+    """
+    probabilities = counts_to_probabilities(counts)
+    return -sum(p * math.log2(p) for p in probabilities if p > 0.0)
+
+
+def certain_label_from_counts(counts: Sequence[int]) -> int | None:
+    """The certainly-predicted label, or ``None`` if worlds disagree."""
+    total = sum(counts)
+    if total <= 0:
+        raise ValueError("counts must sum to a positive number of worlds")
+    for label, count in enumerate(counts):
+        if count == total:
+            return label
+    return None
+
+
+def is_certain_from_counts(counts: Sequence[int]) -> bool:
+    """True iff every possible world predicts the same label."""
+    return certain_label_from_counts(counts) is not None

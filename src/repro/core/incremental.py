@@ -1,0 +1,198 @@
+"""Incremental maintenance of CP state across a cleaning session.
+
+CPClean cleans rows one at a time and, after every step, needs fresh Q2
+counts for *every* validation point. Recomputing each point from scratch
+costs a full SortScan per point. This module maintains the counts
+incrementally using an exact pruning rule:
+
+    If a training row can **never** enter the top-K for a test point — its
+    most similar candidate is still less similar than the K-th largest of
+    the other rows' *guaranteed* (minimum) similarities — then the row's
+    candidate choice never affects the prediction in any world. Pinning
+    such a row to any candidate divides every Q2 count by exactly ``m_row``.
+
+The division is exact big-integer arithmetic, so the maintained counts stay
+bit-for-bit equal to a fresh SortScan (asserted in debug builds and tested
+against :class:`~repro.core.prepared.PreparedQuery`). Points where the rule
+does not fire fall back to a single-scan recount.
+
+On realistic cleaning workloads most (row, test point) pairs are prunable —
+a dirty row is usually far from most validation points — so a cleaning step
+touches only a handful of full recounts. :class:`IncrementalCPState` keeps
+counters (``n_pruned`` / ``n_recomputed``) so the benchmark
+``benchmarks/bench_ablation_incremental.py`` can report the hit rate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.entropy import certain_label_from_counts, prediction_entropy
+from repro.core.kernels import Kernel
+from repro.core.prepared import PreparedQuery
+
+__all__ = ["IncrementalCPState"]
+
+
+class IncrementalCPState:
+    """Exact Q2 counts for many test points, maintained across cleaning steps.
+
+    Parameters
+    ----------
+    dataset:
+        The incomplete training set (never mutated; pins are tracked
+        internally, mirroring :meth:`IncompleteDataset.restrict_row`).
+    test_points:
+        The validation points whose counts are maintained, shape
+        ``(n_points, d)`` or a sequence of ``(d,)`` vectors.
+    k, kernel:
+        KNN parameters, as for :func:`repro.core.queries.q2_counts`.
+    """
+
+    def __init__(
+        self,
+        dataset: IncompleteDataset,
+        test_points: Sequence[np.ndarray] | np.ndarray,
+        k: int = 3,
+        kernel: Kernel | str | None = None,
+    ) -> None:
+        points = np.asarray(test_points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points.reshape(1, -1)
+        if points.ndim != 2 or points.shape[1] != dataset.n_features:
+            raise ValueError(
+                f"test_points must have shape (n_points, {dataset.n_features}), "
+                f"got {points.shape}"
+            )
+        self.dataset = dataset
+        self.k = k
+        self._queries = [PreparedQuery(dataset, points[i], k=k, kernel=kernel) for i in range(points.shape[0])]
+        self._fixed: dict[int, int] = {}
+        self._counts: list[list[int]] = [q.counts() for q in self._queries]
+        # Per point, per row: min and max candidate similarity (pins collapse
+        # both to the pinned similarity).
+        self._mins = np.stack([
+            np.array([sims.min() for sims in q._row_sims]) for q in self._queries
+        ])
+        self._maxs = np.stack([
+            np.array([sims.max() for sims in q._row_sims]) for q in self._queries
+        ])
+        self.n_pruned = 0
+        self.n_recomputed = 0
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        """Number of maintained test points."""
+        return len(self._queries)
+
+    @property
+    def fixed(self) -> dict[int, int]:
+        """The pins applied so far (row index -> candidate index)."""
+        return dict(self._fixed)
+
+    def counts(self, point: int) -> list[int]:
+        """Current Q2 counts of test point ``point`` under all pins so far."""
+        return list(self._counts[point])
+
+    def certain_label(self, point: int) -> int | None:
+        """The CP'ed label of point ``point``, or ``None``."""
+        return certain_label_from_counts(self._counts[point])
+
+    def entropy(self, point: int) -> float:
+        """Prediction entropy of point ``point`` (Equation 3's summand)."""
+        return prediction_entropy(self._counts[point])
+
+    def certain_labels(self) -> list[int | None]:
+        """CP'ed label per point (``None`` where not certain)."""
+        return [certain_label_from_counts(c) for c in self._counts]
+
+    def n_uncertain_points(self) -> int:
+        """How many points are not yet CP'ed."""
+        return sum(1 for c in self._counts if certain_label_from_counts(c) is None)
+
+    def mean_entropy(self) -> float:
+        """The conditional entropy ``H(A_D(Dval) | pins)`` of Equation 3."""
+        if not self._counts:
+            return 0.0
+        return sum(prediction_entropy(c) for c in self._counts) / len(self._counts)
+
+    # ------------------------------------------------------------------
+    # The pruning rule
+    # ------------------------------------------------------------------
+    def _row_irrelevant(self, point: int, row: int) -> bool:
+        """True iff ``row`` cannot be in the top-K of ``point`` in any world.
+
+        Criterion: strictly more than ``K - 1`` *other* rows have a
+        guaranteed (minimum over remaining candidates) similarity strictly
+        above the row's best possible similarity. Then in every world the
+        top-K is filled without the row, so its candidate choice never
+        changes the prediction.
+        """
+        best = self._maxs[point, row]
+        mins = self._mins[point]
+        # Rows whose *every* candidate beats the target row's best candidate.
+        n_dominating = int(np.count_nonzero(mins > best)) - (1 if mins[row] > best else 0)
+        return n_dominating >= self.k
+
+    # ------------------------------------------------------------------
+    # Cleaning steps
+    # ------------------------------------------------------------------
+    def pin(self, row: int, candidate: int) -> None:
+        """Record that ``row`` was cleaned to its ``candidate``-th value.
+
+        Prunable points get their counts divided by the row's candidate
+        count (exact); the rest are recounted with one scan each.
+        """
+        if row in self._fixed:
+            raise ValueError(f"row {row} is already pinned to candidate {self._fixed[row]}")
+        m_row = int(self.dataset.candidate_counts()[row])
+        if not 0 <= candidate < m_row:
+            raise IndexError(
+                f"candidate {candidate} out of range for row {row} with {m_row} candidates"
+            )
+        new_fixed = {**self._fixed, row: candidate}
+
+        for point, query in enumerate(self._queries):
+            if m_row == 1:
+                self.n_pruned += 1  # nothing can change
+            elif self._row_irrelevant(point, row):
+                old = self._counts[point]
+                divided = [c // m_row for c in old]
+                if [c * m_row for c in divided] != old:
+                    raise AssertionError(
+                        "internal error: pruned counts not divisible by the "
+                        f"candidate count {m_row} (point {point}, row {row})"
+                    )
+                self._counts[point] = divided
+                self.n_pruned += 1
+            else:
+                self._counts[point] = query.counts(new_fixed)
+                self.n_recomputed += 1
+            # Tighten the similarity envelope either way.
+            sim = query._row_sims[row][candidate]
+            self._mins[point, row] = sim
+            self._maxs[point, row] = sim
+
+        self._fixed = new_fixed
+
+    def pin_many(self, pins: Sequence[tuple[int, int]]) -> None:
+        """Apply several ``(row, candidate)`` pins in order."""
+        for row, candidate in pins:
+            self.pin(row, candidate)
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Cross-check every maintained count against a fresh scan (testing aid)."""
+        for point, query in enumerate(self._queries):
+            fresh = query.counts(self._fixed)
+            if fresh != self._counts[point]:
+                raise AssertionError(
+                    f"incremental counts diverged at point {point}: "
+                    f"{self._counts[point]} != {fresh}"
+                )

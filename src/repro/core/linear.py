@@ -1,0 +1,87 @@
+"""A small logistic-regression substrate for CP beyond nearest neighbours.
+
+The paper's related work points at Khosravi et al. [24], who study the same
+"what do all possible models predict?" question for logistic regression.
+Exact CP for logistic regression has no known polynomial algorithm; this
+classifier exists so the Monte-Carlo CP estimator
+(:mod:`repro.core.montecarlo`) has a non-KNN model to drive — and so the
+library demonstrates the paper's claim that the *framework* is
+classifier-agnostic even where the efficient algorithms are KNN-specific.
+
+Implementation: multinomial logistic regression trained by full-batch
+gradient descent with L2 regularisation. Deterministic given its inputs
+(zero initialisation), which keeps CP experiments reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_positive_int
+
+__all__ = ["LogisticRegression"]
+
+
+class LogisticRegression:
+    """Multinomial logistic regression via batch gradient descent."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        n_iterations: int = 200,
+        l2: float = 1e-3,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if l2 < 0:
+            raise ValueError(f"l2 must be non-negative, got {l2}")
+        self.learning_rate = float(learning_rate)
+        self.n_iterations = check_positive_int(n_iterations, "n_iterations")
+        self.l2 = float(l2)
+        self._weights: np.ndarray | None = None  # (d + 1, n_labels), bias last
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    @staticmethod
+    def _with_bias(X: np.ndarray) -> np.ndarray:
+        return np.concatenate([X, np.ones((X.shape[0], 1))], axis=1)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        X = self._with_bias(check_matrix(features, "features"))
+        y = np.asarray(labels, dtype=np.int64)
+        if y.ndim != 1 or y.shape[0] != X.shape[0]:
+            raise ValueError("labels must be a vector matching the number of rows")
+        n_labels = int(y.max()) + 1
+        onehot = np.zeros((X.shape[0], n_labels))
+        onehot[np.arange(X.shape[0]), y] = 1.0
+
+        weights = np.zeros((X.shape[1], n_labels))
+        n = X.shape[0]
+        for _ in range(self.n_iterations):
+            probabilities = self._softmax(X @ weights)
+            gradient = X.T @ (probabilities - onehot) / n + self.l2 * weights
+            weights -= self.learning_rate * gradient
+        self._weights = weights
+        return self
+
+    def _require_fitted(self) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("classifier is not fitted; call fit() first")
+        return self._weights
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        weights = self._require_fitted()
+        X = self._with_bias(check_matrix(features, "features", n_cols=weights.shape[0] - 1))
+        return self._softmax(X @ weights)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(features), axis=1)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        predictions = self.predict(features)
+        labels = np.asarray(labels, dtype=np.int64)
+        return float(np.mean(predictions == labels))

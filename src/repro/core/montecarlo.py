@@ -1,0 +1,110 @@
+"""Monte-Carlo approximation of CP queries for arbitrary classifiers.
+
+The paper's general-case analysis (§2, "Computational Challenge") shows that
+without structural assumptions both CP queries require enumerating
+``O(M^N)`` worlds, and its "Moving Forward" section calls for *approximate*
+algorithms beyond KNN. This module implements that extension: sample
+possible worlds uniformly (or from candidate weights), train the given
+classifier on each, and estimate
+
+    ``p_y = Q2(D, t, y) / |I_D|``
+
+with a Hoeffding confidence band. Q1 is answered approximately: "certain"
+means every sampled world agreed *and* the band excludes disagreement at
+the requested confidence.
+
+Works with any classifier factory — the library's KNN (used to validate the
+estimator against exact counts) or e.g. the logistic-regression substrate in
+:mod:`repro.core.linear`, mirroring the Khosravi et al. line of work the
+paper cites.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.worlds import sample_world_choice
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fraction, check_matrix, check_positive_int
+
+__all__ = ["MonteCarloEstimate", "estimate_prediction_probabilities", "sample_size_for"]
+
+#: A classifier factory: (features, labels) -> object with predict(X) -> labels.
+ClassifierFactory = Callable[[np.ndarray, np.ndarray], object]
+
+
+class MonteCarloEstimate:
+    """Sampled prediction distribution for one or more test points."""
+
+    def __init__(self, votes: np.ndarray, n_samples: int, n_labels: int) -> None:
+        self.votes = votes  # (n_test, n_labels) vote counts
+        self.n_samples = n_samples
+        self.n_labels = n_labels
+
+    def probabilities(self) -> np.ndarray:
+        """Estimated ``p_y`` per test point, shape ``(n_test, n_labels)``."""
+        return self.votes / self.n_samples
+
+    def half_width(self, confidence: float = 0.95) -> float:
+        """Two-sided Hoeffding half-width for every estimated probability."""
+        confidence = check_fraction(confidence, "confidence", closed=False)
+        return math.sqrt(math.log(2.0 / (1.0 - confidence)) / (2.0 * self.n_samples))
+
+    def certain_labels(self, confidence: float = 0.95) -> list[int | None]:
+        """Per test point: the label all samples agree on (band-checked), else None.
+
+        This is a *one-sided* approximation of Q1: a returned label can
+        still be wrong with probability at most ``1 - confidence`` (some
+        unsampled world could disagree); ``None`` is always safe.
+        """
+        epsilon = self.half_width(confidence)
+        results: list[int | None] = []
+        for row in self.votes:
+            winner = int(np.argmax(row))
+            unanimous = row[winner] == self.n_samples
+            results.append(winner if unanimous and epsilon < 1.0 else None)
+        return results
+
+
+def sample_size_for(epsilon: float, confidence: float = 0.95) -> int:
+    """Samples needed for a Hoeffding band of half-width ``epsilon``."""
+    epsilon = check_fraction(epsilon, "epsilon", closed=False)
+    confidence = check_fraction(confidence, "confidence", closed=False)
+    return math.ceil(math.log(2.0 / (1.0 - confidence)) / (2.0 * epsilon**2))
+
+
+def estimate_prediction_probabilities(
+    dataset: IncompleteDataset,
+    test_points: np.ndarray,
+    classifier_factory: ClassifierFactory,
+    n_samples: int = 200,
+    seed: int | np.random.Generator | None = None,
+) -> MonteCarloEstimate:
+    """Estimate the CP distribution of every test point by world sampling.
+
+    ``classifier_factory(features, labels)`` must return a fitted model with
+    a ``predict(test_matrix) -> labels`` method; one model is trained per
+    sampled world (``n_samples`` trainings in total).
+    """
+    n_samples = check_positive_int(n_samples, "n_samples")
+    test_points = check_matrix(test_points, "test_points", n_cols=dataset.n_features)
+    rng = ensure_rng(seed)
+    n_labels = dataset.n_labels
+    votes = np.zeros((test_points.shape[0], n_labels), dtype=np.int64)
+    labels = dataset.labels
+    for _ in range(n_samples):
+        choice = sample_world_choice(dataset, rng)
+        model = classifier_factory(dataset.world(choice), labels)
+        predictions = np.asarray(model.predict(test_points), dtype=np.int64)
+        if predictions.shape != (test_points.shape[0],):
+            raise ValueError(
+                "classifier predict() must return one label per test point"
+            )
+        if predictions.min() < 0 or predictions.max() >= n_labels:
+            raise ValueError("classifier predicted a label outside the dataset's label space")
+        votes[np.arange(test_points.shape[0]), predictions] += 1
+    return MonteCarloEstimate(votes, n_samples, n_labels)

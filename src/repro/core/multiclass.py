@@ -1,0 +1,106 @@
+"""SS-DC-MC — counting polynomial in the number of classes (Algorithm A.3).
+
+Enumerating label tallies costs ``O(C(|Y|+K-1, K))``, which explodes for
+large label spaces. Appendix A.3 replaces the enumeration with a second
+dynamic program: for a candidate winning label ``l`` with tally ``c``, count
+the assignments of the remaining ``K - c`` top-K slots to the other labels
+such that no other label beats ``l``.
+
+Our vote tie-break (smallest label wins) sharpens the paper's "no label has
+tally above c" condition into per-label bounds: a label ``l' < l`` must stay
+at most ``c - 1`` (it would win ties), while ``l' > l`` may reach ``c``.
+
+The per-label support arrays come from the same incremental polynomial state
+as the fast engine, so the overall complexity is
+``O(NM (K + log NM + |Y|^2 K^3))`` — polynomial in ``|Y|`` as promised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.engine import LabelPolynomials
+from repro.core.kernels import Kernel
+from repro.core.scan import ScanOrder, compute_scan_order
+from repro.utils.validation import check_positive_int
+
+__all__ = ["sortscan_counts_multiclass", "count_bounded_assignments"]
+
+
+def count_bounded_assignments(arrays: list[list[int]], bounds: list[int], total: int) -> int:
+    """Ways to pick per-array slot counts summing to ``total`` within ``bounds``.
+
+    ``arrays[j][n]`` is the number of ways the ``j``-th label places exactly
+    ``n`` rows in the top-K; ``bounds[j]`` caps that label's tally. This is
+    the recurrence ``D`` of Eq. (A.4), evaluated iteratively.
+    """
+    if total < 0:
+        return 0
+    # dp[k] = ways for the labels processed so far to fill exactly k slots.
+    dp = [0] * (total + 1)
+    dp[0] = 1
+    for coeffs, bound in zip(arrays, bounds):
+        new = [0] * (total + 1)
+        limit = min(bound, len(coeffs) - 1)
+        for filled in range(total + 1):
+            acc = dp[filled]
+            if acc == 0:
+                continue
+            for n in range(0, min(limit, total - filled) + 1):
+                ways = coeffs[n]
+                if ways:
+                    new[filled + n] += acc * ways
+        dp = new
+    return dp[total]
+
+
+def sortscan_counts_multiclass(
+    dataset: IncompleteDataset,
+    t: np.ndarray,
+    k: int = 3,
+    kernel: Kernel | str | None = None,
+    scan: ScanOrder | None = None,
+) -> list[int]:
+    """Q2 counts via SS-DC-MC; identical outputs to the tally-enumeration engines."""
+    k = check_positive_int(k, "k")
+    if k > dataset.n_rows:
+        raise ValueError(f"k={k} exceeds the number of training rows {dataset.n_rows}")
+    if scan is None:
+        scan = compute_scan_order(dataset, t, kernel)
+
+    n_labels = dataset.n_labels
+    state = LabelPolynomials(scan.row_labels, scan.row_counts, k, n_labels)
+    result = [0] * n_labels
+
+    for position in range(scan.n_candidates):
+        i = int(scan.rows[position])
+        state.advance(i)
+        coeffs = state.coefficients_excluding(i)
+        y_i = int(scan.row_labels[i])
+
+        # Full tally distribution per label, accounting for the boundary row
+        # (which forces one member of label y_i into the top-K).
+        tally_ways: list[list[int]] = []
+        for label in range(n_labels):
+            if label == y_i:
+                shifted = [0] * (k + 1)
+                for c in range(1, k + 1):
+                    shifted[c] = coeffs[label][c - 1]
+                tally_ways.append(shifted)
+            else:
+                tally_ways.append(coeffs[label])
+
+        for winner in range(n_labels):
+            ways_winner = tally_ways[winner]
+            others = [tally_ways[label] for label in range(n_labels) if label != winner]
+            other_labels = [label for label in range(n_labels) if label != winner]
+            for c in range(1, k + 1):
+                own = ways_winner[c]
+                if own == 0:
+                    continue
+                bounds = [c - 1 if label < winner else c for label in other_labels]
+                assignments = count_bounded_assignments(others, bounds, k - c)
+                if assignments:
+                    result[winner] += own * assignments
+    return result

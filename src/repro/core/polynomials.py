@@ -1,0 +1,92 @@
+"""Truncated integer polynomials for exact world counting.
+
+The SS engines represent, per label ``l``, the generating polynomial
+
+    ``P_l(z) = prod_n (alpha_n + (m_n - alpha_n) * z)``
+
+whose coefficient of ``z^c`` counts the ways the rows of label ``l`` place
+exactly ``c`` members above the scan boundary. Only coefficients up to
+``z^K`` are ever needed, so all operations truncate at a fixed degree.
+
+Coefficients are Python integers, so counts are exact no matter how many
+possible worlds the dataset induces (the totals grow like ``M^N``).
+
+The key trick (enabling the ``O(K)``-per-step incremental engine) is that the
+*quotient* of a truncated product by one of its linear factors is itself
+computable from the truncated coefficients alone: with ``P = (a + b z) * Q``
+and ``a > 0``, the recurrence ``q_c = (p_c - b * q_{c-1}) / a`` only consults
+``p_0 .. p_c``, and every division is exact because the untruncated quotient
+has integer coefficients. Factors with ``a == 0`` are never divided out —
+the engine tracks them in a separate "forced" set instead.
+"""
+
+from __future__ import annotations
+
+__all__ = ["poly_one", "poly_mul_linear", "poly_div_linear", "poly_mul", "poly_eval"]
+
+
+def poly_one(degree: int) -> list[int]:
+    """The constant polynomial ``1`` as a coefficient list of length ``degree+1``."""
+    if degree < 0:
+        raise ValueError(f"degree must be non-negative, got {degree}")
+    coeffs = [0] * (degree + 1)
+    coeffs[0] = 1
+    return coeffs
+
+
+def poly_mul_linear(coeffs: list[int], a: int, b: int) -> list[int]:
+    """Return ``coeffs * (a + b z)`` truncated to the same degree."""
+    degree = len(coeffs) - 1
+    result = [0] * (degree + 1)
+    for c in range(degree, -1, -1):
+        value = a * coeffs[c]
+        if c > 0:
+            value += b * coeffs[c - 1]
+        result[c] = value
+    return result
+
+
+def poly_div_linear(coeffs: list[int], a: int, b: int) -> list[int]:
+    """Return ``coeffs / (a + b z)`` truncated to the same degree.
+
+    Requires ``a != 0`` and that ``(a + b z)`` exactly divides the
+    (untruncated) polynomial that ``coeffs`` truncates — which holds by
+    construction when dividing a product by one of its own factors.
+    """
+    if a == 0:
+        raise ZeroDivisionError("cannot divide by a linear factor with zero constant term")
+    degree = len(coeffs) - 1
+    quotient = [0] * (degree + 1)
+    prev = 0
+    for c in range(degree + 1):
+        numerator = coeffs[c] - b * prev
+        q, remainder = divmod(numerator, a)
+        if remainder:
+            raise ArithmeticError(
+                "inexact division: the linear factor does not divide the polynomial"
+            )
+        quotient[c] = q
+        prev = q
+    return quotient
+
+
+def poly_mul(left: list[int], right: list[int], degree: int) -> list[int]:
+    """Product of two coefficient lists truncated at ``degree``."""
+    result = [0] * (degree + 1)
+    for i, li in enumerate(left):
+        if li == 0 or i > degree:
+            continue
+        upper = min(len(right) - 1, degree - i)
+        for j in range(upper + 1):
+            rj = right[j]
+            if rj:
+                result[i + j] += li * rj
+    return result
+
+
+def poly_eval(coeffs: list[int], z: float) -> float:
+    """Evaluate the polynomial at ``z`` (Horner); used only in tests."""
+    value = 0.0
+    for coeff in reversed(coeffs):
+        value = value * z + coeff
+    return value

@@ -1,0 +1,122 @@
+"""The public CP query API: Q1 (checking) and Q2 (counting).
+
+This module is the front door to the counting machinery. It dispatches to
+the implementation summarised in the paper's Figure 4:
+
+=============  =========================  ===============================
+query          algorithm                  complexity (per test example)
+=============  =========================  ===============================
+Q1, binary     ``minmax`` (Algorithm 2)   ``O(NM + N log K)``
+Q1, any |Y|    via Q2                     as Q2
+Q2             ``engine`` (fast SS)       ``O(NM (K + log NM + |Gamma|))``
+Q2             ``tree`` (SS-DC, A.1)      ``O(NM (log NM + K^2 log N))``
+Q2             ``multiclass`` (A.3)       ``O(NM (log NM + |Y|^2 K^3))``
+Q2             ``naive`` (Algorithm 1)    ``O(N^2 M K |Y|)`` reference
+Q2             ``bruteforce``             ``O(M^N)`` oracle
+=============  =========================  ===============================
+
+All Q2 backends return identical exact counts; ``algorithm="auto"`` picks
+the fast engine for Q2 and MinMax for binary Q1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bruteforce import brute_force_counts
+from repro.core.dataset import IncompleteDataset
+from repro.core.engine import sortscan_counts
+from repro.core.entropy import certain_label_from_counts
+from repro.core.kernels import Kernel
+from repro.core.minmax import minmax_check, predictable_labels
+from repro.core.multiclass import sortscan_counts_multiclass
+from repro.core.sortscan import sortscan_counts_naive
+from repro.core.sortscan_tree import sortscan_counts_tree
+from repro.utils.validation import check_in_options
+
+__all__ = ["q2", "q2_counts", "q1", "certain_label"]
+
+_Q2_BACKENDS = {
+    "engine": sortscan_counts,
+    "tree": sortscan_counts_tree,
+    "multiclass": sortscan_counts_multiclass,
+    "naive": sortscan_counts_naive,
+    "bruteforce": brute_force_counts,
+}
+
+
+def q2_counts(
+    dataset: IncompleteDataset,
+    t: np.ndarray,
+    k: int = 3,
+    kernel: Kernel | str | None = None,
+    algorithm: str = "auto",
+) -> list[int]:
+    """All Q2 counts at once: ``result[y] = Q2(D, t, y)``.
+
+    The entries are exact and sum to the number of possible worlds.
+    """
+    algorithm = check_in_options(algorithm, "algorithm", ("auto", *_Q2_BACKENDS))
+    backend = _Q2_BACKENDS["engine" if algorithm == "auto" else algorithm]
+    return backend(dataset, t, k=k, kernel=kernel)
+
+
+def q2(
+    dataset: IncompleteDataset,
+    t: np.ndarray,
+    label: int,
+    k: int = 3,
+    kernel: Kernel | str | None = None,
+    algorithm: str = "auto",
+) -> int:
+    """The counting query ``Q2(D, t, label)`` (Definition 5)."""
+    counts = q2_counts(dataset, t, k=k, kernel=kernel, algorithm=algorithm)
+    if not 0 <= label < len(counts):
+        raise ValueError(f"label {label} outside the label space of size {len(counts)}")
+    return counts[label]
+
+
+def q1(
+    dataset: IncompleteDataset,
+    t: np.ndarray,
+    label: int,
+    k: int = 3,
+    kernel: Kernel | str | None = None,
+    algorithm: str = "auto",
+) -> bool:
+    """The checking query ``Q1(D, t, label)`` (Definition 4).
+
+    ``algorithm="minmax"`` forces Algorithm 2 (binary labels only);
+    ``"auto"`` uses MinMax when the dataset is binary and the counting
+    engine otherwise.
+    """
+    algorithm = check_in_options(algorithm, "algorithm", ("auto", "minmax", *_Q2_BACKENDS))
+    if algorithm == "minmax" or (algorithm == "auto" and dataset.n_labels == 2):
+        return minmax_check(dataset, t, label, k=k, kernel=kernel)
+    counts = q2_counts(
+        dataset, t, k=k, kernel=kernel, algorithm="auto" if algorithm == "auto" else algorithm
+    )
+    if not 0 <= label < len(counts):
+        raise ValueError(f"label {label} outside the label space of size {len(counts)}")
+    return counts[label] == sum(counts)
+
+
+def certain_label(
+    dataset: IncompleteDataset,
+    t: np.ndarray,
+    k: int = 3,
+    kernel: Kernel | str | None = None,
+    algorithm: str = "auto",
+) -> int | None:
+    """The certainly-predicted label of ``t``, or ``None`` if not CP'ed.
+
+    Convenience wrapper: a test point is CP'ed iff this returns a label.
+    """
+    algorithm = check_in_options(algorithm, "algorithm", ("auto", "minmax", *_Q2_BACKENDS))
+    if algorithm == "minmax" or (algorithm == "auto" and dataset.n_labels == 2):
+        winners = predictable_labels(dataset, t, k=k, kernel=kernel)
+        return winners[0] if len(winners) == 1 else None
+    counts = q2_counts(
+        dataset, t, k=k, kernel=kernel, algorithm="auto" if algorithm == "auto" else algorithm
+    )
+    return certain_label_from_counts(counts)

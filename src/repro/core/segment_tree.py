@@ -1,0 +1,106 @@
+"""Segment tree of truncated label-support polynomials (paper Appendix A.2).
+
+The SS-DC optimisation maintains the dynamic-programming results in a binary
+tree: each leaf holds one row's linear factor ``(alpha_n + (m_n - alpha_n) z)``
+and each internal node the truncated product of its children
+(the paper's sum-of-products merge ``T(c, a, b) = sum_k T(k, a, m) *
+T(c - k, m+1, b)``). Updating one row touches ``O(log N)`` nodes at
+``O(K^2)`` each — the ``O(K^2 log N)`` per-step cost in the paper's
+complexity summary (Figure 4).
+
+Unlike the division-based engine, the tree never divides, so it handles
+zero constant terms (rows forced above the boundary) without special casing
+— this is the paper's motivation for the structure.
+"""
+
+from __future__ import annotations
+
+from repro.core.polynomials import poly_mul
+
+__all__ = ["PolySegmentTree"]
+
+
+class PolySegmentTree:
+    """A fixed-size segment tree over truncated integer polynomials.
+
+    Parameters
+    ----------
+    n_leaves:
+        Number of leaf slots (rows of one label).
+    degree:
+        Truncation degree ``K``; every node stores ``K + 1`` coefficients.
+
+    All leaves start as the constant polynomial ``1``, so an empty tree has
+    root ``1`` and absent rows are neutral.
+    """
+
+    def __init__(self, n_leaves: int, degree: int) -> None:
+        if n_leaves < 0:
+            raise ValueError(f"n_leaves must be non-negative, got {n_leaves}")
+        if degree < 0:
+            raise ValueError(f"degree must be non-negative, got {degree}")
+        self.degree = degree
+        size = 1
+        while size < max(n_leaves, 1):
+            size *= 2
+        self._size = size
+        one = [1] + [0] * degree
+        self._nodes: list[list[int]] = [list(one) for _ in range(2 * size)]
+        self.n_leaves = n_leaves
+
+    # ------------------------------------------------------------------
+    def _recompute_path(self, position: int) -> None:
+        node = (self._size + position) // 2
+        while node >= 1:
+            left = self._nodes[2 * node]
+            right = self._nodes[2 * node + 1]
+            self._nodes[node] = poly_mul(left, right, self.degree)
+            node //= 2
+
+    def set_leaf(self, position: int, coeffs: list[int]) -> None:
+        """Replace the polynomial at ``position`` and update its ancestors."""
+        if not 0 <= position < self.n_leaves:
+            raise IndexError(f"leaf position {position} out of range [0, {self.n_leaves})")
+        if len(coeffs) != self.degree + 1:
+            raise ValueError(f"coeffs must have length {self.degree + 1}, got {len(coeffs)}")
+        self._nodes[self._size + position] = list(coeffs)
+        self._recompute_path(position)
+
+    def set_linear_leaf(self, position: int, a: int, b: int) -> None:
+        """Set leaf ``position`` to the linear factor ``a + b z``."""
+        coeffs = [0] * (self.degree + 1)
+        coeffs[0] = a
+        if self.degree >= 1:
+            coeffs[1] = b
+        self.set_leaf(position, coeffs)
+
+    def leaf(self, position: int) -> list[int]:
+        """A copy of the polynomial currently stored at ``position``."""
+        if not 0 <= position < self.n_leaves:
+            raise IndexError(f"leaf position {position} out of range [0, {self.n_leaves})")
+        return list(self._nodes[self._size + position])
+
+    def root(self) -> list[int]:
+        """The truncated product of all leaves (a copy)."""
+        return list(self._nodes[1])
+
+    def root_with_leaf(self, position: int, coeffs: list[int]) -> list[int]:
+        """The root polynomial with ``position`` temporarily replaced.
+
+        Implements the SS-DC boundary query: the boundary row's leaf becomes
+        the "must be in top-K" polynomial ``z`` for one evaluation without
+        disturbing the maintained state. Walks one root-to-leaf path, so the
+        cost matches :meth:`set_leaf`.
+        """
+        if len(coeffs) != self.degree + 1:
+            raise ValueError(f"coeffs must have length {self.degree + 1}, got {len(coeffs)}")
+        node = self._size + position
+        current = list(coeffs)
+        while node > 1:
+            sibling = node ^ 1
+            if node % 2 == 0:  # current node is a left child
+                current = poly_mul(current, self._nodes[sibling], self.degree)
+            else:
+                current = poly_mul(self._nodes[sibling], current, self.degree)
+            node //= 2
+        return current

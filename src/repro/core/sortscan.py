@@ -1,0 +1,118 @@
+"""SS (SortScan) — faithful implementation of the paper's Algorithm 1.
+
+For every candidate ``x_{i,j}`` (scanned in increasing similarity), the
+algorithm computes the *label support* ``C^{i,j}_l(c, N)`` — the number of
+ways, among the worlds in which ``x_{i,j}`` is the K-th most similar example
+(the *boundary set*), for the rows of label ``l`` to contribute exactly ``c``
+members to the top-K — via the dynamic program of §3.1.1:
+
+* ``y_n != l``      → row ``n`` cannot contribute: carry the count over;
+* ``n == i``        → row ``i`` is always in the top-K: consume a slot;
+* otherwise         → either keep row ``n`` below the boundary (``alpha[n]``
+  candidate choices) or lift it above (``m_n - alpha[n]`` choices).
+
+The support of a full tally ``gamma`` is the product of per-label supports,
+and Q2 sums supports grouped by the tally's winning label.
+
+This module keeps the per-candidate DP exactly as published —
+``O(N * K)`` per label per candidate, ``O(N^2 M K |Y|)`` overall — and exists
+as the readable reference implementation. The production engine with the
+same outputs but a much lower complexity lives in :mod:`repro.core.engine`;
+the divide-and-conquer variant of Appendix A.2 in
+:mod:`repro.core.sortscan_tree`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.kernels import Kernel
+from repro.core.scan import ScanOrder, compute_scan_order
+from repro.core.tally import tallies_with_prediction
+from repro.utils.validation import check_positive_int
+
+__all__ = ["sortscan_counts_naive", "label_support_dp"]
+
+
+def label_support_dp(
+    alpha: np.ndarray,
+    row_labels: np.ndarray,
+    row_counts: np.ndarray,
+    boundary_row: int,
+    label: int,
+    k: int,
+) -> list[int]:
+    """The paper's DP ``C^{i,j}_l(c, N)`` for ``c = 0 .. k``.
+
+    ``alpha[n]`` must hold the similarity tally of row ``n`` with respect to
+    the boundary candidate (the number of candidates of row ``n`` that are at
+    most as similar).
+    """
+    # dp[c] = C_l(c, n) as n sweeps the rows; C_l(-1, n) = 0. The paper
+    # states the base condition as C_l(c, 0) = 1, but the recursion only
+    # counts *exactly* c top-K members with C_l(0, 0) = 1 and
+    # C_l(c > 0, 0) = 0 (with the published base, supports come out "at
+    # most c" and Q2 overcounts; compare Example 5, which uses the exact
+    # semantics). We follow the exact semantics.
+    dp = [0] * (k + 1)
+    dp[0] = 1
+    for n in range(row_labels.shape[0]):
+        if row_labels[n] != label:
+            continue
+        if n == boundary_row:
+            # Row i is in the top-K by definition; it consumes one slot.
+            for c in range(k, 0, -1):
+                dp[c] = dp[c - 1]
+            dp[0] = 0
+        else:
+            below = int(alpha[n])
+            above = int(row_counts[n]) - below
+            for c in range(k, 0, -1):
+                dp[c] = below * dp[c] + above * dp[c - 1]
+            dp[0] = below * dp[0]
+    return dp
+
+
+def sortscan_counts_naive(
+    dataset: IncompleteDataset,
+    t: np.ndarray,
+    k: int = 3,
+    kernel: Kernel | str | None = None,
+    scan: ScanOrder | None = None,
+) -> list[int]:
+    """Q2 counts via the faithful Algorithm 1 (reference implementation).
+
+    Returns ``r`` with ``r[y] = Q2(D, t, y)`` for every label ``y``; the
+    entries sum to the exact number of possible worlds.
+    """
+    k = check_positive_int(k, "k")
+    if k > dataset.n_rows:
+        raise ValueError(f"k={k} exceeds the number of training rows {dataset.n_rows}")
+    if scan is None:
+        scan = compute_scan_order(dataset, t, kernel)
+
+    n_labels = dataset.n_labels
+    tallies = tallies_with_prediction(k, n_labels)
+    alpha = np.zeros(scan.n_rows, dtype=np.int64)
+    result = [0] * n_labels
+
+    for position in range(scan.n_candidates):
+        i = int(scan.rows[position])
+        alpha[i] += 1
+        supports = [
+            label_support_dp(alpha, scan.row_labels, scan.row_counts, i, label, k)
+            for label in range(n_labels)
+        ]
+        y_i = int(scan.row_labels[i])
+        for tally, winner in tallies:
+            if tally[y_i] < 1:
+                # Row i is in the top-K, so its label must appear in the tally.
+                continue
+            support = 1
+            for label, slots in enumerate(tally):
+                support *= supports[label][slots]
+                if support == 0:
+                    break
+            result[winner] += support
+    return result

@@ -1,0 +1,60 @@
+"""Label-tally vectors and their induced predictions (paper §3.1.1).
+
+A *label tally* ``gamma`` records, for every label, how many members of the
+top-K set carry that label. The KNN prediction of a possible world is fully
+determined by its tally, so the SS algorithms enumerate tallies instead of
+worlds. ``Gamma`` (the set of valid tallies) contains every non-negative
+integer vector over the label space summing to exactly ``K``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+__all__ = ["valid_tallies", "predicted_label", "tallies_with_prediction"]
+
+
+@lru_cache(maxsize=None)
+def valid_tallies(k: int, n_labels: int) -> tuple[tuple[int, ...], ...]:
+    """All tallies ``gamma`` with ``len(gamma) == n_labels`` and ``sum == k``.
+
+    The number of tallies is ``C(n_labels + k - 1, k)`` — the paper's
+    ``|Gamma|``. Results are cached; tallies are returned in lexicographic
+    order for determinism.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if n_labels < 1:
+        raise ValueError(f"n_labels must be >= 1, got {n_labels}")
+
+    def compositions(total: int, parts: int) -> list[tuple[int, ...]]:
+        if parts == 1:
+            return [(total,)]
+        result = []
+        for first in range(total + 1):
+            for rest in compositions(total - first, parts - 1):
+                result.append((first, *rest))
+        return result
+
+    return tuple(compositions(k, n_labels))
+
+
+def predicted_label(tally: tuple[int, ...]) -> int:
+    """The label a KNN vote with counts ``tally`` predicts.
+
+    Uses the library-wide tie-break: the smallest label among the maxima
+    (consistent with :func:`repro.core.knn.majority_label`).
+    """
+    best_label = 0
+    best_count = tally[0]
+    for label, count in enumerate(tally):
+        if count > best_count:
+            best_label = label
+            best_count = count
+    return best_label
+
+
+@lru_cache(maxsize=None)
+def tallies_with_prediction(k: int, n_labels: int) -> tuple[tuple[tuple[int, ...], int], ...]:
+    """Pairs ``(tally, predicted_label(tally))`` for every valid tally (cached)."""
+    return tuple((tally, predicted_label(tally)) for tally in valid_tallies(k, n_labels))

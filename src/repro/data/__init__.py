@@ -1,0 +1,42 @@
+"""Data substrates: tables, synthetic recipes, missingness, repairs, encoding."""
+
+from repro.data.importance import feature_importances
+from repro.data.ingest import CsvWorkload, incomplete_from_dirty_table, load_csv_workload
+from repro.data.io import MISSING_TOKENS, CsvSchema, read_csv, write_csv
+from repro.data.missingness import inject_mar, inject_mcar, inject_mnar_by_importance
+from repro.data.preprocess import TableEncoder
+from repro.data.recipes import RECIPES, RecipeInfo, make_table, recipe_names
+from repro.data.repairs import RepairSpace, default_clean
+from repro.data.splits import Splits, train_val_test_split
+from repro.data.synth import SyntheticSpec, generate_table
+from repro.data.table import MISSING_CATEGORY, Table
+from repro.data.task import CleaningTask, build_cleaning_task
+
+__all__ = [
+    "Table",
+    "MISSING_CATEGORY",
+    "SyntheticSpec",
+    "generate_table",
+    "RecipeInfo",
+    "RECIPES",
+    "make_table",
+    "recipe_names",
+    "TableEncoder",
+    "Splits",
+    "train_val_test_split",
+    "feature_importances",
+    "inject_mcar",
+    "inject_mar",
+    "inject_mnar_by_importance",
+    "RepairSpace",
+    "default_clean",
+    "CleaningTask",
+    "build_cleaning_task",
+    "CsvSchema",
+    "read_csv",
+    "write_csv",
+    "MISSING_TOKENS",
+    "CsvWorkload",
+    "incomplete_from_dirty_table",
+    "load_csv_workload",
+]

@@ -1,0 +1,96 @@
+"""Feature-importance estimation by leave-one-attribute-out accuracy loss.
+
+The paper injects missing values "Missing Not At Random": the probability of
+an attribute going missing is proportional to its *relative importance*,
+measured as the accuracy loss after removing the attribute (§5.1). This
+module reproduces that measurement with the library's own KNN substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.knn import KNNClassifier
+from repro.data.preprocess import TableEncoder
+from repro.data.table import Table
+from repro.utils.rng import ensure_rng
+
+__all__ = ["feature_importances"]
+
+
+def _drop_attribute(table: Table, attribute: int) -> Table:
+    """A copy of ``table`` without the given attribute (numeric first, then categorical)."""
+    if attribute < table.n_numeric:
+        keep = [j for j in range(table.n_numeric) if j != attribute]
+        return Table(
+            table.numeric[:, keep],
+            table.categorical,
+            table.labels,
+            [table.numeric_names[j] for j in keep],
+            list(table.categorical_names),
+        )
+    cat_index = attribute - table.n_numeric
+    keep = [j for j in range(table.n_categorical) if j != cat_index]
+    return Table(
+        table.numeric,
+        table.categorical[:, keep],
+        table.labels,
+        list(table.numeric_names),
+        [table.categorical_names[j] for j in keep],
+    )
+
+
+def _holdout_accuracy(table: Table, k: int, rng: np.random.Generator) -> float:
+    """KNN accuracy on a deterministic holdout split of a complete table."""
+    n = table.n_rows
+    n_holdout = max(10, n // 4)
+    order = rng.permutation(n)
+    holdout, train = order[:n_holdout], order[n_holdout:]
+    train_table = table.take(train)
+    holdout_table = table.take(holdout)
+    encoder = TableEncoder().fit(train_table)
+    clf = KNNClassifier(k=min(k, train_table.n_rows)).fit(
+        encoder.encode_table(train_table), train_table.labels
+    )
+    return clf.accuracy(encoder.encode_table(holdout_table), holdout_table.labels)
+
+
+def feature_importances(
+    table: Table,
+    k: int = 3,
+    n_repeats: int = 3,
+    max_rows: int = 600,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Relative attribute importances of a *complete* table.
+
+    Returns a probability vector over the ``n_features`` attributes
+    (numeric attributes first, categorical after), proportional to the mean
+    accuracy drop when the attribute is removed, floored at a small epsilon
+    so every attribute keeps a non-zero missing probability.
+    """
+    if table.dirty_rows().size:
+        raise ValueError("feature importances must be measured on a complete table")
+    rng = ensure_rng(seed)
+    if table.n_rows > max_rows:
+        subset = rng.choice(table.n_rows, size=max_rows, replace=False)
+        table = table.take(subset)
+
+    n_features = table.n_features
+    drops = np.zeros(n_features)
+    for _ in range(n_repeats):
+        # One split per repeat, shared between the base and every reduced
+        # table, so the comparison isolates the attribute's contribution.
+        split_seed = int(rng.integers(0, 2**63))
+        base = _holdout_accuracy(table, k, np.random.default_rng(split_seed))
+        for attribute in range(n_features):
+            reduced = _drop_attribute(table, attribute)
+            acc = _holdout_accuracy(reduced, k, np.random.default_rng(split_seed))
+            drops[attribute] += base - acc
+    drops /= n_repeats
+
+    # Negative drops (attribute was noise) are clipped; a floor keeps the
+    # distribution supported everywhere.
+    floor = 0.02
+    weights = np.clip(drops, 0.0, None) + floor
+    return weights / weights.sum()

@@ -1,0 +1,142 @@
+"""From a dirty file to a CP-ready workload.
+
+Glue between :mod:`repro.data.io` (CSV loading) and the core data model:
+build the candidate-repair space of a dirty :class:`~repro.data.table.Table`
+(§5.1's protocol: numeric min/p25/mean/p75/max, top-4 categories + "other",
+Cartesian products per row) and encode everything into an
+:class:`~repro.core.dataset.IncompleteDataset`, holding out complete rows as
+the validation set the cleaning loop needs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import IncompleteDataset
+from repro.data.io import CsvSchema, read_csv
+from repro.data.preprocess import TableEncoder
+from repro.data.repairs import RepairSpace
+from repro.data.table import Table
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["CsvWorkload", "incomplete_from_dirty_table", "load_csv_workload"]
+
+
+def incomplete_from_dirty_table(
+    table: Table, max_row_candidates: int = 25
+) -> tuple[IncompleteDataset, RepairSpace, TableEncoder]:
+    """Encode a dirty table into the paper's incomplete-dataset model.
+
+    Every row's candidate set is the Cartesian product of its missing
+    cells' per-column repairs (a single candidate when the row is clean),
+    one-hot/standardised by a :class:`TableEncoder` fitted on the table.
+    """
+    repair_space = RepairSpace(table, max_row_candidates=max_row_candidates)
+    encoder = TableEncoder().fit(table)
+    candidate_sets: list[np.ndarray] = []
+    for row in range(table.n_rows):
+        versions = repair_space.row_repairs(row)
+        numeric = np.stack([num for num, _cat in versions])
+        categorical = np.stack([cat for _num, cat in versions])
+        candidate_sets.append(encoder.encode_rows(numeric, categorical))
+    return IncompleteDataset(candidate_sets, table.labels), repair_space, encoder
+
+
+@dataclass
+class CsvWorkload:
+    """Everything a screening/cleaning run needs, loaded from one CSV.
+
+    Attributes
+    ----------
+    incomplete:
+        The training rows (dirty rows plus the clean rows not held out),
+        with candidate-repair sets.
+    val_X / val_y:
+        Held-out *complete* rows (the paper assumes ``Dval`` is clean).
+    train_rows / val_rows:
+        Original CSV row indices of the two parts.
+    table / schema / repair_space / encoder:
+        The loaded table and the fitted transformations, for decoding
+        results back to the file's vocabulary.
+    """
+
+    incomplete: IncompleteDataset
+    val_X: np.ndarray
+    val_y: np.ndarray
+    train_rows: np.ndarray
+    val_rows: np.ndarray
+    table: Table
+    schema: CsvSchema
+    repair_space: RepairSpace
+    encoder: TableEncoder
+    k: int
+
+
+def load_csv_workload(
+    path: str | pathlib.Path,
+    label_column: str,
+    n_val: int = 32,
+    k: int = 3,
+    max_row_candidates: int = 25,
+    seed: int | np.random.Generator | None = 0,
+    delimiter: str = ",",
+) -> CsvWorkload:
+    """Load a dirty CSV and split it into a CP-ready training/validation pair.
+
+    Up to ``n_val`` *complete* rows are sampled (without replacement) as the
+    validation set; every other row — dirty or clean — becomes training
+    data with candidate-repair sets.
+
+    Raises
+    ------
+    ValueError
+        If the file has no complete rows to validate on, or no rows left
+        to train on after the hold-out.
+    """
+    n_val = check_positive_int(n_val, "n_val")
+    k = check_positive_int(k, "k")
+    rng = ensure_rng(seed)
+
+    table, schema = read_csv(path, label_column, delimiter=delimiter)
+    dirty = set(table.dirty_rows().tolist())
+    clean_rows = np.array(
+        [r for r in range(table.n_rows) if r not in dirty], dtype=np.int64
+    )
+    if clean_rows.size == 0:
+        raise ValueError(
+            f"{path} has no complete rows; the cleaning loop needs a clean "
+            "validation set (Dval is assumed complete)"
+        )
+    n_held = min(n_val, clean_rows.size)
+    val_rows = np.sort(rng.choice(clean_rows, size=n_held, replace=False))
+    train_rows = np.array(
+        [r for r in range(table.n_rows) if r not in set(val_rows.tolist())],
+        dtype=np.int64,
+    )
+    if train_rows.size < k:
+        raise ValueError(
+            f"only {train_rows.size} training rows remain after holding out "
+            f"{n_held} validation rows; need at least k={k}"
+        )
+
+    train_table = table.take(train_rows)
+    incomplete, repair_space, encoder = incomplete_from_dirty_table(
+        train_table, max_row_candidates=max_row_candidates
+    )
+    val_table = table.take(val_rows)
+    return CsvWorkload(
+        incomplete=incomplete,
+        val_X=encoder.encode_table(val_table),
+        val_y=val_table.labels.copy(),
+        train_rows=train_rows,
+        val_rows=val_rows,
+        table=table,
+        schema=schema,
+        repair_space=repair_space,
+        encoder=encoder,
+        k=k,
+    )

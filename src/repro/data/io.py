@@ -1,0 +1,228 @@
+"""CSV loading and saving for dirty tables.
+
+A downstream user's data does not arrive as a :class:`~repro.data.table.Table`
+— it arrives as a CSV with empty cells. This module reads such files into
+the library's table model and writes tables back out, so the whole pipeline
+(missingness analysis → candidate repairs → CP queries → CPClean) runs on
+real files:
+
+* empty cells, ``NA``, ``N/A``, ``NaN``, ``NULL`` and ``?`` (case
+  insensitive) are treated as missing;
+* a column is numeric when every non-missing cell parses as a float,
+  categorical otherwise (categories are label-encoded in first-appearance
+  order, with the encoding returned so predictions can be decoded);
+* the label column must be complete (Definition 1 assumes certain labels)
+  and is label-encoded the same way.
+
+Only the standard library :mod:`csv` module is used — no pandas dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.table import MISSING_CATEGORY, Table
+
+__all__ = ["CsvSchema", "read_csv", "write_csv", "MISSING_TOKENS"]
+
+#: Cell spellings treated as missing (compared case-insensitively, stripped).
+MISSING_TOKENS = frozenset({"", "na", "n/a", "nan", "null", "?"})
+
+
+def _is_missing(cell: str) -> bool:
+    return cell.strip().lower() in MISSING_TOKENS
+
+
+def _parse_float(cell: str) -> float | None:
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+
+@dataclass
+class CsvSchema:
+    """How a CSV's columns map onto the table model (returned by :func:`read_csv`).
+
+    Attributes
+    ----------
+    numeric_names / categorical_names:
+        Column names per group, in file order within each group.
+    label_name:
+        The label column's name.
+    category_encodings:
+        Per categorical column, the list of category strings in code order
+        (``encodings[name][code]`` decodes a category).
+    label_encoding:
+        Label strings in code order.
+    """
+
+    numeric_names: list[str] = field(default_factory=list)
+    categorical_names: list[str] = field(default_factory=list)
+    label_name: str = ""
+    category_encodings: dict[str, list[str]] = field(default_factory=dict)
+    label_encoding: list[str] = field(default_factory=list)
+
+    def decode_label(self, code: int) -> str:
+        """The original label string for an integer class code."""
+        return self.label_encoding[code]
+
+    def decode_category(self, column: str, code: int) -> str:
+        """The original category string (or ``"<missing>"`` for the sentinel)."""
+        if code == MISSING_CATEGORY:
+            return "<missing>"
+        return self.category_encodings[column][code]
+
+
+def read_csv(
+    path: str | pathlib.Path,
+    label_column: str,
+    delimiter: str = ",",
+) -> tuple[Table, CsvSchema]:
+    """Read a (possibly dirty) CSV into a :class:`Table` plus its schema.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    label_column:
+        Name of the (complete) class-label column.
+    delimiter:
+        Field separator.
+
+    Raises
+    ------
+    ValueError
+        On a missing header, an unknown label column, a missing label cell,
+        or ragged rows.
+    """
+    path = pathlib.Path(path)
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty (no header row)") from None
+        rows = list(reader)
+
+    header = [name.strip() for name in header]
+    if label_column not in header:
+        raise ValueError(f"label column {label_column!r} not in header {header}")
+    if len(set(header)) != len(header):
+        raise ValueError(f"duplicate column names in header {header}")
+    label_idx = header.index(label_column)
+
+    for r, row in enumerate(rows):
+        if len(row) != len(header):
+            raise ValueError(
+                f"row {r + 2} of {path} has {len(row)} fields, header has {len(header)}"
+            )
+
+    feature_indices = [i for i in range(len(header)) if i != label_idx]
+
+    # Column typing: numeric iff every non-missing cell parses as a float
+    # and at least one non-missing cell exists.
+    numeric_cols: list[int] = []
+    categorical_cols: list[int] = []
+    for i in feature_indices:
+        cells = [row[i] for row in rows if not _is_missing(row[i])]
+        if cells and all(_parse_float(c) is not None for c in cells):
+            numeric_cols.append(i)
+        else:
+            categorical_cols.append(i)
+
+    n = len(rows)
+    numeric = np.full((n, len(numeric_cols)), np.nan, dtype=np.float64)
+    for j, i in enumerate(numeric_cols):
+        for r, row in enumerate(rows):
+            if not _is_missing(row[i]):
+                numeric[r, j] = float(row[i])
+
+    categorical = np.full((n, len(categorical_cols)), MISSING_CATEGORY, dtype=np.int64)
+    encodings: dict[str, list[str]] = {}
+    for j, i in enumerate(categorical_cols):
+        codes: dict[str, int] = {}
+        order: list[str] = []
+        for r, row in enumerate(rows):
+            if _is_missing(row[i]):
+                continue
+            value = row[i].strip()
+            if value not in codes:
+                codes[value] = len(order)
+                order.append(value)
+            categorical[r, j] = codes[value]
+        encodings[header[i]] = order
+
+    label_codes: dict[str, int] = {}
+    label_order: list[str] = []
+    labels = np.empty(n, dtype=np.int64)
+    for r, row in enumerate(rows):
+        cell = row[label_idx]
+        if _is_missing(cell):
+            raise ValueError(
+                f"row {r + 2} of {path}: label column {label_column!r} is missing "
+                "(the CP data model assumes certain labels)"
+            )
+        value = cell.strip()
+        if value not in label_codes:
+            label_codes[value] = len(label_order)
+            label_order.append(value)
+        labels[r] = label_codes[value]
+
+    table = Table(
+        numeric,
+        categorical,
+        labels,
+        numeric_names=[header[i] for i in numeric_cols],
+        categorical_names=[header[i] for i in categorical_cols],
+    )
+    schema = CsvSchema(
+        numeric_names=list(table.numeric_names),
+        categorical_names=list(table.categorical_names),
+        label_name=label_column,
+        category_encodings=encodings,
+        label_encoding=label_order,
+    )
+    return table, schema
+
+
+def write_csv(
+    table: Table,
+    path: str | pathlib.Path,
+    schema: CsvSchema | None = None,
+    missing_token: str = "",
+    delimiter: str = ",",
+) -> None:
+    """Write a :class:`Table` back to CSV.
+
+    With ``schema`` provided, categorical codes and labels are decoded back
+    to their original strings; without it they are written as integer codes.
+    Missing cells become ``missing_token``.
+    """
+    path = pathlib.Path(path)
+    label_name = schema.label_name if schema is not None else "label"
+    header = list(table.numeric_names) + list(table.categorical_names) + [label_name]
+
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(header)
+        for r in range(table.n_rows):
+            row: list[str] = []
+            for j in range(table.n_numeric):
+                value = table.numeric[r, j]
+                row.append(missing_token if np.isnan(value) else repr(float(value)))
+            for j in range(table.n_categorical):
+                code = int(table.categorical[r, j])
+                if code == MISSING_CATEGORY:
+                    row.append(missing_token)
+                elif schema is not None:
+                    row.append(schema.category_encodings[table.categorical_names[j]][code])
+                else:
+                    row.append(str(code))
+            label = int(table.labels[r])
+            row.append(schema.decode_label(label) if schema is not None else str(label))
+            writer.writerow(row)

@@ -1,0 +1,189 @@
+"""Missing-value injection mechanisms (paper §5.1 "Datasets").
+
+Three textbook mechanisms (Rubin's taxonomy) are provided:
+
+* **MCAR** — cells go missing uniformly at random;
+* **MAR**  — the missing probability of a row depends on an *observed*
+  driver attribute;
+* **MNAR by importance** — the paper's protocol: the probability that an
+  attribute goes missing is proportional to its relative feature importance
+  (important attributes are "more sensitive", like income in a survey).
+
+All injectors select ``round(row_rate * n)`` rows to dirty (Table 1 reports
+the *row* missing rate, e.g. 20%) and dirty one or more cells inside each
+selected row. They return a new dirty table; the input (the ground truth)
+is never modified.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import MISSING_CATEGORY, Table
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fraction
+
+__all__ = ["inject_mcar", "inject_mar", "inject_mnar_by_importance"]
+
+
+def _select_rows(n_rows: int, row_rate: float, rng: np.random.Generator) -> np.ndarray:
+    n_dirty = round(row_rate * n_rows)
+    if n_dirty == 0:
+        return np.empty(0, dtype=np.int64)
+    return rng.choice(n_rows, size=n_dirty, replace=False)
+
+
+def _dirty_cells(
+    table: Table,
+    rows: np.ndarray,
+    attribute_probs: np.ndarray,
+    cells_per_row: int,
+    rng: np.random.Generator,
+) -> Table:
+    """Blank ``cells_per_row`` attribute cells (sampled by ``attribute_probs``) per row."""
+    dirty = table.copy()
+    n_features = table.n_features
+    cells_per_row = min(cells_per_row, n_features)
+    for row in rows:
+        attributes = rng.choice(
+            n_features, size=cells_per_row, replace=False, p=attribute_probs
+        )
+        for attribute in attributes:
+            if attribute < table.n_numeric:
+                dirty.numeric[row, attribute] = np.nan
+            else:
+                dirty.categorical[row, attribute - table.n_numeric] = MISSING_CATEGORY
+    return dirty
+
+
+def inject_mcar(
+    table: Table,
+    row_rate: float = 0.2,
+    cells_per_row: int = 1,
+    seed: int | np.random.Generator | None = None,
+) -> Table:
+    """Missing Completely At Random: uniform rows, uniform attributes."""
+    row_rate = check_fraction(row_rate, "row_rate")
+    rng = ensure_rng(seed)
+    rows = _select_rows(table.n_rows, row_rate, rng)
+    probs = np.full(table.n_features, 1.0 / table.n_features)
+    return _dirty_cells(table, rows, probs, cells_per_row, rng)
+
+
+def inject_mar(
+    table: Table,
+    row_rate: float = 0.2,
+    driver_attribute: int = 0,
+    cells_per_row: int = 1,
+    seed: int | np.random.Generator | None = None,
+) -> Table:
+    """Missing At Random: rows with larger driver-attribute values are dirtied.
+
+    The driver attribute itself never goes missing (it stays observed, as
+    MAR requires).
+    """
+    row_rate = check_fraction(row_rate, "row_rate")
+    if not 0 <= driver_attribute < table.n_numeric:
+        raise ValueError(
+            f"driver_attribute must be a numeric attribute index in "
+            f"[0, {table.n_numeric}), got {driver_attribute}"
+        )
+    rng = ensure_rng(seed)
+    n_dirty = round(row_rate * table.n_rows)
+    driver = table.numeric[:, driver_attribute]
+    # Softmax-ish weighting over the driver column; ties broken by noise.
+    z = (driver - driver.mean()) / (driver.std() + 1e-12)
+    weights = np.exp(z)
+    weights /= weights.sum()
+    rows = rng.choice(table.n_rows, size=n_dirty, replace=False, p=weights)
+    probs = np.zeros(table.n_features)
+    eligible = [a for a in range(table.n_features) if a != driver_attribute]
+    probs[eligible] = 1.0 / len(eligible)
+    return _dirty_cells(table, rows, probs, cells_per_row, rng)
+
+
+def _cell_weights(
+    table: Table, importances: np.ndarray, value_bias: float, value_mode: str
+) -> np.ndarray:
+    """Per-cell missing propensities: importance times a value-dependent factor.
+
+    For numeric attributes the factor grows with the cell's z-score
+    (``value_mode="high"`` — the "high income goes unreported" effect) or
+    with its absolute z-score (``value_mode="extreme"`` — outliers are what
+    scrapers and sensors drop); for categorical attributes with the
+    category's rarity. All variants make naive imputation systematically
+    biased, which is the property the paper's MNAR protocol is after.
+    """
+    if value_mode not in ("high", "extreme"):
+        raise ValueError(f"value_mode must be 'high' or 'extreme', got {value_mode!r}")
+    n, n_features = table.n_rows, table.n_features
+    weights = np.empty((n, n_features))
+    for attribute in range(n_features):
+        if attribute < table.n_numeric:
+            column = table.numeric[:, attribute]
+            z = (column - column.mean()) / (column.std() + 1e-12)
+            if value_mode == "extreme":
+                z = np.abs(z)
+            factor = np.exp(value_bias * z)
+        else:
+            column = table.categorical[:, attribute - table.n_numeric]
+            values, counts = np.unique(column, return_counts=True)
+            freq = {int(v): c / n for v, c in zip(values, counts)}
+            rarity = np.array([1.0 - freq[int(c)] for c in column])
+            factor = np.exp(value_bias * rarity)
+        weights[:, attribute] = importances[attribute] * factor
+    return weights
+
+
+def inject_mnar_by_importance(
+    table: Table,
+    importances: np.ndarray,
+    row_rate: float = 0.2,
+    cells_per_row: int = 1,
+    value_bias: float = 1.5,
+    value_mode: str = "high",
+    seed: int | np.random.Generator | None = None,
+) -> Table:
+    """The paper's Missing-Not-At-Random protocol.
+
+    ``importances`` is a probability vector over the ``n_features``
+    attributes (see :func:`repro.data.importance.feature_importances`);
+    more important attributes are proportionally more likely to go missing.
+    Within an attribute, extreme values (large z-scores; rare categories)
+    are more likely to go missing (``value_bias`` controls the strength, 0
+    disables it), so that naive imputation is systematically biased — the
+    "Missing Not At Random" assumption of §5.1.
+    """
+    row_rate = check_fraction(row_rate, "row_rate")
+    importances = np.asarray(importances, dtype=np.float64)
+    if importances.shape != (table.n_features,):
+        raise ValueError(
+            f"importances must have shape ({table.n_features},), got {importances.shape}"
+        )
+    if (importances < 0).any() or importances.sum() <= 0:
+        raise ValueError("importances must be non-negative and sum to a positive value")
+    if value_bias < 0:
+        raise ValueError(f"value_bias must be non-negative, got {value_bias}")
+    rng = ensure_rng(seed)
+
+    n_dirty = round(row_rate * table.n_rows)
+    if n_dirty == 0:
+        return table.copy()
+    weights = _cell_weights(table, importances / importances.sum(), value_bias, value_mode)
+
+    # Rows with high total cell propensity are the ones that go dirty.
+    row_weights = weights.sum(axis=1)
+    row_probs = row_weights / row_weights.sum()
+    rows = rng.choice(table.n_rows, size=n_dirty, replace=False, p=row_probs)
+
+    dirty = table.copy()
+    cells_per_row = min(cells_per_row, table.n_features)
+    for row in rows:
+        probs = weights[row] / weights[row].sum()
+        attributes = rng.choice(table.n_features, size=cells_per_row, replace=False, p=probs)
+        for attribute in attributes:
+            if attribute < table.n_numeric:
+                dirty.numeric[row, attribute] = np.nan
+            else:
+                dirty.categorical[row, attribute - table.n_numeric] = MISSING_CATEGORY
+    return dirty

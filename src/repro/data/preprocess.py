@@ -1,0 +1,105 @@
+"""Encoding of mixed-type tables into the KNN feature space.
+
+The KNN substrate and the CP engines work on real vectors with Euclidean
+similarity, so raw tables are encoded as:
+
+* numeric attributes — z-score standardised using the *observed* (non-
+  missing) training values;
+* categorical attributes — one-hot over the categories observed in the
+  training split plus one reserved ``other`` slot per column (candidate
+  repairs may introduce the "other category" of §5.1, and unseen test
+  categories also fall into it).
+
+The encoder is fitted once on the dirty training table and then applied to
+ground-truth values, candidate repairs and the validation/test splits, so
+every consumer lives in the same geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import MISSING_CATEGORY, Table
+
+__all__ = ["TableEncoder"]
+
+
+class TableEncoder:
+    """Fit on a (possibly dirty) table; encode complete rows into vectors."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+        self.numeric_means: np.ndarray | None = None
+        self.numeric_stds: np.ndarray | None = None
+        # Per categorical column: category code -> one-hot slot.
+        self.category_maps: list[dict[int, int]] = []
+        self.category_widths: list[int] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, table: Table) -> "TableEncoder":
+        """Learn column statistics from the observed cells of ``table``."""
+        means = np.zeros(table.n_numeric)
+        stds = np.ones(table.n_numeric)
+        for j in range(table.n_numeric):
+            observed = table.numeric[:, j]
+            observed = observed[~np.isnan(observed)]
+            if observed.size:
+                means[j] = float(observed.mean())
+                std = float(observed.std())
+                stds[j] = std if std > 1e-12 else 1.0
+        self.numeric_means = means
+        self.numeric_stds = stds
+
+        self.category_maps = []
+        self.category_widths = []
+        for j in range(table.n_categorical):
+            observed = table.categorical[:, j]
+            observed = observed[observed != MISSING_CATEGORY]
+            categories = sorted(int(c) for c in np.unique(observed))
+            mapping = {c: slot for slot, c in enumerate(categories)}
+            self.category_maps.append(mapping)
+            # The last slot of each column is the catch-all "other".
+            self.category_widths.append(len(categories) + 1)
+        self._fitted = True
+        return self
+
+    @property
+    def n_output_features(self) -> int:
+        self._require_fitted()
+        assert self.numeric_means is not None
+        return int(self.numeric_means.shape[0]) + sum(self.category_widths)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("encoder is not fitted; call fit() first")
+
+    # ------------------------------------------------------------------
+    def encode_rows(self, numeric: np.ndarray, categorical: np.ndarray) -> np.ndarray:
+        """Encode complete rows (no missing cells) into the KNN feature space."""
+        self._require_fitted()
+        assert self.numeric_means is not None and self.numeric_stds is not None
+        numeric = np.asarray(numeric, dtype=np.float64)
+        categorical = np.asarray(categorical, dtype=np.int64)
+        if numeric.ndim == 1:
+            numeric = numeric.reshape(1, -1)
+        if categorical.ndim == 1:
+            categorical = categorical.reshape(1, -1)
+        n = numeric.shape[0]
+        if np.isnan(numeric).any():
+            raise ValueError("cannot encode rows containing missing numeric cells")
+        if (categorical == MISSING_CATEGORY).any():
+            raise ValueError("cannot encode rows containing missing categorical cells")
+
+        pieces = [(numeric - self.numeric_means) / self.numeric_stds]
+        for j, (mapping, width) in enumerate(zip(self.category_maps, self.category_widths)):
+            onehot = np.zeros((n, width))
+            other_slot = width - 1
+            for i in range(n):
+                slot = mapping.get(int(categorical[i, j]), other_slot)
+                onehot[i, slot] = 1.0
+            pieces.append(onehot)
+        return np.concatenate(pieces, axis=1)
+
+    def encode_table(self, table: Table) -> np.ndarray:
+        """Encode a complete table; raises if any cell is missing."""
+        return self.encode_rows(table.numeric, table.categorical)

@@ -1,0 +1,173 @@
+"""Candidate-repair generation (paper §5.1, the CPClean cleaning model).
+
+For every missing cell, automatic cleaning proposes a small candidate set:
+
+* numeric column — the column's **minimum, 25th percentile, mean, 75th
+  percentile and maximum** over the observed values (5 candidates);
+* categorical column — the **top-4 most frequent categories** plus a dummy
+  **"other"** category (5 candidates).
+
+A row with several missing cells takes the Cartesian product of its cells'
+candidates (capped to keep candidate sets bounded; the cap is a knob, the
+paper's single-missing rows are unaffected). The resulting per-row repair
+lists are what :class:`repro.core.dataset.IncompleteDataset` consumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.data.table import MISSING_CATEGORY, Table
+from repro.utils.validation import check_positive_int
+
+__all__ = ["RepairSpace", "default_clean"]
+
+
+def default_clean(table: Table) -> Table:
+    """The paper's *Default Cleaning* baseline: mean / most-frequent imputation."""
+    clean = table.copy()
+    for j in range(table.n_numeric):
+        column = table.numeric[:, j]
+        observed = column[~np.isnan(column)]
+        fill = float(observed.mean()) if observed.size else 0.0
+        clean.numeric[np.isnan(column), j] = fill
+    for j in range(table.n_categorical):
+        column = table.categorical[:, j]
+        observed = column[column != MISSING_CATEGORY]
+        if observed.size:
+            values, counts = np.unique(observed, return_counts=True)
+            fill = int(values[np.argmax(counts)])
+        else:
+            fill = 0
+        clean.categorical[column == MISSING_CATEGORY, j] = fill
+    return clean
+
+
+class RepairSpace:
+    """Per-column candidate repairs and per-row repair combinations."""
+
+    def __init__(
+        self,
+        table: Table,
+        top_categories: int = 4,
+        max_row_candidates: int = 25,
+    ) -> None:
+        self.table = table
+        self.top_categories = check_positive_int(top_categories, "top_categories")
+        self.max_row_candidates = check_positive_int(max_row_candidates, "max_row_candidates")
+
+        # Numeric candidates: min / p25 / mean / p75 / max of observed values.
+        self.numeric_candidates: list[np.ndarray] = []
+        for j in range(table.n_numeric):
+            column = table.numeric[:, j]
+            observed = column[~np.isnan(column)]
+            if observed.size == 0:
+                raise ValueError(f"numeric column {j} has no observed values to repair from")
+            stats = [
+                float(observed.min()),
+                float(np.percentile(observed, 25)),
+                float(observed.mean()),
+                float(np.percentile(observed, 75)),
+                float(observed.max()),
+            ]
+            # Deduplicate while preserving order (constant columns collapse).
+            unique: list[float] = []
+            for value in stats:
+                if not any(abs(value - u) < 1e-12 for u in unique):
+                    unique.append(value)
+            self.numeric_candidates.append(np.array(unique))
+
+        # Categorical candidates: top-k most frequent + a fresh "other" code.
+        self.categorical_candidates: list[list[int]] = []
+        self.other_codes: list[int] = []
+        for j in range(table.n_categorical):
+            column = table.categorical[:, j]
+            observed = column[column != MISSING_CATEGORY]
+            if observed.size == 0:
+                raise ValueError(f"categorical column {j} has no observed values to repair from")
+            values, counts = np.unique(observed, return_counts=True)
+            # Most frequent first; ties by smaller code for determinism.
+            order = np.lexsort((values, -counts))
+            top = [int(values[i]) for i in order[: self.top_categories]]
+            other = int(values.max()) + 1
+            self.other_codes.append(other)
+            self.categorical_candidates.append(top + [other])
+
+        self._missing_cells: list[list[tuple[str, int]]] = []
+        num_mask = table.numeric_missing_mask()
+        cat_mask = table.categorical_missing_mask()
+        for row in range(table.n_rows):
+            cells: list[tuple[str, int]] = []
+            cells.extend(("numeric", j) for j in np.flatnonzero(num_mask[row]))
+            cells.extend(("categorical", j) for j in np.flatnonzero(cat_mask[row]))
+            self._missing_cells.append(cells)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_actions(self) -> int:
+        """Number of global repair actions (the max candidates of any column)."""
+        sizes = [c.shape[0] for c in self.numeric_candidates]
+        sizes += [len(c) for c in self.categorical_candidates]
+        return max(sizes) if sizes else 0
+
+    def missing_cells(self, row: int) -> list[tuple[str, int]]:
+        """The missing cells of ``row`` as ``(kind, column)`` pairs."""
+        return list(self._missing_cells[row])
+
+    def cell_candidates(self, kind: str, column: int) -> list[float] | list[int]:
+        """Candidate repair values of one column."""
+        if kind == "numeric":
+            return [float(v) for v in self.numeric_candidates[column]]
+        if kind == "categorical":
+            return list(self.categorical_candidates[column])
+        raise ValueError(f"kind must be 'numeric' or 'categorical', got {kind!r}")
+
+    # ------------------------------------------------------------------
+    def row_repairs(self, row: int) -> list[tuple[np.ndarray, np.ndarray]]:
+        """All complete raw versions of ``row``: ``[(numeric_row, cat_row), ...]``.
+
+        A clean row yields a single version (itself); a dirty row yields the
+        Cartesian product of its cells' candidates, capped at
+        ``max_row_candidates`` (deterministically, keeping the head of the
+        product order).
+        """
+        numeric_row = self.table.numeric[row].copy()
+        cat_row = self.table.categorical[row].copy()
+        cells = self._missing_cells[row]
+        if not cells:
+            return [(numeric_row, cat_row)]
+        per_cell = [self.cell_candidates(kind, col) for kind, col in cells]
+        versions: list[tuple[np.ndarray, np.ndarray]] = []
+        for combo in itertools.islice(itertools.product(*per_cell), self.max_row_candidates):
+            num = numeric_row.copy()
+            cat = cat_row.copy()
+            for (kind, col), value in zip(cells, combo):
+                if kind == "numeric":
+                    num[col] = float(value)
+                else:
+                    cat[col] = int(value)
+            versions.append((num, cat))
+        return versions
+
+    # ------------------------------------------------------------------
+    def apply_global_action(self, action: int) -> Table:
+        """Fill every missing cell with its column's ``action``-th candidate.
+
+        This is the repair-policy space the BoostClean baseline selects
+        from: action 0 = min / top-1 category, ..., action 2 = mean, etc.
+        Columns with fewer candidates clamp the index.
+        """
+        if not 0 <= action < max(self.n_actions, 1):
+            raise ValueError(f"action must be in [0, {self.n_actions}), got {action}")
+        clean = self.table.copy()
+        for j in range(self.table.n_numeric):
+            candidates = self.numeric_candidates[j]
+            fill = float(candidates[min(action, candidates.shape[0] - 1)])
+            clean.numeric[np.isnan(clean.numeric[:, j]), j] = fill
+        for j in range(self.table.n_categorical):
+            candidates = self.categorical_candidates[j]
+            fill = int(candidates[min(action, len(candidates) - 1)])
+            clean.categorical[clean.categorical[:, j] == MISSING_CATEGORY, j] = fill
+        return clean

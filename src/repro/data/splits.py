@@ -1,0 +1,58 @@
+"""Train/validation/test splitting (paper §5.1 experimental setup).
+
+The paper randomly selects 1,000 validation and 1,000 test examples and
+trains on the rest; the splitter generalises the three sizes and shuffles
+deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Splits", "train_val_test_split"]
+
+
+@dataclass
+class Splits:
+    """The three disjoint row subsets of one experiment."""
+
+    train: Table
+    val: Table
+    test: Table
+
+
+def train_val_test_split(
+    table: Table,
+    n_val: int,
+    n_test: int,
+    n_train: int | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> Splits:
+    """Randomly partition ``table`` into train/validation/test tables.
+
+    ``n_train=None`` assigns all remaining rows to the training split
+    (the paper's protocol).
+    """
+    n_val = check_positive_int(n_val, "n_val")
+    n_test = check_positive_int(n_test, "n_test")
+    rng = ensure_rng(seed)
+    n = table.n_rows
+    if n_train is None:
+        n_train = n - n_val - n_test
+    else:
+        n_train = check_positive_int(n_train, "n_train")
+    if n_train < 1 or n_val + n_test + n_train > n:
+        raise ValueError(
+            f"cannot split {n} rows into train={n_train}, val={n_val}, test={n_test}"
+        )
+    order = rng.permutation(n)
+    val_idx = order[:n_val]
+    test_idx = order[n_val : n_val + n_test]
+    train_idx = order[n_val + n_test : n_val + n_test + n_train]
+    return Splits(train=table.take(train_idx), val=table.take(val_idx), test=table.take(test_idx))

@@ -1,0 +1,127 @@
+"""A small mixed-type table container for the cleaning experiments.
+
+The paper's datasets (Table 1) are relational tables with numeric and
+categorical attributes, some of whose cells are missing. ``Table`` keeps
+the two attribute groups as separate matrices:
+
+* ``numeric`` — ``(n, d_num)`` float64, missing cells are ``NaN``;
+* ``categorical`` — ``(n, d_cat)`` int64 category codes, missing cells are
+  ``-1`` (categories are non-negative integers).
+
+Labels are always complete (the paper assumes no label uncertainty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Table", "MISSING_CATEGORY"]
+
+#: Sentinel category code for a missing categorical cell.
+MISSING_CATEGORY = -1
+
+
+@dataclass
+class Table:
+    """A (possibly dirty) mixed-type dataset with class labels."""
+
+    numeric: np.ndarray
+    categorical: np.ndarray
+    labels: np.ndarray
+    numeric_names: list[str] = field(default_factory=list)
+    categorical_names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.numeric = np.asarray(self.numeric, dtype=np.float64)
+        self.categorical = np.asarray(self.categorical, dtype=np.int64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.numeric.ndim != 2:
+            raise ValueError(f"numeric must be 2-D, got shape {self.numeric.shape}")
+        if self.categorical.ndim != 2:
+            raise ValueError(f"categorical must be 2-D, got shape {self.categorical.shape}")
+        n = self.numeric.shape[0]
+        if self.categorical.shape[0] != n or self.labels.shape[0] != n:
+            raise ValueError(
+                "numeric, categorical and labels must agree on the number of rows; got "
+                f"{self.numeric.shape[0]}, {self.categorical.shape[0]}, {self.labels.shape[0]}"
+            )
+        if not self.numeric_names:
+            self.numeric_names = [f"num_{j}" for j in range(self.numeric.shape[1])]
+        if not self.categorical_names:
+            self.categorical_names = [f"cat_{j}" for j in range(self.categorical.shape[1])]
+        if len(self.numeric_names) != self.numeric.shape[1]:
+            raise ValueError("numeric_names length does not match the numeric width")
+        if len(self.categorical_names) != self.categorical.shape[1]:
+            raise ValueError("categorical_names length does not match the categorical width")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return int(self.numeric.shape[0])
+
+    @property
+    def n_numeric(self) -> int:
+        return int(self.numeric.shape[1])
+
+    @property
+    def n_categorical(self) -> int:
+        return int(self.categorical.shape[1])
+
+    @property
+    def n_features(self) -> int:
+        """Total attribute count (the paper's "#Features")."""
+        return self.n_numeric + self.n_categorical
+
+    @property
+    def n_labels(self) -> int:
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+    # ------------------------------------------------------------------
+    def numeric_missing_mask(self) -> np.ndarray:
+        """Boolean ``(n, d_num)`` mask of missing numeric cells."""
+        return np.isnan(self.numeric)
+
+    def categorical_missing_mask(self) -> np.ndarray:
+        """Boolean ``(n, d_cat)`` mask of missing categorical cells."""
+        return self.categorical == MISSING_CATEGORY
+
+    def dirty_rows(self) -> np.ndarray:
+        """Indices of rows containing at least one missing cell."""
+        dirty = self.numeric_missing_mask().any(axis=1) | self.categorical_missing_mask().any(axis=1)
+        return np.flatnonzero(dirty)
+
+    def missing_rate(self) -> float:
+        """Fraction of rows with at least one missing cell (Table 1's metric)."""
+        if self.n_rows == 0:
+            return 0.0
+        return float(self.dirty_rows().shape[0]) / self.n_rows
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "Table":
+        return Table(
+            self.numeric.copy(),
+            self.categorical.copy(),
+            self.labels.copy(),
+            list(self.numeric_names),
+            list(self.categorical_names),
+        )
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """A new table with the selected rows (used by the splitters)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Table(
+            self.numeric[indices],
+            self.categorical[indices],
+            self.labels[indices],
+            list(self.numeric_names),
+            list(self.categorical_names),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Table(n_rows={self.n_rows}, n_numeric={self.n_numeric}, "
+            f"n_categorical={self.n_categorical}, n_labels={self.n_labels}, "
+            f"missing_rate={self.missing_rate():.1%})"
+        )

@@ -1,0 +1,38 @@
+"""Experiment harnesses that regenerate the paper's tables and figures."""
+
+from repro.experiments.complexity import (
+    ALGORITHMS,
+    ComplexityPoint,
+    fit_growth_exponent,
+    measure_runtime,
+    random_instance,
+)
+from repro.experiments.config import ScaleConfig, get_scale
+from repro.experiments.curves import (
+    CleaningCurve,
+    ValSizeResult,
+    average_random_curves,
+    sweep_validation_size,
+    trace_cleaning_curve,
+)
+from repro.experiments.end_to_end import EndToEndResult, average_end_to_end, run_end_to_end
+from repro.experiments.metrics import gap_closed
+
+__all__ = [
+    "gap_closed",
+    "ScaleConfig",
+    "get_scale",
+    "EndToEndResult",
+    "run_end_to_end",
+    "average_end_to_end",
+    "CleaningCurve",
+    "trace_cleaning_curve",
+    "average_random_curves",
+    "ValSizeResult",
+    "sweep_validation_size",
+    "ComplexityPoint",
+    "measure_runtime",
+    "random_instance",
+    "fit_growth_exponent",
+    "ALGORITHMS",
+]

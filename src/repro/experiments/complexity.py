@@ -1,0 +1,109 @@
+"""Empirical complexity verification — regenerates the paper's Figure 4 table.
+
+Figure 4 summarises the asymptotics: SS answers Q1/Q2 in
+``O(NM log NM)`` (K=1, binary), MM answers Q1 in ``O(NM)``, and general SS
+in ``O(NM (log NM + K^2 log N))``. This harness measures wall-clock times
+over sweeps of ``N``, ``M`` and ``K`` and fits the growth exponent, so the
+"polynomial over exponentially many worlds" claim is checked empirically
+(the brute-force column demonstrates the exponential blow-up it avoids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bruteforce import brute_force_counts
+from repro.core.dataset import IncompleteDataset
+from repro.core.engine import sortscan_counts
+from repro.core.minmax import minmax_checks_all
+from repro.core.multiclass import sortscan_counts_multiclass
+from repro.core.sortscan import sortscan_counts_naive
+from repro.core.sortscan_tree import sortscan_counts_tree
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import time_callable
+
+__all__ = ["ComplexityPoint", "random_instance", "measure_runtime", "fit_growth_exponent", "ALGORITHMS"]
+
+ALGORITHMS = {
+    "ss-engine": sortscan_counts,
+    "ss-naive": sortscan_counts_naive,
+    "ss-tree": sortscan_counts_tree,
+    "ss-multiclass": sortscan_counts_multiclass,
+    "bruteforce": brute_force_counts,
+}
+
+
+@dataclass(frozen=True)
+class ComplexityPoint:
+    """One measured (instance size, runtime) pair."""
+
+    algorithm: str
+    n_rows: int
+    m_candidates: int
+    k: int
+    n_labels: int
+    seconds: float
+
+
+def random_instance(
+    n_rows: int,
+    m_candidates: int,
+    n_labels: int = 2,
+    n_features: int = 4,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[IncompleteDataset, np.ndarray]:
+    """A random dense incomplete dataset and test point for timing runs."""
+    rng = ensure_rng(seed)
+    sets = [rng.normal(size=(m_candidates, n_features)) for _ in range(n_rows)]
+    labels = rng.integers(0, n_labels, size=n_rows)
+    labels[:n_labels] = np.arange(n_labels)  # every label occurs
+    return IncompleteDataset(sets, labels), rng.normal(size=n_features)
+
+
+def measure_runtime(
+    algorithm: str,
+    n_rows: int,
+    m_candidates: int,
+    k: int = 3,
+    n_labels: int = 2,
+    repeats: int = 3,
+    seed: int = 0,
+) -> ComplexityPoint:
+    """Best-of-``repeats`` wall-clock time of one algorithm on one instance."""
+    if algorithm == "minmax":
+        dataset, t = random_instance(n_rows, m_candidates, n_labels=n_labels, seed=seed)
+        seconds = time_callable(lambda: minmax_checks_all(dataset, t, k=k), repeats=repeats)
+    else:
+        try:
+            func = ALGORITHMS[algorithm]
+        except KeyError:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; available: "
+                f"{sorted([*ALGORITHMS, 'minmax'])}"
+            ) from None
+        dataset, t = random_instance(n_rows, m_candidates, n_labels=n_labels, seed=seed)
+        seconds = time_callable(lambda: func(dataset, t, k=k), repeats=repeats)
+    return ComplexityPoint(
+        algorithm=algorithm,
+        n_rows=n_rows,
+        m_candidates=m_candidates,
+        k=k,
+        n_labels=n_labels,
+        seconds=seconds,
+    )
+
+
+def fit_growth_exponent(sizes: list[int], seconds: list[float]) -> float:
+    """Least-squares slope of log(time) vs log(size).
+
+    ~1.0 for the linear-in-N algorithms (MM, SS fast engine at fixed K),
+    ~2.0 for the naive per-candidate-DP SortScan.
+    """
+    if len(sizes) != len(seconds) or len(sizes) < 2:
+        raise ValueError("need at least two (size, time) pairs with equal lengths")
+    x = np.log(np.asarray(sizes, dtype=np.float64))
+    y = np.log(np.maximum(np.asarray(seconds, dtype=np.float64), 1e-9))
+    slope, _intercept = np.polyfit(x, y, 1)
+    return float(slope)

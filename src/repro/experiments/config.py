@@ -1,0 +1,44 @@
+"""Experiment scale configuration.
+
+The paper runs on tables with thousands of rows and 1,000-example
+validation/test splits on a Xeon server; this reproduction defaults to
+laptop scale and exposes one switch. Set the environment variable
+``REPRO_SCALE`` to ``quick`` / ``default`` / ``large`` to resize every
+benchmark consistently; individual harness functions also accept explicit
+sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ScaleConfig", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Row counts shared by the experiment harnesses."""
+
+    name: str
+    n_train: int
+    n_val: int
+    n_test: int
+    n_seeds: int  # seeds averaged in accuracy comparisons
+    random_clean_seeds: int  # RandomClean repetitions in the curves
+
+
+_SCALES = {
+    "quick": ScaleConfig(name="quick", n_train=80, n_val=16, n_test=150, n_seeds=1, random_clean_seeds=2),
+    "default": ScaleConfig(name="default", n_train=120, n_val=24, n_test=300, n_seeds=2, random_clean_seeds=3),
+    "large": ScaleConfig(name="large", n_train=240, n_val=40, n_test=500, n_seeds=3, random_clean_seeds=5),
+}
+
+
+def get_scale(name: str | None = None) -> ScaleConfig:
+    """Resolve the scale: explicit name > ``$REPRO_SCALE`` > ``default``."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "default")
+    if name not in _SCALES:
+        raise ValueError(f"unknown scale {name!r}; available: {sorted(_SCALES)}")
+    return _SCALES[name]

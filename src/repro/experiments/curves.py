@@ -1,0 +1,155 @@
+"""Cleaning-progress curves — regenerate Figures 9 and 10.
+
+Figure 9 traces, as cleaning proceeds, (a) the fraction of validation
+examples CP'ed and (b) the fraction of the test-accuracy gap closed, for
+CPClean vs RandomClean. Figure 10 varies the validation-set size and
+reports the final gap closed and cleaning effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cleaning.cp_clean import CPCleanStrategy
+from repro.cleaning.oracle import GroundTruthOracle
+from repro.cleaning.random_clean import RandomCleanStrategy
+from repro.cleaning.sequential import CleaningSession
+from repro.core.knn import KNNClassifier
+from repro.data.task import CleaningTask, build_cleaning_task
+from repro.experiments.metrics import gap_closed
+from repro.utils.rng import spawn_rngs
+
+__all__ = ["CleaningCurve", "trace_cleaning_curve", "average_random_curves", "ValSizeResult", "sweep_validation_size"]
+
+
+@dataclass
+class CleaningCurve:
+    """Per-step progress of one cleaning run (Figure 9's two lines).
+
+    Entry ``i`` of each list describes the state after cleaning ``i``
+    examples (entry 0 = no cleaning yet).
+    """
+
+    strategy: str
+    dataset: str
+    fraction_cleaned: list[float] = field(default_factory=list)
+    cp_fraction: list[float] = field(default_factory=list)
+    gap_closed: list[float] = field(default_factory=list)
+    n_dirty: int = 0
+
+
+def _representative_accuracy(task: CleaningTask, fixed: dict[int, int]) -> float:
+    choice = task.default_choice.copy()
+    for row, cand in fixed.items():
+        choice[row] = cand
+    world = task.incomplete.world([int(c) for c in choice])
+    clf = KNNClassifier(k=task.k).fit(world, task.train_labels)
+    return clf.accuracy(task.test_X, task.test_y)
+
+
+def trace_cleaning_curve(
+    task: CleaningTask,
+    strategy: str = "cpclean",
+    seed: int | np.random.Generator | None = None,
+    max_cleaned: int | None = None,
+) -> CleaningCurve:
+    """Run one cleaning session, recording CP'ed fraction and gap closed per step."""
+    gt_acc = KNNClassifier(k=task.k).fit(task.train_gt_X, task.train_labels).accuracy(
+        task.test_X, task.test_y
+    )
+    default_acc = KNNClassifier(k=task.k).fit(
+        task.train_default_X, task.train_labels
+    ).accuracy(task.test_X, task.test_y)
+
+    session = CleaningSession(task.incomplete, task.val_X, k=task.k)
+    oracle = GroundTruthOracle(task.gt_choice)
+    if strategy == "cpclean":
+        selector = CPCleanStrategy()
+    elif strategy == "random":
+        selector = RandomCleanStrategy(seed=seed)
+    else:
+        raise ValueError(f"strategy must be 'cpclean' or 'random', got {strategy!r}")
+
+    n_dirty = max(len(task.dirty_rows), 1)
+    curve = CleaningCurve(strategy=strategy, dataset=task.name, n_dirty=n_dirty)
+    curve.fraction_cleaned.append(0.0)
+    curve.cp_fraction.append(session.cp_fraction())
+    curve.gap_closed.append(
+        gap_closed(_representative_accuracy(task, {}), default_acc, gt_acc)
+    )
+
+    def record(step) -> None:
+        curve.fraction_cleaned.append((step.iteration + 1) / n_dirty)
+        curve.cp_fraction.append(session.cp_fraction())
+        curve.gap_closed.append(
+            gap_closed(
+                _representative_accuracy(task, session.fixed), default_acc, gt_acc
+            )
+        )
+
+    session.run(selector, oracle, max_cleaned=max_cleaned, on_step=record)
+    return curve
+
+
+def average_random_curves(
+    task: CleaningTask,
+    n_runs: int = 3,
+    seed: int | np.random.Generator | None = 0,
+    max_cleaned: int | None = None,
+) -> CleaningCurve:
+    """RandomClean averaged over ``n_runs`` orders (the paper averages 20).
+
+    Runs can stop at different lengths; shorter runs are right-padded with
+    their final value before averaging.
+    """
+    curves = [
+        trace_cleaning_curve(task, strategy="random", seed=rng, max_cleaned=max_cleaned)
+        for rng in spawn_rngs(seed, n_runs)
+    ]
+    length = max(len(c.cp_fraction) for c in curves)
+
+    def padded(values: list[float]) -> np.ndarray:
+        return np.array(values + [values[-1]] * (length - len(values)))
+
+    merged = CleaningCurve(strategy="random", dataset=task.name, n_dirty=curves[0].n_dirty)
+    merged.fraction_cleaned = [i / max(curves[0].n_dirty, 1) for i in range(length)]
+    merged.cp_fraction = list(np.mean([padded(c.cp_fraction) for c in curves], axis=0))
+    merged.gap_closed = list(np.mean([padded(c.gap_closed) for c in curves], axis=0))
+    return merged
+
+
+@dataclass
+class ValSizeResult:
+    """One point of Figure 10: outcome of CPClean at a validation-set size."""
+
+    dataset: str
+    n_val: int
+    gap_closed: float
+    examples_cleaned_fraction: float
+
+
+def sweep_validation_size(
+    recipe: str,
+    val_sizes: list[int],
+    n_train: int = 120,
+    n_test: int = 300,
+    seed: int = 0,
+) -> list[ValSizeResult]:
+    """Run CPClean at several ``|Dval|`` and record effort and gap closed."""
+    results = []
+    for n_val in val_sizes:
+        task = build_cleaning_task(
+            recipe, n_train=n_train, n_val=n_val, n_test=n_test, seed=seed
+        )
+        curve = trace_cleaning_curve(task, strategy="cpclean")
+        results.append(
+            ValSizeResult(
+                dataset=recipe,
+                n_val=n_val,
+                gap_closed=curve.gap_closed[-1],
+                examples_cleaned_fraction=curve.fraction_cleaned[-1],
+            )
+        )
+    return results

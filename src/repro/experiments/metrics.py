@@ -1,0 +1,20 @@
+"""Evaluation metrics (paper §5.1 "Performance Measures")."""
+
+from __future__ import annotations
+
+__all__ = ["gap_closed"]
+
+
+def gap_closed(accuracy: float, default_accuracy: float, ground_truth_accuracy: float) -> float:
+    """The paper's headline metric.
+
+    ``gap closed by X = (acc(X) - acc(Default)) / (acc(GroundTruth) - acc(Default))``
+
+    1.0 means the method fully recovers the ground-truth accuracy; negative
+    values mean it is *worse* than naive mean/mode imputation. When the
+    denominator is degenerate (no gap to close) the metric is defined as 0.
+    """
+    denominator = ground_truth_accuracy - default_accuracy
+    if abs(denominator) < 1e-12:
+        return 0.0
+    return (accuracy - default_accuracy) / denominator

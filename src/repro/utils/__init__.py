@@ -1,0 +1,20 @@
+"""Shared utilities: RNG handling, argument validation, tables, timing."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_fraction,
+    check_in_options,
+    check_matrix,
+    check_positive_int,
+    check_vector,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_fraction",
+    "check_in_options",
+    "check_matrix",
+    "check_positive_int",
+    "check_vector",
+]

@@ -1,0 +1,36 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument that may
+be ``None``, an integer, or an already-constructed
+:class:`numpy.random.Generator`. Centralising the coercion here keeps all
+experiments reproducible from a single integer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged, so callers can thread
+    a single generator through a pipeline without reseeding.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``seed``.
+
+    Used by experiments that average over repetitions: each repetition gets
+    its own stream so results do not depend on evaluation order.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = ensure_rng(seed)
+    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(count)]

@@ -1,0 +1,45 @@
+"""Minimal ASCII-table rendering for benchmark and experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_percent", "format_float"]
+
+
+def format_percent(value: float, digits: int = 0) -> str:
+    """Render ``0.153`` as ``'15%'`` (or ``'15.3%'`` with ``digits=1``)."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Render a float with a fixed number of decimals."""
+    return f"{value:.{digits}f}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(separator))
+    lines.append(render_row(headers))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Lightweight wall-clock timing helpers used by the complexity benchmarks."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+__all__ = ["Stopwatch", "time_callable"]
+
+
+class Stopwatch:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example::
+
+        with Stopwatch() as watch:
+            run_query()
+        print(watch.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_callable(func: Callable[[], object], repeats: int = 3) -> float:
+    """Return the fastest of ``repeats`` timings of ``func`` in seconds."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,73 @@
+"""Argument-validation helpers shared across the library.
+
+All helpers raise ``ValueError``/``TypeError`` with messages that name the
+offending argument, so failures surface at API boundaries rather than deep
+inside numerical code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+__all__ = [
+    "check_positive_int",
+    "check_fraction",
+    "check_matrix",
+    "check_vector",
+    "check_in_options",
+]
+
+
+def check_positive_int(value: int, name: str, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer ``>= minimum`` and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def check_fraction(value: float, name: str, *, closed: bool = True) -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` (or ``(0, 1)`` if open)."""
+    value = float(value)
+    if closed:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def check_matrix(array: object, name: str, *, n_cols: int | None = None) -> np.ndarray:
+    """Coerce ``array`` to a 2-D float matrix, optionally checking its width."""
+    matrix = np.asarray(array, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {matrix.shape}")
+    if n_cols is not None and matrix.shape[1] != n_cols:
+        raise ValueError(f"{name} must have {n_cols} columns, got {matrix.shape[1]}")
+    if not np.all(np.isfinite(matrix)):
+        raise ValueError(f"{name} must be finite (no NaN/inf values)")
+    return matrix
+
+
+def check_vector(array: object, name: str, *, length: int | None = None) -> np.ndarray:
+    """Coerce ``array`` to a 1-D float vector, optionally checking its length."""
+    vector = np.asarray(array, dtype=np.float64)
+    if vector.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {vector.shape}")
+    if length is not None and vector.shape[0] != length:
+        raise ValueError(f"{name} must have length {length}, got {vector.shape[0]}")
+    if not np.all(np.isfinite(vector)):
+        raise ValueError(f"{name} must be finite (no NaN/inf values)")
+    return vector
+
+
+def check_in_options(value: str, name: str, options: Iterable[str]) -> str:
+    """Validate that ``value`` is one of ``options`` and return it."""
+    options = tuple(options)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options}, got {value!r}")
+    return value

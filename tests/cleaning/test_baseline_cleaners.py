@@ -1,0 +1,117 @@
+"""Unit tests for BoostClean, HoloClean and the one-shot baselines."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning.baselines import default_clean_classifier, ground_truth_classifier
+from repro.cleaning.boost_clean import BoostCleanModel, run_boost_clean
+from repro.cleaning.holo_clean import run_holo_clean
+from repro.core.knn import KNNClassifier
+from repro.data.repairs import RepairSpace
+from repro.data.task import build_cleaning_task
+
+
+@pytest.fixture(scope="module")
+def task():
+    return build_cleaning_task("supreme", n_train=60, n_val=16, n_test=80, seed=2)
+
+
+class TestOneShotBaselines:
+    def test_ground_truth_classifier_uses_gt_matrix(self, task):
+        clf = ground_truth_classifier(task)
+        direct = KNNClassifier(k=task.k).fit(task.train_gt_X, task.train_labels)
+        T = task.test_X[:10]
+        assert np.array_equal(clf.predict(T), direct.predict(T))
+
+    def test_default_classifier_uses_default_matrix(self, task):
+        clf = default_clean_classifier(task)
+        direct = KNNClassifier(k=task.k).fit(task.train_default_X, task.train_labels)
+        T = task.test_X[:10]
+        assert np.array_equal(clf.predict(T), direct.predict(T))
+
+
+class TestBoostClean:
+    def test_single_round_picks_best_validation_action(self, task):
+        model = run_boost_clean(task, n_rounds=1)
+        assert len(model.classifiers) == 1
+        # its validation accuracy equals the max over all actions
+        space = task.repair_space
+        accs = []
+        for action in range(space.n_actions):
+            X = task.encoder.encode_table(space.apply_global_action(action))
+            accs.append(
+                KNNClassifier(k=task.k).fit(X, task.train_labels).accuracy(task.val_X, task.val_y)
+            )
+        assert model.accuracy(task.val_X, task.val_y) == pytest.approx(max(accs))
+
+    def test_boosted_ensemble_has_multiple_members(self, task):
+        model = run_boost_clean(task, n_rounds=4)
+        assert 1 <= len(model.classifiers) <= 4
+        assert len(model.weights) == len(model.classifiers)
+
+    def test_boosting_does_not_collapse_on_validation(self, task):
+        single = run_boost_clean(task, n_rounds=1).accuracy(task.val_X, task.val_y)
+        boosted = run_boost_clean(task, n_rounds=4).accuracy(task.val_X, task.val_y)
+        assert boosted >= single - 0.15  # sanity: boosting is not catastrophic
+
+    def test_predictions_in_label_space(self, task):
+        model = run_boost_clean(task, n_rounds=3)
+        preds = model.predict(task.test_X)
+        assert set(np.unique(preds)) <= set(range(int(task.train_labels.max()) + 1))
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            BoostCleanModel([], [], 2)
+
+
+class TestHoloClean:
+    def test_output_is_complete(self, task):
+        cleaned = run_holo_clean(task.dirty_train, task.repair_space)
+        assert cleaned.missing_rate() == 0.0
+
+    def test_observed_cells_untouched(self, task):
+        table = task.dirty_train
+        cleaned = run_holo_clean(table, task.repair_space)
+        mask = ~np.isnan(table.numeric)
+        assert np.array_equal(cleaned.numeric[mask], table.numeric[mask])
+
+    def test_repairs_come_from_candidate_space(self, task):
+        table = task.dirty_train
+        space = task.repair_space
+        cleaned = run_holo_clean(table, space)
+        num_mask = table.numeric_missing_mask()
+        for row, col in zip(*np.nonzero(num_mask)):
+            value = cleaned.numeric[row, col]
+            assert any(
+                abs(value - c) < 1e-9 for c in space.cell_candidates("numeric", int(col))
+            )
+
+    def test_builds_own_space_when_none_given(self, task):
+        cleaned = run_holo_clean(task.dirty_train)
+        assert cleaned.missing_rate() == 0.0
+
+    def test_local_model_beats_blind_default_on_structured_column(self):
+        """When a column is a near-copy of another, neighbourhood repair
+        must recover values better than the global mean."""
+        rng = np.random.default_rng(0)
+        n = 200
+        base = rng.normal(size=n) * 5
+        twin = base + rng.normal(size=n) * 0.1
+        labels = (base > 0).astype(int)
+        from repro.data.table import Table
+
+        table = Table(np.column_stack([base, twin]), np.zeros((n, 0), dtype=np.int64), labels)
+        dirty = table.copy()
+        dirty_rows = rng.choice(n, size=30, replace=False)
+        dirty.numeric[dirty_rows, 1] = np.nan
+
+        space = RepairSpace(dirty)
+        cleaned = run_holo_clean(dirty, space)
+        from repro.data.repairs import default_clean
+
+        defaulted = default_clean(dirty)
+        holo_err = np.abs(cleaned.numeric[dirty_rows, 1] - table.numeric[dirty_rows, 1]).mean()
+        default_err = np.abs(
+            defaulted.numeric[dirty_rows, 1] - table.numeric[dirty_rows, 1]
+        ).mean()
+        assert holo_err < default_err

@@ -1,0 +1,131 @@
+"""Information-theoretic instrumentation: gains, D_Opt, Corollary-1 curve."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cleaning.cp_clean import CPCleanStrategy
+from repro.cleaning.information import (
+    greedy_vs_optimal_curve,
+    information_gains,
+    optimal_cleaning_set,
+    row_information_gain,
+    set_information_gain,
+    validation_entropy,
+)
+from repro.cleaning.oracle import GroundTruthOracle
+from repro.cleaning.sequential import CleaningSession
+from tests.conftest import random_incomplete_dataset
+
+
+@pytest.fixture
+def session(rng: np.random.Generator) -> tuple[CleaningSession, GroundTruthOracle]:
+    dataset = random_incomplete_dataset(rng, n_rows=7, n_labels=2)
+    val_X = rng.normal(size=(4, dataset.n_features))
+    gt = [int(rng.integers(m)) for m in dataset.candidate_counts()]
+    return CleaningSession(dataset, val_X, k=3), GroundTruthOracle(gt)
+
+
+class TestValidationEntropy:
+    def test_nonnegative_and_bounded(self, session) -> None:
+        sess, _ = session
+        h = validation_entropy(sess)
+        assert 0.0 <= h <= np.log(sess.dataset.n_labels) + 1e-12
+
+    def test_zero_when_everything_pinned(self, session) -> None:
+        sess, oracle = session
+        for row in sess.dataset.uncertain_rows():
+            sess.clean_row(row, oracle(row))
+        assert validation_entropy(sess) == pytest.approx(0.0)
+
+    def test_explicit_pins_override_session(self, session) -> None:
+        sess, oracle = session
+        pins = {row: oracle(row) for row in sess.dataset.uncertain_rows()}
+        assert validation_entropy(sess, pins) == pytest.approx(0.0)
+        # the session itself is untouched
+        assert sess.fixed == {}
+
+    def test_empty_validation_set_is_zero(self, rng: np.random.Generator) -> None:
+        dataset = random_incomplete_dataset(rng, n_rows=5)
+        sess = CleaningSession(dataset, np.zeros((0, dataset.n_features)), k=1)
+        assert validation_entropy(sess) == 0.0
+
+
+class TestRowGain:
+    def test_gains_are_nonnegative(self, session) -> None:
+        sess, _ = session
+        for row, gain in information_gains(sess).items():
+            assert gain >= 0.0, f"row {row} has negative information gain"
+
+    def test_gain_bounded_by_current_entropy(self, session) -> None:
+        sess, _ = session
+        h = validation_entropy(sess)
+        for gain in information_gains(sess).values():
+            assert gain <= h + 1e-12
+
+    def test_cleaned_row_rejected(self, session) -> None:
+        sess, oracle = session
+        row = sess.dataset.uncertain_rows()[0]
+        sess.clean_row(row, oracle(row))
+        with pytest.raises(ValueError, match="already cleaned"):
+            row_information_gain(sess, row)
+
+    def test_argmax_gain_is_cpcleans_pick(self, session) -> None:
+        # Maximising I(...; c_i) and minimising expected entropy are the
+        # same selection; CPClean's row must be the max-gain row.
+        sess, _ = session
+        gains = information_gains(sess)
+        best_by_gain = max(gains, key=lambda r: (round(gains[r], 12), -r))
+        row, _ = CPCleanStrategy().select(sess, sess.remaining_dirty_rows())
+        assert gains[row] == pytest.approx(gains[best_by_gain], abs=1e-9)
+
+    def test_singleton_set_gain_matches_row_gain(self, session) -> None:
+        sess, _ = session
+        row = sess.remaining_dirty_rows()[0]
+        single = set_information_gain(sess, [row])
+        assert single == pytest.approx(row_information_gain(sess, row), abs=1e-9)
+
+
+class TestOptimalSet:
+    def test_optimal_dominates_any_singleton(self, session) -> None:
+        sess, _ = session
+        _, best_gain = optimal_cleaning_set(sess, 1)
+        gains = information_gains(sess)
+        assert best_gain == pytest.approx(max(gains.values()), abs=1e-9)
+
+    def test_monotone_in_set_size(self, session) -> None:
+        sess, _ = session
+        if len(sess.remaining_dirty_rows()) < 2:
+            pytest.skip("needs two dirty rows")
+        _, g1 = optimal_cleaning_set(sess, 1)
+        _, g2 = optimal_cleaning_set(sess, 2)
+        assert g2 >= g1 - 1e-9  # information is monotone in the set
+
+    def test_size_larger_than_dirty_rows_rejected(self, session) -> None:
+        sess, _ = session
+        with pytest.raises(ValueError, match="exceeds"):
+            optimal_cleaning_set(sess, len(sess.remaining_dirty_rows()) + 1)
+
+    def test_subset_cap_enforced(self, session) -> None:
+        sess, _ = session
+        if len(sess.remaining_dirty_rows()) < 3:
+            pytest.skip("needs three dirty rows")
+        with pytest.raises(ValueError, match="cap"):
+            optimal_cleaning_set(sess, 2, max_subsets=1)
+
+
+class TestCorollary1Shape:
+    def test_greedy_curve_monotone_and_catches_optimal(self, session) -> None:
+        sess, oracle = session
+        n_dirty = len(sess.remaining_dirty_rows())
+        if n_dirty < 2:
+            pytest.skip("needs two dirty rows")
+        result = greedy_vs_optimal_curve(sess, oracle, horizon=n_dirty, optimal_size=1)
+        curve = result["greedy_curve"]
+        assert curve, "greedy curve must contain at least one step"
+        # Cumulative realised information is reported against a fixed start;
+        # by the end of full cleaning it must reach the initial entropy.
+        assert curve[-1] == pytest.approx(result["initial_entropy"], abs=1e-9)
+        # ... and therefore dominate the optimal size-1 information.
+        assert curve[-1] >= result["optimal"] - 1e-9

@@ -1,0 +1,45 @@
+"""Unit tests for the simulated cleaning oracles."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning.oracle import GroundTruthOracle, NoisyOracle
+
+
+class TestGroundTruthOracle:
+    def test_returns_configured_choice(self):
+        oracle = GroundTruthOracle([2, 0, 1])
+        assert oracle(0) == 2
+        assert oracle(1) == 0
+        assert oracle(2) == 1
+
+    def test_out_of_range(self):
+        oracle = GroundTruthOracle([0])
+        with pytest.raises(IndexError):
+            oracle(5)
+
+
+class TestNoisyOracle:
+    def test_zero_error_rate_is_truthful(self):
+        oracle = NoisyOracle([1, 2], [3, 3], error_rate=0.0, seed=0)
+        assert all(oracle(0) == 1 for _ in range(20))
+
+    def test_full_error_rate_never_truthful(self):
+        oracle = NoisyOracle([1], [4], error_rate=1.0, seed=0)
+        answers = {oracle(0) for _ in range(50)}
+        assert 1 not in answers
+        assert answers <= {0, 2, 3}
+
+    def test_single_candidate_rows_always_truthful(self):
+        oracle = NoisyOracle([0], [1], error_rate=1.0, seed=0)
+        assert oracle(0) == 0
+
+    def test_error_rate_roughly_respected(self):
+        rng = np.random.default_rng(1)
+        oracle = NoisyOracle([2], [5], error_rate=0.3, seed=rng)
+        errors = sum(oracle(0) != 2 for _ in range(1000))
+        assert 200 < errors < 400
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            NoisyOracle([0, 1], [2], error_rate=0.1)

@@ -1,0 +1,31 @@
+"""Unit tests for cleaning reports."""
+
+from repro.cleaning.report import CleaningReport, CleaningStep
+
+
+def make_report() -> CleaningReport:
+    report = CleaningReport()
+    report.steps = [
+        CleaningStep(iteration=0, row=4, chosen_candidate=1, cp_fraction_before=0.5),
+        CleaningStep(iteration=1, row=2, chosen_candidate=0, cp_fraction_before=0.75),
+    ]
+    report.final_fixed = {4: 1, 2: 0}
+    report.cp_fraction_final = 1.0
+    return report
+
+
+class TestCleaningReport:
+    def test_n_cleaned(self):
+        assert make_report().n_cleaned == 2
+
+    def test_cleaned_rows_in_order(self):
+        assert make_report().cleaned_rows() == [4, 2]
+
+    def test_cp_fraction_curve(self):
+        assert make_report().cp_fraction_curve() == [0.5, 0.75, 1.0]
+
+    def test_empty_report(self):
+        report = CleaningReport()
+        assert report.n_cleaned == 0
+        assert report.cleaned_rows() == []
+        assert report.cp_fraction_curve() == [0.0]

@@ -1,0 +1,114 @@
+"""Unit tests for the shared cleaning session."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning.oracle import GroundTruthOracle
+from repro.cleaning.random_clean import RandomCleanStrategy
+from repro.cleaning.sequential import CleaningSession
+from repro.core.dataset import IncompleteDataset
+from repro.core.queries import certain_label
+
+
+def tiny_dataset() -> IncompleteDataset:
+    # Two dirty rows; candidate 0 is the "truth" for both.
+    return IncompleteDataset(
+        [
+            np.array([[0.0], [6.0]]),
+            np.array([[10.0], [4.0]]),
+            np.array([[1.0]]),
+            np.array([[9.0]]),
+        ],
+        labels=[0, 1, 0, 1],
+    )
+
+
+def val_points() -> np.ndarray:
+    return np.array([[0.5], [9.5]])
+
+
+class TestSessionBasics:
+    def test_initial_state(self):
+        session = CleaningSession(tiny_dataset(), val_points(), k=1)
+        assert session.n_val == 2
+        assert session.remaining_dirty_rows() == [0, 1]
+        assert session.fixed == {}
+
+    def test_val_certainty_matches_query_api(self):
+        dataset = tiny_dataset()
+        session = CleaningSession(dataset, val_points(), k=1)
+        for i, t in enumerate(val_points()):
+            assert session.val_certain_labels()[i] == certain_label(dataset, t, k=1)
+
+    def test_clean_row_updates_state(self):
+        session = CleaningSession(tiny_dataset(), val_points(), k=1)
+        session.clean_row(0, 0)
+        assert session.fixed == {0: 0}
+        assert session.remaining_dirty_rows() == [1]
+
+    def test_clean_row_twice_rejected(self):
+        session = CleaningSession(tiny_dataset(), val_points(), k=1)
+        session.clean_row(0, 0)
+        with pytest.raises(ValueError, match="already cleaned"):
+            session.clean_row(0, 1)
+
+    def test_clean_row_bad_candidate(self):
+        session = CleaningSession(tiny_dataset(), val_points(), k=1)
+        with pytest.raises(IndexError):
+            session.clean_row(0, 9)
+
+    def test_cp_fraction_monotone_under_truthful_cleaning(self):
+        """Cleaning with the oracle can only keep or increase certainty."""
+        session = CleaningSession(tiny_dataset(), val_points(), k=1)
+        before = session.cp_fraction()
+        session.clean_row(0, 0)
+        mid = session.cp_fraction()
+        session.clean_row(1, 0)
+        after = session.cp_fraction()
+        assert before <= mid <= after
+        assert after == 1.0  # fully cleaned dataset is always certain
+
+
+class TestRunLoop:
+    def test_run_terminates_with_all_certain(self):
+        session = CleaningSession(tiny_dataset(), val_points(), k=1)
+        report = session.run(RandomCleanStrategy(seed=0), GroundTruthOracle([0, 0, 0, 0]))
+        assert report.cp_fraction_final == 1.0
+        assert not report.terminated_early
+        assert report.n_cleaned <= 2
+
+    def test_budget_stops_early(self):
+        session = CleaningSession(tiny_dataset(), val_points(), k=1)
+        report = session.run(
+            RandomCleanStrategy(seed=0), GroundTruthOracle([0, 0, 0, 0]), max_cleaned=0
+        )
+        if report.cp_fraction_final < 1.0:
+            assert report.terminated_early
+        assert report.n_cleaned == 0
+
+    def test_on_step_callback_invoked(self):
+        session = CleaningSession(tiny_dataset(), val_points(), k=1)
+        seen = []
+        report = session.run(
+            RandomCleanStrategy(seed=0),
+            GroundTruthOracle([0, 0, 0, 0]),
+            on_step=lambda step: seen.append(step.row),
+        )
+        # the callback saw exactly the cleaned rows, in order
+        assert seen == [step.row for step in report.steps]
+
+    def test_report_records_steps_in_order(self):
+        session = CleaningSession(tiny_dataset(), val_points(), k=1)
+        report = session.run(RandomCleanStrategy(seed=1), GroundTruthOracle([0, 0, 0, 0]))
+        iterations = [step.iteration for step in report.steps]
+        assert iterations == list(range(len(iterations)))
+        assert set(report.final_fixed) == {step.row for step in report.steps}
+
+    def test_multiclass_session_uses_counts_path(self):
+        dataset = IncompleteDataset(
+            [np.array([[0.0], [5.0]]), np.array([[2.0]]), np.array([[8.0]])],
+            labels=[0, 1, 2],
+        )
+        session = CleaningSession(dataset, np.array([[1.0]]), k=1)
+        labels = session.val_certain_labels()
+        assert len(labels) == 1

@@ -1,0 +1,92 @@
+"""Weighted-prior CPClean: uniform reduction, priors, end-to-end runs."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.cleaning.cp_clean import CPCleanStrategy
+from repro.cleaning.oracle import GroundTruthOracle
+from repro.cleaning.sequential import CleaningSession
+from repro.cleaning.weighted_clean import (
+    WeightedCPCleanStrategy,
+    distance_to_default_weights,
+    run_weighted_cp_clean,
+)
+from tests.conftest import random_incomplete_dataset
+
+
+@pytest.fixture
+def workload(rng: np.random.Generator):
+    dataset = random_incomplete_dataset(rng, n_rows=7, n_labels=2)
+    val_X = rng.normal(size=(3, dataset.n_features))
+    gt = [int(rng.integers(m)) for m in dataset.candidate_counts()]
+    return dataset, val_X, GroundTruthOracle(gt)
+
+
+class TestUniformReduction:
+    def test_uniform_prior_matches_cpclean_selection(self, workload) -> None:
+        dataset, val_X, _ = workload
+        session_a = CleaningSession(dataset, val_X, k=3)
+        session_b = CleaningSession(dataset, val_X, k=3)
+        remaining = session_a.remaining_dirty_rows()
+        row_plain, entropy_plain = CPCleanStrategy().select(session_a, remaining)
+        row_weighted, entropy_weighted = WeightedCPCleanStrategy().select(
+            session_b, remaining
+        )
+        assert row_plain == row_weighted
+        assert entropy_plain == pytest.approx(entropy_weighted, abs=1e-9)
+
+    def test_uniform_prior_matches_cpclean_full_run(self, workload) -> None:
+        dataset, val_X, oracle = workload
+        plain = CleaningSession(dataset, val_X, k=3).run(CPCleanStrategy(), oracle)
+        weighted = run_weighted_cp_clean(dataset, val_X, oracle, k=3)
+        assert plain.cleaned_rows() == weighted.cleaned_rows()
+        assert weighted.cp_fraction_final == 1.0
+
+
+class TestInformativePriors:
+    def test_distance_weights_are_a_distribution(self, workload) -> None:
+        dataset, _, _ = workload
+        default = np.zeros(dataset.n_rows, dtype=np.int64)
+        weights = distance_to_default_weights(dataset, default)
+        for row, row_weights in enumerate(weights):
+            assert sum(row_weights) == 1
+            assert all(w > 0 for w in row_weights)
+            assert len(row_weights) == dataset.candidates(row).shape[0]
+
+    def test_default_candidate_gets_largest_weight(self, workload) -> None:
+        dataset, _, _ = workload
+        default = np.zeros(dataset.n_rows, dtype=np.int64)
+        weights = distance_to_default_weights(dataset, default, sharpness=2.0)
+        for row in dataset.uncertain_rows():
+            assert weights[row][0] == max(weights[row])
+
+    def test_weighted_run_reaches_certainty(self, workload) -> None:
+        dataset, val_X, oracle = workload
+        default = np.zeros(dataset.n_rows, dtype=np.int64)
+        weights = distance_to_default_weights(dataset, default)
+        report = run_weighted_cp_clean(dataset, val_X, oracle, weights=weights, k=3)
+        assert report.cp_fraction_final == 1.0
+
+    def test_point_mass_prior_short_circuits_row(self, workload) -> None:
+        # A row whose prior is a point mass has zero expected entropy change
+        # contribution from other candidates; the run must still terminate.
+        dataset, val_X, oracle = workload
+        weights = []
+        for row in range(dataset.n_rows):
+            m = dataset.candidates(row).shape[0]
+            row_weights = [Fraction(0)] * m
+            row_weights[0] = Fraction(1)
+            weights.append(row_weights)
+        report = run_weighted_cp_clean(dataset, val_X, oracle, weights=weights, k=3)
+        assert report.cp_fraction_final == 1.0
+
+    def test_row_count_mismatch_rejected(self, workload) -> None:
+        dataset, val_X, _ = workload
+        session = CleaningSession(dataset, val_X, k=3)
+        strategy = WeightedCPCleanStrategy(weights=[[Fraction(1)]])
+        with pytest.raises(ValueError, match="rows"):
+            strategy.select(session, session.remaining_dirty_rows())

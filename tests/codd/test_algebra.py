@@ -1,0 +1,127 @@
+"""Unit tests for the relational-algebra AST and evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codd.algebra import (
+    Attribute,
+    Comparison,
+    Conjunction,
+    Difference,
+    Disjunction,
+    Join,
+    Literal,
+    Negation,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    evaluate,
+    is_positive,
+    predicate_attributes,
+)
+from repro.codd.relation import Relation
+
+
+@pytest.fixture
+def db() -> dict[str, Relation]:
+    return {
+        "person": Relation(
+            ("name", "age"), [("John", 32), ("Anna", 29), ("Kevin", 30)]
+        ),
+        "city": Relation(("name", "city"), [("John", "Rome"), ("Anna", "Paris")]),
+    }
+
+
+def age_lt(bound: int) -> Comparison:
+    return Comparison(Attribute("age"), "<", Literal(bound))
+
+
+class TestPredicates:
+    def test_comparison_operators(self) -> None:
+        schema, row = ("a",), (5,)
+        assert Comparison(Attribute("a"), "==", Literal(5)).holds(schema, row)
+        assert Comparison(Attribute("a"), "!=", Literal(4)).holds(schema, row)
+        assert Comparison(Attribute("a"), "<=", Literal(5)).holds(schema, row)
+        assert not Comparison(Attribute("a"), ">", Literal(5)).holds(schema, row)
+
+    def test_attribute_vs_attribute(self) -> None:
+        pred = Comparison(Attribute("a"), "<", Attribute("b"))
+        assert pred.holds(("a", "b"), (1, 2))
+        assert not pred.holds(("a", "b"), (2, 1))
+
+    def test_unknown_operator_rejected(self) -> None:
+        with pytest.raises(ValueError, match="operator"):
+            Comparison(Attribute("a"), "~", Literal(1))
+
+    def test_boolean_connectives(self) -> None:
+        schema, row = ("a",), (5,)
+        both = Conjunction(age := Comparison(Attribute("a"), ">", Literal(0)), age)
+        assert both.holds(schema, row)
+        assert Disjunction(Negation(age), age).holds(schema, row)
+        assert not Negation(age).holds(schema, row)
+
+    def test_unknown_attribute_raises(self) -> None:
+        with pytest.raises(KeyError, match="missing"):
+            Comparison(Attribute("missing"), "==", Literal(1)).holds(("a",), (1,))
+
+    def test_predicate_attributes_collects_all(self) -> None:
+        pred = Conjunction(
+            Comparison(Attribute("a"), "<", Attribute("b")),
+            Negation(Comparison(Attribute("c"), "==", Literal(1))),
+        )
+        assert predicate_attributes(pred) == {"a", "b", "c"}
+
+
+class TestEvaluation:
+    def test_scan(self, db: dict[str, Relation]) -> None:
+        assert evaluate(Scan("person"), db) == db["person"]
+
+    def test_scan_unknown_relation(self, db: dict[str, Relation]) -> None:
+        with pytest.raises(KeyError, match="nope"):
+            evaluate(Scan("nope"), db)
+
+    def test_figure1_select(self, db: dict[str, Relation]) -> None:
+        result = evaluate(Select(Scan("person"), age_lt(30)), db)
+        assert result.rows == {("Anna", 29)}
+
+    def test_project(self, db: dict[str, Relation]) -> None:
+        result = evaluate(Project(Scan("person"), ("name",)), db)
+        assert result.rows == {("John",), ("Anna",), ("Kevin",)}
+
+    def test_join(self, db: dict[str, Relation]) -> None:
+        result = evaluate(Join(Scan("person"), Scan("city")), db)
+        assert result.rows == {("John", 32, "Rome"), ("Anna", 29, "Paris")}
+
+    def test_union_and_difference(self, db: dict[str, Relation]) -> None:
+        young = Select(Scan("person"), age_lt(30))
+        rest = Difference(Scan("person"), young)
+        assert evaluate(rest, db).rows == {("John", 32), ("Kevin", 30)}
+        assert evaluate(Union(young, rest), db) == db["person"]
+
+    def test_rename_then_join_controls_join_attributes(self, db: dict[str, Relation]) -> None:
+        renamed = Rename(Scan("city"), {"name": "person_name"})
+        product = evaluate(Join(Scan("person"), renamed), db)
+        # no shared attributes after renaming -> Cartesian product
+        assert len(product) == len(db["person"]) * len(db["city"])
+
+    def test_composed_query(self, db: dict[str, Relation]) -> None:
+        q = Project(Select(Join(Scan("person"), Scan("city")), age_lt(30)), ("city",))
+        assert evaluate(q, db).rows == {("Paris",)}
+
+
+class TestPositivity:
+    def test_select_project_join_union_positive(self, db: dict[str, Relation]) -> None:
+        q = Union(
+            Project(Select(Scan("person"), age_lt(30)), ("name",)),
+            Project(Scan("city"), ("name",)),
+        )
+        assert is_positive(q)
+
+    def test_difference_not_positive(self) -> None:
+        assert not is_positive(Difference(Scan("a"), Scan("b")))
+
+    def test_negated_predicate_not_positive(self) -> None:
+        assert not is_positive(Select(Scan("a"), Negation(age_lt(30))))

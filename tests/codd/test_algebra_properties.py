@@ -1,0 +1,142 @@
+"""Property-based algebraic identities of the relational evaluator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codd.algebra import (
+    Attribute,
+    Comparison,
+    Conjunction,
+    Difference,
+    Disjunction,
+    Join,
+    Literal,
+    Negation,
+    Project,
+    Scan,
+    Select,
+    Union,
+    evaluate,
+)
+from repro.codd.relation import Relation
+
+
+def relations() -> st.SearchStrategy[Relation]:
+    row = st.tuples(
+        st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3)
+    )
+    return st.builds(
+        Relation, st.just(("a", "b")), st.lists(row, min_size=0, max_size=6)
+    )
+
+
+def predicates() -> st.SearchStrategy:
+    comparison = st.builds(
+        Comparison,
+        st.sampled_from([Attribute("a"), Attribute("b")]),
+        st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+        st.one_of(
+            st.builds(Literal, st.integers(min_value=0, max_value=3)),
+            st.sampled_from([Attribute("a"), Attribute("b")]),
+        ),
+    )
+    return st.one_of(comparison, st.builds(Negation, comparison))
+
+
+class TestSelectionIdentities:
+    @settings(max_examples=80, deadline=None)
+    @given(rel=relations(), p=predicates(), q=predicates())
+    def test_selections_commute_and_fuse(self, rel: Relation, p, q) -> None:
+        db = {"R": rel}
+        pq = evaluate(Select(Select(Scan("R"), p), q), db)
+        qp = evaluate(Select(Select(Scan("R"), q), p), db)
+        fused = evaluate(Select(Scan("R"), Conjunction(p, q)), db)
+        assert pq == qp == fused
+
+    @settings(max_examples=60, deadline=None)
+    @given(rel=relations(), p=predicates())
+    def test_selection_is_idempotent(self, rel: Relation, p) -> None:
+        db = {"R": rel}
+        once = evaluate(Select(Scan("R"), p), db)
+        twice = evaluate(Select(Select(Scan("R"), p), p), db)
+        assert once == twice
+
+    @settings(max_examples=60, deadline=None)
+    @given(rel=relations(), p=predicates())
+    def test_excluded_middle_partitions(self, rel: Relation, p) -> None:
+        db = {"R": rel}
+        yes = evaluate(Select(Scan("R"), p), db)
+        no = evaluate(Select(Scan("R"), Negation(p)), db)
+        assert yes.rows & no.rows == set()
+        assert yes.rows | no.rows == rel.rows
+
+    @settings(max_examples=60, deadline=None)
+    @given(rel=relations(), p=predicates(), q=predicates())
+    def test_disjunction_is_union_of_selections(self, rel: Relation, p, q) -> None:
+        db = {"R": rel}
+        either = evaluate(Select(Scan("R"), Disjunction(p, q)), db)
+        union = evaluate(Union(Select(Scan("R"), p), Select(Scan("R"), q)), db)
+        assert either == union
+
+
+class TestSetIdentities:
+    @settings(max_examples=60, deadline=None)
+    @given(rel=relations())
+    def test_union_and_difference_with_self(self, rel: Relation) -> None:
+        db = {"R": rel}
+        assert evaluate(Union(Scan("R"), Scan("R")), db) == rel
+        assert len(evaluate(Difference(Scan("R"), Scan("R")), db)) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(rel=relations(), p=predicates())
+    def test_difference_equals_negated_selection(self, rel: Relation, p) -> None:
+        db = {"R": rel}
+        by_difference = evaluate(Difference(Scan("R"), Select(Scan("R"), p)), db)
+        by_negation = evaluate(Select(Scan("R"), Negation(p)), db)
+        assert by_difference == by_negation
+
+
+class TestProjectionAndJoin:
+    @settings(max_examples=60, deadline=None)
+    @given(rel=relations())
+    def test_projection_is_idempotent(self, rel: Relation) -> None:
+        db = {"R": rel}
+        once = evaluate(Project(Scan("R"), ("a",)), db)
+        twice = evaluate(Project(Project(Scan("R"), ("a",)), ("a",)), db)
+        assert once == twice
+
+    @settings(max_examples=60, deadline=None)
+    @given(rel=relations())
+    def test_self_join_is_identity(self, rel: Relation) -> None:
+        # Natural join with itself on the full shared schema changes nothing.
+        db = {"R": rel}
+        assert evaluate(Join(Scan("R"), Scan("R")), db) == rel
+
+    @settings(max_examples=60, deadline=None)
+    @given(left=relations(), right=relations())
+    def test_join_commutes_up_to_column_order(self, left: Relation, right: Relation) -> None:
+        db = {"L": left, "R": right.renamed({"b": "c"})}
+        lr = evaluate(Join(Scan("L"), Scan("R")), db)
+        rl = evaluate(Join(Scan("R"), Scan("L")), db)
+        assert lr.project(("a", "b", "c")) == rl.project(("a", "b", "c"))
+
+    @settings(max_examples=60, deadline=None)
+    @given(rel=relations(), p=predicates())
+    def test_selection_pushes_through_join(self, rel: Relation, p) -> None:
+        # σ_p(R ⋈ S) == σ_p(R) ⋈ S when p reads only R's attributes —
+        # here S shares the full schema, so both sides apply.
+        db = {"R": rel}
+        outside = evaluate(Select(Join(Scan("R"), Scan("R")), p), db)
+        inside = evaluate(Join(Select(Scan("R"), p), Scan("R")), db)
+        assert outside == inside
+
+
+@pytest.mark.parametrize("bad_schema_pair", [(("a",), ("b",)), (("a", "b"), ("a",))])
+def test_union_compatible_schemas_enforced(bad_schema_pair) -> None:
+    left = Relation(bad_schema_pair[0], [])
+    right = Relation(bad_schema_pair[1], [])
+    with pytest.raises(ValueError):
+        evaluate(Union(Scan("L"), Scan("R")), {"L": left, "R": right})

@@ -1,0 +1,76 @@
+"""The Codd-table → IncompleteDataset bridge (Figure 1, bottom half)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codd.bridge import codd_table_to_incomplete_dataset
+from repro.codd.codd_table import CoddTable, Null
+from repro.core.queries import certain_label, q2_counts
+
+
+@pytest.fixture
+def table() -> CoddTable:
+    return CoddTable(
+        ("x1", "x2", "cls"),
+        [
+            (1.0, 2.0, 0),
+            (Null([0.0, 5.0]), 1.0, 1),
+            (3.0, Null([0.5, 1.5, 2.5]), 0),
+        ],
+    )
+
+
+class TestConversion:
+    def test_row_and_world_counts(self, table: CoddTable) -> None:
+        ds = codd_table_to_incomplete_dataset(table, ("x1", "x2"), "cls")
+        assert ds.n_rows == 3
+        assert ds.candidate_counts().tolist() == [1, 2, 3]
+        assert ds.n_worlds() == table.n_worlds() == 6
+
+    def test_labels_carried_over(self, table: CoddTable) -> None:
+        ds = codd_table_to_incomplete_dataset(table, ("x1", "x2"), "cls")
+        assert ds.labels.tolist() == [0, 1, 0]
+
+    def test_feature_order_respected(self, table: CoddTable) -> None:
+        ds = codd_table_to_incomplete_dataset(table, ("x2", "x1"), "cls")
+        np.testing.assert_allclose(ds.candidates(0), [[2.0, 1.0]])
+
+    def test_two_nulls_in_one_row_take_cartesian_product(self) -> None:
+        table = CoddTable(
+            ("x1", "x2", "cls"), [(Null([0.0, 1.0]), Null([2.0, 3.0]), 1)]
+        )
+        ds = codd_table_to_incomplete_dataset(table, ("x1", "x2"), "cls")
+        got = {tuple(row) for row in ds.candidates(0)}
+        assert got == {(0.0, 2.0), (0.0, 3.0), (1.0, 2.0), (1.0, 3.0)}
+
+    def test_null_label_rejected(self) -> None:
+        table = CoddTable(("x", "cls"), [(1.0, Null([0, 1]))])
+        with pytest.raises(ValueError, match="label"):
+            codd_table_to_incomplete_dataset(table, ("x",), "cls")
+
+    def test_label_listed_as_feature_rejected(self, table: CoddTable) -> None:
+        with pytest.raises(ValueError, match="also listed"):
+            codd_table_to_incomplete_dataset(table, ("x1", "cls"), "cls")
+
+    def test_candidate_blowup_guard(self) -> None:
+        table = CoddTable(
+            ("a", "b", "cls"), [(Null(range(200)), Null(range(200)), 0)]
+        )
+        with pytest.raises(ValueError, match="cap"):
+            codd_table_to_incomplete_dataset(table, ("a", "b"), "cls", max_candidates_per_row=100)
+
+
+class TestEndToEndFigure1:
+    """The same incomplete table answers both a SQL query and a CP query."""
+
+    def test_cp_queries_run_on_bridged_dataset(self, table: CoddTable) -> None:
+        ds = codd_table_to_incomplete_dataset(table, ("x1", "x2"), "cls")
+        t = np.array([0.0, 1.0])
+        counts = q2_counts(ds, t, k=1)
+        assert sum(counts) == ds.n_worlds()
+        # certain_label is None or a valid label, and consistent with counts
+        label = certain_label(ds, t, k=1)
+        if label is not None:
+            assert counts[label] == ds.n_worlds()

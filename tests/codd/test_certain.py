@@ -1,0 +1,198 @@
+"""Certain/possible answers: Figure-1 walkthrough, tractable-vs-naive equivalence."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codd.algebra import (
+    Attribute,
+    Comparison,
+    Conjunction,
+    Literal,
+    Negation,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.codd.certain import (
+    certain_answers,
+    certain_answers_naive,
+    certain_answers_select_project,
+    possible_answers,
+    possible_answers_naive,
+    possible_answers_select_project,
+)
+from repro.codd.codd_table import CoddTable, Null
+
+
+def age_query() -> Project:
+    """SELECT name FROM T WHERE age < 30 — the paper's Figure 1 query."""
+    return Project(
+        Select(Scan("T"), Comparison(Attribute("age"), "<", Literal(30))), ("name",)
+    )
+
+
+class TestFigure1:
+    """The running example of the paper's introduction."""
+
+    @pytest.fixture
+    def table(self) -> CoddTable:
+        return CoddTable(
+            ("name", "age"),
+            [("John", 32), ("Anna", 29), ("Kevin", Null([1, 2, 30]))],
+        )
+
+    def test_certain_answer_is_anna_only(self, table: CoddTable) -> None:
+        # Kevin's age may be 30, which fails the predicate: not certain.
+        assert certain_answers(age_query(), table).rows == {("Anna",)}
+
+    def test_possible_answers_include_kevin(self, table: CoddTable) -> None:
+        assert possible_answers(age_query(), table).rows == {("Anna",), ("Kevin",)}
+
+    def test_kevin_certain_once_cleaned_young(self, table: CoddTable) -> None:
+        cleaned = table.with_cell_fixed(2, 1, 2)
+        assert certain_answers(age_query(), cleaned).rows == {("Anna",), ("Kevin",)}
+
+    def test_kevin_out_once_cleaned_old(self, table: CoddTable) -> None:
+        cleaned = table.with_cell_fixed(2, 1, 30)
+        assert certain_answers(age_query(), cleaned).rows == {("Anna",)}
+
+
+class TestTractablePath:
+    def test_identity_query_certain_rows_are_constant_rows(self) -> None:
+        table = CoddTable(("a",), [(1,), (Null([2, 3]),)])
+        assert certain_answers_select_project(Scan("T"), table).rows == {(1,)}
+
+    def test_null_with_singleton_domain_is_effectively_constant(self) -> None:
+        table = CoddTable(("a",), [(Null([7]),)])
+        assert certain_answers_select_project(Scan("T"), table).rows == {(7,)}
+
+    def test_projection_hides_uncertain_attribute(self) -> None:
+        table = CoddTable(("name", "age"), [("Kevin", Null([1, 2]))])
+        q = Project(Scan("T"), ("name",))
+        # Kevin appears regardless of the NULL: certain after projection.
+        assert certain_answers_select_project(q, table).rows == {("Kevin",)}
+
+    def test_predicate_must_hold_for_all_completions(self) -> None:
+        table = CoddTable(("age",), [(Null([10, 20]),)])
+        lt_30 = Select(Scan("T"), Comparison(Attribute("age"), "<", Literal(30)))
+        lt_15 = Select(Scan("T"), Comparison(Attribute("age"), "<", Literal(15)))
+        # age < 30 holds for both completions, but projecting age keeps the
+        # value visible, so neither completion's tuple is certain.
+        assert certain_answers_select_project(lt_30, table).rows == set()
+        # hiding the value makes it certain:
+        table2 = CoddTable(("name", "age"), [("p", Null([10, 20]))])
+        q = Project(
+            Select(Scan("T"), Comparison(Attribute("age"), "<", Literal(30))), ("name",)
+        )
+        assert certain_answers_select_project(q, table2).rows == {("p",)}
+        q_strict = Project(
+            Select(Scan("T"), Comparison(Attribute("age"), "<", Literal(15))), ("name",)
+        )
+        assert certain_answers_select_project(q_strict, table2).rows == set()
+        del lt_15
+
+    def test_rename_supported(self) -> None:
+        table = CoddTable(("a",), [(1,)])
+        q = Select(Rename(Scan("T"), {"a": "b"}), Comparison(Attribute("b"), "==", Literal(1)))
+        assert certain_answers(q, table).rows == {(1,)}
+
+    def test_non_select_project_shape_rejected(self) -> None:
+        table = CoddTable(("a",), [(1,)])
+        q = Union(Scan("T"), Scan("T"))
+        with pytest.raises(ValueError, match="shape"):
+            certain_answers_select_project(q, table)
+        with pytest.raises(ValueError, match="shape"):
+            possible_answers_select_project(q, table)
+
+    def test_dispatcher_falls_back_to_naive_for_union(self) -> None:
+        table = CoddTable(("a",), [(Null([1, 2]),)])
+        q = Union(Scan("T"), Scan("T"))
+        assert certain_answers(q, table).rows == set()
+        assert possible_answers(q, table).rows == {(1,), (2,)}
+
+
+def small_codd_tables() -> st.SearchStrategy[CoddTable]:
+    """Random 1-3 row, 2-attribute tables over a tiny value universe."""
+    cell = st.one_of(
+        st.integers(min_value=0, max_value=3),
+        st.builds(
+            Null,
+            st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=3, unique=True),
+        ),
+    )
+    row = st.tuples(cell, cell)
+    return st.builds(
+        CoddTable, st.just(("a", "b")), st.lists(row, min_size=1, max_size=3)
+    )
+
+
+def select_project_queries() -> st.SearchStrategy:
+    comparison = st.builds(
+        Comparison,
+        st.sampled_from([Attribute("a"), Attribute("b")]),
+        st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+        st.one_of(
+            st.builds(Literal, st.integers(min_value=0, max_value=3)),
+            st.sampled_from([Attribute("a"), Attribute("b")]),
+        ),
+    )
+    predicate = st.one_of(
+        comparison,
+        st.builds(lambda p, q: Conjunction(p, q), comparison, comparison),
+        st.builds(Negation, comparison),
+    )
+    selected = st.builds(Select, st.just(Scan("T")), predicate)
+    return st.one_of(
+        selected,
+        st.builds(Project, selected, st.sampled_from([("a",), ("b",), ("a", "b")])),
+        st.builds(Project, st.just(Scan("T")), st.sampled_from([("a",), ("b",)])),
+    )
+
+
+class TestTractableMatchesNaive:
+    """The select-project fast path must agree with world enumeration."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(table=small_codd_tables(), query=select_project_queries())
+    def test_certain_answers_agree(self, table: CoddTable, query) -> None:
+        fast = certain_answers_select_project(query, table)
+        naive = certain_answers_naive(query, table)
+        assert fast == naive
+
+    @settings(max_examples=150, deadline=None)
+    @given(table=small_codd_tables(), query=select_project_queries())
+    def test_possible_answers_agree(self, table: CoddTable, query) -> None:
+        fast = possible_answers_select_project(query, table)
+        naive = possible_answers_naive(query, table)
+        assert fast == naive
+
+
+class TestCleaningMonotonicity:
+    """Fixing a NULL can only grow certain answers and shrink possible ones."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(table=small_codd_tables(), query=select_project_queries(), data=st.data())
+    def test_monotone_under_cell_fix(self, table: CoddTable, query, data) -> None:
+        if table.n_variables == 0:
+            return
+        r, c, null = table.variables[0]
+        value = data.draw(st.sampled_from(null.domain), label="cleaned value")
+        cleaned = table.with_cell_fixed(r, c, value)
+        assert certain_answers(query, table).rows <= certain_answers(query, cleaned).rows
+        assert possible_answers(query, cleaned).rows <= possible_answers(query, table).rows
+
+
+class TestGuards:
+    def test_naive_enumeration_cap(self) -> None:
+        # 21 binary NULLs -> 2^21 worlds, above the 10^6 cap.
+        rows = [(Null([0, 1]), 0)] * 21
+        table = CoddTable(("a", "b"), rows)
+        with pytest.raises(ValueError, match="cap"):
+            certain_answers_naive(Union(Scan("T"), Scan("T")), table)
+        # ... but the tractable path handles the same table instantly.
+        assert certain_answers(Project(Scan("T"), ("b",)), table).rows == {(0,)}

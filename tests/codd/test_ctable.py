@@ -1,0 +1,247 @@
+"""Conditional tables: closure under the algebra and certain answers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codd.algebra import (
+    Attribute,
+    Comparison,
+    Difference,
+    Join,
+    Literal,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.codd.ctable import (
+    CAnd,
+    CComparison,
+    CNot,
+    COr,
+    CTable,
+    CTrue,
+    CVar,
+    ConditionalRow,
+    ctable_certain_answers,
+    ctable_certain_rows,
+    ctable_possible_answers,
+    evaluate_ctable,
+)
+from repro.codd.relation import Relation
+
+
+class TestConditions:
+    def test_ctrue_always_holds(self) -> None:
+        assert CTrue().holds({})
+
+    def test_comparison_resolves_variables(self) -> None:
+        x = CVar("x", [1, 2])
+        assert CComparison(x, "==", 1).holds({"x": 1})
+        assert not CComparison(x, "==", 1).holds({"x": 2})
+
+    def test_connectives(self) -> None:
+        x = CVar("x", [1, 2])
+        c = CComparison(x, "==", 1)
+        assert CAnd(c, CTrue()).holds({"x": 1})
+        assert COr(CNot(c), c).holds({"x": 2})
+        assert not CAnd(c, CNot(CTrue())).holds({"x": 1})
+
+    def test_unknown_operator_rejected(self) -> None:
+        with pytest.raises(ValueError, match="operator"):
+            CComparison(1, "~", 2)
+
+    def test_variable_needs_domain(self) -> None:
+        with pytest.raises(ValueError, match="domain"):
+            CVar("x", [])
+        with pytest.raises(ValueError, match="non-empty"):
+            CVar("", [1])
+
+
+class TestCTableModel:
+    def test_variables_collected_from_cells_and_conditions(self) -> None:
+        x, y = CVar("x", [1, 2]), CVar("y", [0, 1])
+        table = CTable(
+            ("a",), [ConditionalRow((x,), CComparison(y, "==", 1))]
+        )
+        assert set(table.variables) == {"x", "y"}
+        assert table.n_valuations() == 4
+
+    def test_conflicting_domains_rejected(self) -> None:
+        with pytest.raises(ValueError, match="two different domains"):
+            CTable(
+                ("a", "b"),
+                [ConditionalRow((CVar("x", [1]), CVar("x", [1, 2])))],
+            )
+
+    def test_shared_variable_correlates_cells(self) -> None:
+        # The classic c-table power: two cells forced equal.
+        x = CVar("x", [1, 2])
+        table = CTable(("a", "b"), [ConditionalRow((x, x))])
+        worlds = {frozenset(w.rows) for w in table.possible_worlds()}
+        assert worlds == {frozenset({(1, 1)}), frozenset({(2, 2)})}
+
+    def test_condition_can_suppress_row(self) -> None:
+        x = CVar("x", [1, 2])
+        table = CTable(
+            ("a",),
+            [ConditionalRow((0,), CComparison(x, "==", 1)), ConditionalRow((9,))],
+        )
+        sizes = sorted(len(w) for w in table.possible_worlds())
+        assert sizes == [1, 2]
+
+    def test_arity_checked(self) -> None:
+        with pytest.raises(ValueError, match="arity"):
+            CTable(("a", "b"), [ConditionalRow((1,))])
+
+    def test_from_relation(self) -> None:
+        rel = Relation(("a",), [(1,), (2,)])
+        table = CTable.from_relation(rel)
+        assert table.n_valuations() == 1
+        assert next(iter(table.possible_worlds())) == rel
+
+
+def run_both(query, ctable: CTable, name: str = "T"):
+    """Evaluate over the c-table and, world-by-world, over its possible worlds."""
+    from repro.codd.algebra import evaluate
+
+    result_table = evaluate_ctable(query, {name: ctable})
+    symbolic = [result_table.world(v) for v in ctable_valuations_of(result_table, ctable)]
+    direct = [evaluate(query, {name: w}) for w in ctable.possible_worlds()]
+    return symbolic, direct
+
+
+def ctable_valuations_of(result: CTable, source: CTable):
+    """Valuations of the *source* extended over any vars the result shares.
+
+    Evaluation never invents variables, so the source's valuations cover the
+    result; missing names (rows whose condition folded to constants) get a
+    dummy pass-through.
+    """
+    for valuation in source.valuations():
+        yield valuation
+
+
+class TestClosure:
+    """evaluate_ctable must commute with possible-world semantics."""
+
+    @pytest.fixture
+    def table(self) -> CTable:
+        x, y = CVar("x", [1, 2]), CVar("y", [2, 3])
+        return CTable(
+            ("a", "b"),
+            [
+                ConditionalRow((1, "u")),
+                ConditionalRow((x, "v")),
+                ConditionalRow((y, "u"), CComparison(x, "==", 2)),
+            ],
+        )
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            Select(Scan("T"), Comparison(Attribute("a"), "<", Literal(3))),
+            Select(Scan("T"), Comparison(Attribute("b"), "==", Literal("u"))),
+            Project(Scan("T"), ("a",)),
+            Project(Scan("T"), ("b",)),
+            Rename(Scan("T"), {"a": "z"}),
+            Union(Scan("T"), Scan("T")),
+        ],
+        ids=["select-num", "select-str", "project-a", "project-b", "rename", "union"],
+    )
+    def test_unary_ops_commute_with_worlds(self, table: CTable, query) -> None:
+        symbolic, direct = run_both(query, table)
+        assert symbolic == direct
+
+    def test_join_commutes_with_worlds(self, table: CTable) -> None:
+        q = Join(
+            Project(Scan("T"), ("a",)),
+            Rename(Project(Scan("T"), ("b",)), {"b": "c"}),
+        )
+        symbolic, direct = run_both(q, table)
+        assert symbolic == direct
+
+    def test_self_join_on_uncertain_attribute(self) -> None:
+        x = CVar("x", [1, 2])
+        table = CTable(("a", "b"), [ConditionalRow((x, "l")), ConditionalRow((2, "r"))])
+        q = Join(
+            Project(Scan("T"), ("a",)), Project(Scan("T"), ("a",))
+        )
+        symbolic, direct = run_both(q, table)
+        assert symbolic == direct
+
+    def test_difference_commutes_with_worlds(self, table: CTable) -> None:
+        young = Select(Scan("T"), Comparison(Attribute("a"), "<", Literal(2)))
+        q = Difference(Scan("T"), young)
+        symbolic, direct = run_both(q, table)
+        assert symbolic == direct
+
+    def test_difference_with_variables_on_both_sides(self) -> None:
+        x = CVar("x", [1, 2])
+        left = CTable(("a",), [ConditionalRow((x,)), ConditionalRow((1,))])
+        q = Difference(Scan("T"), Select(Scan("T"), Comparison(Attribute("a"), "==", Literal(2))))
+        symbolic = evaluate_ctable(q, {"T": left})
+        for valuation, world in zip(left.valuations(), left.possible_worlds()):
+            from repro.codd.algebra import evaluate
+
+            assert symbolic.world(valuation) == evaluate(q, {"T": world})
+
+
+class TestCertainAnswers:
+    def test_certain_rows_fast_path(self) -> None:
+        x = CVar("x", [1, 2])
+        table = CTable(
+            ("a",),
+            [
+                ConditionalRow((7,)),  # constant, unconditional: certain
+                ConditionalRow((x,)),  # variable cell: not syntactically certain
+                ConditionalRow((8,), CComparison(x, "==", 1)),  # conditional
+                ConditionalRow((9,), COr(CComparison(x, "==", 1), CComparison(x, "==", 2))),
+            ],
+        )
+        # Row 9's condition is valid over x's domain: certain.
+        assert ctable_certain_rows(table).rows == {(7,), (9,)}
+
+    def test_fast_path_is_sound_but_incomplete(self) -> None:
+        # (1,) is certain through *different* rows in different valuations;
+        # the syntactic path misses it, full enumeration finds it.
+        x = CVar("x", [1, 2])
+        table = CTable(
+            ("a",),
+            [
+                ConditionalRow((1,), CComparison(x, "==", 1)),
+                ConditionalRow((1,), CComparison(x, "==", 2)),
+            ],
+        )
+        assert ctable_certain_rows(table).rows == set()
+        assert ctable_certain_answers(table).rows == {(1,)}
+
+    def test_certain_vs_possible(self) -> None:
+        x = CVar("x", [1, 2])
+        table = CTable(("a",), [ConditionalRow((x,)), ConditionalRow((1,))])
+        assert ctable_certain_answers(table).rows == {(1,)}
+        assert ctable_possible_answers(table).rows == {(1,), (2,)}
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_certain_subset_of_possible(self, data: st.data) -> None:
+        x = CVar("x", [0, 1])
+        y = CVar("y", [0, 1, 2])
+        cells = st.sampled_from([0, 1, 2, x, y])
+        conds = st.sampled_from(
+            [CTrue(), CComparison(x, "==", 1), CNot(CComparison(y, "<", 1)),
+             CAnd(CComparison(x, "==", 0), CComparison(y, "!=", 2))]
+        )
+        rows = data.draw(
+            st.lists(st.builds(ConditionalRow, st.tuples(cells), conds), min_size=1, max_size=4),
+            label="rows",
+        )
+        table = CTable(("a",), rows)
+        certain = ctable_certain_answers(table).rows
+        possible = ctable_possible_answers(table).rows
+        assert certain <= possible
+        assert ctable_certain_rows(table).rows <= certain

@@ -1,0 +1,86 @@
+"""Certain answers over multi-table databases (joins across Codd tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codd.algebra import (
+    Attribute,
+    Comparison,
+    Join,
+    Literal,
+    Project,
+    Scan,
+    Select,
+)
+from repro.codd.certain import (
+    certain_answers_database,
+    certain_answers_naive,
+    possible_answers_database,
+)
+from repro.codd.codd_table import CoddTable, Null
+
+
+@pytest.fixture
+def database() -> dict[str, CoddTable]:
+    person = CoddTable(
+        ("name", "age"),
+        [("John", 32), ("Anna", 29), ("Kevin", Null([28, 31]))],
+    )
+    city = CoddTable(
+        ("name", "city"),
+        [("John", "Rome"), ("Anna", Null(["Paris", "Lyon"])), ("Kevin", "Rome")],
+    )
+    return {"person": person, "city": city}
+
+
+def young_city_query() -> Project:
+    """SELECT city FROM person ⋈ city WHERE age < 30."""
+    return Project(
+        Select(
+            Join(Scan("person"), Scan("city")),
+            Comparison(Attribute("age"), "<", Literal(30)),
+        ),
+        ("city",),
+    )
+
+
+class TestJoinAcrossTables:
+    def test_certain_join_answers(self, database) -> None:
+        # Anna is certainly < 30 but her city is uncertain; Kevin's city is
+        # certain but his age may be 31 — so no city is certain.
+        result = certain_answers_database(young_city_query(), database)
+        assert result.rows == set()
+
+    def test_possible_join_answers(self, database) -> None:
+        result = possible_answers_database(young_city_query(), database)
+        assert result.rows == {("Paris",), ("Lyon",), ("Rome",)}
+
+    def test_cleaning_one_table_creates_certainty(self, database) -> None:
+        # Fix Anna's city: Paris becomes a certain answer of the join.
+        cleaned = dict(database)
+        cleaned["city"] = database["city"].with_cell_fixed(1, 1, "Paris")
+        result = certain_answers_database(young_city_query(), cleaned)
+        assert result.rows == {("Paris",)}
+
+    def test_join_on_fully_certain_tables(self) -> None:
+        a = CoddTable(("id", "x"), [(1, "u"), (2, "v")])
+        b = CoddTable(("id", "y"), [(1, "w")])
+        result = certain_answers_database(Join(Scan("a"), Scan("b")), {"a": a, "b": b})
+        assert result.rows == {(1, "u", "w")}
+
+    def test_single_table_database_matches_naive(self, database) -> None:
+        query = Project(
+            Select(Scan("person"), Comparison(Attribute("age"), "<", Literal(30))),
+            ("name",),
+        )
+        single = {"person": database["person"]}
+        assert certain_answers_database(query, single) == certain_answers_naive(
+            query, database["person"], name="person"
+        )
+
+    def test_world_cap_enforced(self) -> None:
+        big = CoddTable(("a",), [(Null(range(100)),)] * 4)
+        database = {"x": big, "y": big}
+        with pytest.raises(ValueError, match="cap"):
+            certain_answers_database(Scan("x"), database)

@@ -1,0 +1,103 @@
+"""Unit tests for the complete-relation substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codd.relation import Relation
+
+
+@pytest.fixture
+def person() -> Relation:
+    return Relation(("name", "age"), [("John", 32), ("Anna", 29), ("Kevin", 30)])
+
+
+class TestConstruction:
+    def test_schema_preserved_in_order(self, person: Relation) -> None:
+        assert person.schema == ("name", "age")
+
+    def test_duplicates_collapse(self) -> None:
+        rel = Relation(("a",), [(1,), (1,), (2,)])
+        assert len(rel) == 2
+
+    def test_empty_relation_allowed(self) -> None:
+        rel = Relation(("a", "b"))
+        assert len(rel) == 0
+
+    def test_empty_schema_rejected(self) -> None:
+        with pytest.raises(ValueError, match="at least one attribute"):
+            Relation((), [()])
+
+    def test_duplicate_attribute_rejected(self) -> None:
+        with pytest.raises(ValueError, match="duplicate"):
+            Relation(("a", "a"), [])
+
+    def test_non_string_attribute_rejected(self) -> None:
+        with pytest.raises(ValueError, match="non-empty strings"):
+            Relation(("a", 3), [])
+
+    def test_arity_mismatch_rejected(self) -> None:
+        with pytest.raises(ValueError, match="arity"):
+            Relation(("a", "b"), [(1,)])
+
+
+class TestAccessors:
+    def test_membership(self, person: Relation) -> None:
+        assert ("Anna", 29) in person
+        assert ("Anna", 30) not in person
+
+    def test_column_values(self, person: Relation) -> None:
+        assert person.column("age") == {29, 30, 32}
+
+    def test_unknown_attribute_raises_keyerror(self, person: Relation) -> None:
+        with pytest.raises(KeyError, match="zip"):
+            person.attribute_index("zip")
+
+    def test_equality_is_schema_and_rows(self, person: Relation) -> None:
+        same = Relation(("name", "age"), [("Kevin", 30), ("Anna", 29), ("John", 32)])
+        assert person == same
+        assert hash(person) == hash(same)
+
+    def test_inequality_on_schema(self, person: Relation) -> None:
+        other = Relation(("n", "age"), person.rows)
+        assert person != other
+
+
+class TestOperators:
+    def test_project_removes_duplicates(self) -> None:
+        rel = Relation(("a", "b"), [(1, "x"), (1, "y")])
+        assert rel.project(("a",)) == Relation(("a",), [(1,)])
+
+    def test_project_reorders(self, person: Relation) -> None:
+        swapped = person.project(("age", "name"))
+        assert swapped.schema == ("age", "name")
+        assert (29, "Anna") in swapped
+
+    def test_union_and_difference(self) -> None:
+        a = Relation(("x",), [(1,), (2,)])
+        b = Relation(("x",), [(2,), (3,)])
+        assert a.union(b) == Relation(("x",), [(1,), (2,), (3,)])
+        assert a.difference(b) == Relation(("x",), [(1,)])
+
+    def test_union_schema_mismatch(self) -> None:
+        a = Relation(("x",), [(1,)])
+        b = Relation(("y",), [(1,)])
+        with pytest.raises(ValueError, match="union"):
+            a.union(b)
+
+    def test_natural_join_on_shared_attribute(self) -> None:
+        left = Relation(("id", "name"), [(1, "a"), (2, "b")])
+        right = Relation(("id", "dept"), [(1, "x"), (1, "y"), (3, "z")])
+        joined = left.natural_join(right)
+        assert joined.schema == ("id", "name", "dept")
+        assert joined.rows == {(1, "a", "x"), (1, "a", "y")}
+
+    def test_join_without_shared_attributes_is_product(self) -> None:
+        left = Relation(("a",), [(1,), (2,)])
+        right = Relation(("b",), [("x",), ("y",)])
+        assert len(left.natural_join(right)) == 4
+
+    def test_renamed(self, person: Relation) -> None:
+        renamed = person.renamed({"name": "who"})
+        assert renamed.schema == ("who", "age")
+        assert renamed.rows == person.rows

@@ -1,0 +1,161 @@
+"""The SQL front door: parsing, precedence, errors, agreement with the algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codd.algebra import (
+    Attribute,
+    Comparison,
+    Conjunction,
+    Disjunction,
+    Literal,
+    Negation,
+    Project,
+    Scan,
+    Select,
+    evaluate,
+)
+from repro.codd.certain import certain_answers
+from repro.codd.codd_table import CoddTable, Null
+from repro.codd.relation import Relation
+from repro.codd.sql import SqlError, parse_sql
+
+
+class TestParsing:
+    def test_figure1_query(self) -> None:
+        query = parse_sql("SELECT name FROM person WHERE age < 30")
+        assert query == Project(
+            Select(Scan("person"), Comparison(Attribute("age"), "<", Literal(30))),
+            ("name",),
+        )
+
+    def test_star_means_no_projection(self) -> None:
+        assert parse_sql("SELECT * FROM t") == Scan("t")
+
+    def test_star_with_where(self) -> None:
+        query = parse_sql("SELECT * FROM t WHERE a = 1")
+        assert query == Select(Scan("t"), Comparison(Attribute("a"), "==", Literal(1)))
+
+    def test_multiple_columns(self) -> None:
+        query = parse_sql("SELECT a, b FROM t")
+        assert query == Project(Scan("t"), ("a", "b"))
+
+    def test_keywords_case_insensitive(self) -> None:
+        assert parse_sql("select a from t") == parse_sql("SELECT a FROM t")
+
+    def test_string_literals_both_quote_styles(self) -> None:
+        single = parse_sql("SELECT * FROM t WHERE city = 'Rome'")
+        double = parse_sql('SELECT * FROM t WHERE city = "Rome"')
+        assert single == double
+
+    def test_numbers_parse_as_int_or_float(self) -> None:
+        q_int = parse_sql("SELECT * FROM t WHERE a = 3")
+        q_float = parse_sql("SELECT * FROM t WHERE a = 3.5")
+        assert q_int.predicate.right == Literal(3)
+        assert q_float.predicate.right == Literal(3.5)
+
+    def test_sql_operator_spellings(self) -> None:
+        eq = parse_sql("SELECT * FROM t WHERE a = 1")
+        neq = parse_sql("SELECT * FROM t WHERE a <> 1")
+        assert eq.predicate.op == "=="
+        assert neq.predicate.op == "!="
+
+    def test_column_to_column_comparison(self) -> None:
+        query = parse_sql("SELECT * FROM t WHERE a < b")
+        assert query.predicate == Comparison(Attribute("a"), "<", Attribute("b"))
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self) -> None:
+        query = parse_sql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        pred = query.predicate
+        assert isinstance(pred, Disjunction)
+        assert isinstance(pred.parts[1], Conjunction)
+
+    def test_parentheses_override(self) -> None:
+        query = parse_sql("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        pred = query.predicate
+        assert isinstance(pred, Conjunction)
+        assert isinstance(pred.parts[0], Disjunction)
+
+    def test_not_binds_tightest(self) -> None:
+        query = parse_sql("SELECT * FROM t WHERE NOT a = 1 AND b = 2")
+        pred = query.predicate
+        assert isinstance(pred, Conjunction)
+        assert isinstance(pred.parts[0], Negation)
+
+    def test_double_negation(self) -> None:
+        query = parse_sql("SELECT * FROM t WHERE NOT NOT a = 1")
+        assert isinstance(query.predicate, Negation)
+        assert isinstance(query.predicate.part, Negation)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "SELECT",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT FROM t",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t WHERE a",
+            "SELECT a FROM t WHERE a <",
+            "SELECT a FROM t WHERE (a = 1",
+            "SELECT a FROM t extra",
+            "DELETE FROM t",
+            "SELECT a FROM t WHERE a ~ 1",
+        ],
+        ids=lambda s: repr(s)[:30],
+    )
+    def test_malformed_queries_raise(self, text: str) -> None:
+        with pytest.raises(SqlError):
+            parse_sql(text)
+
+    def test_sql_error_is_value_error(self) -> None:
+        assert issubclass(SqlError, ValueError)
+
+
+class TestSemantics:
+    @pytest.fixture
+    def db(self) -> dict[str, Relation]:
+        return {
+            "person": Relation(
+                ("name", "age", "city"),
+                [
+                    ("John", 32, "Rome"),
+                    ("Anna", 29, "Paris"),
+                    ("Kevin", 30, "Rome"),
+                ],
+            )
+        }
+
+    def test_parsed_query_evaluates(self, db) -> None:
+        query = parse_sql("SELECT name FROM person WHERE age < 30 OR city = 'Rome'")
+        assert evaluate(query, db).rows == {("John",), ("Anna",), ("Kevin",)}
+
+    def test_parsed_query_certain_answers(self) -> None:
+        table = CoddTable(
+            ("name", "age"),
+            [("John", 32), ("Anna", 29), ("Kevin", Null([1, 2, 30]))],
+        )
+        query = parse_sql("SELECT name FROM T WHERE age < 30")
+        assert certain_answers(query, table).rows == {("Anna",)}
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        bound=st.integers(min_value=0, max_value=40),
+        op=st.sampled_from(["<", "<=", ">", ">=", "=", "<>"]),
+    )
+    def test_parse_matches_hand_built_ast(self, bound: int, op: str) -> None:
+        parsed = parse_sql(f"SELECT name FROM t WHERE age {op} {bound}")
+        canonical = {"=": "==", "<>": "!="}.get(op, op)
+        expected = Project(
+            Select(Scan("t"), Comparison(Attribute("age"), canonical, Literal(bound))),
+            ("name",),
+        )
+        assert parsed == expected

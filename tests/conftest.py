@@ -1,0 +1,51 @@
+"""Shared fixtures and factories for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import IncompleteDataset
+
+
+def random_incomplete_dataset(
+    rng: np.random.Generator,
+    n_rows: int | None = None,
+    n_labels: int = 2,
+    max_candidates: int = 3,
+    n_features: int = 2,
+) -> IncompleteDataset:
+    """A small random incomplete dataset with every label present."""
+    if n_rows is None:
+        n_rows = int(rng.integers(max(3, n_labels), 7))
+    sets = [
+        rng.normal(size=(int(rng.integers(1, max_candidates + 1)), n_features))
+        for _ in range(n_rows)
+    ]
+    labels = rng.integers(0, n_labels, size=n_rows)
+    labels[:n_labels] = np.arange(n_labels)  # make sure every label occurs
+    return IncompleteDataset(sets, labels)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def figure6_dataset() -> tuple[IncompleteDataset, np.ndarray]:
+    """The concrete instance behind the paper's Figure 6 walkthrough.
+
+    One-dimensional points with ``t = 0`` and similarity ``-|x|``; the
+    candidate similarity order and tallies match the figure, and the K=1
+    counting query must return 6 worlds for label 0 and 2 for label 1.
+    """
+    dataset = IncompleteDataset(
+        [
+            np.array([[5.0], [2.0]]),  # C1, label 1
+            np.array([[6.0], [4.0]]),  # C2, label 1
+            np.array([[3.0], [1.0]]),  # C3, label 0
+        ],
+        labels=[1, 1, 0],
+    )
+    return dataset, np.array([0.0])

@@ -1,0 +1,149 @@
+"""Cross-validation of every Q2 counting engine against brute force.
+
+These are the load-bearing correctness tests of the library: four
+independent implementations (Algorithm 1 reference DP, fast incremental
+engine, SS-DC tree, SS-DC-MC) must agree bit-for-bit with exhaustive world
+enumeration on randomised instances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import brute_force_check, brute_force_counts
+from repro.core.engine import sortscan_counts
+from repro.core.multiclass import count_bounded_assignments, sortscan_counts_multiclass
+from repro.core.sortscan import sortscan_counts_naive
+from repro.core.sortscan_tree import sortscan_counts_tree
+from tests.conftest import random_incomplete_dataset
+
+ENGINES = {
+    "naive": sortscan_counts_naive,
+    "engine": sortscan_counts,
+    "tree": sortscan_counts_tree,
+    "multiclass": sortscan_counts_multiclass,
+}
+
+
+class TestFigure6:
+    """The paper's worked example (Figure 6, Examples 1-6)."""
+
+    @pytest.mark.parametrize("engine", list(ENGINES))
+    def test_counts_are_6_and_2(self, figure6_dataset, engine):
+        dataset, t = figure6_dataset
+        assert ENGINES[engine](dataset, t, k=1) == [6, 2]
+
+    def test_brute_force_agrees(self, figure6_dataset):
+        dataset, t = figure6_dataset
+        assert brute_force_counts(dataset, t, k=1) == [6, 2]
+
+    def test_not_certainly_predicted(self, figure6_dataset):
+        dataset, t = figure6_dataset
+        assert not brute_force_check(dataset, t, 0, k=1)
+        assert not brute_force_check(dataset, t, 1, k=1)
+
+    @pytest.mark.parametrize("engine", list(ENGINES))
+    def test_k3_uses_all_rows(self, figure6_dataset, engine):
+        dataset, t = figure6_dataset
+        expected = brute_force_counts(dataset, t, k=3)
+        assert ENGINES[engine](dataset, t, k=3) == expected
+
+
+class TestRandomisedCrossChecks:
+    @pytest.mark.parametrize("engine", list(ENGINES))
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_binary_agrees_with_bruteforce(self, engine, k):
+        rng = np.random.default_rng(100 + k)
+        for _ in range(15):
+            dataset = random_incomplete_dataset(rng, n_labels=2)
+            t = rng.normal(size=dataset.n_features)
+            expected = brute_force_counts(dataset, t, k=k)
+            assert ENGINES[engine](dataset, t, k=k) == expected
+
+    @pytest.mark.parametrize("engine", list(ENGINES))
+    @pytest.mark.parametrize("n_labels", [3, 4])
+    def test_multiclass_agrees_with_bruteforce(self, engine, n_labels):
+        rng = np.random.default_rng(200 + n_labels)
+        for _ in range(10):
+            dataset = random_incomplete_dataset(rng, n_labels=n_labels)
+            t = rng.normal(size=dataset.n_features)
+            for k in (1, 3):
+                expected = brute_force_counts(dataset, t, k=k)
+                assert ENGINES[engine](dataset, t, k=k) == expected
+
+    @pytest.mark.parametrize("engine", list(ENGINES))
+    def test_counts_sum_to_world_count(self, engine):
+        rng = np.random.default_rng(300)
+        for _ in range(10):
+            dataset = random_incomplete_dataset(rng, max_candidates=4)
+            t = rng.normal(size=dataset.n_features)
+            counts = ENGINES[engine](dataset, t, k=2)
+            assert sum(counts) == dataset.n_worlds()
+
+    @pytest.mark.parametrize("engine", list(ENGINES))
+    def test_complete_dataset_concentrates_on_knn_prediction(self, engine):
+        from repro.core.knn import KNNClassifier
+
+        rng = np.random.default_rng(400)
+        features = rng.normal(size=(8, 2))
+        labels = rng.integers(0, 2, size=8)
+        labels[:2] = [0, 1]
+        from repro.core.dataset import IncompleteDataset
+
+        dataset = IncompleteDataset.from_complete(features, labels)
+        clf = KNNClassifier(k=3).fit(features, labels)
+        for _ in range(5):
+            t = rng.normal(size=2)
+            counts = ENGINES[engine](dataset, t, k=3)
+            assert counts[clf.predict_one(t)] == 1
+            assert sum(counts) == 1
+
+    def test_k_equals_n_rows(self):
+        rng = np.random.default_rng(500)
+        dataset = random_incomplete_dataset(rng, n_rows=4)
+        t = rng.normal(size=dataset.n_features)
+        expected = brute_force_counts(dataset, t, k=4)
+        for engine in ENGINES.values():
+            assert engine(dataset, t, k=4) == expected
+
+    def test_k_larger_than_n_rejected(self):
+        rng = np.random.default_rng(600)
+        dataset = random_incomplete_dataset(rng, n_rows=3)
+        t = rng.normal(size=dataset.n_features)
+        for engine in ENGINES.values():
+            with pytest.raises(ValueError, match="exceeds"):
+                engine(dataset, t, k=10)
+
+    @pytest.mark.parametrize("engine", list(ENGINES))
+    def test_large_counts_stay_exact(self, engine):
+        # 3^20 worlds exceed float precision; counts must still sum exactly.
+        rng = np.random.default_rng(700)
+        from repro.core.dataset import IncompleteDataset
+
+        sets = [rng.normal(size=(3, 2)) for _ in range(20)]
+        labels = rng.integers(0, 2, size=20)
+        labels[:2] = [0, 1]
+        dataset = IncompleteDataset(sets, labels)
+        t = rng.normal(size=2)
+        counts = ENGINES[engine](dataset, t, k=3)
+        assert sum(counts) == 3**20
+
+
+class TestBoundedAssignments:
+    def test_exhaustive_small_case(self):
+        # Two labels with known placement ways; compare against enumeration.
+        arrays = [[1, 2, 1], [1, 3, 0]]
+        bounds = [2, 1]
+        total = 2
+        expected = 0
+        for a in range(3):
+            for b in range(3):
+                if a + b == total and a <= bounds[0] and b <= bounds[1]:
+                    expected += arrays[0][a] * arrays[1][b]
+        assert count_bounded_assignments(arrays, bounds, total) == expected
+
+    def test_negative_total(self):
+        assert count_bounded_assignments([[1, 1]], [1], -1) == 0
+
+    def test_empty_labels(self):
+        assert count_bounded_assignments([], [], 0) == 1
+        assert count_bounded_assignments([], [], 2) == 0

@@ -1,0 +1,61 @@
+"""Unit tests for count-based probabilities and entropy."""
+
+import math
+
+import pytest
+
+from repro.core.entropy import (
+    certain_label_from_counts,
+    counts_to_probabilities,
+    is_certain_from_counts,
+    prediction_entropy,
+)
+
+
+class TestProbabilities:
+    def test_simple_normalisation(self):
+        assert counts_to_probabilities([1, 3]) == [0.25, 0.75]
+
+    def test_huge_counts_do_not_overflow(self):
+        probs = counts_to_probabilities([10**400, 10**400])
+        assert probs == [0.5, 0.5]
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            counts_to_probabilities([0, 0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            counts_to_probabilities([-1, 2])
+
+
+class TestEntropy:
+    def test_certain_distribution_has_zero_entropy(self):
+        assert prediction_entropy([10, 0]) == 0.0
+
+    def test_uniform_binary_is_one_bit(self):
+        assert prediction_entropy([5, 5]) == pytest.approx(1.0)
+
+    def test_uniform_over_four_labels_is_two_bits(self):
+        assert prediction_entropy([1, 1, 1, 1]) == pytest.approx(2.0)
+
+    def test_matches_formula(self):
+        counts = [1, 2, 5]
+        total = 8
+        expected = -sum((c / total) * math.log2(c / total) for c in counts)
+        assert prediction_entropy(counts) == pytest.approx(expected)
+
+    def test_entropy_bounds(self):
+        assert 0.0 <= prediction_entropy([3, 9, 1]) <= math.log2(3)
+
+
+class TestCertainty:
+    def test_certain_label_found(self):
+        assert certain_label_from_counts([0, 7, 0]) == 1
+
+    def test_uncertain_returns_none(self):
+        assert certain_label_from_counts([1, 6]) is None
+
+    def test_is_certain(self):
+        assert is_certain_from_counts([4, 0])
+        assert not is_certain_from_counts([3, 1])

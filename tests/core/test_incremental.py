@@ -1,0 +1,176 @@
+"""Incremental CP-state maintenance vs. fresh recomputation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.incremental import IncrementalCPState
+from repro.core.prepared import PreparedQuery
+from tests.conftest import random_incomplete_dataset
+
+
+def make_state(
+    rng: np.random.Generator, n_points: int = 4, k: int = 3, n_labels: int = 2
+) -> tuple[IncrementalCPState, IncompleteDataset, np.ndarray]:
+    dataset = random_incomplete_dataset(rng, n_rows=8, n_labels=n_labels)
+    points = rng.normal(size=(n_points, dataset.n_features))
+    return IncrementalCPState(dataset, points, k=k), dataset, points
+
+
+class TestConstruction:
+    def test_initial_counts_match_prepared_query(self, rng: np.random.Generator) -> None:
+        state, dataset, points = make_state(rng)
+        for i in range(points.shape[0]):
+            expected = PreparedQuery(dataset, points[i], k=3).counts()
+            assert state.counts(i) == expected
+
+    def test_single_point_vector_accepted(self, rng: np.random.Generator) -> None:
+        dataset = random_incomplete_dataset(rng)
+        state = IncrementalCPState(dataset, np.zeros(dataset.n_features), k=1)
+        assert state.n_points == 1
+
+    def test_shape_mismatch_rejected(self, rng: np.random.Generator) -> None:
+        dataset = random_incomplete_dataset(rng, n_features=2)
+        with pytest.raises(ValueError, match="shape"):
+            IncrementalCPState(dataset, np.zeros((3, 5)), k=1)
+
+    def test_counts_returns_copy(self, rng: np.random.Generator) -> None:
+        state, _, _ = make_state(rng)
+        state.counts(0).append(999)
+        assert len(state.counts(0)) == state.dataset.n_labels
+
+
+class TestPinning:
+    def test_pin_matches_fresh_scan_after_every_step(self, rng: np.random.Generator) -> None:
+        state, dataset, _ = make_state(rng, n_points=5)
+        for row in dataset.uncertain_rows():
+            cand = int(rng.integers(dataset.candidate_counts()[row]))
+            state.pin(row, cand)
+            state.verify()  # raises on divergence
+
+    def test_double_pin_rejected(self, rng: np.random.Generator) -> None:
+        state, dataset, _ = make_state(rng)
+        row = dataset.uncertain_rows()[0]
+        state.pin(row, 0)
+        with pytest.raises(ValueError, match="already pinned"):
+            state.pin(row, 0)
+
+    def test_out_of_range_candidate_rejected(self, rng: np.random.Generator) -> None:
+        state, dataset, _ = make_state(rng)
+        row = dataset.uncertain_rows()[0]
+        with pytest.raises(IndexError, match="out of range"):
+            state.pin(row, 99)
+
+    def test_pin_many_applies_in_order(self, rng: np.random.Generator) -> None:
+        state, dataset, points = make_state(rng)
+        pins = [(row, 0) for row in dataset.uncertain_rows()]
+        state.pin_many(pins)
+        assert state.fixed == dict(pins)
+        state.verify()
+
+    def test_pinning_certain_row_is_noop_for_counts(self, rng: np.random.Generator) -> None:
+        state, dataset, _ = make_state(rng)
+        certain = dataset.certain_rows()
+        if not certain:
+            pytest.skip("no certain rows in this draw")
+        before = [state.counts(i) for i in range(state.n_points)]
+        state.pin(certain[0], 0)
+        assert [state.counts(i) for i in range(state.n_points)] == before
+
+    def test_all_rows_pinned_gives_single_world(self, rng: np.random.Generator) -> None:
+        state, dataset, _ = make_state(rng, n_points=3, k=1)
+        for row in range(dataset.n_rows):
+            state.pin(row, 0)
+        for i in range(3):
+            counts = state.counts(i)
+            assert sum(counts) == 1
+            assert state.certain_label(i) is not None
+            assert state.entropy(i) == 0.0
+
+    def test_fixed_property_is_a_copy(self, rng: np.random.Generator) -> None:
+        state, dataset, _ = make_state(rng)
+        row = dataset.uncertain_rows()[0]
+        state.fixed[row] = 0  # mutating the copy must not pin anything
+        state.pin(row, 0)  # would raise "already pinned" if it leaked
+
+
+class TestDerivedQuantities:
+    def test_mean_entropy_zero_when_all_certain(self, rng: np.random.Generator) -> None:
+        state, dataset, _ = make_state(rng, n_points=2, k=1)
+        for row in range(dataset.n_rows):
+            state.pin(row, 0)
+        assert state.mean_entropy() == 0.0
+        assert state.n_uncertain_points() == 0
+
+    def test_certain_labels_consistent_with_counts(self, rng: np.random.Generator) -> None:
+        state, _, _ = make_state(rng, n_points=6)
+        for i, label in enumerate(state.certain_labels()):
+            counts = state.counts(i)
+            if label is None:
+                assert sum(1 for c in counts if c > 0) > 1
+            else:
+                assert counts[label] == sum(counts)
+
+    def test_entropy_never_increases_in_expectation_to_zero(self, rng: np.random.Generator) -> None:
+        # Entropy for a specific pin sequence can fluctuate, but the final
+        # fully-pinned state is deterministic, hence zero entropy.
+        state, dataset, _ = make_state(rng, n_points=3)
+        for row in dataset.uncertain_rows():
+            state.pin(row, 0)
+        assert state.mean_entropy() == pytest.approx(0.0)
+
+
+class TestPruningRule:
+    def test_far_away_dirty_row_is_pruned(self) -> None:
+        # Nine tight rows around the test point, one dirty row far away:
+        # pinning the far row must be pruned for k=3.
+        near = [np.array([[0.1 * i, 0.0]]) for i in range(9)]
+        far = np.array([[50.0, 50.0], [60.0, 60.0], [70.0, 70.0]])
+        dataset = IncompleteDataset(near + [far], labels=[0, 1] * 5)
+        state = IncrementalCPState(dataset, np.zeros(2), k=3)
+        before = state.counts(0)
+        state.pin(9, 1)
+        assert state.n_pruned == 1
+        assert state.n_recomputed == 0
+        assert state.counts(0) == [c // 3 for c in before]
+        state.verify()
+
+    def test_nearby_dirty_row_is_recomputed(self) -> None:
+        near_dirty = np.array([[0.0, 0.0], [0.2, 0.0]])
+        others = [np.array([[1.0 * (i + 1), 0.0]]) for i in range(5)]
+        dataset = IncompleteDataset([near_dirty] + others, labels=[0, 1, 0, 1, 0, 1])
+        state = IncrementalCPState(dataset, np.zeros(2), k=3)
+        state.pin(0, 0)
+        assert state.n_recomputed == 1
+        state.verify()
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        k=st.integers(min_value=1, max_value=3),
+        n_labels=st.integers(min_value=2, max_value=3),
+    )
+    def test_random_pin_sequences_stay_exact(self, seed: int, k: int, n_labels: int) -> None:
+        rng = np.random.default_rng(seed)
+        dataset = random_incomplete_dataset(rng, n_rows=6, n_labels=n_labels)
+        points = rng.normal(size=(3, dataset.n_features))
+        state = IncrementalCPState(dataset, points, k=k)
+        rows = dataset.uncertain_rows()
+        rng.shuffle(rows)
+        for row in rows:
+            cand = int(rng.integers(dataset.candidate_counts()[row]))
+            state.pin(row, cand)
+        state.verify()
+        # Final counts must equal a from-scratch query on the pinned dataset.
+        pinned = dataset
+        for row, cand in state.fixed.items():
+            pinned = pinned.restrict_row(row, cand)
+        for i in range(3):
+            fresh = PreparedQuery(pinned, points[i], k=k).counts()
+            assert state.counts(i) == fresh

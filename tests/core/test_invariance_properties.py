@@ -1,0 +1,138 @@
+"""Cross-cutting invariance properties of the exact counting machinery.
+
+These properties follow from the *structure* of the KNN classifier rather
+than from any particular algorithm, so they make strong randomised checks:
+
+* Q2 depends on similarities only through their *ranking* — any two kernels
+  that order candidates the same way give identical counts (negative
+  Euclidean distance and an RBF kernel are both monotone in the distance).
+* Duplicating a candidate splits its worlds: counts with the duplicate
+  equal the original counts plus the counts of the dataset with the row
+  pinned to the duplicated candidate.
+* Rigid motions of the feature space (translation, rotation) leave
+  Euclidean-kernel counts unchanged.
+* Appending K rows of a label at the test point forces that prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.kernels import NegativeEuclideanKernel, RBFKernel
+from repro.core.prepared import PreparedQuery
+from repro.core.queries import certain_label, q2_counts
+from tests.conftest import random_incomplete_dataset
+
+
+class TestKernelRankInvariance:
+    """Counts are a function of the similarity *order*, not its values."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        k=st.integers(min_value=1, max_value=3),
+        gamma=st.floats(min_value=0.05, max_value=3.0),
+    )
+    def test_rbf_and_negative_euclidean_agree(self, seed: int, k: int, gamma: float) -> None:
+        rng = np.random.default_rng(seed)
+        dataset = random_incomplete_dataset(rng, n_rows=6)
+        t = rng.normal(size=dataset.n_features)
+        counts_euclid = q2_counts(dataset, t, k=k, kernel=NegativeEuclideanKernel())
+        counts_rbf = q2_counts(dataset, t, k=k, kernel=RBFKernel(gamma=gamma))
+        assert counts_euclid == counts_rbf
+
+
+class TestDuplicateCandidate:
+    """Duplicating candidate j of row i adds exactly the pinned-variant counts."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        k=st.integers(min_value=1, max_value=3),
+    )
+    def test_duplicate_splits_worlds(self, seed: int, k: int) -> None:
+        rng = np.random.default_rng(seed)
+        dataset = random_incomplete_dataset(rng, n_rows=6)
+        t = rng.normal(size=dataset.n_features)
+        row = int(rng.integers(dataset.n_rows))
+        cand = int(rng.integers(dataset.candidates(row).shape[0]))
+
+        sets = [dataset.candidates(i) for i in range(dataset.n_rows)]
+        dup_row = np.vstack([sets[row], sets[row][cand : cand + 1]])
+        dup_sets = list(sets)
+        dup_sets[row] = dup_row
+        duplicated = IncompleteDataset(dup_sets, dataset.labels)
+
+        base = q2_counts(dataset, t, k=k)
+        pinned = PreparedQuery(dataset, t, k=k).counts({row: cand})
+        with_dup = q2_counts(duplicated, t, k=k)
+        assert with_dup == [b + p for b, p in zip(base, pinned)]
+
+
+class TestGeometricInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        k=st.integers(min_value=1, max_value=3),
+    )
+    def test_translation_invariance(self, seed: int, k: int) -> None:
+        rng = np.random.default_rng(seed)
+        dataset = random_incomplete_dataset(rng, n_rows=6)
+        t = rng.normal(size=dataset.n_features)
+        shift = rng.normal(scale=10.0, size=dataset.n_features)
+        shifted = IncompleteDataset(
+            [dataset.candidates(i) + shift for i in range(dataset.n_rows)],
+            dataset.labels,
+        )
+        assert q2_counts(dataset, t, k=k) == q2_counts(shifted, t + shift, k=k)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        angle=st.floats(min_value=0.1, max_value=3.0),
+    )
+    def test_rotation_invariance_2d(self, seed: int, angle: float) -> None:
+        rng = np.random.default_rng(seed)
+        dataset = random_incomplete_dataset(rng, n_rows=5, n_features=2)
+        t = rng.normal(size=2)
+        c, s = np.cos(angle), np.sin(angle)
+        rotation = np.array([[c, -s], [s, c]])
+        rotated = IncompleteDataset(
+            [dataset.candidates(i) @ rotation.T for i in range(dataset.n_rows)],
+            dataset.labels,
+        )
+        assert q2_counts(dataset, t, k=3) == q2_counts(rotated, rotation @ t, k=3)
+
+
+class TestDominatingRows:
+    def test_k_clean_rows_at_t_force_the_prediction(self, rng: np.random.Generator) -> None:
+        k = 3
+        dataset = random_incomplete_dataset(rng, n_rows=5)
+        # Append k clean rows exactly at t with label 0: they fill the top-k
+        # in every world, so the prediction is certainly 0.
+        t = rng.normal(size=dataset.n_features)
+        sets = [dataset.candidates(i) for i in range(dataset.n_rows)]
+        labels = list(dataset.labels)
+        far = 1000.0 + np.abs(sets[0]).max()
+        for i in range(k):
+            sets.append((t + 1e-9 * i).reshape(1, -1))
+            labels.append(0)
+        # push the original rows far away so they cannot interfere
+        sets = [s + far if i < dataset.n_rows else s for i, s in enumerate(sets)]
+        forced = IncompleteDataset(sets, labels)
+        assert certain_label(forced, t, k=k) == 0
+
+    def test_prediction_forced_even_with_dirty_decoys(self, rng: np.random.Generator) -> None:
+        t = np.zeros(2)
+        sets = [
+            np.array([[0.0, 0.0]]),
+            np.array([[0.1, 0.0]]),
+            np.array([[0.2, 0.0]]),
+            rng.normal(loc=5.0, size=(4, 2)),  # dirty, but always further
+        ]
+        dataset = IncompleteDataset(sets, [1, 1, 1, 0])
+        assert certain_label(dataset, t, k=3) == 1

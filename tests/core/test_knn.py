@@ -1,0 +1,98 @@
+"""Unit tests for the deterministic KNN substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.knn import KNNClassifier, majority_label, top_k_rows
+
+
+class TestMajorityLabel:
+    def test_clear_majority(self):
+        assert majority_label([1, 1, 0]) == 1
+
+    def test_tie_breaks_to_smallest_label(self):
+        assert majority_label([0, 1]) == 0
+        assert majority_label([2, 1]) == 1
+
+    def test_single_vote(self):
+        assert majority_label([3]) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            majority_label([])
+
+
+class TestTopKRows:
+    def test_orders_by_similarity_descending(self):
+        sims = np.array([0.1, 0.9, 0.5])
+        assert top_k_rows(sims, 2).tolist() == [1, 2]
+
+    def test_tie_prefers_smaller_row_index(self):
+        sims = np.array([0.5, 0.5, 0.5])
+        assert top_k_rows(sims, 2).tolist() == [0, 1]
+
+    def test_k_equals_n(self):
+        sims = np.array([0.3, 0.1, 0.2])
+        assert top_k_rows(sims, 3).tolist() == [0, 2, 1]
+
+    def test_k_too_large(self):
+        with pytest.raises(ValueError):
+            top_k_rows(np.array([1.0]), 2)
+
+
+class TestKNNClassifier:
+    def test_1nn_predicts_nearest(self):
+        clf = KNNClassifier(k=1).fit(np.array([[0.0], [10.0]]), [0, 1])
+        assert clf.predict_one(np.array([1.0])) == 0
+        assert clf.predict_one(np.array([9.0])) == 1
+
+    def test_3nn_majority(self):
+        X = np.array([[0.0], [0.5], [1.0], [10.0]])
+        clf = KNNClassifier(k=3).fit(X, [0, 0, 1, 1])
+        assert clf.predict_one(np.array([0.2])) == 0
+
+    def test_predict_matrix(self):
+        X = np.array([[0.0], [10.0]])
+        clf = KNNClassifier(k=1).fit(X, [0, 1])
+        preds = clf.predict(np.array([[1.0], [9.0]]))
+        assert preds.tolist() == [0, 1]
+
+    def test_accuracy(self):
+        X = np.array([[0.0], [10.0]])
+        clf = KNNClassifier(k=1).fit(X, [0, 1])
+        assert clf.accuracy(np.array([[1.0], [9.0]]), [0, 0]) == 0.5
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            KNNClassifier(k=1).predict_one(np.zeros(1))
+
+    def test_k_larger_than_train_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            KNNClassifier(k=5).fit(np.zeros((3, 1)), [0, 1, 0])
+
+    def test_neighbors_ordering(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        clf = KNNClassifier(k=2).fit(X, [0, 1, 0])
+        assert clf.neighbors_one(np.array([0.1])).tolist() == [0, 1]
+
+    def test_deterministic_tie_break_between_equidistant_rows(self):
+        X = np.array([[1.0], [-1.0], [5.0]])
+        clf = KNNClassifier(k=1).fit(X, [0, 1, 0])
+        # rows 0 and 1 are equidistant from 0; smaller index wins
+        assert clf.predict_one(np.array([0.0])) == 0
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            KNNClassifier(k=1).fit(np.zeros((2, 1)), [0, -2])
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KNNClassifier(k=0)
+
+    def test_rbf_kernel_same_predictions_as_euclidean(self):
+        rng = np.random.default_rng(5)
+        X, y = rng.normal(size=(20, 3)), rng.integers(0, 2, size=20)
+        T = rng.normal(size=(10, 3))
+        a = KNNClassifier(k=3, kernel="euclidean").fit(X, y).predict(T)
+        b = KNNClassifier(k=3, kernel="rbf").fit(X, y).predict(T)
+        assert np.array_equal(a, b)

@@ -1,0 +1,147 @@
+"""Unit tests for the Monte-Carlo CP estimator and the logistic substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.entropy import counts_to_probabilities
+from repro.core.knn import KNNClassifier
+from repro.core.linear import LogisticRegression
+from repro.core.montecarlo import (
+    estimate_prediction_probabilities,
+    sample_size_for,
+)
+from repro.core.queries import q2_counts
+from tests.conftest import random_incomplete_dataset
+
+
+def knn_factory(k):
+    return lambda X, y: KNNClassifier(k=k).fit(X, y)
+
+
+class TestMonteCarloEstimator:
+    def test_estimates_converge_to_exact_counts(self):
+        rng = np.random.default_rng(0)
+        dataset = random_incomplete_dataset(rng, n_rows=6, max_candidates=3)
+        points = rng.normal(size=(4, dataset.n_features))
+        estimate = estimate_prediction_probabilities(
+            dataset, points, knn_factory(3), n_samples=600, seed=1
+        )
+        epsilon = estimate.half_width(0.99)
+        for i, t in enumerate(points):
+            exact = counts_to_probabilities(q2_counts(dataset, t, k=3))
+            for label in range(dataset.n_labels):
+                assert abs(estimate.probabilities()[i, label] - exact[label]) <= epsilon + 0.02
+
+    def test_certain_labels_are_sound(self):
+        """An MC 'certain' verdict must match the exact certain label."""
+        rng = np.random.default_rng(1)
+        from repro.core.queries import certain_label
+
+        hits = 0
+        for _ in range(10):
+            dataset = random_incomplete_dataset(rng, n_rows=5, max_candidates=2)
+            t = rng.normal(size=(1, dataset.n_features))
+            estimate = estimate_prediction_probabilities(
+                dataset, t, knn_factory(1), n_samples=400, seed=2
+            )
+            verdict = estimate.certain_labels(0.95)[0]
+            if verdict is not None:
+                hits += 1
+                exact = certain_label(dataset, t[0], k=1)
+                # the sampled-unanimous label must at least be the majority label
+                counts = q2_counts(dataset, t[0], k=1)
+                assert verdict == int(np.argmax(counts))
+                if exact is not None:
+                    assert verdict == exact
+        assert hits > 0  # the test exercised the certain path
+
+    def test_votes_shape_and_total(self):
+        rng = np.random.default_rng(2)
+        dataset = random_incomplete_dataset(rng)
+        points = rng.normal(size=(3, dataset.n_features))
+        estimate = estimate_prediction_probabilities(
+            dataset, points, knn_factory(1), n_samples=50, seed=0
+        )
+        assert estimate.votes.shape == (3, dataset.n_labels)
+        assert np.all(estimate.votes.sum(axis=1) == 50)
+
+    def test_sample_size_for_inverts_half_width(self):
+        n = sample_size_for(epsilon=0.05, confidence=0.95)
+        from repro.core.montecarlo import MonteCarloEstimate
+
+        est = MonteCarloEstimate(np.zeros((1, 2)), n, 2)
+        assert est.half_width(0.95) <= 0.05
+
+    def test_rejects_bad_predictions(self):
+        rng = np.random.default_rng(3)
+        dataset = random_incomplete_dataset(rng)
+        points = rng.normal(size=(2, dataset.n_features))
+
+        class BadModel:
+            def predict(self, X):
+                return np.full(X.shape[0], 99)
+
+        with pytest.raises(ValueError, match="label space"):
+            estimate_prediction_probabilities(
+                dataset, points, lambda X, y: BadModel(), n_samples=2, seed=0
+            )
+
+    def test_works_with_logistic_regression(self):
+        rng = np.random.default_rng(4)
+        dataset = random_incomplete_dataset(rng, n_rows=8, max_candidates=2)
+        points = rng.normal(size=(2, dataset.n_features))
+        estimate = estimate_prediction_probabilities(
+            dataset,
+            points,
+            lambda X, y: LogisticRegression(n_iterations=50).fit(X, y),
+            n_samples=20,
+            seed=0,
+        )
+        probs = estimate.probabilities()
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+class TestLogisticRegression:
+    def test_learns_linearly_separable_data(self):
+        rng = np.random.default_rng(5)
+        n = 200
+        X = rng.normal(size=(n, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        clf = LogisticRegression(n_iterations=300).fit(X, y)
+        assert clf.accuracy(X, y) > 0.95
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(6)
+        centers = np.array([[0.0, 0.0], [6.0, 0.0], [0.0, 6.0]])
+        X = np.concatenate([c + rng.normal(size=(50, 2)) * 0.5 for c in centers])
+        y = np.repeat(np.arange(3), 50)
+        clf = LogisticRegression(n_iterations=300).fit(X, y)
+        assert clf.accuracy(X, y) > 0.95
+
+    def test_probabilities_normalised(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(30, 3))
+        y = rng.integers(0, 2, size=30)
+        clf = LogisticRegression(n_iterations=20).fit(X, y)
+        probs = clf.predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_deterministic_training(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(40, 2))
+        y = rng.integers(0, 2, size=40)
+        a = LogisticRegression(n_iterations=50).fit(X, y).predict(X)
+        b = LogisticRegression(n_iterations=50).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)

@@ -1,0 +1,81 @@
+"""Unit tests for truncated integer polynomial arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.core.polynomials import (
+    poly_div_linear,
+    poly_eval,
+    poly_mul,
+    poly_mul_linear,
+    poly_one,
+)
+
+
+class TestBasics:
+    def test_poly_one(self):
+        assert poly_one(3) == [1, 0, 0, 0]
+
+    def test_poly_one_invalid_degree(self):
+        with pytest.raises(ValueError):
+            poly_one(-1)
+
+    def test_mul_linear(self):
+        # (1 + 2z)(3 + 4z) = 3 + 10z + 8z^2
+        assert poly_mul_linear([1, 2, 0], 3, 4) == [3, 10, 8]
+
+    def test_mul_linear_truncates(self):
+        # (z^2)(1 + z) truncated at degree 2 = z^2
+        assert poly_mul_linear([0, 0, 1], 1, 1) == [0, 0, 1]
+
+    def test_poly_mul(self):
+        # (1 + z)(1 + z) = 1 + 2z + z^2
+        assert poly_mul([1, 1, 0], [1, 1, 0], 2) == [1, 2, 1]
+
+    def test_poly_mul_truncation(self):
+        assert poly_mul([1, 1], [1, 1], 1) == [1, 2]
+
+    def test_poly_eval_horner(self):
+        assert poly_eval([1, 2, 3], 2.0) == pytest.approx(1 + 4 + 12)
+
+
+class TestDivision:
+    def test_div_inverts_mul(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            degree = int(rng.integers(1, 6))
+            base = [int(rng.integers(0, 10)) for _ in range(degree + 1)]
+            a, b = int(rng.integers(1, 6)), int(rng.integers(0, 6))
+            product = poly_mul_linear(base, a, b)
+            assert poly_div_linear(product, a, b) == base
+
+    def test_div_by_zero_constant_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_div_linear([1, 2, 3], 0, 1)
+
+    def test_inexact_division_detected(self):
+        # (2 + z) is not a factor of 3 + z: the very first coefficient
+        # division 3/2 leaves a remainder. (With a == 1 inexactness is
+        # undetectable on truncated coefficients — the engines only ever
+        # divide products by their own factors, so this guard is best-effort.)
+        with pytest.raises(ArithmeticError):
+            poly_div_linear([3, 1, 0], 2, 1)
+
+    def test_division_with_big_integers(self):
+        base = [10**40, 3 * 10**38, 7]
+        product = poly_mul_linear(base, 12, 5)
+        assert poly_div_linear(product, 12, 5) == base
+
+    def test_truncated_division_recovers_truncated_quotient(self):
+        # Build a degree-5 product, truncate to degree 2, divide: must match
+        # the truncation of the true quotient.
+        full = poly_one(5)
+        factors = [(2, 1), (3, 2), (1, 4)]
+        for a, b in factors:
+            full = poly_mul_linear(full, a, b)
+        truncated = full[:3]
+        quotient = poly_div_linear(truncated, 2, 1)
+        expected = poly_one(5)
+        for a, b in factors[1:]:
+            expected = poly_mul_linear(expected, a, b)
+        assert quotient == expected[:3]

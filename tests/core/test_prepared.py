@@ -1,0 +1,129 @@
+"""Unit tests for PreparedQuery (cached per-test-point query state)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import sortscan_counts
+from repro.core.entropy import certain_label_from_counts
+from repro.core.prepared import PreparedQuery
+from tests.conftest import random_incomplete_dataset
+
+
+class TestCounts:
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_unfixed_matches_engine(self, k):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            dataset = random_incomplete_dataset(rng)
+            t = rng.normal(size=dataset.n_features)
+            query = PreparedQuery(dataset, t, k=k)
+            assert query.counts() == sortscan_counts(dataset, t, k=k)
+
+    def test_fixed_matches_restricted_dataset(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            dataset = random_incomplete_dataset(rng)
+            t = rng.normal(size=dataset.n_features)
+            query = PreparedQuery(dataset, t, k=2)
+            for row in dataset.uncertain_rows():
+                for cand in range(dataset.candidates(row).shape[0]):
+                    restricted = dataset.restrict_row(row, cand)
+                    assert query.counts({row: cand}) == sortscan_counts(restricted, t, k=2)
+
+    def test_multiple_fixed_rows(self):
+        rng = np.random.default_rng(2)
+        dataset = random_incomplete_dataset(rng, n_rows=6, max_candidates=3)
+        while len(dataset.uncertain_rows()) < 2:
+            dataset = random_incomplete_dataset(rng, n_rows=6, max_candidates=3)
+        t = rng.normal(size=dataset.n_features)
+        query = PreparedQuery(dataset, t, k=3)
+        r1, r2 = dataset.uncertain_rows()[:2]
+        restricted = dataset.restrict_row(r1, 0).restrict_row(r2, 1)
+        assert query.counts({r1: 0, r2: 1}) == sortscan_counts(restricted, t, k=3)
+
+    def test_fixed_candidate_out_of_range(self):
+        rng = np.random.default_rng(3)
+        dataset = random_incomplete_dataset(rng)
+        t = rng.normal(size=dataset.n_features)
+        query = PreparedQuery(dataset, t, k=1)
+        with pytest.raises(IndexError):
+            query.counts({0: 99})
+
+
+class TestCountsPerFixing:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_individual_fixings(self, k):
+        rng = np.random.default_rng(4)
+        trials = 0
+        while trials < 10:
+            dataset = random_incomplete_dataset(rng)
+            dirty = dataset.uncertain_rows()
+            if not dirty:
+                continue
+            trials += 1
+            t = rng.normal(size=dataset.n_features)
+            query = PreparedQuery(dataset, t, k=k)
+            for row in dirty:
+                variants = query.counts_per_fixing(row)
+                for cand, counts in enumerate(variants):
+                    assert counts == query.counts({row: cand})
+
+    def test_respects_existing_fixings(self):
+        rng = np.random.default_rng(5)
+        dataset = random_incomplete_dataset(rng, n_rows=6, max_candidates=3)
+        while len(dataset.uncertain_rows()) < 2:
+            dataset = random_incomplete_dataset(rng, n_rows=6, max_candidates=3)
+        t = rng.normal(size=dataset.n_features)
+        query = PreparedQuery(dataset, t, k=2)
+        r1, r2 = dataset.uncertain_rows()[:2]
+        variants = query.counts_per_fixing(r2, fixed={r1: 0})
+        for cand, counts in enumerate(variants):
+            assert counts == query.counts({r1: 0, r2: cand})
+
+    def test_rejects_pinned_target(self):
+        rng = np.random.default_rng(6)
+        dataset = random_incomplete_dataset(rng)
+        t = rng.normal(size=dataset.n_features)
+        query = PreparedQuery(dataset, t, k=1)
+        row = dataset.uncertain_rows()[0] if dataset.uncertain_rows() else 0
+        with pytest.raises(ValueError, match="pinned"):
+            query.counts_per_fixing(row, fixed={row: 0})
+
+
+class TestMinMaxCertainty:
+    def test_agrees_with_counts(self):
+        rng = np.random.default_rng(7)
+        for _ in range(15):
+            dataset = random_incomplete_dataset(rng, n_labels=2)
+            t = rng.normal(size=dataset.n_features)
+            query = PreparedQuery(dataset, t, k=3)
+            assert query.certain_label_minmax() == certain_label_from_counts(query.counts())
+
+    def test_agrees_with_counts_under_fixing(self):
+        rng = np.random.default_rng(8)
+        for _ in range(10):
+            dataset = random_incomplete_dataset(rng, n_labels=2)
+            dirty = dataset.uncertain_rows()
+            if not dirty:
+                continue
+            t = rng.normal(size=dataset.n_features)
+            query = PreparedQuery(dataset, t, k=1)
+            fixed = {dirty[0]: 0}
+            assert query.certain_label_minmax(fixed) == certain_label_from_counts(
+                query.counts(fixed)
+            )
+
+    def test_multiclass_rejected(self):
+        rng = np.random.default_rng(9)
+        dataset = random_incomplete_dataset(rng, n_labels=3)
+        t = rng.normal(size=dataset.n_features)
+        query = PreparedQuery(dataset, t, k=1)
+        with pytest.raises(ValueError, match="binary"):
+            query.certain_label_minmax()
+
+    def test_k_too_large_rejected(self):
+        rng = np.random.default_rng(10)
+        dataset = random_incomplete_dataset(rng, n_rows=3)
+        t = rng.normal(size=dataset.n_features)
+        with pytest.raises(ValueError, match="exceeds"):
+            PreparedQuery(dataset, t, k=10)

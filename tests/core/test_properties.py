@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the CP machinery's invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bruteforce import brute_force_counts
+from repro.core.dataset import IncompleteDataset
+from repro.core.engine import sortscan_counts
+from repro.core.knn import KNNClassifier
+from repro.core.multiclass import sortscan_counts_multiclass
+from repro.core.polynomials import poly_div_linear, poly_mul, poly_mul_linear, poly_one
+from repro.core.sortscan import sortscan_counts_naive
+from repro.core.sortscan_tree import sortscan_counts_tree
+from repro.core.tally import predicted_label, valid_tallies
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def incomplete_datasets(draw, max_rows=6, max_candidates=3, max_labels=3):
+    """Small random incomplete datasets with integer-grid features.
+
+    Integer features deliberately produce similarity ties, exercising the
+    deterministic tie-breaking paths.
+    """
+    n_labels = draw(st.integers(2, max_labels))
+    n_rows = draw(st.integers(n_labels, max_rows))
+    n_features = draw(st.integers(1, 2))
+    sets = []
+    for _ in range(n_rows):
+        m = draw(st.integers(1, max_candidates))
+        values = draw(
+            st.lists(
+                st.lists(st.integers(-3, 3), min_size=n_features, max_size=n_features),
+                min_size=m,
+                max_size=m,
+            )
+        )
+        sets.append(np.array(values, dtype=np.float64))
+    labels = [draw(st.integers(0, n_labels - 1)) for _ in range(n_rows)]
+    for lbl in range(n_labels):
+        labels[lbl] = lbl
+    point = draw(
+        st.lists(st.integers(-3, 3), min_size=n_features, max_size=n_features)
+    )
+    k = draw(st.integers(1, min(3, n_rows)))
+    return IncompleteDataset(sets, labels), np.array(point, dtype=np.float64), k
+
+
+# ---------------------------------------------------------------------------
+# Counting-engine properties
+# ---------------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(incomplete_datasets())
+def test_all_engines_agree_with_bruteforce(case):
+    dataset, t, k = case
+    expected = brute_force_counts(dataset, t, k=k)
+    assert sortscan_counts(dataset, t, k=k) == expected
+    assert sortscan_counts_naive(dataset, t, k=k) == expected
+    assert sortscan_counts_tree(dataset, t, k=k) == expected
+    assert sortscan_counts_multiclass(dataset, t, k=k) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(incomplete_datasets())
+def test_counts_sum_to_number_of_worlds(case):
+    dataset, t, k = case
+    assert sum(sortscan_counts(dataset, t, k=k)) == dataset.n_worlds()
+
+
+@settings(max_examples=40, deadline=None)
+@given(incomplete_datasets())
+def test_restricting_a_row_partitions_counts(case):
+    """Fixing a dirty row to each candidate partitions the world count."""
+    dataset, t, k = case
+    dirty = dataset.uncertain_rows()
+    if not dirty:
+        return
+    row = dirty[0]
+    full = sortscan_counts(dataset, t, k=k)
+    partition = [0] * dataset.n_labels
+    for cand in range(dataset.candidates(row).shape[0]):
+        sub = sortscan_counts(dataset.restrict_row(row, cand), t, k=k)
+        partition = [a + b for a, b in zip(partition, sub)]
+    assert partition == full
+
+
+@settings(max_examples=40, deadline=None)
+@given(incomplete_datasets())
+def test_every_sampled_world_prediction_is_counted(case):
+    """A world's KNN prediction must have a positive Q2 count."""
+    dataset, t, k = case
+    counts = sortscan_counts(dataset, t, k=k)
+    rng = np.random.default_rng(0)
+    from repro.core.worlds import sample_world_choice
+
+    for _ in range(3):
+        choice = sample_world_choice(dataset, rng)
+        clf = KNNClassifier(k=k).fit(dataset.world(choice), dataset.labels)
+        assert counts[clf.predict_one(t)] > 0
+
+
+# ---------------------------------------------------------------------------
+# Polynomial properties
+# ---------------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(0, 20), min_size=2, max_size=6),
+    st.integers(1, 9),
+    st.integers(0, 9),
+)
+def test_poly_division_inverts_multiplication(coeffs, a, b):
+    product = poly_mul_linear(coeffs, a, b)
+    assert poly_div_linear(product, a, b) == coeffs
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(0, 5), min_size=1, max_size=4),
+    st.lists(st.integers(0, 5), min_size=1, max_size=4),
+)
+def test_poly_mul_is_commutative(p, q):
+    degree = max(len(p), len(q))
+    assert poly_mul(p, q, degree) == poly_mul(q, p, degree)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=6))
+def test_product_of_factors_order_invariant(factors):
+    degree = 3
+    forward = poly_one(degree)
+    for a, b in factors:
+        forward = poly_mul_linear(forward, a, b)
+    backward = poly_one(degree)
+    for a, b in reversed(factors):
+        backward = poly_mul_linear(backward, a, b)
+    assert forward == backward
+
+
+# ---------------------------------------------------------------------------
+# Tally properties
+# ---------------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 5), st.integers(2, 4))
+def test_predicted_label_is_an_argmax(k, n_labels):
+    for tally in valid_tallies(k, n_labels):
+        winner = predicted_label(tally)
+        assert tally[winner] == max(tally)
+        # tie-break: no smaller label has the same count
+        for label in range(winner):
+            assert tally[label] < tally[winner]

@@ -1,0 +1,95 @@
+"""Batch screening API: per-point results, aggregates, report text."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.queries import certain_label, q2_counts
+from repro.core.screening import ScreeningResult, screen_dataset
+from tests.conftest import random_incomplete_dataset
+
+
+@pytest.fixture
+def screened(rng: np.random.Generator):
+    dataset = random_incomplete_dataset(rng, n_rows=8)
+    test_X = rng.normal(size=(6, dataset.n_features))
+    return dataset, test_X, screen_dataset(dataset, test_X, k=3)
+
+
+class TestPerPointAgreement:
+    def test_counts_match_single_point_queries(self, screened) -> None:
+        dataset, test_X, result = screened
+        for i in range(test_X.shape[0]):
+            assert result.counts[i] == q2_counts(dataset, test_X[i], k=3)
+
+    def test_certain_labels_match(self, screened) -> None:
+        dataset, test_X, result = screened
+        for i in range(test_X.shape[0]):
+            assert result.certain_labels[i] == certain_label(dataset, test_X[i], k=3)
+
+    def test_entropy_zero_iff_certain(self, screened) -> None:
+        _, _, result = screened
+        for label, entropy in zip(result.certain_labels, result.entropies):
+            assert (entropy == 0.0) == (label is not None)
+
+
+class TestAggregates:
+    def test_cp_fraction_consistent(self, screened) -> None:
+        _, _, result = screened
+        assert result.cp_fraction == pytest.approx(result.n_certain / result.n_points)
+
+    def test_empty_screen_is_fully_certain(self, rng: np.random.Generator) -> None:
+        dataset = random_incomplete_dataset(rng)
+        result = screen_dataset(dataset, np.zeros((0, dataset.n_features)), k=1)
+        assert result.cp_fraction == 1.0
+        assert result.uncertain_points() == []
+
+    def test_uncertain_points_sorted_by_entropy(self, screened) -> None:
+        _, _, result = screened
+        contested = result.uncertain_points()
+        entropies = [result.entropies[i] for i in contested]
+        assert entropies == sorted(entropies, reverse=True)
+        for i in contested:
+            assert result.certain_labels[i] is None
+
+    def test_predicted_labels_defined_everywhere(self, screened) -> None:
+        dataset, _, result = screened
+        predicted = result.predicted_labels()
+        assert len(predicted) == result.n_points
+        for i, label in enumerate(result.certain_labels):
+            if label is not None:
+                assert predicted[i] == label
+
+    def test_clean_dataset_screens_fully_certain(self, rng: np.random.Generator) -> None:
+        features = rng.normal(size=(6, 2))
+        dataset = IncompleteDataset.from_complete(features, [0, 1, 0, 1, 0, 1])
+        result = screen_dataset(dataset, rng.normal(size=(4, 2)), k=3)
+        assert result.cp_fraction == 1.0
+        assert result.n_worlds == 1
+
+
+class TestSummary:
+    def test_summary_mentions_certificate(self, screened) -> None:
+        _, _, result = screened
+        text = result.summary()
+        assert "certainly predicted" in text
+        assert f"{result.n_certain}/{result.n_points}" in text
+
+    def test_summary_all_certain_message(self, rng: np.random.Generator) -> None:
+        features = rng.normal(size=(5, 2))
+        dataset = IncompleteDataset.from_complete(features, [0, 1, 0, 1, 0])
+        result = screen_dataset(dataset, rng.normal(size=(2, 2)), k=3)
+        assert "cannot change" in result.summary()
+
+    def test_summary_names_most_contested(self, screened) -> None:
+        _, _, result = screened
+        if result.uncertain_points():
+            worst = result.uncertain_points()[0]
+            assert f"#{worst}" in result.summary()
+
+    def test_shape_mismatch_rejected(self, screened) -> None:
+        dataset, _, _ = screened
+        with pytest.raises(ValueError):
+            screen_dataset(dataset, np.zeros((2, dataset.n_features + 1)), k=3)

@@ -1,0 +1,81 @@
+"""Unit tests for the polynomial segment tree (SS-DC support structure)."""
+
+import numpy as np
+import pytest
+
+from repro.core.polynomials import poly_mul, poly_one
+from repro.core.segment_tree import PolySegmentTree
+
+
+def brute_product(leaves: list[list[int]], degree: int) -> list[int]:
+    result = poly_one(degree)
+    for leaf in leaves:
+        result = poly_mul(result, leaf, degree)
+    return result
+
+
+class TestPolySegmentTree:
+    def test_empty_tree_root_is_one(self):
+        tree = PolySegmentTree(0, 3)
+        assert tree.root() == [1, 0, 0, 0]
+
+    def test_single_leaf(self):
+        tree = PolySegmentTree(1, 2)
+        tree.set_linear_leaf(0, 2, 5)
+        assert tree.root() == [2, 5, 0]
+
+    def test_root_matches_brute_product(self):
+        rng = np.random.default_rng(0)
+        for n_leaves in (1, 2, 3, 5, 8, 13):
+            degree = 3
+            tree = PolySegmentTree(n_leaves, degree)
+            leaves = []
+            for i in range(n_leaves):
+                a, b = int(rng.integers(0, 5)), int(rng.integers(0, 5))
+                tree.set_linear_leaf(i, a, b)
+                coeffs = [a, b] + [0] * (degree - 1)
+                leaves.append(coeffs)
+            assert tree.root() == brute_product(leaves, degree)
+
+    def test_incremental_updates(self):
+        rng = np.random.default_rng(1)
+        degree, n_leaves = 2, 6
+        tree = PolySegmentTree(n_leaves, degree)
+        leaves = [[1] + [0] * degree for _ in range(n_leaves)]
+        for i in range(n_leaves):
+            tree.set_linear_leaf(i, 1, 1)
+            leaves[i] = [1, 1, 0]
+        for _ in range(30):
+            pos = int(rng.integers(0, n_leaves))
+            a, b = int(rng.integers(0, 4)), int(rng.integers(0, 4))
+            tree.set_linear_leaf(pos, a, b)
+            leaves[pos] = [a, b, 0]
+            assert tree.root() == brute_product(leaves, degree)
+
+    def test_root_with_leaf_is_non_destructive(self):
+        tree = PolySegmentTree(4, 2)
+        for i in range(4):
+            tree.set_linear_leaf(i, 1, 1)
+        before = tree.root()
+        z_poly = [0, 1, 0]
+        replaced = tree.root_with_leaf(2, z_poly)
+        assert tree.root() == before
+        # (1+z)^3 * z = z + 3z^2 truncated at 2
+        assert replaced == [0, 1, 3]
+
+    def test_leaf_readback(self):
+        tree = PolySegmentTree(2, 1)
+        tree.set_leaf(1, [7, 9])
+        assert tree.leaf(1) == [7, 9]
+
+    def test_out_of_range_leaf(self):
+        tree = PolySegmentTree(2, 1)
+        with pytest.raises(IndexError):
+            tree.set_linear_leaf(2, 1, 1)
+        with pytest.raises(IndexError):
+            tree.leaf(5)
+
+    def test_wrong_coefficient_length(self):
+        tree = PolySegmentTree(2, 2)
+        with pytest.raises(ValueError):
+            tree.set_leaf(0, [1, 2])

@@ -1,0 +1,62 @@
+"""Unit tests for label tallies."""
+
+import math
+
+import pytest
+
+from repro.core.tally import predicted_label, tallies_with_prediction, valid_tallies
+
+
+class TestValidTallies:
+    def test_k1_binary(self):
+        assert set(valid_tallies(1, 2)) == {(1, 0), (0, 1)}
+
+    def test_k3_binary(self):
+        assert set(valid_tallies(3, 2)) == {(0, 3), (1, 2), (2, 1), (3, 0)}
+
+    def test_all_sum_to_k(self):
+        for k in range(5):
+            for n_labels in range(1, 5):
+                assert all(sum(t) == k for t in valid_tallies(k, n_labels))
+
+    def test_count_is_stars_and_bars(self):
+        for k in range(5):
+            for n_labels in range(1, 5):
+                expected = math.comb(n_labels + k - 1, k)
+                assert len(valid_tallies(k, n_labels)) == expected
+
+    def test_no_duplicates(self):
+        tallies = valid_tallies(4, 3)
+        assert len(set(tallies)) == len(tallies)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            valid_tallies(-1, 2)
+        with pytest.raises(ValueError):
+            valid_tallies(2, 0)
+
+
+class TestPredictedLabel:
+    def test_clear_winner(self):
+        assert predicted_label((0, 3)) == 1
+        assert predicted_label((2, 1)) == 0
+
+    def test_tie_prefers_smallest_label(self):
+        assert predicted_label((2, 2)) == 0
+        assert predicted_label((0, 2, 2)) == 1
+
+    def test_consistent_with_majority_label(self):
+        from repro.core.knn import majority_label
+
+        for tally in valid_tallies(4, 3):
+            votes = [label for label, count in enumerate(tally) for _ in range(count)]
+            assert predicted_label(tally) == majority_label(votes, tally_size=3)
+
+
+class TestTalliesWithPrediction:
+    def test_pairs_are_consistent(self):
+        for tally, winner in tallies_with_prediction(3, 3):
+            assert winner == predicted_label(tally)
+
+    def test_caching_returns_same_object(self):
+        assert tallies_with_prediction(3, 2) is tallies_with_prediction(3, 2)

@@ -1,0 +1,120 @@
+"""Top-K membership counting: engine vs. oracle, invariants, derived queries."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.topk_prob import (
+    expected_topk_label_histogram,
+    most_uncertain_rows,
+    topk_inclusion_counts,
+    topk_inclusion_counts_bruteforce,
+    topk_inclusion_probabilities,
+)
+from tests.conftest import random_incomplete_dataset
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    def test_counts_match_enumeration(self, seed: int, k: int) -> None:
+        rng = np.random.default_rng(seed)
+        dataset = random_incomplete_dataset(rng, n_rows=6)
+        t = rng.normal(size=dataset.n_features)
+        fast = topk_inclusion_counts(dataset, t, k=k)
+        oracle = topk_inclusion_counts_bruteforce(dataset, t, k=k)
+        assert fast == oracle
+
+    def test_bruteforce_cap(self) -> None:
+        sets = [np.zeros((8, 1)) for _ in range(8)]
+        dataset = IncompleteDataset(sets, [0, 1] * 4)
+        with pytest.raises(ValueError, match="cap"):
+            topk_inclusion_counts_bruteforce(dataset, np.array([0.0]), k=1, max_worlds=100)
+
+
+class TestInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    def test_total_mass_is_k_worlds(self, seed: int, k: int) -> None:
+        rng = np.random.default_rng(seed)
+        dataset = random_incomplete_dataset(rng, n_rows=6)
+        t = rng.normal(size=dataset.n_features)
+        counts = topk_inclusion_counts(dataset, t, k=k)
+        assert sum(counts) == k * dataset.n_worlds()
+
+    def test_probabilities_in_unit_interval(self, rng: np.random.Generator) -> None:
+        dataset = random_incomplete_dataset(rng, n_rows=7)
+        t = rng.normal(size=dataset.n_features)
+        probs = topk_inclusion_probabilities(dataset, t, k=3)
+        assert all(0 <= p <= 1 for p in probs)
+        assert sum(probs) == 3
+
+    def test_k_equals_n_gives_probability_one(self, rng: np.random.Generator) -> None:
+        dataset = random_incomplete_dataset(rng, n_rows=5)
+        t = rng.normal(size=dataset.n_features)
+        probs = topk_inclusion_probabilities(dataset, t, k=5)
+        assert probs == [Fraction(1)] * 5
+
+    def test_k_exceeding_rows_rejected(self, rng: np.random.Generator) -> None:
+        dataset = random_incomplete_dataset(rng, n_rows=4)
+        with pytest.raises(ValueError, match="exceeds"):
+            topk_inclusion_counts(dataset, np.zeros(dataset.n_features), k=5)
+
+    def test_certain_nearest_row_always_included(self) -> None:
+        # A clean row at the test point is in every world's top-1.
+        dataset = IncompleteDataset(
+            [np.array([[0.0]]), np.array([[5.0], [9.0]]), np.array([[7.0]])],
+            labels=[0, 1, 0],
+        )
+        probs = topk_inclusion_probabilities(dataset, np.array([0.0]), k=1)
+        assert probs[0] == 1
+        assert probs[1] == 0 and probs[2] == 0
+
+    def test_contested_second_slot_splits(self) -> None:
+        # Row 1 beats row 2 in one of two worlds for the second slot.
+        dataset = IncompleteDataset(
+            [np.array([[0.0]]), np.array([[1.0], [9.0]]), np.array([[2.0]])],
+            labels=[0, 1, 0],
+        )
+        probs = topk_inclusion_probabilities(dataset, np.array([0.0]), k=2)
+        assert probs == [Fraction(1), Fraction(1, 2), Fraction(1, 2)]
+
+
+class TestDerivedQueries:
+    def test_expected_histogram_sums_to_k(self, rng: np.random.Generator) -> None:
+        dataset = random_incomplete_dataset(rng, n_rows=6, n_labels=3)
+        t = rng.normal(size=dataset.n_features)
+        histogram = expected_topk_label_histogram(dataset, t, k=3)
+        assert sum(histogram) == 3
+        assert len(histogram) == 3
+
+    def test_histogram_matches_manual_aggregation(self, rng: np.random.Generator) -> None:
+        dataset = random_incomplete_dataset(rng, n_rows=5)
+        t = rng.normal(size=dataset.n_features)
+        probs = topk_inclusion_probabilities(dataset, t, k=2)
+        histogram = expected_topk_label_histogram(dataset, t, k=2)
+        manual = [Fraction(0)] * dataset.n_labels
+        for row, p in enumerate(probs):
+            manual[dataset.label_of(row)] += p
+        assert histogram == manual
+
+    def test_most_uncertain_rows_only_dirty_and_sorted(self, rng: np.random.Generator) -> None:
+        dataset = random_incomplete_dataset(rng, n_rows=8)
+        t = rng.normal(size=dataset.n_features)
+        ranked = most_uncertain_rows(dataset, t, k=3)
+        assert set(ranked) == set(dataset.uncertain_rows())
+        probs = topk_inclusion_probabilities(dataset, t, k=3)
+        distances = [abs(probs[row] - Fraction(1, 2)) for row in ranked]
+        assert distances == sorted(distances)

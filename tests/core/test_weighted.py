@@ -1,0 +1,130 @@
+"""Unit tests for weighted (probabilistic-database) counting."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.engine import sortscan_counts
+from repro.core.knn import KNNClassifier
+from repro.core.weighted import (
+    uniform_candidate_weights,
+    weighted_prediction_probabilities,
+)
+from repro.core.worlds import iter_world_choices
+from tests.conftest import random_incomplete_dataset
+
+
+def brute_force_weighted(dataset, t, k, weights):
+    """Reference: enumerate worlds, accumulate world probabilities."""
+    result = [Fraction(0)] * dataset.n_labels
+    for choice in iter_world_choices(dataset):
+        probability = Fraction(1)
+        for row, cand in enumerate(choice):
+            probability *= weights[row][cand]
+        if probability == 0:
+            continue
+        clf = KNNClassifier(k=k).fit(dataset.world(choice), dataset.labels)
+        result[clf.predict_one(t)] += probability
+    return result
+
+
+class TestUniformPrior:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_equals_counts_over_world_count(self, k):
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            dataset = random_incomplete_dataset(rng)
+            t = rng.normal(size=dataset.n_features)
+            probs = weighted_prediction_probabilities(dataset, t, k=k)
+            counts = sortscan_counts(dataset, t, k=k)
+            total = dataset.n_worlds()
+            assert probs == [Fraction(c, total) for c in counts]
+
+    def test_figure6(self, figure6_dataset):
+        dataset, t = figure6_dataset
+        probs = weighted_prediction_probabilities(dataset, t, k=1)
+        assert probs == [Fraction(6, 8), Fraction(2, 8)]
+
+
+class TestNonUniformPrior:
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_matches_weighted_enumeration(self, k):
+        rng = np.random.default_rng(1)
+        for _ in range(8):
+            dataset = random_incomplete_dataset(rng)
+            t = rng.normal(size=dataset.n_features)
+            weights = []
+            for row in range(dataset.n_rows):
+                m = dataset.candidates(row).shape[0]
+                raw = [int(rng.integers(1, 5)) for _ in range(m)]
+                total = sum(raw)
+                weights.append([Fraction(w, total) for w in raw])
+            expected = brute_force_weighted(dataset, t, k, weights)
+            got = weighted_prediction_probabilities(dataset, t, k=k, weights=weights)
+            assert got == expected
+
+    def test_zero_weight_candidate_excluded(self):
+        # Row 0's second candidate would change the prediction, but carries
+        # probability zero — the result must be certain.
+        dataset = IncompleteDataset(
+            [np.array([[0.1], [3.0]]), np.array([[-1.0]]), np.array([[5.0]])],
+            labels=[1, 0, 1],
+        )
+        weights = [[Fraction(1), Fraction(0)], [Fraction(1)], [Fraction(1)]]
+        probs = weighted_prediction_probabilities(
+            dataset, np.array([0.0]), k=1, weights=weights
+        )
+        assert probs == [Fraction(0), Fraction(1)]
+
+    def test_degenerate_prior_selects_one_world(self):
+        rng = np.random.default_rng(2)
+        dataset = random_incomplete_dataset(rng)
+        t = rng.normal(size=dataset.n_features)
+        # All mass on candidate 0 of every row => exactly one possible world.
+        weights = []
+        choice = []
+        for row in range(dataset.n_rows):
+            m = dataset.candidates(row).shape[0]
+            weights.append([Fraction(1)] + [Fraction(0)] * (m - 1))
+            choice.append(0)
+        probs = weighted_prediction_probabilities(dataset, t, k=1, weights=weights)
+        clf = KNNClassifier(k=1).fit(dataset.world(choice), dataset.labels)
+        expected_label = clf.predict_one(t)
+        assert probs[expected_label] == 1
+
+
+class TestValidation:
+    def test_uniform_helper_sums_to_one(self):
+        rng = np.random.default_rng(3)
+        dataset = random_incomplete_dataset(rng)
+        for row_weights in uniform_candidate_weights(dataset):
+            assert sum(row_weights) == 1
+
+    def test_wrong_row_count(self, figure6_dataset):
+        dataset, t = figure6_dataset
+        with pytest.raises(ValueError, match="one list per row"):
+            weighted_prediction_probabilities(dataset, t, k=1, weights=[[Fraction(1)]])
+
+    def test_wrong_candidate_count(self, figure6_dataset):
+        dataset, t = figure6_dataset
+        bad = [[Fraction(1)], [Fraction(1, 2), Fraction(1, 2)], [Fraction(1, 2), Fraction(1, 2)]]
+        with pytest.raises(ValueError, match="candidates"):
+            weighted_prediction_probabilities(dataset, t, k=1, weights=bad)
+
+    def test_weights_must_sum_to_one(self, figure6_dataset):
+        dataset, t = figure6_dataset
+        bad = [[Fraction(1, 2), Fraction(1, 4)]] + [
+            [Fraction(1, 2), Fraction(1, 2)] for _ in range(2)
+        ]
+        with pytest.raises(ValueError, match="sum to"):
+            weighted_prediction_probabilities(dataset, t, k=1, weights=bad)
+
+    def test_negative_weights_rejected(self, figure6_dataset):
+        dataset, t = figure6_dataset
+        bad = [[Fraction(3, 2), Fraction(-1, 2)]] + [
+            [Fraction(1, 2), Fraction(1, 2)] for _ in range(2)
+        ]
+        with pytest.raises(ValueError, match="negative"):
+            weighted_prediction_probabilities(dataset, t, k=1, weights=bad)

@@ -1,0 +1,97 @@
+"""Witness extraction: agreement with Q1, validity of the returned worlds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.knn import KNNClassifier
+from repro.core.queries import certain_label, q2_counts
+from repro.core.witness import Witness, find_witness
+from tests.conftest import random_incomplete_dataset
+
+
+def verify_witness(dataset: IncompleteDataset, t: np.ndarray, k: int, witness: Witness) -> None:
+    """Replay both worlds through the plain KNN substrate."""
+    for choice, label in (
+        (witness.choice_a, witness.label_a),
+        (witness.choice_b, witness.label_b),
+    ):
+        world = dataset.world(list(choice))
+        clf = KNNClassifier(k=k).fit(world, dataset.labels)
+        assert clf.predict_one(t) == label
+    assert witness.label_a != witness.label_b
+
+
+class TestAgreementWithQ1:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        k=st.integers(min_value=1, max_value=3),
+        n_labels=st.integers(min_value=2, max_value=3),
+    )
+    def test_witness_exists_iff_not_certain(self, seed: int, k: int, n_labels: int) -> None:
+        rng = np.random.default_rng(seed)
+        dataset = random_incomplete_dataset(rng, n_rows=6, n_labels=n_labels)
+        t = rng.normal(size=dataset.n_features)
+        witness = find_witness(dataset, t, k=k)
+        if certain_label(dataset, t, k=k) is None:
+            assert witness is not None
+            verify_witness(dataset, t, k, witness)
+        else:
+            assert witness is None
+
+    def test_witness_labels_have_nonzero_counts(self, rng: np.random.Generator) -> None:
+        dataset = random_incomplete_dataset(rng, n_rows=7)
+        t = rng.normal(size=dataset.n_features)
+        witness = find_witness(dataset, t, k=3)
+        if witness is not None:
+            counts = q2_counts(dataset, t, k=3)
+            assert counts[witness.label_a] > 0
+            assert counts[witness.label_b] > 0
+
+
+class TestEdgeCases:
+    def test_clean_dataset_has_no_witness(self, rng: np.random.Generator) -> None:
+        features = rng.normal(size=(5, 2))
+        dataset = IncompleteDataset.from_complete(features, [0, 1, 0, 1, 0])
+        assert find_witness(dataset, rng.normal(size=2), k=3) is None
+
+    def test_contested_top1_yields_witness(self) -> None:
+        dataset = IncompleteDataset(
+            [np.array([[1.0], [9.0]]), np.array([[2.0]])], labels=[0, 1]
+        )
+        witness = find_witness(dataset, np.array([0.0]), k=1)
+        assert witness is not None
+        verify_witness(dataset, np.array([0.0]), 1, witness)
+
+    def test_k_exceeding_rows_rejected(self, rng: np.random.Generator) -> None:
+        dataset = random_incomplete_dataset(rng, n_rows=3)
+        with pytest.raises(ValueError, match="exceeds"):
+            find_witness(dataset, np.zeros(dataset.n_features), k=4)
+
+    def test_multiclass_enumeration_path(self, rng: np.random.Generator) -> None:
+        # Small 3-label instance: the exhaustive path must find witnesses
+        # whenever counting says the point is contested.
+        dataset = random_incomplete_dataset(rng, n_rows=5, n_labels=3)
+        t = rng.normal(size=dataset.n_features)
+        counts = q2_counts(dataset, t, k=1)
+        witness = find_witness(dataset, t, k=1)
+        contested = sum(1 for c in counts if c > 0) > 1
+        assert (witness is not None) == contested
+
+    def test_large_multiclass_sampling_path(self, rng: np.random.Generator) -> None:
+        # 14 rows x 3 candidates ≈ 4.7M worlds: forces the sampling branch.
+        sets = [rng.normal(size=(3, 2)) for _ in range(14)]
+        labels = rng.integers(0, 3, size=14)
+        labels[:3] = [0, 1, 2]
+        dataset = IncompleteDataset(sets, labels)
+        t = rng.normal(size=2)
+        witness = find_witness(dataset, t, k=3, seed=1)
+        if witness is not None:
+            verify_witness(dataset, t, 3, witness)
+        else:
+            assert certain_label(dataset, t, k=3) is not None

@@ -1,0 +1,75 @@
+"""Unit tests for possible-world enumeration and sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.worlds import (
+    count_worlds,
+    iter_world_choices,
+    iter_worlds,
+    sample_world_choice,
+    sample_worlds,
+)
+
+
+def dataset_2x3() -> IncompleteDataset:
+    return IncompleteDataset(
+        [np.arange(2, dtype=float).reshape(2, 1), np.arange(3, dtype=float).reshape(3, 1)],
+        labels=[0, 1],
+    )
+
+
+class TestEnumeration:
+    def test_all_choices_enumerated(self):
+        choices = list(iter_world_choices(dataset_2x3()))
+        assert len(choices) == 6
+        assert len(set(choices)) == 6
+        assert all(len(c) == 2 for c in choices)
+
+    def test_count_matches_enumeration(self):
+        ds = dataset_2x3()
+        assert count_worlds(ds) == len(list(iter_world_choices(ds)))
+
+    def test_worlds_materialised_consistently(self):
+        ds = dataset_2x3()
+        for choice, features in iter_worlds(ds):
+            assert features.shape == (2, 1)
+            assert features[0, 0] == float(choice[0])
+            assert features[1, 0] == float(choice[1])
+
+    def test_enumeration_guard(self):
+        ds = IncompleteDataset([np.zeros((10, 1))] * 10, labels=[0, 1] * 5)
+        with pytest.raises(ValueError, match="max_worlds"):
+            list(iter_world_choices(ds, max_worlds=1000))
+
+
+class TestSampling:
+    def test_sampled_choice_in_range(self):
+        ds = dataset_2x3()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            c = sample_world_choice(ds, rng)
+            assert 0 <= c[0] < 2 and 0 <= c[1] < 3
+
+    def test_sampling_is_seed_deterministic(self):
+        ds = dataset_2x3()
+        a = [sample_world_choice(ds, np.random.default_rng(7)) for _ in range(1)]
+        b = [sample_world_choice(ds, np.random.default_rng(7)) for _ in range(1)]
+        assert a == b
+
+    def test_sample_worlds_yields_requested_count(self):
+        ds = dataset_2x3()
+        worlds = list(sample_worlds(ds, 5, seed=0))
+        assert len(worlds) == 5
+        assert all(w.shape == (2, 1) for w in worlds)
+
+    def test_sample_worlds_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(sample_worlds(dataset_2x3(), -1))
+
+    def test_sampling_covers_all_worlds_eventually(self):
+        ds = dataset_2x3()
+        rng = np.random.default_rng(3)
+        seen = {sample_world_choice(ds, rng) for _ in range(200)}
+        assert len(seen) == 6

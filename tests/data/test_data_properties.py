@@ -1,0 +1,96 @@
+"""Property-based tests (hypothesis) for the data substrates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.missingness import inject_mcar, inject_mnar_by_importance
+from repro.data.preprocess import TableEncoder
+from repro.data.repairs import RepairSpace, default_clean
+from repro.data.table import MISSING_CATEGORY, Table
+
+
+@st.composite
+def complete_tables(draw, max_rows=40):
+    """Random complete mixed-type tables."""
+    n = draw(st.integers(8, max_rows))
+    d_num = draw(st.integers(1, 3))
+    d_cat = draw(st.integers(0, 2))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    numeric = rng.normal(size=(n, d_num)) * draw(st.floats(0.5, 5.0))
+    categorical = rng.integers(0, 4, size=(n, d_cat))
+    labels = rng.integers(0, 2, size=n)
+    return Table(numeric, categorical, labels)
+
+
+@settings(max_examples=40, deadline=None)
+@given(complete_tables(), st.floats(0.0, 0.6), st.integers(0, 2**16))
+def test_mcar_row_rate_and_ground_truth_preserved(table, rate, seed):
+    dirty = inject_mcar(table, row_rate=rate, seed=seed)
+    assert abs(dirty.missing_rate() - rate) <= 1.5 / table.n_rows
+    # observed cells equal the ground truth exactly
+    mask = ~dirty.numeric_missing_mask()
+    assert np.array_equal(dirty.numeric[mask], table.numeric[mask])
+    cat_mask = ~dirty.categorical_missing_mask()
+    assert np.array_equal(dirty.categorical[cat_mask], table.categorical[cat_mask])
+
+
+@settings(max_examples=30, deadline=None)
+@given(complete_tables(), st.integers(0, 2**16))
+def test_mnar_respects_importance_support(table, seed):
+    rng = np.random.default_rng(seed)
+    importances = rng.dirichlet(np.ones(table.n_features))
+    dirty = inject_mnar_by_importance(table, importances, row_rate=0.3, seed=seed)
+    assert dirty.missing_rate() <= 0.35
+    # labels never change
+    assert np.array_equal(dirty.labels, table.labels)
+
+
+@settings(max_examples=30, deadline=None)
+@given(complete_tables(), st.integers(0, 2**16))
+def test_default_clean_roundtrip_on_dirty_tables(table, seed):
+    dirty = inject_mcar(table, row_rate=0.4, cells_per_row=2, seed=seed)
+    cleaned = default_clean(dirty)
+    assert cleaned.missing_rate() == 0.0
+    # idempotent on complete tables
+    again = default_clean(cleaned)
+    assert np.array_equal(again.numeric, cleaned.numeric)
+    assert np.array_equal(again.categorical, cleaned.categorical)
+
+
+@settings(max_examples=30, deadline=None)
+@given(complete_tables(), st.integers(0, 2**16))
+def test_repair_space_candidates_contain_column_extremes(table, seed):
+    dirty = inject_mcar(table, row_rate=0.4, seed=seed)
+    space = RepairSpace(dirty)
+    for j in range(dirty.n_numeric):
+        observed = dirty.numeric[:, j]
+        observed = observed[~np.isnan(observed)]
+        candidates = space.numeric_candidates[j]
+        assert abs(candidates.min() - observed.min()) < 1e-9
+        assert abs(candidates.max() - observed.max()) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(complete_tables(), st.integers(0, 2**16))
+def test_row_repairs_cover_every_dirty_row_completely(table, seed):
+    dirty = inject_mcar(table, row_rate=0.3, cells_per_row=2, seed=seed)
+    space = RepairSpace(dirty, max_row_candidates=30)
+    for row in range(dirty.n_rows):
+        repairs = space.row_repairs(row)
+        assert 1 <= len(repairs) <= 30
+        for num, cat in repairs:
+            assert not np.isnan(num).any()
+            assert (cat != MISSING_CATEGORY).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(complete_tables())
+def test_encoder_output_is_finite_and_stable(table):
+    encoder = TableEncoder().fit(table)
+    X = encoder.encode_table(table)
+    assert X.shape == (table.n_rows, encoder.n_output_features)
+    assert np.all(np.isfinite(X))
+    # encoding twice gives the same matrix
+    assert np.array_equal(X, encoder.encode_table(table))

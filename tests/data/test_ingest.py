@@ -1,0 +1,119 @@
+"""CSV → CP-ready workload ingestion, plus the csv-screen CLI command."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.ingest import incomplete_from_dirty_table, load_csv_workload
+from repro.data.io import read_csv
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    rng = np.random.default_rng(1)
+    lines = ["weight,brand,price"]
+    brands = ["acme", "globex", "initech"]
+    for i in range(40):
+        weight = f"{rng.normal(2, 1):.2f}" if rng.random() > 0.2 else ""
+        brand = brands[int(rng.integers(3))] if rng.random() > 0.15 else "NA"
+        price = "high" if rng.random() > 0.5 else "low"
+        lines.append(f"{weight},{brand},{price}")
+    path = tmp_path / "products.csv"
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+class TestIncompleteFromTable:
+    def test_clean_rows_are_singletons(self, csv_file) -> None:
+        table, _ = read_csv(csv_file, label_column="price")
+        incomplete, _, _ = incomplete_from_dirty_table(table)
+        dirty = set(table.dirty_rows().tolist())
+        for row in range(table.n_rows):
+            count = incomplete.candidates(row).shape[0]
+            if row in dirty:
+                assert count > 1
+            else:
+                assert count == 1
+
+    def test_labels_preserved(self, csv_file) -> None:
+        table, _ = read_csv(csv_file, label_column="price")
+        incomplete, _, _ = incomplete_from_dirty_table(table)
+        assert incomplete.labels.tolist() == table.labels.tolist()
+
+    def test_candidate_cap_respected(self, csv_file) -> None:
+        table, _ = read_csv(csv_file, label_column="price")
+        incomplete, _, _ = incomplete_from_dirty_table(table, max_row_candidates=3)
+        assert int(incomplete.candidate_counts().max()) <= 3
+
+
+class TestLoadCsvWorkload:
+    def test_split_covers_all_rows_once(self, csv_file) -> None:
+        workload = load_csv_workload(csv_file, "price", n_val=8, k=3)
+        all_rows = sorted(workload.train_rows.tolist() + workload.val_rows.tolist())
+        assert all_rows == list(range(workload.table.n_rows))
+
+    def test_validation_rows_are_complete(self, csv_file) -> None:
+        workload = load_csv_workload(csv_file, "price", n_val=8, k=3)
+        dirty = set(workload.table.dirty_rows().tolist())
+        assert not (set(workload.val_rows.tolist()) & dirty)
+
+    def test_val_size_capped_by_clean_rows(self, csv_file) -> None:
+        workload = load_csv_workload(csv_file, "price", n_val=10_000, k=3)
+        n_clean = workload.table.n_rows - workload.table.dirty_rows().shape[0]
+        assert workload.val_rows.shape[0] == n_clean
+
+    def test_deterministic_given_seed(self, csv_file) -> None:
+        a = load_csv_workload(csv_file, "price", n_val=8, seed=5)
+        b = load_csv_workload(csv_file, "price", n_val=8, seed=5)
+        np.testing.assert_array_equal(a.val_rows, b.val_rows)
+
+    def test_all_dirty_file_rejected(self, tmp_path) -> None:
+        path = tmp_path / "alldirty.csv"
+        path.write_text("x,cls\n,a\n,b\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="no complete rows"):
+            load_csv_workload(path, "cls")
+
+    def test_too_few_training_rows_rejected(self, tmp_path) -> None:
+        path = tmp_path / "tiny.csv"
+        path.write_text("x,cls\n1,a\n2,b\n3,a\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="at least k"):
+            load_csv_workload(path, "cls", n_val=2, k=3)
+
+    def test_val_encoding_dimension_matches(self, csv_file) -> None:
+        workload = load_csv_workload(csv_file, "price", n_val=8, k=3)
+        assert workload.val_X.shape[1] == workload.incomplete.n_features
+
+
+class TestCsvScreenCommand:
+    def test_parser_flags(self) -> None:
+        args = build_parser().parse_args(
+            ["csv-screen", "--input", "f.csv", "--label", "y", "--top", "2"]
+        )
+        assert args.command == "csv-screen"
+        assert args.top == 2
+
+    def test_input_required(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["csv-screen", "--label", "y"])
+
+    def test_end_to_end_screen(self, csv_file, capsys) -> None:
+        code = main(
+            [
+                "csv-screen",
+                "--input",
+                str(csv_file),
+                "--label",
+                "price",
+                "--n-val",
+                "6",
+                "--top",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "validation points certainly predicted" in out
+        # either all-certain short-circuit or recommendations
+        assert "cleaning cannot change" in out or "rows worth cleaning" in out

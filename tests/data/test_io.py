@@ -1,0 +1,180 @@
+"""CSV reading/writing: typing, missing tokens, encodings, round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.io import MISSING_TOKENS, CsvSchema, read_csv, write_csv
+from repro.data.table import MISSING_CATEGORY, Table
+
+
+def write_lines(path, lines):
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+@pytest.fixture
+def dirty_csv(tmp_path):
+    path = tmp_path / "products.csv"
+    write_lines(
+        path,
+        [
+            "weight,brand,price_band",
+            "1.5,acme,high",
+            ",globex,low",
+            "2.25,,high",
+            "0.75,initech,low",
+            "NaN,acme,high",
+        ],
+    )
+    return path
+
+
+class TestReadCsv:
+    def test_column_typing(self, dirty_csv) -> None:
+        table, schema = read_csv(dirty_csv, label_column="price_band")
+        assert schema.numeric_names == ["weight"]
+        assert schema.categorical_names == ["brand"]
+        assert table.n_rows == 5
+
+    def test_missing_cells_detected(self, dirty_csv) -> None:
+        table, _ = read_csv(dirty_csv, label_column="price_band")
+        assert np.isnan(table.numeric[1, 0])
+        assert np.isnan(table.numeric[4, 0])  # "NaN" token
+        assert table.categorical[2, 0] == MISSING_CATEGORY
+        assert sorted(table.dirty_rows().tolist()) == [1, 2, 4]
+
+    def test_label_encoding_in_first_appearance_order(self, dirty_csv) -> None:
+        table, schema = read_csv(dirty_csv, label_column="price_band")
+        assert schema.label_encoding == ["high", "low"]
+        assert table.labels.tolist() == [0, 1, 0, 1, 0]
+        assert schema.decode_label(1) == "low"
+
+    def test_category_encoding_and_decoding(self, dirty_csv) -> None:
+        table, schema = read_csv(dirty_csv, label_column="price_band")
+        assert schema.category_encodings["brand"] == ["acme", "globex", "initech"]
+        assert schema.decode_category("brand", 0) == "acme"
+        assert schema.decode_category("brand", MISSING_CATEGORY) == "<missing>"
+
+    def test_all_missing_tokens_recognised(self, tmp_path) -> None:
+        path = tmp_path / "tokens.csv"
+        tokens = sorted(MISSING_TOKENS - {""})
+        rows = [f"{tok},x" for tok in tokens] + ["1.0,x", ",x"]
+        write_lines(path, ["value,cls"] + rows)
+        table, _ = read_csv(path, label_column="cls")
+        missing = np.isnan(table.numeric[:, 0])
+        assert missing.tolist() == [True] * len(tokens) + [False, True]
+
+    def test_mixed_column_is_categorical(self, tmp_path) -> None:
+        path = tmp_path / "mixed.csv"
+        write_lines(path, ["col,cls", "1.5,a", "two,a", "3,b"])
+        table, schema = read_csv(path, label_column="cls")
+        assert schema.categorical_names == ["col"]
+        assert table.n_numeric == 0
+
+    def test_all_missing_column_is_categorical(self, tmp_path) -> None:
+        path = tmp_path / "void.csv"
+        write_lines(path, ["col,cls", ",a", "NA,b"])
+        table, schema = read_csv(path, label_column="cls")
+        assert schema.categorical_names == ["col"]
+        assert (table.categorical[:, 0] == MISSING_CATEGORY).all()
+
+    def test_missing_label_rejected(self, tmp_path) -> None:
+        path = tmp_path / "badlabel.csv"
+        write_lines(path, ["x,cls", "1.0,a", "2.0,"])
+        with pytest.raises(ValueError, match="certain labels"):
+            read_csv(path, label_column="cls")
+
+    def test_unknown_label_column_rejected(self, dirty_csv) -> None:
+        with pytest.raises(ValueError, match="label column"):
+            read_csv(dirty_csv, label_column="nope")
+
+    def test_duplicate_header_rejected(self, tmp_path) -> None:
+        path = tmp_path / "dup.csv"
+        write_lines(path, ["a,a,cls", "1,2,x"])
+        with pytest.raises(ValueError, match="duplicate"):
+            read_csv(path, label_column="cls")
+
+    def test_ragged_row_rejected(self, tmp_path) -> None:
+        path = tmp_path / "ragged.csv"
+        write_lines(path, ["a,cls", "1,x,extra"])
+        with pytest.raises(ValueError, match="fields"):
+            read_csv(path, label_column="cls")
+
+    def test_empty_file_rejected(self, tmp_path) -> None:
+        path = tmp_path / "empty.csv"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(ValueError, match="empty"):
+            read_csv(path, label_column="cls")
+
+    def test_quoted_fields_with_commas(self, tmp_path) -> None:
+        path = tmp_path / "quoted.csv"
+        write_lines(
+            path,
+            [
+                "desc,weight,cls",
+                '"crib, grey",1.5,a',
+                '"stroller, blue",,b',
+            ],
+        )
+        table, schema = read_csv(path, label_column="cls")
+        assert schema.category_encodings["desc"] == ["crib, grey", "stroller, blue"]
+        assert np.isnan(table.numeric[1, 0])
+
+    def test_quoted_roundtrip(self, tmp_path) -> None:
+        path = tmp_path / "quoted.csv"
+        write_lines(path, ["desc,cls", '"a, b",x', "plain,y"])
+        table, schema = read_csv(path, label_column="cls")
+        out = tmp_path / "out.csv"
+        write_csv(table, out, schema=schema)
+        table2, schema2 = read_csv(out, label_column="cls")
+        assert schema2.category_encodings == schema.category_encodings
+        np.testing.assert_array_equal(table.categorical, table2.categorical)
+
+    def test_custom_delimiter(self, tmp_path) -> None:
+        path = tmp_path / "semi.csv"
+        write_lines(path, ["x;cls", "1.0;a", "2.0;b"])
+        table, _ = read_csv(path, label_column="cls", delimiter=";")
+        assert table.n_rows == 2
+        assert table.numeric[1, 0] == 2.0
+
+
+class TestWriteCsv:
+    def test_roundtrip_preserves_everything(self, dirty_csv, tmp_path) -> None:
+        table, schema = read_csv(dirty_csv, label_column="price_band")
+        out = tmp_path / "roundtrip.csv"
+        write_csv(table, out, schema=schema)
+        table2, schema2 = read_csv(out, label_column="price_band")
+        np.testing.assert_array_equal(
+            np.isnan(table.numeric), np.isnan(table2.numeric)
+        )
+        np.testing.assert_allclose(
+            np.nan_to_num(table.numeric), np.nan_to_num(table2.numeric)
+        )
+        np.testing.assert_array_equal(table.categorical, table2.categorical)
+        np.testing.assert_array_equal(table.labels, table2.labels)
+        assert schema2.label_encoding == schema.label_encoding
+        assert schema2.category_encodings == schema.category_encodings
+
+    def test_write_without_schema_uses_codes(self, tmp_path) -> None:
+        table = Table(
+            numeric=np.array([[1.0], [np.nan]]),
+            categorical=np.array([[0], [MISSING_CATEGORY]]),
+            labels=np.array([0, 1]),
+            numeric_names=["x"],
+            categorical_names=["c"],
+        )
+        out = tmp_path / "codes.csv"
+        write_csv(table, out)
+        lines = out.read_text(encoding="utf-8").strip().splitlines()
+        assert lines[0] == "x,c,label"
+        assert lines[1] == "1.0,0,0"
+        assert lines[2] == ",,1"
+
+    def test_roundtrip_feeds_cleaning_pipeline(self, dirty_csv) -> None:
+        # The loaded table plugs straight into the repair-space generator.
+        from repro.data.repairs import RepairSpace
+
+        table, _ = read_csv(dirty_csv, label_column="price_band")
+        space = RepairSpace(table)
+        assert len(space.numeric_candidates) == table.n_numeric

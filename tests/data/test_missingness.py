@@ -1,0 +1,123 @@
+"""Unit tests for the missing-value injectors."""
+
+import numpy as np
+import pytest
+
+from repro.data.missingness import inject_mar, inject_mcar, inject_mnar_by_importance
+from repro.data.synth import SyntheticSpec, generate_table
+
+
+def complete_table(n_rows=200, n_numeric=4, n_categorical=1, seed=0):
+    spec = SyntheticSpec(n_rows=n_rows, n_numeric=n_numeric, n_categorical=n_categorical)
+    return generate_table(spec, seed=seed)
+
+
+class TestMCAR:
+    def test_row_rate_is_respected(self):
+        table = complete_table()
+        dirty = inject_mcar(table, row_rate=0.25, seed=0)
+        assert dirty.missing_rate() == pytest.approx(0.25, abs=0.01)
+
+    def test_original_untouched(self):
+        table = complete_table()
+        inject_mcar(table, row_rate=0.5, seed=0)
+        assert table.missing_rate() == 0.0
+
+    def test_zero_rate(self):
+        table = complete_table()
+        assert inject_mcar(table, row_rate=0.0, seed=0).missing_rate() == 0.0
+
+    def test_cells_per_row(self):
+        table = complete_table()
+        dirty = inject_mcar(table, row_rate=0.2, cells_per_row=2, seed=0)
+        missing = dirty.numeric_missing_mask().sum(axis=1) + dirty.categorical_missing_mask().sum(axis=1)
+        assert set(missing[missing > 0]) == {2}
+
+    def test_deterministic(self):
+        table = complete_table()
+        a = inject_mcar(table, row_rate=0.3, seed=9)
+        b = inject_mcar(table, row_rate=0.3, seed=9)
+        assert np.array_equal(a.numeric_missing_mask(), b.numeric_missing_mask())
+
+
+class TestMAR:
+    def test_driver_column_never_missing(self):
+        table = complete_table()
+        dirty = inject_mar(table, row_rate=0.4, driver_attribute=0, seed=1)
+        assert not np.isnan(dirty.numeric[:, 0]).any()
+
+    def test_missingness_correlates_with_driver(self):
+        table = complete_table(n_rows=600)
+        dirty = inject_mar(table, row_rate=0.3, driver_attribute=0, seed=2)
+        driver = table.numeric[:, 0]
+        dirty_rows = np.zeros(table.n_rows, dtype=bool)
+        dirty_rows[dirty.dirty_rows()] = True
+        assert driver[dirty_rows].mean() > driver[~dirty_rows].mean()
+
+    def test_invalid_driver(self):
+        table = complete_table()
+        with pytest.raises(ValueError, match="driver_attribute"):
+            inject_mar(table, driver_attribute=99)
+
+
+class TestMNARByImportance:
+    def uniform_importances(self, table):
+        return np.full(table.n_features, 1.0 / table.n_features)
+
+    def test_row_rate(self):
+        table = complete_table()
+        imp = self.uniform_importances(table)
+        dirty = inject_mnar_by_importance(table, imp, row_rate=0.2, seed=3)
+        assert dirty.missing_rate() == pytest.approx(0.2, abs=0.01)
+
+    def test_important_attribute_attracts_missingness(self):
+        table = complete_table(n_rows=500)
+        importances = np.zeros(table.n_features)
+        importances[1] = 1.0  # all mass on attribute 1
+        dirty = inject_mnar_by_importance(table, importances, row_rate=0.3, seed=4)
+        assert np.isnan(dirty.numeric[:, 1]).sum() > 0
+        assert np.isnan(dirty.numeric[:, 0]).sum() == 0
+
+    def test_value_bias_targets_extremes(self):
+        table = complete_table(n_rows=800, n_categorical=0)
+        imp = self.uniform_importances(table)
+        dirty = inject_mnar_by_importance(
+            table, imp, row_rate=0.2, value_bias=3.0, value_mode="high", seed=5
+        )
+        for j in range(table.n_numeric):
+            mask = np.isnan(dirty.numeric[:, j])
+            if mask.sum() >= 10:
+                column = table.numeric[:, j]
+                assert column[mask].mean() > column.mean()
+
+    def test_extreme_mode_targets_large_magnitudes(self):
+        table = complete_table(n_rows=800, n_categorical=0)
+        imp = self.uniform_importances(table)
+        dirty = inject_mnar_by_importance(
+            table, imp, row_rate=0.2, value_bias=3.0, value_mode="extreme", seed=6
+        )
+        for j in range(table.n_numeric):
+            mask = np.isnan(dirty.numeric[:, j])
+            if mask.sum() >= 10:
+                column = table.numeric[:, j]
+                z = np.abs((column - column.mean()) / column.std())
+                assert z[mask].mean() > z.mean()
+
+    def test_importance_shape_checked(self):
+        table = complete_table()
+        with pytest.raises(ValueError, match="shape"):
+            inject_mnar_by_importance(table, np.ones(2), seed=0)
+
+    def test_bad_value_mode(self):
+        table = complete_table()
+        with pytest.raises(ValueError, match="value_mode"):
+            inject_mnar_by_importance(
+                table, self.uniform_importances(table), value_mode="low", seed=0
+            )
+
+    def test_negative_bias_rejected(self):
+        table = complete_table()
+        with pytest.raises(ValueError, match="value_bias"):
+            inject_mnar_by_importance(
+                table, self.uniform_importances(table), value_bias=-1.0, seed=0
+            )

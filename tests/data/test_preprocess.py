@@ -1,0 +1,96 @@
+"""Unit tests for the table encoder."""
+
+import numpy as np
+import pytest
+
+from repro.data.missingness import inject_mcar
+from repro.data.preprocess import TableEncoder
+from repro.data.synth import SyntheticSpec, generate_table
+from repro.data.table import MISSING_CATEGORY, Table
+
+
+def make_table(seed=0):
+    spec = SyntheticSpec(n_rows=100, n_numeric=3, n_categorical=2, categories_per_column=4)
+    return generate_table(spec, seed=seed)
+
+
+class TestFit:
+    def test_output_width(self):
+        table = make_table()
+        encoder = TableEncoder().fit(table)
+        cat_width = sum(encoder.category_widths)
+        assert encoder.n_output_features == 3 + cat_width
+        # each categorical column gets observed categories + 1 "other" slot
+        for j in range(table.n_categorical):
+            observed = len(np.unique(table.categorical[:, j]))
+            assert encoder.category_widths[j] == observed + 1
+
+    def test_fit_ignores_missing_cells(self):
+        table = make_table()
+        dirty = inject_mcar(table, row_rate=0.4, seed=1)
+        encoder = TableEncoder().fit(dirty)
+        for j in range(table.n_numeric):
+            observed = dirty.numeric[:, j]
+            observed = observed[~np.isnan(observed)]
+            assert encoder.numeric_means[j] == pytest.approx(observed.mean())
+
+    def test_unfitted_encoder_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            TableEncoder().encode_rows(np.zeros((1, 2)), np.zeros((1, 0), dtype=int))
+
+
+class TestEncode:
+    def test_numeric_standardisation(self):
+        table = make_table()
+        encoder = TableEncoder().fit(table)
+        X = encoder.encode_table(table)
+        numeric_part = X[:, :3]
+        assert np.allclose(numeric_part.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(numeric_part.std(axis=0), 1.0, atol=1e-9)
+
+    def test_one_hot_blocks_sum_to_one(self):
+        table = make_table()
+        encoder = TableEncoder().fit(table)
+        X = encoder.encode_table(table)
+        offset = 3
+        for width in encoder.category_widths:
+            block = X[:, offset : offset + width]
+            assert np.allclose(block.sum(axis=1), 1.0)
+            offset += width
+
+    def test_unseen_category_goes_to_other_slot(self):
+        table = make_table()
+        encoder = TableEncoder().fit(table)
+        numeric = table.numeric[:1]
+        categorical = table.categorical[:1].copy()
+        categorical[0, 0] = 999  # never observed
+        X = encoder.encode_rows(numeric, categorical)
+        first_width = encoder.category_widths[0]
+        block = X[0, 3 : 3 + first_width]
+        assert block[-1] == 1.0 and block.sum() == 1.0
+
+    def test_missing_cells_rejected(self):
+        table = make_table()
+        encoder = TableEncoder().fit(table)
+        bad_numeric = table.numeric[:1].copy()
+        bad_numeric[0, 0] = np.nan
+        with pytest.raises(ValueError, match="missing numeric"):
+            encoder.encode_rows(bad_numeric, table.categorical[:1])
+        bad_cat = table.categorical[:1].copy()
+        bad_cat[0, 0] = MISSING_CATEGORY
+        with pytest.raises(ValueError, match="missing categorical"):
+            encoder.encode_rows(table.numeric[:1], bad_cat)
+
+    def test_single_row_encoding_matches_batch(self):
+        table = make_table()
+        encoder = TableEncoder().fit(table)
+        X = encoder.encode_table(table)
+        row = encoder.encode_rows(table.numeric[5], table.categorical[5])
+        assert np.allclose(row[0], X[5])
+
+    def test_constant_column_does_not_divide_by_zero(self):
+        numeric = np.full((5, 1), 3.0)
+        table = Table(numeric, np.zeros((5, 0), dtype=np.int64), [0, 1, 0, 1, 0])
+        encoder = TableEncoder().fit(table)
+        X = encoder.encode_table(table)
+        assert np.allclose(X, 0.0)

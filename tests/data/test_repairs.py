@@ -1,0 +1,150 @@
+"""Unit tests for candidate-repair generation."""
+
+import numpy as np
+import pytest
+
+from repro.data.missingness import inject_mcar
+from repro.data.repairs import RepairSpace, default_clean
+from repro.data.synth import SyntheticSpec, generate_table
+from repro.data.table import MISSING_CATEGORY, Table
+
+
+def dirty_table(seed=0, n_rows=120, n_categorical=2):
+    spec = SyntheticSpec(n_rows=n_rows, n_numeric=3, n_categorical=n_categorical)
+    table = generate_table(spec, seed=seed)
+    return inject_mcar(table, row_rate=0.3, cells_per_row=2, seed=seed)
+
+
+class TestDefaultClean:
+    def test_result_is_complete(self):
+        cleaned = default_clean(dirty_table())
+        assert cleaned.missing_rate() == 0.0
+
+    def test_numeric_filled_with_observed_mean(self):
+        table = dirty_table()
+        cleaned = default_clean(table)
+        for j in range(table.n_numeric):
+            observed = table.numeric[:, j]
+            observed = observed[~np.isnan(observed)]
+            mask = np.isnan(table.numeric[:, j])
+            if mask.any():
+                assert np.allclose(cleaned.numeric[mask, j], observed.mean())
+
+    def test_categorical_filled_with_mode(self):
+        table = dirty_table()
+        cleaned = default_clean(table)
+        for j in range(table.n_categorical):
+            column = table.categorical[:, j]
+            observed = column[column != MISSING_CATEGORY]
+            values, counts = np.unique(observed, return_counts=True)
+            mode = int(values[np.argmax(counts)])
+            mask = column == MISSING_CATEGORY
+            if mask.any():
+                assert np.all(cleaned.categorical[mask, j] == mode)
+
+    def test_observed_cells_untouched(self):
+        table = dirty_table()
+        cleaned = default_clean(table)
+        mask = ~np.isnan(table.numeric)
+        assert np.array_equal(cleaned.numeric[mask], table.numeric[mask])
+
+
+class TestRepairSpace:
+    def test_numeric_candidates_are_the_five_statistics(self):
+        table = dirty_table()
+        space = RepairSpace(table)
+        for j in range(table.n_numeric):
+            observed = table.numeric[:, j]
+            observed = observed[~np.isnan(observed)]
+            cands = space.numeric_candidates[j]
+            assert cands[0] == pytest.approx(observed.min())
+            assert cands[-1] == pytest.approx(observed.max())
+            assert len(cands) <= 5
+
+    def test_categorical_candidates_top4_plus_other(self):
+        table = dirty_table()
+        space = RepairSpace(table)
+        for j in range(table.n_categorical):
+            cands = space.categorical_candidates[j]
+            assert len(cands) <= 5
+            # the "other" code is fresh (not an observed category)
+            observed = set(
+                int(v)
+                for v in table.categorical[:, j][table.categorical[:, j] != MISSING_CATEGORY]
+            )
+            assert cands[-1] not in observed
+
+    def test_top_categories_are_most_frequent(self):
+        table = dirty_table()
+        space = RepairSpace(table, top_categories=2)
+        for j in range(table.n_categorical):
+            column = table.categorical[:, j]
+            observed = column[column != MISSING_CATEGORY]
+            values, counts = np.unique(observed, return_counts=True)
+            best = values[np.argmax(counts)]
+            assert space.categorical_candidates[j][0] == best
+
+    def test_clean_row_has_single_repair(self):
+        table = dirty_table()
+        space = RepairSpace(table)
+        clean_rows = [r for r in range(table.n_rows) if r not in set(table.dirty_rows())]
+        repairs = space.row_repairs(clean_rows[0])
+        assert len(repairs) == 1
+
+    def test_dirty_row_repairs_are_complete_and_capped(self):
+        table = dirty_table()
+        space = RepairSpace(table, max_row_candidates=10)
+        for row in table.dirty_rows():
+            repairs = space.row_repairs(int(row))
+            assert 1 < len(repairs) <= 10
+            for num, cat in repairs:
+                assert not np.isnan(num).any()
+                assert (cat != MISSING_CATEGORY).all()
+
+    def test_repairs_only_touch_missing_cells(self):
+        table = dirty_table()
+        space = RepairSpace(table)
+        row = int(table.dirty_rows()[0])
+        observed_mask = ~np.isnan(table.numeric[row])
+        for num, _cat in space.row_repairs(row):
+            assert np.array_equal(num[observed_mask], table.numeric[row][observed_mask])
+
+    def test_single_missing_numeric_cell_has_five_or_fewer_repairs(self):
+        numeric = np.array([[1.0], [2.0], [3.0], [4.0], [np.nan]])
+        table = Table(numeric, np.zeros((5, 0), dtype=np.int64), [0, 1, 0, 1, 0])
+        space = RepairSpace(table)
+        assert 1 < len(space.row_repairs(4)) <= 5
+
+    def test_apply_global_action(self):
+        table = dirty_table()
+        space = RepairSpace(table)
+        for action in range(space.n_actions):
+            cleaned = space.apply_global_action(action)
+            assert cleaned.missing_rate() == 0.0
+
+    def test_action_zero_uses_min_and_top1(self):
+        table = dirty_table()
+        space = RepairSpace(table)
+        cleaned = space.apply_global_action(0)
+        for j in range(table.n_numeric):
+            mask = np.isnan(table.numeric[:, j])
+            if mask.any():
+                assert np.allclose(
+                    cleaned.numeric[mask, j], space.numeric_candidates[j][0]
+                )
+
+    def test_action_out_of_range(self):
+        space = RepairSpace(dirty_table())
+        with pytest.raises(ValueError):
+            space.apply_global_action(99)
+
+    def test_cell_candidates_bad_kind(self):
+        space = RepairSpace(dirty_table())
+        with pytest.raises(ValueError, match="kind"):
+            space.cell_candidates("text", 0)
+
+    def test_constant_column_candidates_deduplicated(self):
+        numeric = np.array([[2.0], [2.0], [2.0], [np.nan]])
+        table = Table(numeric, np.zeros((4, 0), dtype=np.int64), [0, 1, 0, 1])
+        space = RepairSpace(table)
+        assert len(space.numeric_candidates[0]) == 1

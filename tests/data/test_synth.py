@@ -1,0 +1,89 @@
+"""Unit tests for the synthetic table generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.knn import KNNClassifier
+from repro.data.preprocess import TableEncoder
+from repro.data.synth import SyntheticSpec, generate_table
+
+
+class TestSpecValidation:
+    def test_needs_an_attribute(self):
+        with pytest.raises(ValueError, match="at least one attribute"):
+            SyntheticSpec(n_rows=10, n_numeric=0, n_categorical=0)
+
+    def test_rejects_single_label(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_rows=10, n_numeric=2, n_categorical=0, n_labels=1)
+
+    def test_rejects_bad_structure(self):
+        with pytest.raises(ValueError, match="structure"):
+            SyntheticSpec(n_rows=10, n_numeric=2, n_categorical=0, structure="spiral")
+
+    def test_rejects_negative_separation(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_rows=10, n_numeric=2, n_categorical=0, class_separation=-1)
+
+
+class TestGeneration:
+    def test_shapes_and_completeness(self):
+        spec = SyntheticSpec(n_rows=50, n_numeric=3, n_categorical=2)
+        table = generate_table(spec, seed=0)
+        assert table.n_rows == 50
+        assert table.n_numeric == 3
+        assert table.n_categorical == 2
+        assert table.missing_rate() == 0.0
+
+    def test_deterministic_from_seed(self):
+        spec = SyntheticSpec(n_rows=30, n_numeric=2, n_categorical=1)
+        a = generate_table(spec, seed=5)
+        b = generate_table(spec, seed=5)
+        assert np.array_equal(a.numeric, b.numeric)
+        assert np.array_equal(a.categorical, b.categorical)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_all_labels_present_with_enough_rows(self):
+        spec = SyntheticSpec(n_rows=200, n_numeric=2, n_categorical=0, n_labels=3)
+        table = generate_table(spec, seed=1)
+        assert set(np.unique(table.labels)) == {0, 1, 2}
+
+    def test_categorical_codes_in_range(self):
+        spec = SyntheticSpec(n_rows=100, n_numeric=1, n_categorical=2, categories_per_column=6)
+        table = generate_table(spec, seed=2)
+        assert table.categorical.min() >= 0
+        assert table.categorical.max() < 6
+
+    def test_label_noise_flips_labels(self):
+        base = SyntheticSpec(n_rows=400, n_numeric=3, n_categorical=0, label_noise=0.0)
+        noisy = SyntheticSpec(n_rows=400, n_numeric=3, n_categorical=0, label_noise=0.5)
+        a = generate_table(base, seed=3)
+        b = generate_table(noisy, seed=3)
+        # Same latent draw structure, different labels on a large fraction.
+        assert (a.labels != b.labels).mean() > 0.2
+
+    @pytest.mark.parametrize("structure", ["blobs", "concentric"])
+    def test_separable_spec_is_learnable(self, structure):
+        spec = SyntheticSpec(
+            n_rows=300,
+            n_numeric=4,
+            n_categorical=0,
+            class_separation=5.0,
+            informative_fraction=0.5,
+            label_noise=0.0,
+            noise_scale=0.2,
+            structure=structure,
+        )
+        table = generate_table(spec, seed=4)
+        encoder = TableEncoder().fit(table)
+        X = encoder.encode_table(table)
+        clf = KNNClassifier(k=3).fit(X[:200], table.labels[:200])
+        accuracy = clf.accuracy(X[200:], table.labels[200:])
+        assert accuracy > 0.85, f"{structure} generator is not learnable: {accuracy}"
+
+    def test_multiclass_concentric(self):
+        spec = SyntheticSpec(
+            n_rows=150, n_numeric=3, n_categorical=0, n_labels=3, structure="concentric"
+        )
+        table = generate_table(spec, seed=6)
+        assert table.n_labels == 3

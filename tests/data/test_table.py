@@ -1,0 +1,72 @@
+"""Unit tests for the mixed-type Table container."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import MISSING_CATEGORY, Table
+
+
+def sample_table() -> Table:
+    numeric = np.array([[1.0, 2.0], [np.nan, 4.0], [5.0, 6.0]])
+    categorical = np.array([[0], [1], [MISSING_CATEGORY]])
+    return Table(numeric, categorical, labels=[0, 1, 0])
+
+
+class TestConstruction:
+    def test_shapes(self):
+        table = sample_table()
+        assert table.n_rows == 3
+        assert table.n_numeric == 2
+        assert table.n_categorical == 1
+        assert table.n_features == 3
+        assert table.n_labels == 2
+
+    def test_default_names(self):
+        table = sample_table()
+        assert table.numeric_names == ["num_0", "num_1"]
+        assert table.categorical_names == ["cat_0"]
+
+    def test_row_count_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            Table(np.zeros((2, 1)), np.zeros((3, 1), dtype=int), labels=[0, 1])
+
+    def test_name_length_mismatch(self):
+        with pytest.raises(ValueError, match="numeric_names"):
+            Table(np.zeros((1, 2)), np.zeros((1, 0), dtype=int), [0], numeric_names=["only_one"])
+
+
+class TestMissingness:
+    def test_masks(self):
+        table = sample_table()
+        assert table.numeric_missing_mask().tolist() == [
+            [False, False],
+            [True, False],
+            [False, False],
+        ]
+        assert table.categorical_missing_mask().tolist() == [[False], [False], [True]]
+
+    def test_dirty_rows(self):
+        assert sample_table().dirty_rows().tolist() == [1, 2]
+
+    def test_missing_rate_is_row_fraction(self):
+        assert sample_table().missing_rate() == pytest.approx(2 / 3)
+
+    def test_complete_table_rate_zero(self):
+        table = Table(np.ones((4, 2)), np.zeros((4, 1), dtype=int), [0, 1, 0, 1])
+        assert table.missing_rate() == 0.0
+        assert table.dirty_rows().size == 0
+
+
+class TestCopyAndTake:
+    def test_copy_is_deep(self):
+        table = sample_table()
+        clone = table.copy()
+        clone.numeric[0, 0] = 99.0
+        assert table.numeric[0, 0] == 1.0
+
+    def test_take_selects_rows(self):
+        table = sample_table()
+        subset = table.take(np.array([2, 0]))
+        assert subset.n_rows == 2
+        assert subset.numeric[0, 0] == 5.0
+        assert subset.labels.tolist() == [0, 0]

@@ -1,0 +1,81 @@
+"""Unit tests for the end-to-end cleaning-task builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.knn import KNNClassifier
+from repro.data.task import build_cleaning_task
+
+
+@pytest.fixture(scope="module")
+def task():
+    return build_cleaning_task("supreme", n_train=60, n_val=12, n_test=60, seed=0)
+
+
+class TestTaskConstruction:
+    def test_shapes(self, task):
+        assert task.incomplete.n_rows == 60
+        assert task.val_X.shape[0] == 12
+        assert task.test_X.shape[0] == 60
+        assert task.train_gt_X.shape == task.train_default_X.shape
+        assert task.train_gt_X.shape[1] == task.incomplete.n_features
+
+    def test_missing_rate_matches_recipe(self, task):
+        assert task.dirty_train.missing_rate() == pytest.approx(0.2, abs=0.02)
+        assert len(task.dirty_rows) == len(task.dirty_train.dirty_rows())
+
+    def test_candidate_sets_for_dirty_rows_only(self, task):
+        dirty = set(task.dirty_rows)
+        for row in range(task.incomplete.n_rows):
+            m = task.incomplete.candidates(row).shape[0]
+            assert (m > 1) == (row in dirty)
+
+    def test_gt_choice_is_closest_candidate(self, task):
+        for row in task.dirty_rows:
+            candidates = task.incomplete.candidates(row)
+            distances = np.linalg.norm(candidates - task.train_gt_X[row], axis=1)
+            assert distances[task.gt_choice[row]] == distances.min()
+
+    def test_default_choice_is_closest_to_default(self, task):
+        for row in task.dirty_rows:
+            candidates = task.incomplete.candidates(row)
+            distances = np.linalg.norm(candidates - task.train_default_X[row], axis=1)
+            assert distances[task.default_choice[row]] == distances.min()
+
+    def test_clean_rows_match_ground_truth_encoding(self, task):
+        dirty = set(task.dirty_rows)
+        for row in range(task.incomplete.n_rows):
+            if row not in dirty:
+                assert np.allclose(
+                    task.incomplete.candidates(row)[0], task.train_gt_X[row]
+                )
+
+    def test_labels_consistent(self, task):
+        assert np.array_equal(task.incomplete.labels, task.train_labels)
+        assert np.array_equal(task.train_labels, task.dirty_train.labels)
+
+    def test_ground_truth_world_close_to_truth(self, task):
+        """The oracle world's accuracy must track the true world's accuracy."""
+        gt_clf = KNNClassifier(k=task.k).fit(task.train_gt_X, task.train_labels)
+        world_clf = KNNClassifier(k=task.k).fit(task.ground_truth_world(), task.train_labels)
+        gt_acc = gt_clf.accuracy(task.test_X, task.test_y)
+        world_acc = world_clf.accuracy(task.test_X, task.test_y)
+        assert abs(gt_acc - world_acc) < 0.1
+
+    def test_deterministic_from_seed(self):
+        a = build_cleaning_task("bank", n_train=40, n_val=8, n_test=40, seed=3)
+        b = build_cleaning_task("bank", n_train=40, n_val=8, n_test=40, seed=3)
+        assert np.array_equal(a.train_gt_X, b.train_gt_X)
+        assert np.array_equal(a.gt_choice, b.gt_choice)
+        assert a.dirty_rows == b.dirty_rows
+
+    def test_missing_rate_override(self):
+        task = build_cleaning_task(
+            "supreme", n_train=50, n_val=8, n_test=40, missing_rate=0.4, seed=1
+        )
+        assert task.dirty_train.missing_rate() == pytest.approx(0.4, abs=0.02)
+
+    def test_mixed_type_recipe_builds(self):
+        task = build_cleaning_task("babyproduct", n_train=50, n_val=8, n_test=40, seed=1)
+        assert task.incomplete.n_features > task.dirty_train.n_features  # one-hot expansion
+        assert len(task.dirty_rows) > 0

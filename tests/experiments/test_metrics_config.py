@@ -1,0 +1,44 @@
+"""Unit tests for experiment metrics and scale configuration."""
+
+import pytest
+
+from repro.experiments.config import get_scale
+from repro.experiments.metrics import gap_closed
+
+
+class TestGapClosed:
+    def test_full_gap(self):
+        assert gap_closed(0.9, 0.8, 0.9) == pytest.approx(1.0)
+
+    def test_no_improvement(self):
+        assert gap_closed(0.8, 0.8, 0.9) == pytest.approx(0.0)
+
+    def test_negative_when_worse_than_default(self):
+        assert gap_closed(0.75, 0.8, 0.9) < 0
+
+    def test_above_one_when_better_than_ground_truth(self):
+        assert gap_closed(0.95, 0.8, 0.9) > 1.0
+
+    def test_degenerate_gap(self):
+        assert gap_closed(0.85, 0.9, 0.9) == 0.0
+
+
+class TestScaleConfig:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale().name == "default"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert get_scale().name == "quick"
+
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert get_scale("large").name == "large"
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            get_scale("galactic")
+
+    def test_scales_are_ordered(self):
+        assert get_scale("quick").n_train < get_scale("default").n_train < get_scale("large").n_train

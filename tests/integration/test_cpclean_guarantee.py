@@ -1,0 +1,102 @@
+"""Algorithm 3's termination guarantee, verified literally.
+
+The paper's central cleaning claim: once every validation point is CP'ed,
+*any* world of the partially cleaned dataset — including the unknown ground
+truth — trains a classifier with the same validation predictions, so the
+returned dataset has the ground-truth world's validation accuracy. These
+tests enumerate (or sample) the remaining worlds after CPClean terminates
+and check the predictions really are identical, end to end through the KNN
+substrate rather than through the counting engines that produced the
+certificate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cleaning.cp_clean import run_cp_clean
+from repro.cleaning.oracle import GroundTruthOracle
+from repro.core.dataset import IncompleteDataset
+from repro.core.knn import KNNClassifier
+from repro.core.worlds import iter_world_choices, sample_worlds
+from tests.conftest import random_incomplete_dataset
+
+
+def partially_cleaned(dataset: IncompleteDataset, fixed: dict[int, int]) -> IncompleteDataset:
+    for row, cand in fixed.items():
+        dataset = dataset.restrict_row(row, cand)
+    return dataset
+
+
+@pytest.mark.parametrize("seed", [0, 7, 23, 99])
+def test_all_remaining_worlds_predict_identically(seed: int) -> None:
+    rng = np.random.default_rng(seed)
+    dataset = random_incomplete_dataset(rng, n_rows=9, n_labels=2)
+    val_X = rng.normal(size=(4, dataset.n_features))
+    gt_choice = [int(rng.integers(m)) for m in dataset.candidate_counts()]
+
+    report = run_cp_clean(dataset, val_X, GroundTruthOracle(gt_choice), k=3)
+    assert report.cp_fraction_final == 1.0
+
+    remaining = partially_cleaned(dataset, report.final_fixed)
+    assert remaining.n_worlds() <= 4096, "test instance grew unexpectedly"
+
+    reference: np.ndarray | None = None
+    for choice in iter_world_choices(remaining):
+        world = remaining.world(list(choice))
+        clf = KNNClassifier(k=3).fit(world, remaining.labels)
+        predictions = clf.predict(val_X)
+        if reference is None:
+            reference = predictions
+        else:
+            np.testing.assert_array_equal(
+                predictions,
+                reference,
+                err_msg="two worlds of the certified dataset disagree on Dval",
+            )
+
+
+def test_ground_truth_world_is_among_certified_worlds() -> None:
+    rng = np.random.default_rng(5)
+    dataset = random_incomplete_dataset(rng, n_rows=8, n_labels=2)
+    val_X = rng.normal(size=(3, dataset.n_features))
+    gt_choice = [int(rng.integers(m)) for m in dataset.candidate_counts()]
+
+    report = run_cp_clean(dataset, val_X, GroundTruthOracle(gt_choice), k=3)
+    assert report.cp_fraction_final == 1.0
+
+    # Validity assumption: cleaned rows were answered with the truth, so the
+    # ground-truth world survives in the partially cleaned dataset...
+    remaining = partially_cleaned(dataset, report.final_fixed)
+    gt_world = dataset.world(gt_choice)
+    arbitrary_choice = [0] * remaining.n_rows
+    arbitrary_world = remaining.world(arbitrary_choice)
+
+    # ... and therefore the arbitrary returned world has the ground-truth
+    # world's validation predictions (the paper's accuracy statement).
+    gt_predictions = KNNClassifier(k=3).fit(gt_world, dataset.labels).predict(val_X)
+    returned_predictions = (
+        KNNClassifier(k=3).fit(arbitrary_world, remaining.labels).predict(val_X)
+    )
+    np.testing.assert_array_equal(returned_predictions, gt_predictions)
+
+
+def test_guarantee_holds_for_larger_sampled_instance() -> None:
+    rng = np.random.default_rng(17)
+    dataset = random_incomplete_dataset(rng, n_rows=16, n_labels=2, max_candidates=4)
+    val_X = rng.normal(size=(5, dataset.n_features))
+    gt_choice = [int(rng.integers(m)) for m in dataset.candidate_counts()]
+
+    report = run_cp_clean(dataset, val_X, GroundTruthOracle(gt_choice), k=3)
+    assert report.cp_fraction_final == 1.0
+
+    remaining = partially_cleaned(dataset, report.final_fixed)
+    reference: np.ndarray | None = None
+    for world in sample_worlds(remaining, n_samples=40, seed=3):
+        clf = KNNClassifier(k=3).fit(world, remaining.labels)
+        predictions = clf.predict(val_X)
+        if reference is None:
+            reference = predictions
+        else:
+            np.testing.assert_array_equal(predictions, reference)

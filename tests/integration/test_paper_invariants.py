@@ -1,0 +1,143 @@
+"""Integration tests for the paper's central claims and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning.cp_clean import run_cp_clean
+from repro.cleaning.oracle import GroundTruthOracle
+from repro.core.dataset import IncompleteDataset
+from repro.core.knn import KNNClassifier
+from repro.core.prepared import PreparedQuery
+from repro.core.queries import certain_label, q2_counts
+from repro.data.task import build_cleaning_task
+from tests.conftest import random_incomplete_dataset
+
+
+class TestCPStability:
+    """§2: 'as long as a tuple can be CP'ed, the prediction will remain the
+    same regardless of further cleaning efforts'."""
+
+    def test_cp_survives_any_row_restriction(self):
+        rng = np.random.default_rng(0)
+        checked = 0
+        while checked < 20:
+            dataset = random_incomplete_dataset(rng, n_rows=6, max_candidates=3)
+            t = rng.normal(size=dataset.n_features)
+            label = certain_label(dataset, t, k=3)
+            if label is None or not dataset.uncertain_rows():
+                continue
+            checked += 1
+            for row in dataset.uncertain_rows():
+                for cand in range(dataset.candidates(row).shape[0]):
+                    restricted = dataset.restrict_row(row, cand)
+                    assert certain_label(restricted, t, k=3) == label
+
+    def test_cp_prediction_matches_every_world(self):
+        rng = np.random.default_rng(1)
+        from repro.core.worlds import iter_worlds
+
+        checked = 0
+        while checked < 10:
+            dataset = random_incomplete_dataset(rng, n_rows=5, max_candidates=2)
+            t = rng.normal(size=dataset.n_features)
+            label = certain_label(dataset, t, k=1)
+            if label is None:
+                continue
+            checked += 1
+            for _choice, features in iter_worlds(dataset):
+                clf = KNNClassifier(k=1).fit(features, dataset.labels)
+                assert clf.predict_one(t) == label
+
+
+class TestCleaningGuarantee:
+    """§4: once all validation points are CP'ed, any world of the partially
+    cleaned dataset has the same validation accuracy as the ground truth."""
+
+    def test_any_world_after_cpclean_agrees_on_validation(self):
+        task = build_cleaning_task("supreme", n_train=40, n_val=8, n_test=40, seed=5)
+        oracle = GroundTruthOracle(task.gt_choice)
+        report = run_cp_clean(task.incomplete, task.val_X, oracle, k=task.k)
+        assert report.cp_fraction_final == 1.0
+
+        # Sample several worlds of the partially cleaned dataset; their
+        # validation predictions must be identical.
+        rng = np.random.default_rng(0)
+        counts = task.incomplete.candidate_counts()
+        reference = None
+        for _ in range(5):
+            choice = [
+                report.final_fixed.get(row, int(rng.integers(0, counts[row])))
+                for row in range(task.incomplete.n_rows)
+            ]
+            world = task.incomplete.world(choice)
+            clf = KNNClassifier(k=task.k).fit(world, task.train_labels)
+            predictions = clf.predict(task.val_X).tolist()
+            if reference is None:
+                reference = predictions
+            assert predictions == reference
+
+        # ...and match the ground-truth world's validation predictions
+        # (the oracle world is one of the possible worlds).
+        gt_clf = KNNClassifier(k=task.k).fit(task.ground_truth_world(), task.train_labels)
+        assert gt_clf.predict(task.val_X).tolist() == reference
+
+
+class TestEntropyProperties:
+    def test_cleaning_never_increases_total_entropy_in_expectation(self):
+        """Conditioning reduces entropy on average (information never hurts)."""
+        from repro.core.entropy import prediction_entropy
+
+        rng = np.random.default_rng(2)
+        tried = 0
+        while tried < 15:
+            dataset = random_incomplete_dataset(rng, n_rows=6, max_candidates=3)
+            dirty = dataset.uncertain_rows()
+            if not dirty:
+                continue
+            tried += 1
+            t = rng.normal(size=dataset.n_features)
+            query = PreparedQuery(dataset, t, k=3)
+            base_counts = query.counts()
+            base_entropy = prediction_entropy(base_counts)
+            total_worlds = sum(base_counts)
+            for row in dirty:
+                variants = query.counts_per_fixing(row)
+                # expectation weighted by the share of worlds each fixing keeps
+                expected = sum(
+                    (sum(c) / total_worlds) * prediction_entropy(c) for c in variants
+                )
+                assert expected <= base_entropy + 1e-9
+
+    def test_q2_defines_probability_over_labels(self):
+        rng = np.random.default_rng(3)
+        from repro.core.entropy import counts_to_probabilities
+
+        for _ in range(10):
+            dataset = random_incomplete_dataset(rng, n_labels=3)
+            t = rng.normal(size=dataset.n_features)
+            probs = counts_to_probabilities(q2_counts(dataset, t, k=2))
+            assert sum(probs) == pytest.approx(1.0)
+
+
+class TestKernelInvariance:
+    def test_counts_identical_under_rank_preserving_kernels(self):
+        """Q2 depends only on the similarity *order*, so Euclidean and RBF
+        kernels must produce identical counts."""
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            dataset = random_incomplete_dataset(rng)
+            t = rng.normal(size=dataset.n_features)
+            a = q2_counts(dataset, t, k=3, kernel="euclidean")
+            b = q2_counts(dataset, t, k=3, kernel="rbf")
+            assert a == b
+
+    def test_counts_invariant_under_feature_translation(self):
+        rng = np.random.default_rng(5)
+        dataset = random_incomplete_dataset(rng)
+        t = rng.normal(size=dataset.n_features)
+        shift = rng.normal(size=dataset.n_features)
+        shifted = IncompleteDataset(
+            [dataset.candidates(i) + shift for i in range(dataset.n_rows)],
+            dataset.labels,
+        )
+        assert q2_counts(dataset, t, k=2) == q2_counts(shifted, t + shift, k=2)

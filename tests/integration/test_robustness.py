@@ -1,0 +1,105 @@
+"""Failure-injection and robustness tests across the cleaning pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning.cp_clean import run_cp_clean
+from repro.cleaning.oracle import GroundTruthOracle, NoisyOracle
+from repro.core.dataset import IncompleteDataset
+from repro.core.queries import q2_counts
+from repro.data.task import build_cleaning_task
+
+
+class TestNoisyOracle:
+    def test_cpclean_still_terminates_with_unreliable_human(self):
+        """A fallible human slows convergence but the loop must still end:
+        every answer, right or wrong, makes one more row certain."""
+        task = build_cleaning_task("supreme", n_train=40, n_val=8, n_test=40, seed=4)
+        oracle = NoisyOracle(
+            task.gt_choice,
+            task.incomplete.candidate_counts(),
+            error_rate=0.5,
+            seed=0,
+        )
+        report = run_cp_clean(task.incomplete, task.val_X, oracle, k=task.k)
+        assert report.cp_fraction_final == 1.0
+        assert report.n_cleaned <= len(task.dirty_rows)
+
+    def test_noisy_answers_stay_in_candidate_range(self):
+        task = build_cleaning_task("supreme", n_train=40, n_val=8, n_test=40, seed=4)
+        counts = task.incomplete.candidate_counts()
+        oracle = NoisyOracle(task.gt_choice, counts, error_rate=1.0, seed=1)
+        for row in task.dirty_rows:
+            answer = oracle(row)
+            assert 0 <= answer < counts[row]
+
+
+class TestDegenerateDatasets:
+    def test_all_rows_dirty(self):
+        rng = np.random.default_rng(0)
+        sets = [rng.normal(size=(3, 2)) for _ in range(5)]
+        labels = np.array([0, 1, 0, 1, 0])
+        dataset = IncompleteDataset(sets, labels)
+        counts = q2_counts(dataset, rng.normal(size=2), k=3)
+        assert sum(counts) == 3**5
+
+    def test_no_rows_dirty(self):
+        rng = np.random.default_rng(1)
+        dataset = IncompleteDataset.from_complete(rng.normal(size=(6, 2)), [0, 1, 0, 1, 0, 1])
+        counts = q2_counts(dataset, rng.normal(size=2), k=3)
+        assert sorted(counts) == [0, 1]
+
+    def test_single_label_dataset_is_always_certain(self):
+        rng = np.random.default_rng(2)
+        sets = [rng.normal(size=(2, 2)) for _ in range(4)]
+        dataset = IncompleteDataset(sets, [0, 0, 0, 0])
+        counts = q2_counts(dataset, rng.normal(size=2), k=3)
+        assert counts[0] == dataset.n_worlds()
+
+    def test_one_row_dataset(self):
+        dataset = IncompleteDataset([np.array([[1.0], [2.0]])], labels=[1])
+        counts = q2_counts(dataset, np.array([0.0]), k=1)
+        assert counts == [0, 2]
+
+    def test_identical_candidates_across_rows(self):
+        """Distinct rows may propose identical repair values."""
+        dataset = IncompleteDataset(
+            [np.array([[1.0], [2.0]]), np.array([[1.0], [2.0]]), np.array([[1.5]])],
+            labels=[0, 1, 0],
+        )
+        from repro.core.bruteforce import brute_force_counts
+
+        t = np.array([0.0])
+        for k in (1, 2, 3):
+            assert q2_counts(dataset, t, k=k) == brute_force_counts(dataset, t, k=k)
+
+    def test_extreme_feature_magnitudes(self):
+        dataset = IncompleteDataset(
+            [np.array([[1e12], [1e-12]]), np.array([[5.0]]), np.array([[-3.0]])],
+            labels=[0, 1, 0],
+        )
+        counts = q2_counts(dataset, np.array([0.0]), k=1)
+        assert sum(counts) == 2
+
+
+class TestCleaningEdgeCases:
+    def test_cleaning_with_empty_validation_is_trivially_done(self):
+        task = build_cleaning_task("supreme", n_train=40, n_val=8, n_test=40, seed=4)
+        # An empty validation matrix: nothing to certify, no cleaning needed.
+        empty_val = np.zeros((0, task.incomplete.n_features))
+        report = run_cp_clean(
+            task.incomplete, empty_val, GroundTruthOracle(task.gt_choice), k=task.k
+        )
+        assert report.n_cleaned == 0
+
+    def test_budget_larger_than_dirty_rows(self):
+        task = build_cleaning_task("supreme", n_train=40, n_val=8, n_test=40, seed=4)
+        report = run_cp_clean(
+            task.incomplete,
+            task.val_X,
+            GroundTruthOracle(task.gt_choice),
+            k=task.k,
+            max_cleaned=10_000,
+        )
+        assert report.cp_fraction_final == 1.0
+        assert not report.terminated_early

@@ -1,0 +1,70 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_parses(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.command == "demo"
+
+    def test_screen_defaults(self):
+        args = build_parser().parse_args(["screen"])
+        assert args.recipe == "supreme"
+        assert args.n_val == 24
+        assert args.seed == 0
+
+    def test_clean_budget_flag(self):
+        args = build_parser().parse_args(["clean", "--budget", "5", "--recipe", "bank"])
+        assert args.budget == 5
+        assert args.recipe == "bank"
+
+    def test_unknown_recipe_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["screen", "--recipe", "imagenet"])
+
+
+class TestCommands:
+    def test_demo_prints_figure6(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "[6, 2]" in out
+        assert "None" in out
+
+    def test_screen_reports_fraction(self, capsys):
+        code = main(
+            ["screen", "--n-train", "40", "--n-val", "8", "--n-test", "20", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "validation points certainly predicted" in out
+
+    def test_clean_with_zero_budget(self, capsys):
+        code = main(
+            [
+                "clean",
+                "--n-train", "40",
+                "--n-val", "8",
+                "--n-test", "20",
+                "--budget", "0",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CPClean: cleaned 0 rows" in out
+        assert "RandomClean" in out
+
+    def test_clean_small_run_end_to_end(self, capsys):
+        code = main(
+            ["clean", "--n-train", "40", "--n-val", "6", "--n-test", "20", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "val CP'ed 100%" in out

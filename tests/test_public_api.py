@@ -1,0 +1,78 @@
+"""The public API surface: __all__ is accurate everywhere, no stale exports."""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.codd",
+    "repro.data",
+    "repro.cleaning",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name: str) -> None:
+    module = importlib.import_module(package_name)
+    exported = getattr(module, "__all__", None)
+    assert exported is not None, f"{package_name} has no __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{package_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_has_no_duplicates(package_name: str) -> None:
+    module = importlib.import_module(package_name)
+    exported = list(module.__all__)
+    assert len(exported) == len(set(exported)), f"duplicates in {package_name}.__all__"
+
+
+def _iter_submodules(package_name: str):
+    package = importlib.import_module(package_name)
+    for info in pkgutil.iter_modules(package.__path__, prefix=package_name + "."):
+        if not info.ispkg:
+            yield info.name
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    sorted(
+        name
+        for pkg in ("repro.core", "repro.codd", "repro.data", "repro.cleaning")
+        for name in _iter_submodules(pkg)
+    ),
+)
+def test_every_submodule_imports_and_has_docstring(module_name: str) -> None:
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+    assert getattr(module, "__all__", None), f"{module_name} lacks __all__"
+
+
+def test_version_is_exposed() -> None:
+    assert repro.__version__
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+def test_quickstart_docstring_example_is_true() -> None:
+    # The package docstring promises [6, 2]; hold it to that.
+    import numpy as np
+
+    from repro import IncompleteDataset, certain_label, q2_counts
+
+    dataset = IncompleteDataset(
+        [np.array([[5.0], [2.0]]), np.array([[6.0], [4.0]]), np.array([[3.0], [1.0]])],
+        labels=[1, 1, 0],
+    )
+    t = np.array([0.0])
+    assert q2_counts(dataset, t, k=1) == [6, 2]
+    assert certain_label(dataset, t, k=1) is None

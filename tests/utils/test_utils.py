@@ -1,0 +1,117 @@
+"""Unit tests for the shared utilities."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.tables import format_float, format_percent, format_table
+from repro.utils.timing import Stopwatch, time_callable
+from repro.utils.validation import (
+    check_fraction,
+    check_in_options,
+    check_matrix,
+    check_positive_int,
+    check_vector,
+)
+
+
+class TestRng:
+    def test_ensure_rng_from_int_is_deterministic(self):
+        assert ensure_rng(7).integers(0, 100) == ensure_rng(7).integers(0, 100)
+
+    def test_ensure_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_spawn_rngs_are_independent(self):
+        children = spawn_rngs(0, 3)
+        draws = [c.integers(0, 10**9) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_rngs_deterministic(self):
+        a = [c.integers(0, 10**9) for c in spawn_rngs(5, 2)]
+        b = [c.integers(0, 10**9) for c in spawn_rngs(5, 2)]
+        assert a == b
+
+    def test_spawn_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestValidation:
+    def test_positive_int_accepts(self):
+        assert check_positive_int(3, "x") == 3
+        assert check_positive_int(0, "x", minimum=0) == 0
+
+    def test_positive_int_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "x")
+
+    def test_positive_int_rejects_small(self):
+        with pytest.raises(ValueError, match="x must be >="):
+            check_positive_int(0, "x")
+
+    def test_fraction_bounds(self):
+        assert check_fraction(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            check_fraction(1.5, "p")
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "p", closed=False)
+
+    def test_matrix_checks(self):
+        out = check_matrix([[1, 2], [3, 4]], "m", n_cols=2)
+        assert out.dtype == np.float64
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_matrix([1, 2], "m")
+        with pytest.raises(ValueError, match="columns"):
+            check_matrix([[1, 2]], "m", n_cols=3)
+        with pytest.raises(ValueError, match="finite"):
+            check_matrix([[np.nan, 1.0]], "m")
+
+    def test_vector_checks(self):
+        assert check_vector([1.0, 2.0], "v", length=2).tolist() == [1.0, 2.0]
+        with pytest.raises(ValueError, match="length"):
+            check_vector([1.0], "v", length=3)
+
+    def test_in_options(self):
+        assert check_in_options("a", "opt", ("a", "b")) == "a"
+        with pytest.raises(ValueError, match="one of"):
+            check_in_options("c", "opt", ("a", "b"))
+
+
+class TestTables:
+    def test_format_percent(self):
+        assert format_percent(0.153) == "15%"
+        assert format_percent(0.153, digits=1) == "15.3%"
+
+    def test_format_float(self):
+        assert format_float(0.12345, 2) == "0.12"
+
+    def test_table_renders_all_rows(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+
+class TestTiming:
+    def test_stopwatch_measures_elapsed(self):
+        with Stopwatch() as watch:
+            time.sleep(0.01)
+        assert watch.elapsed >= 0.009
+
+    def test_time_callable_returns_positive(self):
+        assert time_callable(lambda: sum(range(100)), repeats=2) > 0
+
+    def test_time_callable_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
