@@ -4,15 +4,39 @@ A from-scratch reproduction of Karlaš et al., *"Nearest Neighbor Classifiers
 over Incomplete Information: From Certain Answers to Certain Predictions"*
 (VLDB 2020). The package provides:
 
-* :mod:`repro.core` — the incomplete-dataset model, the KNN substrate and
+* :mod:`repro.core` — the incomplete-dataset model, the KNN substrate,
   polynomial-time exact algorithms for the two CP queries (checking ``q1``
-  and counting ``q2``);
+  and counting ``q2``), and the parallel batch query engine
+  (:mod:`repro.core.batch_engine`);
 * :mod:`repro.data` — synthetic dataset recipes, missingness injection and
   candidate-repair generation;
 * :mod:`repro.cleaning` — the CPClean algorithm and every baseline cleaner
   from the paper's evaluation;
 * :mod:`repro.experiments` — harnesses that regenerate the paper's tables
-  and figures.
+  and figures;
+* :mod:`repro.codd` — certain-answer relational semantics (Codd tables)
+  bridging the paper's §2 back-story.
+
+Public API (importable from the top level):
+
+===========================  ==============================================
+name                         what it is
+===========================  ==============================================
+``IncompleteDataset``        the incomplete training set ``D = {(C_i, y_i)}``
+``KNNClassifier``            the deterministic KNN substrate
+``q1``                       the checking query Q1 (Definition 4)
+``q2``, ``q2_counts``        the counting query Q2 (Definition 5)
+``certain_label``            the CP'ed label of a test point, or ``None``
+``prediction_entropy``       entropy of the world-counting distribution
+``PreparedQuery``            cached per-test-point query state
+``PreparedBatch``            vectorised prepared state for a whole test set
+``BatchQueryExecutor``       parallel, cached batch CP query execution
+``QueryResultCache``         the LRU result cache used by the batch engine
+``batch_q2_counts``          Q2 counts for every row of a test matrix
+``batch_certain_labels``     CP'ed labels for every row of a test matrix
+``screen_dataset``           one-call CP certification of a test set
+``run_cp_clean``             the CPClean cleaning loop (Algorithm 3)
+===========================  ==============================================
 
 Quickstart::
 
@@ -26,29 +50,45 @@ Quickstart::
     t = np.array([0.0])
     q2_counts(dataset, t, k=1)      # [6, 2] — worlds per predicted label
     certain_label(dataset, t, k=1)  # None  — the prediction is not certain
+
+See ``README.md`` for a tour and ``docs/architecture.md`` for the design.
 """
 
+from repro.cleaning.cp_clean import run_cp_clean
 from repro.core import (
+    BatchQueryExecutor,
     IncompleteDataset,
     KNNClassifier,
+    PreparedBatch,
     PreparedQuery,
+    QueryResultCache,
+    batch_certain_labels,
+    batch_q2_counts,
     certain_label,
     prediction_entropy,
     q1,
     q2,
     q2_counts,
+    screen_dataset,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "IncompleteDataset",
     "KNNClassifier",
     "PreparedQuery",
+    "PreparedBatch",
+    "BatchQueryExecutor",
+    "QueryResultCache",
     "q1",
     "q2",
     "q2_counts",
+    "batch_q2_counts",
+    "batch_certain_labels",
     "certain_label",
     "prediction_entropy",
+    "screen_dataset",
+    "run_cp_clean",
     "__version__",
 ]

@@ -26,7 +26,6 @@ from repro.cleaning.oracle import CleaningOracle
 from repro.cleaning.report import CleaningReport, CleaningStep
 from repro.cleaning.sequential import CleaningSession
 from repro.core.dataset import IncompleteDataset
-from repro.core.entropy import prediction_entropy
 from repro.core.kernels import Kernel
 from repro.utils.validation import check_positive_int
 
@@ -39,17 +38,12 @@ def rank_rows_by_expected_entropy(
     """All remaining rows with their expected post-cleaning entropy, best first.
 
     The scoring is exactly CPClean's selection objective (Equation 4 under
-    the uniform prior); ties break toward the smaller row index.
+    the uniform prior), computed through the session's batch executor —
+    parallel across rows when the session has ``n_jobs > 1``; ties break
+    toward the smaller row index.
     """
-    candidate_counts = session.dataset.candidate_counts()
-    scored: list[tuple[int, float]] = []
-    for row in remaining:
-        m = int(candidate_counts[row])
-        total = 0.0
-        for query in session.queries:
-            variants = query.counts_per_fixing(row, session.fixed)
-            total += sum(prediction_entropy(counts) for counts in variants)
-        scored.append((row, total / (m * max(session.n_val, 1))))
+    entropies = session.expected_entropies(remaining)
+    scored = [(row, entropies[row]) for row in remaining]
     scored.sort(key=lambda item: (item[1], item[0]))
     return scored
 
@@ -63,16 +57,21 @@ def run_batch_clean(
     kernel: Kernel | str | None = None,
     max_cleaned: int | None = None,
     on_step=None,
+    n_jobs: int | None = 1,
+    use_cache: bool = True,
 ) -> CleaningReport:
     """CPClean with ``batch_size`` human answers per selection round.
 
     ``batch_size=1`` reproduces the sequential algorithm exactly. Returns
     the usual :class:`~repro.cleaning.report.CleaningReport`; steps within
     one round share their ``cp_fraction_before`` value (the check runs once
-    per round).
+    per round). ``n_jobs``/``use_cache`` configure the session's batch
+    query executor (wall-clock only; the report is identical).
     """
     batch_size = check_positive_int(batch_size, "batch_size")
-    session = CleaningSession(dataset, val_X, k=k, kernel=kernel)
+    session = CleaningSession(
+        dataset, val_X, k=k, kernel=kernel, n_jobs=n_jobs, use_cache=use_cache
+    )
     report = CleaningReport()
     iteration = 0
     while True:

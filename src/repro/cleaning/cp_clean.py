@@ -11,7 +11,10 @@ The per-row evaluation uses
 the Q2 counts of *all* "row fixed to candidate j" variants against one
 validation point in a single sort-scan, so one selection step costs
 ``O(n_dirty * |Dval|)`` scans instead of ``O(n_dirty * M * |Dval|)`` full
-query evaluations.
+query evaluations. The scans are scored through
+:meth:`repro.cleaning.sequential.CleaningSession.expected_entropies`, which
+fans the candidate rows out across the session's worker pool when
+``n_jobs > 1`` (results are identical for every ``n_jobs``).
 
 ``CPCleanStrategy`` plugs into :class:`repro.cleaning.sequential.CleaningSession`;
 :func:`run_cp_clean` is the packaged end-to-end entry point.
@@ -25,7 +28,6 @@ from repro.cleaning.oracle import CleaningOracle
 from repro.cleaning.report import CleaningReport
 from repro.cleaning.sequential import CleaningSession, CleaningStrategy
 from repro.core.dataset import IncompleteDataset
-from repro.core.entropy import prediction_entropy
 from repro.core.kernels import Kernel
 
 __all__ = ["CPCleanStrategy", "run_cp_clean"]
@@ -39,19 +41,15 @@ class CPCleanStrategy(CleaningStrategy):
     def select(self, session: CleaningSession, remaining: list[int]) -> tuple[int, float | None]:
         if not remaining:
             raise ValueError("no dirty rows remain to select from")
-        candidate_counts = session.dataset.candidate_counts()
+        # Expected remaining entropy after cleaning each row, Eq. (4):
+        # uniform prior over which candidate is the truth, averaged over
+        # the validation set (Eq. (3)). Scored via the session's batch
+        # executor (parallel across rows when the session has n_jobs > 1).
+        entropies = session.expected_entropies(remaining)
         best_row = remaining[0]
         best_entropy = float("inf")
         for row in remaining:
-            m = int(candidate_counts[row])
-            # Expected remaining entropy after cleaning `row`, Eq. (4):
-            # uniform prior over which candidate is the truth, averaged over
-            # the validation set (Eq. (3)).
-            total = 0.0
-            for query in session.queries:
-                variants = query.counts_per_fixing(row, session.fixed)
-                total += sum(prediction_entropy(counts) for counts in variants)
-            expected = total / (m * session.n_val)
+            expected = entropies[row]
             if expected < best_entropy - 1e-15:
                 best_entropy = expected
                 best_row = row
@@ -66,6 +64,8 @@ def run_cp_clean(
     kernel: Kernel | str | None = None,
     max_cleaned: int | None = None,
     on_step=None,
+    n_jobs: int | None = 1,
+    use_cache: bool = True,
 ) -> CleaningReport:
     """Run CPClean until all validation points are CP'ed (or budget is hit).
 
@@ -73,7 +73,11 @@ def run_cp_clean(
     dataset is recoverable through ``report.final_fixed`` (any world of the
     partially cleaned dataset has the same validation accuracy as the
     ground-truth world once every validation point is CP'ed — the paper's
-    termination guarantee).
+    termination guarantee). ``n_jobs``/``use_cache`` configure the session's
+    batch query executor (see :class:`CleaningSession`); they change the
+    wall-clock, never the report.
     """
-    session = CleaningSession(dataset, val_X, k=k, kernel=kernel)
+    session = CleaningSession(
+        dataset, val_X, k=k, kernel=kernel, n_jobs=n_jobs, use_cache=use_cache
+    )
     return session.run(CPCleanStrategy(), oracle, max_cleaned=max_cleaned, on_step=on_step)

@@ -9,7 +9,11 @@ Three commands cover the library's headline workflows:
   with the RandomClean comparison at equal budget.
 
 The CLI is a thin layer over the library; every command accepts ``--seed``
-and size flags so runs are reproducible and laptop-sized by default.
+and size flags so runs are reproducible and laptop-sized by default. The
+query-heavy commands (``screen``, ``clean``, ``csv-screen``) also accept
+``--n-jobs`` (fan per-point CP scans out over worker processes) and
+``--no-cache`` (disable the batch engine's LRU result cache); both knobs
+only change wall-clock time, never the printed results.
 """
 
 from __future__ import annotations
@@ -59,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
     csv_screen.add_argument("--n-val", type=int, default=32)
     csv_screen.add_argument("--k", type=int, default=3)
     csv_screen.add_argument("--seed", type=int, default=0)
+    _add_executor_flags(csv_screen)
     csv_screen.add_argument(
         "--top",
         type=int,
@@ -93,6 +98,30 @@ def _add_task_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--missing-rate", type=float, default=None)
     parser.add_argument("--k", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
+    _add_executor_flags(parser)
+
+
+def _n_jobs_flag(value: str) -> int:
+    n_jobs = int(value)
+    if n_jobs == 0:
+        raise argparse.ArgumentTypeError(
+            "--n-jobs must be positive or negative (-1 = all CPUs)"
+        )
+    return n_jobs
+
+
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--n-jobs",
+        type=_n_jobs_flag,
+        default=1,
+        help="worker processes for CP query fan-out (-1 = all CPUs; default 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the batch engine's LRU result cache",
+    )
 
 
 def _command_demo() -> int:
@@ -129,7 +158,13 @@ def _command_screen(args: argparse.Namespace) -> int:
     from repro.core.screening import screen_dataset
 
     task = _build_task(args)
-    result = screen_dataset(task.incomplete, task.val_X, k=task.k)
+    result = screen_dataset(
+        task.incomplete,
+        task.val_X,
+        k=task.k,
+        n_jobs=args.n_jobs,
+        cache=not args.no_cache,
+    )
     certain, total = result.n_certain, result.n_points
     print(f"recipe={task.name} dirty_rows={len(task.dirty_rows)}/{task.incomplete.n_rows}")
     print(f"validation points certainly predicted: {certain}/{total} ({result.cp_fraction:.0%})")
@@ -164,10 +199,12 @@ def _command_clean(args: argparse.Namespace) -> int:
         report = run_batch_clean(
             task.incomplete, task.val_X, oracle, batch_size=args.batch,
             k=task.k, max_cleaned=args.budget,
+            n_jobs=args.n_jobs, use_cache=not args.no_cache,
         )
     else:
         report = run_cp_clean(
-            task.incomplete, task.val_X, oracle, k=task.k, max_cleaned=args.budget
+            task.incomplete, task.val_X, oracle, k=task.k, max_cleaned=args.budget,
+            n_jobs=args.n_jobs, use_cache=not args.no_cache,
         )
 
     def world_accuracy(fixed):
@@ -212,14 +249,20 @@ def _command_csv_screen(args: argparse.Namespace) -> int:
         f"dirty={len(dirty)} worlds={incomplete.n_worlds()}"
     )
 
-    result = screen_dataset(incomplete, workload.val_X, k=args.k)
+    result = screen_dataset(
+        incomplete, workload.val_X, k=args.k,
+        n_jobs=args.n_jobs, cache=not args.no_cache,
+    )
     certain, total = result.n_certain, result.n_points
     print(f"validation points certainly predicted: {certain}/{total} ({result.cp_fraction:.0%})")
     if certain == total:
         print("all validation predictions are certain: cleaning cannot change them.")
         return 0
 
-    session = CleaningSession(incomplete, workload.val_X, k=args.k)
+    session = CleaningSession(
+        incomplete, workload.val_X, k=args.k,
+        n_jobs=args.n_jobs, use_cache=not args.no_cache,
+    )
     gains = information_gains(session)
     ranked = sorted(gains.items(), key=lambda item: (-item[1], item[0]))
     print(f"\nrows worth cleaning first (top {min(args.top, len(ranked))}):")

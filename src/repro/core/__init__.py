@@ -6,6 +6,13 @@ The public entry points are :func:`repro.core.queries.q1`,
 behind them (see DESIGN.md for the inventory).
 """
 
+from repro.core.batch_engine import (
+    BatchQueryExecutor,
+    PreparedBatch,
+    QueryResultCache,
+    batch_certain_labels,
+    batch_q2_counts,
+)
 from repro.core.bruteforce import brute_force_check, brute_force_counts
 from repro.core.dataset import IncompleteDataset
 from repro.core.engine import sortscan_counts
@@ -74,6 +81,11 @@ __all__ = [
     "q2_counts",
     "certain_label",
     "PreparedQuery",
+    "PreparedBatch",
+    "BatchQueryExecutor",
+    "QueryResultCache",
+    "batch_q2_counts",
+    "batch_certain_labels",
     "ScanOrder",
     "compute_scan_order",
     "brute_force_counts",

@@ -1,0 +1,741 @@
+"""Parallel batch CP query executor with prepared-distance caching.
+
+The per-point query path (:mod:`repro.core.prepared`,
+:mod:`repro.core.engine`) answers one certain-prediction query at a time:
+each :class:`~repro.core.prepared.PreparedQuery` recomputes candidate
+similarities row by row, sorts them, and runs the SortScan counting loop in
+pure Python. That is the right shape for interactive use but not for the
+batch workloads this library actually serves — screening a whole test set,
+or CPClean re-evaluating the same validation points after every cleaning
+step. This module is the batch execution layer above the per-query kernel:
+
+* :class:`PreparedBatch` extends the prepared layer across an entire test
+  set: the full candidate-distance matrix is computed in **one** vectorised
+  :meth:`~repro.core.kernels.Kernel.pairwise` call over the stacked
+  candidate matrix, and per-point scan orders are derived from its rows on
+  demand (bit-identical to :func:`repro.core.scan.compute_scan_order`).
+* :class:`BatchQueryExecutor` runs the counting query over every test point
+  through a tuned scan kernel (:func:`_counts_from_scan` — same exact
+  big-integer algorithm as :class:`~repro.core.engine.LabelPolynomials`,
+  restructured to avoid per-position allocations and NumPy scalar boxing)
+  and can fan the per-point scans out across a ``multiprocessing`` worker
+  pool: ``n_jobs`` forked workers pull index chunks from a shared task
+  queue (:func:`fanout_map`), inheriting the prepared arrays read-only
+  through copy-on-write fork memory, so nothing is pickled per task except
+  the tiny result vectors.
+* :class:`QueryResultCache` is an LRU result cache keyed by
+  ``(dataset fingerprint, test-point hash, k, kernel, pins)``. Repeated
+  queries — the common case in CPClean's sequential cleaning loop, which
+  re-checks validation certainty round after round — are served without
+  recomputation, and any change to the dataset changes its
+  :meth:`~repro.core.dataset.IncompleteDataset.fingerprint`, so stale
+  entries can never be returned.
+
+All outputs are verified bit-identical to the sequential per-point path
+(``tests/core/test_batch_engine.py``); ``benchmarks/bench_batch_engine.py``
+measures the speedup on Table 2-style workloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import sys
+import threading
+import uuid
+from collections import OrderedDict
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from functools import lru_cache
+from math import prod
+from typing import Any
+
+import numpy as np
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.entropy import certain_label_from_counts
+from repro.core.kernels import Kernel, resolve_kernel
+from repro.core.knn import majority_label, top_k_rows
+from repro.core.polynomials import poly_one
+from repro.core.prepared import PreparedQuery
+from repro.core.scan import ScanOrder, _scan_from_sims, stack_candidates
+from repro.core.tally import tallies_with_prediction
+from repro.utils.validation import check_matrix, check_positive_int
+
+__all__ = [
+    "QueryResultCache",
+    "PreparedBatch",
+    "BatchQueryExecutor",
+    "batch_q2_counts",
+    "batch_certain_labels",
+    "fanout_map",
+    "resolve_n_jobs",
+]
+
+
+# ---------------------------------------------------------------------------
+# Worker-pool plumbing
+# ---------------------------------------------------------------------------
+
+#: State handed to forked workers. Set by :func:`fanout_map` in the parent
+#: immediately before the fork so children inherit it through copy-on-write
+#: memory; never pickled, never mutated by workers. Guarded by
+#: ``_FANOUT_LOCK`` so concurrent fan-outs (e.g. two executors on different
+#: threads) cannot read each other's state.
+_FANOUT_STATE: Any = None
+_FANOUT_LOCK = threading.Lock()
+
+
+def get_fanout_state() -> Any:
+    """The shared read-only state of the current :func:`fanout_map` call."""
+    return _FANOUT_STATE
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalise an ``n_jobs`` request: ``None``/negative means all CPUs."""
+    if n_jobs is None or n_jobs < 0:
+        return os.cpu_count() or 1
+    if n_jobs == 0:
+        raise ValueError("n_jobs must be positive, negative (all CPUs) or None")
+    return n_jobs
+
+
+def fanout_map(
+    worker: Callable[[Any], Any],
+    items: Iterable[Any],
+    n_jobs: int | None = 1,
+    state: Any = None,
+    chunksize: int | None = None,
+) -> list[Any]:
+    """Apply ``worker`` to every item, optionally across forked processes.
+
+    ``worker`` must be a module-level function; it reads the shared
+    ``state`` through :func:`get_fanout_state` (workers inherit it via
+    fork, so large arrays are shared read-only rather than pickled). Items
+    are distributed in chunks through ``imap_unordered`` — idle workers
+    steal the next chunk off the shared queue, so an unlucky chunk of slow
+    queries cannot stall the whole batch. Results are returned in
+    completion order; workers should tag results with their item when the
+    caller needs to reassemble.
+
+    Falls back to an in-process loop when ``n_jobs == 1``, when there is
+    nothing to parallelise over, or when the platform cannot fork safely.
+    Sharing-by-inheritance is only sound under the ``fork`` start method,
+    and bare fork-without-exec is only reliable on Linux (on macOS,
+    forked children of a process that has touched Accelerate/Objective-C
+    runtimes can abort — the reason CPython made ``spawn`` the default
+    there), so the pool is gated to Linux with ``fork`` available.
+
+    Concurrent :func:`fanout_map` calls from different threads are
+    serialised on an internal lock — the state hand-off is a process-wide
+    slot, and two interleaved fan-outs must not see each other's state.
+    """
+    items = list(items)
+    n_jobs = resolve_n_jobs(n_jobs)
+    use_pool = (
+        n_jobs > 1
+        and len(items) > 1
+        and sys.platform.startswith("linux")
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    global _FANOUT_STATE
+    with _FANOUT_LOCK:
+        _FANOUT_STATE = state
+        try:
+            if not use_pool:
+                return [worker(item) for item in items]
+            context = multiprocessing.get_context("fork")
+            n_workers = min(n_jobs, len(items))
+            if chunksize is None:
+                # ~4 chunks per worker: coarse enough to amortise queue
+                # trips, fine enough that work can be stolen when chunks
+                # are uneven.
+                chunksize = max(1, -(-len(items) // (n_workers * 4)))
+            with context.Pool(processes=n_workers) as pool:
+                return list(pool.imap_unordered(worker, items, chunksize=chunksize))
+        finally:
+            _FANOUT_STATE = None
+
+
+# ---------------------------------------------------------------------------
+# The tuned batch counting kernel
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _tally_plans(
+    k: int, n_labels: int
+) -> tuple[tuple[tuple[int, tuple[tuple[int, int], ...]], ...], ...]:
+    """Per boundary-row label: the tally loop, pre-resolved.
+
+    ``plans[y]`` lists ``(winner, wants)`` for every tally with
+    ``tally[y] >= 1``, where ``wants`` pairs each label with the
+    coefficient index it must contribute (the boundary row's own label
+    needs one slot fewer). Hoisting this out of the scan loop removes the
+    per-position tally filtering of the reference engine.
+    """
+    plans = []
+    for y in range(n_labels):
+        plan = []
+        for tally, winner in tallies_with_prediction(k, n_labels):
+            if tally[y] < 1:
+                continue
+            wants = tuple(
+                (label, slots - 1 if label == y else slots)
+                for label, slots in enumerate(tally)
+            )
+            plan.append((winner, wants))
+        plans.append(tuple(plan))
+    return tuple(plans)
+
+
+def _counts_from_scan(
+    scan: ScanOrder,
+    k: int,
+    n_labels: int,
+    fixed: Mapping[int, int] | None = None,
+) -> list[int]:
+    """Q2 counts from a precomputed scan order — the batch engine's kernel.
+
+    Exactly the incremental algorithm of
+    :func:`repro.core.engine.sortscan_counts` /
+    :meth:`repro.core.prepared.PreparedQuery.counts` (same big-integer
+    polynomial updates in the same order, so results are bit-identical),
+    restructured for batch throughput: scan arrays are converted to plain
+    Python lists once, the per-position tally loop uses the precomputed
+    :func:`_tally_plans`, the linear-factor updates run in place on the
+    coefficient lists (no per-step allocations or calls into
+    :mod:`repro.core.polynomials`), and the forced-shift bookkeeping is
+    applied on the fly instead of materialising shifted coefficient arrays
+    at every boundary position. The truncated divisions are exact by
+    construction (see :mod:`repro.core.polynomials`); the closing
+    sum-over-worlds assertion would catch any violation.
+    """
+    rows = scan.rows.tolist()
+    cands = scan.cands.tolist()
+    row_labels = scan.row_labels.tolist()
+    counts = scan.row_counts.tolist()
+    pinned: list[int] | None = None
+    if fixed:
+        pinned = [-1] * len(counts)
+        for row, cand in fixed.items():
+            if not 0 <= cand < counts[row]:
+                raise IndexError(
+                    f"fixed candidate {cand} out of range for row {row} "
+                    f"with {counts[row]} candidates"
+                )
+            counts[row] = 1
+            pinned[row] = cand
+
+    plans = _tally_plans(k, n_labels)
+    n = len(row_labels)
+    alpha = [0] * n
+    polys = [poly_one(k) for _ in range(n_labels)]
+    forced_count = [0] * n_labels
+    forced_scale = [1] * n_labels
+    for i in range(n):
+        forced_count[row_labels[i]] += 1
+        forced_scale[row_labels[i]] *= counts[i]
+    result = [0] * n_labels
+
+    for pos in range(len(rows)):
+        i = rows[pos]
+        if pinned is not None:
+            pin = pinned[i]
+            if pin >= 0 and cands[pos] != pin:
+                continue
+        a = alpha[i] = alpha[i] + 1
+        label_i = row_labels[i]
+        m = counts[i]
+        poly = polys[label_i]
+        if a == 1:
+            # The row leaves the forced-above set and gains a real factor:
+            # poly *= (1 + (m-1) z), in place (descending, so each step
+            # reads the not-yet-updated lower coefficient).
+            forced_count[label_i] -= 1
+            forced_scale[label_i] //= m
+            b = m - 1
+            for c in range(k, 0, -1):
+                poly[c] += b * poly[c - 1]
+        else:
+            # poly = poly / ((a-1) + (m-a+1) z) * (a + (m-a) z), in place:
+            # the exact truncated division runs ascending (each step reads
+            # the already-updated lower coefficient), the multiplication
+            # descending.
+            a0 = a - 1
+            b0 = m - a + 1
+            poly[0] //= a0
+            for c in range(1, k + 1):
+                poly[c] = (poly[c] - b0 * poly[c - 1]) // a0
+            b = m - a
+            for c in range(k, 0, -1):
+                poly[c] = a * poly[c] + b * poly[c - 1]
+            poly[0] *= a
+        # Coefficients with the boundary row's own factor divided out.
+        b = m - a
+        excluded = [0] * (k + 1)
+        excluded[0] = prev = poly[0] // a
+        for c in range(1, k + 1):
+            excluded[c] = prev = (poly[c] - b * prev) // a
+        for winner, wants in plans[label_i]:
+            support = 1
+            for label, want in wants:
+                index = want - forced_count[label]
+                if 0 <= index <= k:
+                    base = excluded if label == label_i else polys[label]
+                    coeff = base[index]
+                    if coeff:
+                        support *= forced_scale[label] * coeff
+                        continue
+                support = 0
+                break
+            if support:
+                result[winner] += support
+
+    expected_total = prod(counts)
+    if sum(result) != expected_total:
+        raise AssertionError(
+            f"internal error: counts sum to {sum(result)} but there are "
+            f"{expected_total} possible worlds"
+        )
+    return result
+
+
+def _counts_worker(index: int) -> tuple[int, list[int]]:
+    """Pool worker: count one test point from fork-inherited prepared state."""
+    prepared, k, n_labels, fixed = get_fanout_state()
+    return index, _counts_from_scan(prepared.scan(index), k, n_labels, fixed)
+
+
+# ---------------------------------------------------------------------------
+# The LRU result cache
+# ---------------------------------------------------------------------------
+
+_MISS = object()
+
+
+class QueryResultCache:
+    """A bounded LRU cache for CP query results.
+
+    Keys are opaque tuples built by :class:`BatchQueryExecutor` from the
+    dataset :meth:`~repro.core.dataset.IncompleteDataset.fingerprint`, the
+    test-point hash, ``k``, the kernel and the pinned-row mapping — so a
+    hit is only possible for a genuinely identical query, and any change to
+    the dataset content invalidates all of its entries by construction.
+
+    One instance can safely be shared across executors (e.g. one cache for
+    a whole cleaning session), including across threads — lookups and
+    inserts take an internal lock; eviction is least-recently-used.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self.maxsize = check_positive_int(maxsize, "maxsize")
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: tuple, default: Any = None) -> Any:
+        """The cached value for ``key`` (marking it recently used), or ``default``."""
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is _MISS:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: tuple, value: Any) -> None:
+        """Insert/refresh an entry, evicting the least recently used on overflow."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, int | float]:
+        """A snapshot of size and hit/miss counters, for reports and tests."""
+        with self._lock:
+            size, hits, misses = len(self._entries), self.hits, self.misses
+        total = hits + misses
+        return {
+            "size": size,
+            "maxsize": self.maxsize,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
+
+
+# ---------------------------------------------------------------------------
+# PreparedBatch: the vectorised prepared layer
+# ---------------------------------------------------------------------------
+
+
+class PreparedBatch:
+    """Shared prepared state for CP queries against an entire test set.
+
+    Extends the per-point prepared layer (:class:`PreparedQuery`): the
+    candidate-distance matrix for *all* test points is computed in one
+    vectorised kernel call, and per-point scan orders / prepared queries
+    are materialised from its rows on demand and cached. All derived state
+    is bit-identical to what the per-point path computes, so every consumer
+    of :class:`PreparedQuery` can be handed a batch-built instance
+    transparently (this is how
+    :class:`repro.cleaning.sequential.CleaningSession` gets its queries).
+    """
+
+    def __init__(
+        self,
+        dataset: IncompleteDataset,
+        test_X: np.ndarray,
+        k: int = 3,
+        kernel: Kernel | str | None = None,
+    ) -> None:
+        self.k = check_positive_int(k, "k")
+        if self.k > dataset.n_rows:
+            raise ValueError(
+                f"k={self.k} exceeds the number of training rows {dataset.n_rows}"
+            )
+        self.dataset = dataset
+        self.kernel = resolve_kernel(kernel)
+        self.test_X = check_matrix(test_X, "test_X", n_cols=dataset.n_features)
+        stacked, rows, cands, counts = stack_candidates(dataset)
+        self._rows = rows
+        self._cands = cands
+        self._counts = counts
+        # offsets[i] is where row i's candidates start in the stacked order.
+        self._offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+        )
+        self._labels = dataset.labels.copy()
+        # The whole (T, P) candidate-similarity matrix in one kernel call.
+        self.sims_matrix = self.kernel.pairwise(stacked, self.test_X)
+        self._scans: list[ScanOrder | None] = [None] * self.n_points
+        self._queries: list[PreparedQuery | None] = [None] * self.n_points
+
+    @property
+    def n_points(self) -> int:
+        """Number of test points in the batch."""
+        return int(self.test_X.shape[0])
+
+    def fingerprint(self) -> str:
+        """The underlying dataset's content fingerprint (cache-key component)."""
+        return self.dataset.fingerprint()
+
+    # ------------------------------------------------------------------
+    def scan(self, index: int) -> ScanOrder:
+        """The scan order of test point ``index`` (built lazily, cached).
+
+        Identical to ``compute_scan_order(dataset, test_X[index], kernel)``
+        — same similarities, same tie-break — but sorted from the shared
+        similarity matrix instead of recomputing distances.
+        """
+        scan = self._scans[index]
+        if scan is None:
+            scan = _scan_from_sims(
+                self.sims_matrix[index], self._rows, self._cands, self._labels, self._counts
+            )
+            self._scans[index] = scan
+        return scan
+
+    def materialize_scans(self, indices: Sequence[int] | None = None) -> None:
+        """Build (and cache) scan orders ahead of a fork.
+
+        Forked pool workers inherit this object copy-on-write, so anything
+        they should *share* must exist before the fork — a scan built
+        inside a worker would be recomputed per process.
+        """
+        for index in range(self.n_points) if indices is None else indices:
+            self.scan(index)
+
+    def row_sims(self, index: int) -> list[np.ndarray]:
+        """Per-row candidate similarities of one point, in candidate order.
+
+        Views into the shared similarity matrix (the layout MinMax checks
+        need); no per-point recomputation.
+        """
+        return np.split(self.sims_matrix[index], self._offsets[1:-1])
+
+    def query(self, index: int) -> PreparedQuery:
+        """A :class:`PreparedQuery` for test point ``index`` (cached).
+
+        The instance is indistinguishable from
+        ``PreparedQuery(dataset, test_X[index], k, kernel)`` but is built
+        from the shared prepared state, skipping the per-point similarity
+        pass entirely.
+        """
+        query = self._queries[index]
+        if query is None:
+            query = PreparedQuery(
+                self.dataset,
+                self.test_X[index],
+                k=self.k,
+                kernel=self.kernel,
+                scan=self.scan(index),
+                row_sims=self.row_sims(index),
+            )
+            self._queries[index] = query
+        return query
+
+    def queries(self) -> list[PreparedQuery]:
+        """All per-point prepared queries (building any not yet materialised)."""
+        return [self.query(index) for index in range(self.n_points)]
+
+
+# ---------------------------------------------------------------------------
+# BatchQueryExecutor: cache + fan-out on top of PreparedBatch
+# ---------------------------------------------------------------------------
+
+
+def _kernel_cache_key(kernel: Kernel) -> str:
+    """A cache-key component identifying the kernel *by value*.
+
+    The key always includes the kernel's concrete class (a subclass that
+    merely inherits its parent's parameterised ``__repr__`` must not alias
+    the parent's entries — it may compute different similarities). The
+    built-in kernels have deterministic value-based reprs
+    (``RBFKernel(gamma=2.0)``), so two equal-parameter instances share a
+    key. A user-defined kernel that keeps ``object.__repr__`` would be
+    keyed by its memory address — and a recycled address could alias two
+    different kernels into one cache entry — so such kernels get a
+    process-unique token instead: caching still works within one
+    executor, but entries are never shared across kernel instances.
+
+    The contract for custom kernels that *do* define ``__repr__``: the
+    repr must encode every parameter that changes the similarity values
+    (as the built-ins do). Two kernels of the same class whose reprs are
+    equal are treated as interchangeable by any shared cache.
+    """
+    cls = type(kernel)
+    identity = f"{cls.__module__}.{cls.__qualname__}"
+    if cls.__repr__ is object.__repr__:
+        return f"{identity}#{uuid.uuid4().hex}"
+    return f"{identity}:{kernel!r}"
+
+
+class BatchQueryExecutor:
+    """Executes CP queries for a whole test set: vectorised, parallel, cached.
+
+    Parameters
+    ----------
+    dataset, test_X, k, kernel:
+        The query family, as in :class:`PreparedQuery` (ignored when
+        ``prepared`` is given).
+    n_jobs:
+        Worker processes for the per-point scan fan-out. ``1`` (default)
+        runs in-process; ``None`` or negative uses all CPUs. Parallelism
+        requires Linux with the ``fork`` start method and silently
+        degrades to in-process execution elsewhere.
+    cache:
+        ``True`` (default) gives the executor a private
+        :class:`QueryResultCache`; pass an instance to share one across
+        executors, or ``False``/``None`` to disable result caching.
+    prepared:
+        An existing :class:`PreparedBatch` to execute against (shares the
+        distance matrix with other consumers, e.g. a cleaning session).
+    """
+
+    def __init__(
+        self,
+        dataset: IncompleteDataset | None = None,
+        test_X: np.ndarray | None = None,
+        k: int = 3,
+        kernel: Kernel | str | None = None,
+        n_jobs: int | None = 1,
+        cache: QueryResultCache | bool | None = True,
+        prepared: PreparedBatch | None = None,
+    ) -> None:
+        if prepared is None:
+            if dataset is None or test_X is None:
+                raise ValueError("provide either (dataset, test_X) or prepared")
+            prepared = PreparedBatch(dataset, test_X, k=k, kernel=kernel)
+        self.prepared = prepared
+        self.dataset = prepared.dataset
+        self.k = prepared.k
+        self.kernel = prepared.kernel
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        if cache is True:
+            self.cache: QueryResultCache | None = QueryResultCache()
+        elif isinstance(cache, QueryResultCache):
+            self.cache = cache
+        else:
+            self.cache = None
+        self._kernel_key = _kernel_cache_key(self.kernel)
+        self._point_keys = [
+            hashlib.sha1(np.ascontiguousarray(t).tobytes()).hexdigest()
+            for t in self.prepared.test_X
+        ]
+
+    @property
+    def n_points(self) -> int:
+        """Number of test points in the batch."""
+        return self.prepared.n_points
+
+    def _key(self, tag: str, index: int, fixed_key: tuple) -> tuple:
+        return (
+            tag,
+            self.prepared.fingerprint(),
+            self._point_keys[index],
+            self.k,
+            self._kernel_key,
+            fixed_key,
+        )
+
+    # ------------------------------------------------------------------
+    def counts(self, fixed: Mapping[int, int] | None = None) -> list[list[int]]:
+        """Exact Q2 counts for every test point, with ``fixed`` rows pinned.
+
+        Equivalent to ``[PreparedQuery(...).counts(fixed) for t in test_X]``
+        (bit-identical, tested) but served from the cache where possible,
+        and computed with the tuned kernel — fanned out over the worker
+        pool when ``n_jobs > 1``.
+        """
+        fixed = dict(fixed or {})
+        fixed_key = tuple(sorted(fixed.items()))
+        results: list[list[int] | None] = [None] * self.n_points
+        missing: list[int] = []
+        for index in range(self.n_points):
+            if self.cache is not None:
+                hit = self.cache.get(self._key("q2", index, fixed_key), _MISS)
+                if hit is not _MISS:
+                    results[index] = list(hit)
+                    continue
+            missing.append(index)
+
+        if missing:
+            # Scans must exist before the fork so workers share them
+            # copy-on-write instead of rebuilding per process.
+            self.prepared.materialize_scans(missing)
+            n_labels = self.dataset.n_labels
+            pairs = fanout_map(
+                _counts_worker,
+                missing,
+                n_jobs=self.n_jobs,
+                state=(self.prepared, self.k, n_labels, fixed),
+            )
+            for index, counts in pairs:
+                results[index] = counts
+                if self.cache is not None:
+                    self.cache.put(self._key("q2", index, fixed_key), list(counts))
+        return [list(counts) for counts in results]  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def _minmax_label(self, index: int, fixed: Mapping[int, int]) -> int | None:
+        """Vectorised MM check for one point (binary labels only).
+
+        Mirrors :meth:`PreparedQuery.certain_label_minmax`: per-row extreme
+        similarities come straight off the shared similarity matrix via
+        ``reduceat`` instead of per-row ``min()``/``max()`` calls.
+        """
+        sims = self.prepared.sims_matrix[index]
+        starts = self.prepared._offsets[:-1]
+        row_counts = self.prepared._counts
+        mins = np.minimum.reduceat(sims, starts)
+        maxs = np.maximum.reduceat(sims, starts)
+        for row, cand in fixed.items():
+            if not 0 <= cand < row_counts[row]:
+                raise IndexError(
+                    f"fixed candidate {cand} out of range for row {row} "
+                    f"with {row_counts[row]} candidates"
+                )
+            pinned_sim = sims[int(starts[row]) + cand]
+            mins[row] = pinned_sim
+            maxs[row] = pinned_sim
+        labels = self.dataset.labels
+        winners = []
+        for target in range(2):
+            extremes = np.where(labels == target, maxs, mins)
+            top = top_k_rows(extremes, self.k)
+            if majority_label(labels[top], tally_size=2) == target:
+                winners.append(target)
+        return winners[0] if len(winners) == 1 else None
+
+    def certain_labels(
+        self, fixed: Mapping[int, int] | None = None
+    ) -> list[int | None]:
+        """The CP'ed label (or ``None``) of every test point.
+
+        Dispatches exactly like the sequential path: the MM check for
+        binary labels, Q2 counts otherwise — so results match
+        ``CleaningSession.val_certain_labels`` / ``certain_label`` per
+        point bit for bit.
+        """
+        fixed = dict(fixed or {})
+        if self.dataset.n_labels != 2:
+            return [
+                certain_label_from_counts(counts) for counts in self.counts(fixed)
+            ]
+        fixed_key = tuple(sorted(fixed.items()))
+        labels: list[int | None] = []
+        for index in range(self.n_points):
+            key = self._key("mm", index, fixed_key)
+            if self.cache is not None:
+                hit = self.cache.get(key, _MISS)
+                if hit is not _MISS:
+                    labels.append(hit)
+                    continue
+            label = self._minmax_label(index, fixed)
+            if self.cache is not None:
+                self.cache.put(key, label)
+            labels.append(label)
+        return labels
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry points
+# ---------------------------------------------------------------------------
+
+
+def batch_q2_counts(
+    dataset: IncompleteDataset,
+    test_X: np.ndarray,
+    k: int = 3,
+    kernel: Kernel | str | None = None,
+    n_jobs: int | None = 1,
+    cache: QueryResultCache | bool | None = False,
+) -> list[list[int]]:
+    """Q2 counts for every row of ``test_X`` through the batch engine.
+
+    One-shot counterpart of ``[q2_counts(dataset, t, k) for t in test_X]``
+    with identical results; see :class:`BatchQueryExecutor` for the knobs.
+    """
+    return BatchQueryExecutor(
+        dataset, test_X, k=k, kernel=kernel, n_jobs=n_jobs, cache=cache
+    ).counts()
+
+
+def batch_certain_labels(
+    dataset: IncompleteDataset,
+    test_X: np.ndarray,
+    k: int = 3,
+    kernel: Kernel | str | None = None,
+    n_jobs: int | None = 1,
+    cache: QueryResultCache | bool | None = False,
+) -> list[int | None]:
+    """The CP'ed label (or ``None``) for every row of ``test_X``.
+
+    One-shot counterpart of ``[certain_label(dataset, t, k) for t in
+    test_X]`` with identical results.
+    """
+    return BatchQueryExecutor(
+        dataset, test_X, k=k, kernel=kernel, n_jobs=n_jobs, cache=cache
+    ).certain_labels()

@@ -14,6 +14,7 @@ every dirty row has exactly ``M`` candidates.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections.abc import Sequence
 
@@ -71,6 +72,7 @@ class IncompleteDataset:
         self._labels = labels_arr.copy()
         self._labels.setflags(write=False)
         self._dim = dim
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -127,6 +129,26 @@ class IncompleteDataset:
     def n_worlds(self) -> int:
         """Exact number of possible worlds ``|I_D| = prod_i m_i`` (big int)."""
         return math.prod(int(c.shape[0]) for c in self._candidate_sets)
+
+    def fingerprint(self) -> str:
+        """A content hash of the dataset (candidates + labels), hex-encoded.
+
+        Two datasets with identical candidate sets and labels share a
+        fingerprint; any change to a candidate value, a candidate-set size
+        or a label produces a different one. Instances are immutable, so
+        the hash is computed once and cached — the batch engine uses it to
+        key its cross-query result cache
+        (:class:`repro.core.batch_engine.QueryResultCache`).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(np.int64(self.n_rows).tobytes())
+            digest.update(self._labels.tobytes())
+            for candidates in self._candidate_sets:
+                digest.update(np.int64(candidates.shape[0]).tobytes())
+                digest.update(np.ascontiguousarray(candidates).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def __len__(self) -> int:
         return self.n_rows

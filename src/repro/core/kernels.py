@@ -9,7 +9,12 @@ the paper mentions.
 
 Every kernel implements ``similarities(candidates, t)`` mapping a ``(m, d)``
 candidate matrix to an ``(m,)`` similarity vector; ``__call__`` on a pair of
-single vectors is provided for convenience.
+single vectors is provided for convenience. For batch workloads
+(:mod:`repro.core.batch_engine`) kernels also expose
+``pairwise(candidates, test_X)`` which computes the whole ``(T, m)``
+similarity matrix in one vectorised call; the built-in kernels override it
+with broadcasting implementations whose per-element reductions are
+bit-identical to the per-point path.
 """
 
 from __future__ import annotations
@@ -37,6 +42,19 @@ class Kernel(ABC):
     def similarities(self, candidates: np.ndarray, t: np.ndarray) -> np.ndarray:
         """Similarity of each row of ``candidates`` (``(m, d)``) to ``t`` (``(d,)``)."""
 
+    def pairwise(self, candidates: np.ndarray, test_X: np.ndarray) -> np.ndarray:
+        """Similarity matrix of shape ``(T, m)`` for a whole test set at once.
+
+        Entry ``[i, j]`` equals ``similarities(candidates, test_X[i])[j]``.
+        The default loops over test points; concrete kernels override it
+        with a single broadcast computation.
+        """
+        candidates = check_matrix(candidates, "candidates")
+        test_X = check_matrix(test_X, "test_X", n_cols=candidates.shape[1])
+        if test_X.shape[0] == 0:
+            return np.empty((0, candidates.shape[0]), dtype=np.float64)
+        return np.stack([self.similarities(candidates, t) for t in test_X], axis=0)
+
     def __call__(self, x: np.ndarray, t: np.ndarray) -> float:
         x = check_vector(x, "x")
         return float(self.similarities(x.reshape(1, -1), t)[0])
@@ -50,6 +68,12 @@ class NegativeEuclideanKernel(Kernel):
         t = check_vector(t, "t", length=candidates.shape[1])
         diff = candidates - t[None, :]
         return -np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    def pairwise(self, candidates: np.ndarray, test_X: np.ndarray) -> np.ndarray:
+        candidates = check_matrix(candidates, "candidates")
+        test_X = check_matrix(test_X, "test_X", n_cols=candidates.shape[1])
+        diff = candidates[None, :, :] - test_X[:, None, :]
+        return -np.sqrt(np.einsum("tij,tij->ti", diff, diff))
 
     def __repr__(self) -> str:
         return "NegativeEuclideanKernel()"
@@ -69,6 +93,12 @@ class RBFKernel(Kernel):
         diff = candidates - t[None, :]
         return np.exp(-self.gamma * np.einsum("ij,ij->i", diff, diff))
 
+    def pairwise(self, candidates: np.ndarray, test_X: np.ndarray) -> np.ndarray:
+        candidates = check_matrix(candidates, "candidates")
+        test_X = check_matrix(test_X, "test_X", n_cols=candidates.shape[1])
+        diff = candidates[None, :, :] - test_X[:, None, :]
+        return np.exp(-self.gamma * np.einsum("tij,tij->ti", diff, diff))
+
     def __repr__(self) -> str:
         return f"RBFKernel(gamma={self.gamma})"
 
@@ -80,6 +110,10 @@ class LinearKernel(Kernel):
         candidates = check_matrix(candidates, "candidates")
         t = check_vector(t, "t", length=candidates.shape[1])
         return candidates @ t
+
+    # pairwise: the default per-point loop is kept deliberately — a fused
+    # matrix-matrix product may use a different BLAS reduction order than the
+    # per-point matvec, and scan orders must stay bit-identical.
 
     def __repr__(self) -> str:
         return "LinearKernel()"

@@ -33,7 +33,7 @@ from repro.core.dataset import IncompleteDataset
 from repro.core.engine import LabelPolynomials
 from repro.core.kernels import Kernel, resolve_kernel
 from repro.core.knn import majority_label, top_k_rows
-from repro.core.scan import compute_scan_order
+from repro.core.scan import ScanOrder, compute_scan_order
 from repro.core.tally import tallies_with_prediction
 from repro.utils.validation import check_positive_int
 
@@ -49,6 +49,9 @@ class PreparedQuery:
         t: np.ndarray,
         k: int = 3,
         kernel: Kernel | str | None = None,
+        *,
+        scan: ScanOrder | None = None,
+        row_sims: list[np.ndarray] | None = None,
     ) -> None:
         self.k = check_positive_int(k, "k")
         if self.k > dataset.n_rows:
@@ -56,16 +59,22 @@ class PreparedQuery:
         self.dataset = dataset
         self.kernel = resolve_kernel(kernel)
         self.n_labels = dataset.n_labels
-        self._scan = compute_scan_order(dataset, t, self.kernel)
+        # `scan`/`row_sims` let a batch preparer (PreparedBatch) hand over
+        # state it computed vectorised for many test points at once; they
+        # must describe the same (dataset, t, kernel) the caller passes.
+        self._scan = scan if scan is not None else compute_scan_order(dataset, t, self.kernel)
         self._tallies = tallies_with_prediction(self.k, self.n_labels)
-        # Per-row candidate similarities in candidate order, for MinMax.
-        self._row_sims: list[np.ndarray] = [
-            np.empty(int(m), dtype=np.float64) for m in self._scan.row_counts
-        ]
-        for position in range(self._scan.n_candidates):
-            row = int(self._scan.rows[position])
-            cand = int(self._scan.cands[position])
-            self._row_sims[row][cand] = float(self._scan.sims[position])
+        if row_sims is not None:
+            self._row_sims = row_sims
+        else:
+            # Per-row candidate similarities in candidate order, for MinMax.
+            self._row_sims = [
+                np.empty(int(m), dtype=np.float64) for m in self._scan.row_counts
+            ]
+            for position in range(self._scan.n_candidates):
+                row = int(self._scan.rows[position])
+                cand = int(self._scan.cands[position])
+                self._row_sims[row][cand] = float(self._scan.sims[position])
 
     # ------------------------------------------------------------------
     def _effective_counts(self, fixed: Mapping[int, int]) -> np.ndarray:

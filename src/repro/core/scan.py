@@ -24,7 +24,13 @@ from repro.core.dataset import IncompleteDataset
 from repro.core.kernels import Kernel, resolve_kernel
 from repro.utils.validation import check_vector
 
-__all__ = ["ScanOrder", "compute_scan_order", "candidate_similarities"]
+__all__ = [
+    "ScanOrder",
+    "compute_scan_order",
+    "compute_scan_orders",
+    "candidate_similarities",
+    "stack_candidates",
+]
 
 
 def candidate_similarities(
@@ -70,6 +76,50 @@ class ScanOrder:
         return int(self.row_counts.shape[0])
 
 
+def stack_candidates(
+    dataset: IncompleteDataset,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten every candidate set into one matrix, in candidate order.
+
+    Returns ``(stacked, rows, cands, counts)`` where ``stacked`` is the
+    ``(P, d)`` matrix of all candidates (rows grouped, candidates in row
+    order), ``rows``/``cands`` give each stacked row's (row index,
+    candidate index) pair, and ``counts`` is the per-row candidate count.
+    This is the shared starting point of per-point and batch scan-order
+    construction.
+    """
+    counts = dataset.candidate_counts()
+    stacked = np.concatenate(
+        [dataset.candidates(i) for i in range(dataset.n_rows)], axis=0
+    )
+    rows = np.repeat(np.arange(dataset.n_rows, dtype=np.int64), counts)
+    cands = np.concatenate([np.arange(int(m), dtype=np.int64) for m in counts])
+    return stacked, rows, cands, counts
+
+
+def _scan_from_sims(
+    sims: np.ndarray,
+    rows: np.ndarray,
+    cands: np.ndarray,
+    labels: np.ndarray,
+    counts: np.ndarray,
+) -> ScanOrder:
+    """Build a :class:`ScanOrder` from candidate-order similarities.
+
+    Ascending similarity; among ties the larger (row, cand) pair comes
+    first so the smaller pair is treated as more similar (it sits later in
+    the scan). lexsort uses the last key as the primary key.
+    """
+    order = np.lexsort((-cands, -rows, sims))
+    return ScanOrder(
+        rows=rows[order],
+        cands=cands[order],
+        sims=sims[order],
+        row_labels=labels,
+        row_counts=counts,
+    )
+
+
 def compute_scan_order(
     dataset: IncompleteDataset, t: np.ndarray, kernel: Kernel | str | None = None
 ) -> ScanOrder:
@@ -83,14 +133,32 @@ def compute_scan_order(
     rows = np.repeat(np.arange(dataset.n_rows, dtype=np.int64), counts)
     cands = np.concatenate([np.arange(int(m), dtype=np.int64) for m in counts])
     sims = np.concatenate(sims_per_row)
-    # Ascending similarity; among ties the larger (row, cand) pair comes
-    # first so the smaller pair is treated as more similar (it sits later in
-    # the scan). lexsort uses the last key as the primary key.
-    order = np.lexsort((-cands, -rows, sims))
-    return ScanOrder(
-        rows=rows[order],
-        cands=cands[order],
-        sims=sims[order],
-        row_labels=dataset.labels.copy(),
-        row_counts=counts,
-    )
+    return _scan_from_sims(sims, rows, cands, dataset.labels.copy(), counts)
+
+
+def compute_scan_orders(
+    dataset: IncompleteDataset,
+    test_X: np.ndarray,
+    kernel: Kernel | str | None = None,
+) -> list[ScanOrder]:
+    """Scan orders for a whole test matrix, with batched similarity computation.
+
+    Produces exactly the same :class:`ScanOrder` per point as
+    :func:`compute_scan_order` (same similarities, same tie-break), but the
+    similarity matrix is computed in one vectorised
+    :meth:`repro.core.kernels.Kernel.pairwise` call over the stacked
+    candidate matrix instead of ``N`` kernel calls per test point. This is
+    the standalone convenience form of the recipe; the batch engine's
+    ``PreparedBatch`` uses the same underlying pieces
+    (:func:`stack_candidates` + the shared sort) directly because it also
+    keeps the similarity matrix for MinMax checks and row similarities.
+    """
+    kernel = resolve_kernel(kernel)
+    test_X = np.asarray(test_X, dtype=np.float64)
+    stacked, rows, cands, counts = stack_candidates(dataset)
+    sims_matrix = kernel.pairwise(stacked, test_X)
+    labels = dataset.labels.copy()
+    return [
+        _scan_from_sims(sims_matrix[i], rows, cands, labels, counts)
+        for i in range(test_X.shape[0])
+    ]

@@ -7,6 +7,12 @@ it in one call — for every point of a test matrix it gathers the exact Q2
 counts, the CP'ed label (if any) and the prediction entropy, and summarises
 the certificate: the fraction of points whose prediction **no amount of
 data cleaning can change** (§2's "Connections to Data Cleaning").
+
+Screening is the library's canonical batch workload, so it executes through
+:class:`repro.core.batch_engine.BatchQueryExecutor`: distances for the whole
+test matrix are computed in one vectorised pass and the per-point counting
+scans can fan out over ``n_jobs`` worker processes — with results identical
+to querying each point on its own.
 """
 
 from __future__ import annotations
@@ -15,11 +21,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.batch_engine import BatchQueryExecutor, QueryResultCache
 from repro.core.dataset import IncompleteDataset
 from repro.core.entropy import certain_label_from_counts, prediction_entropy
 from repro.core.kernels import Kernel
-from repro.core.prepared import PreparedQuery
-from repro.utils.validation import check_matrix
 
 __all__ = ["ScreeningResult", "screen_dataset"]
 
@@ -99,16 +104,22 @@ def screen_dataset(
     test_X: np.ndarray,
     k: int = 3,
     kernel: Kernel | str | None = None,
+    n_jobs: int | None = 1,
+    cache: QueryResultCache | bool | None = None,
 ) -> ScreeningResult:
     """Run the counting query against every row of ``test_X``.
 
     Returns a :class:`ScreeningResult`; cost is one sort-scan per test
-    point (`O(NM log NM)` each), independent of the exponential world count.
+    point (`O(NM log NM)` each), independent of the exponential world
+    count. ``n_jobs`` fans the scans out over worker processes; pass a
+    :class:`~repro.core.batch_engine.QueryResultCache` to serve repeated
+    screenings of the same data from cache. Neither changes the result.
     """
-    test_X = check_matrix(test_X, "test_X", n_cols=dataset.n_features)
+    executor = BatchQueryExecutor(
+        dataset, test_X, k=k, kernel=kernel, n_jobs=n_jobs, cache=cache
+    )
     result = ScreeningResult(k=k, n_worlds=dataset.n_worlds())
-    for row in test_X:
-        counts = PreparedQuery(dataset, row, k=k, kernel=kernel).counts()
+    for counts in executor.counts():
         result.counts.append(counts)
         result.certain_labels.append(certain_label_from_counts(counts))
         result.entropies.append(prediction_entropy(counts))

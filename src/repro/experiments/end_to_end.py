@@ -4,6 +4,11 @@ For one dataset recipe and seed: build the cleaning task, evaluate Ground
 Truth and Default Cleaning (the bounds), then BoostClean, HoloClean and
 CPClean — the latter both run to full validation certainty and truncated at
 a 20% cleaning budget, matching the two CPClean columns in Table 2.
+
+The CPClean leg routes through the batch query executor
+(:mod:`repro.core.batch_engine`) via :func:`repro.cleaning.cp_clean.run_cp_clean`;
+pass ``n_jobs`` to fan its per-row scoring scans out over worker processes
+(the reproduced numbers are identical for every ``n_jobs``).
 """
 
 from __future__ import annotations
@@ -63,6 +68,7 @@ def run_end_to_end(
     budget_fraction: float = 0.2,
     boost_rounds: int = 1,
     task: CleaningTask | None = None,
+    n_jobs: int | None = 1,
 ) -> EndToEndResult:
     """Run the full Table-2 comparison for one dataset and seed."""
     if task is None:
@@ -80,7 +86,7 @@ def run_end_to_end(
     holo_acc = holo_clf.accuracy(task.test_X, task.test_y)
 
     oracle = GroundTruthOracle(task.gt_choice)
-    report = run_cp_clean(task.incomplete, task.val_X, oracle, k=task.k)
+    report = run_cp_clean(task.incomplete, task.val_X, oracle, k=task.k, n_jobs=n_jobs)
     cp_acc = _world_accuracy(task, report.final_fixed)
 
     n_dirty = max(len(task.dirty_rows), 1)
@@ -118,6 +124,7 @@ def average_end_to_end(
     n_val: int = 24,
     n_test: int = 300,
     budget_fraction: float = 0.2,
+    n_jobs: int | None = 1,
 ) -> EndToEndResult:
     """Average :func:`run_end_to_end` over seeds (reduces small-scale noise)."""
     results = [
@@ -128,6 +135,7 @@ def average_end_to_end(
             n_test=n_test,
             seed=seed,
             budget_fraction=budget_fraction,
+            n_jobs=n_jobs,
         )
         for seed in seeds
     ]

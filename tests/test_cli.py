@@ -29,6 +29,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["screen", "--recipe", "imagenet"])
 
+    def test_executor_flags_default_off(self):
+        for command in ("screen", "clean"):
+            args = build_parser().parse_args([command])
+            assert args.n_jobs == 1
+            assert args.no_cache is False
+
+    def test_executor_flags_parse(self):
+        args = build_parser().parse_args(["clean", "--n-jobs", "4", "--no-cache"])
+        assert args.n_jobs == 4
+        assert args.no_cache is True
+        args = build_parser().parse_args(
+            ["csv-screen", "--input", "x.csv", "--label", "y", "--n-jobs", "-1"]
+        )
+        assert args.n_jobs == -1
+
 
 class TestCommands:
     def test_demo_prints_figure6(self, capsys):
@@ -68,3 +83,10 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "val CP'ed 100%" in out
+
+    def test_executor_flags_do_not_change_results(self, capsys):
+        base_args = ["--n-train", "40", "--n-val", "8", "--n-test", "20", "--seed", "1"]
+        assert main(["screen", *base_args]) == 0
+        reference = capsys.readouterr().out
+        assert main(["screen", *base_args, "--n-jobs", "2", "--no-cache"]) == 0
+        assert capsys.readouterr().out == reference

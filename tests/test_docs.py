@@ -1,0 +1,128 @@
+"""CI-friendly documentation checks.
+
+Documentation rots silently: files move, commands get renamed, examples
+drift from the API. These tests pin the documented surface to reality —
+the README must exist and its code blocks must reference real files, real
+CLI commands and a runnable API; every public module must carry a module
+docstring; and the design docs must only cite files that exist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import pathlib
+import re
+from contextlib import redirect_stdout
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+DOCS = [REPO_ROOT / "docs" / "architecture.md", REPO_ROOT / "docs" / "engines.md"]
+
+# Repo-relative path-like tokens: at least one '/', a known top-level
+# directory, and a .py/.md suffix (or a trailing slash for directories).
+_PATH_PATTERN = re.compile(
+    r"\b(?:src|docs|examples|benchmarks|tests)/[\w./-]*(?:\.py|\.md|/)"
+)
+
+
+def _fenced_blocks(text: str, language: str) -> list[str]:
+    return re.findall(rf"```{language}\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadmeExists:
+    def test_readme_present_and_substantial(self):
+        assert README.is_file(), "top-level README.md is missing"
+        text = README.read_text(encoding="utf-8")
+        assert len(text) > 2000, "README.md looks like a stub"
+        for needle in (
+            "Certain Predictions",
+            "CPClean",
+            "quickstart",
+            "PYTHONPATH=src python -m pytest",
+        ):
+            assert needle in text, f"README.md no longer mentions {needle!r}"
+
+
+class TestReadmeReferencesAreReal:
+    def test_referenced_paths_exist(self):
+        text = README.read_text(encoding="utf-8")
+        paths = set(_PATH_PATTERN.findall(text))
+        assert paths, "README.md references no repository paths at all?"
+        missing = [p for p in paths if not (REPO_ROOT / p).exists()]
+        assert not missing, f"README.md references nonexistent paths: {missing}"
+
+    def test_referenced_cli_commands_exist(self):
+        from repro.cli import build_parser
+
+        text = README.read_text(encoding="utf-8")
+        referenced = set(re.findall(r"python -m repro (\w[\w-]*)", text))
+        assert referenced, "README.md shows no CLI usage"
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        unknown = referenced - set(subparsers.choices)
+        assert not unknown, f"README.md references unknown CLI commands: {unknown}"
+
+    def test_python_blocks_execute(self):
+        """The README's Python blocks must actually run against the API."""
+        text = README.read_text(encoding="utf-8")
+        blocks = _fenced_blocks(text, "python")
+        assert blocks, "README.md has no Python examples"
+        namespace: dict = {}
+        for block in blocks:
+            with redirect_stdout(io.StringIO()):
+                exec(compile(block, "<README.md>", "exec"), namespace)  # noqa: S102
+
+    def test_shell_blocks_reference_real_entry_points(self):
+        text = README.read_text(encoding="utf-8")
+        for block in _fenced_blocks(text, "bash"):
+            for match in re.finditer(r"python ((?:examples|benchmarks)/\S+\.py)", block):
+                assert (REPO_ROOT / match.group(1)).is_file(), (
+                    f"README.md runs nonexistent script {match.group(1)}"
+                )
+            for match in re.finditer(r"pytest (\S+\.py)", block):
+                assert (REPO_ROOT / match.group(1)).is_file(), (
+                    f"README.md runs pytest on nonexistent file {match.group(1)}"
+                )
+
+
+class TestDesignDocs:
+    @pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+    def test_doc_exists(self, doc):
+        assert doc.is_file(), f"{doc.relative_to(REPO_ROOT)} is missing"
+
+    @pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+    def test_doc_references_are_real(self, doc):
+        text = doc.read_text(encoding="utf-8")
+        paths = set(_PATH_PATTERN.findall(text))
+        assert paths, f"{doc.name} references no repository paths"
+        missing = [p for p in paths if not (REPO_ROOT / p).exists()]
+        assert not missing, f"{doc.name} references nonexistent paths: {missing}"
+
+
+class TestModuleDocstrings:
+    def test_every_public_module_has_a_docstring(self):
+        missing = []
+        for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            if not ast.get_docstring(tree):
+                missing.append(str(path.relative_to(REPO_ROOT)))
+        assert not missing, f"modules without a module docstring: {missing}"
+
+    def test_package_docstring_enumerates_public_api(self):
+        import repro
+
+        assert repro.__doc__ is not None
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert name in repro.__doc__, (
+                f"repro.__init__ docstring does not mention public name {name!r}"
+            )
