@@ -9,11 +9,17 @@ Both CPClean and the RandomClean baseline run the same outer loop:
 4. fix the row and repeat.
 
 :class:`CleaningSession` owns the loop, the CP bookkeeping, and the query
-infrastructure: it routes everything through the batch execution layer
-(:mod:`repro.core.batch_engine`) — one :class:`~repro.core.batch_engine.PreparedBatch`
-holds the vectorised candidate-distance state for the whole validation set,
-a shared :class:`~repro.core.batch_engine.QueryResultCache` serves the
-repeated certainty checks of the cleaning loop, and the expected-entropy
+infrastructure: certainty checks route through the unified planner
+(:mod:`repro.core.planner`), with the session's
+:class:`~repro.core.batch_engine.PreparedBatch` (the vectorised
+candidate-distance state for the whole validation set) and shared
+:class:`~repro.core.batch_engine.QueryResultCache` handed to whichever
+backend the planner runs. The ``backend`` parameter picks the execution
+strategy: ``"auto"`` uses the vectorised-MinMax batch path for binary
+labels and the ``incremental`` backend otherwise — the latter keeps exact
+Q2 counts maintained across cleaning steps
+(:class:`~repro.core.incremental.IncrementalCPState`) instead of
+re-preparing every validation point after every pin. The expected-entropy
 scoring of candidate rows can fan out across ``n_jobs`` worker processes.
 Strategies only implement :meth:`CleaningStrategy.select`; the per-point
 :class:`~repro.core.prepared.PreparedQuery` objects remain available as
@@ -39,6 +45,7 @@ from repro.core.batch_engine import (
 from repro.core.dataset import IncompleteDataset
 from repro.core.entropy import prediction_entropy
 from repro.core.kernels import Kernel, resolve_kernel
+from repro.core.planner import ExecutionOptions, execute_query, get_backend, make_query
 
 __all__ = ["CleaningStrategy", "CleaningSession"]
 
@@ -80,6 +87,13 @@ class CleaningSession:
         Whether repeated CP queries (same dataset, pins, and point) are
         served from the session's LRU result cache. On by default; results
         are identical either way.
+    backend:
+        Planner backend for the per-step certainty checks:
+        ``"sequential"``, ``"batch"``, ``"incremental"``, or ``"auto"``
+        (default) which picks ``"batch"`` for binary labels (the
+        vectorised MinMax check) and ``"incremental"`` otherwise (exact
+        Q2 counts maintained across cleaning steps). Every choice returns
+        bit-identical labels (tested); only wall-clock changes.
     """
 
     def __init__(
@@ -90,6 +104,7 @@ class CleaningSession:
         kernel: Kernel | str | None = None,
         n_jobs: int | None = 1,
         use_cache: bool = True,
+        backend: str = "auto",
     ) -> None:
         self.dataset = dataset
         self.k = k
@@ -98,13 +113,35 @@ class CleaningSession:
         self.cache = QueryResultCache() if use_cache else None
         self.batch = PreparedBatch(dataset, val_X, k=k, kernel=self.kernel)
         self.val_X = self.batch.test_X
-        self.executor = BatchQueryExecutor(
-            prepared=self.batch, n_jobs=n_jobs, cache=self.cache
-        )
+        self._executor: BatchQueryExecutor | None = None
         self.queries = self.batch.queries()
         self.fixed: dict[int, int] = {}
+        self.backend = backend
+        if backend != "auto":
+            get_backend(backend)  # fail fast on unknown backend names
+        if backend == "auto":
+            # Cost-model-lite at the session level: binary certainty checks
+            # are cheapest through the vectorised MinMax batch path; larger
+            # label spaces need real counts, where maintaining them
+            # incrementally beats a full recount per step.
+            self._check_backend = "batch" if dataset.n_labels == 2 else "incremental"
+        else:
+            self._check_backend = backend
 
     # ------------------------------------------------------------------
+    @property
+    def executor(self) -> BatchQueryExecutor:
+        """A batch executor over the session's prepared state (built lazily).
+
+        Kept for code that drives the session's query family directly;
+        the session itself routes certainty checks through the planner.
+        """
+        if self._executor is None:
+            self._executor = BatchQueryExecutor(
+                prepared=self.batch, n_jobs=self.n_jobs, cache=self.cache
+            )
+        return self._executor
+
     @property
     def n_val(self) -> int:
         return self.val_X.shape[0]
@@ -114,8 +151,26 @@ class CleaningSession:
         return [row for row in self.dataset.uncertain_rows() if row not in self.fixed]
 
     def val_certain_labels(self) -> list[int | None]:
-        """The CP'ed label (or None) of every validation point, given cleaning so far."""
-        return self.executor.certain_labels(self.fixed)
+        """The CP'ed label (or None) of every validation point, given cleaning so far.
+
+        Routed through the planner onto the session's check backend; the
+        session's prepared batch and result cache are handed along so no
+        backend re-prepares state the session already holds.
+        """
+        query = make_query(
+            self.dataset,
+            self.val_X,
+            kind="certain_label",
+            k=self.k,
+            kernel=self.kernel,
+            pins=self.fixed,
+        )
+        options = ExecutionOptions(
+            n_jobs=self.n_jobs,
+            cache=self.cache if self.cache is not None else False,
+            prepared=self.batch,
+        )
+        return execute_query(query, backend=self._check_backend, options=options).values
 
     def cp_fraction(self) -> float:
         """Fraction of validation points currently CP'ed.

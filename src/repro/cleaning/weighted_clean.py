@@ -12,6 +12,13 @@ the same greedy machinery applies with the prior swapped in:
   prediction distribution (:mod:`repro.core.weighted`), i.e. the classifier
   evaluated over a block tuple-independent probabilistic database.
 
+The weighted evaluations route through the unified planner
+(:mod:`repro.core.planner`) with the session's prepared batch handed
+along, so scoring a candidate row against the whole validation set shares
+one vectorised distance pass and can fan out over the session's worker
+pool — the weighted flavor inherits the same batch execution the binary
+path got in PR 1.
+
 With the uniform prior this strategy selects exactly the same rows as
 :class:`~repro.cleaning.cp_clean.CPCleanStrategy` (tested), so it is a
 strict generalisation — at a constant-factor cost for exact rational
@@ -30,7 +37,8 @@ from repro.cleaning.report import CleaningReport
 from repro.cleaning.sequential import CleaningSession, CleaningStrategy
 from repro.core.dataset import IncompleteDataset
 from repro.core.kernels import Kernel
-from repro.core.weighted import uniform_candidate_weights, weighted_prediction_probabilities
+from repro.core.planner import ExecutionOptions, execute_query, make_query
+from repro.core.weighted import condition_weights, uniform_candidate_weights
 
 __all__ = ["WeightedCPCleanStrategy", "run_weighted_cp_clean", "distance_to_default_weights"]
 
@@ -78,12 +86,19 @@ class WeightedCPCleanStrategy(CleaningStrategy):
         ``weights[i][j]`` is the prior probability that candidate ``j`` of
         row ``i`` is the true value; ``None`` means uniform (recovering the
         paper's Equation 4 and the plain CPClean selection).
+    backend:
+        Planner backend for the weighted evaluations (``"auto"`` lets the
+        planner pick — the batch backend for a multi-point validation
+        set). Wall-clock only; the exact rational results are identical.
     """
 
     name = "cpclean-weighted"
 
-    def __init__(self, weights: list[list[Fraction]] | None = None) -> None:
+    def __init__(
+        self, weights: list[list[Fraction]] | None = None, backend: str = "auto"
+    ) -> None:
         self._weights = weights
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def _session_weights(self, session: CleaningSession) -> list[list[Fraction]]:
@@ -96,20 +111,30 @@ class WeightedCPCleanStrategy(CleaningStrategy):
             )
         return self._weights
 
-    def _conditioned(
-        self, weights: list[list[Fraction]], fixed: dict[int, int]
+    def _val_probabilities(
+        self, session: CleaningSession, conditioned: list[list[Fraction]]
     ) -> list[list[Fraction]]:
-        """The prior conditioned on every human answer so far (pins become point masses)."""
-        out = [list(row_weights) for row_weights in weights]
-        for row, cand in fixed.items():
-            out[row] = [Fraction(0)] * len(out[row])
-            out[row][cand] = Fraction(1)
-        return out
+        """Weighted prediction distributions of every validation point."""
+        query = make_query(
+            session.dataset,
+            session.val_X,
+            kind="counts",
+            flavor="weighted",
+            k=session.k,
+            kernel=session.kernel,
+            weights=conditioned,
+        )
+        options = ExecutionOptions(
+            n_jobs=session.n_jobs,
+            cache=session.cache if session.cache is not None else False,
+            prepared=session.batch,
+        )
+        return execute_query(query, backend=self.backend, options=options).values
 
     def select(self, session: CleaningSession, remaining: list[int]) -> tuple[int, float | None]:
         if not remaining:
             raise ValueError("no dirty rows remain to select from")
-        weights = self._conditioned(self._session_weights(session), session.fixed)
+        weights = condition_weights(self._session_weights(session), session.fixed)
         best_row, best_entropy = remaining[0], float("inf")
         for row in remaining:
             row_weights = weights[row]
@@ -117,14 +142,8 @@ class WeightedCPCleanStrategy(CleaningStrategy):
             for cand, prior in enumerate(row_weights):
                 if prior == 0:
                     continue
-                conditioned = [list(w) for w in weights]
-                conditioned[row] = [Fraction(0)] * len(row_weights)
-                conditioned[row][cand] = Fraction(1)
-                for t in session.val_X:
-                    probabilities = weighted_prediction_probabilities(
-                        session.dataset, t, k=session.k,
-                        weights=conditioned, kernel=session.kernel,
-                    )
+                conditioned = condition_weights(weights, {row: cand})
+                for probabilities in self._val_probabilities(session, conditioned):
                     expected += float(prior) * _entropy(probabilities)
             expected /= max(session.n_val, 1)
             if expected < best_entropy - 1e-15:
@@ -142,9 +161,23 @@ def run_weighted_cp_clean(
     kernel: Kernel | str | None = None,
     max_cleaned: int | None = None,
     on_step=None,
+    n_jobs: int | None = 1,
+    use_cache: bool = True,
+    backend: str = "auto",
 ) -> CleaningReport:
-    """Run CPClean with a non-uniform candidate prior."""
-    session = CleaningSession(dataset, val_X, k=k, kernel=kernel)
+    """Run CPClean with a non-uniform candidate prior.
+
+    ``n_jobs``/``use_cache``/``backend`` configure the planner-routed
+    query execution (wall-clock only; the report is identical).
+    """
+    session = CleaningSession(
+        dataset, val_X, k=k, kernel=kernel, n_jobs=n_jobs, use_cache=use_cache,
+        backend=backend,
+    )
+    # The incremental backend maintains integer counts only; weighted
+    # evaluations fall back to the planner's choice in that case.
+    strategy_backend = backend if backend in ("sequential", "batch") else "auto"
     return session.run(
-        WeightedCPCleanStrategy(weights), oracle, max_cleaned=max_cleaned, on_step=on_step
+        WeightedCPCleanStrategy(weights, backend=strategy_backend), oracle,
+        max_cleaned=max_cleaned, on_step=on_step,
     )

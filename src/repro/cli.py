@@ -11,9 +11,11 @@ Three commands cover the library's headline workflows:
 The CLI is a thin layer over the library; every command accepts ``--seed``
 and size flags so runs are reproducible and laptop-sized by default. The
 query-heavy commands (``screen``, ``clean``, ``csv-screen``) also accept
-``--n-jobs`` (fan per-point CP scans out over worker processes) and
-``--no-cache`` (disable the batch engine's LRU result cache); both knobs
-only change wall-clock time, never the printed results.
+``--backend {auto,sequential,batch,incremental}`` (force a query-planner
+backend; ``auto`` lets the cost model choose), ``--n-jobs`` (fan per-point
+CP scans out over worker processes) and ``--no-cache`` (disable the LRU
+result cache); all three knobs only change wall-clock time, never the
+printed results.
 """
 
 from __future__ import annotations
@@ -112,6 +114,15 @@ def _n_jobs_flag(value: str) -> int:
 
 def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
+        "--backend",
+        choices=("auto", "sequential", "batch", "incremental"),
+        default="auto",
+        help=(
+            "query-planner backend for CP queries (default auto: the cost "
+            "model picks; results are identical for every choice)"
+        ),
+    )
+    parser.add_argument(
         "--n-jobs",
         type=_n_jobs_flag,
         default=1,
@@ -164,6 +175,7 @@ def _command_screen(args: argparse.Namespace) -> int:
         k=task.k,
         n_jobs=args.n_jobs,
         cache=not args.no_cache,
+        backend=args.backend,
     )
     certain, total = result.n_certain, result.n_points
     print(f"recipe={task.name} dirty_rows={len(task.dirty_rows)}/{task.incomplete.n_rows}")
@@ -199,12 +211,12 @@ def _command_clean(args: argparse.Namespace) -> int:
         report = run_batch_clean(
             task.incomplete, task.val_X, oracle, batch_size=args.batch,
             k=task.k, max_cleaned=args.budget,
-            n_jobs=args.n_jobs, use_cache=not args.no_cache,
+            n_jobs=args.n_jobs, use_cache=not args.no_cache, backend=args.backend,
         )
     else:
         report = run_cp_clean(
             task.incomplete, task.val_X, oracle, k=task.k, max_cleaned=args.budget,
-            n_jobs=args.n_jobs, use_cache=not args.no_cache,
+            n_jobs=args.n_jobs, use_cache=not args.no_cache, backend=args.backend,
         )
 
     def world_accuracy(fixed):
@@ -251,7 +263,7 @@ def _command_csv_screen(args: argparse.Namespace) -> int:
 
     result = screen_dataset(
         incomplete, workload.val_X, k=args.k,
-        n_jobs=args.n_jobs, cache=not args.no_cache,
+        n_jobs=args.n_jobs, cache=not args.no_cache, backend=args.backend,
     )
     certain, total = result.n_certain, result.n_points
     print(f"validation points certainly predicted: {certain}/{total} ({result.cp_fraction:.0%})")
@@ -261,7 +273,7 @@ def _command_csv_screen(args: argparse.Namespace) -> int:
 
     session = CleaningSession(
         incomplete, workload.val_X, k=args.k,
-        n_jobs=args.n_jobs, use_cache=not args.no_cache,
+        n_jobs=args.n_jobs, use_cache=not args.no_cache, backend=args.backend,
     )
     gains = information_gains(session)
     ranked = sorted(gains.items(), key=lambda item: (-item[1], item[0]))

@@ -1,9 +1,13 @@
 """Core CP machinery: data model, KNN substrate, and the query algorithms.
 
 The public entry points are :func:`repro.core.queries.q1`,
-:func:`repro.core.queries.q2` / :func:`~repro.core.queries.q2_counts` and
-:func:`repro.core.queries.certain_label`; everything else is the machinery
-behind them (see DESIGN.md for the inventory).
+:func:`repro.core.queries.q2` / :func:`~repro.core.queries.q2_counts`,
+:func:`repro.core.queries.certain_label`, and — for anything beyond a
+single point — the unified planner (:func:`repro.core.planner.make_query`,
+:func:`~repro.core.planner.plan_query`,
+:func:`~repro.core.planner.execute_query` and the backend registry);
+everything else is the machinery behind them (see DESIGN.md for the
+inventory).
 """
 
 from repro.core.batch_engine import (
@@ -12,6 +16,26 @@ from repro.core.batch_engine import (
     QueryResultCache,
     batch_certain_labels,
     batch_q2_counts,
+    kernel_cache_key,
+)
+from repro.core.planner import (
+    Backend,
+    BackendCapabilities,
+    BatchParallelBackend,
+    CPQuery,
+    ExecutionOptions,
+    IncrementalBackend,
+    PlanError,
+    QueryPlan,
+    QueryResult,
+    SequentialBackend,
+    backend_names,
+    capable_backends,
+    execute_query,
+    get_backend,
+    make_query,
+    plan_query,
+    register_backend,
 )
 from repro.core.bruteforce import brute_force_check, brute_force_counts
 from repro.core.dataset import IncompleteDataset
@@ -60,6 +84,7 @@ from repro.core.topk_prob import (
     topk_inclusion_probabilities,
 )
 from repro.core.weighted import (
+    condition_weights,
     uniform_candidate_weights,
     weighted_prediction_probabilities,
 )
@@ -80,6 +105,24 @@ __all__ = [
     "q2",
     "q2_counts",
     "certain_label",
+    "CPQuery",
+    "QueryPlan",
+    "QueryResult",
+    "ExecutionOptions",
+    "PlanError",
+    "Backend",
+    "BackendCapabilities",
+    "SequentialBackend",
+    "BatchParallelBackend",
+    "IncrementalBackend",
+    "make_query",
+    "plan_query",
+    "execute_query",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+    "capable_backends",
+    "kernel_cache_key",
     "PreparedQuery",
     "PreparedBatch",
     "BatchQueryExecutor",
@@ -107,6 +150,7 @@ __all__ = [
     "sample_size_for",
     "weighted_prediction_probabilities",
     "uniform_candidate_weights",
+    "condition_weights",
     "IncrementalCPState",
     "LabelUncertainDataset",
     "label_uncertain_counts",

@@ -34,6 +34,13 @@ step. This module is the batch execution layer above the per-query kernel:
 All outputs are verified bit-identical to the sequential per-point path
 (``tests/core/test_batch_engine.py``); ``benchmarks/bench_batch_engine.py``
 measures the speedup on Table 2-style workloads.
+
+Since the planner refactor this module is the substrate of the ``batch``
+backend (:class:`repro.core.planner.BatchParallelBackend`), which extends
+the same shared-preparation + fan-out + caching treatment to the weighted,
+top-k and label-uncertain task flavors; new code should reach it through
+:func:`repro.core.planner.execute_query` rather than constructing
+executors directly.
 """
 
 from __future__ import annotations
@@ -70,6 +77,7 @@ __all__ = [
     "batch_certain_labels",
     "fanout_map",
     "resolve_n_jobs",
+    "kernel_cache_key",
 ]
 
 
@@ -506,7 +514,7 @@ class PreparedBatch:
 # ---------------------------------------------------------------------------
 
 
-def _kernel_cache_key(kernel: Kernel) -> str:
+def kernel_cache_key(kernel: Kernel) -> str:
     """A cache-key component identifying the kernel *by value*.
 
     The key always includes the kernel's concrete class (a subclass that
@@ -530,6 +538,10 @@ def _kernel_cache_key(kernel: Kernel) -> str:
     if cls.__repr__ is object.__repr__:
         return f"{identity}#{uuid.uuid4().hex}"
     return f"{identity}:{kernel!r}"
+
+
+#: Backwards-compatible alias (the helper predates the planner making it public).
+_kernel_cache_key = kernel_cache_key
 
 
 class BatchQueryExecutor:
@@ -579,7 +591,7 @@ class BatchQueryExecutor:
             self.cache = cache
         else:
             self.cache = None
-        self._kernel_key = _kernel_cache_key(self.kernel)
+        self._kernel_key = kernel_cache_key(self.kernel)
         self._point_keys = [
             hashlib.sha1(np.ascontiguousarray(t).tobytes()).hexdigest()
             for t in self.prepared.test_X

@@ -21,6 +21,13 @@ a dirty row is usually far from most validation points — so a cleaning step
 touches only a handful of full recounts. :class:`IncrementalCPState` keeps
 counters (``n_pruned`` / ``n_recomputed``) so the benchmark
 ``benchmarks/bench_ablation_incremental.py`` can report the hit rate.
+
+Since the planner refactor this state is a first-class backend: the
+``incremental`` entry of the :mod:`repro.core.planner` registry keeps one
+instance per query family alive across calls, which is how a
+:class:`~repro.cleaning.sequential.CleaningSession` pays one delta update
+per cleaning step instead of a full re-preparation
+(``benchmarks/bench_planner.py`` measures the resulting steps/sec).
 """
 
 from __future__ import annotations
@@ -99,6 +106,10 @@ class IncrementalCPState:
     def counts(self, point: int) -> list[int]:
         """Current Q2 counts of test point ``point`` under all pins so far."""
         return list(self._counts[point])
+
+    def counts_all(self) -> list[list[int]]:
+        """Current Q2 counts of every maintained point (copies, point order)."""
+        return [list(c) for c in self._counts]
 
     def certain_label(self, point: int) -> int | None:
         """The CP'ed label of point ``point``, or ``None``."""

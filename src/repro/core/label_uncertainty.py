@@ -29,6 +29,7 @@ Three query engines are provided, mirroring the feature-only trio:
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import math
 from collections.abc import Sequence
@@ -38,7 +39,7 @@ import numpy as np
 from repro.core.dataset import IncompleteDataset
 from repro.core.kernels import Kernel, resolve_kernel
 from repro.core.knn import majority_label, top_k_rows
-from repro.core.scan import compute_scan_order
+from repro.core.scan import ScanOrder, compute_scan_order
 from repro.core.tally import predicted_label
 from repro.utils.validation import check_positive_int, check_vector
 
@@ -120,6 +121,36 @@ class LabelUncertainDataset:
         """True iff every label set is a singleton (the paper's model)."""
         return all(len(ls) == 1 for ls in self._label_sets)
 
+    def restrict_row(self, row: int, candidate_index: int) -> "LabelUncertainDataset":
+        """A new dataset with ``row`` pinned to one *feature* candidate.
+
+        The row's label set is unchanged — pinning a feature repair does
+        not resolve label uncertainty. Mirrors
+        :meth:`IncompleteDataset.restrict_row`; this is how the planner
+        applies pins to label-uncertain queries.
+        """
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"row {row} out of range for {self.n_rows} rows")
+        candidates = self.candidates(row)
+        if not 0 <= candidate_index < candidates.shape[0]:
+            raise IndexError(
+                f"candidate {candidate_index} out of range for row {row} "
+                f"with {candidates.shape[0]} candidates"
+            )
+        sets = [
+            candidates[candidate_index : candidate_index + 1]
+            if i == row
+            else self.candidates(i)
+            for i in range(self.n_rows)
+        ]
+        return LabelUncertainDataset(sets, list(self._label_sets))
+
+    def fingerprint(self) -> str:
+        """Content hash over candidates *and* label sets (a sound cache key)."""
+        digest = hashlib.sha256(self._features.fingerprint().encode("ascii"))
+        digest.update(repr(self._label_sets).encode("ascii"))
+        return digest.hexdigest()
+
     def n_worlds(self) -> int:
         """``prod_i m_i * |L_i|`` (big int)."""
         return self._features.n_worlds() * math.prod(len(ls) for ls in self._label_sets)
@@ -195,20 +226,24 @@ def label_uncertain_counts(
     t: np.ndarray,
     k: int = 1,
     kernel: Kernel | str | None = None,
+    scan: ScanOrder | None = None,
 ) -> list[int]:
     """Exact Q2 counts over all (feature, label) worlds in polynomial time.
 
     Complexity ``O(N^2 M |L| |Gamma| |Y|)`` with ``|Gamma| = C(|Y|+K-1, K)``
     tally vectors — the label-uncertain analogue of the paper's naive
     Algorithm 1 (the incremental-polynomial speed-up applies here too but is
-    not needed at the extension's scale).
+    not needed at the extension's scale). ``scan`` optionally hands over a
+    precomputed order for ``dataset.feature_dataset`` (the planner's batch
+    backend shares one vectorised similarity pass this way).
     """
     k = check_positive_int(k, "k")
     n = dataset.n_rows
     if k > n:
         raise ValueError(f"k={k} exceeds the number of training rows {n}")
     t = check_vector(t, "t", length=dataset.n_features)
-    scan = compute_scan_order(dataset.feature_dataset, t, kernel)
+    if scan is None:
+        scan = compute_scan_order(dataset.feature_dataset, t, kernel)
     n_labels = dataset.n_labels
     label_sets = dataset.label_sets
 

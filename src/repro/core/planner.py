@@ -1,0 +1,1038 @@
+"""The unified CP query planner: one front door, pluggable backends.
+
+The repo grew four disconnected dispatch paths for what is really one
+family of counting queries over possible worlds: the string-dispatch of
+:mod:`repro.core.queries`, the parallel batch engine of
+:mod:`repro.core.batch_engine`, the exact incremental maintenance of
+:mod:`repro.core.incremental`, and standalone entry points for the
+weighted / top-k / label-uncertain task variants. This module replaces the
+ad-hoc wiring with a planner-plus-backend architecture, the same move
+provenance systems make when they route every probability computation
+through one engine layer:
+
+* :class:`CPQuery` (built via :func:`make_query`) is the *descriptor* of a
+  query family: the dataset, a test matrix, the query kind
+  (``counts`` / ``certain_label`` / ``check``), the task **flavor**
+  (``binary``, ``multiclass``, ``weighted``, ``topk``,
+  ``label_uncertainty``), ``k``, the kernel, the pins applied so far, an
+  optional per-point algorithm override and optional candidate weights.
+* :class:`Backend` is the executor protocol. Each backend declares
+  :class:`BackendCapabilities` (which flavors and kinds it can serve,
+  whether it is batchable / incremental / exact) and estimates its cost
+  for a concrete query; a process-wide registry
+  (:func:`register_backend` / :func:`get_backend` /
+  :func:`backend_names`) makes backends pluggable.
+* :func:`plan_query` is the cost-model-lite planner: an explicit backend
+  request is validated against capabilities, ``"auto"`` scores every
+  capable backend and picks the cheapest (single points stay on the
+  sequential path, batches go parallel, warm incremental state wins for
+  repeated pinned queries). :func:`execute_query` executes the plan and
+  returns a :class:`QueryResult`.
+
+Three backends ship by default:
+
+``sequential``
+    The reference path: one :class:`~repro.core.prepared.PreparedQuery`
+    scan per test point (or the flavor's per-point kernel). Supports every
+    flavor and every published algorithm override — the semantics anchor
+    the others are tested against.
+``batch``
+    Wraps the PR-1 batch layer (:class:`~repro.core.batch_engine.PreparedBatch`
+    + :class:`~repro.core.batch_engine.BatchQueryExecutor` +
+    :class:`~repro.core.batch_engine.QueryResultCache`): one vectorised
+    distance pass for the whole test matrix, a tuned counting kernel, a
+    ``fork`` worker-pool fan-out, and fingerprint-keyed result caching —
+    now for **all five flavors**, not just binary counting.
+``incremental``
+    Promotes :class:`~repro.core.incremental.IncrementalCPState` to a
+    first-class backend: per query family it keeps the maintained Q2
+    counts alive across calls, so a cleaning session that re-queries the
+    same validation points with a growing pin set pays one exact pruning
+    update per step instead of a full re-preparation.
+
+All backends return bit-identical values for any query they both support
+(``tests/core/test_planner.py`` holds the full equivalence matrix);
+``benchmarks/bench_planner.py`` measures the speedups.
+
+Pin semantics are uniform across flavors: a pin ``(row, candidate)``
+restricts that row to one candidate. Counting flavors apply pins natively
+inside the scan (the original candidate indices keep the paper's
+tie-break); the weighted flavor conditions the prior
+(:func:`repro.core.weighted.condition_weights`); the ``topk`` and
+``label_uncertainty`` flavors restrict the dataset itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any
+
+import numpy as np
+
+from repro.core.batch_engine import (
+    BatchQueryExecutor,
+    PreparedBatch,
+    QueryResultCache,
+    fanout_map,
+    get_fanout_state,
+    kernel_cache_key,
+    resolve_n_jobs,
+)
+from repro.core.bruteforce import brute_force_counts
+from repro.core.dataset import IncompleteDataset
+from repro.core.engine import sortscan_counts
+from repro.core.entropy import certain_label_from_counts
+from repro.core.incremental import IncrementalCPState
+from repro.core.kernels import Kernel, resolve_kernel
+from repro.core.label_uncertainty import LabelUncertainDataset, label_uncertain_counts
+from repro.core.multiclass import sortscan_counts_multiclass
+from repro.core.prepared import PreparedQuery
+from repro.core.sortscan import sortscan_counts_naive
+from repro.core.sortscan_tree import sortscan_counts_tree
+from repro.core.topk_prob import topk_inclusion_counts
+from repro.core.weighted import (
+    condition_weights,
+    uniform_candidate_weights,
+    weighted_prediction_probabilities,
+)
+from repro.utils.validation import check_in_options, check_positive_int
+
+__all__ = [
+    "FLAVORS",
+    "KINDS",
+    "Q2_ALGORITHMS",
+    "CPQuery",
+    "make_query",
+    "ExecutionOptions",
+    "QueryPlan",
+    "QueryResult",
+    "PlanError",
+    "BackendCapabilities",
+    "Backend",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+    "capable_backends",
+    "plan_query",
+    "execute_query",
+    "SequentialBackend",
+    "BatchParallelBackend",
+    "IncrementalBackend",
+]
+
+#: The five task flavors the planner serves.
+FLAVORS = ("binary", "multiclass", "weighted", "topk", "label_uncertainty")
+
+#: Query kinds: exact per-label counts (Q2), the CP'ed label or ``None``,
+#: and the boolean check "is this label certainly predicted?" (Q1).
+KINDS = ("counts", "certain_label", "check")
+
+#: The per-point Q2 engines, by algorithm name. ``"auto"`` / ``"engine"``
+#: is the division-based SortScan; the others are the published
+#: alternatives kept for cross-validation and teaching. (This registry
+#: used to live in :mod:`repro.core.queries`, which now imports it.)
+Q2_ALGORITHMS = {
+    "engine": sortscan_counts,
+    "tree": sortscan_counts_tree,
+    "multiclass": sortscan_counts_multiclass,
+    "naive": sortscan_counts_naive,
+    "bruteforce": brute_force_counts,
+}
+
+
+# ---------------------------------------------------------------------------
+# The query descriptor
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class CPQuery:
+    """A fully-resolved CP query family: what to compute, not how.
+
+    Built by :func:`make_query` (which validates and infers the fields);
+    consumed by the planner and the backends. One descriptor covers a
+    whole test matrix — per-point results come back in row order.
+    """
+
+    dataset: Any  # IncompleteDataset or LabelUncertainDataset
+    test_X: np.ndarray
+    kind: str
+    flavor: str
+    k: int
+    kernel: Kernel
+    pins: tuple[tuple[int, int], ...] = ()
+    label: int | None = None
+    algorithm: str = "auto"
+    weights: tuple[tuple[Fraction, ...], ...] | None = None
+
+    @property
+    def n_points(self) -> int:
+        """Number of test points the query covers."""
+        return int(self.test_X.shape[0])
+
+    @property
+    def n_labels(self) -> int:
+        """Size of the label space ``|Y|``."""
+        return int(self.dataset.n_labels)
+
+    def pins_dict(self) -> dict[int, int]:
+        """The pins as a ``row -> candidate`` mapping."""
+        return dict(self.pins)
+
+    def workload_size(self) -> int:
+        """``n_points * total candidates`` — the planner's cost unit."""
+        return self.n_points * int(np.sum(self.dataset.candidate_counts()))
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the underlying dataset (cache-key part)."""
+        return self.dataset.fingerprint()
+
+    def __repr__(self) -> str:
+        return (
+            f"CPQuery(kind={self.kind!r}, flavor={self.flavor!r}, "
+            f"n_points={self.n_points}, k={self.k}, n_pins={len(self.pins)})"
+        )
+
+
+def _normalise_test_X(dataset: Any, test_X: Any) -> np.ndarray:
+    points = np.asarray(test_X, dtype=np.float64)
+    if points.ndim == 1:
+        points = points.reshape(1, -1)
+    if points.size == 0:
+        points = points.reshape(0, dataset.n_features)
+    if points.ndim != 2 or points.shape[1] != dataset.n_features:
+        raise ValueError(
+            f"test_X must have shape (n_points, {dataset.n_features}), "
+            f"got {points.shape}"
+        )
+    return points
+
+
+def _normalise_pins(dataset: Any, pins: Any) -> tuple[tuple[int, int], ...]:
+    if not pins:
+        return ()
+    items = sorted(dict(pins).items()) if isinstance(pins, Mapping) else sorted(
+        dict((int(r), int(c)) for r, c in pins).items()
+    )
+    counts = dataset.candidate_counts()
+    out = []
+    for row, cand in items:
+        row, cand = int(row), int(cand)
+        if not 0 <= row < dataset.n_rows:
+            raise IndexError(f"pinned row {row} out of range for {dataset.n_rows} rows")
+        if not 0 <= cand < int(counts[row]):
+            raise IndexError(
+                f"pinned candidate {cand} out of range for row {row} "
+                f"with {int(counts[row])} candidates"
+            )
+        out.append((row, cand))
+    return tuple(out)
+
+
+def make_query(
+    dataset: IncompleteDataset | LabelUncertainDataset,
+    test_X: np.ndarray,
+    kind: str = "counts",
+    flavor: str = "auto",
+    k: int = 3,
+    kernel: Kernel | str | None = None,
+    pins: Mapping[int, int] | Sequence[tuple[int, int]] | None = None,
+    label: int | None = None,
+    algorithm: str = "auto",
+    weights: Sequence[Sequence[Fraction]] | None = None,
+) -> CPQuery:
+    """Build and validate a :class:`CPQuery`.
+
+    ``flavor="auto"`` infers the task: a
+    :class:`~repro.core.label_uncertainty.LabelUncertainDataset` means
+    ``label_uncertainty``, explicit ``weights`` mean ``weighted``, and a
+    plain dataset is ``binary`` or ``multiclass`` by its label-space size.
+    ``kind="check"`` requires ``label``; the ``topk`` flavor only supports
+    ``kind="counts"`` (the per-row inclusion counts).
+    """
+    kind = check_in_options(kind, "kind", KINDS)
+    flavor = check_in_options(flavor, "flavor", ("auto", *FLAVORS))
+    algorithm = check_in_options(algorithm, "algorithm", ("auto", *Q2_ALGORITHMS))
+    k = check_positive_int(k, "k")
+
+    if flavor == "auto":
+        if isinstance(dataset, LabelUncertainDataset):
+            flavor = "label_uncertainty"
+        elif weights is not None:
+            flavor = "weighted"
+        else:
+            flavor = "binary" if dataset.n_labels == 2 else "multiclass"
+
+    if flavor == "label_uncertainty":
+        if not isinstance(dataset, LabelUncertainDataset):
+            raise ValueError(
+                "flavor 'label_uncertainty' requires a LabelUncertainDataset"
+            )
+    elif isinstance(dataset, LabelUncertainDataset):
+        raise ValueError(
+            f"flavor {flavor!r} requires an IncompleteDataset; wrap-around via "
+            "LabelUncertainDataset.feature_dataset if labels are actually certain"
+        )
+    if flavor == "binary" and dataset.n_labels != 2:
+        raise ValueError(
+            f"flavor 'binary' requires 2 labels, dataset has {dataset.n_labels}"
+        )
+    if weights is not None and flavor != "weighted":
+        raise ValueError(f"candidate weights are only valid for flavor 'weighted', not {flavor!r}")
+    if flavor == "topk" and kind != "counts":
+        raise ValueError("flavor 'topk' only supports kind='counts' (inclusion counts)")
+
+    if k > dataset.n_rows:
+        raise ValueError(f"k={k} exceeds the number of training rows {dataset.n_rows}")
+
+    if kind == "check":
+        if label is None:
+            raise ValueError("kind='check' requires a target label")
+        if not 0 <= int(label) < dataset.n_labels:
+            raise ValueError(
+                f"label {label} outside the label space of size {dataset.n_labels}"
+            )
+        label = int(label)
+    else:
+        label = None
+
+    weights_tuple: tuple[tuple[Fraction, ...], ...] | None = None
+    if weights is not None:
+        weights_tuple = tuple(tuple(Fraction(w) for w in row) for row in weights)
+
+    return CPQuery(
+        dataset=dataset,
+        test_X=_normalise_test_X(dataset, test_X),
+        kind=kind,
+        flavor=flavor,
+        k=k,
+        kernel=resolve_kernel(kernel),
+        pins=_normalise_pins(dataset, pins),
+        label=label,
+        algorithm=algorithm,
+        weights=weights_tuple,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plans, options, results
+# ---------------------------------------------------------------------------
+
+
+class PlanError(ValueError):
+    """No backend can serve the query (or an explicit request is incapable)."""
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Execution knobs that change wall-clock, never results.
+
+    ``n_jobs`` fans per-point work out over forked worker processes where
+    the backend supports it; ``cache`` selects result caching (``True`` =
+    the backend's shared cache, an instance = that cache, ``False``/``None``
+    = off); ``prepared`` hands an existing
+    :class:`~repro.core.batch_engine.PreparedBatch` to the batch backend so
+    a session's vectorised distance state is shared instead of rebuilt.
+    """
+
+    n_jobs: int | None = 1
+    cache: QueryResultCache | bool | None = True
+    prepared: PreparedBatch | None = None
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The planner's decision: which backend runs the query, and why."""
+
+    backend: str
+    reason: str
+    cost: float
+    considered: tuple[tuple[str, float], ...] = ()
+
+
+@dataclass(frozen=True, eq=False)
+class QueryResult:
+    """Per-point values plus the plan that produced them.
+
+    ``values[i]`` belongs to ``test_X[i]``; its type depends on the query:
+    exact count vectors (``counts``), labels-or-``None``
+    (``certain_label``), booleans (``check``), exact
+    :class:`~fractions.Fraction` distributions (``weighted`` counts) or
+    per-row inclusion counts (``topk``).
+    """
+
+    query: CPQuery
+    plan: QueryPlan
+    values: list
+
+    @property
+    def n_points(self) -> int:
+        return len(self.values)
+
+
+# ---------------------------------------------------------------------------
+# The backend protocol and registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can serve, declared up front for the planner."""
+
+    flavors: frozenset[str]
+    kinds: frozenset[str] = frozenset(KINDS)
+    batchable: bool = False
+    incremental: bool = False
+    exact: bool = True
+    algorithms: frozenset[str] = frozenset({"auto"})
+
+
+class Backend(ABC):
+    """An executor for CP queries; subclasses register via :func:`register_backend`."""
+
+    name: str = "abstract"
+    capabilities: BackendCapabilities
+
+    def supports(self, query: CPQuery) -> bool:
+        """True iff the declared capabilities cover this query."""
+        caps = self.capabilities
+        return (
+            query.flavor in caps.flavors
+            and query.kind in caps.kinds
+            and (query.algorithm == "auto" or query.algorithm in caps.algorithms)
+        )
+
+    @abstractmethod
+    def estimate_cost(
+        self, query: CPQuery, options: ExecutionOptions
+    ) -> tuple[float, str]:
+        """``(cost, reason)`` in the planner's abstract cost unit."""
+
+    @abstractmethod
+    def execute(
+        self, query: CPQuery, options: ExecutionOptions | None = None
+    ) -> list:
+        """Run the query, returning one value per test point (row order)."""
+
+
+_REGISTRY: OrderedDict[str, Backend] = OrderedDict()
+
+
+def register_backend(backend: Backend, replace: bool = False) -> Backend:
+    """Add a backend to the process-wide registry (``replace`` to override)."""
+    if not replace and backend.name in _REGISTRY:
+        raise ValueError(f"backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    """The registered backend of that name (:class:`PlanError` if unknown)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise PlanError(
+            f"unknown backend {name!r}; registered: {backend_names()}"
+        ) from None
+
+
+def backend_names() -> list[str]:
+    """Registered backend names, in registration order."""
+    return list(_REGISTRY)
+
+
+def capable_backends(query: CPQuery) -> list[Backend]:
+    """Every registered backend whose capabilities cover ``query``."""
+    return [backend for backend in _REGISTRY.values() if backend.supports(query)]
+
+
+# ---------------------------------------------------------------------------
+# The planner
+# ---------------------------------------------------------------------------
+
+
+def plan_query(
+    query: CPQuery,
+    backend: str = "auto",
+    options: ExecutionOptions | None = None,
+) -> QueryPlan:
+    """Choose the backend for ``query``.
+
+    An explicit ``backend`` name is validated against the backend's
+    declared capabilities; ``"auto"`` scores every capable backend with
+    its own cost estimate and picks the cheapest (registration order
+    breaks ties). Raises :class:`PlanError` when nothing can serve the
+    query.
+    """
+    options = options or ExecutionOptions()
+    if backend != "auto":
+        chosen = get_backend(backend)
+        if not chosen.supports(query):
+            raise PlanError(
+                f"backend {backend!r} cannot serve {query!r} "
+                f"(capabilities: {chosen.capabilities})"
+            )
+        cost, _ = chosen.estimate_cost(query, options)
+        return QueryPlan(
+            backend=chosen.name,
+            reason="requested explicitly",
+            cost=cost,
+            considered=((chosen.name, cost),),
+        )
+
+    candidates = capable_backends(query)
+    if not candidates:
+        raise PlanError(f"no registered backend can serve {query!r}")
+    scored = [(*b.estimate_cost(query, options), b) for b in candidates]
+    best_cost, best_reason, best = min(scored, key=lambda item: item[0])
+    return QueryPlan(
+        backend=best.name,
+        reason=best_reason,
+        cost=best_cost,
+        considered=tuple((b.name, cost) for cost, _, b in scored),
+    )
+
+
+def execute_query(
+    query: CPQuery,
+    backend: str = "auto",
+    options: ExecutionOptions | None = None,
+) -> QueryResult:
+    """Plan and run ``query``; the one call every front door goes through."""
+    options = options or ExecutionOptions()
+    plan = plan_query(query, backend, options)
+    if query.n_points == 0:
+        return QueryResult(query=query, plan=plan, values=[])
+    values = get_backend(plan.backend).execute(query, options)
+    return QueryResult(query=query, plan=plan, values=values)
+
+
+# ---------------------------------------------------------------------------
+# Shared flavor plumbing
+# ---------------------------------------------------------------------------
+
+
+def _restricted_dataset(query: CPQuery) -> Any:
+    """The dataset with every pin applied by restriction (flavors without
+    native pin support: ``topk`` and ``label_uncertainty``)."""
+    dataset = query.dataset
+    for row, cand in query.pins:
+        dataset = dataset.restrict_row(row, cand)
+    return dataset
+
+
+def _conditioned_weights(query: CPQuery) -> list[list[Fraction]]:
+    """The weighted flavor's prior with pins conditioned in as point masses."""
+    base = (
+        [list(row) for row in query.weights]
+        if query.weights is not None
+        else uniform_candidate_weights(query.dataset)
+    )
+    return condition_weights(base, query.pins_dict())
+
+
+def _counts_to_kind(query: CPQuery, counts_per_point: list[list[int]]) -> list:
+    """Derive ``certain_label`` / ``check`` values from exact count vectors."""
+    if query.kind == "counts":
+        return counts_per_point
+    labels = [certain_label_from_counts(counts) for counts in counts_per_point]
+    if query.kind == "certain_label":
+        return labels
+    return [lbl == query.label for lbl in labels]
+
+
+def _weighted_to_kind(query: CPQuery, probs_per_point: list[list[Fraction]]) -> list:
+    if query.kind == "counts":
+        return probs_per_point
+    certain = [
+        next((y for y, p in enumerate(probs) if p == 1), None)
+        for probs in probs_per_point
+    ]
+    if query.kind == "certain_label":
+        return certain
+    return [lbl == query.label for lbl in certain]
+
+
+def _point_key(t: np.ndarray) -> str:
+    return hashlib.sha1(np.ascontiguousarray(t).tobytes()).hexdigest()
+
+
+def _weights_key(weights: list[list[Fraction]]) -> str:
+    """A digest identifying an exact prior by value.
+
+    ``Fraction`` reprs are canonical (always in lowest terms), so equal
+    priors hash equal. A digest rather than the weights tuple itself keeps
+    cache keys O(1) — a weighted cleaning session issues one differently
+    conditioned prior per (row, candidate) pair, and embedding the full
+    ``N x M`` matrix in every key would bloat the shared LRU.
+    """
+    digest = hashlib.sha256()
+    for row in weights:
+        digest.update(repr(row).encode("ascii"))
+        digest.update(b";")
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# SequentialBackend — the reference per-point path
+# ---------------------------------------------------------------------------
+
+
+class SequentialBackend(Backend):
+    """One prepared scan (or flavor kernel) per test point, in process.
+
+    Supports every flavor, every kind, and every published algorithm
+    override — the reference semantics the other backends are held to.
+    Counting pins go through :meth:`PreparedQuery.counts`, which keeps the
+    paper's tie-break on the original candidate indices; an explicit
+    non-default algorithm with pins falls back to dataset restriction
+    (those engines take no ``fixed`` argument).
+    """
+
+    name = "sequential"
+    capabilities = BackendCapabilities(
+        flavors=frozenset(FLAVORS),
+        kinds=frozenset(KINDS),
+        batchable=False,
+        incremental=False,
+        exact=True,
+        algorithms=frozenset({"auto", *Q2_ALGORITHMS}),
+    )
+
+    def estimate_cost(self, query, options):
+        return float(query.workload_size()), "one prepared scan per test point"
+
+    def execute(self, query, options=None):
+        flavor = query.flavor
+        if flavor in ("binary", "multiclass"):
+            return self._execute_counting(query)
+        if flavor == "weighted":
+            return self._execute_weighted(query)
+        if flavor == "topk":
+            return self._execute_topk(query)
+        return self._execute_label_uncertain(query)
+
+    # ------------------------------------------------------------------
+    def _execute_counting(self, query: CPQuery) -> list:
+        fixed = query.pins_dict()
+        if (
+            query.kind in ("certain_label", "check")
+            and query.dataset.n_labels == 2
+            and query.algorithm in ("auto", "engine")
+        ):
+            # The MM shortcut (Algorithm 2): no counting at all. Exact, and
+            # it matches the counts-based answer bit for bit (tested).
+            labels = [
+                PreparedQuery(
+                    query.dataset, t, k=query.k, kernel=query.kernel
+                ).certain_label_minmax(fixed)
+                for t in query.test_X
+            ]
+            if query.kind == "certain_label":
+                return labels
+            return [lbl == query.label for lbl in labels]
+
+        if query.algorithm in ("auto", "engine"):
+            counts = [
+                PreparedQuery(query.dataset, t, k=query.k, kernel=query.kernel).counts(
+                    fixed
+                )
+                for t in query.test_X
+            ]
+        else:
+            engine = Q2_ALGORITHMS[query.algorithm]
+            dataset = _restricted_dataset(query) if fixed else query.dataset
+            counts = [
+                engine(dataset, t, k=query.k, kernel=query.kernel)
+                for t in query.test_X
+            ]
+        return _counts_to_kind(query, counts)
+
+    def _execute_weighted(self, query: CPQuery) -> list:
+        weights = _conditioned_weights(query)
+        probs = [
+            weighted_prediction_probabilities(
+                query.dataset, t, k=query.k, weights=weights, kernel=query.kernel
+            )
+            for t in query.test_X
+        ]
+        return _weighted_to_kind(query, probs)
+
+    def _execute_topk(self, query: CPQuery) -> list:
+        dataset = _restricted_dataset(query)
+        return [
+            topk_inclusion_counts(dataset, t, k=query.k, kernel=query.kernel)
+            for t in query.test_X
+        ]
+
+    def _execute_label_uncertain(self, query: CPQuery) -> list:
+        dataset = _restricted_dataset(query)
+        counts = [
+            label_uncertain_counts(dataset, t, k=query.k, kernel=query.kernel)
+            for t in query.test_X
+        ]
+        return _counts_to_kind(query, counts)
+
+
+# ---------------------------------------------------------------------------
+# BatchParallelBackend — vectorised prep, fan-out, result caching
+# ---------------------------------------------------------------------------
+
+
+def _weighted_worker(index: int) -> tuple[int, list[Fraction]]:
+    """Pool worker: weighted probabilities of one point from shared state."""
+    prepared, dataset, k, weights, kernel = get_fanout_state()
+    probs = weighted_prediction_probabilities(
+        dataset,
+        prepared.test_X[index],
+        k=k,
+        weights=weights,
+        kernel=kernel,
+        scan=prepared.scan(index),
+    )
+    return index, probs
+
+
+def _topk_worker(index: int) -> tuple[int, list[int]]:
+    """Pool worker: top-K inclusion counts of one point from shared state."""
+    prepared, k = get_fanout_state()
+    counts = topk_inclusion_counts(
+        prepared.dataset,
+        prepared.test_X[index],
+        k=k,
+        kernel=prepared.kernel,
+        scan=prepared.scan(index),
+    )
+    return index, counts
+
+
+def _label_uncertain_worker(index: int) -> tuple[int, list[int]]:
+    """Pool worker: label-uncertain counts of one point from shared state."""
+    prepared, dataset, k = get_fanout_state()
+    counts = label_uncertain_counts(
+        dataset,
+        prepared.test_X[index],
+        k=k,
+        kernel=prepared.kernel,
+        scan=prepared.scan(index),
+    )
+    return index, counts
+
+
+class BatchParallelBackend(Backend):
+    """The batch execution layer behind one registry name.
+
+    Counting queries run through :class:`BatchQueryExecutor` exactly as in
+    PR 1; the weighted, top-k and label-uncertain flavors get the same
+    treatment — one shared :class:`PreparedBatch` per
+    ``(dataset, test matrix, k, kernel)`` family (kept in a small LRU, or
+    handed in via :attr:`ExecutionOptions.prepared`), per-point scans
+    derived from the shared similarity matrix, ``fork`` fan-out across
+    ``n_jobs`` workers, and a fingerprint-keyed result cache shared across
+    calls.
+    """
+
+    name = "batch"
+    capabilities = BackendCapabilities(
+        flavors=frozenset(FLAVORS),
+        kinds=frozenset(KINDS),
+        batchable=True,
+        incremental=False,
+        exact=True,
+        algorithms=frozenset({"auto", "engine"}),
+    )
+
+    def __init__(self, cache_size: int = 4096, prepared_cache_size: int = 4) -> None:
+        self.cache = QueryResultCache(maxsize=cache_size)
+        self._prepared: OrderedDict[tuple, PreparedBatch] = OrderedDict()
+        self._prepared_cache_size = check_positive_int(
+            prepared_cache_size, "prepared_cache_size"
+        )
+        self._lock = threading.Lock()
+
+    def estimate_cost(self, query, options):
+        jobs = min(resolve_n_jobs(options.n_jobs), max(query.n_points, 1))
+        per_point = query.workload_size() / max(query.n_points, 1)
+        cost = per_point * (0.6 + 0.5 * query.n_points / jobs)
+        return cost, "vectorised preparation + parallel per-point scans"
+
+    # ------------------------------------------------------------------
+    def _resolve_cache(self, options: ExecutionOptions) -> QueryResultCache | None:
+        if options.cache is True:
+            return self.cache
+        if isinstance(options.cache, QueryResultCache):
+            return options.cache
+        return None
+
+    def _prepared_for(
+        self,
+        dataset: IncompleteDataset,
+        test_X: np.ndarray,
+        k: int,
+        kernel: Kernel,
+        options: ExecutionOptions,
+    ) -> PreparedBatch:
+        handed = options.prepared
+        if (
+            handed is not None
+            and handed.k == k
+            and kernel_cache_key(handed.kernel) == kernel_cache_key(kernel)
+            and handed.fingerprint() == dataset.fingerprint()
+            and np.array_equal(handed.test_X, test_X)
+        ):
+            return handed
+        key = (
+            dataset.fingerprint(),
+            _point_key(test_X),
+            k,
+            kernel_cache_key(kernel),
+        )
+        with self._lock:
+            prepared = self._prepared.get(key)
+            if prepared is not None:
+                self._prepared.move_to_end(key)
+                return prepared
+        prepared = PreparedBatch(dataset, test_X, k=k, kernel=kernel)
+        with self._lock:
+            self._prepared[key] = prepared
+            self._prepared.move_to_end(key)
+            while len(self._prepared) > self._prepared_cache_size:
+                self._prepared.popitem(last=False)
+        return prepared
+
+    # ------------------------------------------------------------------
+    def execute(self, query, options=None):
+        options = options or ExecutionOptions()
+        flavor = query.flavor
+        if flavor in ("binary", "multiclass"):
+            return self._execute_counting(query, options)
+        if flavor == "weighted":
+            return self._execute_weighted(query, options)
+        if flavor == "topk":
+            return self._execute_topk(query, options)
+        return self._execute_label_uncertain(query, options)
+
+    def _execute_counting(self, query: CPQuery, options: ExecutionOptions) -> list:
+        prepared = self._prepared_for(
+            query.dataset, query.test_X, query.k, query.kernel, options
+        )
+        cache = self._resolve_cache(options)
+        executor = BatchQueryExecutor(
+            prepared=prepared,
+            n_jobs=options.n_jobs,
+            # An empty QueryResultCache is falsy (it has __len__), so the
+            # None check must be explicit or a fresh shared cache would be
+            # silently dropped.
+            cache=cache if cache is not None else False,
+        )
+        fixed = query.pins_dict()
+        if query.kind == "counts" or query.dataset.n_labels != 2:
+            return _counts_to_kind(query, executor.counts(fixed))
+        labels = executor.certain_labels(fixed)
+        if query.kind == "certain_label":
+            return labels
+        return [lbl == query.label for lbl in labels]
+
+    # ------------------------------------------------------------------
+    def _fanout_cached(
+        self,
+        query: CPQuery,
+        options: ExecutionOptions,
+        prepared: PreparedBatch,
+        tag: str,
+        extra_key: tuple,
+        worker,
+        state: tuple,
+    ) -> list:
+        """Cache-then-fan-out skeleton shared by the non-counting flavors."""
+        cache = self._resolve_cache(options)
+        n = prepared.n_points
+        results: list = [None] * n
+        missing: list[int] = []
+        keys: list[tuple | None] = [None] * n
+        for index in range(n):
+            if cache is not None:
+                keys[index] = (
+                    tag,
+                    prepared.fingerprint(),
+                    _point_key(prepared.test_X[index]),
+                    query.k,
+                    kernel_cache_key(query.kernel),
+                    extra_key,
+                )
+                hit = cache.get(keys[index], None)
+                if hit is not None:
+                    results[index] = list(hit)
+                    continue
+            missing.append(index)
+        if missing:
+            prepared.materialize_scans(missing)
+            pairs = fanout_map(worker, missing, n_jobs=options.n_jobs, state=state)
+            for index, value in pairs:
+                results[index] = value
+                if cache is not None:
+                    cache.put(keys[index], list(value))
+        return results
+
+    def _execute_weighted(self, query: CPQuery, options: ExecutionOptions) -> list:
+        weights = _conditioned_weights(query)
+        prepared = self._prepared_for(
+            query.dataset, query.test_X, query.k, query.kernel, options
+        )
+        probs = self._fanout_cached(
+            query,
+            options,
+            prepared,
+            tag="wt",
+            extra_key=_weights_key(weights),
+            worker=_weighted_worker,
+            state=(prepared, query.dataset, query.k, weights, query.kernel),
+        )
+        return _weighted_to_kind(query, probs)
+
+    def _execute_topk(self, query: CPQuery, options: ExecutionOptions) -> list:
+        dataset = _restricted_dataset(query)
+        prepared = self._prepared_for(
+            dataset, query.test_X, query.k, query.kernel, options
+        )
+        return self._fanout_cached(
+            query,
+            options,
+            prepared,
+            tag="topk",
+            extra_key=(),
+            worker=_topk_worker,
+            state=(prepared, query.k),
+        )
+
+    def _execute_label_uncertain(
+        self, query: CPQuery, options: ExecutionOptions
+    ) -> list:
+        dataset = _restricted_dataset(query)
+        prepared = self._prepared_for(
+            dataset.feature_dataset, query.test_X, query.k, query.kernel, options
+        )
+        counts = self._fanout_cached(
+            query,
+            options,
+            prepared,
+            tag="lu",
+            extra_key=(dataset.fingerprint(),),
+            worker=_label_uncertain_worker,
+            state=(prepared, dataset, query.k),
+        )
+        return _counts_to_kind(query, counts)
+
+
+# ---------------------------------------------------------------------------
+# IncrementalBackend — maintained counts across growing pin sets
+# ---------------------------------------------------------------------------
+
+
+class IncrementalBackend(Backend):
+    """Serves repeated pinned queries from maintained incremental state.
+
+    Per query family ``(dataset fingerprint, test matrix, k, kernel)`` the
+    backend keeps one :class:`IncrementalCPState` in a small LRU. A query
+    whose pins extend the state's pins pays only the delta — the exact
+    pruning rule divides most points' counts in O(1) and recounts the few
+    contested ones — instead of a full per-point re-preparation. Pins that
+    contradict or shrink the maintained set rebuild the state (correct for
+    any pin pattern; fast for the monotone pin growth of a cleaning
+    session, which is the workload this backend exists for).
+    """
+
+    name = "incremental"
+    capabilities = BackendCapabilities(
+        flavors=frozenset({"binary", "multiclass"}),
+        kinds=frozenset(KINDS),
+        batchable=True,
+        incremental=True,
+        exact=True,
+        algorithms=frozenset({"auto", "engine"}),
+    )
+
+    def __init__(self, max_states: int = 8) -> None:
+        self._states: OrderedDict[tuple, IncrementalCPState] = OrderedDict()
+        self.max_states = check_positive_int(max_states, "max_states")
+        # The backend-wide lock only guards the registry bookkeeping; the
+        # expensive per-family work (state builds, pin maintenance) runs
+        # under a per-family lock so concurrent sessions on different
+        # query families never serialise each other.
+        self._lock = threading.Lock()
+        self._family_locks: dict[tuple, threading.Lock] = {}
+        self.n_reuses = 0
+        self.n_rebuilds = 0
+
+    def _family_key(self, query: CPQuery) -> tuple:
+        return (
+            query.fingerprint(),
+            _point_key(query.test_X),
+            query.k,
+            kernel_cache_key(query.kernel),
+        )
+
+    def _warm_state(self, query: CPQuery) -> IncrementalCPState | None:
+        """The maintained state if it exists and its pins extend to the query's."""
+        with self._lock:
+            state = self._states.get(self._family_key(query))
+        if state is None:
+            return None
+        pins = query.pins_dict()
+        if all(pins.get(row) == cand for row, cand in state.fixed.items()):
+            return state
+        return None
+
+    def estimate_cost(self, query, options):
+        if self._warm_state(query) is not None:
+            return 0.1 * query.workload_size(), "maintained counts, delta pins only"
+        return 1.5 * query.workload_size(), "cold start: full preparation + counts"
+
+    def execute(self, query, options=None):
+        pins = query.pins_dict()
+        key = self._family_key(query)
+        with self._lock:
+            family_lock = self._family_locks.setdefault(key, threading.Lock())
+        with family_lock:
+            with self._lock:
+                state = self._states.get(key)
+            if state is not None and not all(
+                pins.get(row) == cand for row, cand in state.fixed.items()
+            ):
+                state = None  # pins shrank or contradict: rebuild
+            if state is None:
+                state = IncrementalCPState(
+                    query.dataset, query.test_X, k=query.k, kernel=query.kernel
+                )
+                with self._lock:
+                    self._states[key] = state
+                    self.n_rebuilds += 1
+            else:
+                with self._lock:
+                    self.n_reuses += 1
+            with self._lock:
+                self._states.move_to_end(key)
+                while len(self._states) > self.max_states:
+                    evicted, _ = self._states.popitem(last=False)
+                    self._family_locks.pop(evicted, None)
+            delta = sorted(
+                (row, cand) for row, cand in pins.items() if row not in state.fixed
+            )
+            state.pin_many(delta)
+            counts = state.counts_all()
+        return _counts_to_kind(query, counts)
+
+
+# ---------------------------------------------------------------------------
+# Default registry
+# ---------------------------------------------------------------------------
+
+register_backend(SequentialBackend())
+register_backend(BatchParallelBackend())
+register_backend(IncrementalBackend())

@@ -1,7 +1,13 @@
 """The public CP query API: Q1 (checking) and Q2 (counting).
 
-This module is the front door to the counting machinery. It dispatches to
-the implementation summarised in the paper's Figure 4:
+This module is the front door to the counting machinery. Since the planner
+refactor it is a thin shim over :mod:`repro.core.planner`: every call
+builds a :class:`~repro.core.planner.CPQuery` descriptor and routes it
+through :func:`~repro.core.planner.plan_query` /
+:func:`~repro.core.planner.execute_query`, so single-point queries inherit
+the same backend registry (sequential / batch / incremental) as batch and
+cleaning workloads. The per-point algorithms it can force are summarised
+in the paper's Figure 4:
 
 =============  =========================  ===============================
 query          algorithm                  complexity (per test example)
@@ -16,33 +22,26 @@ Q2             ``bruteforce``             ``O(M^N)`` oracle
 =============  =========================  ===============================
 
 All Q2 backends return identical exact counts; ``algorithm="auto"`` picks
-the fast engine for Q2 and MinMax for binary Q1.
+the fast engine for Q2 and MinMax for binary Q1. ``backend="auto"``
+(default) lets the planner choose the execution backend; pass
+``"sequential"``, ``"batch"`` or ``"incremental"`` to force one.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.bruteforce import brute_force_counts
 from repro.core.dataset import IncompleteDataset
-from repro.core.engine import sortscan_counts
 from repro.core.entropy import certain_label_from_counts
 from repro.core.kernels import Kernel
 from repro.core.minmax import minmax_check, predictable_labels
-from repro.core.multiclass import sortscan_counts_multiclass
-from repro.core.sortscan import sortscan_counts_naive
-from repro.core.sortscan_tree import sortscan_counts_tree
-from repro.utils.validation import check_in_options
+from repro.core.planner import Q2_ALGORITHMS, execute_query, get_backend, make_query
+from repro.utils.validation import check_in_options, check_vector
 
 __all__ = ["q2", "q2_counts", "q1", "certain_label"]
 
-_Q2_BACKENDS = {
-    "engine": sortscan_counts,
-    "tree": sortscan_counts_tree,
-    "multiclass": sortscan_counts_multiclass,
-    "naive": sortscan_counts_naive,
-    "bruteforce": brute_force_counts,
-}
+#: Backwards-compatible alias — the algorithm registry moved to the planner.
+_Q2_BACKENDS = Q2_ALGORITHMS
 
 
 def q2_counts(
@@ -51,14 +50,21 @@ def q2_counts(
     k: int = 3,
     kernel: Kernel | str | None = None,
     algorithm: str = "auto",
+    backend: str = "auto",
 ) -> list[int]:
     """All Q2 counts at once: ``result[y] = Q2(D, t, y)``.
 
     The entries are exact and sum to the number of possible worlds.
     """
-    algorithm = check_in_options(algorithm, "algorithm", ("auto", *_Q2_BACKENDS))
-    backend = _Q2_BACKENDS["engine" if algorithm == "auto" else algorithm]
-    return backend(dataset, t, k=k, kernel=kernel)
+    algorithm = check_in_options(algorithm, "algorithm", ("auto", *Q2_ALGORITHMS))
+    # This is the single-point front door: a matrix would silently answer
+    # only its first row, so reject it here (batch callers use the planner
+    # or batch_q2_counts).
+    t = check_vector(t, "t", length=dataset.n_features)
+    query = make_query(
+        dataset, t, kind="counts", k=k, kernel=kernel, algorithm=algorithm
+    )
+    return execute_query(query, backend=backend).values[0]
 
 
 def q2(
@@ -68,9 +74,10 @@ def q2(
     k: int = 3,
     kernel: Kernel | str | None = None,
     algorithm: str = "auto",
+    backend: str = "auto",
 ) -> int:
     """The counting query ``Q2(D, t, label)`` (Definition 5)."""
-    counts = q2_counts(dataset, t, k=k, kernel=kernel, algorithm=algorithm)
+    counts = q2_counts(dataset, t, k=k, kernel=kernel, algorithm=algorithm, backend=backend)
     if not 0 <= label < len(counts):
         raise ValueError(f"label {label} outside the label space of size {len(counts)}")
     return counts[label]
@@ -83,6 +90,7 @@ def q1(
     k: int = 3,
     kernel: Kernel | str | None = None,
     algorithm: str = "auto",
+    backend: str = "auto",
 ) -> bool:
     """The checking query ``Q1(D, t, label)`` (Definition 4).
 
@@ -90,11 +98,18 @@ def q1(
     ``"auto"`` uses MinMax when the dataset is binary and the counting
     engine otherwise.
     """
-    algorithm = check_in_options(algorithm, "algorithm", ("auto", "minmax", *_Q2_BACKENDS))
+    algorithm = check_in_options(algorithm, "algorithm", ("auto", "minmax", *Q2_ALGORITHMS))
+    if backend != "auto":
+        get_backend(backend)  # consistent validation even on the MM shortcut
     if algorithm == "minmax" or (algorithm == "auto" and dataset.n_labels == 2):
         return minmax_check(dataset, t, label, k=k, kernel=kernel)
     counts = q2_counts(
-        dataset, t, k=k, kernel=kernel, algorithm="auto" if algorithm == "auto" else algorithm
+        dataset,
+        t,
+        k=k,
+        kernel=kernel,
+        algorithm="auto" if algorithm == "auto" else algorithm,
+        backend=backend,
     )
     if not 0 <= label < len(counts):
         raise ValueError(f"label {label} outside the label space of size {len(counts)}")
@@ -107,16 +122,24 @@ def certain_label(
     k: int = 3,
     kernel: Kernel | str | None = None,
     algorithm: str = "auto",
+    backend: str = "auto",
 ) -> int | None:
     """The certainly-predicted label of ``t``, or ``None`` if not CP'ed.
 
     Convenience wrapper: a test point is CP'ed iff this returns a label.
     """
-    algorithm = check_in_options(algorithm, "algorithm", ("auto", "minmax", *_Q2_BACKENDS))
+    algorithm = check_in_options(algorithm, "algorithm", ("auto", "minmax", *Q2_ALGORITHMS))
+    if backend != "auto":
+        get_backend(backend)  # consistent validation even on the MM shortcut
     if algorithm == "minmax" or (algorithm == "auto" and dataset.n_labels == 2):
         winners = predictable_labels(dataset, t, k=k, kernel=kernel)
         return winners[0] if len(winners) == 1 else None
     counts = q2_counts(
-        dataset, t, k=k, kernel=kernel, algorithm="auto" if algorithm == "auto" else algorithm
+        dataset,
+        t,
+        k=k,
+        kernel=kernel,
+        algorithm="auto" if algorithm == "auto" else algorithm,
+        backend=backend,
     )
     return certain_label_from_counts(counts)

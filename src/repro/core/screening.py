@@ -8,11 +8,12 @@ counts, the CP'ed label (if any) and the prediction entropy, and summarises
 the certificate: the fraction of points whose prediction **no amount of
 data cleaning can change** (§2's "Connections to Data Cleaning").
 
-Screening is the library's canonical batch workload, so it executes through
-:class:`repro.core.batch_engine.BatchQueryExecutor`: distances for the whole
-test matrix are computed in one vectorised pass and the per-point counting
-scans can fan out over ``n_jobs`` worker processes — with results identical
-to querying each point on its own.
+Screening is the library's canonical batch workload, so it routes through
+the unified planner (:mod:`repro.core.planner`): ``backend="auto"`` picks
+the batch backend — distances for the whole test matrix in one vectorised
+pass, per-point counting scans fanned out over ``n_jobs`` worker processes
+— with results identical to querying each point on its own, and identical
+for every explicit ``backend`` choice.
 """
 
 from __future__ import annotations
@@ -21,10 +22,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.batch_engine import BatchQueryExecutor, QueryResultCache
+from repro.core.batch_engine import QueryResultCache
 from repro.core.dataset import IncompleteDataset
 from repro.core.entropy import certain_label_from_counts, prediction_entropy
 from repro.core.kernels import Kernel
+from repro.core.planner import ExecutionOptions, execute_query, make_query
 
 __all__ = ["ScreeningResult", "screen_dataset"]
 
@@ -106,20 +108,21 @@ def screen_dataset(
     kernel: Kernel | str | None = None,
     n_jobs: int | None = 1,
     cache: QueryResultCache | bool | None = None,
+    backend: str = "auto",
 ) -> ScreeningResult:
     """Run the counting query against every row of ``test_X``.
 
     Returns a :class:`ScreeningResult`; cost is one sort-scan per test
     point (`O(NM log NM)` each), independent of the exponential world
     count. ``n_jobs`` fans the scans out over worker processes; pass a
-    :class:`~repro.core.batch_engine.QueryResultCache` to serve repeated
-    screenings of the same data from cache. Neither changes the result.
+    :class:`~repro.core.batch_engine.QueryResultCache` (or ``True``) to
+    serve repeated screenings of the same data from cache; ``backend``
+    forces a planner backend. None of the three changes the result.
     """
-    executor = BatchQueryExecutor(
-        dataset, test_X, k=k, kernel=kernel, n_jobs=n_jobs, cache=cache
-    )
+    query = make_query(dataset, test_X, kind="counts", k=k, kernel=kernel)
+    options = ExecutionOptions(n_jobs=n_jobs, cache=False if cache is None else cache)
     result = ScreeningResult(k=k, n_worlds=dataset.n_worlds())
-    for counts in executor.counts():
+    for counts in execute_query(query, backend=backend, options=options).values:
         result.counts.append(counts)
         result.certain_labels.append(certain_label_from_counts(counts))
         result.entropies.append(prediction_entropy(counts))

@@ -31,7 +31,7 @@ from repro.core.dataset import IncompleteDataset
 from repro.core.engine import LabelPolynomials
 from repro.core.kernels import Kernel, resolve_kernel
 from repro.core.knn import top_k_rows
-from repro.core.scan import compute_scan_order
+from repro.core.scan import ScanOrder, compute_scan_order
 from repro.utils.validation import check_positive_int, check_vector
 
 __all__ = [
@@ -48,17 +48,22 @@ def topk_inclusion_counts(
     t: np.ndarray,
     k: int = 3,
     kernel: Kernel | str | None = None,
+    scan: ScanOrder | None = None,
 ) -> list[int]:
     """Per training row, the exact number of worlds with that row in the top-K.
 
     Entry ``i`` is ``|{D ∈ I_D : i ∈ Top(K, D, t)}|`` (big int). Every world
     contributes to exactly ``K`` rows, so ``sum(result) == K * n_worlds``.
+    ``scan`` lets a batch preparer hand over a precomputed order (it must
+    describe the same ``(dataset, t, kernel)``); this is how the planner's
+    batch backend shares one vectorised similarity pass across points.
     """
     k = check_positive_int(k, "k")
     n = dataset.n_rows
     if k > n:
         raise ValueError(f"k={k} exceeds the number of training rows {n}")
-    scan = compute_scan_order(dataset, t, kernel)
+    if scan is None:
+        scan = compute_scan_order(dataset, t, kernel)
 
     # One merged "label" class: the generating polynomial ignores labels.
     merged_labels = np.zeros(n, dtype=np.int64)

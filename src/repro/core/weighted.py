@@ -29,7 +29,11 @@ from repro.core.scan import ScanOrder, compute_scan_order
 from repro.core.tally import tallies_with_prediction
 from repro.utils.validation import check_positive_int
 
-__all__ = ["weighted_prediction_probabilities", "uniform_candidate_weights"]
+__all__ = [
+    "weighted_prediction_probabilities",
+    "uniform_candidate_weights",
+    "condition_weights",
+]
 
 
 def uniform_candidate_weights(dataset: IncompleteDataset) -> list[list[Fraction]]:
@@ -39,6 +43,28 @@ def uniform_candidate_weights(dataset: IncompleteDataset) -> list[list[Fraction]
         m = dataset.candidates(row).shape[0]
         weights.append([Fraction(1, m)] * m)
     return weights
+
+
+def condition_weights(
+    weights: list[list[Fraction]], pins: dict[int, int]
+) -> list[list[Fraction]]:
+    """The prior conditioned on pins: each pinned row becomes a point mass.
+
+    This is how the planner (and the weighted cleaning strategy) express a
+    human answer under a probabilistic prior: once row ``i`` is known to
+    take candidate ``j``, every world where it does not has probability 0.
+    The input is never mutated.
+    """
+    out = [list(row_weights) for row_weights in weights]
+    for row, cand in pins.items():
+        if not 0 <= cand < len(out[row]):
+            raise IndexError(
+                f"pinned candidate {cand} out of range for row {row} "
+                f"with {len(out[row])} weights"
+            )
+        out[row] = [Fraction(0)] * len(out[row])
+        out[row][cand] = Fraction(1)
+    return out
 
 
 def _validate_weights(

@@ -5,10 +5,11 @@ Truth and Default Cleaning (the bounds), then BoostClean, HoloClean and
 CPClean — the latter both run to full validation certainty and truncated at
 a 20% cleaning budget, matching the two CPClean columns in Table 2.
 
-The CPClean leg routes through the batch query executor
-(:mod:`repro.core.batch_engine`) via :func:`repro.cleaning.cp_clean.run_cp_clean`;
+The CPClean leg routes through the unified query planner
+(:mod:`repro.core.planner`) via :func:`repro.cleaning.cp_clean.run_cp_clean`;
 pass ``n_jobs`` to fan its per-row scoring scans out over worker processes
-(the reproduced numbers are identical for every ``n_jobs``).
+and ``backend`` to force a planner backend for the certainty checks (the
+reproduced numbers are identical for every choice of either knob).
 """
 
 from __future__ import annotations
@@ -69,6 +70,7 @@ def run_end_to_end(
     boost_rounds: int = 1,
     task: CleaningTask | None = None,
     n_jobs: int | None = 1,
+    backend: str = "auto",
 ) -> EndToEndResult:
     """Run the full Table-2 comparison for one dataset and seed."""
     if task is None:
@@ -86,7 +88,9 @@ def run_end_to_end(
     holo_acc = holo_clf.accuracy(task.test_X, task.test_y)
 
     oracle = GroundTruthOracle(task.gt_choice)
-    report = run_cp_clean(task.incomplete, task.val_X, oracle, k=task.k, n_jobs=n_jobs)
+    report = run_cp_clean(
+        task.incomplete, task.val_X, oracle, k=task.k, n_jobs=n_jobs, backend=backend
+    )
     cp_acc = _world_accuracy(task, report.final_fixed)
 
     n_dirty = max(len(task.dirty_rows), 1)
@@ -125,6 +129,7 @@ def average_end_to_end(
     n_test: int = 300,
     budget_fraction: float = 0.2,
     n_jobs: int | None = 1,
+    backend: str = "auto",
 ) -> EndToEndResult:
     """Average :func:`run_end_to_end` over seeds (reduces small-scale noise)."""
     results = [
@@ -136,6 +141,7 @@ def average_end_to_end(
             seed=seed,
             budget_fraction=budget_fraction,
             n_jobs=n_jobs,
+            backend=backend,
         )
         for seed in seeds
     ]

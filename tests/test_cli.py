@@ -34,6 +34,7 @@ class TestParser:
             args = build_parser().parse_args([command])
             assert args.n_jobs == 1
             assert args.no_cache is False
+            assert args.backend == "auto"
 
     def test_executor_flags_parse(self):
         args = build_parser().parse_args(["clean", "--n-jobs", "4", "--no-cache"])
@@ -43,6 +44,15 @@ class TestParser:
             ["csv-screen", "--input", "x.csv", "--label", "y", "--n-jobs", "-1"]
         )
         assert args.n_jobs == -1
+
+    def test_backend_flag_parses(self):
+        for backend in ("auto", "sequential", "batch", "incremental"):
+            args = build_parser().parse_args(["screen", "--backend", backend])
+            assert args.backend == backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["screen", "--backend", "gpu"])
 
 
 class TestCommands:
@@ -89,4 +99,22 @@ class TestCommands:
         assert main(["screen", *base_args]) == 0
         reference = capsys.readouterr().out
         assert main(["screen", *base_args, "--n-jobs", "2", "--no-cache"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_backend_choice_does_not_change_results(self, capsys):
+        base_args = ["--n-train", "40", "--n-val", "8", "--n-test", "20", "--seed", "1"]
+        assert main(["screen", *base_args]) == 0
+        reference = capsys.readouterr().out
+        for backend in ("sequential", "batch", "incremental"):
+            assert main(["screen", *base_args, "--backend", backend]) == 0
+            assert capsys.readouterr().out == reference, backend
+
+    def test_clean_backend_choice_does_not_change_results(self, capsys):
+        base_args = [
+            "--n-train", "40", "--n-val", "6", "--n-test", "20",
+            "--seed", "1", "--budget", "3",
+        ]
+        assert main(["clean", *base_args]) == 0
+        reference = capsys.readouterr().out
+        assert main(["clean", *base_args, "--backend", "incremental"]) == 0
         assert capsys.readouterr().out == reference
