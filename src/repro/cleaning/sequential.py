@@ -46,6 +46,7 @@ from repro.core.dataset import IncompleteDataset
 from repro.core.entropy import prediction_entropy
 from repro.core.kernels import Kernel, resolve_kernel
 from repro.core.planner import ExecutionOptions, execute_query, get_backend, make_query
+from repro.utils.validation import check_positive_int
 
 __all__ = ["CleaningStrategy", "CleaningSession"]
 
@@ -89,11 +90,17 @@ class CleaningSession:
         are identical either way.
     backend:
         Planner backend for the per-step certainty checks:
-        ``"sequential"``, ``"batch"``, ``"incremental"``, or ``"auto"``
-        (default) which picks ``"batch"`` for binary labels (the
-        vectorised MinMax check) and ``"incremental"`` otherwise (exact
-        Q2 counts maintained across cleaning steps). Every choice returns
-        bit-identical labels (tested); only wall-clock changes.
+        ``"sequential"``, ``"batch"``, ``"incremental"``, ``"sharded"``,
+        or ``"auto"`` (default) which picks ``"batch"`` for binary labels
+        (the vectorised MinMax check) and ``"incremental"`` otherwise
+        (exact Q2 counts maintained across cleaning steps). Every choice
+        returns bit-identical labels (tested); only wall-clock changes.
+    tile_rows, tile_candidates:
+        Tile bounds handed to the ``sharded`` backend's streamed
+        certainty checks (:mod:`repro.core.shards`); ``None`` keeps the
+        backend defaults. Ignored by the other backends. Note the
+        session's own selection scoring still uses its dense prepared
+        batch — the sharded backend bounds the certainty-check path.
     """
 
     def __init__(
@@ -105,6 +112,8 @@ class CleaningSession:
         n_jobs: int | None = 1,
         use_cache: bool = True,
         backend: str = "auto",
+        tile_rows: int | None = None,
+        tile_candidates: int | None = None,
     ) -> None:
         self.dataset = dataset
         self.k = k
@@ -117,6 +126,14 @@ class CleaningSession:
         self.queries = self.batch.queries()
         self.fixed: dict[int, int] = {}
         self.backend = backend
+        self.tile_rows = (
+            None if tile_rows is None else check_positive_int(tile_rows, "tile_rows")
+        )
+        self.tile_candidates = (
+            None
+            if tile_candidates is None
+            else check_positive_int(tile_candidates, "tile_candidates")
+        )
         if backend != "auto":
             get_backend(backend)  # fail fast on unknown backend names
         if backend == "auto":
@@ -169,6 +186,8 @@ class CleaningSession:
             n_jobs=self.n_jobs,
             cache=self.cache if self.cache is not None else False,
             prepared=self.batch,
+            tile_rows=self.tile_rows,
+            tile_candidates=self.tile_candidates,
         )
         return execute_query(query, backend=self._check_backend, options=options).values
 

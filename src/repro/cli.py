@@ -11,11 +11,12 @@ Three commands cover the library's headline workflows:
 The CLI is a thin layer over the library; every command accepts ``--seed``
 and size flags so runs are reproducible and laptop-sized by default. The
 query-heavy commands (``screen``, ``clean``, ``csv-screen``) also accept
-``--backend {auto,sequential,batch,incremental}`` (force a query-planner
-backend; ``auto`` lets the cost model choose), ``--n-jobs`` (fan per-point
-CP scans out over worker processes) and ``--no-cache`` (disable the LRU
-result cache); all three knobs only change wall-clock time, never the
-printed results.
+``--backend {auto,sequential,batch,incremental,sharded}`` (force a
+query-planner backend; ``auto`` lets the cost model choose), ``--n-jobs``
+(fan per-point CP scans out over worker processes), ``--no-cache``
+(disable the LRU result cache) and ``--tile-rows`` / ``--tile-candidates``
+(bound the sharded backend's resident tile); none of these knobs changes
+the printed results, only wall-clock time and memory.
 """
 
 from __future__ import annotations
@@ -104,18 +105,43 @@ def _add_task_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def _n_jobs_flag(value: str) -> int:
-    n_jobs = int(value)
-    if n_jobs == 0:
+    try:
+        n_jobs = int(value)
+    except ValueError:
         raise argparse.ArgumentTypeError(
-            "--n-jobs must be positive or negative (-1 = all CPUs)"
+            f"--n-jobs must be an integer, got {value!r}"
+        ) from None
+    # Only two shapes are meaningful: a positive worker count, or the
+    # conventional -1 sentinel for "all CPUs". Zero and other negatives
+    # used to be accepted (and silently meant "all CPUs"), which hid typos.
+    if n_jobs < 1 and n_jobs != -1:
+        raise argparse.ArgumentTypeError(
+            f"--n-jobs must be a positive integer or -1 (all CPUs), got {n_jobs}"
         )
     return n_jobs
+
+
+def _positive_int_flag(flag: str):
+    def parse(value: str) -> int:
+        try:
+            number = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be an integer, got {value!r}"
+            ) from None
+        if number < 1:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be a positive integer, got {number}"
+            )
+        return number
+
+    return parse
 
 
 def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
-        choices=("auto", "sequential", "batch", "incremental"),
+        choices=("auto", "sequential", "batch", "incremental", "sharded"),
         default="auto",
         help=(
             "query-planner backend for CP queries (default auto: the cost "
@@ -132,6 +158,24 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the batch engine's LRU result cache",
+    )
+    parser.add_argument(
+        "--tile-rows",
+        type=_positive_int_flag("--tile-rows"),
+        default=None,
+        help=(
+            "test points resident per tile of the sharded backend "
+            "(default: the backend's setting; other backends ignore it)"
+        ),
+    )
+    parser.add_argument(
+        "--tile-candidates",
+        type=_positive_int_flag("--tile-candidates"),
+        default=None,
+        help=(
+            "stacked candidates per kernel block of the sharded backend "
+            "(default: the backend's setting; other backends ignore it)"
+        ),
     )
 
 
@@ -176,6 +220,8 @@ def _command_screen(args: argparse.Namespace) -> int:
         n_jobs=args.n_jobs,
         cache=not args.no_cache,
         backend=args.backend,
+        tile_rows=args.tile_rows,
+        tile_candidates=args.tile_candidates,
     )
     certain, total = result.n_certain, result.n_points
     print(f"recipe={task.name} dirty_rows={len(task.dirty_rows)}/{task.incomplete.n_rows}")
@@ -212,11 +258,13 @@ def _command_clean(args: argparse.Namespace) -> int:
             task.incomplete, task.val_X, oracle, batch_size=args.batch,
             k=task.k, max_cleaned=args.budget,
             n_jobs=args.n_jobs, use_cache=not args.no_cache, backend=args.backend,
+            tile_rows=args.tile_rows, tile_candidates=args.tile_candidates,
         )
     else:
         report = run_cp_clean(
             task.incomplete, task.val_X, oracle, k=task.k, max_cleaned=args.budget,
             n_jobs=args.n_jobs, use_cache=not args.no_cache, backend=args.backend,
+            tile_rows=args.tile_rows, tile_candidates=args.tile_candidates,
         )
 
     def world_accuracy(fixed):
@@ -264,6 +312,7 @@ def _command_csv_screen(args: argparse.Namespace) -> int:
     result = screen_dataset(
         incomplete, workload.val_X, k=args.k,
         n_jobs=args.n_jobs, cache=not args.no_cache, backend=args.backend,
+        tile_rows=args.tile_rows, tile_candidates=args.tile_candidates,
     )
     certain, total = result.n_certain, result.n_points
     print(f"validation points certainly predicted: {certain}/{total} ({result.cp_fraction:.0%})")
@@ -274,6 +323,7 @@ def _command_csv_screen(args: argparse.Namespace) -> int:
     session = CleaningSession(
         incomplete, workload.val_X, k=args.k,
         n_jobs=args.n_jobs, use_cache=not args.no_cache, backend=args.backend,
+        tile_rows=args.tile_rows, tile_candidates=args.tile_candidates,
     )
     gains = information_gains(session)
     ranked = sorted(gains.items(), key=lambda item: (-item[1], item[0]))

@@ -65,7 +65,12 @@ from repro.core.kernels import Kernel, resolve_kernel
 from repro.core.knn import majority_label, top_k_rows
 from repro.core.polynomials import poly_one
 from repro.core.prepared import PreparedQuery
-from repro.core.scan import ScanOrder, _scan_from_sims, stack_candidates
+from repro.core.scan import (
+    ScanOrder,
+    _scan_from_sims,
+    candidate_index_arrays,
+    stack_candidates,
+)
 from repro.core.tally import tallies_with_prediction
 from repro.utils.validation import check_matrix, check_positive_int
 
@@ -417,6 +422,7 @@ class PreparedBatch:
         test_X: np.ndarray,
         k: int = 3,
         kernel: Kernel | str | None = None,
+        sims_matrix: np.ndarray | None = None,
     ) -> None:
         self.k = check_positive_int(k, "k")
         if self.k > dataset.n_rows:
@@ -426,7 +432,10 @@ class PreparedBatch:
         self.dataset = dataset
         self.kernel = resolve_kernel(kernel)
         self.test_X = check_matrix(test_X, "test_X", n_cols=dataset.n_features)
-        stacked, rows, cands, counts = stack_candidates(dataset)
+        if sims_matrix is None:
+            stacked, rows, cands, counts = stack_candidates(dataset)
+        else:
+            rows, cands, counts = candidate_index_arrays(dataset)
         self._rows = rows
         self._cands = cands
         self._counts = counts
@@ -435,8 +444,21 @@ class PreparedBatch:
             [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
         )
         self._labels = dataset.labels.copy()
-        # The whole (T, P) candidate-similarity matrix in one kernel call.
-        self.sims_matrix = self.kernel.pairwise(stacked, self.test_X)
+        if sims_matrix is None:
+            # The whole (T, P) candidate-similarity matrix in one kernel call.
+            self.sims_matrix = self.kernel.pairwise(stacked, self.test_X)
+        else:
+            # A caller-computed similarity matrix — the sharded layer hands
+            # in views of its streamed tile buffer so a tile-sized
+            # PreparedBatch is zero-copy. The caller owns correctness of
+            # the values; the shape contract is enforced here.
+            sims_matrix = np.asarray(sims_matrix, dtype=np.float64)
+            expected = (self.test_X.shape[0], int(rows.shape[0]))
+            if sims_matrix.shape != expected:
+                raise ValueError(
+                    f"sims_matrix must have shape {expected}, got {sims_matrix.shape}"
+                )
+            self.sims_matrix = sims_matrix
         self._scans: list[ScanOrder | None] = [None] * self.n_points
         self._queries: list[PreparedQuery | None] = [None] * self.n_points
 

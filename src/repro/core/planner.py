@@ -29,7 +29,9 @@ through one engine layer:
   repeated pinned queries). :func:`execute_query` executes the plan and
   returns a :class:`QueryResult`.
 
-Three backends ship by default:
+Four backends ship by default (the first three here; the fourth —
+``sharded``, the tile-streaming out-of-core executor — lives in
+:mod:`repro.core.shards` and registers itself on import):
 
 ``sequential``
     The reference path: one :class:`~repro.core.prepared.PreparedQuery`
@@ -49,6 +51,12 @@ Three backends ship by default:
     counts alive across calls, so a cleaning session that re-queries the
     same validation points with a growing pin set pays one exact pruning
     update per step instead of a full re-preparation.
+``sharded``
+    The out-of-core tile executor (:class:`repro.core.shards.ShardedBackend`):
+    the test-point × candidate space is split into bounded shared-memory
+    tiles streamed through a persistent worker pool, so the full distance
+    matrix never has to fit in memory at once. The cost model prefers it
+    when the dense matrix would exceed the backend's memory budget.
 
 All backends return bit-identical values for any query they both support
 (``tests/core/test_planner.py`` holds the full equivalence matrix);
@@ -331,7 +339,7 @@ class PlanError(ValueError):
 
 @dataclass(frozen=True)
 class ExecutionOptions:
-    """Execution knobs that change wall-clock, never results.
+    """Execution knobs that change wall-clock (and memory), never results.
 
     ``n_jobs`` fans per-point work out over forked worker processes where
     the backend supports it; ``cache`` selects result caching (``True`` =
@@ -339,11 +347,16 @@ class ExecutionOptions:
     = off); ``prepared`` hands an existing
     :class:`~repro.core.batch_engine.PreparedBatch` to the batch backend so
     a session's vectorised distance state is shared instead of rebuilt.
+    ``tile_rows`` / ``tile_candidates`` bound the resident tile of the
+    ``sharded`` backend (:mod:`repro.core.shards`); ``None`` keeps the
+    backend's configured defaults. Other backends ignore them.
     """
 
     n_jobs: int | None = 1
     cache: QueryResultCache | bool | None = True
     prepared: PreparedBatch | None = None
+    tile_rows: int | None = None
+    tile_candidates: int | None = None
 
 
 @dataclass(frozen=True)

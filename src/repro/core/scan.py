@@ -29,6 +29,7 @@ __all__ = [
     "compute_scan_order",
     "compute_scan_orders",
     "candidate_similarities",
+    "candidate_index_arrays",
     "stack_candidates",
 ]
 
@@ -76,6 +77,22 @@ class ScanOrder:
         return int(self.row_counts.shape[0])
 
 
+def candidate_index_arrays(
+    dataset: IncompleteDataset,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The ``(rows, cands, counts)`` bookkeeping of the stacked candidate order.
+
+    The index arrays of :func:`stack_candidates` without materialising the
+    stacked feature matrix itself — consumers that receive similarities from
+    elsewhere (a precomputed ``sims_matrix``, a streamed tile) only need to
+    know which stacked position belongs to which (row, candidate) pair.
+    """
+    counts = dataset.candidate_counts()
+    rows = np.repeat(np.arange(dataset.n_rows, dtype=np.int64), counts)
+    cands = np.concatenate([np.arange(int(m), dtype=np.int64) for m in counts])
+    return rows, cands, counts
+
+
 def stack_candidates(
     dataset: IncompleteDataset,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -88,12 +105,10 @@ def stack_candidates(
     This is the shared starting point of per-point and batch scan-order
     construction.
     """
-    counts = dataset.candidate_counts()
+    rows, cands, counts = candidate_index_arrays(dataset)
     stacked = np.concatenate(
         [dataset.candidates(i) for i in range(dataset.n_rows)], axis=0
     )
-    rows = np.repeat(np.arange(dataset.n_rows, dtype=np.int64), counts)
-    cands = np.concatenate([np.arange(int(m), dtype=np.int64) for m in counts])
     return stacked, rows, cands, counts
 
 

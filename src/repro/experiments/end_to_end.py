@@ -71,6 +71,8 @@ def run_end_to_end(
     task: CleaningTask | None = None,
     n_jobs: int | None = 1,
     backend: str = "auto",
+    tile_rows: int | None = None,
+    tile_candidates: int | None = None,
 ) -> EndToEndResult:
     """Run the full Table-2 comparison for one dataset and seed."""
     if task is None:
@@ -89,7 +91,8 @@ def run_end_to_end(
 
     oracle = GroundTruthOracle(task.gt_choice)
     report = run_cp_clean(
-        task.incomplete, task.val_X, oracle, k=task.k, n_jobs=n_jobs, backend=backend
+        task.incomplete, task.val_X, oracle, k=task.k, n_jobs=n_jobs, backend=backend,
+        tile_rows=tile_rows, tile_candidates=tile_candidates,
     )
     cp_acc = _world_accuracy(task, report.final_fixed)
 
@@ -130,6 +133,8 @@ def average_end_to_end(
     budget_fraction: float = 0.2,
     n_jobs: int | None = 1,
     backend: str = "auto",
+    tile_rows: int | None = None,
+    tile_candidates: int | None = None,
 ) -> EndToEndResult:
     """Average :func:`run_end_to_end` over seeds (reduces small-scale noise)."""
     results = [
@@ -142,6 +147,8 @@ def average_end_to_end(
             budget_fraction=budget_fraction,
             n_jobs=n_jobs,
             backend=backend,
+            tile_rows=tile_rows,
+            tile_candidates=tile_candidates,
         )
         for seed in seeds
     ]

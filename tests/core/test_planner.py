@@ -61,7 +61,7 @@ def capable_names(query) -> list[str]:
 
 class TestRegistry:
     def test_default_backends_registered(self):
-        assert backend_names() == ["sequential", "batch", "incremental"]
+        assert backend_names() == ["sequential", "batch", "incremental", "sharded"]
 
     def test_get_backend_unknown_raises(self):
         with pytest.raises(PlanError, match="unknown backend"):
@@ -74,6 +74,7 @@ class TestRegistry:
     def test_declared_capabilities(self):
         assert get_backend("incremental").capabilities.incremental
         assert get_backend("batch").capabilities.batchable
+        assert get_backend("sharded").capabilities.batchable
         assert not get_backend("sequential").capabilities.batchable
         for name in backend_names():
             assert get_backend(name).capabilities.exact
@@ -102,6 +103,64 @@ class TestRegistry:
             from repro.core import planner
 
             planner._REGISTRY.pop("null-test", None)
+
+
+class TestRegistryErrorPaths:
+    """The registry's failure modes: precise errors, no partial state."""
+
+    def test_unknown_backend_error_lists_registered_names(self):
+        with pytest.raises(PlanError) as excinfo:
+            get_backend("gpu")
+        message = str(excinfo.value)
+        for name in ("sequential", "batch", "incremental", "sharded"):
+            assert name in message
+
+    def test_unknown_backend_raises_through_plan_and_execute(self):
+        dataset = random_dataset(61)
+        query = make_query(dataset, np.zeros((2, 2)), k=1)
+        with pytest.raises(PlanError, match="unknown backend"):
+            plan_query(query, backend="gpu")
+        with pytest.raises(PlanError, match="unknown backend"):
+            execute_query(query, backend="gpu")
+
+    def test_capability_mismatch_flavor(self):
+        dataset = random_dataset(62)
+        query = make_query(dataset, np.zeros((2, 2)), k=1, flavor="weighted")
+        with pytest.raises(PlanError, match="cannot serve"):
+            plan_query(query, backend="incremental")
+
+    @pytest.mark.parametrize("backend", ["batch", "incremental", "sharded"])
+    def test_capability_mismatch_algorithm(self, backend):
+        # Only the sequential backend honours the published algorithm
+        # overrides; every other explicit request must fail loudly.
+        dataset = random_dataset(63)
+        query = make_query(dataset, np.zeros((2, 2)), k=1, algorithm="naive")
+        with pytest.raises(PlanError, match="cannot serve"):
+            plan_query(query, backend=backend)
+
+    def test_mismatch_error_names_capabilities(self):
+        dataset = random_dataset(64)
+        query = make_query(dataset, np.zeros((2, 2)), k=1, flavor="weighted")
+        with pytest.raises(PlanError, match="capabilities"):
+            execute_query(query, backend="incremental")
+
+    def test_double_registration_rejected_and_registry_intact(self):
+        before = backend_names()
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(get_backend("sharded"))
+        assert backend_names() == before
+
+    def test_replace_reregisters_under_same_name(self):
+        original = get_backend("sharded")
+        try:
+            from repro.core.shards import ShardedBackend
+
+            replacement = ShardedBackend(tile_rows=2)
+            assert register_backend(replacement, replace=True) is replacement
+            assert get_backend("sharded") is replacement
+        finally:
+            register_backend(original, replace=True)
+        assert get_backend("sharded") is original
 
 
 class TestPlanning:
@@ -365,7 +424,7 @@ class TestSessionBackends:
             name: run_cp_clean(
                 task.incomplete, task.val_X, oracle, k=task.k, backend=name
             )
-            for name in ("auto", "sequential", "batch", "incremental")
+            for name in ("auto", "sequential", "batch", "incremental", "sharded")
         }
         reference = reports["auto"]
         for name, report in reports.items():

@@ -46,13 +46,55 @@ class TestParser:
         assert args.n_jobs == -1
 
     def test_backend_flag_parses(self):
-        for backend in ("auto", "sequential", "batch", "incremental"):
+        for backend in ("auto", "sequential", "batch", "incremental", "sharded"):
             args = build_parser().parse_args(["screen", "--backend", backend])
             assert args.backend == backend
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["screen", "--backend", "gpu"])
+
+    def test_tile_flags_parse(self):
+        args = build_parser().parse_args(
+            ["screen", "--tile-rows", "16", "--tile-candidates", "1024"]
+        )
+        assert args.tile_rows == 16
+        assert args.tile_candidates == 1024
+        defaults = build_parser().parse_args(["screen"])
+        assert defaults.tile_rows is None
+        assert defaults.tile_candidates is None
+
+
+class TestFlagValidation:
+    """Non-positive executor knobs must be rejected at parse time."""
+
+    @pytest.mark.parametrize("value", ["0", "-2", "-100"])
+    def test_n_jobs_rejects_zero_and_other_negatives(self, value, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["screen", "--n-jobs", value])
+        assert "--n-jobs must be a positive integer or -1" in capsys.readouterr().err
+
+    def test_n_jobs_keeps_the_all_cpus_sentinel(self):
+        args = build_parser().parse_args(["screen", "--n-jobs", "-1"])
+        assert args.n_jobs == -1
+
+    def test_n_jobs_rejects_non_integers(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["screen", "--n-jobs", "two"])
+        assert "--n-jobs must be an integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--tile-rows", "--tile-candidates"])
+    @pytest.mark.parametrize("value", ["0", "-1", "-64"])
+    def test_tile_flags_reject_non_positive(self, flag, value, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["screen", flag, value])
+        assert f"{flag} must be a positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--tile-rows", "--tile-candidates"])
+    def test_tile_flags_reject_non_integers(self, flag, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["screen", flag, "many"])
+        assert f"{flag} must be an integer" in capsys.readouterr().err
 
 
 class TestCommands:
@@ -105,7 +147,7 @@ class TestCommands:
         base_args = ["--n-train", "40", "--n-val", "8", "--n-test", "20", "--seed", "1"]
         assert main(["screen", *base_args]) == 0
         reference = capsys.readouterr().out
-        for backend in ("sequential", "batch", "incremental"):
+        for backend in ("sequential", "batch", "incremental", "sharded"):
             assert main(["screen", *base_args, "--backend", backend]) == 0
             assert capsys.readouterr().out == reference, backend
 
@@ -117,4 +159,16 @@ class TestCommands:
         assert main(["clean", *base_args]) == 0
         reference = capsys.readouterr().out
         assert main(["clean", *base_args, "--backend", "incremental"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_sharded_tiling_does_not_change_results(self, capsys):
+        base_args = ["--n-train", "40", "--n-val", "8", "--n-test", "20", "--seed", "1"]
+        assert main(["screen", *base_args]) == 0
+        reference = capsys.readouterr().out
+        sharded = [
+            "--backend", "sharded", "--tile-rows", "3", "--tile-candidates", "17",
+        ]
+        assert main(["screen", *base_args, *sharded]) == 0
+        assert capsys.readouterr().out == reference
+        assert main(["screen", *base_args, *sharded, "--n-jobs", "2"]) == 0
         assert capsys.readouterr().out == reference
