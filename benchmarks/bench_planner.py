@@ -26,13 +26,13 @@ Run as a script::
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import sys
 import time
 
 import numpy as np
 
+from conftest import bench_output_path, write_bench_report
 from repro.core.label_uncertainty import LabelUncertainDataset
 from repro.core.planner import (
     ExecutionOptions,
@@ -44,7 +44,7 @@ from repro.core.planner import (
 from repro.data.task import build_cleaning_task
 from repro.utils.tables import format_table
 
-DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "output" / "BENCH_planner.json"
+DEFAULT_OUTPUT = bench_output_path("planner")
 
 _WORKLOADS = {
     # (n_train, n_val, max cleaning steps, flavor query points)
@@ -207,8 +207,7 @@ def main(argv=None) -> int:
         },
     }
 
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    write_bench_report(args.output, report)
 
     print(
         format_table(
@@ -237,7 +236,6 @@ def main(argv=None) -> int:
             title=f"Batch backend vs sequential per task flavor ({scale} scale)",
         )
     )
-    print(f"\nwrote {args.output}")
 
     if session["speedup"] < 2.0:
         print(

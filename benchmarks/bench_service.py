@@ -1,0 +1,195 @@
+"""Benchmark: the service broker's micro-batching under concurrent load.
+
+The serving question the broker exists to answer: when 16 client threads
+fire single-point certainty queries at the same dataset, how much does
+coalescing them into planner batch calls buy over dispatching each
+request on its own? Two runs over the *same* workload (identical points,
+16 threads, result caching off so every request really executes):
+
+* **per-request** — ``max_batch=1``: every query is its own planner
+  call, paying a full vectorised preparation per point;
+* **micro-batched** — a ``window_s`` coalescing window with
+  ``max_batch`` points per flush: concurrent requests on the query
+  family share one preparation.
+
+The acceptance bar is a **>=2x** throughput advantage for the
+micro-batched broker (the PR's headline claim), with bit-identical
+per-point values between the two modes — batching is a latency/
+throughput decision, never a semantic one.
+
+Emits ``BENCH_service.json``. Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--smoke] [--output PATH]
+
+``--smoke`` shrinks the workload to a few seconds for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import threading
+import time
+
+import numpy as np
+
+from conftest import bench_output_path, write_bench_report
+from repro.core.planner import ExecutionOptions, execute_query, make_query
+from repro.service import DatasetRegistry, QueryBroker
+from repro.utils.tables import format_table
+
+DEFAULT_OUTPUT = bench_output_path("service")
+
+N_THREADS = 16
+
+_WORKLOADS = {
+    "smoke": dict(n_train=100, n_points=128, max_batch=16, window_s=0.01),
+    "default": dict(n_train=150, n_points=256, max_batch=32, window_s=0.01),
+}
+
+
+def _client_load(
+    registry: DatasetRegistry,
+    points: np.ndarray,
+    window_s: float,
+    max_batch: int,
+) -> tuple[float, list, dict]:
+    """Run the 16-thread single-point workload; return (seconds, values, metrics)."""
+    broker = QueryBroker(
+        registry,
+        window_s=window_s,
+        max_batch=max_batch,
+        max_pending=4 * len(points),
+        cache=False,  # every request must actually execute
+    )
+    values: list = [None] * len(points)
+
+    def worker(indices: range) -> None:
+        for index in indices:
+            values[index] = broker.query(
+                "bench", points[index], kind="certain_label"
+            )["values"][0]
+
+    threads = [
+        threading.Thread(target=worker, args=(range(t, len(points), N_THREADS),))
+        for t in range(N_THREADS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    metrics = broker.metrics()
+    broker.close()
+    return elapsed, values, metrics
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny workload for CI (a few seconds)"
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    scale = "smoke" if args.smoke else "default"
+    size = _WORKLOADS[scale]
+
+    registry = DatasetRegistry()
+    entry = registry.register_recipe(
+        "bench", recipe="supreme", n_train=size["n_train"], n_val=8, seed=1
+    )
+    rng = np.random.default_rng(7)
+    points = rng.normal(size=(size["n_points"], entry.dataset.n_features)) * 0.5
+
+    t_request, values_request, metrics_request = _client_load(
+        registry, points, window_s=0.0, max_batch=1
+    )
+    t_batched, values_batched, metrics_batched = _client_load(
+        registry, points, window_s=size["window_s"], max_batch=size["max_batch"]
+    )
+
+    assert values_batched == values_request, (
+        "micro-batched values diverged from per-request dispatch"
+    )
+    # And both must match a direct single-call planner execution.
+    direct = execute_query(
+        make_query(entry.dataset, points, kind="certain_label", k=entry.k),
+        options=ExecutionOptions(cache=False),
+    ).values
+    assert values_request == direct, "served values diverged from execute_query"
+
+    n = len(points)
+    speedup = t_request / t_batched
+    report = {
+        "benchmark": "service",
+        "scale": scale,
+        "workload": {
+            "recipe": "supreme",
+            "n_train": entry.dataset.n_rows,
+            "n_points": n,
+            "n_threads": N_THREADS,
+            "kind": "certain_label",
+        },
+        "per_request": {
+            "seconds": t_request,
+            "queries_per_sec": n / t_request,
+            "batches_executed": metrics_request["batches_executed"],
+        },
+        "micro_batched": {
+            "window_s": size["window_s"],
+            "max_batch": size["max_batch"],
+            "seconds": t_batched,
+            "queries_per_sec": n / t_batched,
+            "batches_executed": metrics_batched["batches_executed"],
+            "coalesced_batches": metrics_batched["coalesced_batches"],
+            "max_batch_size": metrics_batched["max_batch_size"],
+        },
+        "speedup": speedup,
+        "values_bit_identical": True,
+    }
+    write_bench_report(args.output, report)
+
+    print(
+        format_table(
+            ["dispatch", "planner calls", "seconds", "queries/sec", "speedup"],
+            [
+                [
+                    "per-request",
+                    str(metrics_request["batches_executed"]),
+                    f"{t_request:.3f}",
+                    f"{n / t_request:.0f}",
+                    "1.00x",
+                ],
+                [
+                    f"micro-batched (<= {size['max_batch']})",
+                    str(metrics_batched["batches_executed"]),
+                    f"{t_batched:.3f}",
+                    f"{n / t_batched:.0f}",
+                    f"{speedup:.2f}x",
+                ],
+            ],
+            title=(
+                f"{n} single-point certainty queries from {N_THREADS} client "
+                f"threads ({scale} scale)"
+            ),
+        )
+    )
+
+    if speedup < 2.0:
+        print(
+            f"FAIL: micro-batched broker is only {speedup:.2f}x over per-request "
+            "dispatch; the bar is 2x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

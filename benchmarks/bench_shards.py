@@ -27,17 +27,17 @@ Run as a script::
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import sys
 import time
 
+from conftest import bench_output_path, write_bench_report
 from repro.core.planner import ExecutionOptions, execute_query, make_query
 from repro.core.shards import ShardedBackend
 from repro.data.task import build_cleaning_task
 from repro.utils.tables import format_table
 
-DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "output" / "BENCH_shards.json"
+DEFAULT_OUTPUT = bench_output_path("shards")
 
 _WORKLOADS = {
     # tile_rows chosen so the validation set spans several row tiles: the
@@ -152,8 +152,7 @@ def main(argv=None) -> int:
         "tiling_invariance": invariance,
     }
 
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    write_bench_report(args.output, report)
 
     print(
         format_table(
@@ -200,7 +199,6 @@ def main(argv=None) -> int:
             title="Tiling invariance (all configurations bit-identical)",
         )
     )
-    print(f"\nwrote {args.output}")
 
     if speedup["speedup"] < 2.0:
         print(

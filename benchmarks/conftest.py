@@ -5,27 +5,54 @@ DESIGN.md's experiment index), prints it, and appends it to
 ``benchmarks/output/results.txt`` so the rows survive pytest's output
 capturing. Benchmarks honour the ``REPRO_SCALE`` environment variable
 (``quick`` / ``default`` / ``large``).
+
+The CI-gating benchmarks (``bench_planner``, ``bench_shards``,
+``bench_service``) additionally emit a machine-readable
+``BENCH_<name>.json`` report; :func:`bench_output_path` and
+:func:`write_bench_report` are the one shared implementation of that
+emit path (every script used to hand-roll its own mkdir+dump).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
-import pytest
+try:
+    import pytest
+except ImportError:  # standalone `python benchmarks/bench_*.py` runs only
+    pytest = None  # need the report helpers below, not the fixtures
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 
-@pytest.fixture(scope="session")
-def emit():
-    """Print a report block and persist it to benchmarks/output/results.txt."""
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    path = OUTPUT_DIR / "results.txt"
+def bench_output_path(name: str) -> pathlib.Path:
+    """The canonical location of a ``BENCH_<name>.json`` report."""
+    return OUTPUT_DIR / f"BENCH_{name}.json"
 
-    def _emit(text: str) -> None:
-        block = "\n" + text + "\n"
-        print(block)
-        with open(path, "a", encoding="utf-8") as handle:
-            handle.write(block)
 
-    return _emit
+def write_bench_report(output: pathlib.Path | str, report: dict) -> pathlib.Path:
+    """Write one benchmark's JSON report (creating directories), echo the
+    path, and return it. ``report`` must be JSON-serialisable."""
+    path = pathlib.Path(output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {path}")
+    return path
+
+
+if pytest is not None:
+
+    @pytest.fixture(scope="session")
+    def emit():
+        """Print a report block and persist it to benchmarks/output/results.txt."""
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        path = OUTPUT_DIR / "results.txt"
+
+        def _emit(text: str) -> None:
+            block = "\n" + text + "\n"
+            print(block)
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(block)
+
+        return _emit

@@ -82,7 +82,7 @@ class CleaningSession:
         Worker processes for the expected-entropy scoring fan-out (and the
         batch Q2 counts behind certainty checks on datasets with more than
         two labels; binary MinMax checks are vectorised in-process and
-        never fork). ``1`` = in-process; ``None``/negative = all CPUs.
+        never fork). ``1`` = in-process; ``None``/``-1`` = all CPUs.
         Results are identical for every value (tested).
     use_cache:
         Whether repeated CP queries (same dataset, pins, and point) are
@@ -233,6 +233,26 @@ class CleaningSession:
         return dict(pairs)
 
     # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """A JSON-able snapshot of cleaning progress.
+
+        This is the unit :mod:`repro.service` ships over the wire after
+        every ``/clean/step`` call: the pins applied so far, the current
+        per-point certain labels, and the derived certainty summary. The
+        certainty check runs once; everything else is bookkeeping.
+        """
+        labels = self.val_certain_labels()
+        n_certain = sum(label is not None for label in labels)
+        return {
+            "n_cleaned": len(self.fixed),
+            "fixed": {int(row): int(cand) for row, cand in sorted(self.fixed.items())},
+            "certain_labels": [None if lbl is None else int(lbl) for lbl in labels],
+            "n_certain": n_certain,
+            "cp_fraction": n_certain / len(labels) if labels else 1.0,
+            "all_certain": n_certain == len(labels),
+            "remaining_dirty_rows": self.remaining_dirty_rows(),
+        }
+
     def clean_row(self, row: int, candidate: int) -> None:
         """Record a human answer: pin ``row`` to ``candidate``."""
         if row in self.fixed:

@@ -74,6 +74,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many cleaning recommendations to print",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the CP query service (JSON API over HTTP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8970, help="0 = ephemeral port")
+    from repro.data.recipes import recipe_names
+
+    serve.add_argument(
+        "--recipe",
+        choices=recipe_names(),
+        default=None,
+        help="preload one dirty-dataset recipe (with its validation set and oracle)",
+    )
+    serve.add_argument(
+        "--dataset-name",
+        default=None,
+        help="registry name for the preloaded recipe (default: the recipe name)",
+    )
+    serve.add_argument("--n-train", type=int, default=100)
+    serve.add_argument("--n-val", type=int, default=24)
+    serve.add_argument("--missing-rate", type=float, default=None)
+    serve.add_argument("--k", type=int, default=3)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--window-ms",
+        type=_float_flag("--window-ms", 0.0, inclusive=True),
+        default=10.0,
+        help="micro-batching window for single-point queries (0 disables coalescing)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=_positive_int_flag("--max-batch"),
+        default=16,
+        help="flush a pending micro-batch at this many points",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=_positive_int_flag("--max-pending"),
+        default=256,
+        help="admission control: reject (429) beyond this many in-flight requests",
+    )
+    serve.add_argument(
+        "--ttl",
+        type=_float_flag("--ttl", 0.0, inclusive=False),
+        default=30.0,
+        help="result-cache time-to-live in seconds",
+    )
+    _add_executor_flags(serve)
+
     sql = sub.add_parser(
         "sql",
         help="run a SQL query over a dirty CSV with certain-answer semantics",
@@ -133,6 +183,24 @@ def _positive_int_flag(flag: str):
             raise argparse.ArgumentTypeError(
                 f"{flag} must be a positive integer, got {number}"
             )
+        return number
+
+    return parse
+
+
+def _float_flag(flag: str, minimum: float, inclusive: bool):
+    def parse(value: str) -> float:
+        try:
+            number = float(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be a number, got {value!r}"
+            ) from None
+        if number != number:  # NaN compares False to every bound below
+            raise argparse.ArgumentTypeError(f"{flag} must be a number, got NaN")
+        if number < minimum or (not inclusive and number == minimum):
+            bound = f">= {minimum}" if inclusive else f"> {minimum}"
+            raise argparse.ArgumentTypeError(f"{flag} must be {bound}, got {number}")
         return number
 
     return parse
@@ -372,6 +440,42 @@ def _command_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import DatasetRegistry
+    from repro.service.http import serve as serve_forever
+
+    registry = DatasetRegistry()
+    if args.recipe is not None:
+        name = args.dataset_name or args.recipe
+        registry.register_recipe(
+            name,
+            recipe=args.recipe,
+            n_train=args.n_train,
+            n_val=args.n_val,
+            missing_rate=args.missing_rate,
+            k=args.k,
+            seed=args.seed,
+            backend=args.backend,
+            n_jobs=args.n_jobs,
+        )
+        print(f"registered recipe {args.recipe!r} as dataset {name!r}")
+    serve_forever(
+        registry,
+        host=args.host,
+        port=args.port,
+        window_s=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        backend=args.backend,
+        n_jobs=args.n_jobs,
+        cache=not args.no_cache,
+        ttl_s=args.ttl,
+        tile_rows=args.tile_rows,
+        tile_candidates=args.tile_candidates,
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -383,6 +487,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_clean(args)
     if args.command == "csv-screen":
         return _command_csv_screen(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "sql":
         return _command_sql(args)
     raise AssertionError(f"unhandled command {args.command!r}")

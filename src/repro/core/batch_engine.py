@@ -337,8 +337,13 @@ class QueryResultCache:
     the dataset content invalidates all of its entries by construction.
 
     One instance can safely be shared across executors (e.g. one cache for
-    a whole cleaning session), including across threads — lookups and
-    inserts take an internal lock; eviction is least-recently-used.
+    a whole cleaning session), including across threads — this is the
+    contract :class:`repro.service.broker.QueryBroker` relies on. Every
+    state transition (lookup + recency bump, insert, LRU eviction, clear,
+    the hit/miss counters) happens under one internal lock, so concurrent
+    readers and writers can never observe a half-applied eviction or lose
+    a counter update; ``tests/core/test_batch_engine.py`` hammers one
+    instance from many threads to hold the class to this.
     """
 
     def __init__(self, maxsize: int = 4096) -> None:
@@ -381,8 +386,10 @@ class QueryResultCache:
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when never queried)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        total = hits + misses
+        return hits / total if total else 0.0
 
     def stats(self) -> dict[str, int | float]:
         """A snapshot of size and hit/miss counters, for reports and tests."""

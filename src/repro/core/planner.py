@@ -350,6 +350,10 @@ class ExecutionOptions:
     ``tile_rows`` / ``tile_candidates`` bound the resident tile of the
     ``sharded`` backend (:mod:`repro.core.shards`); ``None`` keeps the
     backend's configured defaults. Other backends ignore them.
+
+    All knobs are validated at construction, with the same rules the CLI
+    flags enforce: ``n_jobs`` must be a positive integer, ``-1`` (all
+    CPUs) or ``None``; the tile bounds must be positive when given.
     """
 
     n_jobs: int | None = 1
@@ -357,6 +361,25 @@ class ExecutionOptions:
     prepared: PreparedBatch | None = None
     tile_rows: int | None = None
     tile_candidates: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_jobs is not None:
+            if isinstance(self.n_jobs, bool) or not isinstance(
+                self.n_jobs, (int, np.integer)
+            ):
+                raise TypeError(
+                    f"n_jobs must be an integer or None, got {type(self.n_jobs).__name__}"
+                )
+            if self.n_jobs < 1 and self.n_jobs != -1:
+                raise ValueError(
+                    f"n_jobs must be a positive integer, -1 (all CPUs) or None, "
+                    f"got {self.n_jobs}"
+                )
+            resolve_n_jobs(self.n_jobs)  # keep the normalisation path exercised
+        if self.tile_rows is not None:
+            check_positive_int(self.tile_rows, "tile_rows")
+        if self.tile_candidates is not None:
+            check_positive_int(self.tile_candidates, "tile_candidates")
 
 
 @dataclass(frozen=True)

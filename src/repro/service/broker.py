@@ -1,0 +1,558 @@
+"""The query broker: admission control, micro-batching, TTL'd results.
+
+The planner (:mod:`repro.core.planner`) is fastest when handed a whole
+test matrix at once — one vectorised preparation amortised over many
+points — but interactive callers ask one point at a time. The broker
+closes that gap the way high-throughput serving systems do, with
+**micro-batching**: a single-point query does not execute immediately;
+it joins the pending batch of its *query family* (same dataset, kind,
+flavor, ``k``, kernel, pins, label, weights, backend — everything except
+the test point), and the batch is flushed as one planner call when it
+reaches ``max_batch`` points or when the oldest request has waited
+``window_s`` seconds. Under concurrent load the window fills and every
+flush serves many callers for roughly the price of one; an idle service
+degrades to per-request latency plus at most one window.
+
+Correctness is free: every backend computes per-point values
+independently, so a batched execution is bit-identical to the
+per-request one (the differential harness replays random queries both
+ways over the wire and asserts exactly that).
+
+Two more serving-layer pieces live here:
+
+* :class:`TTLResultCache` — the broker's result cache. Same
+  thread-safe LRU discipline as
+  :class:`~repro.core.batch_engine.QueryResultCache`, plus a
+  time-to-live: a served value is keyed by dataset *content
+  fingerprint* (so any dataset change invalidates by construction) and
+  expires after ``ttl_s`` seconds so the cache cannot pin unbounded
+  state warm forever.
+* **Admission control** — the broker tracks in-flight requests and
+  rejects new ones with :class:`AdmissionError` once ``max_pending`` is
+  reached, which the HTTP layer surfaces as ``429 Too Many Requests``
+  with a ``Retry-After`` hint. Shedding load early keeps the latency of
+  admitted requests bounded instead of letting a queue grow without
+  limit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from fractions import Fraction
+from typing import Any
+
+import numpy as np
+
+from repro.core.label_uncertainty import LabelUncertainDataset
+from repro.core.batch_engine import kernel_cache_key
+from repro.core.planner import (
+    ExecutionOptions,
+    execute_query,
+    make_query,
+)
+from repro.service.registry import DatasetEntry, DatasetRegistry
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "AdmissionError",
+    "TTLResultCache",
+    "QueryBroker",
+]
+
+_MISS = object()
+
+
+class AdmissionError(RuntimeError):
+    """The broker is at capacity; retry after ``retry_after`` seconds."""
+
+    def __init__(self, message: str, retry_after: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class TTLResultCache:
+    """A thread-safe LRU result cache whose entries expire after ``ttl_s``.
+
+    The serving twin of :class:`~repro.core.batch_engine.QueryResultCache`:
+    same lock-around-everything discipline and LRU eviction, with a
+    monotonic-clock TTL on top. An expired entry counts as a miss and is
+    dropped on sight. The clock is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 4096,
+        ttl_s: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.maxsize = check_positive_int(maxsize, "maxsize")
+        if not ttl_s > 0:
+            raise ValueError(f"ttl_s must be positive, got {ttl_s}")
+        self.ttl_s = float(ttl_s)
+        self._clock = clock
+        self._entries: OrderedDict[Any, tuple[float, Any]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        with self._lock:
+            item = self._entries.get(key, _MISS)
+            if item is not _MISS:
+                expires, value = item
+                if self._clock() < expires:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return value
+                del self._entries[key]
+                self.expirations += 1
+            self.misses += 1
+            return default
+
+    def put(self, key: Any, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = (self._clock() + self.ttl_s, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def purge(self) -> int:
+        """Drop every expired entry; returns how many were dropped."""
+        now = self._clock()
+        with self._lock:
+            stale = [k for k, (expires, _) in self._entries.items() if expires <= now]
+            for key in stale:
+                del self._entries[key]
+            self.expirations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.expirations = 0
+
+    def stats(self) -> dict[str, int | float]:
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            size, expirations = len(self._entries), self.expirations
+        total = hits + misses
+        return {
+            "size": size,
+            "maxsize": self.maxsize,
+            "ttl_s": self.ttl_s,
+            "hits": hits,
+            "misses": misses,
+            "expirations": expirations,
+            "hit_rate": hits / total if total else 0.0,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Internal batching structures
+# ---------------------------------------------------------------------------
+
+
+def _point_digest(point: np.ndarray) -> str:
+    return hashlib.sha1(np.ascontiguousarray(point).tobytes()).hexdigest()
+
+
+def _weights_digest(weights: list[list[Fraction]] | None) -> str:
+    if weights is None:
+        return ""
+    digest = hashlib.sha256()
+    for row in weights:
+        digest.update(repr(row).encode("ascii"))
+        digest.update(b";")
+    return digest.hexdigest()
+
+
+class _PendingBatch:
+    """One micro-batch being assembled for a query family."""
+
+    __slots__ = ("entry", "params", "items", "timer")
+
+    def __init__(self, entry: DatasetEntry, params: dict) -> None:
+        self.entry = entry
+        self.params = params
+        self.items: list[tuple[np.ndarray, Future]] = []
+        self.timer: threading.Timer | None = None
+
+
+class QueryBroker:
+    """Admission-controlled, micro-batching front door to the planner.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.service.registry.DatasetRegistry` whose
+        entries (and pinned prepared state) queries run against.
+    window_s:
+        Micro-batching window: how long the first request of a family
+        waits for company before its batch is flushed. ``0`` disables
+        coalescing (the per-request baseline ``bench_service.py``
+        measures against).
+    max_batch:
+        Flush a pending batch as soon as it holds this many points.
+        ``1`` also disables coalescing.
+    max_pending:
+        Admission-control bound on concurrently in-flight requests
+        (micro-batched, per-request and matrix dispatch alike); beyond
+        it :class:`AdmissionError` is raised.
+    backend, n_jobs:
+        Defaults handed to the planner (a request may override the
+        backend per query).
+    cache:
+        ``True`` (default) builds a :class:`TTLResultCache` with
+        ``ttl_s``/``cache_size``; an instance shares one; ``False`` /
+        ``None`` disables result caching.
+    tile_rows, tile_candidates:
+        Tile bounds forwarded to the ``sharded`` backend when a query
+        runs there (other backends ignore them).
+    """
+
+    def __init__(
+        self,
+        registry: DatasetRegistry,
+        window_s: float = 0.01,
+        max_batch: int = 16,
+        max_pending: int = 256,
+        backend: str = "auto",
+        n_jobs: int | None = 1,
+        cache: TTLResultCache | bool | None = True,
+        ttl_s: float = 30.0,
+        cache_size: int = 4096,
+        tile_rows: int | None = None,
+        tile_candidates: int | None = None,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        self.registry = registry
+        self.window_s = float(window_s)
+        self.max_batch = check_positive_int(max_batch, "max_batch")
+        self.max_pending = check_positive_int(max_pending, "max_pending")
+        self.backend = backend
+        self.n_jobs = n_jobs
+        self.tile_rows = tile_rows
+        self.tile_candidates = tile_candidates
+        if cache is True:
+            self.cache: TTLResultCache | None = TTLResultCache(
+                maxsize=cache_size, ttl_s=ttl_s
+            )
+        elif isinstance(cache, TTLResultCache):
+            self.cache = cache
+        else:
+            self.cache = None
+        self._lock = threading.Lock()
+        self._pending: dict[tuple, _PendingBatch] = {}
+        self._inflight = 0
+        self._closed = False
+        # Metrics (guarded by the lock).
+        self._n_requests = 0
+        self._n_single = 0
+        self._n_multi = 0
+        self._n_batches = 0
+        self._n_batched_points = 0
+        self._n_coalesced_batches = 0
+        self._max_batch_seen = 0
+        self._n_rejected = 0
+        self._n_cache_served = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        dataset: str,
+        points: Any,
+        kind: str = "counts",
+        flavor: str = "auto",
+        k: int | None = None,
+        pins: dict[int, int] | None = None,
+        label: int | None = None,
+        weights: list[list[Fraction]] | None = None,
+        algorithm: str = "auto",
+        backend: str | None = None,
+        with_cleaned: bool = False,
+        timeout: float | None = 60.0,
+    ) -> dict:
+        """Answer a CP query against a registered dataset.
+
+        ``points`` is one test point (1-D) or a matrix of them; a single
+        point rides the micro-batching path, a matrix executes as one
+        planner batch directly. Returns a dict with the resolved
+        ``flavor``, per-point ``values``, the executing ``backend``, the
+        size of the batch each point was served in, and cache/coalescing
+        telemetry. Raises :class:`AdmissionError` at capacity; any
+        query-construction error (bad pins, incapable backend, ...)
+        propagates to the caller exactly as :func:`make_query` /
+        :func:`plan_query` raise it.
+        """
+        entry = self.registry.get(dataset)
+        matrix = np.asarray(points, dtype=np.float64)
+        single = matrix.ndim == 1
+        if single:
+            matrix = matrix.reshape(1, -1)
+        pins = dict(pins or {})
+        if with_cleaned:
+            session_pins = entry.session_pins()
+            session_pins.update(pins)
+            pins = session_pins
+        params = {
+            "kind": kind,
+            "flavor": self._resolve_flavor(entry, flavor, weights),
+            "k": entry.k if k is None else int(k),
+            "pins": tuple(sorted(pins.items())),
+            "label": label,
+            "weights": weights,
+            "algorithm": algorithm,
+            "backend": backend or self.backend,
+        }
+        # Admission control covers every dispatch path — micro-batched
+        # singles, per-request singles, and matrix queries alike: one
+        # admitted request = one in-flight slot until its response exists.
+        with self._lock:
+            self._n_requests += 1
+            if single:
+                self._n_single += 1
+            else:
+                self._n_multi += 1
+            sweep = self.cache is not None and self._n_requests % 256 == 0
+            if self._closed:
+                raise AdmissionError("broker is shut down", retry_after=1.0)
+            if self._inflight >= self.max_pending:
+                self._n_rejected += 1
+                raise AdmissionError(
+                    f"{self._inflight} requests in flight (max_pending="
+                    f"{self.max_pending}); shedding load",
+                    retry_after=max(self.window_s * 2, 0.01),
+                )
+            self._inflight += 1
+        if sweep:
+            # Periodic sweep: expired entries would otherwise stay resident
+            # until their exact key is looked up again or LRU pressure hits.
+            self.cache.purge()
+        try:
+            if single and self.window_s > 0 and self.max_batch > 1:
+                response = dict(self._submit_single(entry, matrix[0], params, timeout))
+            else:
+                response = self._execute_direct(entry, matrix, params)
+        finally:
+            with self._lock:
+                self._inflight -= 1
+        entry.record_served(matrix.shape[0])
+        response.update(
+            dataset=dataset,
+            kind=kind,
+            flavor=params["flavor"],
+            n_points=matrix.shape[0],
+        )
+        return response
+
+    def metrics(self) -> dict:
+        """A snapshot of the broker's serving counters (for ``/metrics``)."""
+        with self._lock:
+            out = {
+                "requests": self._n_requests,
+                "single_point_requests": self._n_single,
+                "multi_point_requests": self._n_multi,
+                "batches_executed": self._n_batches,
+                "points_executed": self._n_batched_points,
+                "coalesced_batches": self._n_coalesced_batches,
+                "max_batch_size": self._max_batch_seen,
+                "rejected": self._n_rejected,
+                "served_from_cache": self._n_cache_served,
+                "inflight": self._inflight,
+                "window_s": self.window_s,
+                "max_batch": self.max_batch,
+                "max_pending": self.max_pending,
+            }
+        out["cache"] = self.cache.stats() if self.cache is not None else None
+        return out
+
+    def close(self) -> None:
+        """Flush every pending micro-batch and stop accepting new work."""
+        with self._lock:
+            self._closed = True
+            pending = list(self._pending.items())
+            self._pending.clear()
+        for _, batch in pending:
+            if batch.timer is not None:
+                batch.timer.cancel()
+            self._run_batch(batch)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_flavor(entry: DatasetEntry, flavor: str, weights) -> str:
+        """Mirror :func:`make_query`'s flavor inference for the family key.
+
+        (The query itself is still built by ``make_query`` at flush
+        time, so validation stays in one place; this only needs to be
+        consistent, and a wrong guess would surface there.)
+        """
+        if flavor != "auto":
+            return flavor
+        if isinstance(entry.dataset, LabelUncertainDataset):
+            return "label_uncertainty"
+        if weights is not None:
+            return "weighted"
+        return "binary" if entry.dataset.n_labels == 2 else "multiclass"
+
+    def _family_key(self, entry: DatasetEntry, params: dict) -> tuple:
+        return (
+            entry.name,
+            entry.fingerprint,
+            params["kind"],
+            params["flavor"],
+            params["k"],
+            kernel_cache_key(entry.kernel),
+            params["pins"],
+            params["label"],
+            _weights_digest(params["weights"]),
+            params["algorithm"],
+            params["backend"],
+        )
+
+    def _point_cache_key(self, family: tuple, point: np.ndarray) -> tuple:
+        return (*family, _point_digest(point))
+
+    def _options(self, entry: DatasetEntry) -> ExecutionOptions:
+        return ExecutionOptions(
+            n_jobs=self.n_jobs,
+            # The broker's TTL cache is the service's caching layer; the
+            # planner-level LRU is bypassed so expiry is in one place.
+            cache=False,
+            prepared=entry.prepared,
+            tile_rows=self.tile_rows,
+            tile_candidates=self.tile_candidates,
+        )
+
+    def _execute(self, entry: DatasetEntry, test_X: np.ndarray, params: dict):
+        query = make_query(
+            entry.dataset,
+            test_X,
+            kind=params["kind"],
+            flavor=params["flavor"],
+            k=params["k"],
+            kernel=entry.kernel,
+            pins=dict(params["pins"]),
+            label=params["label"],
+            algorithm=params["algorithm"],
+            weights=params["weights"],
+        )
+        return execute_query(query, backend=params["backend"], options=self._options(entry))
+
+    def _execute_direct(self, entry: DatasetEntry, matrix: np.ndarray, params: dict) -> dict:
+        family = self._family_key(entry, params)
+        cache_key = (*family, "matrix", _point_digest(matrix))
+        if self.cache is not None:
+            hit = self.cache.get(cache_key, _MISS)
+            if hit is not _MISS:
+                with self._lock:
+                    self._n_cache_served += 1
+                return {"values": list(hit[0]), "backend": hit[1], "batch_size": matrix.shape[0], "cached": True}
+        result = self._execute(entry, matrix, params)
+        with self._lock:
+            self._n_batches += 1
+            self._n_batched_points += matrix.shape[0]
+            self._max_batch_seen = max(self._max_batch_seen, matrix.shape[0])
+        if self.cache is not None:
+            self.cache.put(cache_key, (list(result.values), result.plan.backend))
+            for index in range(matrix.shape[0]):
+                self.cache.put(
+                    self._point_cache_key(family, matrix[index]),
+                    (result.values[index], result.plan.backend),
+                )
+        return {
+            "values": list(result.values),
+            "backend": result.plan.backend,
+            "batch_size": matrix.shape[0],
+            "cached": False,
+        }
+
+    def _submit_single(
+        self,
+        entry: DatasetEntry,
+        point: np.ndarray,
+        params: dict,
+        timeout: float | None,
+    ) -> dict:
+        family = self._family_key(entry, params)
+        if self.cache is not None:
+            hit = self.cache.get(self._point_cache_key(family, point), _MISS)
+            if hit is not _MISS:
+                with self._lock:
+                    self._n_cache_served += 1
+                return {"values": [hit[0]], "backend": hit[1], "batch_size": 1, "cached": True}
+
+        future: Future = Future()
+        flush_now: _PendingBatch | None = None
+        with self._lock:
+            batch = self._pending.get(family)
+            if batch is None:
+                batch = _PendingBatch(entry, params)
+                self._pending[family] = batch
+                batch.timer = threading.Timer(
+                    self.window_s, self._flush_family, (family, batch)
+                )
+                batch.timer.daemon = True
+                batch.timer.start()
+            batch.items.append((point, future))
+            if len(batch.items) >= self.max_batch:
+                self._pending.pop(family, None)
+                flush_now = batch
+        if flush_now is not None:
+            if flush_now.timer is not None:
+                flush_now.timer.cancel()
+            self._run_batch(flush_now)
+        value, backend_name, batch_size = future.result(timeout=timeout)
+        return {"values": [value], "backend": backend_name, "batch_size": batch_size, "cached": False}
+
+    def _flush_family(self, family: tuple, batch: _PendingBatch) -> None:
+        """Timer callback: flush ``batch`` unless someone else already did."""
+        with self._lock:
+            if self._pending.get(family) is not batch:
+                return  # flushed by max_batch (or close) already
+            self._pending.pop(family, None)
+        self._run_batch(batch)
+
+    def _run_batch(self, batch: _PendingBatch) -> None:
+        if not batch.items:
+            return
+        points = [point for point, _ in batch.items]
+        futures = [future for _, future in batch.items]
+        n = len(futures)
+        try:
+            test_X = np.vstack([point.reshape(1, -1) for point in points])
+            result = self._execute(batch.entry, test_X, batch.params)
+            family = self._family_key(batch.entry, batch.params)
+            with self._lock:
+                self._n_batches += 1
+                self._n_batched_points += n
+                self._max_batch_seen = max(self._max_batch_seen, n)
+                if n > 1:
+                    self._n_coalesced_batches += 1
+            for index, future in enumerate(futures):
+                value = result.values[index]
+                if self.cache is not None:
+                    self.cache.put(
+                        self._point_cache_key(family, points[index]),
+                        (value, result.plan.backend),
+                    )
+                future.set_result((value, result.plan.backend, n))
+        except BaseException as exc:  # noqa: BLE001 — futures carry it to callers
+            for future in futures:
+                if not future.done():
+                    future.set_exception(exc)

@@ -1,0 +1,206 @@
+"""A small stdlib client for the CP query service.
+
+:class:`ServiceClient` wraps the JSON API of :mod:`repro.service.http`
+behind the same vocabulary as the in-process planner: register a
+dataset, ask for ``counts`` / ``certain_label`` / ``check`` values,
+drive a cleaning session step by step. Exact types survive the wire —
+counts come back as Python big ints and weighted probabilities as
+:class:`~fractions.Fraction` (see :mod:`repro.service.wire`), so a
+client-side consumer can compare served values to local
+:func:`~repro.core.planner.execute_query` results with ``==`` and
+expect bit-identical agreement (the differential harness does exactly
+that).
+
+Server-side failures raise :class:`ServiceError` carrying the HTTP
+status and the structured ``code``/``message`` payload the server sent.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any
+from urllib import error, request
+
+import numpy as np
+
+from repro.service.wire import (
+    decode_values,
+    encode_dataset,
+    encode_fraction,
+)
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """A structured error response from the service."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` instance.
+
+    Parameters
+    ----------
+    base_url:
+        E.g. ``"http://127.0.0.1:8970"`` (no trailing slash needed).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        req = request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with request.urlopen(req, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))["error"]
+                raise ServiceError(
+                    exc.code, detail.get("code", "error"), detail.get("message", "")
+                ) from None
+            except (json.JSONDecodeError, KeyError, UnicodeDecodeError):
+                raise ServiceError(exc.code, "error", exc.reason) from None
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def wait_until_ready(self, timeout: float = 10.0, interval: float = 0.05) -> dict:
+        """Poll ``/healthz`` until the service answers (or raise TimeoutError)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (ServiceError, error.URLError, ConnectionError, OSError):
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"service at {self.base_url} not ready after {timeout}s"
+                    ) from None
+                time.sleep(interval)
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def datasets(self) -> list[dict]:
+        return self._request("GET", "/datasets")["datasets"]
+
+    def dataset(self, name: str) -> dict:
+        return self._request("GET", f"/datasets/{name}")
+
+    def register_dataset(
+        self,
+        name: str,
+        dataset,
+        k: int = 3,
+        kernel: str | None = None,
+        val_X: np.ndarray | None = None,
+        replace: bool = False,
+    ) -> dict:
+        """Ship a local dataset to the service under ``name``."""
+        payload: dict[str, Any] = {
+            "name": name,
+            "dataset": encode_dataset(dataset),
+            "k": k,
+            "replace": replace,
+        }
+        if kernel is not None:
+            payload["kernel"] = kernel
+        if val_X is not None:
+            payload["val_X"] = np.asarray(val_X, dtype=np.float64).tolist()
+        return self._request("POST", "/datasets", payload)
+
+    def register_recipe(self, name: str, recipe: str = "supreme", **spec) -> dict:
+        """Have the server build one of the paper's recipes (with oracle)."""
+        return self._request(
+            "POST", "/datasets", {"name": name, "recipe": {"recipe": recipe, **spec}}
+        )
+
+    def query(
+        self,
+        dataset: str,
+        point=None,
+        points=None,
+        kind: str = "counts",
+        flavor: str = "auto",
+        k: int | None = None,
+        pins=None,
+        label: int | None = None,
+        weights=None,
+        algorithm: str = "auto",
+        backend: str | None = None,
+        with_cleaned: bool = False,
+    ) -> dict:
+        """Run a CP query; the response's ``values`` are exact local types.
+
+        Give ``point`` (one test point — rides the server's micro-batch)
+        or ``points`` (a matrix, or the string ``"validation"`` for the
+        dataset's registered validation set). ``weights`` may hold
+        Fractions; they are shipped exactly.
+        """
+        if (point is None) == (points is None):
+            raise ValueError("provide exactly one of point= or points=")
+        payload: dict[str, Any] = {
+            "dataset": dataset,
+            "kind": kind,
+            "flavor": flavor,
+            "algorithm": algorithm,
+            "with_cleaned": with_cleaned,
+        }
+        if point is not None:
+            payload["point"] = np.asarray(point, dtype=np.float64).tolist()
+        elif isinstance(points, str):
+            payload["points"] = points
+        else:
+            payload["points"] = np.asarray(points, dtype=np.float64).tolist()
+        if k is not None:
+            payload["k"] = int(k)
+        if pins:
+            payload["pins"] = [[int(r), int(c)] for r, c in dict(pins).items()]
+        if label is not None:
+            payload["label"] = int(label)
+        if weights is not None:
+            payload["weights"] = [
+                [encode_fraction(w) for w in row] for row in weights
+            ]
+        if backend is not None:
+            payload["backend"] = backend
+        response = self._request("POST", "/query", payload)
+        response["values"] = decode_values(
+            response["values"], response["kind"], response["flavor"]
+        )
+        return response
+
+    def clean_step(self, dataset: str, row: int, candidate: int | None = None) -> dict:
+        """Apply one cleaning answer (``candidate=None`` asks the server's
+        ground-truth oracle) and return the session checkpoint."""
+        payload: dict[str, Any] = {"dataset": dataset, "row": int(row)}
+        if candidate is not None:
+            payload["candidate"] = int(candidate)
+        checkpoint = self._request("POST", "/clean/step", payload)
+        # JSON object keys are strings; restore the row -> candidate ints.
+        checkpoint["fixed"] = {
+            int(row): int(cand) for row, cand in checkpoint["fixed"].items()
+        }
+        return checkpoint

@@ -1,0 +1,356 @@
+"""The stdlib HTTP front end: a threaded JSON API over the broker.
+
+``ThreadingHTTPServer`` (one thread per connection, stdlib-only — the
+container bakes in no web framework and the service does not need one)
+exposes the registry + broker behind five JSON endpoints:
+
+====================  ======  ====================================================
+path                  method  what it does
+====================  ======  ====================================================
+``/healthz``          GET     liveness: status, uptime, registered dataset names
+``/metrics``          GET     registry counters + broker/micro-batching/cache stats
+``/datasets``         GET     list registered datasets (``POST`` registers one:
+                              a recipe build or a wire-encoded dataset)
+``/datasets/<name>``  GET     one dataset's description
+``/query``            POST    a CP query — single point (micro-batched) or matrix
+``/clean/step``       POST    one cleaning answer; returns the session checkpoint
+====================  ======  ====================================================
+
+Every error is a structured JSON payload ``{"error": {"code", "message"}}``
+with the right status class: malformed JSON and invalid queries are 400,
+an unknown dataset is 404, a duplicate registration is 409, admission
+rejection is 429 with a ``Retry-After`` header, and anything unexpected
+is a 500 that never leaks a traceback to the client.
+
+Start a server with :func:`make_service` (ephemeral port, background
+thread — what the tests and the CI smoke job use) or :func:`serve`
+(blocking — what ``repro serve`` calls).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlparse
+
+from repro.core.planner import PlanError
+from repro.service.broker import AdmissionError, QueryBroker
+from repro.service.registry import (
+    DatasetRegistry,
+    DuplicateDatasetError,
+    RegistryError,
+    UnknownDatasetError,
+)
+from repro.service.wire import (
+    WireError,
+    decode_dataset,
+    decode_matrix,
+    decode_pins,
+    decode_weights,
+    encode_values,
+)
+
+__all__ = ["ServiceServer", "make_service", "serve"]
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """The HTTP server plus the service state its handlers operate on."""
+
+    daemon_threads = True  # connection threads must not block shutdown
+    # socketserver's default listen backlog is 5; a burst of concurrent
+    # clients (the whole point of micro-batching) would see kernel-level
+    # connection resets before admission control ever got a say. Admission
+    # decisions belong to the broker (429 + Retry-After), not the backlog.
+    request_queue_size = 128
+
+    def __init__(self, address, registry: DatasetRegistry, broker: QueryBroker):
+        super().__init__(address, _Handler)
+        self.registry = registry
+        self.broker = broker
+        self.started = time.monotonic()
+        self._accepting = False  # True once serve_forever is (about to be) live
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        """Stop serving, flush pending micro-batches, release the socket.
+
+        Safe whether or not the accept loop ever ran: ``shutdown()`` waits
+        on an event only ``serve_forever()`` sets, so it is skipped when
+        the loop was never started (``make_service(..., start=False)``).
+        """
+        if self._accepting:
+            self._accepting = False
+            self.shutdown()
+        self.broker.close()
+        self.server_close()
+
+
+def make_service(
+    registry: DatasetRegistry | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    start: bool = True,
+    **broker_kwargs,
+) -> ServiceServer:
+    """Build a :class:`ServiceServer` (port ``0`` = ephemeral).
+
+    With ``start=True`` (default) the accept loop runs in a daemon
+    thread and the call returns immediately — the pattern the tests, the
+    examples and the CI smoke job share. ``broker_kwargs`` go to
+    :class:`~repro.service.broker.QueryBroker` (``window_s``,
+    ``max_batch``, ``max_pending``, ``backend``, ``n_jobs``, ``ttl_s``...).
+    """
+    registry = registry if registry is not None else DatasetRegistry()
+    broker = QueryBroker(registry, **broker_kwargs)
+    server = ServiceServer((host, port), registry, broker)
+    if start:
+        server._accepting = True
+        thread = threading.Thread(
+            target=server.serve_forever, name="repro-service", daemon=True
+        )
+        thread.start()
+    return server
+
+
+def serve(
+    registry: DatasetRegistry | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8970,
+    **broker_kwargs,
+) -> None:
+    """Run the service in the foreground until interrupted (``repro serve``)."""
+    server = make_service(registry, host=host, port=port, start=False, **broker_kwargs)
+    # flush=True: with stdout piped (CI smoke, subprocess tests) the listen
+    # line must escape the block buffer before serve_forever() parks.
+    print(f"repro service listening on {server.url}", flush=True)
+    print(f"datasets registered: {server.registry.names() or '(none)'}", flush=True)
+    server._accepting = True
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server._accepting = False  # the loop already exited; skip shutdown()
+        server.close()
+
+
+# ---------------------------------------------------------------------------
+# Request handling
+# ---------------------------------------------------------------------------
+
+#: Exception → (HTTP status, error code). Order matters: subclasses first.
+_ERROR_MAP: tuple[tuple[type[BaseException], int, str], ...] = (
+    (AdmissionError, 429, "overloaded"),
+    (UnknownDatasetError, 404, "unknown_dataset"),
+    (DuplicateDatasetError, 409, "registry_conflict"),
+    (RegistryError, 400, "invalid_request"),
+    (WireError, 400, "malformed_payload"),
+    (PlanError, 400, "plan_error"),
+    (TimeoutError, 504, "timeout"),
+    ((ValueError, TypeError, IndexError, KeyError), 400, "invalid_query"),
+)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ServiceServer  # narrowed for type checkers
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the service is quiet by default; /metrics is the observability
+
+    def _send_json(self, status: int, payload: dict, headers: dict | None = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(
+        self, status: int, code: str, message: str, headers: dict | None = None
+    ) -> None:
+        self._send_json(
+            status, {"error": {"code": code, "message": message}}, headers
+        )
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else None
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise WireError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise WireError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, handler) -> None:
+        try:
+            status, payload = handler()
+            self._send_json(status, payload)
+        except BaseException as exc:  # noqa: BLE001 — mapped to structured errors
+            for exc_types, status, code in _ERROR_MAP:
+                if isinstance(exc, exc_types):
+                    headers = (
+                        {"Retry-After": f"{exc.retry_after:.3f}"}
+                        if isinstance(exc, AdmissionError)
+                        else None
+                    )
+                    message = str(exc) if not isinstance(exc, KeyError) else (
+                        str(exc) if isinstance(exc, UnknownDatasetError)
+                        else f"missing field {exc.args[0]!r}"
+                    )
+                    self._send_error_json(status, code, message, headers)
+                    return
+            self._send_error_json(
+                500, "internal_error", f"{type(exc).__name__} (see server logs)"
+            )
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        path = urlparse(self.path).path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._dispatch(self._get_healthz)
+        elif path == "/metrics":
+            self._dispatch(self._get_metrics)
+        elif path == "/datasets":
+            self._dispatch(self._get_datasets)
+        elif path.startswith("/datasets/"):
+            name = path[len("/datasets/") :]
+            self._dispatch(lambda: self._get_dataset(name))
+        else:
+            self._send_error_json(404, "not_found", f"no route for GET {path}")
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        path = urlparse(self.path).path.rstrip("/")
+        if path == "/datasets":
+            self._dispatch(self._post_datasets)
+        elif path == "/query":
+            self._dispatch(self._post_query)
+        elif path == "/clean/step":
+            self._dispatch(self._post_clean_step)
+        else:
+            self._send_error_json(404, "not_found", f"no route for POST {path}")
+
+    # -- GET bodies ----------------------------------------------------
+    def _get_healthz(self):
+        return 200, {
+            "status": "ok",
+            "uptime_s": time.monotonic() - self.server.started,
+            "datasets": self.server.registry.names(),
+        }
+
+    def _get_metrics(self):
+        return 200, {
+            "uptime_s": time.monotonic() - self.server.started,
+            "registry": dict(self.server.registry.stats()),
+            "broker": self.server.broker.metrics(),
+        }
+
+    def _get_datasets(self):
+        return 200, {"datasets": self.server.registry.describe_all()}
+
+    def _get_dataset(self, name: str):
+        return 200, self.server.registry.get(name).describe()
+
+    # -- POST bodies ---------------------------------------------------
+    def _post_datasets(self):
+        payload = self._read_json()
+        name = payload["name"]
+        replace = bool(payload.get("replace", False))
+        if "recipe" in payload:
+            spec = payload["recipe"]
+            if isinstance(spec, str):
+                spec = {"recipe": spec}
+            if not isinstance(spec, dict):
+                raise WireError("'recipe' must be a recipe name or an object")
+            entry = self.server.registry.register_recipe(
+                name,
+                recipe=spec.get("recipe", "supreme"),
+                n_train=int(spec.get("n_train", 100)),
+                n_val=int(spec.get("n_val", 24)),
+                missing_rate=spec.get("missing_rate"),
+                k=int(spec.get("k", 3)),
+                seed=int(spec.get("seed", 0)),
+                # HTTP-registered entries run with the same execution
+                # defaults the operator configured for the server.
+                backend=self.server.broker.backend,
+                n_jobs=self.server.broker.n_jobs,
+                replace=replace,
+            )
+        else:
+            dataset = decode_dataset(payload["dataset"])
+            val_X = payload.get("val_X")
+            entry = self.server.registry.register(
+                name,
+                dataset,
+                k=int(payload.get("k", 3)),
+                kernel=payload.get("kernel"),
+                val_X=None if val_X is None else decode_matrix(val_X, "val_X"),
+                backend=self.server.broker.backend,
+                n_jobs=self.server.broker.n_jobs,
+                replace=replace,
+            )
+        return 201, entry.describe()
+
+    def _post_query(self):
+        payload = self._read_json()
+        name = payload["dataset"]
+        if "point" in payload and "points" in payload:
+            raise WireError("send either 'point' or 'points', not both")
+        if "point" in payload:
+            matrix = decode_matrix(payload["point"], "point")
+            if matrix.shape[0] != 1:
+                raise WireError(
+                    f"'point' must be a single test point, got {matrix.shape[0]} "
+                    "rows; send a matrix via 'points' instead"
+                )
+            points = matrix[0]
+        elif "points" in payload:
+            spec = payload["points"]
+            if spec == "validation":
+                entry = self.server.registry.get(name)
+                if entry.val_X is None:
+                    raise WireError(
+                        f"dataset {name!r} has no registered validation set"
+                    )
+                entry.ensure_warm()  # pin the prepared state this query will reuse
+                points = entry.val_X
+            else:
+                points = decode_matrix(spec, "points")
+        else:
+            raise WireError("query needs a 'point' or 'points' field")
+        response = self.server.broker.query(
+            name,
+            points,
+            kind=payload.get("kind", "counts"),
+            flavor=payload.get("flavor", "auto"),
+            k=payload.get("k"),
+            pins=decode_pins(payload.get("pins")),
+            label=payload.get("label"),
+            weights=decode_weights(payload.get("weights")),
+            algorithm=payload.get("algorithm", "auto"),
+            backend=payload.get("backend"),
+            with_cleaned=bool(payload.get("with_cleaned", False)),
+        )
+        response["values"] = encode_values(response["values"])
+        return 200, response
+
+    def _post_clean_step(self):
+        payload = self._read_json()
+        entry = self.server.registry.get(payload["dataset"])
+        candidate = payload.get("candidate")
+        checkpoint = entry.clean_step(
+            int(payload["row"]),
+            None if candidate is None else int(candidate),
+        )
+        return 200, checkpoint

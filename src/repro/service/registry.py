@@ -1,0 +1,368 @@
+"""The dataset registry: named datasets with warm prepared state.
+
+Every entry point in the repo so far is one-shot and in-process: each
+caller builds its own :class:`~repro.core.batch_engine.PreparedBatch`
+(the vectorised candidate-distance state), uses it, and throws it away.
+A long-lived service must not — preparing distances is the expensive,
+perfectly reusable part of a CP query, which is why the ROADMAP's
+"heavy traffic" north star needs a place that keeps it warm.
+
+:class:`DatasetRegistry` is that place. It maps names to
+:class:`DatasetEntry` objects, each owning:
+
+* the dataset itself plus its content ``fingerprint()`` (the cache key
+  every layer below already agrees on);
+* an optional registered **validation set**, whose prepared state is
+  pinned via a lazily-built
+  :class:`~repro.cleaning.sequential.CleaningSession` — that session
+  holds the ``PreparedBatch`` and, through the ``incremental`` backend,
+  keeps :class:`~repro.core.incremental.IncrementalCPState` maintained
+  across ``/clean/step`` calls instead of re-preparing per request;
+* per-entry counters the ``/metrics`` endpoint reports.
+
+Everything is thread-safe: the registry serialises membership changes on
+one lock, and each entry serialises its own lazy construction and
+cleaning steps, so two HTTP threads can hit different datasets without
+ever contending on a global lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping
+from typing import Any
+
+import numpy as np
+
+from repro.cleaning.sequential import CleaningSession
+from repro.core.batch_engine import PreparedBatch
+from repro.core.dataset import IncompleteDataset
+from repro.core.kernels import Kernel, resolve_kernel
+from repro.core.label_uncertainty import LabelUncertainDataset
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "UnknownDatasetError",
+    "RegistryError",
+    "DuplicateDatasetError",
+    "DatasetEntry",
+    "DatasetRegistry",
+]
+
+
+class RegistryError(ValueError):
+    """Invalid registry operation (no validation set, no oracle, bad name)."""
+
+
+class DuplicateDatasetError(RegistryError):
+    """The name is already registered (surfaced as HTTP 409; pass
+    ``replace=True`` to overwrite)."""
+
+
+class UnknownDatasetError(KeyError):
+    """No dataset registered under that name (surfaced as HTTP 404)."""
+
+    def __init__(self, name: str, known: list[str]) -> None:
+        super().__init__(name)
+        self.name = name
+        self.known = known
+
+    def __str__(self) -> str:
+        return f"unknown dataset {self.name!r}; registered: {self.known}"
+
+
+class DatasetEntry:
+    """One registered dataset and the warm state pinned to it.
+
+    Built by :class:`DatasetRegistry`; not constructed directly. The
+    entry's :attr:`session` (and through it the pinned
+    :class:`~repro.core.batch_engine.PreparedBatch` over the registered
+    validation set) is created on first use and then reused by every
+    request, which is exactly the state sharing the one-shot entry
+    points could never offer.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dataset: IncompleteDataset | LabelUncertainDataset,
+        k: int = 3,
+        kernel: Kernel | str | None = None,
+        val_X: np.ndarray | None = None,
+        gt_choice: np.ndarray | None = None,
+        backend: str = "auto",
+        n_jobs: int | None = 1,
+    ) -> None:
+        self.name = name
+        self.dataset = dataset
+        self.k = check_positive_int(k, "k")
+        self.kernel = resolve_kernel(kernel)
+        self.val_X = None if val_X is None else np.asarray(val_X, dtype=np.float64)
+        self.gt_choice = gt_choice
+        self.backend = backend
+        self.n_jobs = n_jobs
+        self.fingerprint = dataset.fingerprint()
+        self.n_queries = 0
+        self.n_points_served = 0
+        self.n_clean_steps = 0
+        self._session: CleaningSession | None = None
+        self._lock = threading.RLock()
+        # Serialises whole cleaning steps (mutation + checkpoint query).
+        # Separate from _lock so long checkpoint queries never block the
+        # quick prepared/session_pins snapshots the query path takes.
+        self._session_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def supports_cleaning(self) -> bool:
+        """True iff the entry can run ``/clean/step`` (needs a validation set
+        and a feature-incomplete dataset — cleaning pins feature repairs)."""
+        return self.val_X is not None and isinstance(self.dataset, IncompleteDataset)
+
+    @property
+    def session(self) -> CleaningSession:
+        """The entry's cleaning session (lazily built, then pinned warm).
+
+        Owns the validation set's ``PreparedBatch`` and the shared result
+        cache; ``backend="auto"`` routes binary certainty checks through
+        the vectorised MinMax batch path and larger label spaces through
+        the ``incremental`` backend's maintained counts.
+        """
+        if not self.supports_cleaning:
+            raise RegistryError(
+                f"dataset {self.name!r} has no validation set registered; "
+                "cleaning and validation queries need one"
+            )
+        with self._lock:
+            if self._session is None:
+                self._session = CleaningSession(
+                    self.dataset,
+                    self.val_X,
+                    k=self.k,
+                    kernel=self.kernel,
+                    n_jobs=self.n_jobs,
+                    backend=self.backend,
+                )
+            return self._session
+
+    @property
+    def prepared(self) -> PreparedBatch | None:
+        """The pinned prepared-distance state over the registered validation
+        set, or ``None`` if it has not been built yet (see :meth:`ensure_warm`).
+
+        Handing this to :class:`~repro.core.planner.ExecutionOptions`
+        is always safe: the batch backend verifies fingerprint, test
+        matrix, ``k`` and kernel before using a handed batch, so a
+        mismatching prepared state is simply ignored.
+        """
+        with self._lock:
+            if self._session is not None:
+                return self._session.batch
+        return None
+
+    def ensure_warm(self) -> PreparedBatch | None:
+        """Build (once) and return the pinned prepared state, if the entry
+        has a validation set; ``None`` otherwise."""
+        if self.supports_cleaning:
+            return self.session.batch
+        return None
+
+    def clean_step(self, row: int, candidate: int | None) -> dict:
+        """Apply one human answer and return the session checkpoint.
+
+        ``candidate=None`` consults the registered ground-truth choice
+        (recipe datasets carry one) — the simulated oracle, driven over
+        the wire.
+        """
+        with self._session_lock:
+            with self._lock:
+                session = self.session
+                if candidate is None:
+                    if self.gt_choice is None:
+                        raise RegistryError(
+                            f"dataset {self.name!r} has no ground-truth oracle; "
+                            "send an explicit candidate"
+                        )
+                    candidate = int(self.gt_choice[int(row)])
+                session.clean_row(int(row), int(candidate))
+                self.n_clean_steps += 1
+            # The checkpoint runs a full validation certainty query, so it
+            # must not hold the entry lock (queries take it for quick
+            # prepared/session_pins snapshots) — but it does hold the
+            # session lock, so concurrent cleaning steps serialise and
+            # session.fixed is never mutated mid-checkpoint.
+            checkpoint = session.checkpoint()
+        checkpoint["dataset"] = self.name
+        checkpoint["row"] = int(row)
+        checkpoint["candidate"] = int(candidate)
+        return checkpoint
+
+    def session_pins(self) -> dict[int, int]:
+        """Pins applied by ``/clean/step`` so far (empty before any step)."""
+        with self._lock:
+            if self._session is None:
+                return {}
+            return dict(self._session.fixed)
+
+    def record_served(self, n_points: int) -> None:
+        """Bump the per-entry request counters (one query, ``n_points`` points)."""
+        with self._lock:
+            self.n_queries += 1
+            self.n_points_served += int(n_points)
+
+    def describe(self) -> dict:
+        """The ``/datasets`` JSON row for this entry."""
+        dataset = self.dataset
+        with self._lock:
+            n_cleaned = 0 if self._session is None else len(self._session.fixed)
+            stats = {
+                "n_queries": self.n_queries,
+                "n_points_served": self.n_points_served,
+                "n_clean_steps": self.n_clean_steps,
+            }
+        return {
+            "name": self.name,
+            "type": (
+                "label_uncertain"
+                if isinstance(dataset, LabelUncertainDataset)
+                else "incomplete"
+            ),
+            "fingerprint": self.fingerprint,
+            "n_rows": dataset.n_rows,
+            "n_features": dataset.n_features,
+            "n_labels": dataset.n_labels,
+            "n_worlds": str(dataset.n_worlds()),
+            "k": self.k,
+            "kernel": repr(self.kernel),
+            "n_val": 0 if self.val_X is None else int(self.val_X.shape[0]),
+            "supports_cleaning": self.supports_cleaning,
+            "has_oracle": self.gt_choice is not None,
+            "n_cleaned": n_cleaned,
+            **stats,
+        }
+
+
+class DatasetRegistry:
+    """Thread-safe name → :class:`DatasetEntry` mapping for the service."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, DatasetEntry] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        dataset: IncompleteDataset | LabelUncertainDataset,
+        k: int = 3,
+        kernel: Kernel | str | None = None,
+        val_X: np.ndarray | None = None,
+        gt_choice: np.ndarray | None = None,
+        backend: str = "auto",
+        n_jobs: int | None = 1,
+        replace: bool = False,
+    ) -> DatasetEntry:
+        """Register ``dataset`` under ``name`` (``replace`` to overwrite)."""
+        if not isinstance(name, str) or not name:
+            raise RegistryError("dataset name must be a non-empty string")
+        entry = DatasetEntry(
+            name,
+            dataset,
+            k=k,
+            kernel=kernel,
+            val_X=val_X,
+            gt_choice=gt_choice,
+            backend=backend,
+            n_jobs=n_jobs,
+        )
+        with self._lock:
+            if not replace and name in self._entries:
+                raise DuplicateDatasetError(f"dataset {name!r} is already registered")
+            self._entries[name] = entry
+        return entry
+
+    def register_recipe(
+        self,
+        name: str,
+        recipe: str = "supreme",
+        n_train: int = 100,
+        n_val: int = 24,
+        missing_rate: float | None = None,
+        k: int = 3,
+        seed: int = 0,
+        backend: str = "auto",
+        n_jobs: int | None = 1,
+        replace: bool = False,
+    ) -> DatasetEntry:
+        """Build one of the paper's dirty-dataset recipes and register it.
+
+        The recipe's validation split becomes the registered validation
+        set (so its prepared state is pinned) and the ground-truth repair
+        choice becomes the entry's simulated cleaning oracle.
+        """
+        from repro.data.task import build_cleaning_task
+
+        task = build_cleaning_task(
+            recipe,
+            n_train=n_train,
+            n_val=n_val,
+            n_test=2,
+            missing_rate=missing_rate,
+            k=k,
+            seed=seed,
+        )
+        return self.register(
+            name,
+            task.incomplete,
+            k=k,
+            val_X=task.val_X,
+            gt_choice=task.gt_choice,
+            backend=backend,
+            n_jobs=n_jobs,
+            replace=replace,
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> DatasetEntry:
+        """The entry for ``name`` (:class:`UnknownDatasetError` if absent)."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise UnknownDatasetError(name, sorted(self._entries))
+            return entry
+
+    def remove(self, name: str) -> None:
+        """Drop a registration (and its warm state)."""
+        with self._lock:
+            if self._entries.pop(name, None) is None:
+                raise UnknownDatasetError(name, sorted(self._entries))
+
+    def names(self) -> list[str]:
+        """Registered dataset names, sorted."""
+        with self._lock:
+            return sorted(self._entries)
+
+    def describe_all(self) -> list[dict]:
+        """The ``/datasets`` listing."""
+        with self._lock:
+            entries = list(self._entries.values())
+        return [entry.describe() for entry in entries]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def stats(self) -> Mapping[str, Any]:
+        """Aggregate counters for ``/metrics``."""
+        with self._lock:
+            entries = list(self._entries.values())
+        return {
+            "n_datasets": len(entries),
+            "n_queries": sum(e.n_queries for e in entries),
+            "n_points_served": sum(e.n_points_served for e in entries),
+            "n_clean_steps": sum(e.n_clean_steps for e in entries),
+        }

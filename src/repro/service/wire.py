@@ -1,0 +1,203 @@
+"""The JSON wire format shared by the HTTP server and the Python client.
+
+A certification system cannot tolerate lossy transport: Q2 counts are
+arbitrary-precision integers (``M^N`` worlds) and the weighted flavor's
+probabilities are exact :class:`~fractions.Fraction` values, neither of
+which survives a trip through JSON numbers (doubles). This module defines
+the one encoding both ends agree on:
+
+* **Integers** ride as JSON integers — Python's ``json`` round-trips
+  big ints exactly, so world counts keep every digit.
+* **Fractions** ride as ``"p/q"`` strings (``Fraction`` reprs are
+  canonical, so equality is preserved bit for bit); the client restores
+  them with :func:`decode_fraction`.
+* **Datasets** ride as their full candidate structure
+  (:func:`encode_dataset` / :func:`decode_dataset`), covering both
+  :class:`~repro.core.dataset.IncompleteDataset` and
+  :class:`~repro.core.label_uncertainty.LabelUncertainDataset` — this is
+  what lets the differential harness replay its random queries over the
+  wire and demand bit-identical answers.
+
+``tests/service/test_service_differential.py`` holds the round-trip to
+exactly that standard.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+import numpy as np
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.label_uncertainty import LabelUncertainDataset
+
+__all__ = [
+    "WireError",
+    "encode_fraction",
+    "decode_fraction",
+    "encode_values",
+    "decode_values",
+    "encode_dataset",
+    "decode_dataset",
+    "decode_pins",
+    "decode_weights",
+    "decode_matrix",
+]
+
+
+class WireError(ValueError):
+    """A payload does not follow the wire format (surfaced as HTTP 400)."""
+
+
+# ---------------------------------------------------------------------------
+# Exact scalars
+# ---------------------------------------------------------------------------
+
+
+def encode_fraction(value: Fraction) -> str:
+    """``Fraction(3, 7)`` → ``"3/7"`` (canonical, lowest terms)."""
+    return f"{value.numerator}/{value.denominator}"
+
+
+def decode_fraction(text: Any) -> Fraction:
+    """Parse a ``"p/q"`` (or plain integer) string back into a Fraction."""
+    if isinstance(text, int) and not isinstance(text, bool):
+        return Fraction(text)
+    if not isinstance(text, str):
+        raise WireError(f"expected a 'p/q' fraction string, got {text!r}")
+    try:
+        return Fraction(text)
+    except (ValueError, ZeroDivisionError) as exc:
+        raise WireError(f"malformed fraction {text!r}: {exc}") from None
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, Fraction):
+        return encode_fraction(value)
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (bool, int)) or value is None:
+        return value
+    raise WireError(f"cannot encode value of type {type(value).__name__}")
+
+
+def encode_values(values: list) -> list:
+    """Per-point query values → JSON-safe structures (exactly, see module doc)."""
+    return [_encode_value(value) for value in values]
+
+
+def decode_values(values: Any, kind: str, flavor: str) -> list:
+    """Undo :func:`encode_values` for a known query ``kind`` × ``flavor``.
+
+    Only the weighted flavor's ``counts`` carry Fractions; every other
+    combination is integers, booleans or ``None`` and decodes as-is.
+    """
+    if not isinstance(values, list):
+        raise WireError(f"values must be a list, got {type(values).__name__}")
+    if kind == "counts" and flavor == "weighted":
+        return [[decode_fraction(p) for p in probs] for probs in values]
+    return values
+
+
+# ---------------------------------------------------------------------------
+# Datasets
+# ---------------------------------------------------------------------------
+
+
+def encode_dataset(dataset: IncompleteDataset | LabelUncertainDataset) -> dict:
+    """A dataset as pure JSON structure (floats stay IEEE-exact via repr)."""
+    if isinstance(dataset, LabelUncertainDataset):
+        return {
+            "type": "label_uncertain",
+            "candidate_sets": [
+                dataset.candidates(row).tolist() for row in range(dataset.n_rows)
+            ],
+            "label_sets": [list(ls) for ls in dataset.label_sets],
+        }
+    if isinstance(dataset, IncompleteDataset):
+        return {
+            "type": "incomplete",
+            "candidate_sets": [
+                dataset.candidates(row).tolist() for row in range(dataset.n_rows)
+            ],
+            "labels": dataset.labels.tolist(),
+        }
+    raise WireError(f"cannot encode dataset of type {type(dataset).__name__}")
+
+
+def decode_dataset(payload: Any) -> IncompleteDataset | LabelUncertainDataset:
+    """Rebuild a dataset from :func:`encode_dataset` output.
+
+    Also the validation gate for client-supplied datasets: every
+    structural error comes back as :class:`WireError` (→ HTTP 400) with
+    the constructor's message attached.
+    """
+    if not isinstance(payload, dict):
+        raise WireError(f"dataset must be an object, got {type(payload).__name__}")
+    dataset_type = payload.get("type", "incomplete")
+    candidate_sets = payload.get("candidate_sets")
+    if not isinstance(candidate_sets, list) or not candidate_sets:
+        raise WireError("dataset needs a non-empty 'candidate_sets' list")
+    try:
+        sets = [np.asarray(cands, dtype=np.float64) for cands in candidate_sets]
+        if dataset_type == "incomplete":
+            labels = payload.get("labels")
+            if labels is None:
+                raise WireError("incomplete dataset needs 'labels'")
+            return IncompleteDataset(sets, labels)
+        if dataset_type == "label_uncertain":
+            label_sets = payload.get("label_sets")
+            if label_sets is None:
+                raise WireError("label_uncertain dataset needs 'label_sets'")
+            return LabelUncertainDataset(sets, label_sets)
+    except WireError:
+        raise
+    except (ValueError, TypeError) as exc:
+        raise WireError(f"malformed dataset: {exc}") from None
+    raise WireError(
+        f"unknown dataset type {dataset_type!r}; expected 'incomplete' or 'label_uncertain'"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Query parameters
+# ---------------------------------------------------------------------------
+
+
+def decode_pins(payload: Any) -> dict[int, int]:
+    """``[[row, candidate], ...]`` (or a mapping) → pins dict."""
+    if payload is None:
+        return {}
+    try:
+        if isinstance(payload, dict):
+            return {int(row): int(cand) for row, cand in payload.items()}
+        return {int(row): int(cand) for row, cand in payload}
+    except (TypeError, ValueError) as exc:
+        raise WireError(
+            f"pins must be [[row, candidate], ...] pairs: {exc}"
+        ) from None
+
+
+def decode_weights(payload: Any) -> list[list[Fraction]] | None:
+    """Per-row candidate priors as nested ``"p/q"`` strings, or ``None``."""
+    if payload is None:
+        return None
+    if not isinstance(payload, list):
+        raise WireError("weights must be a list of per-row fraction lists")
+    return [[decode_fraction(w) for w in row] for row in payload]
+
+
+def decode_matrix(payload: Any, name: str) -> np.ndarray:
+    """A JSON nested list → float matrix (one row per point)."""
+    try:
+        matrix = np.asarray(payload, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"{name} must be numeric: {exc}") from None
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(1, -1)
+    if matrix.ndim != 2 or matrix.size == 0:
+        raise WireError(f"{name} must be a non-empty point or list of points")
+    return matrix

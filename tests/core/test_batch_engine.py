@@ -210,6 +210,75 @@ class TestResultCache:
         assert cache.get(("a",)) == 1
         assert cache.get(("c",)) == 3
 
+    def test_concurrent_hammer(self):
+        """Many threads of get/put/clear on one instance: the broker's
+        prerequisite. No exception, size stays bounded, and — because every
+        lookup bumps exactly one counter under the lock — the counters
+        exactly account for every get."""
+        import threading
+
+        cache = QueryResultCache(maxsize=16)
+        n_threads, n_ops = 8, 500
+        gets_done = [0] * n_threads
+        errors: list[Exception] = []
+
+        def hammer(thread_index: int) -> None:
+            rng = np.random.default_rng(thread_index)
+            try:
+                for op in range(n_ops):
+                    key = ("key", int(rng.integers(0, 48)))
+                    roll = rng.random()
+                    if roll < 0.45:
+                        cache.put(key, [thread_index, op])
+                    elif roll < 0.9:
+                        value = cache.get(key)
+                        gets_done[thread_index] += 1
+                        assert value is None or isinstance(value, list)
+                    elif roll < 0.95:
+                        _ = cache.stats(), cache.hit_rate, len(cache)
+                    else:
+                        cache.clear()
+            except Exception as exc:  # pragma: no cover - surfaces below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(index,))
+            for index in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 16
+        # clear() resets the counters, so only a lower bound survives — but
+        # hits + misses can never exceed the lookups actually performed.
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] <= sum(gets_done)
+        assert 0.0 <= cache.hit_rate <= 1.0
+
+    def test_shared_cache_across_threads_serves_consistent_values(self):
+        """Two executors on different threads sharing one cache agree with
+        the sequential reference throughout."""
+        import threading
+
+        dataset, test_X = _workload(seed=12)
+        shared = QueryResultCache()
+        expected = _sequential_counts(dataset, test_X, k=3)
+        results: dict[int, list] = {}
+
+        def run(slot: int) -> None:
+            executor = BatchQueryExecutor(dataset, test_X, k=3, cache=shared)
+            for _ in range(3):
+                results[slot] = executor.counts()
+
+        threads = [threading.Thread(target=run, args=(slot,)) for slot in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(results[slot] == expected for slot in results)
+
 
 class TestFanout:
     def test_resolve_n_jobs(self):

@@ -389,6 +389,42 @@ class TestCachingAndOptions:
         assert single == multi
 
 
+class TestExecutionOptionsValidation:
+    """Library callers get the same knob validation the CLI flags enforce."""
+
+    def test_defaults_and_sentinels_accepted(self):
+        ExecutionOptions()
+        ExecutionOptions(n_jobs=None)
+        ExecutionOptions(n_jobs=-1)  # the all-CPUs sentinel
+        ExecutionOptions(n_jobs=4, tile_rows=8, tile_candidates=128)
+        ExecutionOptions(n_jobs=np.int64(2))  # numpy integers are integers
+
+    def test_zero_n_jobs_rejected(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            ExecutionOptions(n_jobs=0)
+
+    def test_other_negative_n_jobs_rejected(self):
+        # -1 is the conventional sentinel; -2 etc. used to silently mean
+        # "all CPUs", which hid typos — exactly what the CLI flag rejects.
+        with pytest.raises(ValueError, match="-1"):
+            ExecutionOptions(n_jobs=-2)
+
+    def test_non_integer_n_jobs_rejected(self):
+        with pytest.raises(TypeError, match="n_jobs"):
+            ExecutionOptions(n_jobs=2.5)
+        with pytest.raises(TypeError, match="n_jobs"):
+            ExecutionOptions(n_jobs=True)
+
+    @pytest.mark.parametrize("knob", ["tile_rows", "tile_candidates"])
+    def test_tile_bounds_must_be_positive(self, knob):
+        with pytest.raises(ValueError, match=knob):
+            ExecutionOptions(**{knob: 0})
+        with pytest.raises(ValueError, match=knob):
+            ExecutionOptions(**{knob: -3})
+        with pytest.raises(TypeError, match=knob):
+            ExecutionOptions(**{knob: 2.0})
+
+
 class TestFrontDoorGuards:
     """The single-point front door must not silently mis-handle matrices."""
 

@@ -1,0 +1,317 @@
+"""QueryBroker: micro-batching, admission control, the TTL result cache."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.planner import ExecutionOptions, PlanError, execute_query, make_query
+from repro.service.broker import AdmissionError, QueryBroker, TTLResultCache
+from repro.service.registry import DatasetRegistry
+
+
+def small_dataset() -> IncompleteDataset:
+    rng = np.random.default_rng(3)
+    sets = [rng.normal(size=(m, 2)) for m in (1, 3, 2, 2, 1, 3)]
+    return IncompleteDataset(sets, [0, 1, 0, 1, 1, 0])
+
+
+@pytest.fixture
+def registry() -> DatasetRegistry:
+    registry = DatasetRegistry()
+    registry.register("d", small_dataset(), k=2)
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# TTLResultCache
+# ---------------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTTLResultCache:
+    def test_entries_expire_after_ttl(self):
+        clock = FakeClock()
+        cache = TTLResultCache(maxsize=8, ttl_s=10.0, clock=clock)
+        cache.put("key", [1, 2])
+        assert cache.get("key") == [1, 2]
+        clock.now = 9.9
+        assert cache.get("key") == [1, 2]
+        clock.now = 10.1
+        assert cache.get("key") is None  # expired == miss
+        assert cache.stats()["expirations"] == 1
+        assert len(cache) == 0
+
+    def test_lru_eviction_at_maxsize(self):
+        cache = TTLResultCache(maxsize=2, ttl_s=100.0, clock=FakeClock())
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)  # evicts b (least recently used)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_purge_drops_only_expired(self):
+        clock = FakeClock()
+        cache = TTLResultCache(maxsize=8, ttl_s=5.0, clock=clock)
+        cache.put("old", 1)
+        clock.now = 3.0
+        cache.put("new", 2)
+        clock.now = 5.5  # 'old' expired at 5.0, 'new' expires at 8.0
+        assert cache.purge() == 1
+        assert len(cache) == 1 and cache.get("new") == 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TTLResultCache(maxsize=0)
+        with pytest.raises(ValueError):
+            TTLResultCache(ttl_s=0)
+
+    def test_concurrent_hammer(self):
+        cache = TTLResultCache(maxsize=32, ttl_s=100.0)
+        n_threads, n_ops = 8, 400
+        errors: list[Exception] = []
+
+        def hammer(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                for i in range(n_ops):
+                    key = ("k", int(rng.integers(0, 64)))
+                    if rng.random() < 0.5:
+                        cache.put(key, i)
+                    else:
+                        cache.get(key)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 32
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] <= n_threads * n_ops
+
+
+# ---------------------------------------------------------------------------
+# Micro-batching
+# ---------------------------------------------------------------------------
+
+
+class TestMicroBatching:
+    def test_concurrent_singles_coalesce(self, registry):
+        broker = QueryBroker(registry, window_s=0.05, max_batch=64, cache=False)
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(12, 2))
+        results: dict[int, dict] = {}
+
+        def ask(index: int) -> None:
+            results[index] = broker.query("d", points[index], kind="counts")
+
+        threads = [threading.Thread(target=ask, args=(i,)) for i in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        metrics = broker.metrics()
+        assert metrics["requests"] == 12
+        assert metrics["batches_executed"] < 12  # some coalescing happened
+        assert metrics["coalesced_batches"] >= 1
+        assert any(results[i]["batch_size"] > 1 for i in results)
+        broker.close()
+
+    def test_max_batch_flushes_without_waiting_for_window(self, registry):
+        broker = QueryBroker(registry, window_s=30.0, max_batch=2, cache=False)
+        points = np.random.default_rng(1).normal(size=(2, 2))
+        results: dict[int, dict] = {}
+
+        def ask(index: int) -> None:
+            results[index] = broker.query("d", points[index], kind="counts")
+
+        threads = [threading.Thread(target=ask, args=(i,)) for i in range(2)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # A 30s window would have blocked; the max_batch flush must not.
+        assert time.perf_counter() - start < 5.0
+        assert {results[i]["batch_size"] for i in results} == {2}
+        broker.close()
+
+    def test_batched_values_match_direct_execution(self, registry):
+        entry = registry.get("d")
+        broker = QueryBroker(registry, window_s=0.02, max_batch=16, cache=False)
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(8, 2))
+        results: dict[int, object] = {}
+
+        def ask(index: int) -> None:
+            results[index] = broker.query("d", points[index], kind="counts")["values"][0]
+
+        threads = [threading.Thread(target=ask, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        broker.close()
+        direct = execute_query(
+            make_query(entry.dataset, points, kind="counts", k=entry.k),
+            options=ExecutionOptions(cache=False),
+        ).values
+        assert [results[i] for i in range(8)] == direct
+
+    def test_different_families_do_not_coalesce(self, registry):
+        """Same point, different pins → different query families."""
+        broker = QueryBroker(registry, window_s=0.05, max_batch=16, cache=False)
+        point = np.zeros(2)
+        results: dict[str, dict] = {}
+
+        def ask(tag: str, pins) -> None:
+            results[tag] = broker.query("d", point, kind="counts", pins=pins)
+
+        dirty = registry.get("d").dataset.uncertain_rows()[0]
+        threads = [
+            threading.Thread(target=ask, args=("plain", None)),
+            threading.Thread(target=ask, args=("pinned", {dirty: 0})),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results["plain"]["batch_size"] == 1
+        assert results["pinned"]["batch_size"] == 1
+        assert broker.metrics()["batches_executed"] == 2
+        broker.close()
+
+    def test_per_request_mode_skips_batching(self, registry):
+        broker = QueryBroker(registry, window_s=0.0, max_batch=16, cache=False)
+        response = broker.query("d", np.zeros(2), kind="counts")
+        assert response["batch_size"] == 1 and not response["cached"]
+        assert broker.metrics()["coalesced_batches"] == 0
+        broker.close()
+
+    def test_matrix_request_executes_as_one_batch(self, registry):
+        broker = QueryBroker(registry, window_s=0.05, max_batch=16, cache=False)
+        points = np.random.default_rng(4).normal(size=(5, 2))
+        response = broker.query("d", points, kind="counts")
+        assert len(response["values"]) == 5
+        assert response["batch_size"] == 5
+        assert broker.metrics()["multi_point_requests"] == 1
+        broker.close()
+
+    def test_query_errors_propagate_to_the_caller(self, registry):
+        broker = QueryBroker(registry, window_s=0.005, max_batch=8, cache=False)
+        with pytest.raises(ValueError, match="topk"):
+            broker.query("d", np.zeros(2), kind="check", flavor="topk", label=0)
+        with pytest.raises(PlanError):
+            broker.query("d", np.zeros(2), kind="counts", backend="nope")
+        # The broker must remain serviceable after request errors.
+        assert broker.query("d", np.zeros(2), kind="counts")["values"]
+        assert broker.metrics()["inflight"] == 0
+        broker.close()
+
+
+# ---------------------------------------------------------------------------
+# Caching and admission control
+# ---------------------------------------------------------------------------
+
+
+class TestCachingAndAdmission:
+    def test_single_point_results_are_ttl_cached(self, registry):
+        broker = QueryBroker(registry, window_s=0.0, max_batch=1, cache=True, ttl_s=60.0)
+        point = np.zeros(2)
+        first = broker.query("d", point, kind="counts")
+        second = broker.query("d", point, kind="counts")
+        assert not first["cached"] and second["cached"]
+        assert second["values"] == first["values"]
+        assert broker.metrics()["served_from_cache"] == 1
+        broker.close()
+
+    def test_matrix_results_are_ttl_cached(self, registry):
+        broker = QueryBroker(registry, window_s=0.0, max_batch=1, cache=True)
+        points = np.random.default_rng(5).normal(size=(3, 2))
+        first = broker.query("d", points, kind="counts")
+        second = broker.query("d", points, kind="counts")
+        assert not first["cached"] and second["cached"]
+        assert second["values"] == first["values"]
+        broker.close()
+
+    def test_admission_rejects_beyond_max_pending(self, registry):
+        broker = QueryBroker(
+            registry, window_s=0.4, max_batch=64, max_pending=1, cache=False
+        )
+        release: dict[str, object] = {}
+
+        def slow_request() -> None:
+            release["response"] = broker.query("d", np.zeros(2), kind="counts")
+
+        thread = threading.Thread(target=slow_request)
+        thread.start()
+        time.sleep(0.1)  # let the first request enter its batching window
+        with pytest.raises(AdmissionError) as excinfo:
+            broker.query("d", np.ones(2), kind="counts")
+        assert excinfo.value.retry_after > 0
+        assert broker.metrics()["rejected"] == 1
+        thread.join()
+        assert release["response"]["values"]  # the admitted request completed
+        broker.close()
+
+    def test_admission_also_covers_direct_dispatch(self, registry):
+        """Matrix queries and window_s=0 brokers must shed load too, not
+        just the micro-batched single-point path."""
+        broker = QueryBroker(
+            registry, window_s=0.4, max_batch=64, max_pending=1, cache=False
+        )
+        release: dict[str, object] = {}
+
+        def slow_request() -> None:
+            release["response"] = broker.query("d", np.zeros(2), kind="counts")
+
+        thread = threading.Thread(target=slow_request)
+        thread.start()
+        time.sleep(0.1)  # the single-point request occupies the one slot
+        with pytest.raises(AdmissionError):
+            broker.query("d", np.zeros((3, 2)), kind="counts")  # matrix path
+        thread.join()
+        broker.close()
+
+    def test_close_flushes_pending_batches(self, registry):
+        broker = QueryBroker(registry, window_s=30.0, max_batch=64, cache=False)
+        result: dict[str, object] = {}
+
+        def ask() -> None:
+            result["response"] = broker.query("d", np.zeros(2), kind="counts")
+
+        thread = threading.Thread(target=ask)
+        thread.start()
+        time.sleep(0.1)
+        broker.close()  # must flush, not strand, the pending request
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert result["response"]["values"]
+
+    def test_closed_broker_rejects_new_requests(self, registry):
+        broker = QueryBroker(registry, window_s=0.01, max_batch=8, cache=False)
+        broker.close()
+        with pytest.raises(AdmissionError, match="shut down"):
+            broker.query("d", np.zeros(2), kind="counts")
+        with pytest.raises(AdmissionError, match="shut down"):
+            broker.query("d", np.zeros((2, 2)), kind="counts")
+
+    def test_invalid_window_rejected(self, registry):
+        with pytest.raises(ValueError):
+            QueryBroker(registry, window_s=-1.0)

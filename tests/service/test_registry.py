@@ -1,0 +1,194 @@
+"""DatasetRegistry: registration, warm state pinning, cleaning steps."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.label_uncertainty import LabelUncertainDataset
+from repro.service.registry import (
+    DatasetRegistry,
+    RegistryError,
+    UnknownDatasetError,
+)
+
+
+def small_dataset() -> IncompleteDataset:
+    rng = np.random.default_rng(0)
+    sets = [rng.normal(size=(m, 2)) for m in (1, 3, 2, 1, 2, 3)]
+    return IncompleteDataset(sets, [0, 1, 0, 1, 1, 0])
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        registry = DatasetRegistry()
+        entry = registry.register("d", small_dataset(), k=2)
+        assert registry.get("d") is entry
+        assert "d" in registry
+        assert len(registry) == 1
+        assert registry.names() == ["d"]
+
+    def test_duplicate_name_rejected_replace_allowed(self):
+        registry = DatasetRegistry()
+        registry.register("d", small_dataset())
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.register("d", small_dataset())
+        replaced = registry.register("d", small_dataset(), k=5, replace=True)
+        assert registry.get("d").k == 5
+        assert registry.get("d") is replaced
+
+    def test_unknown_dataset_names_the_known_ones(self):
+        registry = DatasetRegistry()
+        registry.register("known", small_dataset())
+        with pytest.raises(UnknownDatasetError, match="known"):
+            registry.get("nope")
+        with pytest.raises(UnknownDatasetError):
+            registry.remove("nope")
+
+    def test_empty_name_rejected(self):
+        registry = DatasetRegistry()
+        with pytest.raises(RegistryError):
+            registry.register("", small_dataset())
+
+    def test_remove_drops_entry(self):
+        registry = DatasetRegistry()
+        registry.register("d", small_dataset())
+        registry.remove("d")
+        assert "d" not in registry
+
+    def test_register_recipe_carries_val_set_and_oracle(self):
+        registry = DatasetRegistry()
+        entry = registry.register_recipe("r", n_train=40, n_val=6, seed=0)
+        assert entry.val_X is not None and entry.val_X.shape[0] == 6
+        assert entry.gt_choice is not None
+        assert entry.supports_cleaning
+        description = entry.describe()
+        assert description["has_oracle"] and description["n_val"] == 6
+
+    def test_concurrent_registration_is_safe(self):
+        registry = DatasetRegistry()
+        errors: list[Exception] = []
+
+        def register(index: int) -> None:
+            try:
+                registry.register(f"d{index}", small_dataset())
+            except Exception as exc:  # pragma: no cover - fails the assert below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=register, args=(i,)) for i in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(registry) == 16
+
+
+class TestEntryState:
+    def test_describe_reports_shape_and_fingerprint(self):
+        dataset = small_dataset()
+        registry = DatasetRegistry()
+        entry = registry.register("d", dataset, k=2)
+        description = entry.describe()
+        assert description["fingerprint"] == dataset.fingerprint()
+        assert description["n_rows"] == dataset.n_rows
+        assert description["n_worlds"] == str(dataset.n_worlds())
+        assert description["type"] == "incomplete"
+        assert not description["supports_cleaning"]
+
+    def test_label_uncertain_entry_describes_itself(self):
+        lu = LabelUncertainDataset.from_incomplete(small_dataset(), flip_rows=[1])
+        entry = DatasetRegistry().register("lu", lu)
+        assert entry.describe()["type"] == "label_uncertain"
+        assert not entry.supports_cleaning  # cleaning needs feature pins only
+
+    def test_prepared_is_lazy_then_pinned(self):
+        registry = DatasetRegistry()
+        entry = registry.register_recipe("r", n_train=40, n_val=4, seed=0)
+        assert entry.prepared is None  # nothing built yet
+        warm = entry.ensure_warm()
+        assert warm is not None
+        assert entry.prepared is warm  # the same object stays pinned
+        assert entry.session.batch is warm
+
+    def test_no_val_set_means_no_session(self):
+        entry = DatasetRegistry().register("d", small_dataset())
+        assert entry.ensure_warm() is None
+        with pytest.raises(RegistryError, match="no validation set"):
+            _ = entry.session
+
+    def test_record_served_counters(self):
+        entry = DatasetRegistry().register("d", small_dataset())
+        entry.record_served(3)
+        entry.record_served(1)
+        description = entry.describe()
+        assert description["n_queries"] == 2
+        assert description["n_points_served"] == 4
+
+
+class TestCleanStep:
+    def test_clean_step_applies_pin_and_checkpoints(self):
+        registry = DatasetRegistry()
+        entry = registry.register_recipe("r", n_train=40, n_val=4, seed=0)
+        row = entry.dataset.uncertain_rows()[0]
+        checkpoint = entry.clean_step(row, 0)
+        assert checkpoint["n_cleaned"] == 1
+        assert checkpoint["fixed"] == {row: 0}
+        assert checkpoint["row"] == row and checkpoint["candidate"] == 0
+        assert entry.session_pins() == {row: 0}
+        assert 0.0 <= checkpoint["cp_fraction"] <= 1.0
+        assert len(checkpoint["certain_labels"]) == 4
+
+    def test_oracle_candidate_used_when_none_given(self):
+        registry = DatasetRegistry()
+        entry = registry.register_recipe("r", n_train=40, n_val=4, seed=0)
+        row = entry.dataset.uncertain_rows()[0]
+        checkpoint = entry.clean_step(row, None)
+        assert checkpoint["candidate"] == int(entry.gt_choice[row])
+
+    def test_no_oracle_rejected(self):
+        dataset = small_dataset()
+        registry = DatasetRegistry()
+        entry = registry.register("d", dataset, val_X=np.zeros((2, 2)))
+        row = dataset.uncertain_rows()[0]
+        with pytest.raises(RegistryError, match="oracle"):
+            entry.clean_step(row, None)
+
+    def test_concurrent_clean_steps_serialise_cleanly(self):
+        """Parallel /clean/step calls must not race the session's pin dict
+        (checkpoint iterates it); every step lands exactly once."""
+        registry = DatasetRegistry()
+        entry = registry.register_recipe("r", n_train=40, n_val=4, seed=0)
+        rows = entry.dataset.uncertain_rows()[:6]
+        errors: list[Exception] = []
+
+        def step(row: int) -> None:
+            try:
+                entry.clean_step(row, None)
+            except Exception as exc:  # pragma: no cover - fails the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=step, args=(row,)) for row in rows]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert entry.session_pins() == {
+            row: int(entry.gt_choice[row]) for row in rows
+        }
+        assert entry.describe()["n_clean_steps"] == len(rows)
+
+    def test_stats_aggregate_across_entries(self):
+        registry = DatasetRegistry()
+        registry.register("a", small_dataset())
+        registry.register("b", small_dataset())
+        registry.get("a").record_served(2)
+        registry.get("b").record_served(5)
+        stats = registry.stats()
+        assert stats["n_datasets"] == 2
+        assert stats["n_queries"] == 2
+        assert stats["n_points_served"] == 7

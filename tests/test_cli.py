@@ -65,6 +65,100 @@ class TestParser:
         assert defaults.tile_candidates is None
 
 
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8970
+        assert args.recipe is None
+        assert args.window_ms == 10.0
+        assert args.max_batch == 16
+        assert args.max_pending == 256
+        assert args.ttl == 30.0
+        assert args.backend == "auto"
+
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--port", "0", "--recipe", "bank",
+                "--dataset-name", "mine", "--window-ms", "2.5",
+                "--max-batch", "64", "--max-pending", "8",
+                "--backend", "incremental", "--n-jobs", "-1", "--no-cache",
+            ]
+        )
+        assert args.port == 0 and args.recipe == "bank"
+        assert args.dataset_name == "mine"
+        assert args.window_ms == 2.5 and args.max_batch == 64
+        assert args.max_pending == 8 and args.backend == "incremental"
+        assert args.n_jobs == -1 and args.no_cache is True
+
+    @pytest.mark.parametrize("flag", ["--max-batch", "--max-pending"])
+    def test_serve_knobs_must_be_positive(self, flag, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", flag, "0"])
+        assert f"{flag} must be a positive integer" in capsys.readouterr().err
+
+    def test_serve_window_rejects_negative_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--window-ms", "-5"])
+        assert "--window-ms must be >= 0" in capsys.readouterr().err
+        assert build_parser().parse_args(["serve", "--window-ms", "0"]).window_ms == 0.0
+
+    @pytest.mark.parametrize("value", ["0", "-1"])
+    def test_serve_ttl_must_be_positive_at_parse_time(self, value, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--ttl", value])
+        assert "--ttl must be > 0" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--window-ms", "--ttl"])
+    @pytest.mark.parametrize("value", ["soon", "nan", "NaN"])
+    def test_serve_float_flags_reject_non_numbers(self, flag, value, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", flag, value])
+        assert f"{flag} must be a number" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_recipe(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--recipe", "imagenet"])
+
+    def test_serve_command_boots_and_answers(self):
+        """`repro serve` end to end: boot on an ephemeral port as a
+        subprocess, register nothing, hit /healthz, shut down."""
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+
+        from repro.service import ServiceClient
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            line = process.stdout.readline()
+            match = re.search(r"listening on (http://\S+)", line)
+            assert match, f"no listen line in {line!r}"
+            client = ServiceClient(match.group(1))
+            assert client.wait_until_ready(timeout=15)["status"] == "ok"
+            assert client.datasets() == []
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                process.kill()
+                raise
+
+
 class TestFlagValidation:
     """Non-positive executor knobs must be rejected at parse time."""
 

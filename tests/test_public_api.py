@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.data",
     "repro.cleaning",
     "repro.experiments",
+    "repro.service",
     "repro.utils",
 ]
 
@@ -47,7 +48,13 @@ def _iter_submodules(package_name: str):
     "module_name",
     sorted(
         name
-        for pkg in ("repro.core", "repro.codd", "repro.data", "repro.cleaning")
+        for pkg in (
+            "repro.core",
+            "repro.codd",
+            "repro.data",
+            "repro.cleaning",
+            "repro.service",
+        )
         for name in _iter_submodules(pkg)
     ),
 )
