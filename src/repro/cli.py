@@ -8,6 +8,12 @@ Three commands cover the library's headline workflows:
 * ``clean``  — a full CPClean session against a simulated human oracle,
   with the RandomClean comparison at equal budget.
 
+Two more commands serve the paper's database side: ``sql`` runs a
+SELECT-FROM-WHERE query over a dirty CSV with certain/possible-answer
+semantics (``--engine`` forces a codd engine backend, ``--url`` routes the
+query through a running ``repro serve`` instance's ``/sql`` endpoint), and
+``serve`` starts the HTTP query service.
+
 The CLI is a thin layer over the library; every command accepts ``--seed``
 and size flags so runs are reproducible and laptop-sized by default. The
 query-heavy commands (``screen``, ``clean``, ``csv-screen``) also accept
@@ -133,10 +139,29 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument(
         "--query",
         required=True,
-        help="SELECT ... FROM T [WHERE ...] (the table is always named T)",
+        help="SELECT ... FROM <name> [WHERE ...] (the CSV table is bound to "
+        "whatever name the FROM clause uses)",
     )
     sql.add_argument(
         "--limit", type=int, default=20, help="print at most this many answer rows"
+    )
+    sql.add_argument(
+        "--engine",
+        choices=("auto", "vectorized", "rowwise", "naive"),
+        default="auto",
+        help=(
+            "certain-answer engine backend (default auto: the cost model "
+            "picks; results are identical for every choice)"
+        ),
+    )
+    sql.add_argument(
+        "--url",
+        default=None,
+        help=(
+            "base URL of a running `repro serve` instance; with it the "
+            "query runs server-side over the /sql endpoint (the CSV's Codd "
+            "table ships inline) instead of in-process"
+        ),
     )
     return parser
 
@@ -406,7 +431,7 @@ def _command_csv_screen(args: argparse.Namespace) -> int:
 
 
 def _command_sql(args: argparse.Namespace) -> int:
-    from repro.codd.certain import certain_answers, possible_answers
+    from repro.codd.engine import answer_query, scan_relations
     from repro.codd.from_table import codd_table_from_dirty_table
     from repro.codd.sql import SqlError, parse_sql
     from repro.data.io import read_csv
@@ -424,8 +449,34 @@ def _command_sql(args: argparse.Namespace) -> int:
         f"possible_worlds={codd.n_worlds()}"
     )
 
-    sure = certain_answers(query, codd)
-    maybe = possible_answers(query, codd)
+    # The CSV table answers to whatever name the query's FROM clause uses.
+    database = {name: codd for name in scan_relations(query)}
+    if args.url is not None:
+        from repro.service import ServiceClient, ServiceError
+
+        client = ServiceClient(args.url)
+        try:
+            response = client.sql(
+                args.query, mode="both", backend=args.engine, codd_table=codd
+            )
+        except ServiceError as exc:
+            print(f"service error: {exc}", file=sys.stderr)
+            return 2
+        sure = response["results"]["certain"]
+        maybe = response["results"]["possible"]
+        print(
+            f"served by {args.url} (engine: {response['backends']['certain']}, "
+            f"cached: {response['cached']})"
+        )
+    else:
+        certain_result = answer_query(
+            query, database, mode="certain", backend=args.engine
+        )
+        sure = certain_result.relation
+        maybe = answer_query(
+            query, database, mode="possible", backend=args.engine
+        ).relation
+        print(f"engine: {certain_result.plan.backend} ({certain_result.plan.reason})")
     uncertain = maybe.rows - sure.rows
     print(f"\ncertain answers ({len(sure)} rows, true in every world):")
     for row in sorted(sure.rows, key=repr)[: args.limit]:

@@ -43,12 +43,34 @@ from repro.codd.algebra import (
 from repro.codd.bridge import codd_table_to_incomplete_dataset
 from repro.codd.certain import (
     certain_answers,
+    certain_answers_database,
     certain_answers_naive,
     certain_answers_select_project,
     possible_answers,
+    possible_answers_database,
     possible_answers_naive,
+    possible_answers_select_project,
+    prune_database,
 )
 from repro.codd.codd_table import CoddTable, Null
+from repro.codd.engine import (
+    CoddAnswerBackend,
+    CoddAnswerPlan,
+    CoddAnswerResult,
+    CoddPlanError,
+    answer_query,
+    capable_codd_backends,
+    codd_backend_names,
+    get_codd_backend,
+    plan_codd_query,
+    register_codd_backend,
+    scan_relations,
+)
+from repro.codd.vectorized import (
+    StackedTable,
+    certain_answers_vectorized,
+    possible_answers_vectorized,
+)
 from repro.codd.ctable import (
     CTable,
     ConditionalRow,
@@ -64,6 +86,10 @@ from repro.codd.sql import SqlError, parse_sql
 __all__ = [
     "Attribute",
     "CTable",
+    "CoddAnswerBackend",
+    "CoddAnswerPlan",
+    "CoddAnswerResult",
+    "CoddPlanError",
     "CoddTable",
     "Comparison",
     "ConditionalRow",
@@ -80,10 +106,16 @@ __all__ = [
     "Rename",
     "Scan",
     "Select",
+    "StackedTable",
     "Union",
+    "answer_query",
+    "capable_codd_backends",
     "certain_answers",
+    "certain_answers_database",
     "certain_answers_naive",
     "certain_answers_select_project",
+    "certain_answers_vectorized",
+    "codd_backend_names",
     "codd_table_from_dirty_table",
     "codd_table_to_incomplete_dataset",
     "ctable_certain_answers",
@@ -91,8 +123,16 @@ __all__ = [
     "ctable_possible_answers",
     "evaluate",
     "evaluate_ctable",
+    "get_codd_backend",
     "parse_sql",
+    "plan_codd_query",
     "possible_answers",
+    "possible_answers_database",
     "possible_answers_naive",
+    "possible_answers_select_project",
+    "possible_answers_vectorized",
+    "prune_database",
+    "register_codd_backend",
+    "scan_relations",
     "SqlError",
 ]

@@ -51,6 +51,11 @@ def codd_table_to_incomplete_dataset(
         Cartesian product of its NULL-cell domains (a single candidate when
         the row is complete).
     """
+    if not feature_attributes:
+        raise ValueError(
+            "feature_attributes must name at least one attribute; an empty "
+            "list would produce a degenerate zero-dimensional dataset"
+        )
     feat_idx = [table.attribute_index(a) for a in feature_attributes]
     label_idx = table.attribute_index(label_attribute)
     if label_idx in feat_idx:
@@ -65,7 +70,18 @@ def codd_table_to_incomplete_dataset(
                 f"row {r}: label attribute {label_attribute!r} is NULL; the CP "
                 "data model assumes certain labels (Definition 1)"
             )
-        labels.append(int(label_cell))
+        try:
+            label = int(label_cell)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"row {r}: label {label_cell!r} is not an integer class label"
+            ) from None
+        if label != label_cell:  # e.g. 1.5 → int() would silently truncate
+            raise ValueError(
+                f"row {r}: label {label_cell!r} is not integral; refusing to "
+                f"truncate it to {label}"
+            )
+        labels.append(label)
 
         axes: list[tuple[float, ...]] = []
         n_candidates = 1

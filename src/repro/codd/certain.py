@@ -4,7 +4,7 @@ Implements the paper's §1 definition
 
     ``sure(Q, T) = ∩ { Q(I) | I ∈ rep(T) }``
 
-two ways:
+three ways:
 
 * :func:`certain_answers_naive` / :func:`possible_answers_naive` — literal
   world enumeration, usable as a test oracle on small tables (this is the
@@ -13,35 +13,72 @@ two ways:
   for select-project queries over a single Codd table: because every NULL
   variable appears in exactly one cell, rows are independent, and a constant
   tuple is certain iff **some row yields it under every valuation of that
-  row's own variables**. The per-row check enumerates only the row-local
-  domain product (the paper's ``M``-bounded candidate sets), never the
-  global ``M^n`` world set.
+  row's own variables**. Since PR 5 the per-row check runs on the columnar
+  engine of :mod:`repro.codd.vectorized` (stacked completion arrays, one
+  vectorised predicate pass, per-row ``reduceat`` reductions); the original
+  streaming per-row generators survive as :func:`certain_select_project_rowwise`
+  — the memory-bounded fallback the ``rowwise`` backend serves when a grid
+  would exceed :data:`repro.codd.vectorized.MAX_STACKED_CELLS`.
+* :func:`certain_answers_database` / :func:`possible_answers_database` —
+  multi-table databases (worlds are products of per-table worlds). Before
+  enumerating, :func:`prune_database` shrinks the product: tables the query
+  never scans collapse to a single world, and rows that cannot pass the
+  filter chain above *any* of their table's scans are dropped — both sound
+  for arbitrary queries, and together often the difference between an
+  enumerable product and a blown cap.
 
-:func:`certain_answers` dispatches: the tractable path when the query shape
-allows it, the naive path (with a world-count guard) otherwise.
+:func:`certain_answers` / :func:`possible_answers` dispatch through the
+backend registry of :mod:`repro.codd.engine` (vectorized → rowwise → naive
+by cost). Both validate the ``name=`` binding against the query's
+:class:`~repro.codd.algebra.Scan` — a query over ``person`` no longer
+silently evaluates against a table bound as ``T``.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections.abc import Mapping
 from typing import Any
 
-from repro.codd.algebra import Project, Query, Rename, Scan, Select, evaluate
+from repro.codd.algebra import (
+    Difference,
+    Join,
+    Project,
+    Query,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    evaluate,
+)
 from repro.codd.codd_table import CoddTable, Null
 from repro.codd.relation import Relation
+from repro.codd.vectorized import (
+    certain_answers_vectorized,
+    possible_answers_vectorized,
+    resolve_select_project_shape,
+)
 
 __all__ = [
     "certain_answers",
     "certain_answers_database",
     "certain_answers_naive",
     "certain_answers_select_project",
+    "certain_select_project_rowwise",
     "possible_answers",
     "possible_answers_database",
     "possible_answers_naive",
+    "possible_answers_select_project",
+    "possible_select_project_rowwise",
+    "prune_database",
 ]
 
 #: Refuse naive enumeration beyond this many worlds.
 MAX_NAIVE_WORLDS = 1_000_000
+
+#: Rows whose local completion count exceeds this are conservatively kept
+#: by :func:`prune_database` (checking them would cost more than they save).
+MAX_PRUNE_COMPLETIONS = 4_096
 
 
 # ----------------------------------------------------------------------
@@ -89,14 +126,20 @@ def possible_answers_naive(query: Query, table: CoddTable, name: str = "T") -> R
 # ----------------------------------------------------------------------
 # Multi-table databases (worlds are products of per-table worlds)
 # ----------------------------------------------------------------------
-def _iter_database_worlds(database: dict[str, CoddTable]):
+def _iter_database_worlds(database: Mapping[str, CoddTable]):
+    # The first table's worlds stream lazily (itertools.product would
+    # materialise them all up front — for the common single-table case
+    # that is the whole world set, and certain-answer enumeration breaks
+    # early once the intersection empties); the remaining tables' worlds
+    # are re-iterated and so are materialised once each.
     names = sorted(database)
-    world_iters = [list(database[name].possible_worlds()) for name in names]
-    for combo in itertools.product(*world_iters):
-        yield dict(zip(names, combo))
+    rest_worlds = [list(database[name].possible_worlds()) for name in names[1:]]
+    for first in database[names[0]].possible_worlds():
+        for combo in itertools.product(*rest_worlds):
+            yield dict(zip(names, (first, *combo)))
 
 
-def _check_database_enumerable(database: dict[str, CoddTable]) -> None:
+def _check_database_enumerable(database: Mapping[str, CoddTable]) -> None:
     total = 1
     for table in database.values():
         total *= table.n_worlds()
@@ -107,61 +150,58 @@ def _check_database_enumerable(database: dict[str, CoddTable]) -> None:
         )
 
 
-def certain_answers_database(query: Query, database: dict[str, CoddTable]) -> Relation:
-    """``sure(Q, DB)`` over several Codd tables (e.g. a join across two).
+def _first_world_table(table: CoddTable) -> CoddTable:
+    """The table with every NULL fixed to its first domain value (1 world)."""
+    if table.is_complete():
+        return table
+    rows = [
+        tuple(
+            cell.domain[0] if isinstance(cell, Null) else cell for cell in row
+        )
+        for row in table.rows
+    ]
+    return CoddTable(table.schema, rows)
 
-    Worlds of the database are the products of each table's worlds (tables
-    are independent); answers certain in every combination are returned.
-    Naive enumeration with the usual world-count guard.
+
+def _scan_chains(query: Query) -> dict[str, list[Query]]:
+    """Map each scanned relation name to the maximal unary (σ/π/ρ) chain
+    rooted above each of its :class:`Scan` occurrences.
+
+    A chain equal to the bare ``Scan`` (or containing no ``Select``)
+    filters nothing; :func:`prune_database` treats such occurrences as
+    keeping every row.
     """
-    _check_database_enumerable(database)
-    result: Relation | None = None
-    for world in _iter_database_worlds(database):
-        answer = evaluate(query, world)
-        result = answer if result is None else result.with_rows(result.rows & answer.rows)
-        if not result.rows:
-            break
-    assert result is not None
-    return result
+    chains: dict[str, list[Query]] = {}
+
+    def chain_scan(node: Query) -> Scan | None:
+        while isinstance(node, (Select, Project, Rename)):
+            node = node.child
+        return node if isinstance(node, Scan) else None
+
+    def walk(node: Query) -> None:
+        scan = chain_scan(node)
+        if scan is not None:
+            chains.setdefault(scan.relation, []).append(node)
+            return
+        if isinstance(node, (Select, Project, Rename)):
+            walk(node.child)
+        elif isinstance(node, (Join, Union, Difference)):
+            walk(node.left)
+            walk(node.right)
+        else:  # pragma: no cover - exhaustive over Query
+            raise TypeError(f"not a query: {node!r}")
+
+    walk(query)
+    return chains
 
 
-def possible_answers_database(query: Query, database: dict[str, CoddTable]) -> Relation:
-    """Union counterpart of :func:`certain_answers_database`."""
-    _check_database_enumerable(database)
-    result: Relation | None = None
-    for world in _iter_database_worlds(database):
-        answer = evaluate(query, world)
-        result = answer if result is None else result.with_rows(result.rows | answer.rows)
-    assert result is not None
-    return result
-
-
-# ----------------------------------------------------------------------
-# Tractable select-project evaluation
-# ----------------------------------------------------------------------
-def _unwrap_select_project(
-    query: Query,
-) -> tuple[Select | None, tuple[str, ...] | None, dict[str, str]] | None:
-    """Decompose ``π?(σ?(ρ?(Scan)))`` or return None if the shape differs.
-
-    Returns ``(select_node, projected_attributes, rename_mapping)``; any of
-    the first two may be absent.
-    """
-    project: tuple[str, ...] | None = None
-    if isinstance(query, Project):
-        project = query.attributes
-        query = query.child
-    select: Select | None = None
-    if isinstance(query, Select):
-        select = query
-        query = query.child
-    rename: dict[str, str] = {}
-    if isinstance(query, Rename):
-        rename = dict(query.mapping)
-        query = query.child
-    if isinstance(query, Scan):
-        return select, project, rename
-    return None
+def _chain_filters(chain: Query) -> bool:
+    node = chain
+    while isinstance(node, (Select, Project, Rename)):
+        if isinstance(node, Select):
+            return True
+        node = node.child
+    return False
 
 
 def _row_local_valuations(row: tuple[Any, ...]):
@@ -175,8 +215,108 @@ def _row_local_valuations(row: tuple[Any, ...]):
         yield tuple(cells)
 
 
-def certain_answers_select_project(query: Query, table: CoddTable) -> Relation:
-    """Certain answers for a select-project(-rename) query over one Codd table.
+def _row_can_contribute(
+    row: tuple[Any, ...], schema: tuple[str, ...], name: str, chains: list[Query]
+) -> bool:
+    """Can some completion of ``row`` survive some scan occurrence's filters?"""
+    n_completions = 1
+    for cell in row:
+        if isinstance(cell, Null):
+            n_completions *= len(cell.domain)
+            if n_completions > MAX_PRUNE_COMPLETIONS:
+                return True  # conservatively keep expensive rows
+    for chain in chains:
+        for completion in _row_local_valuations(row):
+            if evaluate(chain, {name: Relation(schema, [completion])}).rows:
+                return True
+    return False
+
+
+def prune_database(
+    query: Query, database: Mapping[str, CoddTable]
+) -> dict[str, CoddTable]:
+    """Shrink a database's world product without changing any query answer.
+
+    Two sound reductions, applied before naive multi-table enumeration:
+
+    * a table the query never scans is collapsed to one arbitrary world
+      (its variables cannot influence the answer);
+    * a row is dropped when, at **every** scan occurrence of its table,
+      the unary select chain directly above that scan rejects **all** of
+      the row's local completions — such a row contributes nothing to the
+      relation value flowing upward in any world, so removing it (and its
+      variables, multiplicatively shrinking the world product) is sound
+      even under ``Difference`` / ``Negation`` higher up.
+
+    Rows under a bare (unfiltered) scan occurrence are always kept, as are
+    rows whose local completion count exceeds ``MAX_PRUNE_COMPLETIONS``.
+    """
+    chains = _scan_chains(query)
+    pruned: dict[str, CoddTable] = {}
+    for name, table in database.items():
+        occurrences = chains.get(name)
+        if occurrences is None:
+            pruned[name] = _first_world_table(table)
+            continue
+        if any(not _chain_filters(chain) for chain in occurrences):
+            pruned[name] = table
+            continue
+        kept = [
+            row
+            for row in table.rows
+            if _row_can_contribute(row, table.schema, name, occurrences)
+        ]
+        pruned[name] = (
+            table if len(kept) == len(table.rows) else CoddTable(table.schema, kept)
+        )
+    return pruned
+
+
+def certain_answers_database(
+    query: Query, database: Mapping[str, CoddTable], prune: bool = True
+) -> Relation:
+    """``sure(Q, DB)`` over several Codd tables (e.g. a join across two).
+
+    Worlds of the database are the products of each table's worlds (tables
+    are independent); answers certain in every combination are returned.
+    ``prune=True`` (default) first applies :func:`prune_database`, so the
+    world-count guard is checked against the pruned product — often the
+    difference between an answer and a blown enumeration cap.
+    """
+    pruned = dict(prune_database(query, database) if prune else database)
+    _check_database_enumerable(pruned)
+    result: Relation | None = None
+    for world in _iter_database_worlds(pruned):
+        answer = evaluate(query, world)
+        result = answer if result is None else result.with_rows(result.rows & answer.rows)
+        if not result.rows:
+            break
+    assert result is not None
+    return result
+
+
+def possible_answers_database(
+    query: Query, database: Mapping[str, CoddTable], prune: bool = True
+) -> Relation:
+    """Union counterpart of :func:`certain_answers_database`."""
+    pruned = dict(prune_database(query, database) if prune else database)
+    _check_database_enumerable(pruned)
+    result: Relation | None = None
+    for world in _iter_database_worlds(pruned):
+        answer = evaluate(query, world)
+        result = answer if result is None else result.with_rows(result.rows | answer.rows)
+    assert result is not None
+    return result
+
+
+# ----------------------------------------------------------------------
+# Tractable select-project evaluation
+# ----------------------------------------------------------------------
+def certain_select_project_rowwise(
+    query: Query, table: CoddTable, name: str = "T"
+) -> Relation:
+    """The streaming per-row reference path (one completion in memory at a
+    time); semantics identical to :func:`certain_answers_select_project`.
 
     Correctness argument (rows independent because every variable appears in
     one cell): a constant tuple ``u`` is in ``Q(I)`` for every world ``I``
@@ -184,17 +324,9 @@ def certain_answers_select_project(query: Query, table: CoddTable) -> Relation:
     every row had a failing completion, combining those completions would
     build a world whose answer misses ``u``.
     """
-    shape = _unwrap_select_project(query)
-    if shape is None:
-        raise ValueError(
-            "query is not of select-project(-rename) shape over a single Scan; "
-            "use certain_answers() for the general (naive) path"
-        )
-    select, project, rename = shape
-    schema = tuple(rename.get(a, a) for a in table.schema)
-    out_schema = project if project is not None else schema
-    out_indices = [schema.index(a) for a in out_schema]
-
+    select, schema, out_schema, out_indices = resolve_select_project_shape(
+        query, table, name, "certain"
+    )
     certain_rows: set[tuple[Any, ...]] = set()
     for row in table.rows:
         completions = iter(_row_local_valuations(row))
@@ -215,19 +347,13 @@ def certain_answers_select_project(query: Query, table: CoddTable) -> Relation:
     return Relation(out_schema, certain_rows)
 
 
-def possible_answers_select_project(query: Query, table: CoddTable) -> Relation:
-    """Possible answers for the same query fragment: some row, some completion."""
-    shape = _unwrap_select_project(query)
-    if shape is None:
-        raise ValueError(
-            "query is not of select-project(-rename) shape over a single Scan; "
-            "use possible_answers() for the general (naive) path"
-        )
-    select, project, rename = shape
-    schema = tuple(rename.get(a, a) for a in table.schema)
-    out_schema = project if project is not None else schema
-    out_indices = [schema.index(a) for a in out_schema]
-
+def possible_select_project_rowwise(
+    query: Query, table: CoddTable, name: str = "T"
+) -> Relation:
+    """Streaming possible answers: some row, some completion."""
+    select, schema, out_schema, out_indices = resolve_select_project_shape(
+        query, table, name, "possible"
+    )
     possible_rows: set[tuple[Any, ...]] = set()
     for row in table.rows:
         for completion in _row_local_valuations(row):
@@ -236,18 +362,52 @@ def possible_answers_select_project(query: Query, table: CoddTable) -> Relation:
     return Relation(out_schema, possible_rows)
 
 
+def certain_answers_select_project(
+    query: Query, table: CoddTable, name: str = "T"
+) -> Relation:
+    """Certain answers for a select-project(-rename) query over one Codd
+    table, served by the vectorised columnar engine.
+
+    Mixed-type ordering comparisons the stacked grid cannot evaluate all
+    at once are replayed on the streaming row-wise path, whose
+    short-circuit order matches the naive oracle's per-world evaluation —
+    so this front door answers (or errors) exactly like the reference.
+    """
+    try:
+        return certain_answers_vectorized(query, table, name=name)
+    except TypeError:
+        return certain_select_project_rowwise(query, table, name=name)
+
+
+def possible_answers_select_project(
+    query: Query, table: CoddTable, name: str = "T"
+) -> Relation:
+    """Possible answers for the same query fragment, vectorised (with the
+    same row-wise replay on mixed-type ordering comparisons)."""
+    try:
+        return possible_answers_vectorized(query, table, name=name)
+    except TypeError:
+        return possible_select_project_rowwise(query, table, name=name)
+
+
 # ----------------------------------------------------------------------
 # Dispatcher
 # ----------------------------------------------------------------------
-def certain_answers(query: Query, table: CoddTable, name: str = "T") -> Relation:
-    """``sure(Q, T)``: tractable path when possible, naive enumeration otherwise."""
-    if _unwrap_select_project(query) is not None:
-        return certain_answers_select_project(query, table)
-    return certain_answers_naive(query, table, name=name)
+def certain_answers(
+    query: Query, table: CoddTable, name: str = "T", backend: str = "auto"
+) -> Relation:
+    """``sure(Q, T)``: the cheapest capable engine backend (vectorised grid
+    when the shape and size allow, streaming row-wise, else naive
+    enumeration with the world-count guard). ``backend`` forces one."""
+    from repro.codd.engine import answer_query
+
+    return answer_query(query, {name: table}, mode="certain", backend=backend).relation
 
 
-def possible_answers(query: Query, table: CoddTable, name: str = "T") -> Relation:
-    """Possible answers: tractable path when possible, naive enumeration otherwise."""
-    if _unwrap_select_project(query) is not None:
-        return possible_answers_select_project(query, table)
-    return possible_answers_naive(query, table, name=name)
+def possible_answers(
+    query: Query, table: CoddTable, name: str = "T", backend: str = "auto"
+) -> Relation:
+    """Possible answers through the same engine dispatch."""
+    from repro.codd.engine import answer_query
+
+    return answer_query(query, {name: table}, mode="possible", backend=backend).relation

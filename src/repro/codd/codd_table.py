@@ -13,6 +13,7 @@ paper's incomplete *dataset* bounds each candidate set ``C_i`` by ``M``.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import math
 from collections.abc import Iterable, Iterator, Mapping, Sequence
@@ -81,6 +82,7 @@ class CoddTable:
             table.append(tup)
         self._rows = tuple(table)
         self._variables = tuple(variables)
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -112,6 +114,31 @@ class CoddTable:
     def is_complete(self) -> bool:
         """True iff the table holds no NULLs."""
         return not self._variables
+
+    def fingerprint(self) -> str:
+        """A content hash of the table (schema, constants, NULL domains).
+
+        Two tables with identical schemas, constants and NULL domains share
+        a fingerprint even though their :class:`Null` *variables* are
+        distinct objects — evaluation depends only on positions and
+        domains, which is exactly what caches (the vectorized engine's
+        prepared-grid LRU, the service's SQL result cache) need to key on.
+        Instances are immutable, so the hash is computed once.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(repr(self._schema).encode("utf-8"))
+            for row in self._rows:
+                for cell in row:
+                    if isinstance(cell, Null):
+                        digest.update(b"N")
+                        digest.update(repr(cell.domain).encode("utf-8"))
+                    else:
+                        digest.update(b"C")
+                        digest.update(repr(cell).encode("utf-8"))
+                digest.update(b"|")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def attribute_index(self, name: str) -> int:
         """Position of attribute ``name`` in the schema."""

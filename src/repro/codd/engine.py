@@ -1,0 +1,496 @@
+"""The certain-answer engine: one front door, pluggable Codd backends.
+
+The CP side of the repo routes every query through
+:mod:`repro.core.planner` — a descriptor, a backend protocol with declared
+capabilities, a process-wide registry, and a cost-model-lite planner. This
+module is the same architecture for the *database* side of Figure 1, so
+the serving stack (``/sql``, ``repro sql``) and the library front doors
+(:func:`repro.codd.certain.certain_answers`) share one dispatch path:
+
+* :class:`CoddAnswerBackend` is the executor protocol: ``supports`` /
+  ``estimate_cost`` / ``certain`` / ``possible`` over a *database* (a
+  name → :class:`~repro.codd.codd_table.CoddTable` mapping — one entry
+  for the classic single-table case, several for joins).
+* :func:`register_codd_backend` / :func:`get_codd_backend` /
+  :func:`codd_backend_names` manage the registry;
+  :func:`plan_codd_query` picks the cheapest capable backend and
+  :func:`answer_query` executes the plan, returning a
+  :class:`CoddAnswerResult` (the relation plus the plan that produced it).
+
+Three backends ship by default:
+
+``vectorized``
+    :mod:`repro.codd.vectorized`: the stacked-completion-grid engine for
+    select-project(-rename) queries whose grid fits the stacking cap.
+    Prepared :class:`~repro.codd.vectorized.StackedTable` grids are kept
+    in a small fingerprint-keyed LRU (and the service registry can hand
+    its pinned grid in directly).
+``rowwise``
+    The streaming per-row generators (one completion resident at a time)
+    — same tractable class, unbounded table size, pure-Python speed.
+``naive``
+    World enumeration with the enumeration cap, for every query shape,
+    multi-table databases included (after
+    :func:`repro.codd.certain.prune_database` shrinks the product).
+
+All backends return bit-identical :class:`~repro.codd.relation.Relation`
+values for any query they all support
+(``tests/codd/test_codd_differential.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.codd.algebra import (
+    Difference,
+    Join,
+    Project,
+    Query,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.codd.certain import (
+    MAX_NAIVE_WORLDS,
+    certain_answers_database,
+    certain_select_project_rowwise,
+    possible_answers_database,
+    possible_select_project_rowwise,
+)
+from repro.codd.codd_table import CoddTable
+from repro.codd.relation import Relation
+from repro.codd.vectorized import (
+    MAX_STACKED_CELLS,
+    StackedTable,
+    certain_answers_vectorized,
+    estimate_stacked_cells,
+    possible_answers_vectorized,
+    unwrap_select_project,
+)
+
+__all__ = [
+    "MODES",
+    "MAX_ROWWISE_CELLS",
+    "CoddPlanError",
+    "CoddAnswerPlan",
+    "CoddAnswerResult",
+    "CoddAnswerBackend",
+    "register_codd_backend",
+    "get_codd_backend",
+    "codd_backend_names",
+    "capable_codd_backends",
+    "plan_codd_query",
+    "answer_query",
+    "scan_relations",
+    "VectorizedCoddBackend",
+    "RowwiseCoddBackend",
+    "NaiveCoddBackend",
+]
+
+#: The two answer modes every backend serves.
+MODES = ("certain", "possible")
+
+#: The streaming row-wise path refuses queries whose completion scan would
+#: exceed this many cells — ~10x the stacking cap, the point past which a
+#: pure-Python scan stops being "slow" and becomes a wedged server thread.
+#: Queries above every backend's bound fail fast at the naive world cap
+#: instead of hanging.
+MAX_ROWWISE_CELLS = 10 * MAX_STACKED_CELLS
+
+
+class CoddPlanError(ValueError):
+    """No backend can serve the query (or an explicit request is incapable)."""
+
+
+@dataclass(frozen=True)
+class CoddAnswerPlan:
+    """The engine's decision: which backend answers, and why."""
+
+    backend: str
+    reason: str
+    cost: float
+    considered: tuple[tuple[str, float], ...] = ()
+
+
+@dataclass(frozen=True, eq=False)
+class CoddAnswerResult:
+    """A certain/possible answer relation plus the plan that produced it."""
+
+    relation: Relation
+    plan: CoddAnswerPlan
+    mode: str
+
+
+def scan_relations(query: Query) -> list[str]:
+    """The relation names a query scans, sorted and deduplicated."""
+    names: set[str] = set()
+
+    def walk(node: Query) -> None:
+        if isinstance(node, Scan):
+            names.add(node.relation)
+        elif isinstance(node, (Select, Project, Rename)):
+            walk(node.child)
+        elif isinstance(node, (Join, Union, Difference)):
+            walk(node.left)
+            walk(node.right)
+        else:  # pragma: no cover - exhaustive over Query
+            raise TypeError(f"not a query: {node!r}")
+
+    walk(query)
+    return sorted(names)
+
+
+def _database_worlds(database: Mapping[str, CoddTable]) -> int:
+    total = 1
+    for table in database.values():
+        total *= table.n_worlds()
+    return total
+
+
+# ---------------------------------------------------------------------------
+# The backend protocol and registry
+# ---------------------------------------------------------------------------
+
+
+class CoddAnswerBackend(ABC):
+    """An executor for certain/possible-answer queries over Codd databases."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def supports(self, query: Query, database: Mapping[str, CoddTable]) -> bool:
+        """True iff this backend can serve the query over this database."""
+
+    @abstractmethod
+    def estimate_cost(
+        self, query: Query, database: Mapping[str, CoddTable]
+    ) -> tuple[float, str]:
+        """``(cost, reason)`` in the engine's abstract cost unit (one unit
+        ≈ one evaluated row completion)."""
+
+    @abstractmethod
+    def certain(
+        self,
+        query: Query,
+        database: Mapping[str, CoddTable],
+        prepared: Mapping[str, StackedTable] | None = None,
+    ) -> Relation:
+        """``sure(Q, DB)``."""
+
+    @abstractmethod
+    def possible(
+        self,
+        query: Query,
+        database: Mapping[str, CoddTable],
+        prepared: Mapping[str, StackedTable] | None = None,
+    ) -> Relation:
+        """The union counterpart."""
+
+    def answer(
+        self,
+        query: Query,
+        database: Mapping[str, CoddTable],
+        mode: str,
+        prepared: Mapping[str, StackedTable] | None = None,
+    ) -> Relation:
+        if mode == "certain":
+            return self.certain(query, database, prepared=prepared)
+        if mode == "possible":
+            return self.possible(query, database, prepared=prepared)
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+
+
+_REGISTRY: OrderedDict[str, CoddAnswerBackend] = OrderedDict()
+
+
+def register_codd_backend(
+    backend: CoddAnswerBackend, replace: bool = False
+) -> CoddAnswerBackend:
+    """Add a backend to the process-wide registry (``replace`` to override)."""
+    if not replace and backend.name in _REGISTRY:
+        raise ValueError(f"codd backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_codd_backend(name: str) -> CoddAnswerBackend:
+    """The registered backend of that name (:class:`CoddPlanError` if unknown)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise CoddPlanError(
+            f"unknown codd backend {name!r}; registered: {codd_backend_names()}"
+        ) from None
+
+
+def codd_backend_names() -> list[str]:
+    """Registered backend names, in registration order."""
+    return list(_REGISTRY)
+
+
+def capable_codd_backends(
+    query: Query, database: Mapping[str, CoddTable]
+) -> list[CoddAnswerBackend]:
+    """Every registered backend that can serve ``query`` over ``database``."""
+    return [b for b in _REGISTRY.values() if b.supports(query, database)]
+
+
+# ---------------------------------------------------------------------------
+# Planning and execution
+# ---------------------------------------------------------------------------
+
+
+def plan_codd_query(
+    query: Query,
+    database: Mapping[str, CoddTable],
+    backend: str = "auto",
+) -> CoddAnswerPlan:
+    """Choose the backend: explicit names are capability-checked, ``auto``
+    takes the cheapest capable backend (registration order breaks ties)."""
+    if backend != "auto":
+        chosen = get_codd_backend(backend)
+        if not chosen.supports(query, database):
+            raise CoddPlanError(
+                f"codd backend {backend!r} cannot serve this query "
+                "(shape outside its class, or the table is too large for it)"
+            )
+        cost, _ = chosen.estimate_cost(query, database)
+        return CoddAnswerPlan(
+            backend=chosen.name,
+            reason="requested explicitly",
+            cost=cost,
+            considered=((chosen.name, cost),),
+        )
+    candidates = capable_codd_backends(query, database)
+    if not candidates:
+        raise CoddPlanError("no registered codd backend can serve this query")
+    scored = [(*b.estimate_cost(query, database), b) for b in candidates]
+    best_cost, best_reason, best = min(scored, key=lambda item: item[0])
+    return CoddAnswerPlan(
+        backend=best.name,
+        reason=best_reason,
+        cost=best_cost,
+        considered=tuple((b.name, cost) for cost, _, b in scored),
+    )
+
+
+def answer_query(
+    query: Query,
+    database: Mapping[str, CoddTable],
+    mode: str = "certain",
+    backend: str = "auto",
+    prepared: Mapping[str, StackedTable] | None = None,
+) -> CoddAnswerResult:
+    """Plan and run one certain/possible-answer query; the one call the
+    dispatchers, the SQL service and the CLI all go through.
+
+    ``prepared`` optionally hands pinned
+    :class:`~repro.codd.vectorized.StackedTable` grids (keyed by relation
+    name) to the vectorized backend — the service registry's warm state.
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    plan = plan_codd_query(query, database, backend=backend)
+    relation = get_codd_backend(plan.backend).answer(
+        query, database, mode, prepared=prepared
+    )
+    return CoddAnswerResult(relation=relation, plan=plan, mode=mode)
+
+
+# ---------------------------------------------------------------------------
+# The default backends
+# ---------------------------------------------------------------------------
+
+
+def _single_scan_table(
+    query: Query, database: Mapping[str, CoddTable]
+) -> tuple[str, CoddTable] | None:
+    """The (name, table) a select-project query scans, if shape and binding
+    line up; ``None`` otherwise."""
+    shape = unwrap_select_project(query)
+    if shape is None:
+        return None
+    scan = shape[3]
+    table = database.get(scan.relation)
+    if table is None:
+        return None
+    return scan.relation, table
+
+
+class VectorizedCoddBackend(CoddAnswerBackend):
+    """The stacked-completion-grid engine (:mod:`repro.codd.vectorized`).
+
+    Serves select-project(-rename) queries whose grid fits
+    :data:`~repro.codd.vectorized.MAX_STACKED_CELLS`. Prepared grids are
+    reused: a handed ``prepared`` mapping wins (the service registry pins
+    one per Codd table), then a small fingerprint-keyed LRU.
+    """
+
+    name = "vectorized"
+
+    def __init__(self, max_prepared: int = 8) -> None:
+        if max_prepared < 1:
+            raise ValueError(f"max_prepared must be positive, got {max_prepared}")
+        self._prepared: OrderedDict[str, StackedTable] = OrderedDict()
+        self._max_prepared = max_prepared
+        self._lock = threading.Lock()
+
+    def supports(self, query, database):
+        bound = _single_scan_table(query, database)
+        return (
+            bound is not None
+            and estimate_stacked_cells(bound[1]) <= MAX_STACKED_CELLS
+        )
+
+    def estimate_cost(self, query, database):
+        bound = _single_scan_table(query, database)
+        assert bound is not None
+        return (
+            float(estimate_stacked_cells(bound[1])),
+            "one vectorised pass over the stacked completion grid",
+        )
+
+    def _stacked_for(
+        self,
+        name: str,
+        table: CoddTable,
+        prepared: Mapping[str, StackedTable] | None,
+    ) -> StackedTable:
+        if prepared is not None:
+            handed = prepared.get(name)
+            if handed is not None and (
+                handed.table is table
+                or handed.fingerprint() == table.fingerprint()
+            ):
+                return handed
+        key = table.fingerprint()
+        with self._lock:
+            stacked = self._prepared.get(key)
+            if stacked is not None:
+                self._prepared.move_to_end(key)
+                return stacked
+        stacked = StackedTable(table)
+        with self._lock:
+            self._prepared[key] = stacked
+            self._prepared.move_to_end(key)
+            while len(self._prepared) > self._max_prepared:
+                self._prepared.popitem(last=False)
+        return stacked
+
+    def _run(self, query, database, prepared, evaluator, fallback) -> Relation:
+        bound = _single_scan_table(query, database)
+        if bound is None:
+            raise CoddPlanError(
+                "vectorized backend needs a select-project(-rename) query "
+                "over a single bound Scan"
+            )
+        name, table = bound
+        stacked = self._stacked_for(name, table, prepared)
+        try:
+            return evaluator(query, table, name=name, stacked=stacked)
+        except TypeError:
+            # Mixed-type ordering comparisons: the grid evaluates every
+            # stacked completion at once, so it can hit a non-comparable
+            # pair the streaming path never reaches (it short-circuits per
+            # row exactly like the naive oracle's per-world evaluation).
+            # The reference path's answer-or-error is the semantics of
+            # record, so replay the query there.
+            return fallback(query, table, name=name)
+
+    def certain(self, query, database, prepared=None):
+        return self._run(
+            query,
+            database,
+            prepared,
+            certain_answers_vectorized,
+            certain_select_project_rowwise,
+        )
+
+    def possible(self, query, database, prepared=None):
+        return self._run(
+            query,
+            database,
+            prepared,
+            possible_answers_vectorized,
+            possible_select_project_rowwise,
+        )
+
+
+class RowwiseCoddBackend(CoddAnswerBackend):
+    """The streaming per-row tractable path: same select-project class as
+    ``vectorized``, one completion resident at a time, memory-free but
+    pure-Python — bounded by :data:`MAX_ROWWISE_CELLS` so a single
+    pathological request cannot pin a server thread for hours."""
+
+    name = "rowwise"
+
+    def supports(self, query, database):
+        bound = _single_scan_table(query, database)
+        return (
+            bound is not None
+            and estimate_stacked_cells(bound[1]) <= MAX_ROWWISE_CELLS
+        )
+
+    def estimate_cost(self, query, database):
+        bound = _single_scan_table(query, database)
+        assert bound is not None
+        # The same completions as the vectorized grid, each paying a
+        # Python-level loop iteration instead of a vector-op share.
+        return (
+            8.0 * float(estimate_stacked_cells(bound[1])),
+            "streaming per-row completion scan",
+        )
+
+    def certain(self, query, database, prepared=None):
+        name, table = _single_scan_table(query, database)
+        return certain_select_project_rowwise(query, table, name=name)
+
+    def possible(self, query, database, prepared=None):
+        name, table = _single_scan_table(query, database)
+        return possible_select_project_rowwise(query, table, name=name)
+
+
+class NaiveCoddBackend(CoddAnswerBackend):
+    """Pruned world enumeration: any query shape, any number of tables.
+
+    :func:`~repro.codd.certain.prune_database` first collapses unreferenced
+    tables and drops rows no filter chain can accept; the enumeration cap
+    applies to the *pruned* world product. The unpruned single-table
+    oracles (:func:`~repro.codd.certain.certain_answers_naive`) stay
+    available for differential testing.
+    """
+
+    name = "naive"
+
+    def supports(self, query, database):
+        return True
+
+    def estimate_cost(self, query, database):
+        worlds = _database_worlds(database)
+        rows = sum(len(table) for table in database.values())
+        # Each world materialises whole Relation objects and re-runs the
+        # evaluator — far heavier per unit than a grid cell or a streamed
+        # completion, hence the large constant factor.
+        cost = float(min(worlds, 10 * MAX_NAIVE_WORLDS)) * max(rows, 1) * 32.0
+        return cost, "pruned enumeration of the possible-world product"
+
+    def certain(self, query, database, prepared=None):
+        return certain_answers_database(query, database)
+
+    def possible(self, query, database, prepared=None):
+        return possible_answers_database(query, database)
+
+
+# ---------------------------------------------------------------------------
+# Default registry
+# ---------------------------------------------------------------------------
+
+register_codd_backend(VectorizedCoddBackend())
+register_codd_backend(RowwiseCoddBackend())
+register_codd_backend(NaiveCoddBackend())

@@ -13,7 +13,7 @@ keeps it pinned across requests and callers:
   planner batch calls, and a TTL'd fingerprint-keyed result cache
   (:class:`TTLResultCache`);
 * :mod:`repro.service.http` — the threaded stdlib JSON API
-  (``/datasets``, ``/query``, ``/clean/step``, ``/healthz``,
+  (``/datasets``, ``/query``, ``/sql``, ``/clean/step``, ``/healthz``,
   ``/metrics``), started by ``repro serve`` or :func:`make_service`;
 * :mod:`repro.service.client` — :class:`ServiceClient`, the stdlib
   Python client with exact (bit-identical) value round-tripping;
@@ -35,6 +35,7 @@ from repro.service.broker import AdmissionError, QueryBroker, TTLResultCache
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.http import ServiceServer, make_service, serve
 from repro.service.registry import (
+    CoddTableEntry,
     DatasetEntry,
     DatasetRegistry,
     DuplicateDatasetError,
@@ -45,6 +46,7 @@ from repro.service.registry import (
 __all__ = [
     "DatasetRegistry",
     "DatasetEntry",
+    "CoddTableEntry",
     "RegistryError",
     "DuplicateDatasetError",
     "UnknownDatasetError",

@@ -47,6 +47,9 @@ from typing import Any
 
 import numpy as np
 
+from repro.codd.codd_table import CoddTable
+from repro.codd.engine import MODES, answer_query, scan_relations
+from repro.codd.sql import parse_sql
 from repro.core.label_uncertainty import LabelUncertainDataset
 from repro.core.batch_engine import kernel_cache_key
 from repro.core.planner import (
@@ -55,6 +58,7 @@ from repro.core.planner import (
     make_query,
 )
 from repro.service.registry import DatasetEntry, DatasetRegistry
+from repro.service.wire import WireError, encode_relation
 from repro.utils.validation import check_positive_int
 
 __all__ = [
@@ -267,6 +271,8 @@ class QueryBroker:
         self._max_batch_seen = 0
         self._n_rejected = 0
         self._n_cache_served = 0
+        self._n_sql = 0
+        self._n_sql_cache_served = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -359,6 +365,113 @@ class QueryBroker:
         )
         return response
 
+    def sql(
+        self,
+        query: str,
+        mode: str = "certain",
+        backend: str = "auto",
+        codd_table: CoddTable | None = None,
+    ) -> dict:
+        """Answer a SQL query over registered Codd tables with certain-answer
+        semantics (the ``/sql`` endpoint).
+
+        ``query`` is the select-project SQL fragment of
+        :func:`repro.codd.sql.parse_sql`; the ``FROM`` clause names a Codd
+        table registered with
+        :meth:`~repro.service.registry.DatasetRegistry.register_codd_table`
+        — unless ``codd_table`` supplies one inline, in which case it is
+        bound to whatever name the query scans. ``mode`` is ``"certain"``,
+        ``"possible"`` or ``"both"``; ``backend`` forces a codd engine
+        backend (``auto`` lets the cost model choose). Results are served
+        from the broker's TTL cache when the same query hits the same
+        table content within the TTL, and always ride the wire as exact
+        :func:`~repro.service.wire.encode_relation` structures.
+        """
+        if mode not in (*MODES, "both"):
+            raise WireError(
+                f"mode must be one of {(*MODES, 'both')}, got {mode!r}"
+            )
+        if not isinstance(query, str) or not query.strip():
+            raise WireError("'query' must be a non-empty SQL string")
+        parsed = parse_sql(query)
+        names = scan_relations(parsed)
+        if codd_table is not None:
+            entries = {}
+            database = {name: codd_table for name in names}
+            fingerprints = {name: codd_table.fingerprint() for name in names}
+        else:
+            entries = {name: self.registry.get_codd(name) for name in names}
+            database = {name: entry.table for name, entry in entries.items()}
+            fingerprints = {name: entry.fingerprint for name, entry in entries.items()}
+
+        with self._lock:
+            self._n_sql += 1
+            sweep = self.cache is not None and self._n_sql % 256 == 0
+            if self._closed:
+                raise AdmissionError("broker is shut down", retry_after=1.0)
+            if self._inflight >= self.max_pending:
+                self._n_rejected += 1
+                raise AdmissionError(
+                    f"{self._inflight} requests in flight (max_pending="
+                    f"{self.max_pending}); shedding load",
+                    retry_after=max(self.window_s * 2, 0.01),
+                )
+            self._inflight += 1
+        if sweep:
+            self.cache.purge()
+        try:
+            cache_key = (
+                "sql",
+                tuple(sorted(fingerprints.items())),
+                query,
+                mode,
+                backend,
+            )
+            if self.cache is not None:
+                hit = self.cache.get(cache_key, _MISS)
+                if hit is not _MISS:
+                    with self._lock:
+                        self._n_sql_cache_served += 1
+                    for entry in entries.values():
+                        entry.record_served()
+                    return {**hit, "cached": True}
+            # Only a cache miss pays for the pinned completion grids —
+            # admission rejections and cache hits must stay cheap.
+            prepared = {
+                name: stacked
+                for name, entry in entries.items()
+                if (stacked := entry.stacked) is not None
+            } or None
+            modes = MODES if mode == "both" else (mode,)
+            results: dict[str, dict] = {}
+            backends: dict[str, str] = {}
+            for one_mode in modes:
+                answer = answer_query(
+                    parsed, database, mode=one_mode, backend=backend,
+                    prepared=prepared,
+                )
+                results[one_mode] = encode_relation(answer.relation)
+                backends[one_mode] = answer.plan.backend
+            n_worlds = 1
+            for table in database.values():
+                n_worlds *= table.n_worlds()
+            response = {
+                "query": query,
+                "mode": mode,
+                "tables": fingerprints,
+                "results": results,
+                "backends": backends,
+                "n_worlds": str(n_worlds),
+            }
+            if self.cache is not None:
+                self.cache.put(cache_key, dict(response))
+            for entry in entries.values():
+                entry.record_served()
+            return {**response, "cached": False}
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
     def metrics(self) -> dict:
         """A snapshot of the broker's serving counters (for ``/metrics``)."""
         with self._lock:
@@ -372,6 +485,8 @@ class QueryBroker:
                 "max_batch_size": self._max_batch_seen,
                 "rejected": self._n_rejected,
                 "served_from_cache": self._n_cache_served,
+                "sql_requests": self._n_sql,
+                "sql_served_from_cache": self._n_sql_cache_served,
                 "inflight": self._inflight,
                 "window_s": self.window_s,
                 "max_batch": self.max_batch,

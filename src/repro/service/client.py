@@ -25,7 +25,9 @@ from urllib import error, request
 import numpy as np
 
 from repro.service.wire import (
+    decode_relation,
     decode_values,
+    encode_codd_table,
     encode_dataset,
     encode_fraction,
 )
@@ -130,6 +132,45 @@ class ServiceClient:
         if val_X is not None:
             payload["val_X"] = np.asarray(val_X, dtype=np.float64).tolist()
         return self._request("POST", "/datasets", payload)
+
+    def register_codd_table(self, name: str, table, replace: bool = False) -> dict:
+        """Ship a local :class:`~repro.codd.codd_table.CoddTable` to the
+        service under ``name`` (so ``/sql`` queries can ``FROM name``)."""
+        return self._request(
+            "POST",
+            "/datasets",
+            {
+                "name": name,
+                "codd_table": encode_codd_table(table),
+                "replace": replace,
+            },
+        )
+
+    def sql(
+        self,
+        query: str,
+        mode: str = "certain",
+        backend: str = "auto",
+        codd_table=None,
+    ) -> dict:
+        """Run a SQL query with certain-answer semantics over a registered
+        Codd table (or an inline one) and decode the results.
+
+        The response's ``results`` maps each served mode (``certain`` /
+        ``possible``) to a :class:`~repro.codd.relation.Relation` that
+        compares ``==`` to the in-process
+        :func:`~repro.codd.certain.certain_answers` answer — the wire
+        format is exact.
+        """
+        payload: dict[str, Any] = {"query": query, "mode": mode, "backend": backend}
+        if codd_table is not None:
+            payload["codd_table"] = encode_codd_table(codd_table)
+        response = self._request("POST", "/sql", payload)
+        response["results"] = {
+            served_mode: decode_relation(encoded)
+            for served_mode, encoded in response["results"].items()
+        }
+        return response
 
     def register_recipe(self, name: str, recipe: str = "supreme", **spec) -> dict:
         """Have the server build one of the paper's recipes (with oracle)."""

@@ -2,17 +2,20 @@
 
 ``ThreadingHTTPServer`` (one thread per connection, stdlib-only — the
 container bakes in no web framework and the service does not need one)
-exposes the registry + broker behind five JSON endpoints:
+exposes the registry + broker behind six JSON endpoints:
 
 ====================  ======  ====================================================
 path                  method  what it does
 ====================  ======  ====================================================
 ``/healthz``          GET     liveness: status, uptime, registered dataset names
 ``/metrics``          GET     registry counters + broker/micro-batching/cache stats
-``/datasets``         GET     list registered datasets (``POST`` registers one:
-                              a recipe build or a wire-encoded dataset)
-``/datasets/<name>``  GET     one dataset's description
+``/datasets``         GET     list registered datasets and Codd tables (``POST``
+                              registers one: a recipe build, a wire-encoded
+                              dataset, or a wire-encoded ``codd_table``)
+``/datasets/<name>``  GET     one dataset's (or Codd table's) description
 ``/query``            POST    a CP query — single point (micro-batched) or matrix
+``/sql``              POST    a SQL query over a registered (or inline) Codd
+                              table with certain/possible-answer semantics
 ``/clean/step``       POST    one cleaning answer; returns the session checkpoint
 ====================  ======  ====================================================
 
@@ -35,6 +38,8 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlparse
 
+from repro.codd.engine import CoddPlanError
+from repro.codd.sql import SqlError
 from repro.core.planner import PlanError
 from repro.service.broker import AdmissionError, QueryBroker
 from repro.service.registry import (
@@ -45,6 +50,7 @@ from repro.service.registry import (
 )
 from repro.service.wire import (
     WireError,
+    decode_codd_table,
     decode_dataset,
     decode_matrix,
     decode_pins,
@@ -151,7 +157,8 @@ _ERROR_MAP: tuple[tuple[type[BaseException], int, str], ...] = (
     (DuplicateDatasetError, 409, "registry_conflict"),
     (RegistryError, 400, "invalid_request"),
     (WireError, 400, "malformed_payload"),
-    (PlanError, 400, "plan_error"),
+    (SqlError, 400, "sql_error"),
+    ((PlanError, CoddPlanError), 400, "plan_error"),
     (TimeoutError, 504, "timeout"),
     ((ValueError, TypeError, IndexError, KeyError), 400, "invalid_query"),
 )
@@ -236,6 +243,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._dispatch(self._post_datasets)
         elif path == "/query":
             self._dispatch(self._post_query)
+        elif path == "/sql":
+            self._dispatch(self._post_sql)
         elif path == "/clean/step":
             self._dispatch(self._post_clean_step)
         else:
@@ -260,13 +269,24 @@ class _Handler(BaseHTTPRequestHandler):
         return 200, {"datasets": self.server.registry.describe_all()}
 
     def _get_dataset(self, name: str):
-        return 200, self.server.registry.get(name).describe()
+        registry = self.server.registry
+        try:
+            return 200, registry.get(name).describe()
+        except UnknownDatasetError:
+            return 200, registry.get_codd(name).describe()
 
     # -- POST bodies ---------------------------------------------------
     def _post_datasets(self):
         payload = self._read_json()
         name = payload["name"]
         replace = bool(payload.get("replace", False))
+        if "codd_table" in payload:
+            entry = self.server.registry.register_codd_table(
+                name,
+                decode_codd_table(payload["codd_table"]),
+                replace=replace,
+            )
+            return 201, entry.describe()
         if "recipe" in payload:
             spec = payload["recipe"]
             if isinstance(spec, str):
@@ -343,6 +363,17 @@ class _Handler(BaseHTTPRequestHandler):
             with_cleaned=bool(payload.get("with_cleaned", False)),
         )
         response["values"] = encode_values(response["values"])
+        return 200, response
+
+    def _post_sql(self):
+        payload = self._read_json()
+        inline = payload.get("codd_table")
+        response = self.server.broker.sql(
+            payload["query"],
+            mode=payload.get("mode", "certain"),
+            backend=payload.get("backend", "auto"),
+            codd_table=None if inline is None else decode_codd_table(inline),
+        )
         return 200, response
 
     def _post_clean_step(self):

@@ -20,6 +20,13 @@ perfectly reusable part of a CP query, which is why the ROADMAP's
   across ``/clean/step`` calls instead of re-preparing per request;
 * per-entry counters the ``/metrics`` endpoint reports.
 
+Since PR 5 the registry also pins the *database* half of Figure 1: a
+:class:`CoddTableEntry` holds a registered
+:class:`~repro.codd.codd_table.CoddTable` together with its lazily-built
+:class:`~repro.codd.vectorized.StackedTable` completion grid, the warm
+columnar state the ``/sql`` endpoint's vectorized certain-answer engine
+evaluates on.
+
 Everything is thread-safe: the registry serialises membership changes on
 one lock, and each entry serialises its own lazy construction and
 cleaning steps, so two HTTP threads can hit different datasets without
@@ -35,6 +42,12 @@ from typing import Any
 import numpy as np
 
 from repro.cleaning.sequential import CleaningSession
+from repro.codd.codd_table import CoddTable
+from repro.codd.vectorized import (
+    MAX_STACKED_CELLS,
+    StackedTable,
+    estimate_stacked_cells,
+)
 from repro.core.batch_engine import PreparedBatch
 from repro.core.dataset import IncompleteDataset
 from repro.core.kernels import Kernel, resolve_kernel
@@ -46,6 +59,7 @@ __all__ = [
     "RegistryError",
     "DuplicateDatasetError",
     "DatasetEntry",
+    "CoddTableEntry",
     "DatasetRegistry",
 ]
 
@@ -242,11 +256,73 @@ class DatasetEntry:
         }
 
 
+class CoddTableEntry:
+    """One registered Codd table and the warm columnar state pinned to it.
+
+    The certain-answer twin of :class:`DatasetEntry`: where a dataset
+    entry pins a :class:`~repro.core.batch_engine.PreparedBatch`, a Codd
+    entry pins the :class:`~repro.codd.vectorized.StackedTable` completion
+    grid the vectorized engine evaluates on — built on first use, then
+    reused by every ``/sql`` request against this table. Tables whose
+    grid would blow the stacking cap simply pin nothing (the engine's
+    row-wise fallback needs no prepared state).
+    """
+
+    def __init__(self, name: str, table: CoddTable) -> None:
+        self.name = name
+        self.table = table
+        self.fingerprint = table.fingerprint()
+        self.n_queries = 0
+        # The O(rows) size estimate runs once here, not per access under
+        # the lock (an over-cap table would otherwise pay it per query).
+        self._stackable = estimate_stacked_cells(table) <= MAX_STACKED_CELLS
+        self._stacked: StackedTable | None = None
+        self._lock = threading.RLock()
+
+    @property
+    def stacked(self) -> StackedTable | None:
+        """The pinned completion grid (lazily built), or ``None`` when the
+        table is too large to stack."""
+        if not self._stackable:
+            return None
+        with self._lock:
+            if self._stacked is None:
+                self._stacked = StackedTable(self.table)
+            return self._stacked
+
+    def record_served(self) -> None:
+        """Bump the per-entry SQL query counter."""
+        with self._lock:
+            self.n_queries += 1
+
+    def describe(self) -> dict:
+        """The ``/datasets`` JSON row for this entry."""
+        with self._lock:
+            n_queries = self.n_queries
+            pinned = self._stacked is not None
+        return {
+            "name": self.name,
+            "type": "codd",
+            "fingerprint": self.fingerprint,
+            "schema": list(self.table.schema),
+            "n_rows": len(self.table),
+            "n_null_cells": self.table.n_variables,
+            "n_worlds": str(self.table.n_worlds()),
+            "grid_pinned": pinned,
+            "n_queries": n_queries,
+        }
+
+
 class DatasetRegistry:
-    """Thread-safe name → :class:`DatasetEntry` mapping for the service."""
+    """Thread-safe name → entry mapping for the service.
+
+    Two independent namespaces live here: CP datasets
+    (:class:`DatasetEntry`) and Codd tables (:class:`CoddTableEntry`) —
+    the two halves of the paper's Figure 1, served by one registry."""
 
     def __init__(self) -> None:
         self._entries: dict[str, DatasetEntry] = {}
+        self._codd: dict[str, CoddTableEntry] = {}
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -322,6 +398,29 @@ class DatasetRegistry:
             replace=replace,
         )
 
+    def register_codd_table(
+        self, name: str, table: CoddTable, replace: bool = False
+    ) -> CoddTableEntry:
+        """Register a Codd table under ``name`` (``replace`` to overwrite).
+
+        Codd tables live in their own namespace: the same name may also
+        refer to a CP dataset (the paper's Figure 1 runs both halves over
+        one table, so the service allows the pairing)."""
+        if not isinstance(name, str) or not name:
+            raise RegistryError("codd table name must be a non-empty string")
+        if not isinstance(table, CoddTable):
+            raise RegistryError(
+                f"expected a CoddTable, got {type(table).__name__}"
+            )
+        entry = CoddTableEntry(name, table)
+        with self._lock:
+            if not replace and name in self._codd:
+                raise DuplicateDatasetError(
+                    f"codd table {name!r} is already registered"
+                )
+            self._codd[name] = entry
+        return entry
+
     # ------------------------------------------------------------------
     def get(self, name: str) -> DatasetEntry:
         """The entry for ``name`` (:class:`UnknownDatasetError` if absent)."""
@@ -331,11 +430,31 @@ class DatasetRegistry:
                 raise UnknownDatasetError(name, sorted(self._entries))
             return entry
 
+    def get_codd(self, name: str) -> CoddTableEntry:
+        """The Codd-table entry for ``name`` (:class:`UnknownDatasetError`
+        listing the registered Codd tables if absent)."""
+        with self._lock:
+            entry = self._codd.get(name)
+            if entry is None:
+                raise UnknownDatasetError(name, sorted(self._codd))
+            return entry
+
+    def codd_names(self) -> list[str]:
+        """Registered Codd-table names, sorted."""
+        with self._lock:
+            return sorted(self._codd)
+
     def remove(self, name: str) -> None:
-        """Drop a registration (and its warm state)."""
+        """Drop a CP dataset registration (and its warm state)."""
         with self._lock:
             if self._entries.pop(name, None) is None:
                 raise UnknownDatasetError(name, sorted(self._entries))
+
+    def remove_codd(self, name: str) -> None:
+        """Drop a Codd-table registration (and its pinned completion grid)."""
+        with self._lock:
+            if self._codd.pop(name, None) is None:
+                raise UnknownDatasetError(name, sorted(self._codd))
 
     def names(self) -> list[str]:
         """Registered dataset names, sorted."""
@@ -343,10 +462,14 @@ class DatasetRegistry:
             return sorted(self._entries)
 
     def describe_all(self) -> list[dict]:
-        """The ``/datasets`` listing."""
+        """The ``/datasets`` listing (CP datasets first, then Codd tables;
+        every row carries a ``type`` discriminator)."""
         with self._lock:
             entries = list(self._entries.values())
-        return [entry.describe() for entry in entries]
+            codd = list(self._codd.values())
+        return [entry.describe() for entry in entries] + [
+            entry.describe() for entry in codd
+        ]
 
     def __len__(self) -> int:
         with self._lock:
@@ -360,9 +483,12 @@ class DatasetRegistry:
         """Aggregate counters for ``/metrics``."""
         with self._lock:
             entries = list(self._entries.values())
+            codd = list(self._codd.values())
         return {
             "n_datasets": len(entries),
             "n_queries": sum(e.n_queries for e in entries),
             "n_points_served": sum(e.n_points_served for e in entries),
             "n_clean_steps": sum(e.n_clean_steps for e in entries),
+            "n_codd_tables": len(codd),
+            "n_sql_queries": sum(e.n_queries for e in codd),
         }

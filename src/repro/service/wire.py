@@ -17,6 +17,13 @@ the one encoding both ends agree on:
   :class:`~repro.core.label_uncertainty.LabelUncertainDataset` — this is
   what lets the differential harness replay its random queries over the
   wire and demand bit-identical answers.
+* **Codd tables** ride with NULL variables as ``{"null": [domain...]}``
+  markers (:func:`encode_codd_table` / :func:`decode_codd_table`) and
+  certain/possible **relations** as schema + repr-sorted rows
+  (:func:`encode_relation` / :func:`decode_relation`) — ints, strings and
+  booleans verbatim, floats exactly via Python's shortest-``repr`` JSON
+  round trip, so a ``/sql`` response compares ``==`` to the in-process
+  :func:`~repro.codd.certain.certain_answers` relation.
 
 ``tests/service/test_service_differential.py`` holds the round-trip to
 exactly that standard.
@@ -29,6 +36,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.codd.codd_table import CoddTable, Null
+from repro.codd.relation import Relation
 from repro.core.dataset import IncompleteDataset
 from repro.core.label_uncertainty import LabelUncertainDataset
 
@@ -40,6 +49,10 @@ __all__ = [
     "decode_values",
     "encode_dataset",
     "decode_dataset",
+    "encode_codd_table",
+    "decode_codd_table",
+    "encode_relation",
+    "decode_relation",
     "decode_pins",
     "decode_weights",
     "decode_matrix",
@@ -160,6 +173,105 @@ def decode_dataset(payload: Any) -> IncompleteDataset | LabelUncertainDataset:
     raise WireError(
         f"unknown dataset type {dataset_type!r}; expected 'incomplete' or 'label_uncertain'"
     )
+
+
+# ---------------------------------------------------------------------------
+# Codd tables and relations (the /sql endpoint)
+# ---------------------------------------------------------------------------
+
+#: Cell types that ride JSON exactly: ints and strings verbatim, floats via
+#: ``repr`` round-tripping (Python's shortest-repr guarantee), bools as-is.
+_SCALAR_TYPES = (bool, int, float, str)
+
+
+def _encode_cell_scalar(value: Any, where: str) -> Any:
+    if value is None or isinstance(value, _SCALAR_TYPES):
+        return value
+    raise WireError(
+        f"{where}: cannot encode cell of type {type(value).__name__}; "
+        "Codd cells on the wire must be numbers, strings, booleans or null"
+    )
+
+
+def encode_codd_table(table: CoddTable) -> dict:
+    """A Codd table as pure JSON structure.
+
+    Constants ride as JSON scalars; a NULL variable rides as
+    ``{"null": [domain...]}`` (cells are never objects otherwise, so the
+    marker is unambiguous).
+    """
+    rows = []
+    for r, row in enumerate(table.rows):
+        cells = []
+        for cell in row:
+            if isinstance(cell, Null):
+                cells.append(
+                    {"null": [_encode_cell_scalar(v, f"row {r}") for v in cell.domain]}
+                )
+            else:
+                cells.append(_encode_cell_scalar(cell, f"row {r}"))
+        rows.append(cells)
+    return {"schema": list(table.schema), "rows": rows}
+
+
+def decode_codd_table(payload: Any) -> CoddTable:
+    """Rebuild a Codd table from :func:`encode_codd_table` output."""
+    if not isinstance(payload, dict):
+        raise WireError(
+            f"codd_table must be an object, got {type(payload).__name__}"
+        )
+    schema = payload.get("schema")
+    rows = payload.get("rows")
+    if not isinstance(schema, list) or not isinstance(rows, list):
+        raise WireError("codd_table needs 'schema' and 'rows' lists")
+    decoded_rows = []
+    for r, row in enumerate(rows):
+        if not isinstance(row, list):
+            raise WireError(f"codd_table row {r} must be a list of cells")
+        cells = []
+        for cell in row:
+            if isinstance(cell, dict):
+                domain = cell.get("null")
+                if set(cell) != {"null"} or not isinstance(domain, list):
+                    raise WireError(
+                        f"codd_table row {r}: object cells must be "
+                        '{"null": [domain...]} NULL markers'
+                    )
+                try:
+                    cells.append(Null(domain))
+                except ValueError as exc:
+                    raise WireError(f"codd_table row {r}: {exc}") from None
+            else:
+                cells.append(cell)
+        decoded_rows.append(cells)
+    try:
+        return CoddTable(schema, decoded_rows)
+    except ValueError as exc:
+        raise WireError(f"malformed codd_table: {exc}") from None
+
+
+def encode_relation(relation: Relation) -> dict:
+    """A relation as JSON: schema plus rows sorted by ``repr`` (the row set
+    is unordered; sorting makes the wire form deterministic)."""
+    rows = [
+        [_encode_cell_scalar(value, "relation row") for value in row]
+        for row in sorted(relation.rows, key=repr)
+    ]
+    return {"schema": list(relation.schema), "n_rows": len(relation), "rows": rows}
+
+
+def decode_relation(payload: Any) -> Relation:
+    """Rebuild a relation from :func:`encode_relation` output, exactly."""
+    if not isinstance(payload, dict):
+        raise WireError(f"relation must be an object, got {type(payload).__name__}")
+    schema = payload.get("schema")
+    rows = payload.get("rows")
+    if not isinstance(schema, list) or not isinstance(rows, list):
+        raise WireError("relation needs 'schema' and 'rows' lists")
+    try:
+        return Relation(schema, [tuple(row) for row in rows])
+    except (ValueError, TypeError) as exc:
+        raise WireError(f"malformed relation: {exc}") from None
 
 
 # ---------------------------------------------------------------------------

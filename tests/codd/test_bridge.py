@@ -61,6 +61,28 @@ class TestConversion:
         with pytest.raises(ValueError, match="cap"):
             codd_table_to_incomplete_dataset(table, ("a", "b"), "cls", max_candidates_per_row=100)
 
+    def test_non_integral_label_rejected_not_truncated(self) -> None:
+        # int(1.5) would silently become class 1 — a wrong label, not an error.
+        table = CoddTable(("x", "cls"), [(1.0, 0), (2.0, 1.5)])
+        with pytest.raises(ValueError, match="not integral"):
+            codd_table_to_incomplete_dataset(table, ("x",), "cls")
+
+    def test_string_label_rejected(self) -> None:
+        table = CoddTable(("x", "cls"), [(1.0, "spam")])
+        with pytest.raises(ValueError, match="not an integer"):
+            codd_table_to_incomplete_dataset(table, ("x",), "cls")
+
+    def test_integral_float_label_accepted(self) -> None:
+        table = CoddTable(("x", "cls"), [(1.0, 0.0), (2.0, 1.0)])
+        ds = codd_table_to_incomplete_dataset(table, ("x",), "cls")
+        assert ds.labels.tolist() == [0, 1]
+
+    def test_empty_feature_list_rejected(self) -> None:
+        # A () feature list used to build degenerate shape-(1, 0) candidates.
+        table = CoddTable(("x", "cls"), [(1.0, 0)])
+        with pytest.raises(ValueError, match="at least one attribute"):
+            codd_table_to_incomplete_dataset(table, (), "cls")
+
 
 class TestEndToEndFigure1:
     """The same incomplete table answers both a SQL query and a CP query."""

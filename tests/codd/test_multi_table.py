@@ -9,6 +9,7 @@ from repro.codd.algebra import (
     Comparison,
     Join,
     Literal,
+    Negation,
     Project,
     Scan,
     Select,
@@ -17,6 +18,7 @@ from repro.codd.certain import (
     certain_answers_database,
     certain_answers_naive,
     possible_answers_database,
+    prune_database,
 )
 from repro.codd.codd_table import CoddTable, Null
 
@@ -84,3 +86,72 @@ class TestJoinAcrossTables:
         database = {"x": big, "y": big}
         with pytest.raises(ValueError, match="cap"):
             certain_answers_database(Scan("x"), database)
+
+
+class TestPruneDatabase:
+    """The smarter multi-table path: shrink the world product soundly."""
+
+    def test_unreferenced_table_collapses_to_one_world(self) -> None:
+        used = CoddTable(("a",), [(1,)])
+        unused = CoddTable(("z",), [(Null([5, 6, 7]),), (Null([1, 2]),)])
+        pruned = prune_database(Scan("t"), {"t": used, "spare": unused})
+        assert pruned["t"] is used
+        assert pruned["spare"].n_worlds() == 1
+        assert len(pruned["spare"]) == 2  # rows survive, variables do not
+
+    def test_filtered_scan_drops_impossible_rows(self) -> None:
+        table = CoddTable(
+            ("age",),
+            [(50,), (Null([40, 45]),), (Null([10, 45]),), (20,)],
+        )
+        query = Select(Scan("t"), Comparison(Attribute("age"), "<", Literal(30)))
+        pruned = prune_database(query, {"t": table})
+        # Rows 0 and 1 can never satisfy age < 30 in any completion.
+        assert len(pruned["t"]) == 2
+        assert pruned["t"].n_worlds() == 2  # only the {10, 45} NULL remains
+
+    def test_bare_scan_occurrence_blocks_pruning(self) -> None:
+        table = CoddTable(("age",), [(50,), (Null([40, 45]),)])
+        query = Join(
+            Select(Scan("t"), Comparison(Attribute("age"), "<", Literal(30))),
+            Scan("t"),  # the unfiltered occurrence needs every row
+        )
+        pruned = prune_database(query, {"t": table})
+        assert pruned["t"] is table
+
+    def test_project_only_chain_keeps_every_row(self) -> None:
+        table = CoddTable(("a", "b"), [(1, Null([2, 3]))])
+        pruned = prune_database(Project(Scan("t"), ("a",)), {"t": table})
+        assert pruned["t"] is table
+
+    def test_pruning_shrinks_an_otherwise_uncountable_product(self) -> None:
+        # Unpruned: 4^10 * 3^5 worlds — far beyond the naive cap. Every row
+        # of `huge` fails the filter, and `spare` is never scanned, so the
+        # pruned product is exactly 1 and the query answers instantly.
+        huge = CoddTable(("v",), [(Null([1, 2, 3, 4]),)] * 10)
+        spare = CoddTable(("w",), [(Null([0, 1, 2]),)] * 5)
+        query = Select(Scan("huge"), Comparison(Attribute("v"), ">", Literal(9)))
+        database = {"huge": huge, "spare": spare}
+        with pytest.raises(ValueError, match="cap"):
+            certain_answers_database(query, database, prune=False)
+        assert certain_answers_database(query, database).rows == set()
+        assert possible_answers_database(query, database).rows == set()
+
+    def test_pruned_results_match_unpruned(self, database) -> None:
+        query = young_city_query()
+        assert certain_answers_database(query, database) == certain_answers_database(
+            query, database, prune=False
+        )
+        assert possible_answers_database(query, database) == possible_answers_database(
+            query, database, prune=False
+        )
+
+    def test_negation_inside_a_filter_is_still_sound(self) -> None:
+        table = CoddTable(("a",), [(Null([1, 2]),), (3,)])
+        query = Select(
+            Scan("t"),
+            Negation(Comparison(Attribute("a"), "<", Literal(10))),  # nothing passes
+        )
+        pruned = prune_database(query, {"t": table})
+        assert len(pruned["t"]) == 0
+        assert certain_answers_database(query, {"t": table}).rows == set()

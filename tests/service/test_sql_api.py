@@ -1,0 +1,245 @@
+"""The /sql endpoint: exact round trips, pinned grids, structured errors.
+
+The acceptance bar is the wire one: a ``repro serve`` ``/sql`` round trip
+must return the *same* :class:`~repro.codd.relation.Relation` as calling
+:func:`repro.codd.certain.certain_answers` in process — floats, big ints,
+strings and booleans included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codd.certain import certain_answers, possible_answers
+from repro.codd.codd_table import CoddTable, Null
+from repro.codd.relation import Relation
+from repro.codd.sql import parse_sql
+from repro.service import DatasetRegistry, ServiceClient, ServiceError, make_service
+from repro.service.wire import (
+    WireError,
+    decode_codd_table,
+    decode_relation,
+    encode_codd_table,
+    encode_relation,
+)
+
+
+def person_table() -> CoddTable:
+    return CoddTable(
+        ("name", "age"),
+        [
+            ("John", 32),
+            ("Anna", 29),
+            ("Kevin", Null([1, 2, 30])),
+            ("Pi", 3.5),
+            ("Huge", Null([2**60, 2**60 + 1])),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def service():
+    registry = DatasetRegistry()
+    registry.register_codd_table("person", person_table())
+    server = make_service(registry)
+    client = ServiceClient(server.url)
+    client.wait_until_ready()
+    yield server, client
+    server.close()
+
+
+class TestWireCoddFormat:
+    def test_codd_table_round_trip(self):
+        table = person_table()
+        decoded = decode_codd_table(encode_codd_table(table))
+        assert decoded.schema == table.schema
+        assert decoded.fingerprint() == table.fingerprint()
+
+    def test_relation_round_trip_is_exact(self):
+        relation = Relation(
+            ("a", "b"),
+            [(1, "x"), (2.5, "y"), (True, "z"), (2**70, "w"), (None, "n")],
+        )
+        decoded = decode_relation(encode_relation(relation))
+        assert decoded == relation
+        # Types survive, not just values-as-floats.
+        kinds = {type(row[0]) for row in decoded.rows}
+        assert {int, float, bool, type(None)} <= kinds
+
+    def test_unencodable_cell_rejected(self):
+        table = CoddTable(("a",), [(object(),)])
+        with pytest.raises(WireError, match="cannot encode cell"):
+            encode_codd_table(table)
+
+    def test_malformed_payloads_rejected(self):
+        with pytest.raises(WireError, match="schema"):
+            decode_codd_table({"rows": []})
+        with pytest.raises(WireError, match="NULL markers"):
+            decode_codd_table({"schema": ["a"], "rows": [[{"nope": 1}]]})
+        with pytest.raises(WireError, match="relation"):
+            decode_relation([1, 2, 3])
+
+
+class TestSqlRoundTrip:
+    def test_round_trip_matches_in_process_certain_answers(self, service):
+        server, client = service
+        sql = "SELECT name FROM person WHERE age < 30"
+        response = client.sql(sql, mode="both")
+        query = parse_sql(sql)
+        local_certain = certain_answers(query, person_table(), name="person")
+        local_possible = possible_answers(query, person_table(), name="person")
+        assert response["results"]["certain"] == local_certain
+        assert response["results"]["possible"] == local_possible
+        assert response["results"]["certain"].rows == {("Anna",), ("Pi",)}
+        assert response["backends"]["certain"] == "vectorized"
+        assert response["n_worlds"] == str(person_table().n_worlds())
+
+    def test_big_integers_survive_the_sql_wire(self, service):
+        server, client = service
+        response = client.sql("SELECT age FROM person WHERE age > 1000")
+        values = {row[0] for row in response["results"]["certain"].rows}
+        assert values == set()  # Huge's age is uncertain between two values
+        possible = client.sql("SELECT age FROM person WHERE age > 1000", mode="possible")
+        values = {row[0] for row in possible["results"]["possible"].rows}
+        assert values == {2**60, 2**60 + 1}
+        assert all(isinstance(v, int) for v in values)
+
+    def test_float_cells_survive_exactly(self, service):
+        server, client = service
+        response = client.sql("SELECT age FROM person WHERE age == 3.5")
+        assert response["results"]["certain"].rows == {(3.5,)}
+
+    def test_repeat_query_is_served_from_cache(self, service):
+        server, client = service
+        sql = "SELECT name FROM person WHERE age >= 29"
+        first = client.sql(sql)
+        again = client.sql(sql)
+        assert again["cached"] is True
+        assert again["results"] == first["results"]
+
+    def test_inline_table_needs_no_registration(self, service):
+        server, client = service
+        table = CoddTable(("x",), [(1,), (Null([2, 3]),)])
+        response = client.sql(
+            "SELECT x FROM anything WHERE x >= 2", codd_table=table, mode="both"
+        )
+        assert response["results"]["certain"].rows == set()
+        assert response["results"]["possible"].rows == {(2,), (3,)}
+
+    def test_registered_grid_is_pinned_after_first_query(self, service):
+        server, client = service
+        entry = server.registry.get_codd("person")
+        client.sql("SELECT name FROM person")
+        assert entry.stacked is not None
+        detail = client.dataset("person")
+        assert detail["type"] == "codd" and detail["grid_pinned"] is True
+        assert detail["n_queries"] >= 1
+
+    def test_codd_tables_appear_in_dataset_listing(self, service):
+        server, client = service
+        rows = {row["name"]: row for row in client.datasets()}
+        assert rows["person"]["type"] == "codd"
+        assert rows["person"]["n_worlds"] == str(person_table().n_worlds())
+
+    def test_metrics_count_sql_traffic(self, service):
+        server, client = service
+        client.sql("SELECT name FROM person")
+        metrics = client.metrics()
+        assert metrics["broker"]["sql_requests"] >= 1
+        assert metrics["registry"]["n_codd_tables"] >= 1
+        assert metrics["registry"]["n_sql_queries"] >= 1
+
+    def test_codd_table_can_be_removed(self, service):
+        server, client = service
+        table = CoddTable(("q",), [(1,)])
+        server.registry.register_codd_table("ephemeral", table)
+        assert "ephemeral" in server.registry.codd_names()
+        server.registry.remove_codd("ephemeral")
+        assert "ephemeral" not in server.registry.codd_names()
+        with pytest.raises(ServiceError) as excinfo:
+            client.sql("SELECT * FROM ephemeral")
+        assert excinfo.value.status == 404
+
+    def test_register_codd_table_over_the_wire(self, service):
+        server, client = service
+        table = CoddTable(("v", "w"), [(1, "a"), (Null([2, 3]), "b")])
+        created = client.register_codd_table("shipped", table)
+        assert created["type"] == "codd"
+        assert created["fingerprint"] == table.fingerprint()
+        response = client.sql("SELECT w FROM shipped WHERE v == 2", mode="possible")
+        assert response["results"]["possible"].rows == {("b",)}
+
+    def test_forced_backend_is_honoured(self, service):
+        server, client = service
+        for backend in ("vectorized", "rowwise", "naive"):
+            response = client.sql(
+                "SELECT name FROM person WHERE age < 30", backend=backend
+            )
+            assert response["backends"]["certain"] == backend
+            assert response["results"]["certain"].rows == {("Anna",), ("Pi",)}
+
+
+class TestSqlErrorPaths:
+    def test_bad_sql_is_400_sql_error(self, service):
+        server, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.sql("SELEKT * FROM person")
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "sql_error"
+
+    def test_unknown_table_is_404(self, service):
+        server, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.sql("SELECT * FROM missing")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "unknown_dataset"
+        assert "missing" in excinfo.value.message
+
+    def test_bad_mode_is_400(self, service):
+        server, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.sql("SELECT * FROM person", mode="definitely")
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "malformed_payload"
+
+    def test_unknown_backend_is_plan_error(self, service):
+        server, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.sql("SELECT * FROM person", backend="gpu")
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "plan_error"
+
+    def test_unknown_column_is_400(self, service):
+        server, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.sql("SELECT salary FROM person")
+        assert excinfo.value.status == 400
+
+    def test_duplicate_codd_registration_is_409(self, service):
+        server, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.register_codd_table("person", person_table())
+        assert excinfo.value.status == 409
+        assert excinfo.value.code == "registry_conflict"
+
+    def test_replace_overwrites(self, service):
+        server, client = service
+        client.register_codd_table("person", person_table(), replace=True)
+
+    def test_malformed_inline_table_is_400(self, service):
+        server, client = service
+        import json
+        from urllib import error, request
+
+        req = request.Request(
+            server.url + "/sql",
+            data=json.dumps(
+                {"query": "SELECT * FROM t", "codd_table": {"schema": ["a"]}}
+            ).encode(),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(error.HTTPError) as excinfo:
+            request.urlopen(req, timeout=10)
+        assert excinfo.value.code == 400

@@ -159,6 +159,87 @@ class TestServeParser:
                 raise
 
 
+class TestSqlCommand:
+    @pytest.fixture
+    def csv_path(self, tmp_path):
+        path = tmp_path / "people.csv"
+        path.write_text(
+            "age,height,cls\n"
+            "32,170,1\n"
+            "29,,0\n"
+            ",180,1\n",
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_sql_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["sql", "--input", "x.csv", "--label", "cls", "--query", "SELECT * FROM T"]
+        )
+        assert args.engine == "auto"
+        assert args.url is None
+        assert args.limit == 20
+
+    def test_sql_engine_choices(self):
+        for engine in ("auto", "vectorized", "rowwise", "naive"):
+            args = build_parser().parse_args(
+                ["sql", "--input", "x.csv", "--label", "cls",
+                 "--query", "SELECT * FROM T", "--engine", engine]
+            )
+            assert args.engine == engine
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sql", "--input", "x.csv", "--label", "cls",
+                 "--query", "SELECT * FROM T", "--engine", "gpu"]
+            )
+
+    def test_sql_runs_and_reports_engine(self, csv_path, capsys):
+        code = main(
+            ["sql", "--input", csv_path, "--label", "cls",
+             "--query", "SELECT age FROM people WHERE age < 30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine: vectorized" in out
+        assert "certain answers" in out
+
+    def test_sql_engines_agree_on_output(self, csv_path, capsys):
+        base = ["sql", "--input", csv_path, "--label", "cls",
+                "--query", "SELECT age FROM t WHERE age < 30"]
+        outputs = []
+        for engine in ("vectorized", "rowwise", "naive"):
+            assert main([*base, "--engine", engine]) == 0
+            out = capsys.readouterr().out
+            outputs.append(out[out.index("certain answers"):])
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_sql_bad_query_is_exit_2(self, csv_path, capsys):
+        code = main(
+            ["sql", "--input", csv_path, "--label", "cls", "--query", "DELETE FROM t"]
+        )
+        assert code == 2
+        assert "SQL error" in capsys.readouterr().err
+
+    def test_sql_against_a_running_service(self, csv_path, capsys):
+        from repro.service import DatasetRegistry, make_service
+
+        server = make_service(DatasetRegistry())
+        try:
+            local = ["sql", "--input", csv_path, "--label", "cls",
+                     "--query", "SELECT age FROM people WHERE age < 30"]
+            assert main(local) == 0
+            reference = capsys.readouterr().out
+            assert main([*local, "--url", server.url]) == 0
+            served = capsys.readouterr().out
+            assert f"served by {server.url}" in served
+            # Same certain/possible sections either way.
+            assert served[served.index("certain answers"):] == (
+                reference[reference.index("certain answers"):]
+            )
+        finally:
+            server.close()
+
+
 class TestFlagValidation:
     """Non-positive executor knobs must be rejected at parse time."""
 
