@@ -1,0 +1,196 @@
+"""Benchmark: delta maintenance vs full recompute of CP tallies.
+
+The delta engine (:class:`repro.core.deltas.DeltaMaintainedState`)
+promises O(Δ) absorption of base-data writes — repairs, appends,
+deletes — against a warm state whose counts stay bit-identical to a
+from-scratch recompute. This benchmark scripts a write sequence over a
+recipe-sized dataset and times, for every write,
+
+1. ``apply`` on the maintained state (the delta path), and
+2. building a fresh state on the post-write dataset (the recompute the
+   delta path replaces: full kernel + a recount of every point).
+
+Counts are asserted bit-identical at every step; the acceptance bar is a
+>=5x aggregate wall-clock advantage for the delta path, enforced here
+and in CI via ``BENCH_updates.json``.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_updates.py [--smoke] [--output PATH]
+
+``--smoke`` shrinks the workload to a few seconds for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from conftest import bench_output_path, write_bench_report
+from repro.core.deltas import (
+    CellRepair,
+    DeltaMaintainedState,
+    RowAppend,
+    RowDelete,
+    apply_delta_to_dataset,
+)
+from repro.data.task import build_cleaning_task
+from repro.utils.tables import format_table
+
+DEFAULT_OUTPUT = bench_output_path("updates")
+
+_WORKLOADS = {
+    "smoke": dict(n_train=120, n_val=24, n_deltas=24),
+    "default": dict(n_train=200, n_val=48, n_deltas=60),
+}
+
+SPEEDUP_BAR = 5.0
+
+
+def scripted_deltas(dataset, n_deltas: int, rng: np.random.Generator) -> list:
+    """A valid write sequence: mostly repairs (the cleaning loop's shape),
+    with appends and deletes mixed in the way live serving produces them."""
+    deltas = []
+    current = dataset
+    for i in range(n_deltas):
+        dirty = current.uncertain_rows()
+        if i % 6 == 4:
+            row = np.concatenate(
+                [current.candidates(int(rng.integers(0, current.n_rows)))[:1]]
+            ) + rng.normal(scale=0.05, size=(1, current.n_features))
+            delta = RowAppend(row, int(rng.integers(0, current.n_labels)))
+        elif i % 6 == 5 and current.n_rows > 2 * current.n_features:
+            delta = RowDelete(int(rng.integers(0, current.n_rows)))
+        elif dirty:
+            row = int(dirty[int(rng.integers(0, len(dirty)))])
+            delta = CellRepair(row, int(rng.integers(0, current.candidate_counts()[row])))
+        else:  # dataset fully clean before the budget ran out
+            break
+        deltas.append(delta)
+        current = apply_delta_to_dataset(current, delta)
+    return deltas
+
+
+def bench_sequence(dataset, val_X, k: int, deltas: list) -> dict:
+    state = DeltaMaintainedState(dataset, val_X, k=k)
+    current = dataset
+    per_op: dict[str, dict[str, float | int]] = {}
+    t_delta_total = 0.0
+    t_recompute_total = 0.0
+    for delta in deltas:
+        start = time.perf_counter()
+        report = state.apply(delta)
+        t_delta = time.perf_counter() - start
+
+        current = apply_delta_to_dataset(current, delta)
+        start = time.perf_counter()
+        fresh = DeltaMaintainedState(current, val_X, k=k)
+        t_recompute = time.perf_counter() - start
+
+        assert state.counts_all() == fresh.counts_all(), (
+            f"delta path diverged from recompute after {report['op']}"
+        )
+        t_delta_total += t_delta
+        t_recompute_total += t_recompute
+        bucket = per_op.setdefault(
+            report["op"], {"n": 0, "delta_seconds": 0.0, "recompute_seconds": 0.0}
+        )
+        bucket["n"] += 1
+        bucket["delta_seconds"] += t_delta
+        bucket["recompute_seconds"] += t_recompute
+    return {
+        "n_deltas": len(deltas),
+        "n_points": int(val_X.shape[0]),
+        "n_rows_final": state.dataset.n_rows,
+        "delta_seconds": t_delta_total,
+        "recompute_seconds": t_recompute_total,
+        "speedup": t_recompute_total / t_delta_total,
+        "points_pruned": state.n_pruned,
+        "points_recomputed": state.n_recomputed,
+        "per_op": per_op,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny workload for CI (a few seconds)"
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    scale = "smoke" if args.smoke else "default"
+    size = _WORKLOADS[scale]
+    task = build_cleaning_task(
+        "supreme", n_train=size["n_train"], n_val=size["n_val"], n_test=20, seed=1
+    )
+    rng = np.random.default_rng(7)
+    deltas = scripted_deltas(task.incomplete, size["n_deltas"], rng)
+    result = bench_sequence(task.incomplete, task.val_X, task.k, deltas)
+
+    report = {
+        "benchmark": "updates",
+        "scale": scale,
+        "workload": {
+            "recipe": "supreme",
+            "n_train": task.incomplete.n_rows,
+            "n_val": result["n_points"],
+            "k": task.k,
+            "n_deltas": result["n_deltas"],
+        },
+        "sequence": result,
+        "speedup_bar": SPEEDUP_BAR,
+    }
+    write_bench_report(args.output, report)
+
+    rows = [
+        [
+            op,
+            str(bucket["n"]),
+            f"{bucket['delta_seconds'] * 1e3:.1f}",
+            f"{bucket['recompute_seconds'] * 1e3:.1f}",
+            f"{bucket['recompute_seconds'] / bucket['delta_seconds']:.1f}x",
+        ]
+        for op, bucket in sorted(result["per_op"].items())
+    ]
+    rows.append(
+        [
+            "total",
+            str(result["n_deltas"]),
+            f"{result['delta_seconds'] * 1e3:.1f}",
+            f"{result['recompute_seconds'] * 1e3:.1f}",
+            f"{result['speedup']:.1f}x",
+        ]
+    )
+    print(
+        format_table(
+            ["op", "n", "delta ms", "recompute ms", "speedup"],
+            rows,
+            title=(
+                f"Delta apply vs full recompute — {result['n_points']} maintained "
+                f"points, {result['n_deltas']} writes ({scale} scale); "
+                f"{result['points_pruned']} point-updates pruned, "
+                f"{result['points_recomputed']} recounted"
+            ),
+        )
+    )
+
+    if result["speedup"] < SPEEDUP_BAR:
+        print(
+            f"FAIL: delta path is only {result['speedup']:.2f}x over full "
+            f"recompute; the bar is {SPEEDUP_BAR:.0f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

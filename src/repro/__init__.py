@@ -46,6 +46,9 @@ name                                what it is
 ``batch_q2_counts``                 Q2 counts for every row of a test matrix
 ``batch_certain_labels``            CP'ed labels for every row of a test matrix
 ``IncrementalCPState``              exact Q2 counts maintained across cleaning pins
+``CellRepair``, ``RowAppend``, ``RowDelete``  the base-data write (delta) vocabulary
+``DeltaMaintainedState``            O(Δ) delta absorption, bit-identical to recompute
+``apply_delta_to_dataset``          the pure-dataset form of applying one delta
 ``weighted_prediction_probabilities``  KNN over a probabilistic DB (weighted flavor)
 ``topk_inclusion_counts``           per-row top-K membership counts (topk flavor)
 ``topk_inclusion_probabilities``    per-row top-K membership probabilities
@@ -80,10 +83,14 @@ from repro.cleaning.sequential import CleaningSession
 from repro.cleaning.weighted_clean import run_weighted_cp_clean
 from repro.core import (
     BatchQueryExecutor,
+    CellRepair,
     CPQuery,
+    DeltaMaintainedState,
     ExecutionOptions,
     IncompleteDataset,
     IncrementalCPState,
+    RowAppend,
+    RowDelete,
     KNNClassifier,
     LabelUncertainDataset,
     PreparedBatch,
@@ -138,6 +145,10 @@ __all__ = [
     "get_backend",
     "backend_names",
     "IncrementalCPState",
+    "CellRepair",
+    "RowAppend",
+    "RowDelete",
+    "DeltaMaintainedState",
     "weighted_prediction_probabilities",
     "topk_inclusion_counts",
     "topk_inclusion_probabilities",

@@ -43,6 +43,12 @@ from repro.core.batch_engine import (
     get_fanout_state,
 )
 from repro.core.dataset import IncompleteDataset
+from repro.core.deltas import (
+    CellRepair,
+    Delta,
+    DeltaMaintainedState,
+    RowDelete,
+)
 from repro.core.entropy import prediction_entropy
 from repro.core.kernels import Kernel, resolve_kernel
 from repro.core.planner import ExecutionOptions, execute_query, get_backend, make_query
@@ -123,7 +129,7 @@ class CleaningSession:
         self.batch = PreparedBatch(dataset, val_X, k=k, kernel=self.kernel)
         self.val_X = self.batch.test_X
         self._executor: BatchQueryExecutor | None = None
-        self.queries = self.batch.queries()
+        self._delta_state: DeltaMaintainedState | None = None
         self.fixed: dict[int, int] = {}
         self.backend = backend
         self.tile_rows = (
@@ -158,6 +164,16 @@ class CleaningSession:
                 prepared=self.batch, n_jobs=self.n_jobs, cache=self.cache
             )
         return self._executor
+
+    @property
+    def queries(self) -> list:
+        """Per-point :class:`~repro.core.prepared.PreparedQuery` objects.
+
+        Delegates to the session's prepared batch (which materialises and
+        caches them per point), so a base-data delta — which swaps the
+        batch — only rebuilds the queries that are actually read again.
+        """
+        return self.batch.queries()
 
     @property
     def n_val(self) -> int:
@@ -263,6 +279,63 @@ class CleaningSession:
                 f"candidate {candidate} out of range for row {row} with {counts[row]} candidates"
             )
         self.fixed[row] = candidate
+
+    # ------------------------------------------------------------------
+    # Physical base-data deltas (the service's PATCH traffic)
+    # ------------------------------------------------------------------
+    def apply_repair(self, row: int, candidate: int) -> dict:
+        """Physically repair ``row`` to ``candidate`` via the delta layer.
+
+        Unlike :meth:`clean_row` — which records a *hypothetical* pin that
+        queries condition on — a repair rewrites the dataset itself. See
+        :meth:`apply_delta` for how the warm state follows in O(Δ).
+        """
+        return self.apply_delta(CellRepair(int(row), int(candidate)))
+
+    def apply_delta(self, delta: Delta) -> dict:
+        """Apply one base-data delta and update the session's warm state.
+
+        The session keeps a :class:`~repro.core.deltas.DeltaMaintainedState`
+        seeded from the prepared batch's similarity matrix (no kernel
+        recompute), absorbs the delta there, and swaps in the state's
+        reassembled :class:`~repro.core.batch_engine.PreparedBatch` — so
+        the certainty checks and entropy scoring that follow see the new
+        dataset version without a full re-preparation.
+
+        Pins are reconciled with the delta: a :class:`CellRepair` matching
+        an existing pin absorbs it (the pin is physical now) while a
+        conflicting one raises ``ValueError``; a :class:`RowDelete` drops
+        the deleted row's pin and shifts later pinned rows down by one.
+        Returns the delta report (see :meth:`DeltaMaintainedState.apply`).
+        """
+        if isinstance(delta, CellRepair):
+            pinned = self.fixed.get(delta.row)
+            if pinned is not None and pinned != delta.candidate:
+                raise ValueError(
+                    f"repair of row {delta.row} to candidate {delta.candidate} "
+                    f"conflicts with the session pin to candidate {pinned}"
+                )
+        if self._delta_state is None:
+            self._delta_state = DeltaMaintainedState(
+                self.dataset,
+                self.val_X,
+                k=self.k,
+                kernel=self.kernel,
+                sims_matrix=self.batch.sims_matrix,
+            )
+        report = self._delta_state.apply(delta)
+        self.dataset = self._delta_state.dataset
+        self.batch = self._delta_state.prepared_batch()
+        self._executor = None  # held the previous batch
+        if isinstance(delta, CellRepair):
+            self.fixed.pop(delta.row, None)  # the pin is physical now
+        elif isinstance(delta, RowDelete):
+            self.fixed = {
+                (row - 1 if row > delta.row else row): cand
+                for row, cand in self.fixed.items()
+                if row != delta.row
+            }
+        return report
 
     def run(
         self,

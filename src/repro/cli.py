@@ -12,7 +12,10 @@ Two more commands serve the paper's database side: ``sql`` runs a
 SELECT-FROM-WHERE query over a dirty CSV with certain/possible-answer
 semantics (``--engine`` forces a codd engine backend, ``--url`` routes the
 query through a running ``repro serve`` instance's ``/sql`` endpoint), and
-``serve`` starts the HTTP query service.
+``serve`` starts the HTTP query service. ``patch`` sends live base-data
+writes (cell repairs, row appends/deletes, Codd NULL fixes) to a running
+service; the server maintains its warm CP state in O(Δ) and bumps the
+dataset version that every query response echoes.
 
 The CLI is a thin layer over the library; every command accepts ``--seed``
 and size flags so runs are reproducible and laptop-sized by default. The
@@ -129,6 +132,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache time-to-live in seconds",
     )
     _add_executor_flags(serve)
+
+    patch = sub.add_parser(
+        "patch",
+        help="apply live writes to a dataset on a running repro serve instance",
+        description=(
+            "Send base-data writes to a registered dataset (cell repairs, "
+            "row appends, row deletes) or Codd table (NULL-cell fixes) of a "
+            "running service. Mixed delta kinds are applied repairs first, "
+            "then appends, then deletes; --fix cannot be combined with the "
+            "delta flags (a registry entry is one kind or the other)."
+        ),
+    )
+    patch.add_argument("--url", required=True, help="base URL of a running `repro serve`")
+    patch.add_argument("--name", required=True, help="registry name of the dataset/table")
+    patch.add_argument(
+        "--repair",
+        nargs=2,
+        metavar=("ROW", "CANDIDATE"),
+        action="append",
+        type=int,
+        default=None,
+        help="pin dirty row ROW to its candidate repair CANDIDATE (repeatable)",
+    )
+    patch.add_argument(
+        "--append-row",
+        nargs=2,
+        metavar=("CANDIDATES", "LABEL"),
+        action="append",
+        default=None,
+        help=(
+            "append a training row: CANDIDATES is the candidate completions "
+            "as ';'-separated feature vectors with ','-separated features "
+            '(e.g. "1.0,2.0;1.5,2.0"), LABEL its class (repeatable)'
+        ),
+    )
+    patch.add_argument(
+        "--delete-row",
+        metavar="ROW",
+        action="append",
+        type=int,
+        default=None,
+        help="delete training row ROW (later row indices shift down; repeatable)",
+    )
+    patch.add_argument(
+        "--fix",
+        nargs=3,
+        metavar=("ROW", "COLUMN", "VALUE"),
+        action="append",
+        default=None,
+        help="fix a Codd table's NULL cell at (ROW, COLUMN) to VALUE (repeatable)",
+    )
 
     sql = sub.add_parser(
         "sql",
@@ -491,6 +545,94 @@ def _command_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_cell_value(text: str):
+    """``--fix`` VALUE arrives as a string; recover the scalar it denotes."""
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _command_patch(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    deltas: list[dict] = []
+    for row, candidate in args.repair or []:
+        deltas.append({"op": "cell_repair", "row": row, "candidate": candidate})
+    for candidates, label in args.append_row or []:
+        try:
+            matrix = [
+                [float(feature) for feature in vector.split(",")]
+                for vector in candidates.split(";")
+            ]
+            deltas.append(
+                {"op": "row_append", "candidates": matrix, "label": int(label)}
+            )
+        except ValueError:
+            print(
+                f"bad --append-row spec {candidates!r} {label!r} (want "
+                '"f1,f2;f1,f2" and an integer label)',
+                file=sys.stderr,
+            )
+            return 2
+    for row in args.delete_row or []:
+        deltas.append({"op": "row_delete", "row": row})
+    fixes = []
+    for row, column, value in args.fix or []:
+        try:
+            fixes.append(
+                {
+                    "op": "fix_cell",
+                    "row": int(row),
+                    "column": int(column),
+                    "value": _parse_cell_value(value),
+                }
+            )
+        except ValueError:
+            print("bad --fix spec: row/column must be integers", file=sys.stderr)
+            return 2
+    if bool(deltas) == bool(fixes):
+        print(
+            "provide delta flags (--repair / --append-row / --delete-row) "
+            "or --fix flags, and not both",
+            file=sys.stderr,
+        )
+        return 2
+
+    client = ServiceClient(args.url)
+    try:
+        if deltas:
+            result = client.patch(args.name, deltas=deltas)
+        else:
+            result = client.patch(args.name, fixes=fixes)
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"{args.name}: version {result['version']}, "
+        f"fingerprint {result['fingerprint'][:12]}, "
+        f"{result['n_worlds']} possible worlds"
+    )
+    for report in result["reports"]:
+        detail = ", ".join(
+            f"{key}={report[key]}"
+            for key in (
+                "row",
+                "column",
+                "n_pruned",
+                "n_recomputed",
+                "touched_points",
+                "version",
+            )
+            if key in report
+        )
+        print(f"  {report['op']}: {detail}")
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.service import DatasetRegistry
     from repro.service.http import serve as serve_forever
@@ -540,6 +682,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_csv_screen(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "patch":
+        return _command_patch(args)
     if args.command == "sql":
         return _command_sql(args)
     raise AssertionError(f"unhandled command {args.command!r}")

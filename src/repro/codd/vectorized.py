@@ -196,6 +196,76 @@ class StackedTable:
             self._numeric[index] = cached
         return cached
 
+    def with_cell_fixed(self, row: int, column: int, value: Any) -> "StackedTable":
+        """The grid for ``table.with_cell_fixed(row, column, value)`` by
+        segment surgery instead of a full rebuild.
+
+        Fixing one NULL keeps exactly the completions of row ``row`` where
+        that NULL takes ``value`` — a strided sub-block of the row's
+        segment (the j-th NULL varies with period ``prod(sizes after j)``,
+        so the kept positions are computed structurally, never by value
+        comparison). Every other segment is untouched, so the update is
+        one slice-and-concatenate per column rather than re-walking every
+        row's ``itertools.product`` — this is how
+        :class:`repro.service.registry.CoddTableEntry` absorbs
+        single-cell ``PATCH`` deltas while keeping its pinned grid warm.
+        The result is bit-identical to ``StackedTable(new_table)``
+        (``tests/fuzz/test_update_sequences.py`` holds it to that).
+        """
+        new_table = self.table.with_cell_fixed(row, column, value)
+        cell = self.table.rows[row][column]
+        domain = list(cell.domain)
+        chosen = domain.index(value)
+        n = int(self.counts[row])
+        start = int(self.offsets[row])
+        # Recover this NULL's variation period inside the segment (matches
+        # the constructor's layout: the first NULL varies slowest).
+        inner = n
+        for c, other in enumerate(self.table.rows[row]):
+            if isinstance(other, Null):
+                inner //= len(other.domain)
+                if c == column:
+                    break
+        keep_local = (np.arange(n, dtype=np.int64) // inner) % len(domain) == chosen
+        n_keep = n // len(domain)
+
+        derived = StackedTable.__new__(StackedTable)
+        derived.table = new_table
+        derived.columns = []
+        for c, col in enumerate(self.columns):
+            if c == column:
+                segment = np.empty(n_keep, dtype=object)
+                segment[:] = [value] * n_keep
+            else:
+                segment = col[start : start + n][keep_local]
+            derived.columns.append(
+                np.concatenate([col[:start], segment, col[start + n :]])
+            )
+        counts = self.counts.copy()
+        counts[row] = n_keep
+        offsets = np.zeros(len(counts), dtype=np.int64)
+        if len(counts) > 1:
+            np.cumsum(counts[:-1], out=offsets[1:])
+        derived.counts = counts
+        derived.offsets = offsets
+        derived.total = self.total - (n - n_keep)
+        arity = len(new_table.schema)
+        derived.varying = tuple(
+            any(isinstance(r[c], Null) for r in new_table.rows)
+            for c in range(arity)
+        )
+        derived._numeric = []
+        for c, cached in enumerate(self._numeric):
+            if isinstance(cached, np.ndarray):
+                derived._numeric.append(
+                    derived.columns[c].astype(np.float64)
+                )
+            else:
+                # Unresolved, or previously inexact (fixing a cell can only
+                # remove values, so exactness may improve — re-resolve lazily).
+                derived._numeric.append(False)
+        return derived
+
     def __repr__(self) -> str:
         return (
             f"StackedTable(n_rows={self.n_rows}, arity={len(self.columns)}, "

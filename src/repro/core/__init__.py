@@ -39,6 +39,13 @@ from repro.core.planner import (
 )
 from repro.core.bruteforce import brute_force_check, brute_force_counts
 from repro.core.dataset import IncompleteDataset
+from repro.core.deltas import (
+    CellRepair,
+    DeltaMaintainedState,
+    RowAppend,
+    RowDelete,
+    apply_delta_to_dataset,
+)
 from repro.core.engine import sortscan_counts
 from repro.core.incremental import IncrementalCPState
 from repro.core.label_uncertainty import (
@@ -162,6 +169,11 @@ __all__ = [
     "uniform_candidate_weights",
     "condition_weights",
     "IncrementalCPState",
+    "CellRepair",
+    "RowAppend",
+    "RowDelete",
+    "DeltaMaintainedState",
+    "apply_delta_to_dataset",
     "LabelUncertainDataset",
     "label_uncertain_counts",
     "label_uncertain_counts_bruteforce",

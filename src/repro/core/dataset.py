@@ -201,6 +201,35 @@ class IncompleteDataset:
         sets[row] = cands[candidate_index : candidate_index + 1]
         return IncompleteDataset(sets, self._labels)
 
+    def append_row(self, candidates: np.ndarray, label: int) -> "IncompleteDataset":
+        """A copy with a new row appended (candidate set + certain label).
+
+        The row lands at index ``n_rows``; existing indices are unchanged.
+        Used by :class:`repro.core.deltas.RowAppend`.
+        """
+        matrix = check_matrix(candidates, "candidates", n_cols=self._dim)
+        if matrix.shape[0] < 1:
+            raise ValueError("an appended row needs at least one candidate")
+        label = int(label)
+        if label < 0:
+            raise ValueError(f"labels must be non-negative integers, got {label}")
+        sets = list(self._candidate_sets) + [matrix]
+        labels = np.append(self._labels, np.int64(label))
+        return IncompleteDataset(sets, labels)
+
+    def delete_row(self, row: int) -> "IncompleteDataset":
+        """A copy with row ``row`` removed (later rows shift down by one).
+
+        Used by :class:`repro.core.deltas.RowDelete`.
+        """
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"row {row} out of range for {self.n_rows} rows")
+        if self.n_rows == 1:
+            raise ValueError("cannot delete the last row of a dataset")
+        sets = [c for i, c in enumerate(self._candidate_sets) if i != row]
+        labels = np.delete(self._labels, row)
+        return IncompleteDataset(sets, labels)
+
     def world(self, choice: Sequence[int]) -> np.ndarray:
         """Materialise the possible world selecting ``choice[i]`` from ``C_i``.
 

@@ -37,6 +37,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.dataset import IncompleteDataset
+from repro.core.deltas import row_is_irrelevant
 from repro.core.entropy import certain_label_from_counts, prediction_entropy
 from repro.core.kernels import Kernel
 from repro.core.prepared import PreparedQuery
@@ -143,13 +144,13 @@ class IncrementalCPState:
         guaranteed (minimum over remaining candidates) similarity strictly
         above the row's best possible similarity. Then in every world the
         top-K is filled without the row, so its candidate choice never
-        changes the prediction.
+        changes the prediction. The rule itself lives in
+        :func:`repro.core.deltas.row_is_irrelevant`, where the delta layer
+        generalises it from pins to appends and deletes.
         """
-        best = self._maxs[point, row]
-        mins = self._mins[point]
-        # Rows whose *every* candidate beats the target row's best candidate.
-        n_dominating = int(np.count_nonzero(mins > best)) - (1 if mins[row] > best else 0)
-        return n_dominating >= self.k
+        return row_is_irrelevant(
+            self._mins[point], row, self._maxs[point, row], self.k
+        )
 
     # ------------------------------------------------------------------
     # Cleaning steps

@@ -57,7 +57,12 @@ from repro.core.planner import (
     execute_query,
     make_query,
 )
-from repro.service.registry import DatasetEntry, DatasetRegistry
+from repro.core.deltas import Delta
+from repro.service.registry import (
+    DatasetEntry,
+    DatasetRegistry,
+    DatasetSnapshot,
+)
 from repro.service.wire import WireError, encode_relation
 from repro.utils.validation import check_positive_int
 
@@ -139,6 +144,29 @@ class TTLResultCache:
             self.expirations += len(stale)
             return len(stale)
 
+    def purge_dataset(self, name: str) -> int:
+        """Drop every entry cached for dataset/table ``name``; returns how many.
+
+        Keys are content-addressed (they embed a fingerprint), so a stale
+        entry can never be *served* for new content — but without this
+        purge, re-registering or patching a name would leave the old
+        content's results resident until TTL or LRU pressure claimed
+        them. Query-family keys lead with the dataset name; SQL keys
+        carry ``(name, fingerprint)`` pairs for every scanned table.
+        """
+        with self._lock:
+            stale = []
+            for key in self._entries:
+                if not (isinstance(key, tuple) and key):
+                    continue
+                if key[0] == name:
+                    stale.append(key)
+                elif key[0] == "sql" and any(n == name for n, _ in key[1]):
+                    stale.append(key)
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -182,12 +210,21 @@ def _weights_digest(weights: list[list[Fraction]] | None) -> str:
 
 
 class _PendingBatch:
-    """One micro-batch being assembled for a query family."""
+    """One micro-batch being assembled for a query family.
 
-    __slots__ = ("entry", "params", "items", "timer")
+    Carries the :class:`~repro.service.registry.DatasetSnapshot` of the
+    request that opened the batch; the family key embeds the snapshot's
+    fingerprint, so every coalesced request sees the same dataset version
+    and the flush executes against exactly that version.
+    """
 
-    def __init__(self, entry: DatasetEntry, params: dict) -> None:
+    __slots__ = ("entry", "snap", "params", "items", "timer")
+
+    def __init__(
+        self, entry: DatasetEntry, snap: DatasetSnapshot, params: dict
+    ) -> None:
         self.entry = entry
+        self.snap = snap
         self.params = params
         self.items: list[tuple[np.ndarray, Future]] = []
         self.timer: threading.Timer | None = None
@@ -273,6 +310,11 @@ class QueryBroker:
         self._n_cache_served = 0
         self._n_sql = 0
         self._n_sql_cache_served = 0
+        self._n_patches = 0
+        # Re-registration/removal under an existing name invalidates that
+        # name's cached results (satellite of the delta-maintenance work:
+        # fingerprint-keyed entries for the old content must not linger).
+        registry.add_invalidation_hook(self._on_invalidated)
 
     # ------------------------------------------------------------------
     # Public API
@@ -305,6 +347,11 @@ class QueryBroker:
         :func:`plan_query` raise it.
         """
         entry = self.registry.get(dataset)
+        # One atomic read of (dataset, fingerprint, version, prepared):
+        # everything below — family key, execution, response — uses the
+        # snapshot, so the answer is consistent with one serializable
+        # version even while PATCH traffic rewrites the entry.
+        snap = entry.snapshot()
         matrix = np.asarray(points, dtype=np.float64)
         single = matrix.ndim == 1
         if single:
@@ -316,7 +363,7 @@ class QueryBroker:
             pins = session_pins
         params = {
             "kind": kind,
-            "flavor": self._resolve_flavor(entry, flavor, weights),
+            "flavor": self._resolve_flavor(snap.dataset, flavor, weights),
             "k": entry.k if k is None else int(k),
             "pins": tuple(sorted(pins.items())),
             "label": label,
@@ -350,9 +397,11 @@ class QueryBroker:
             self.cache.purge()
         try:
             if single and self.window_s > 0 and self.max_batch > 1:
-                response = dict(self._submit_single(entry, matrix[0], params, timeout))
+                response = dict(
+                    self._submit_single(entry, snap, matrix[0], params, timeout)
+                )
             else:
-                response = self._execute_direct(entry, matrix, params)
+                response = self._execute_direct(entry, snap, matrix, params)
         finally:
             with self._lock:
                 self._inflight -= 1
@@ -362,6 +411,8 @@ class QueryBroker:
             kind=kind,
             flavor=params["flavor"],
             n_points=matrix.shape[0],
+            version=snap.version,
+            fingerprint=snap.fingerprint,
         )
         return response
 
@@ -397,12 +448,19 @@ class QueryBroker:
         names = scan_relations(parsed)
         if codd_table is not None:
             entries = {}
+            snaps = {}
             database = {name: codd_table for name in names}
             fingerprints = {name: codd_table.fingerprint() for name in names}
+            versions: dict[str, int] = {}
         else:
             entries = {name: self.registry.get_codd(name) for name in names}
-            database = {name: entry.table for name, entry in entries.items()}
-            fingerprints = {name: entry.fingerprint for name, entry in entries.items()}
+            # One atomic snapshot per table: table, fingerprint, version and
+            # pinned grid belong to the same serializable version even while
+            # PATCH fixes rewrite the entry.
+            snaps = {name: entry.snapshot() for name, entry in entries.items()}
+            database = {name: snap.table for name, snap in snaps.items()}
+            fingerprints = {name: snap.fingerprint for name, snap in snaps.items()}
+            versions = {name: snap.version for name, snap in snaps.items()}
 
         with self._lock:
             self._n_sql += 1
@@ -434,13 +492,14 @@ class QueryBroker:
                         self._n_sql_cache_served += 1
                     for entry in entries.values():
                         entry.record_served()
-                    return {**hit, "cached": True}
+                    return {**hit, "versions": versions, "cached": True}
             # Only a cache miss pays for the pinned completion grids —
-            # admission rejections and cache hits must stay cheap.
+            # admission rejections and cache hits must stay cheap. Grids
+            # are resolved against the snapshots, never the live entries.
             prepared = {
-                name: stacked
+                name: grid
                 for name, entry in entries.items()
-                if (stacked := entry.stacked) is not None
+                if (grid := entry.grid_for(snaps[name])) is not None
             } or None
             modes = MODES if mode == "both" else (mode,)
             results: dict[str, dict] = {}
@@ -464,13 +523,79 @@ class QueryBroker:
                 "n_worlds": str(n_worlds),
             }
             if self.cache is not None:
+                # Versions are not part of the cached payload: content can
+                # recur at a later version and the echo must stay current.
                 self.cache.put(cache_key, dict(response))
             for entry in entries.values():
                 entry.record_served()
-            return {**response, "cached": False}
+            return {**response, "versions": versions, "cached": False}
         finally:
             with self._lock:
                 self._inflight -= 1
+
+    def patch(
+        self,
+        name: str,
+        deltas: list[Delta] | None = None,
+        fixes: list[tuple[int, int, Any]] | None = None,
+    ) -> dict:
+        """Apply base-data writes to a registered dataset or Codd table
+        (the ``PATCH /datasets/<name>`` endpoint).
+
+        ``deltas`` (a list of :class:`~repro.core.deltas.CellRepair` /
+        :class:`~repro.core.deltas.RowAppend` /
+        :class:`~repro.core.deltas.RowDelete`) targets a CP dataset;
+        ``fixes`` (``(row, column, value)`` triples) targets a Codd
+        table. Exactly one of the two must be given. Each write bumps the
+        entry's version; warm prepared state follows in O(Δ) through the
+        delta-maintenance layer instead of being rebuilt, and the
+        broker's cached results for the name are purged. Returns the
+        entry's new ``version``/``fingerprint`` plus one report per
+        applied write.
+        """
+        if (deltas is None) == (fixes is None):
+            raise WireError(
+                "send either 'deltas' (for a CP dataset) or 'fixes' "
+                "(for a codd table), not both"
+            )
+        with self._lock:
+            if self._closed:
+                raise AdmissionError("broker is shut down", retry_after=1.0)
+            if self._inflight >= self.max_pending:
+                self._n_rejected += 1
+                raise AdmissionError(
+                    f"{self._inflight} requests in flight (max_pending="
+                    f"{self.max_pending}); shedding load",
+                    retry_after=max(self.window_s * 2, 0.01),
+                )
+            self._inflight += 1
+            self._n_patches += 1
+        try:
+            if deltas is not None:
+                result = self.registry.get(name).apply_deltas(deltas)
+            else:
+                if not fixes:
+                    raise WireError("'fixes' must contain at least one operation")
+                entry = self.registry.get_codd(name)
+                reports = [
+                    entry.apply_fix(row, column, value)
+                    for row, column, value in fixes
+                ]
+                result = {
+                    "table": name,
+                    "version": reports[-1]["version"],
+                    "fingerprint": reports[-1]["fingerprint"],
+                    "n_worlds": reports[-1]["n_worlds"],
+                    "reports": reports,
+                }
+        finally:
+            with self._lock:
+                self._inflight -= 1
+            # Purge even on partial application: any applied prefix already
+            # changed the content the cached results were computed for.
+            if self.cache is not None:
+                self.cache.purge_dataset(name)
+        return result
 
     def metrics(self) -> dict:
         """A snapshot of the broker's serving counters (for ``/metrics``)."""
@@ -487,6 +612,7 @@ class QueryBroker:
                 "served_from_cache": self._n_cache_served,
                 "sql_requests": self._n_sql,
                 "sql_served_from_cache": self._n_sql_cache_served,
+                "patch_requests": self._n_patches,
                 "inflight": self._inflight,
                 "window_s": self.window_s,
                 "max_batch": self.max_batch,
@@ -494,6 +620,11 @@ class QueryBroker:
             }
         out["cache"] = self.cache.stats() if self.cache is not None else None
         return out
+
+    def _on_invalidated(self, name: str) -> None:
+        """Registry hook: drop cached results for a replaced/removed name."""
+        if self.cache is not None:
+            self.cache.purge_dataset(name)
 
     def close(self) -> None:
         """Flush every pending micro-batch and stop accepting new work."""
@@ -510,7 +641,7 @@ class QueryBroker:
     # Internals
     # ------------------------------------------------------------------
     @staticmethod
-    def _resolve_flavor(entry: DatasetEntry, flavor: str, weights) -> str:
+    def _resolve_flavor(dataset, flavor: str, weights) -> str:
         """Mirror :func:`make_query`'s flavor inference for the family key.
 
         (The query itself is still built by ``make_query`` at flush
@@ -519,16 +650,18 @@ class QueryBroker:
         """
         if flavor != "auto":
             return flavor
-        if isinstance(entry.dataset, LabelUncertainDataset):
+        if isinstance(dataset, LabelUncertainDataset):
             return "label_uncertainty"
         if weights is not None:
             return "weighted"
-        return "binary" if entry.dataset.n_labels == 2 else "multiclass"
+        return "binary" if dataset.n_labels == 2 else "multiclass"
 
-    def _family_key(self, entry: DatasetEntry, params: dict) -> tuple:
+    def _family_key(
+        self, entry: DatasetEntry, snap: DatasetSnapshot, params: dict
+    ) -> tuple:
         return (
             entry.name,
-            entry.fingerprint,
+            snap.fingerprint,
             params["kind"],
             params["flavor"],
             params["k"],
@@ -543,20 +676,26 @@ class QueryBroker:
     def _point_cache_key(self, family: tuple, point: np.ndarray) -> tuple:
         return (*family, _point_digest(point))
 
-    def _options(self, entry: DatasetEntry) -> ExecutionOptions:
+    def _options(self, snap: DatasetSnapshot) -> ExecutionOptions:
         return ExecutionOptions(
             n_jobs=self.n_jobs,
             # The broker's TTL cache is the service's caching layer; the
             # planner-level LRU is bypassed so expiry is in one place.
             cache=False,
-            prepared=entry.prepared,
+            prepared=snap.prepared,
             tile_rows=self.tile_rows,
             tile_candidates=self.tile_candidates,
         )
 
-    def _execute(self, entry: DatasetEntry, test_X: np.ndarray, params: dict):
+    def _execute(
+        self,
+        entry: DatasetEntry,
+        snap: DatasetSnapshot,
+        test_X: np.ndarray,
+        params: dict,
+    ):
         query = make_query(
-            entry.dataset,
+            snap.dataset,
             test_X,
             kind=params["kind"],
             flavor=params["flavor"],
@@ -567,10 +706,16 @@ class QueryBroker:
             algorithm=params["algorithm"],
             weights=params["weights"],
         )
-        return execute_query(query, backend=params["backend"], options=self._options(entry))
+        return execute_query(query, backend=params["backend"], options=self._options(snap))
 
-    def _execute_direct(self, entry: DatasetEntry, matrix: np.ndarray, params: dict) -> dict:
-        family = self._family_key(entry, params)
+    def _execute_direct(
+        self,
+        entry: DatasetEntry,
+        snap: DatasetSnapshot,
+        matrix: np.ndarray,
+        params: dict,
+    ) -> dict:
+        family = self._family_key(entry, snap, params)
         cache_key = (*family, "matrix", _point_digest(matrix))
         if self.cache is not None:
             hit = self.cache.get(cache_key, _MISS)
@@ -578,7 +723,7 @@ class QueryBroker:
                 with self._lock:
                     self._n_cache_served += 1
                 return {"values": list(hit[0]), "backend": hit[1], "batch_size": matrix.shape[0], "cached": True}
-        result = self._execute(entry, matrix, params)
+        result = self._execute(entry, snap, matrix, params)
         with self._lock:
             self._n_batches += 1
             self._n_batched_points += matrix.shape[0]
@@ -600,11 +745,12 @@ class QueryBroker:
     def _submit_single(
         self,
         entry: DatasetEntry,
+        snap: DatasetSnapshot,
         point: np.ndarray,
         params: dict,
         timeout: float | None,
     ) -> dict:
-        family = self._family_key(entry, params)
+        family = self._family_key(entry, snap, params)
         if self.cache is not None:
             hit = self.cache.get(self._point_cache_key(family, point), _MISS)
             if hit is not _MISS:
@@ -617,7 +763,7 @@ class QueryBroker:
         with self._lock:
             batch = self._pending.get(family)
             if batch is None:
-                batch = _PendingBatch(entry, params)
+                batch = _PendingBatch(entry, snap, params)
                 self._pending[family] = batch
                 batch.timer = threading.Timer(
                     self.window_s, self._flush_family, (family, batch)
@@ -651,8 +797,8 @@ class QueryBroker:
         n = len(futures)
         try:
             test_X = np.vstack([point.reshape(1, -1) for point in points])
-            result = self._execute(batch.entry, test_X, batch.params)
-            family = self._family_key(batch.entry, batch.params)
+            result = self._execute(batch.entry, batch.snap, test_X, batch.params)
+            family = self._family_key(batch.entry, batch.snap, batch.params)
             with self._lock:
                 self._n_batches += 1
                 self._n_batched_points += n

@@ -29,6 +29,7 @@ from repro.service.wire import (
     decode_values,
     encode_codd_table,
     encode_dataset,
+    encode_delta,
     encode_fraction,
 )
 
@@ -232,6 +233,72 @@ class ServiceClient:
             response["values"], response["kind"], response["flavor"]
         )
         return response
+
+    def patch(self, name: str, deltas=None, fixes=None) -> dict:
+        """Apply base-data writes to a registered dataset or Codd table.
+
+        ``deltas`` is a list of :class:`~repro.core.deltas.CellRepair` /
+        :class:`~repro.core.deltas.RowAppend` /
+        :class:`~repro.core.deltas.RowDelete` objects (or already-encoded
+        wire dicts) for a CP dataset; ``fixes`` is a list of ``(row,
+        column, value)`` triples (or wire dicts) for a Codd table. The
+        response carries the entry's new ``version`` and ``fingerprint``
+        plus one report per applied write — and every subsequent query
+        response echoes the version it was served at.
+        """
+        if (deltas is None) == (fixes is None):
+            raise ValueError("provide exactly one of deltas= or fixes=")
+        payload: dict[str, Any]
+        if deltas is not None:
+            payload = {
+                "deltas": [
+                    delta if isinstance(delta, dict) else encode_delta(delta)
+                    for delta in deltas
+                ]
+            }
+        else:
+            payload = {
+                "fixes": [
+                    fix
+                    if isinstance(fix, dict)
+                    else {
+                        "op": "fix_cell",
+                        "row": int(fix[0]),
+                        "column": int(fix[1]),
+                        "value": fix[2],
+                    }
+                    for fix in fixes
+                ]
+            }
+        return self._request("PATCH", f"/datasets/{name}", payload)
+
+    def repair_cell(self, name: str, row: int, candidate: int) -> dict:
+        """PATCH one :class:`~repro.core.deltas.CellRepair` onto a dataset."""
+        return self.patch(
+            name,
+            deltas=[{"op": "cell_repair", "row": int(row), "candidate": int(candidate)}],
+        )
+
+    def append_row(self, name: str, candidates, label: int) -> dict:
+        """PATCH one :class:`~repro.core.deltas.RowAppend` onto a dataset."""
+        return self.patch(
+            name,
+            deltas=[
+                {
+                    "op": "row_append",
+                    "candidates": np.asarray(candidates, dtype=np.float64).tolist(),
+                    "label": int(label),
+                }
+            ],
+        )
+
+    def delete_row(self, name: str, row: int) -> dict:
+        """PATCH one :class:`~repro.core.deltas.RowDelete` onto a dataset."""
+        return self.patch(name, deltas=[{"op": "row_delete", "row": int(row)}])
+
+    def fix_cell(self, name: str, row: int, column: int, value) -> dict:
+        """PATCH one NULL-cell fix onto a registered Codd table."""
+        return self.patch(name, fixes=[(row, column, value)])
 
     def clean_step(self, dataset: str, row: int, candidate: int | None = None) -> dict:
         """Apply one cleaning answer (``candidate=None`` asks the server's

@@ -2,7 +2,7 @@
 
 ``ThreadingHTTPServer`` (one thread per connection, stdlib-only — the
 container bakes in no web framework and the service does not need one)
-exposes the registry + broker behind six JSON endpoints:
+exposes the registry + broker behind these JSON endpoints:
 
 ====================  ======  ====================================================
 path                  method  what it does
@@ -13,6 +13,10 @@ path                  method  what it does
                               registers one: a recipe build, a wire-encoded
                               dataset, or a wire-encoded ``codd_table``)
 ``/datasets/<name>``  GET     one dataset's (or Codd table's) description
+``/datasets/<name>``  PATCH   base-data deltas: cell repairs / row appends /
+                              row deletes on a CP dataset (``deltas``) or
+                              single-cell fixes on a Codd table (``fixes``);
+                              bumps the entry version, maintained in O(Δ)
 ``/query``            POST    a CP query — single point (micro-batched) or matrix
 ``/sql``              POST    a SQL query over a registered (or inline) Codd
                               table with certain/possible-answer semantics
@@ -50,8 +54,10 @@ from repro.service.registry import (
 )
 from repro.service.wire import (
     WireError,
+    decode_codd_fixes,
     decode_codd_table,
     decode_dataset,
+    decode_deltas,
     decode_matrix,
     decode_pins,
     decode_weights,
@@ -250,6 +256,14 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_error_json(404, "not_found", f"no route for POST {path}")
 
+    def do_PATCH(self) -> None:  # noqa: N802 — http.server API
+        path = urlparse(self.path).path.rstrip("/")
+        if path.startswith("/datasets/"):
+            name = path[len("/datasets/") :]
+            self._dispatch(lambda: self._patch_dataset(name))
+        else:
+            self._send_error_json(404, "not_found", f"no route for PATCH {path}")
+
     # -- GET bodies ----------------------------------------------------
     def _get_healthz(self):
         return 200, {
@@ -375,6 +389,24 @@ class _Handler(BaseHTTPRequestHandler):
             codd_table=None if inline is None else decode_codd_table(inline),
         )
         return 200, response
+
+    def _patch_dataset(self, name: str):
+        payload = self._read_json()
+        if "deltas" in payload and "fixes" in payload:
+            raise WireError("send either 'deltas' or 'fixes', not both")
+        if "deltas" in payload:
+            result = self.server.broker.patch(
+                name, deltas=decode_deltas(payload["deltas"])
+            )
+        elif "fixes" in payload:
+            result = self.server.broker.patch(
+                name, fixes=decode_codd_fixes(payload["fixes"])
+            )
+        else:
+            raise WireError(
+                "PATCH body needs 'deltas' (CP dataset) or 'fixes' (codd table)"
+            )
+        return 200, result
 
     def _post_clean_step(self):
         payload = self._read_json()

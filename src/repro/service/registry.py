@@ -36,7 +36,8 @@ ever contending on a global lock.
 from __future__ import annotations
 
 import threading
-from collections.abc import Mapping
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
@@ -50,6 +51,13 @@ from repro.codd.vectorized import (
 )
 from repro.core.batch_engine import PreparedBatch
 from repro.core.dataset import IncompleteDataset
+from repro.core.deltas import (
+    CellRepair,
+    Delta,
+    RowAppend,
+    RowDelete,
+    apply_delta_to_dataset,
+)
 from repro.core.kernels import Kernel, resolve_kernel
 from repro.core.label_uncertainty import LabelUncertainDataset
 from repro.utils.validation import check_positive_int
@@ -59,9 +67,40 @@ __all__ = [
     "RegistryError",
     "DuplicateDatasetError",
     "DatasetEntry",
+    "DatasetSnapshot",
     "CoddTableEntry",
+    "CoddTableSnapshot",
     "DatasetRegistry",
 ]
+
+
+@dataclass(frozen=True)
+class DatasetSnapshot:
+    """An atomic read of a :class:`DatasetEntry`'s versioned state.
+
+    Captured under the entry lock, so ``dataset``, ``fingerprint`` and
+    ``version`` always belong to one serializable version even while
+    ``PATCH`` traffic mutates the entry. ``prepared`` is advisory warm
+    state: every backend verifies it against the query's dataset before
+    use, so a snapshot raced by a concurrent delta executes correctly
+    (on its own version), just without the shortcut.
+    """
+
+    dataset: IncompleteDataset | LabelUncertainDataset
+    fingerprint: str
+    version: int
+    prepared: PreparedBatch | None
+
+
+@dataclass(frozen=True)
+class CoddTableSnapshot:
+    """An atomic read of a :class:`CoddTableEntry`'s versioned state."""
+
+    table: CoddTable
+    fingerprint: str
+    version: int
+    stacked: StackedTable | None
+    stackable: bool
 
 
 class RegistryError(ValueError):
@@ -116,6 +155,7 @@ class DatasetEntry:
         self.backend = backend
         self.n_jobs = n_jobs
         self.fingerprint = dataset.fingerprint()
+        self.version = 1
         self.n_queries = 0
         self.n_points_served = 0
         self.n_clean_steps = 0
@@ -181,6 +221,70 @@ class DatasetEntry:
             return self.session.batch
         return None
 
+    def snapshot(self) -> DatasetSnapshot:
+        """Atomically capture ``(dataset, fingerprint, version, prepared)``.
+
+        The broker's query path runs against a snapshot, never against
+        the live entry fields, so every response is consistent with one
+        serializable version even under concurrent ``PATCH`` writes.
+        """
+        with self._lock:
+            return DatasetSnapshot(
+                dataset=self.dataset,
+                fingerprint=self.fingerprint,
+                version=self.version,
+                prepared=None if self._session is None else self._session.batch,
+            )
+
+    def apply_deltas(self, deltas: Sequence[Delta]) -> dict:
+        """Apply base-data deltas in order, bumping the entry version per delta.
+
+        Routed through the pinned session's delta-maintained state when
+        the entry has one (so warm prepared state follows each delta in
+        O(Δ)); otherwise the deltas transform the dataset directly. Each
+        delta commits atomically — dataset, fingerprint and version swap
+        under the entry lock together — so a failing delta leaves every
+        previously applied one visible and consistent.
+        """
+        if not isinstance(self.dataset, IncompleteDataset):
+            raise RegistryError(
+                f"dataset {self.name!r} is not an incomplete dataset; "
+                "deltas apply to feature candidate sets"
+            )
+        deltas = list(deltas)
+        if not deltas:
+            raise RegistryError("'deltas' must contain at least one operation")
+        reports: list[dict] = []
+        with self._session_lock:
+            session = self.session if self.supports_cleaning else None
+            for delta in deltas:
+                if session is not None:
+                    report = session.apply_delta(delta)
+                    report.pop("version", None)  # the entry's version is authoritative
+                    new_dataset = session.dataset
+                else:
+                    new_dataset = apply_delta_to_dataset(self.dataset, delta)
+                    if isinstance(delta, CellRepair):
+                        report = {"op": "cell_repair", "row": delta.row}
+                    elif isinstance(delta, RowAppend):
+                        report = {"op": "row_append", "row": new_dataset.n_rows - 1}
+                    else:
+                        report = {"op": "row_delete", "row": delta.row}
+                with self._lock:
+                    self.dataset = new_dataset
+                    self.fingerprint = new_dataset.fingerprint()
+                    self.version += 1
+                    report["version"] = self.version
+                reports.append(report)
+        return {
+            "dataset": self.name,
+            "version": reports[-1]["version"],
+            "fingerprint": self.fingerprint,
+            "n_rows": new_dataset.n_rows,
+            "n_worlds": str(new_dataset.n_worlds()),
+            "reports": reports,
+        }
+
     def clean_step(self, row: int, candidate: int | None) -> dict:
         """Apply one human answer and return the session checkpoint.
 
@@ -209,6 +313,8 @@ class DatasetEntry:
         checkpoint["dataset"] = self.name
         checkpoint["row"] = int(row)
         checkpoint["candidate"] = int(candidate)
+        with self._lock:
+            checkpoint["version"] = self.version
         return checkpoint
 
     def session_pins(self) -> dict[int, int]:
@@ -226,8 +332,10 @@ class DatasetEntry:
 
     def describe(self) -> dict:
         """The ``/datasets`` JSON row for this entry."""
-        dataset = self.dataset
         with self._lock:
+            dataset = self.dataset
+            fingerprint = self.fingerprint
+            version = self.version
             n_cleaned = 0 if self._session is None else len(self._session.fixed)
             stats = {
                 "n_queries": self.n_queries,
@@ -241,7 +349,8 @@ class DatasetEntry:
                 if isinstance(dataset, LabelUncertainDataset)
                 else "incomplete"
             ),
-            "fingerprint": self.fingerprint,
+            "fingerprint": fingerprint,
+            "version": version,
             "n_rows": dataset.n_rows,
             "n_features": dataset.n_features,
             "n_labels": dataset.n_labels,
@@ -272,6 +381,7 @@ class CoddTableEntry:
         self.name = name
         self.table = table
         self.fingerprint = table.fingerprint()
+        self.version = 1
         self.n_queries = 0
         # The O(rows) size estimate runs once here, not per access under
         # the lock (an over-cap table would otherwise pay it per query).
@@ -290,6 +400,78 @@ class CoddTableEntry:
                 self._stacked = StackedTable(self.table)
             return self._stacked
 
+    def snapshot(self) -> CoddTableSnapshot:
+        """Atomically capture ``(table, fingerprint, version, grid)``.
+
+        ``stacked`` is whatever grid is pinned *right now* (possibly
+        ``None`` if never built); :meth:`grid_for` materialises one for a
+        snapshot without racing later versions.
+        """
+        with self._lock:
+            return CoddTableSnapshot(
+                table=self.table,
+                fingerprint=self.fingerprint,
+                version=self.version,
+                stacked=self._stacked,
+                stackable=self._stackable,
+            )
+
+    def grid_for(self, snap: CoddTableSnapshot) -> StackedTable | None:
+        """The completion grid for a snapshot's table version (or ``None``).
+
+        Builds the grid from the snapshot's own table when none is pinned
+        yet, and pins it on the entry only if the entry still is at that
+        version — a grid for a superseded version is used once and
+        dropped, never installed over newer state.
+        """
+        if snap.stacked is not None:
+            return snap.stacked
+        if not snap.stackable:
+            return None
+        grid = StackedTable(snap.table)
+        with self._lock:
+            if self._stacked is None and self.fingerprint == snap.fingerprint:
+                self._stacked = grid
+        return grid
+
+    def apply_fix(self, row: int, column: int, value) -> dict:
+        """Fix one NULL cell to ``value``; O(kept worlds) on the pinned grid.
+
+        The registered table is replaced by
+        :meth:`~repro.codd.codd_table.CoddTable.with_cell_fixed` and — when
+        a completion grid is pinned — the grid is updated *in place* via
+        :meth:`~repro.codd.vectorized.StackedTable.with_cell_fixed`
+        (a structural keep-mask over the affected row's world block, not a
+        rebuild). Table, grid, fingerprint and version all swap under one
+        lock, so every ``/sql`` snapshot sees a single serializable
+        version.
+        """
+        with self._lock:
+            if self._stacked is not None:
+                self._stacked = self._stacked.with_cell_fixed(row, column, value)
+                new_table = self._stacked.table
+            else:
+                new_table = self.table.with_cell_fixed(row, column, value)
+            self.table = new_table
+            self.fingerprint = new_table.fingerprint()
+            # A fix only shrinks the grid, but re-estimate anyway: a table
+            # registered over the stacking cap can drop under it.
+            self._stackable = (
+                self._stacked is not None
+                or estimate_stacked_cells(new_table) <= MAX_STACKED_CELLS
+            )
+            self.version += 1
+            return {
+                "table": self.name,
+                "op": "fix_cell",
+                "row": int(row),
+                "column": int(column),
+                "version": self.version,
+                "fingerprint": self.fingerprint,
+                "n_worlds": str(new_table.n_worlds()),
+                "grid_pinned": self._stacked is not None,
+            }
+
     def record_served(self) -> None:
         """Bump the per-entry SQL query counter."""
         with self._lock:
@@ -298,16 +480,20 @@ class CoddTableEntry:
     def describe(self) -> dict:
         """The ``/datasets`` JSON row for this entry."""
         with self._lock:
+            table = self.table
+            fingerprint = self.fingerprint
+            version = self.version
             n_queries = self.n_queries
             pinned = self._stacked is not None
         return {
             "name": self.name,
             "type": "codd",
-            "fingerprint": self.fingerprint,
-            "schema": list(self.table.schema),
-            "n_rows": len(self.table),
-            "n_null_cells": self.table.n_variables,
-            "n_worlds": str(self.table.n_worlds()),
+            "fingerprint": fingerprint,
+            "version": version,
+            "schema": list(table.schema),
+            "n_rows": len(table),
+            "n_null_cells": table.n_variables,
+            "n_worlds": str(table.n_worlds()),
             "grid_pinned": pinned,
             "n_queries": n_queries,
         }
@@ -324,6 +510,23 @@ class DatasetRegistry:
         self._entries: dict[str, DatasetEntry] = {}
         self._codd: dict[str, CoddTableEntry] = {}
         self._lock = threading.RLock()
+        self._invalidation_hooks: list[Callable[[str], None]] = []
+
+    # ------------------------------------------------------------------
+    def add_invalidation_hook(self, hook: Callable[[str], None]) -> None:
+        """Register a callback fired with a name whenever that name's
+        registered content is replaced or removed.
+
+        The broker subscribes its TTL result cache here, so re-registering
+        a dataset under an existing name *purges* that dataset's cached
+        results instead of leaving fingerprint-keyed entries resident
+        until TTL/LRU pressure claims them.
+        """
+        self._invalidation_hooks.append(hook)
+
+    def _notify_invalidation(self, name: str) -> None:
+        for hook in list(self._invalidation_hooks):
+            hook(name)
 
     # ------------------------------------------------------------------
     def register(
@@ -354,7 +557,12 @@ class DatasetRegistry:
         with self._lock:
             if not replace and name in self._entries:
                 raise DuplicateDatasetError(f"dataset {name!r} is already registered")
+            replaced = name in self._entries
             self._entries[name] = entry
+        if replaced:
+            # The name now maps to different content: anything cached for
+            # the old registration must go (fired outside the lock).
+            self._notify_invalidation(name)
         return entry
 
     def register_recipe(
@@ -418,7 +626,10 @@ class DatasetRegistry:
                 raise DuplicateDatasetError(
                     f"codd table {name!r} is already registered"
                 )
+            replaced = name in self._codd
             self._codd[name] = entry
+        if replaced:
+            self._notify_invalidation(name)
         return entry
 
     # ------------------------------------------------------------------
@@ -449,12 +660,14 @@ class DatasetRegistry:
         with self._lock:
             if self._entries.pop(name, None) is None:
                 raise UnknownDatasetError(name, sorted(self._entries))
+        self._notify_invalidation(name)
 
     def remove_codd(self, name: str) -> None:
         """Drop a Codd-table registration (and its pinned completion grid)."""
         with self._lock:
             if self._codd.pop(name, None) is None:
                 raise UnknownDatasetError(name, sorted(self._codd))
+        self._notify_invalidation(name)
 
     def names(self) -> list[str]:
         """Registered dataset names, sorted."""

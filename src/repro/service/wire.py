@@ -39,6 +39,7 @@ import numpy as np
 from repro.codd.codd_table import CoddTable, Null
 from repro.codd.relation import Relation
 from repro.core.dataset import IncompleteDataset
+from repro.core.deltas import CellRepair, Delta, RowAppend, RowDelete
 from repro.core.label_uncertainty import LabelUncertainDataset
 
 __all__ = [
@@ -56,6 +57,10 @@ __all__ = [
     "decode_pins",
     "decode_weights",
     "decode_matrix",
+    "encode_delta",
+    "decode_delta",
+    "decode_deltas",
+    "decode_codd_fixes",
 ]
 
 
@@ -300,6 +305,87 @@ def decode_weights(payload: Any) -> list[list[Fraction]] | None:
     if not isinstance(payload, list):
         raise WireError("weights must be a list of per-row fraction lists")
     return [[decode_fraction(w) for w in row] for row in payload]
+
+
+def encode_delta(delta: Delta) -> dict:
+    """A base-data delta as pure JSON (the ``PATCH /datasets/<name>`` body).
+
+    * ``CellRepair`` → ``{"op": "cell_repair", "row", "candidate"}``
+    * ``RowAppend`` → ``{"op": "row_append", "candidates": [[...]], "label"}``
+      (floats IEEE-exact via repr, like datasets)
+    * ``RowDelete`` → ``{"op": "row_delete", "row"}``
+    """
+    if isinstance(delta, CellRepair):
+        return {"op": "cell_repair", "row": int(delta.row), "candidate": int(delta.candidate)}
+    if isinstance(delta, RowAppend):
+        return {
+            "op": "row_append",
+            "candidates": np.asarray(delta.candidates, dtype=np.float64).tolist(),
+            "label": int(delta.label),
+        }
+    if isinstance(delta, RowDelete):
+        return {"op": "row_delete", "row": int(delta.row)}
+    raise WireError(f"cannot encode delta of type {type(delta).__name__}")
+
+
+def decode_delta(payload: Any) -> Delta:
+    """Rebuild one delta from :func:`encode_delta` output."""
+    if not isinstance(payload, dict):
+        raise WireError(f"a delta must be an object, got {type(payload).__name__}")
+    op = payload.get("op")
+    try:
+        if op == "cell_repair":
+            return CellRepair(int(payload["row"]), int(payload["candidate"]))
+        if op == "row_append":
+            return RowAppend(
+                decode_matrix(payload["candidates"], "candidates"),
+                int(payload["label"]),
+            )
+        if op == "row_delete":
+            return RowDelete(int(payload["row"]))
+    except KeyError as exc:
+        raise WireError(f"delta {op!r} is missing field {exc.args[0]!r}") from None
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"malformed {op!r} delta: {exc}") from None
+    raise WireError(
+        f"unknown delta op {op!r}; expected 'cell_repair', 'row_append' or 'row_delete'"
+    )
+
+
+def decode_deltas(payload: Any) -> list[Delta]:
+    """A non-empty JSON list of deltas → :class:`Delta` objects, in order."""
+    if not isinstance(payload, list) or not payload:
+        raise WireError("'deltas' must be a non-empty list of delta objects")
+    return [decode_delta(item) for item in payload]
+
+
+def decode_codd_fixes(payload: Any) -> list[tuple[int, int, Any]]:
+    """A non-empty list of ``{"op": "fix_cell", "row", "column", "value"}``
+    objects → ``(row, column, value)`` triples (the Codd-table PATCH form)."""
+    if not isinstance(payload, list) or not payload:
+        raise WireError("'fixes' must be a non-empty list of fix_cell objects")
+    fixes = []
+    for i, item in enumerate(payload):
+        if not isinstance(item, dict):
+            raise WireError(f"fixes[{i}] must be an object")
+        op = item.get("op", "fix_cell")
+        if op != "fix_cell":
+            raise WireError(f"fixes[{i}]: unknown op {op!r}; expected 'fix_cell'")
+        if "value" not in item:
+            raise WireError(f"fixes[{i}] is missing field 'value'")
+        try:
+            fixes.append(
+                (
+                    int(item["row"]),
+                    int(item["column"]),
+                    _encode_cell_scalar(item["value"], f"fixes[{i}]"),
+                )
+            )
+        except KeyError as exc:
+            raise WireError(f"fixes[{i}] is missing field {exc.args[0]!r}") from None
+        except (TypeError, ValueError) as exc:
+            raise WireError(f"malformed fixes[{i}]: {exc}") from None
+    return fixes
 
 
 def decode_matrix(payload: Any, name: str) -> np.ndarray:

@@ -112,3 +112,56 @@ class TestRunLoop:
         session = CleaningSession(dataset, np.array([[1.0]]), k=1)
         labels = session.val_certain_labels()
         assert len(labels) == 1
+
+
+class TestPhysicalDeltas:
+    """apply_repair / apply_delta make writes physical in O(Δ)."""
+
+    def test_apply_repair_matches_restricted_dataset(self):
+        dataset = tiny_dataset()
+        session = CleaningSession(dataset, val_points(), k=1)
+        report = session.apply_repair(0, 0)
+        assert report["op"] == "cell_repair"
+        restricted = dataset.restrict_row(0, 0)
+        assert session.dataset.fingerprint() == restricted.fingerprint()
+        for i, t in enumerate(val_points()):
+            assert session.val_certain_labels()[i] == certain_label(restricted, t, k=1)
+
+    def test_apply_repair_absorbs_matching_pin(self):
+        session = CleaningSession(tiny_dataset(), val_points(), k=1)
+        session.clean_row(0, 0)  # hypothetical pin
+        session.apply_repair(0, 0)  # same choice, made physical
+        assert 0 not in session.fixed
+        assert session.dataset.candidates(0).shape[0] == 1
+        assert session.remaining_dirty_rows() == [1]
+
+    def test_apply_repair_conflicting_pin_rejected(self):
+        session = CleaningSession(tiny_dataset(), val_points(), k=1)
+        session.clean_row(0, 0)
+        with pytest.raises(ValueError, match="conflicts with the session pin"):
+            session.apply_repair(0, 1)
+
+    def test_apply_delta_append_and_delete(self):
+        from repro.core.deltas import RowAppend, RowDelete
+
+        dataset = tiny_dataset()
+        session = CleaningSession(dataset, val_points(), k=1)
+        session.apply_delta(RowAppend(np.array([[5.0], [7.0]]), 1))
+        expected = dataset.append_row(np.array([[5.0], [7.0]]), 1)
+        assert session.dataset.fingerprint() == expected.fingerprint()
+
+        session.apply_delta(RowDelete(2))
+        expected = expected.delete_row(2)
+        assert session.dataset.fingerprint() == expected.fingerprint()
+        for i, t in enumerate(val_points()):
+            assert session.val_certain_labels()[i] == certain_label(expected, t, k=1)
+
+    def test_delete_shifts_session_pins(self):
+        from repro.core.deltas import RowDelete
+
+        session = CleaningSession(tiny_dataset(), val_points(), k=1)
+        session.clean_row(1, 0)  # pin row 1
+        session.apply_delta(RowDelete(0))  # rows shift down by one
+        assert session.fixed == {0: 0}
+        session.apply_delta(RowDelete(0))  # drops the pinned row itself
+        assert session.fixed == {}

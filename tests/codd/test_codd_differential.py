@@ -12,6 +12,9 @@ certification system, so the harness asserts **bit-identical**
 
 A second generator fuzzes two-table databases with join queries and
 asserts the pruned multi-table path agrees with unpruned enumeration.
+
+The seeded case generators live in :mod:`fuzz.codd_cases`
+(``tests/fuzz/codd_cases.py``), shared with the update-sequence harness.
 """
 
 from __future__ import annotations
@@ -19,19 +22,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.codd.algebra import (
-    Attribute,
-    Comparison,
-    Conjunction,
-    Disjunction,
-    Join,
-    Literal,
-    Negation,
-    Project,
-    Rename,
-    Scan,
-    Select,
+from fuzz.codd_cases import (
+    SEEDS,
+    TYPE_POOLS as _TYPE_POOLS,
+    random_case,
+    random_database_case,
 )
+from repro.codd.algebra import Project, Rename, Select
 from repro.codd.certain import (
     certain_answers,
     certain_answers_database,
@@ -40,106 +37,7 @@ from repro.codd.certain import (
     possible_answers_database,
     possible_answers_naive,
 )
-from repro.codd.codd_table import CoddTable, Null
 from repro.codd.engine import answer_query
-
-SEEDS = list(range(30))
-
-#: Per-column value universes. Ordering comparisons only ever pair a column
-#: with a literal (or column) of the same type class, mirroring what typed
-#: SQL would allow; equality comparisons may cross classes.
-_TYPE_POOLS = {
-    "int": [0, 1, 2, 3, 4],
-    "float": [-1.25, 0.0, 0.5, 2.0, 3.75],
-    "str": ["a", "b", "c", "d"],
-    "bigint": [2**60, 2**60 + 1, 2**60 + 2, 5],
-}
-
-
-def _random_table(
-    rng: np.random.Generator, attrs: tuple[str, ...], types: list[str]
-) -> CoddTable:
-    n_rows = int(rng.integers(1, 5))
-    rows = []
-    for _ in range(n_rows):
-        cells = []
-        for col_type in types:
-            pool = _TYPE_POOLS[col_type]
-            if rng.random() < 0.45:
-                size = int(rng.integers(1, 4))
-                domain = list(rng.choice(len(pool), size=size, replace=False))
-                cells.append(Null([pool[i] for i in domain]))
-            else:
-                cells.append(pool[int(rng.integers(0, len(pool)))])
-        rows.append(cells)
-    return CoddTable(attrs, rows)
-
-
-def _random_comparison(
-    rng: np.random.Generator, attrs: tuple[str, ...], types: list[str]
-):
-    i = int(rng.integers(0, len(attrs)))
-    ops_ordered = ["==", "!=", "<", "<=", ">", ">="]
-    same_type = [j for j in range(len(attrs)) if types[j] == types[i]]
-    if rng.random() < 0.3 and len(same_type) > 1:
-        j = int(rng.choice([j for j in same_type if j != i]))
-        right: Attribute | Literal = Attribute(attrs[j])
-    elif rng.random() < 0.15:
-        # Cross-type literal: equality only (ordering would TypeError,
-        # identically on every path, so nothing to differentiate).
-        other = [t for t in _TYPE_POOLS if t != types[i]]
-        pool = _TYPE_POOLS[str(rng.choice(other))]
-        right = Literal(pool[int(rng.integers(0, len(pool)))])
-        return Comparison(
-            Attribute(attrs[i]), str(rng.choice(["==", "!="])), right
-        )
-    else:
-        pool = _TYPE_POOLS[types[i]]
-        right = Literal(pool[int(rng.integers(0, len(pool)))])
-    return Comparison(Attribute(attrs[i]), str(rng.choice(ops_ordered)), right)
-
-
-def _random_predicate(
-    rng: np.random.Generator, attrs: tuple[str, ...], types: list[str], depth: int = 0
-):
-    roll = rng.random()
-    if depth >= 2 or roll < 0.5:
-        return _random_comparison(rng, attrs, types)
-    parts = [
-        _random_predicate(rng, attrs, types, depth + 1)
-        for _ in range(int(rng.integers(2, 4)))
-    ]
-    if roll < 0.7:
-        return Conjunction(*parts)
-    if roll < 0.9:
-        return Disjunction(*parts)
-    return Negation(_random_predicate(rng, attrs, types, depth + 1))
-
-
-def random_case(seed: int):
-    """One seeded random (query, table, name, description) case."""
-    rng = np.random.default_rng(seed)
-    arity = int(rng.integers(1, 4))
-    attrs = tuple(f"c{i}" for i in range(arity))
-    types = [str(rng.choice(list(_TYPE_POOLS))) for _ in range(arity)]
-    table = _random_table(rng, attrs, types)
-    name = str(rng.choice(["T", "person", "orders"]))
-
-    schema = attrs
-    query = Scan(name)
-    if rng.random() < 0.3:
-        renamed = tuple(f"r_{a}" for a in attrs)
-        query = Rename(query, dict(zip(attrs, renamed)))
-        schema = renamed
-    if rng.random() < 0.8:
-        query = Select(query, _random_predicate(rng, schema, types))
-    if rng.random() < 0.7:
-        kept = sorted(
-            rng.choice(len(schema), size=int(rng.integers(1, arity + 1)), replace=False)
-        )
-        query = Project(query, tuple(schema[i] for i in kept))
-    description = f"seed={seed} types={types} n_rows={len(table)} name={name}"
-    return query, table, name, description
 
 
 class TestSingleTableDifferential:
@@ -192,30 +90,6 @@ class TestSingleTableDifferential:
         assert types_seen == set(_TYPE_POOLS)
         assert with_nulls >= len(SEEDS) // 2
         assert renamed >= 3 and projected >= 10 and selected >= 15
-
-
-def random_database_case(seed: int):
-    """A two-table database plus a filtered join query over it."""
-    rng = np.random.default_rng(1000 + seed)
-    left = _random_table(rng, ("key", "a"), ["int", "int"])
-    right = _random_table(rng, ("key", "b"), ["int", "str"])
-    query = Join(Scan("L"), Scan("R"))
-    if rng.random() < 0.8:
-        # Filter directly above one scan: exactly what pruning targets.
-        query = Join(
-            Select(Scan("L"), _random_comparison(rng, ("key", "a"), ["int", "int"])),
-            Scan("R"),
-        )
-    if rng.random() < 0.5:
-        query = Select(
-            query, _random_comparison(rng, ("key", "a", "b"), ["int", "int", "str"])
-        )
-    if rng.random() < 0.7:
-        query = Project(query, ("key",))
-    database = {"L": left, "R": right}
-    if rng.random() < 0.3:
-        database["unused"] = _random_table(rng, ("z",), ["int"])
-    return query, database, f"seed={seed}"
 
 
 class TestMultiTableDifferential:

@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.core.dataset import IncompleteDataset
+
+# The seeded case generators shared by the differential harnesses live in
+# the tests/fuzz package; putting tests/ on sys.path makes `from fuzz...`
+# imports work no matter which test directory pytest collects from.
+_TESTS_DIR = str(Path(__file__).resolve().parent)
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)
 
 
 def random_incomplete_dataset(

@@ -1,0 +1,11 @@
+"""Shared seeded case generators for the differential harnesses.
+
+The planner-backend harness (``tests/core/test_backend_differential.py``),
+the certain-answer harness (``tests/codd/test_codd_differential.py``) and
+the update-sequence harness (``tests/fuzz/test_update_sequences.py``) all
+fuzz the same spaces — random incomplete datasets, random CP queries,
+random Codd tables and select-project queries. The generators live here
+once (:mod:`fuzz.cp_cases` and :mod:`fuzz.codd_cases`) so the harnesses
+cannot drift apart; each generator is a pure function of its seed, which
+keeps every reported failure replayable from its seed alone.
+"""

@@ -1,0 +1,159 @@
+"""Seeded random Codd-table cases shared by the differential harnesses.
+
+Extracted from ``tests/codd/test_codd_differential.py`` so the
+certain-answer harness and the update-sequence harness draw from one
+generator: fuzzed schemas and column types (small ints, floats, strings,
+ints beyond float64 exactness) with random NULL domains, plus random
+select-project(-rename) queries and two-table join databases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codd.algebra import (
+    Attribute,
+    Comparison,
+    Conjunction,
+    Disjunction,
+    Join,
+    Literal,
+    Negation,
+    Project,
+    Rename,
+    Scan,
+    Select,
+)
+from repro.codd.codd_table import CoddTable, Null
+
+__all__ = [
+    "SEEDS",
+    "TYPE_POOLS",
+    "random_table",
+    "random_comparison",
+    "random_predicate",
+    "random_case",
+    "random_database_case",
+]
+
+SEEDS = list(range(30))
+
+#: Per-column value universes. Ordering comparisons only ever pair a column
+#: with a literal (or column) of the same type class, mirroring what typed
+#: SQL would allow; equality comparisons may cross classes.
+TYPE_POOLS = {
+    "int": [0, 1, 2, 3, 4],
+    "float": [-1.25, 0.0, 0.5, 2.0, 3.75],
+    "str": ["a", "b", "c", "d"],
+    "bigint": [2**60, 2**60 + 1, 2**60 + 2, 5],
+}
+
+
+def random_table(
+    rng: np.random.Generator, attrs: tuple[str, ...], types: list[str]
+) -> CoddTable:
+    n_rows = int(rng.integers(1, 5))
+    rows = []
+    for _ in range(n_rows):
+        cells = []
+        for col_type in types:
+            pool = TYPE_POOLS[col_type]
+            if rng.random() < 0.45:
+                size = int(rng.integers(1, 4))
+                domain = list(rng.choice(len(pool), size=size, replace=False))
+                cells.append(Null([pool[i] for i in domain]))
+            else:
+                cells.append(pool[int(rng.integers(0, len(pool)))])
+        rows.append(cells)
+    return CoddTable(attrs, rows)
+
+
+def random_comparison(
+    rng: np.random.Generator, attrs: tuple[str, ...], types: list[str]
+):
+    i = int(rng.integers(0, len(attrs)))
+    ops_ordered = ["==", "!=", "<", "<=", ">", ">="]
+    same_type = [j for j in range(len(attrs)) if types[j] == types[i]]
+    if rng.random() < 0.3 and len(same_type) > 1:
+        j = int(rng.choice([j for j in same_type if j != i]))
+        right: Attribute | Literal = Attribute(attrs[j])
+    elif rng.random() < 0.15:
+        # Cross-type literal: equality only (ordering would TypeError,
+        # identically on every path, so nothing to differentiate).
+        other = [t for t in TYPE_POOLS if t != types[i]]
+        pool = TYPE_POOLS[str(rng.choice(other))]
+        right = Literal(pool[int(rng.integers(0, len(pool)))])
+        return Comparison(
+            Attribute(attrs[i]), str(rng.choice(["==", "!="])), right
+        )
+    else:
+        pool = TYPE_POOLS[types[i]]
+        right = Literal(pool[int(rng.integers(0, len(pool)))])
+    return Comparison(Attribute(attrs[i]), str(rng.choice(ops_ordered)), right)
+
+
+def random_predicate(
+    rng: np.random.Generator, attrs: tuple[str, ...], types: list[str], depth: int = 0
+):
+    roll = rng.random()
+    if depth >= 2 or roll < 0.5:
+        return random_comparison(rng, attrs, types)
+    parts = [
+        random_predicate(rng, attrs, types, depth + 1)
+        for _ in range(int(rng.integers(2, 4)))
+    ]
+    if roll < 0.7:
+        return Conjunction(*parts)
+    if roll < 0.9:
+        return Disjunction(*parts)
+    return Negation(random_predicate(rng, attrs, types, depth + 1))
+
+
+def random_case(seed: int):
+    """One seeded random (query, table, name, description) case."""
+    rng = np.random.default_rng(seed)
+    arity = int(rng.integers(1, 4))
+    attrs = tuple(f"c{i}" for i in range(arity))
+    types = [str(rng.choice(list(TYPE_POOLS))) for _ in range(arity)]
+    table = random_table(rng, attrs, types)
+    name = str(rng.choice(["T", "person", "orders"]))
+
+    schema = attrs
+    query = Scan(name)
+    if rng.random() < 0.3:
+        renamed = tuple(f"r_{a}" for a in attrs)
+        query = Rename(query, dict(zip(attrs, renamed)))
+        schema = renamed
+    if rng.random() < 0.8:
+        query = Select(query, random_predicate(rng, schema, types))
+    if rng.random() < 0.7:
+        kept = sorted(
+            rng.choice(len(schema), size=int(rng.integers(1, arity + 1)), replace=False)
+        )
+        query = Project(query, tuple(schema[i] for i in kept))
+    description = f"seed={seed} types={types} n_rows={len(table)} name={name}"
+    return query, table, name, description
+
+
+def random_database_case(seed: int):
+    """A two-table database plus a filtered join query over it."""
+    rng = np.random.default_rng(1000 + seed)
+    left = random_table(rng, ("key", "a"), ["int", "int"])
+    right = random_table(rng, ("key", "b"), ["int", "str"])
+    query = Join(Scan("L"), Scan("R"))
+    if rng.random() < 0.8:
+        # Filter directly above one scan: exactly what pruning targets.
+        query = Join(
+            Select(Scan("L"), random_comparison(rng, ("key", "a"), ["int", "int"])),
+            Scan("R"),
+        )
+    if rng.random() < 0.5:
+        query = Select(
+            query, random_comparison(rng, ("key", "a", "b"), ["int", "int", "str"])
+        )
+    if rng.random() < 0.7:
+        query = Project(query, ("key",))
+    database = {"L": left, "R": right}
+    if rng.random() < 0.3:
+        database["unused"] = random_table(rng, ("z",), ["int"])
+    return query, database, f"seed={seed}"
