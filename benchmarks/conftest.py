@@ -15,8 +15,11 @@ emit path (every script used to hand-roll its own mkdir+dump).
 
 from __future__ import annotations
 
+import datetime
 import json
+import os
 import pathlib
+import subprocess
 
 try:
     import pytest
@@ -31,12 +34,47 @@ def bench_output_path(name: str) -> pathlib.Path:
     return OUTPUT_DIR / f"BENCH_{name}.json"
 
 
+def _git_sha() -> str | None:
+    """The repository HEAD, or ``None`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def provenance() -> dict:
+    """The provenance fields stamped into every ``BENCH_*.json`` report.
+
+    A report compared across branches or machines is meaningless without
+    knowing what ran where: the commit, when it ran, and how many CPUs
+    the parallel backends had to play with.
+    """
+    return {
+        "git_sha": _git_sha(),
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def write_bench_report(output: pathlib.Path | str, report: dict) -> pathlib.Path:
     """Write one benchmark's JSON report (creating directories), echo the
-    path, and return it. ``report`` must be JSON-serialisable."""
+    path, and return it. ``report`` must be JSON-serialisable; the
+    :func:`provenance` fields (git SHA, UTC timestamp, CPU count) are
+    stamped in first, so a report key of the same name wins."""
     path = pathlib.Path(output)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    stamped = {**provenance(), **report}
+    path.write_text(json.dumps(stamped, indent=2) + "\n", encoding="utf-8")
     print(f"\nwrote {path}")
     return path
 

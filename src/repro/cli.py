@@ -8,6 +8,13 @@ Three commands cover the library's headline workflows:
 * ``clean``  — a full CPClean session against a simulated human oracle,
   with the RandomClean comparison at equal budget.
 
+``query`` answers one CP query over a recipe's validation set — in
+process through the query planner, or against a running service with
+``--url`` — and with ``--explain`` prints how it was executed: the
+chosen backend, the plan reason, and the certificate-pruning /
+early-termination counters (``--prune {auto,on,off}`` selects the
+pruning mode; answers are bit-identical for every choice).
+
 Two more commands serve the paper's database side: ``sql`` runs a
 SELECT-FROM-WHERE query over a dirty CSV with certain/possible-answer
 semantics (``--engine`` forces a codd engine backend, ``--url`` routes the
@@ -82,6 +89,80 @@ def build_parser() -> argparse.ArgumentParser:
         default=5,
         help="how many cleaning recommendations to print",
     )
+
+    query = sub.add_parser(
+        "query",
+        help="run one CP query and, with --explain, show how it was executed",
+        description=(
+            "Answer a CP query over a recipe's validation set — in-process "
+            "through the query planner, or (with --url) against a running "
+            "`repro serve` instance's /query endpoint. --prune selects the "
+            "exactness-preserving candidate-pruning mode (answers are "
+            "bit-identical for every choice); --explain prints the chosen "
+            "backend, the plan reason and the pruning / early-termination "
+            "counters of the execution."
+        ),
+    )
+    from repro.data.recipes import recipe_names as _recipe_names
+
+    query.add_argument("--recipe", choices=_recipe_names(), default="supreme")
+    query.add_argument("--n-train", type=int, default=100)
+    query.add_argument("--n-val", type=int, default=24)
+    query.add_argument("--missing-rate", type=float, default=None)
+    query.add_argument("--k", type=int, default=None, help="KNN neighbours (default: 3 in-process, the dataset's k via --url)")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--kind",
+        choices=("counts", "certain_label", "check"),
+        default="certain_label",
+        help="what to compute per validation point (default certain_label)",
+    )
+    query.add_argument(
+        "--flavor",
+        choices=("auto", "binary", "multiclass", "topk"),
+        default="auto",
+        help="CP query flavor (default auto: inferred from the dataset)",
+    )
+    query.add_argument(
+        "--label", type=int, default=None, help="target label for --kind check"
+    )
+    query.add_argument(
+        "--points",
+        type=_positive_int_flag("--points"),
+        default=None,
+        help="query only the first N validation points (default: all)",
+    )
+    query.add_argument(
+        "--prune",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="exactness-preserving candidate pruning (default auto)",
+    )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the chosen backend, plan reason and pruning counters",
+    )
+    query.add_argument(
+        "--url",
+        default=None,
+        help=(
+            "base URL of a running `repro serve`; the query runs server-side "
+            "over /query against --dataset's registered validation set"
+        ),
+    )
+    query.add_argument(
+        "--dataset",
+        default=None,
+        help="registered dataset name on the server (required with --url)",
+    )
+    query.add_argument(
+        "--limit",
+        type=_positive_int_flag("--limit"),
+        default=10,
+        help="print at most this many per-point values",
+    )
+    _add_executor_flags(query)
 
     serve = sub.add_parser(
         "serve",
@@ -484,6 +565,135 @@ def _command_csv_screen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_query_values(values, limit: int) -> None:
+    for index, value in enumerate(values[:limit]):
+        print(f"  point {index}: {value}")
+    if len(values) > limit:
+        print(f"  ... {len(values) - limit} more")
+
+
+def _print_explain(backend: str, reason: str, stats: dict) -> None:
+    """The --explain footer: plan choice + the backend's pruning counters."""
+    print(f"plan: backend={backend}" + (f" ({reason})" if reason else ""))
+    if not stats:
+        print("prune: (backend reported no execution stats)")
+        return
+    pruned = bool(stats.get("prune"))
+    print(
+        f"prune: {'on' if pruned else 'off'} "
+        f"(flavor={stats.get('flavor')}, kind={stats.get('kind')})"
+    )
+    if pruned:
+        print(
+            f"  rows pruned:       {stats.get('n_rows_pruned', 0)}"
+            f"/{stats.get('n_rows', 0)}"
+        )
+        print(
+            f"  candidates pruned: {stats.get('n_pruned', 0)}"
+            f"/{stats.get('n_candidates', 0)} "
+            f"({stats.get('n_scanned', 0)} positions scanned)"
+        )
+        print(
+            f"  early-terminated:  {stats.get('n_early_terminated', 0)}"
+            f"/{stats.get('n_points', 0)} decision scans"
+        )
+    for key in ("n_rows_skipped", "n_recomputed"):
+        if key in stats:
+            print(f"  {key}: {stats[key]}")
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    if args.url is not None:
+        if not args.dataset:
+            print("--url requires --dataset NAME", file=sys.stderr)
+            return 2
+        if args.points is not None:
+            print(
+                "--points is ignored with --url (the server queries the "
+                "dataset's whole registered validation set)",
+                file=sys.stderr,
+            )
+        from repro.service import ServiceClient, ServiceError
+
+        client = ServiceClient(args.url)
+        try:
+            response = client.query(
+                args.dataset,
+                points="validation",
+                kind=args.kind,
+                flavor=args.flavor,
+                k=args.k,
+                label=args.label,
+                backend=None if args.backend == "auto" else args.backend,
+                prune=args.prune,
+                explain=args.explain,
+            )
+        except ServiceError as exc:
+            print(f"service error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"dataset={args.dataset} kind={response['kind']} "
+            f"flavor={response['flavor']} points={response['n_points']} "
+            f"backend={response['backend']} version={response['version']}"
+        )
+        _print_query_values(response["values"], args.limit)
+        if args.explain:
+            block = response.get("explain") or {}
+            _print_explain(
+                block.get("backend", response["backend"]),
+                block.get("reason", ""),
+                block.get("stats", {}),
+            )
+        return 0
+
+    from repro.core.planner import (
+        ExecutionOptions,
+        PlanError,
+        execute_query,
+        make_query,
+    )
+    from repro.data.task import build_cleaning_task
+
+    k = 3 if args.k is None else args.k
+    task = build_cleaning_task(
+        args.recipe,
+        n_train=args.n_train,
+        n_val=args.n_val,
+        missing_rate=args.missing_rate,
+        k=k,
+        seed=args.seed,
+    )
+    points = task.val_X if args.points is None else task.val_X[: args.points]
+    try:
+        query = make_query(
+            task.incomplete,
+            points,
+            kind=args.kind,
+            flavor=args.flavor,
+            k=k,
+            label=args.label,
+        )
+        options = ExecutionOptions(
+            n_jobs=args.n_jobs,
+            cache=not args.no_cache,
+            tile_rows=args.tile_rows,
+            tile_candidates=args.tile_candidates,
+            prune=args.prune,
+        )
+        result = execute_query(query, backend=args.backend, options=options)
+    except (PlanError, ValueError) as exc:
+        print(f"query error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"recipe={task.name} kind={query.kind} flavor={query.flavor} "
+        f"k={k} points={points.shape[0]}"
+    )
+    _print_query_values(result.values, args.limit)
+    if args.explain:
+        _print_explain(result.plan.backend, result.plan.reason, dict(result.stats))
+    return 0
+
+
 def _command_sql(args: argparse.Namespace) -> int:
     from repro.codd.engine import answer_query, scan_relations
     from repro.codd.from_table import codd_table_from_dirty_table
@@ -680,6 +890,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_clean(args)
     if args.command == "csv-screen":
         return _command_csv_screen(args)
+    if args.command == "query":
+        return _command_query(args)
     if args.command == "serve":
         return _command_serve(args)
     if args.command == "patch":

@@ -320,6 +320,47 @@ def _counts_worker(index: int) -> tuple[int, list[int]]:
     return index, _counts_from_scan(prepared.scan(index), k, n_labels, fixed)
 
 
+def _pruned_counts_worker(index: int) -> tuple[int, list[int], dict]:
+    """Pool worker: prune-then-count one point straight from the sims row.
+
+    Never touches ``prepared.scan(index)`` — pruning happens *before* the
+    sort, which is where the clustered-candidate speedup comes from.
+    """
+    from repro.core.pruning import pruned_counts_from_sims
+
+    prepared, k, n_labels, fixed = get_fanout_state()
+    counts, stats = pruned_counts_from_sims(
+        prepared.sims_matrix[index],
+        prepared._rows,
+        prepared._cands,
+        prepared._labels,
+        prepared._counts,
+        k,
+        n_labels,
+        fixed,
+    )
+    return index, counts, stats
+
+
+def _pruned_decision_worker(index: int) -> tuple[int, int | None, dict]:
+    """Pool worker: prune + vectorised decision scan for one point."""
+    from repro.core.pruning import pruned_decision_from_sims
+
+    prepared, k, n_labels, fixed, implementation = get_fanout_state()
+    decision, stats = pruned_decision_from_sims(
+        prepared.sims_matrix[index],
+        prepared._rows,
+        prepared._cands,
+        prepared._labels,
+        prepared._counts,
+        k,
+        n_labels,
+        fixed,
+        implementation=implementation,
+    )
+    return index, decision.certain_label, stats
+
+
 # ---------------------------------------------------------------------------
 # The LRU result cache
 # ---------------------------------------------------------------------------
@@ -642,13 +683,24 @@ class BatchQueryExecutor:
         )
 
     # ------------------------------------------------------------------
-    def counts(self, fixed: Mapping[int, int] | None = None) -> list[list[int]]:
+    def counts(
+        self,
+        fixed: Mapping[int, int] | None = None,
+        prune: bool = False,
+        prune_stats: dict | None = None,
+    ) -> list[list[int]]:
         """Exact Q2 counts for every test point, with ``fixed`` rows pinned.
 
         Equivalent to ``[PreparedQuery(...).counts(fixed) for t in test_X]``
         (bit-identical, tested) but served from the cache where possible,
         and computed with the tuned kernel — fanned out over the worker
         pool when ``n_jobs > 1``.
+
+        With ``prune=True`` the irrelevant-candidate pruning pass runs per
+        point *before* the scan sort (see :mod:`repro.core.pruning`); the
+        counts are bit-identical, so pruned and unpruned runs share the
+        same cache entries. ``prune_stats`` (a dict) accumulates per-point
+        pruning telemetry for the points actually computed this call.
         """
         fixed = dict(fixed or {})
         fixed_key = tuple(sorted(fixed.items()))
@@ -663,21 +715,47 @@ class BatchQueryExecutor:
             missing.append(index)
 
         if missing:
-            # Scans must exist before the fork so workers share them
-            # copy-on-write instead of rebuilding per process.
-            self.prepared.materialize_scans(missing)
             n_labels = self.dataset.n_labels
-            pairs = fanout_map(
-                _counts_worker,
-                missing,
-                n_jobs=self.n_jobs,
-                state=(self.prepared, self.k, n_labels, fixed),
-            )
+            if prune:
+                # The pruned worker reads raw similarity rows; building the
+                # sorted scans up front would defeat the point.
+                triples = fanout_map(
+                    _pruned_counts_worker,
+                    missing,
+                    n_jobs=self.n_jobs,
+                    state=(self.prepared, self.k, n_labels, fixed),
+                )
+                pairs = self._fold_stats(triples, prune_stats)
+            else:
+                # Scans must exist before the fork so workers share them
+                # copy-on-write instead of rebuilding per process.
+                self.prepared.materialize_scans(missing)
+                pairs = fanout_map(
+                    _counts_worker,
+                    missing,
+                    n_jobs=self.n_jobs,
+                    state=(self.prepared, self.k, n_labels, fixed),
+                )
             for index, counts in pairs:
                 results[index] = counts
                 if self.cache is not None:
                     self.cache.put(self._key("q2", index, fixed_key), list(counts))
         return [list(counts) for counts in results]  # type: ignore[arg-type]
+
+    @staticmethod
+    def _fold_stats(
+        triples: Iterable[tuple[int, object, dict]],
+        prune_stats: dict | None,
+    ) -> list[tuple[int, object]]:
+        """Strip per-point stats off worker triples, folding them into one dict."""
+        from repro.core.pruning import accumulate_prune_stats
+
+        pairs = []
+        for index, value, stats in triples:
+            if prune_stats is not None:
+                accumulate_prune_stats(prune_stats, stats)
+            pairs.append((index, value))
+        return pairs
 
     # ------------------------------------------------------------------
     def _minmax_label(self, index: int, fixed: Mapping[int, int]) -> int | None:
@@ -711,20 +789,31 @@ class BatchQueryExecutor:
         return winners[0] if len(winners) == 1 else None
 
     def certain_labels(
-        self, fixed: Mapping[int, int] | None = None
+        self,
+        fixed: Mapping[int, int] | None = None,
+        prune: bool = False,
+        scan_kernel: str | None = None,
+        prune_stats: dict | None = None,
     ) -> list[int | None]:
         """The CP'ed label (or ``None``) of every test point.
 
         Dispatches exactly like the sequential path: the MM check for
         binary labels, Q2 counts otherwise — so results match
         ``CleaningSession.val_certain_labels`` / ``certain_label`` per
-        point bit for bit.
+        point bit for bit. ``prune=True`` engages candidate pruning on the
+        multiclass path (binary stays on the MM check, which is already a
+        maximally early-terminating scan); multiclass decisions then use
+        the vectorised decision kernel (``scan_kernel`` selects the
+        implementation) under the ``"q2d"`` cache tag, stopping the scan
+        as soon as two winners are seen.
         """
         fixed = dict(fixed or {})
         if self.dataset.n_labels != 2:
-            return [
-                certain_label_from_counts(counts) for counts in self.counts(fixed)
-            ]
+            if not prune:
+                return [
+                    certain_label_from_counts(counts) for counts in self.counts(fixed)
+                ]
+            return self._pruned_decisions(fixed, scan_kernel, prune_stats)
         fixed_key = tuple(sorted(fixed.items()))
         labels: list[int | None] = []
         for index in range(self.n_points):
@@ -739,6 +828,47 @@ class BatchQueryExecutor:
                 self.cache.put(key, label)
             labels.append(label)
         return labels
+
+    def _pruned_decisions(
+        self,
+        fixed: dict[int, int],
+        scan_kernel: str | None,
+        prune_stats: dict | None,
+    ) -> list[int | None]:
+        """Multiclass decisions via prune + early-terminating decision scan.
+
+        Cached under its own ``"q2d"`` tag: the decision result carries
+        less information than the full counts, so it must not shadow
+        ``"q2"`` entries.
+        """
+        fixed_key = tuple(sorted(fixed.items()))
+        results: list[int | None] = [None] * self.n_points
+        computed = [False] * self.n_points
+        missing: list[int] = []
+        for index in range(self.n_points):
+            if self.cache is not None:
+                hit = self.cache.get(self._key("q2d", index, fixed_key), _MISS)
+                if hit is not _MISS:
+                    results[index] = hit
+                    computed[index] = True
+                    continue
+            missing.append(index)
+
+        if missing:
+            triples = fanout_map(
+                _pruned_decision_worker,
+                missing,
+                n_jobs=self.n_jobs,
+                state=(self.prepared, self.k, self.dataset.n_labels, fixed, scan_kernel),
+            )
+            for index, label in self._fold_stats(triples, prune_stats):
+                results[index] = label
+                computed[index] = True
+                if self.cache is not None:
+                    self.cache.put(self._key("q2d", index, fixed_key), label)
+        if not all(computed):
+            raise AssertionError("internal error: unexecuted points in batch")
+        return results
 
 
 # ---------------------------------------------------------------------------

@@ -59,6 +59,11 @@ from repro.core.batch_engine import PreparedBatch, _counts_from_scan
 from repro.core.dataset import IncompleteDataset
 from repro.core.entropy import certain_label_from_counts
 from repro.core.kernels import Kernel, resolve_kernel
+from repro.core.pruning import (
+    accumulate_prune_stats,
+    empty_prune_stats,
+    prune_mask,
+)
 from repro.core.scan import _scan_from_sims, candidate_index_arrays
 from repro.utils.validation import check_matrix, check_positive_int
 
@@ -175,6 +180,13 @@ class DeltaMaintainedState:
         :class:`~repro.core.batch_engine.PreparedBatch`) to skip the
         initial kernel call. Must describe exactly ``(dataset,
         test_points, kernel)``.
+    prune:
+        With ``True`` every recount builds its scan from the *kept* rows
+        only: the maintained per-point min/max envelopes already are the
+        candidate intervals the certificate rule needs, so pruning costs
+        one vectorised mask — no extra interval pass. Counts stay
+        bit-identical (:meth:`verify` still passes) and ``prune_stats``
+        accumulates the telemetry.
     """
 
     def __init__(
@@ -185,6 +197,7 @@ class DeltaMaintainedState:
         kernel: Kernel | str | None = None,
         *,
         sims_matrix: np.ndarray | None = None,
+        prune: bool = False,
     ) -> None:
         self.k = check_positive_int(k, "k")
         if self.k > dataset.n_rows:
@@ -222,6 +235,8 @@ class DeltaMaintainedState:
         ]
         self._mins = np.stack([b.min(axis=1) for b in self._row_sims], axis=1)
         self._maxs = np.stack([b.max(axis=1) for b in self._row_sims], axis=1)
+        self.prune = bool(prune)
+        self.prune_stats = empty_prune_stats()
         self._counts: list[list[int]] = [
             self._recount(point) for point in range(self.n_points)
         ]
@@ -298,13 +313,57 @@ class DeltaMaintainedState:
     # Counting from maintained similarities
     # ------------------------------------------------------------------
     def _recount(self, point: int) -> list[int]:
-        """One fresh scan for ``point`` from the maintained similarity blocks."""
+        """One fresh scan for ``point`` from the maintained similarity blocks.
+
+        With :attr:`prune` on, the scan is built from the kept rows' blocks
+        only — the maintained envelopes are exactly the per-row candidate
+        intervals, so the certificate is one :func:`prune_mask` call — and
+        the reduced counts are scaled back by the pruned rows' world
+        multiplicity. Exact: a pruned row is outside every world's top-K,
+        so its candidates only multiply the count of each world.
+        """
+        if self.prune:
+            return self._recount_pruned(point)
         rows, cands, counts = candidate_index_arrays(self.dataset)
         sims = np.concatenate([block[point] for block in self._row_sims])
         scan = _scan_from_sims(
             sims, rows, cands, self.dataset.labels.copy(), counts
         )
         return _counts_from_scan(scan, self.k, self.dataset.n_labels)
+
+    def _recount_pruned(self, point: int) -> list[int]:
+        pruned = prune_mask(self._mins[point], self._maxs[point], self.k)
+        keep = np.nonzero(~pruned)[0]
+        blocks = [self._row_sims[int(row)] for row in keep]
+        widths = np.array([block.shape[1] for block in blocks], dtype=np.int64)
+        sims = np.concatenate([block[point] for block in blocks])
+        rows = np.repeat(np.arange(keep.shape[0], dtype=np.int64), widths)
+        cands = np.concatenate(
+            [np.arange(width, dtype=np.int64) for width in widths]
+        )
+        labels = self.dataset.labels[keep].copy()
+        # The kept subset of the full scan order IS the scan order of the
+        # kept problem (the sort key (sim, row, cand) restricts to a strict
+        # total order on any subset; the monotone row remap preserves it),
+        # so counting the reduced scan and scaling back is bit-identical.
+        scan = _scan_from_sims(sims, rows, cands, labels, widths)
+        counts = _counts_from_scan(scan, self.k, self.dataset.n_labels)
+        scale = 1
+        for row in np.nonzero(pruned)[0]:
+            scale *= self._row_sims[int(row)].shape[1]
+        total = int(sum(block.shape[1] for block in self._row_sims))
+        accumulate_prune_stats(
+            self.prune_stats,
+            {
+                "n_rows": len(self._row_sims),
+                "n_rows_pruned": int(np.count_nonzero(pruned)),
+                "n_candidates": total,
+                "n_pruned": total - int(widths.sum()),
+                "n_scanned": int(widths.sum()),
+                "early_terminated": False,
+            },
+        )
+        return [count * scale for count in counts]
 
     def _resize_labels(
         self, counts: list[int], new_n_labels: int, point: int

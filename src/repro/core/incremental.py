@@ -41,6 +41,11 @@ from repro.core.deltas import row_is_irrelevant
 from repro.core.entropy import certain_label_from_counts, prediction_entropy
 from repro.core.kernels import Kernel
 from repro.core.prepared import PreparedQuery
+from repro.core.pruning import (
+    accumulate_prune_stats,
+    empty_prune_stats,
+    pruned_counts_from_scan,
+)
 
 __all__ = ["IncrementalCPState"]
 
@@ -58,6 +63,11 @@ class IncrementalCPState:
         ``(n_points, d)`` or a sequence of ``(d,)`` vectors.
     k, kernel:
         KNN parameters, as for :func:`repro.core.queries.q2_counts`.
+    prune:
+        With ``True`` every full (re)count runs through the certificate
+        pruning pass of :mod:`repro.core.pruning` first — counts stay
+        bit-identical (:meth:`verify` still passes), recounts just touch
+        fewer rows. ``prune_stats`` accumulates the per-scan telemetry.
     """
 
     def __init__(
@@ -66,6 +76,7 @@ class IncrementalCPState:
         test_points: Sequence[np.ndarray] | np.ndarray,
         k: int = 3,
         kernel: Kernel | str | None = None,
+        prune: bool = False,
     ) -> None:
         points = np.asarray(test_points, dtype=np.float64)
         if points.ndim == 1:
@@ -77,9 +88,13 @@ class IncrementalCPState:
             )
         self.dataset = dataset
         self.k = k
+        self.prune = bool(prune)
+        self.prune_stats = empty_prune_stats()
         self._queries = [PreparedQuery(dataset, points[i], k=k, kernel=kernel) for i in range(points.shape[0])]
         self._fixed: dict[int, int] = {}
-        self._counts: list[list[int]] = [q.counts() for q in self._queries]
+        self._counts: list[list[int]] = [
+            self._fresh_counts(q, None) for q in self._queries
+        ]
         # Per point, per row: min and max candidate similarity (pins collapse
         # both to the pinned similarity).
         self._mins = np.stack([
@@ -90,6 +105,18 @@ class IncrementalCPState:
         ])
         self.n_pruned = 0
         self.n_recomputed = 0
+
+    def _fresh_counts(
+        self, query: PreparedQuery, fixed: dict[int, int] | None
+    ) -> list[int]:
+        """One full count of a point: plain scan, or certificate-pruned."""
+        if not self.prune:
+            return query.counts(fixed)
+        counts, stats = pruned_counts_from_scan(
+            query._scan, self.k, self.dataset.n_labels, fixed
+        )
+        accumulate_prune_stats(self.prune_stats, stats)
+        return counts
 
     # ------------------------------------------------------------------
     # Read access
@@ -184,7 +211,7 @@ class IncrementalCPState:
                 self._counts[point] = divided
                 self.n_pruned += 1
             else:
-                self._counts[point] = query.counts(new_fixed)
+                self._counts[point] = self._fresh_counts(query, new_fixed)
                 self.n_recomputed += 1
             # Tighten the similarity envelope either way.
             sim = query._row_sims[row][candidate]

@@ -101,6 +101,18 @@ from repro.core.kernels import Kernel, resolve_kernel
 from repro.core.label_uncertainty import LabelUncertainDataset, label_uncertain_counts
 from repro.core.multiclass import sortscan_counts_multiclass
 from repro.core.prepared import PreparedQuery
+from repro.core.pruning import (
+    accumulate_prune_stats,
+    empty_prune_stats,
+    pruned_counts_from_scan,
+    pruned_decision_from_scan,
+    pruned_label_uncertain_counts,
+    pruned_label_uncertain_decision,
+    pruned_topk_counts_from_scan,
+    pruned_weighted_decision,
+    pruned_weighted_probabilities,
+)
+from repro.core.scan import compute_scan_order
 from repro.core.sortscan import sortscan_counts_naive
 from repro.core.sortscan_tree import sortscan_counts_tree
 from repro.core.topk_prob import topk_inclusion_counts
@@ -114,6 +126,8 @@ from repro.utils.validation import check_in_options, check_positive_int
 __all__ = [
     "FLAVORS",
     "KINDS",
+    "PRUNE_MODES",
+    "SCAN_KERNEL_MODES",
     "Q2_ALGORITHMS",
     "CPQuery",
     "make_query",
@@ -140,6 +154,17 @@ FLAVORS = ("binary", "multiclass", "weighted", "topk", "label_uncertainty")
 #: Query kinds: exact per-label counts (Q2), the CP'ed label or ``None``,
 #: and the boolean check "is this label certainly predicted?" (Q1).
 KINDS = ("counts", "certain_label", "check")
+
+#: Candidate-pruning modes. ``"auto"`` prunes whenever the execution path
+#: can consume a certificate (SortScan-family engines with ``k < n_rows``),
+#: ``"on"`` demands pruning (a :class:`PlanError` if the query's algorithm
+#: cannot honour it), ``"off"`` disables it. Results never change.
+PRUNE_MODES = ("auto", "on", "off")
+
+#: Tally/decision kernel implementations accepted by
+#: :attr:`ExecutionOptions.scan_kernel` (``"auto"`` picks the import-time
+#: default of :mod:`repro.core.scan_kernels`).
+SCAN_KERNEL_MODES = ("auto", "numpy", "python")
 
 #: The per-point Q2 engines, by algorithm name. ``"auto"`` / ``"engine"``
 #: is the division-based SortScan; the others are the published
@@ -351,9 +376,19 @@ class ExecutionOptions:
     ``sharded`` backend (:mod:`repro.core.shards`); ``None`` keeps the
     backend's configured defaults. Other backends ignore them.
 
+    ``prune`` selects exactness-preserving candidate pruning
+    (:mod:`repro.core.pruning`): ``"auto"`` (default) engages it whenever
+    the execution path can consume a prune certificate, ``"on"`` requires
+    it (planning fails on incompatible algorithm overrides), ``"off"``
+    disables it. ``scan_kernel`` picks the tally/decision kernel
+    implementation of :mod:`repro.core.scan_kernels` (``"auto"``,
+    ``"numpy"`` or ``"python"``). Both are wall-clock knobs only — every
+    backend returns bit-identical values in every mode.
+
     All knobs are validated at construction, with the same rules the CLI
     flags enforce: ``n_jobs`` must be a positive integer, ``-1`` (all
-    CPUs) or ``None``; the tile bounds must be positive when given.
+    CPUs) or ``None``; the tile bounds must be positive when given;
+    ``prune`` / ``scan_kernel`` must name a known mode.
     """
 
     n_jobs: int | None = 1
@@ -361,8 +396,12 @@ class ExecutionOptions:
     prepared: PreparedBatch | None = None
     tile_rows: int | None = None
     tile_candidates: int | None = None
+    prune: str = "auto"
+    scan_kernel: str = "auto"
 
     def __post_init__(self) -> None:
+        check_in_options(self.prune, "prune", PRUNE_MODES)
+        check_in_options(self.scan_kernel, "scan_kernel", SCAN_KERNEL_MODES)
         if self.n_jobs is not None:
             if isinstance(self.n_jobs, bool) or not isinstance(
                 self.n_jobs, (int, np.integer)
@@ -401,11 +440,17 @@ class QueryResult:
     (``certain_label``), booleans (``check``), exact
     :class:`~fractions.Fraction` distributions (``weighted`` counts) or
     per-row inclusion counts (``topk``).
+
+    ``stats`` is the executing backend's observability snapshot for this
+    call (pruning counters, early-termination tallies, …). Purely
+    informational: empty when the backend reports nothing, and never part
+    of equality or caching.
     """
 
     query: CPQuery
     plan: QueryPlan
     values: list
+    stats: dict = field(default_factory=dict)
 
     @property
     def n_points(self) -> int:
@@ -434,6 +479,11 @@ class Backend(ABC):
 
     name: str = "abstract"
     capabilities: BackendCapabilities
+    #: Observability snapshot of the most recent :meth:`execute` call
+    #: (always reassigned whole, never mutated in place, so readers get a
+    #: consistent dict). :func:`execute_query` copies it into
+    #: :attr:`QueryResult.stats`.
+    last_stats: dict = {}
 
     def supports(self, query: CPQuery) -> bool:
         """True iff the declared capabilities cover this query."""
@@ -507,6 +557,13 @@ def plan_query(
     query.
     """
     options = options or ExecutionOptions()
+    if options.prune == "on" and query.algorithm not in ("auto", "engine"):
+        raise PlanError(
+            f"prune='on' cannot be honoured with algorithm {query.algorithm!r}: "
+            "the naive / tree / brute-force engines take a whole dataset and "
+            "cannot consume a pruned scan (use prune='auto' to skip pruning "
+            "silently, or the default engine)"
+        )
     if backend != "auto":
         chosen = get_backend(backend)
         if not chosen.supports(query):
@@ -545,8 +602,14 @@ def execute_query(
     plan = plan_query(query, backend, options)
     if query.n_points == 0:
         return QueryResult(query=query, plan=plan, values=[])
-    values = get_backend(plan.backend).execute(query, options)
-    return QueryResult(query=query, plan=plan, values=values)
+    chosen = get_backend(plan.backend)
+    values = chosen.execute(query, options)
+    # Snapshot, not reference: last_stats is per-backend mutable state and
+    # the next execute() on the same backend will overwrite it. (Under
+    # concurrent callers the snapshot may mix calls — acceptable for an
+    # observability-only field.)
+    stats = dict(getattr(chosen, "last_stats", {}) or {})
+    return QueryResult(query=query, plan=plan, values=values, stats=stats)
 
 
 # ---------------------------------------------------------------------------
@@ -593,6 +656,37 @@ def _weighted_to_kind(query: CPQuery, probs_per_point: list[list[Fraction]]) -> 
     if query.kind == "certain_label":
         return certain
     return [lbl == query.label for lbl in certain]
+
+
+def _prune_enabled(query: CPQuery, options: ExecutionOptions) -> bool:
+    """Whether this execution should run the candidate-pruning pass.
+
+    ``"off"`` never prunes; any mode is a no-op for the published
+    alternative engines (they take a whole dataset, not a scan).
+    ``"auto"`` additionally skips the pass when ``k >= n_rows`` — the
+    certificate needs ``k`` *other* dominating rows, so nothing can ever
+    be pruned there and the interval pass would be pure overhead.
+    """
+    if options.prune == "off":
+        return False
+    if query.algorithm not in ("auto", "engine"):
+        return False
+    if options.prune == "on":
+        return True
+    return query.k < query.dataset.n_rows
+
+
+def _scan_kernel_arg(options: ExecutionOptions) -> str | None:
+    """``ExecutionOptions.scan_kernel`` as the kernels' ``implementation=``."""
+    return None if options.scan_kernel == "auto" else options.scan_kernel
+
+
+def _prune_summary(query: CPQuery, prune: bool, totals: dict | None) -> dict:
+    """The ``last_stats`` payload: context keys plus accumulated counters."""
+    summary = {"flavor": query.flavor, "kind": query.kind, "prune": prune}
+    if totals:
+        summary.update(totals)
+    return summary
 
 
 def _point_key(t: np.ndarray) -> str:
@@ -645,17 +739,29 @@ class SequentialBackend(Backend):
         return float(query.workload_size()), "one prepared scan per test point"
 
     def execute(self, query, options=None):
+        options = options or ExecutionOptions()
+        prune = _prune_enabled(query, options)
+        totals = empty_prune_stats() if prune else None
         flavor = query.flavor
         if flavor in ("binary", "multiclass"):
-            return self._execute_counting(query)
-        if flavor == "weighted":
-            return self._execute_weighted(query)
-        if flavor == "topk":
-            return self._execute_topk(query)
-        return self._execute_label_uncertain(query)
+            values = self._execute_counting(query, options, prune, totals)
+        elif flavor == "weighted":
+            values = self._execute_weighted(query, options, prune, totals)
+        elif flavor == "topk":
+            values = self._execute_topk(query, prune, totals)
+        else:
+            values = self._execute_label_uncertain(query, prune, totals)
+        self.last_stats = _prune_summary(query, prune, totals)
+        return values
 
     # ------------------------------------------------------------------
-    def _execute_counting(self, query: CPQuery) -> list:
+    def _execute_counting(
+        self,
+        query: CPQuery,
+        options: ExecutionOptions,
+        prune: bool,
+        totals: dict | None,
+    ) -> list:
         fixed = query.pins_dict()
         if (
             query.kind in ("certain_label", "check")
@@ -664,12 +770,44 @@ class SequentialBackend(Backend):
         ):
             # The MM shortcut (Algorithm 2): no counting at all. Exact, and
             # it matches the counts-based answer bit for bit (tested).
+            # Already the maximally early-terminating path — pruning would
+            # only add work, so the certificate pass is skipped here.
             labels = [
                 PreparedQuery(
                     query.dataset, t, k=query.k, kernel=query.kernel
                 ).certain_label_minmax(fixed)
                 for t in query.test_X
             ]
+            if query.kind == "certain_label":
+                return labels
+            return [lbl == query.label for lbl in labels]
+
+        if prune:
+            # Binary decisions took the MM branch above, so a decision kind
+            # here is multiclass: the early-terminating decision kernel
+            # answers it without building full counts.
+            if query.kind == "counts":
+                counts = []
+                for t in query.test_X:
+                    scan = compute_scan_order(query.dataset, t, query.kernel)
+                    point_counts, stats = pruned_counts_from_scan(
+                        scan, query.k, query.n_labels, fixed
+                    )
+                    accumulate_prune_stats(totals, stats)
+                    counts.append(point_counts)
+                return counts
+            labels = []
+            for t in query.test_X:
+                scan = compute_scan_order(query.dataset, t, query.kernel)
+                decision, stats = pruned_decision_from_scan(
+                    scan,
+                    query.k,
+                    query.n_labels,
+                    fixed,
+                    implementation=_scan_kernel_arg(options),
+                )
+                accumulate_prune_stats(totals, stats)
+                labels.append(decision.certain_label)
             if query.kind == "certain_label":
                 return labels
             return [lbl == query.label for lbl in labels]
@@ -690,8 +828,39 @@ class SequentialBackend(Backend):
             ]
         return _counts_to_kind(query, counts)
 
-    def _execute_weighted(self, query: CPQuery) -> list:
+    def _execute_weighted(
+        self,
+        query: CPQuery,
+        options: ExecutionOptions,
+        prune: bool,
+        totals: dict | None,
+    ) -> list:
         weights = _conditioned_weights(query)
+        if prune:
+            if query.kind == "counts":
+                probs = []
+                for t in query.test_X:
+                    point_probs, stats = pruned_weighted_probabilities(
+                        query.dataset, t, weights, query.k, kernel=query.kernel
+                    )
+                    accumulate_prune_stats(totals, stats)
+                    probs.append(point_probs)
+                return probs
+            labels = []
+            for t in query.test_X:
+                decision, stats = pruned_weighted_decision(
+                    query.dataset,
+                    t,
+                    weights,
+                    query.k,
+                    kernel=query.kernel,
+                    implementation=_scan_kernel_arg(options),
+                )
+                accumulate_prune_stats(totals, stats)
+                labels.append(decision.certain_label)
+            if query.kind == "certain_label":
+                return labels
+            return [lbl == query.label for lbl in labels]
         probs = [
             weighted_prediction_probabilities(
                 query.dataset, t, k=query.k, weights=weights, kernel=query.kernel
@@ -700,15 +869,45 @@ class SequentialBackend(Backend):
         ]
         return _weighted_to_kind(query, probs)
 
-    def _execute_topk(self, query: CPQuery) -> list:
+    def _execute_topk(self, query: CPQuery, prune: bool, totals: dict | None) -> list:
         dataset = _restricted_dataset(query)
+        if prune:
+            values = []
+            for t in query.test_X:
+                scan = compute_scan_order(dataset, t, query.kernel)
+                counts, stats = pruned_topk_counts_from_scan(scan, query.k)
+                accumulate_prune_stats(totals, stats)
+                values.append(counts)
+            return values
         return [
             topk_inclusion_counts(dataset, t, k=query.k, kernel=query.kernel)
             for t in query.test_X
         ]
 
-    def _execute_label_uncertain(self, query: CPQuery) -> list:
+    def _execute_label_uncertain(
+        self, query: CPQuery, prune: bool, totals: dict | None
+    ) -> list:
         dataset = _restricted_dataset(query)
+        if prune:
+            if query.kind == "counts":
+                counts = []
+                for t in query.test_X:
+                    point_counts, stats = pruned_label_uncertain_counts(
+                        dataset, t, k=query.k, kernel=query.kernel
+                    )
+                    accumulate_prune_stats(totals, stats)
+                    counts.append(point_counts)
+                return counts
+            labels = []
+            for t in query.test_X:
+                label, stats = pruned_label_uncertain_decision(
+                    dataset, t, k=query.k, kernel=query.kernel
+                )
+                accumulate_prune_stats(totals, stats)
+                labels.append(label)
+            if query.kind == "certain_label":
+                return labels
+            return [lbl == query.label for lbl in labels]
         counts = [
             label_uncertain_counts(dataset, t, k=query.k, kernel=query.kernel)
             for t in query.test_X
@@ -759,6 +958,44 @@ def _label_uncertain_worker(index: int) -> tuple[int, list[int]]:
         scan=prepared.scan(index),
     )
     return index, counts
+
+
+def _pruned_weighted_worker(index: int) -> tuple[int, list[Fraction], dict]:
+    """Pool worker: pruned weighted probabilities (bit-identical, cheaper DP)."""
+    prepared, dataset, k, weights, kernel = get_fanout_state()
+    probs, stats = pruned_weighted_probabilities(
+        dataset,
+        prepared.test_X[index],
+        weights,
+        k,
+        kernel=kernel,
+        scan=prepared.scan(index),
+    )
+    return index, probs, stats
+
+
+def _pruned_topk_worker(index: int) -> tuple[int, list[int], dict]:
+    """Pool worker: pruned top-K inclusion counts of one point."""
+    prepared, k = get_fanout_state()
+    counts, stats = pruned_topk_counts_from_scan(prepared.scan(index), k)
+    return index, counts, stats
+
+
+def _pruned_label_uncertain_worker(index: int) -> tuple[int, list[int], dict]:
+    """Pool worker: pruned label-uncertain counts of one point.
+
+    ``until_mixed`` stays off: the cached value must be the full count
+    vector so pruned and unpruned calls can share cache entries.
+    """
+    prepared, dataset, k = get_fanout_state()
+    counts, stats = pruned_label_uncertain_counts(
+        dataset,
+        prepared.test_X[index],
+        k=k,
+        kernel=prepared.kernel,
+        scan=prepared.scan(index),
+    )
+    return index, counts, stats
 
 
 class BatchParallelBackend(Backend):
@@ -845,16 +1082,27 @@ class BatchParallelBackend(Backend):
     # ------------------------------------------------------------------
     def execute(self, query, options=None):
         options = options or ExecutionOptions()
+        prune = _prune_enabled(query, options)
+        totals = empty_prune_stats() if prune else None
         flavor = query.flavor
         if flavor in ("binary", "multiclass"):
-            return self._execute_counting(query, options)
-        if flavor == "weighted":
-            return self._execute_weighted(query, options)
-        if flavor == "topk":
-            return self._execute_topk(query, options)
-        return self._execute_label_uncertain(query, options)
+            values = self._execute_counting(query, options, prune, totals)
+        elif flavor == "weighted":
+            values = self._execute_weighted(query, options, prune, totals)
+        elif flavor == "topk":
+            values = self._execute_topk(query, options, prune, totals)
+        else:
+            values = self._execute_label_uncertain(query, options, prune, totals)
+        self.last_stats = _prune_summary(query, prune, totals)
+        return values
 
-    def _execute_counting(self, query: CPQuery, options: ExecutionOptions) -> list:
+    def _execute_counting(
+        self,
+        query: CPQuery,
+        options: ExecutionOptions,
+        prune: bool,
+        totals: dict | None,
+    ) -> list:
         prepared = self._prepared_for(
             query.dataset, query.test_X, query.k, query.kernel, options
         )
@@ -868,9 +1116,17 @@ class BatchParallelBackend(Backend):
             cache=cache if cache is not None else False,
         )
         fixed = query.pins_dict()
-        if query.kind == "counts" or query.dataset.n_labels != 2:
-            return _counts_to_kind(query, executor.counts(fixed))
-        labels = executor.certain_labels(fixed)
+        if query.kind == "counts":
+            return executor.counts(fixed, prune=prune, prune_stats=totals)
+        # Decision kinds: binary takes the MM scan regardless of prune;
+        # multiclass takes the pruned early-terminating decision kernel
+        # when pruning is on and full counts otherwise.
+        labels = executor.certain_labels(
+            fixed,
+            prune=prune,
+            scan_kernel=_scan_kernel_arg(options),
+            prune_stats=totals,
+        )
         if query.kind == "certain_label":
             return labels
         return [lbl == query.label for lbl in labels]
@@ -885,8 +1141,16 @@ class BatchParallelBackend(Backend):
         extra_key: tuple,
         worker,
         state: tuple,
+        totals: dict | None = None,
+        has_stats: bool = False,
     ) -> list:
-        """Cache-then-fan-out skeleton shared by the non-counting flavors."""
+        """Cache-then-fan-out skeleton shared by the non-counting flavors.
+
+        With ``has_stats`` the worker returns ``(index, value, stats)``
+        triples; the stats are folded into ``totals`` and only the value
+        is cached — pruned and unpruned workers are bit-identical, so they
+        share the same cache entries.
+        """
         cache = self._resolve_cache(options)
         n = prepared.n_points
         results: list = [None] * n
@@ -909,14 +1173,26 @@ class BatchParallelBackend(Backend):
             missing.append(index)
         if missing:
             prepared.materialize_scans(missing)
-            pairs = fanout_map(worker, missing, n_jobs=options.n_jobs, state=state)
-            for index, value in pairs:
+            items = fanout_map(worker, missing, n_jobs=options.n_jobs, state=state)
+            for item in items:
+                if has_stats:
+                    index, value, stats = item
+                    if totals is not None:
+                        accumulate_prune_stats(totals, stats)
+                else:
+                    index, value = item
                 results[index] = value
                 if cache is not None:
                     cache.put(keys[index], list(value))
         return results
 
-    def _execute_weighted(self, query: CPQuery, options: ExecutionOptions) -> list:
+    def _execute_weighted(
+        self,
+        query: CPQuery,
+        options: ExecutionOptions,
+        prune: bool,
+        totals: dict | None,
+    ) -> list:
         weights = _conditioned_weights(query)
         prepared = self._prepared_for(
             query.dataset, query.test_X, query.k, query.kernel, options
@@ -927,12 +1203,20 @@ class BatchParallelBackend(Backend):
             prepared,
             tag="wt",
             extra_key=_weights_key(weights),
-            worker=_weighted_worker,
+            worker=_pruned_weighted_worker if prune else _weighted_worker,
             state=(prepared, query.dataset, query.k, weights, query.kernel),
+            totals=totals,
+            has_stats=prune,
         )
         return _weighted_to_kind(query, probs)
 
-    def _execute_topk(self, query: CPQuery, options: ExecutionOptions) -> list:
+    def _execute_topk(
+        self,
+        query: CPQuery,
+        options: ExecutionOptions,
+        prune: bool,
+        totals: dict | None,
+    ) -> list:
         dataset = _restricted_dataset(query)
         prepared = self._prepared_for(
             dataset, query.test_X, query.k, query.kernel, options
@@ -943,12 +1227,18 @@ class BatchParallelBackend(Backend):
             prepared,
             tag="topk",
             extra_key=(),
-            worker=_topk_worker,
+            worker=_pruned_topk_worker if prune else _topk_worker,
             state=(prepared, query.k),
+            totals=totals,
+            has_stats=prune,
         )
 
     def _execute_label_uncertain(
-        self, query: CPQuery, options: ExecutionOptions
+        self,
+        query: CPQuery,
+        options: ExecutionOptions,
+        prune: bool,
+        totals: dict | None,
     ) -> list:
         dataset = _restricted_dataset(query)
         prepared = self._prepared_for(
@@ -960,8 +1250,10 @@ class BatchParallelBackend(Backend):
             prepared,
             tag="lu",
             extra_key=(dataset.fingerprint(),),
-            worker=_label_uncertain_worker,
+            worker=_pruned_label_uncertain_worker if prune else _label_uncertain_worker,
             state=(prepared, dataset, query.k),
+            totals=totals,
+            has_stats=prune,
         )
         return _counts_to_kind(query, counts)
 
@@ -1031,6 +1323,7 @@ class IncrementalBackend(Backend):
         return 1.5 * query.workload_size(), "cold start: full preparation + counts"
 
     def execute(self, query, options=None):
+        options = options or ExecutionOptions()
         pins = query.pins_dict()
         key = self._family_key(query)
         with self._lock:
@@ -1044,7 +1337,11 @@ class IncrementalBackend(Backend):
                 state = None  # pins shrank or contradict: rebuild
             if state is None:
                 state = IncrementalCPState(
-                    query.dataset, query.test_X, k=query.k, kernel=query.kernel
+                    query.dataset,
+                    query.test_X,
+                    k=query.k,
+                    kernel=query.kernel,
+                    prune=_prune_enabled(query, options),
                 )
                 with self._lock:
                     self._states[key] = state
@@ -1062,6 +1359,12 @@ class IncrementalBackend(Backend):
             )
             state.pin_many(delta)
             counts = state.counts_all()
+            summary = _prune_summary(
+                query, state.prune, dict(state.prune_stats) if state.prune else None
+            )
+            summary["n_rows_skipped"] = state.n_pruned
+            summary["n_recomputed"] = state.n_recomputed
+            self.last_stats = summary
         return _counts_to_kind(query, counts)
 
 

@@ -84,10 +84,21 @@ from repro.core.planner import (
     _conditioned_weights,
     _counts_to_kind,
     _point_key,
+    _prune_enabled,
     _restricted_dataset,
+    _scan_kernel_arg,
     _weighted_to_kind,
     _weights_key,
     register_backend,
+)
+from repro.core.pruning import (
+    accumulate_prune_stats,
+    empty_prune_stats,
+    pruned_counts_from_scan,
+    pruned_decision_from_scan,
+    pruned_label_uncertain_counts,
+    pruned_topk_counts_from_scan,
+    pruned_weighted_probabilities,
 )
 from repro.core.scan import ScanOrder, _scan_from_sims, stack_candidates
 from repro.core.topk_prob import topk_inclusion_counts
@@ -583,22 +594,24 @@ class ShardedBackend(Backend):
     def execute(self, query, options=None):
         options = options or ExecutionOptions()
         tile_rows, tile_candidates = self._tiling(options)
+        prune = _prune_enabled(query, options)
+        totals = empty_prune_stats() if prune else None
         flavor = query.flavor
         if flavor in ("binary", "multiclass"):
             values, scan_dataset, lazy = self._execute_counting(
-                query, options, tile_rows, tile_candidates
+                query, options, tile_rows, tile_candidates, prune, totals
             )
         elif flavor == "weighted":
             values, scan_dataset, lazy = self._execute_weighted(
-                query, options, tile_rows, tile_candidates
+                query, options, tile_rows, tile_candidates, prune, totals
             )
         elif flavor == "topk":
             values, scan_dataset, lazy = self._execute_topk(
-                query, options, tile_rows, tile_candidates
+                query, options, tile_rows, tile_candidates, prune, totals
             )
         else:
             values, scan_dataset, lazy = self._execute_label_uncertain(
-                query, options, tile_rows, tile_candidates
+                query, options, tile_rows, tile_candidates, prune, totals
             )
         if lazy.executor is not None:
             plan = lazy.executor.plan
@@ -625,8 +638,27 @@ class ShardedBackend(Backend):
             "n_tiles_streamed": n_tiles_streamed,
             "tile_buffer_bytes": plan.tile_buffer_bytes,
             "dense_bytes": plan.dense_bytes,
+            "prune": prune,
         }
+        if totals:
+            self.last_stats.update(totals)
         return values
+
+    @staticmethod
+    def _strip_stats(
+        mapping: Mapping[int, tuple[Any, dict]], totals: dict | None
+    ) -> dict[int, Any]:
+        """Split pruned ``(value, stats)`` results: fold stats, keep values.
+
+        Keeps the cache layer stats-free, so pruned and unpruned runs share
+        entries (their values are bit-identical).
+        """
+        out: dict[int, Any] = {}
+        for index, (value, stats) in mapping.items():
+            if totals is not None:
+                accumulate_prune_stats(totals, stats)
+            out[index] = value
+        return out
 
     # ------------------------------------------------------------------
     def _cached_points(
@@ -702,7 +734,9 @@ class ShardedBackend(Backend):
         )
 
     # ------------------------------------------------------------------
-    def _execute_counting(self, query, options, tile_rows, tile_candidates):
+    def _execute_counting(
+        self, query, options, tile_rows, tile_candidates, prune, totals
+    ):
         fixed = query.pins_dict()
         fixed_key = tuple(sorted(fixed.items()))
         lazy = self._lazy_executor(
@@ -710,6 +744,7 @@ class ShardedBackend(Backend):
         )
         if query.kind in ("certain_label", "check") and query.dataset.n_labels == 2:
             # The MM shortcut: exact Q1 from merged min/max tallies alone.
+            # Pruning never enters — no scan is built to prune.
             labels = self._cached_points(
                 query,
                 options,
@@ -723,30 +758,80 @@ class ShardedBackend(Backend):
             return [label == query.label for label in labels], query.dataset, lazy
 
         n_labels = query.dataset.n_labels
+        if prune and query.kind in ("certain_label", "check"):
+            # Multiclass decisions (binary took the MM branch): the pruned
+            # early-terminating decision kernel, cached under its own tag —
+            # the verdict carries less information than the counts.
+            implementation = _scan_kernel_arg(options)
+
+            def _decide(scan: ScanOrder, index: int) -> tuple[int | None, dict]:
+                decision, stats = pruned_decision_from_scan(
+                    scan, query.k, n_labels, fixed, implementation=implementation
+                )
+                return decision.certain_label, stats
+
+            labels = self._cached_points(
+                query,
+                options,
+                tag="sh-q2d",
+                fingerprint=query.fingerprint(),
+                extra_key=fixed_key,
+                compute=lambda missing: self._strip_stats(
+                    lazy().map_points(_decide, missing), totals
+                ),
+            )
+            if query.kind == "certain_label":
+                return labels, query.dataset, lazy
+            return [label == query.label for label in labels], query.dataset, lazy
+
+        if prune:
+            compute = lambda missing: self._strip_stats(
+                lazy().map_points(
+                    lambda scan, index: pruned_counts_from_scan(
+                        scan, query.k, n_labels, fixed
+                    ),
+                    missing,
+                ),
+                totals,
+            )
+        else:
+            compute = lambda missing: lazy().map_points(
+                lambda scan, index: _counts_from_scan(scan, query.k, n_labels, fixed),
+                missing,
+            )
         counts = self._cached_points(
             query,
             options,
             tag="sh-q2",
             fingerprint=query.fingerprint(),
             extra_key=fixed_key,
-            compute=lambda missing: lazy().map_points(
-                lambda scan, index: _counts_from_scan(scan, query.k, n_labels, fixed),
-                missing,
-            ),
+            compute=compute,
         )
         return _counts_to_kind(query, counts), query.dataset, lazy
 
-    def _execute_weighted(self, query, options, tile_rows, tile_candidates):
+    def _execute_weighted(
+        self, query, options, tile_rows, tile_candidates, prune, totals
+    ):
         weights = _conditioned_weights(query)
         dataset = query.dataset
         lazy = self._lazy_executor(dataset, query, options, tile_rows, tile_candidates)
-        probs = self._cached_points(
-            query,
-            options,
-            tag="sh-wt",
-            fingerprint=query.fingerprint(),
-            extra_key=(_weights_key(weights),),
-            compute=lambda missing: lazy().map_points(
+        if prune:
+            compute = lambda missing: self._strip_stats(
+                lazy().map_points(
+                    lambda scan, index: pruned_weighted_probabilities(
+                        dataset,
+                        query.test_X[index],
+                        weights,
+                        query.k,
+                        kernel=query.kernel,
+                        scan=scan,
+                    ),
+                    missing,
+                ),
+                totals,
+            )
+        else:
+            compute = lambda missing: lazy().map_points(
                 lambda scan, index: weighted_prediction_probabilities(
                     dataset,
                     query.test_X[index],
@@ -756,22 +841,32 @@ class ShardedBackend(Backend):
                     scan=scan,
                 ),
                 missing,
-            ),
+            )
+        probs = self._cached_points(
+            query,
+            options,
+            tag="sh-wt",
+            fingerprint=query.fingerprint(),
+            extra_key=(_weights_key(weights),),
+            compute=compute,
         )
         return _weighted_to_kind(query, probs), dataset, lazy
 
-    def _execute_topk(self, query, options, tile_rows, tile_candidates):
+    def _execute_topk(self, query, options, tile_rows, tile_candidates, prune, totals):
         restricted = _restricted_dataset(query)
         lazy = self._lazy_executor(
             restricted, query, options, tile_rows, tile_candidates
         )
-        values = self._cached_points(
-            query,
-            options,
-            tag="sh-topk",
-            fingerprint=restricted.fingerprint(),
-            extra_key=(),
-            compute=lambda missing: lazy().map_points(
+        if prune:
+            compute = lambda missing: self._strip_stats(
+                lazy().map_points(
+                    lambda scan, index: pruned_topk_counts_from_scan(scan, query.k),
+                    missing,
+                ),
+                totals,
+            )
+        else:
+            compute = lambda missing: lazy().map_points(
                 lambda scan, index: topk_inclusion_counts(
                     restricted,
                     query.test_X[index],
@@ -780,22 +875,40 @@ class ShardedBackend(Backend):
                     scan=scan,
                 ),
                 missing,
-            ),
+            )
+        values = self._cached_points(
+            query,
+            options,
+            tag="sh-topk",
+            fingerprint=restricted.fingerprint(),
+            extra_key=(),
+            compute=compute,
         )
         return values, restricted, lazy
 
-    def _execute_label_uncertain(self, query, options, tile_rows, tile_candidates):
+    def _execute_label_uncertain(
+        self, query, options, tile_rows, tile_candidates, prune, totals
+    ):
         restricted = _restricted_dataset(query)
         lazy = self._lazy_executor(
             restricted.feature_dataset, query, options, tile_rows, tile_candidates
         )
-        counts = self._cached_points(
-            query,
-            options,
-            tag="sh-lu",
-            fingerprint=restricted.fingerprint(),
-            extra_key=(),
-            compute=lambda missing: lazy().map_points(
+        if prune:
+            compute = lambda missing: self._strip_stats(
+                lazy().map_points(
+                    lambda scan, index: pruned_label_uncertain_counts(
+                        restricted,
+                        query.test_X[index],
+                        k=query.k,
+                        kernel=query.kernel,
+                        scan=scan,
+                    ),
+                    missing,
+                ),
+                totals,
+            )
+        else:
+            compute = lambda missing: lazy().map_points(
                 lambda scan, index: label_uncertain_counts(
                     restricted,
                     query.test_X[index],
@@ -804,7 +917,14 @@ class ShardedBackend(Backend):
                     scan=scan,
                 ),
                 missing,
-            ),
+            )
+        counts = self._cached_points(
+            query,
+            options,
+            tag="sh-lu",
+            fingerprint=restricted.fingerprint(),
+            extra_key=(),
+            compute=compute,
         )
         return _counts_to_kind(query, counts), restricted.feature_dataset, lazy
 

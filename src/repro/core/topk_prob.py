@@ -36,6 +36,7 @@ from repro.utils.validation import check_positive_int, check_vector
 
 __all__ = [
     "topk_inclusion_counts",
+    "topk_inclusion_counts_from_scan",
     "topk_inclusion_probabilities",
     "topk_inclusion_counts_bruteforce",
     "expected_topk_label_histogram",
@@ -64,7 +65,17 @@ def topk_inclusion_counts(
         raise ValueError(f"k={k} exceeds the number of training rows {n}")
     if scan is None:
         scan = compute_scan_order(dataset, t, kernel)
+    return topk_inclusion_counts_from_scan(scan, k)
 
+
+def topk_inclusion_counts_from_scan(scan: ScanOrder, k: int) -> list[int]:
+    """The :func:`topk_inclusion_counts` kernel on a prebuilt scan order.
+
+    Needs nothing beyond the scan itself (the generating polynomial ignores
+    labels), which is what lets the pruning layer run it on a row-reduced
+    scan and scale the results back exactly.
+    """
+    n = scan.n_rows
     # One merged "label" class: the generating polynomial ignores labels.
     merged_labels = np.zeros(n, dtype=np.int64)
     state = LabelPolynomials(merged_labels, scan.row_counts, k, n_labels=1)

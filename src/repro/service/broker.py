@@ -74,6 +74,18 @@ __all__ = [
 
 _MISS = object()
 
+#: Pruning counters the broker aggregates from ``QueryResult.stats`` into
+#: ``/metrics`` (the integer-valued subset of the backends' stat snapshots).
+_PRUNE_METRIC_KEYS = (
+    "n_rows",
+    "n_rows_pruned",
+    "n_candidates",
+    "n_pruned",
+    "n_scanned",
+    "n_points",
+    "n_early_terminated",
+)
+
 
 class AdmissionError(RuntimeError):
     """The broker is at capacity; retry after ``retry_after`` seconds."""
@@ -311,6 +323,12 @@ class QueryBroker:
         self._n_sql = 0
         self._n_sql_cache_served = 0
         self._n_patches = 0
+        self._n_explain = 0
+        self._prune_totals = {
+            "executions": 0,
+            "pruned_executions": 0,
+            **{key: 0 for key in _PRUNE_METRIC_KEYS},
+        }
         # Re-registration/removal under an existing name invalidates that
         # name's cached results (satellite of the delta-maintenance work:
         # fingerprint-keyed entries for the old content must not linger).
@@ -332,6 +350,8 @@ class QueryBroker:
         algorithm: str = "auto",
         backend: str | None = None,
         with_cleaned: bool = False,
+        prune: str = "auto",
+        explain: bool = False,
         timeout: float | None = 60.0,
     ) -> dict:
         """Answer a CP query against a registered dataset.
@@ -345,6 +365,16 @@ class QueryBroker:
         query-construction error (bad pins, incapable backend, ...)
         propagates to the caller exactly as :func:`make_query` /
         :func:`plan_query` raise it.
+
+        ``prune`` selects exactness-preserving candidate pruning
+        (:class:`~repro.core.planner.ExecutionOptions`'s knob verbatim:
+        ``auto`` / ``on`` / ``off``); answers are bit-identical either
+        way, so prune modes share nothing but wall-clock. With
+        ``explain=True`` the request bypasses micro-batching and the
+        result cache read (the explain block needs this execution's
+        telemetry, not a cached value's) and the response carries an
+        ``explain`` dict: chosen backend, plan reason, and the backend's
+        pruning / early-termination counters.
         """
         entry = self.registry.get(dataset)
         # One atomic read of (dataset, fingerprint, version, prepared):
@@ -370,6 +400,7 @@ class QueryBroker:
             "weights": weights,
             "algorithm": algorithm,
             "backend": backend or self.backend,
+            "prune": prune,
         }
         # Admission control covers every dispatch path — micro-batched
         # singles, per-request singles, and matrix queries alike: one
@@ -396,7 +427,13 @@ class QueryBroker:
             # until their exact key is looked up again or LRU pressure hits.
             self.cache.purge()
         try:
-            if single and self.window_s > 0 and self.max_batch > 1:
+            if explain:
+                with self._lock:
+                    self._n_explain += 1
+                response = self._execute_direct(
+                    entry, snap, matrix, params, explain=True
+                )
+            elif single and self.window_s > 0 and self.max_batch > 1:
                 response = dict(
                     self._submit_single(entry, snap, matrix[0], params, timeout)
                 )
@@ -613,6 +650,8 @@ class QueryBroker:
                 "sql_requests": self._n_sql,
                 "sql_served_from_cache": self._n_sql_cache_served,
                 "patch_requests": self._n_patches,
+                "explain_requests": self._n_explain,
+                "prune": dict(self._prune_totals),
                 "inflight": self._inflight,
                 "window_s": self.window_s,
                 "max_batch": self.max_batch,
@@ -671,12 +710,16 @@ class QueryBroker:
             _weights_digest(params["weights"]),
             params["algorithm"],
             params["backend"],
+            # Pruning never changes values, but a micro-batch flushes with
+            # one ExecutionOptions — requests asking for different prune
+            # modes must not coalesce into the same planner call.
+            params["prune"],
         )
 
     def _point_cache_key(self, family: tuple, point: np.ndarray) -> tuple:
         return (*family, _point_digest(point))
 
-    def _options(self, snap: DatasetSnapshot) -> ExecutionOptions:
+    def _options(self, snap: DatasetSnapshot, prune: str) -> ExecutionOptions:
         return ExecutionOptions(
             n_jobs=self.n_jobs,
             # The broker's TTL cache is the service's caching layer; the
@@ -685,7 +728,21 @@ class QueryBroker:
             prepared=snap.prepared,
             tile_rows=self.tile_rows,
             tile_candidates=self.tile_candidates,
+            prune=prune,
         )
+
+    def _record_stats(self, stats: dict) -> None:
+        """Fold one execution's backend stats into the /metrics counters."""
+        if not stats:
+            return
+        with self._lock:
+            self._prune_totals["executions"] += 1
+            if stats.get("prune"):
+                self._prune_totals["pruned_executions"] += 1
+            for key in _PRUNE_METRIC_KEYS:
+                value = stats.get(key)
+                if isinstance(value, int):
+                    self._prune_totals[key] += value
 
     def _execute(
         self,
@@ -706,7 +763,11 @@ class QueryBroker:
             algorithm=params["algorithm"],
             weights=params["weights"],
         )
-        return execute_query(query, backend=params["backend"], options=self._options(snap))
+        return execute_query(
+            query,
+            backend=params["backend"],
+            options=self._options(snap, params["prune"]),
+        )
 
     def _execute_direct(
         self,
@@ -714,16 +775,21 @@ class QueryBroker:
         snap: DatasetSnapshot,
         matrix: np.ndarray,
         params: dict,
+        explain: bool = False,
     ) -> dict:
         family = self._family_key(entry, snap, params)
         cache_key = (*family, "matrix", _point_digest(matrix))
-        if self.cache is not None:
+        # Explain requests skip the cache *read*: the explain block reports
+        # this execution's pruning telemetry, which a cached value lacks.
+        # The computed values still populate the cache below.
+        if self.cache is not None and not explain:
             hit = self.cache.get(cache_key, _MISS)
             if hit is not _MISS:
                 with self._lock:
                     self._n_cache_served += 1
                 return {"values": list(hit[0]), "backend": hit[1], "batch_size": matrix.shape[0], "cached": True}
         result = self._execute(entry, snap, matrix, params)
+        self._record_stats(result.stats)
         with self._lock:
             self._n_batches += 1
             self._n_batched_points += matrix.shape[0]
@@ -735,12 +801,19 @@ class QueryBroker:
                     self._point_cache_key(family, matrix[index]),
                     (result.values[index], result.plan.backend),
                 )
-        return {
+        response = {
             "values": list(result.values),
             "backend": result.plan.backend,
             "batch_size": matrix.shape[0],
             "cached": False,
         }
+        if explain:
+            response["explain"] = {
+                "backend": result.plan.backend,
+                "reason": result.plan.reason,
+                "stats": dict(result.stats),
+            }
+        return response
 
     def _submit_single(
         self,
@@ -798,6 +871,7 @@ class QueryBroker:
         try:
             test_X = np.vstack([point.reshape(1, -1) for point in points])
             result = self._execute(batch.entry, batch.snap, test_X, batch.params)
+            self._record_stats(result.stats)
             family = self._family_key(batch.entry, batch.snap, batch.params)
             with self._lock:
                 self._n_batches += 1

@@ -193,13 +193,20 @@ class ServiceClient:
         algorithm: str = "auto",
         backend: str | None = None,
         with_cleaned: bool = False,
+        prune: str = "auto",
+        explain: bool = False,
     ) -> dict:
         """Run a CP query; the response's ``values`` are exact local types.
 
         Give ``point`` (one test point — rides the server's micro-batch)
         or ``points`` (a matrix, or the string ``"validation"`` for the
         dataset's registered validation set). ``weights`` may hold
-        Fractions; they are shipped exactly.
+        Fractions; they are shipped exactly. ``prune`` selects
+        exactness-preserving candidate pruning server-side (``auto`` /
+        ``on`` / ``off``; values are bit-identical either way), and
+        ``explain=True`` asks for the response's ``explain`` block —
+        chosen backend, plan reason, and pruning / early-termination
+        counters for this execution.
         """
         if (point is None) == (points is None):
             raise ValueError("provide exactly one of point= or points=")
@@ -209,7 +216,10 @@ class ServiceClient:
             "flavor": flavor,
             "algorithm": algorithm,
             "with_cleaned": with_cleaned,
+            "prune": prune,
         }
+        if explain:
+            payload["explain"] = True
         if point is not None:
             payload["point"] = np.asarray(point, dtype=np.float64).tolist()
         elif isinstance(points, str):

@@ -17,7 +17,9 @@ path                  method  what it does
                               row deletes on a CP dataset (``deltas``) or
                               single-cell fixes on a Codd table (``fixes``);
                               bumps the entry version, maintained in O(Δ)
-``/query``            POST    a CP query — single point (micro-batched) or matrix
+``/query``            POST    a CP query — single point (micro-batched) or matrix;
+                              ``prune`` selects certificate pruning and
+                              ``explain`` adds plan + pruning telemetry
 ``/sql``              POST    a SQL query over a registered (or inline) Codd
                               table with certain/possible-answer semantics
 ``/clean/step``       POST    one cleaning answer; returns the session checkpoint
@@ -375,6 +377,8 @@ class _Handler(BaseHTTPRequestHandler):
             algorithm=payload.get("algorithm", "auto"),
             backend=payload.get("backend"),
             with_cleaned=bool(payload.get("with_cleaned", False)),
+            prune=payload.get("prune", "auto"),
+            explain=bool(payload.get("explain", False)),
         )
         response["values"] = encode_values(response["values"])
         return 200, response
