@@ -212,6 +212,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="result-cache time-to-live in seconds",
     )
+    serve.add_argument(
+        "--executors",
+        type=int,
+        default=0,
+        help=(
+            "executor worker processes for the partitioned gateway topology "
+            "(0 = classic single-process service); answers are bit-identical "
+            "either way"
+        ),
+    )
+    serve.add_argument(
+        "--partitions-per-executor",
+        type=_positive_int_flag("--partitions-per-executor"),
+        default=2,
+        help="candidate-row partitions owned by each executor (with --executors)",
+    )
+    serve.add_argument(
+        "--executor-timeout",
+        type=_float_flag("--executor-timeout", 0.0, inclusive=False),
+        default=30.0,
+        help="per-executor request timeout in seconds before retry/respawn",
+    )
     _add_executor_flags(serve)
 
     patch = sub.add_parser(
@@ -875,6 +897,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         ttl_s=args.ttl,
         tile_rows=args.tile_rows,
         tile_candidates=args.tile_candidates,
+        executors=args.executors,
+        partitions_per_executor=args.partitions_per_executor,
+        executor_timeout_s=args.executor_timeout,
     )
     return 0
 

@@ -111,6 +111,8 @@ __all__ = [
     "DEFAULT_MEMORY_BUDGET_BYTES",
     "TilePlan",
     "plan_tiles",
+    "merge_minmax_block",
+    "binary_minmax_label",
     "ShardedExecutor",
     "ShardedBackend",
 ]
@@ -206,6 +208,74 @@ def plan_tiles(
         tile_rows=min(tile_rows, max(n_points, 1)),
         tile_candidates=min(tile_candidates, max(n_candidates, 1)),
     )
+
+
+# ---------------------------------------------------------------------------
+# The exact min/max tally-merge algebra
+# ---------------------------------------------------------------------------
+#
+# These two helpers are the whole of the MinMax "tally" contract: fold
+# similarity blocks into per-row extreme tallies (merge), decide Q1 from
+# the merged extremes (decision). They are shared by the tile-streaming
+# executor below and the partitioned service gateway
+# (:mod:`repro.service.gateway`), which merges tallies produced in
+# *different processes* — the algebra is what makes that merge lossless.
+
+
+def merge_minmax_block(
+    mins: np.ndarray,
+    maxs: np.ndarray,
+    block: np.ndarray,
+    rows: np.ndarray,
+    offsets: np.ndarray,
+    c0: int,
+    c1: int,
+) -> None:
+    """Fold one candidate-block of similarities into running min/max tallies.
+
+    ``block`` holds similarities for stacked-candidate positions
+    ``[c0, c1)`` (shape ``(n_points, c1 - c0)``); ``rows`` maps each
+    stacked position to its dataset row and ``offsets`` is the row →
+    first-stacked-position table. ``mins`` / ``maxs`` (shape
+    ``(n_points, n_rows)``) are updated in place for the rows the block
+    touches. The merge is exact for any block boundaries: min and max are
+    associative and commutative, so min-of-mins / max-of-maxes over a row's
+    segments equals the min/max over the whole row — no floating-point
+    reordering is introduced.
+    """
+    first = int(rows[c0])
+    last = int(rows[c1 - 1])
+    starts = (np.maximum(offsets[first : last + 1], c0) - c0).astype(np.intp)
+    np.minimum(
+        mins[:, first : last + 1],
+        np.minimum.reduceat(block, starts, axis=1),
+        out=mins[:, first : last + 1],
+    )
+    np.maximum(
+        maxs[:, first : last + 1],
+        np.maximum.reduceat(block, starts, axis=1),
+        out=maxs[:, first : last + 1],
+    )
+
+
+def binary_minmax_label(
+    lo: np.ndarray, hi: np.ndarray, labels: np.ndarray, k: int
+) -> int | None:
+    """The Q1 verdict for one point from merged per-row extreme tallies.
+
+    ``lo`` / ``hi`` are the per-row min/max similarities (pins already
+    applied as ``lo == hi == pinned similarity``). Binary label spaces
+    only; uses the very same :func:`~repro.core.knn.top_k_rows` /
+    :func:`~repro.core.knn.majority_label` calls as the reference MinMax
+    path, so the verdict is bit-identical to it.
+    """
+    winners = []
+    for target in range(2):
+        extremes = np.where(labels == target, hi, lo)
+        top = top_k_rows(extremes, k)
+        if majority_label(labels[top], tally_size=2) == target:
+            winners.append(target)
+    return winners[0] if len(winners) == 1 else None
 
 
 # ---------------------------------------------------------------------------
@@ -475,20 +545,8 @@ class ShardedExecutor:
                 block = self.kernel.pairwise(
                     self._stacked[c0:c1], self.test_X[r0:r1]
                 )
-                first = int(self._rows[c0])
-                last = int(self._rows[c1 - 1])
-                starts = (
-                    np.maximum(self._offsets[first : last + 1], c0) - c0
-                ).astype(np.intp)
-                np.minimum(
-                    mins[:, first : last + 1],
-                    np.minimum.reduceat(block, starts, axis=1),
-                    out=mins[:, first : last + 1],
-                )
-                np.maximum(
-                    maxs[:, first : last + 1],
-                    np.maximum.reduceat(block, starts, axis=1),
-                    out=maxs[:, first : last + 1],
+                merge_minmax_block(
+                    mins, maxs, block, self._rows, self._offsets, c0, c1
                 )
                 for slot, position in enumerate(pin_positions):
                     if c0 <= position < c1:
@@ -498,13 +556,7 @@ class ShardedExecutor:
                 lo, hi = mins[local], maxs[local]
                 for slot, (row, _) in enumerate(pin_items):
                     lo[row] = hi[row] = pinned_sims[local, slot]
-                winners = []
-                for target in range(2):
-                    extremes = np.where(labels == target, hi, lo)
-                    top = top_k_rows(extremes, self.k)
-                    if majority_label(labels[top], tally_size=2) == target:
-                        winners.append(target)
-                results[index] = winners[0] if len(winners) == 1 else None
+                results[index] = binary_minmax_label(lo, hi, labels, self.k)
             self.n_tiles_streamed += 1
         return results
 

@@ -17,7 +17,13 @@ keeps it pinned across requests and callers:
   ``/metrics``), started by ``repro serve`` or :func:`make_service`;
 * :mod:`repro.service.client` — :class:`ServiceClient`, the stdlib
   Python client with exact (bit-identical) value round-tripping;
-* :mod:`repro.service.wire` — the JSON wire format both ends share.
+* :mod:`repro.service.wire` — the JSON wire format both ends share;
+* :mod:`repro.service.gateway` / :mod:`repro.service.executor` /
+  :mod:`repro.service.partition` — the partitioned multi-process
+  topology (``repro serve --executors N``): a :class:`Gateway` that
+  consistent-hash-places candidate-row partitions on executor worker
+  processes and scatter-gathers per-partition tallies into bit-identical
+  answers, respawning dead executors automatically.
 
 Quickstart (in one process; see ``examples/service_quickstart.py``)::
 
@@ -33,7 +39,9 @@ Quickstart (in one process; see ``examples/service_quickstart.py``)::
 
 from repro.service.broker import AdmissionError, QueryBroker, TTLResultCache
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.gateway import Gateway, GatewayError, GatewayUnavailable
 from repro.service.http import ServiceServer, make_service, serve
+from repro.service.partition import HashRing, RowPartition, plan_row_partitions
 from repro.service.registry import (
     CoddTableEntry,
     DatasetEntry,
@@ -58,4 +66,10 @@ __all__ = [
     "serve",
     "ServiceClient",
     "ServiceError",
+    "Gateway",
+    "GatewayError",
+    "GatewayUnavailable",
+    "HashRing",
+    "RowPartition",
+    "plan_row_partitions",
 ]

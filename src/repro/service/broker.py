@@ -272,6 +272,17 @@ class QueryBroker:
     tile_rows, tile_candidates:
         Tile bounds forwarded to the ``sharded`` backend when a query
         runs there (other backends ignore them).
+    gateway:
+        An optional :class:`~repro.service.gateway.Gateway`. When present,
+        CP queries whose backend is ``"auto"`` or ``"gateway"`` execute
+        partition-parallel across its executor processes; on
+        :class:`~repro.service.gateway.GatewayUnavailable` (executors lost
+        beyond the retry budget, or a snapshot racing a redistribute) the
+        broker transparently falls back to local execution — the values
+        are bit-identical either way, so the fallback is invisible except
+        in ``/metrics``. The broker owns the gateway's lifecycle:
+        :meth:`close` drains pending batches, then shuts the executors
+        down.
     """
 
     def __init__(
@@ -287,6 +298,7 @@ class QueryBroker:
         cache_size: int = 4096,
         tile_rows: int | None = None,
         tile_candidates: int | None = None,
+        gateway=None,
     ) -> None:
         if window_s < 0:
             raise ValueError(f"window_s must be >= 0, got {window_s}")
@@ -298,6 +310,7 @@ class QueryBroker:
         self.n_jobs = n_jobs
         self.tile_rows = tile_rows
         self.tile_candidates = tile_candidates
+        self.gateway = gateway
         if cache is True:
             self.cache: TTLResultCache | None = TTLResultCache(
                 maxsize=cache_size, ttl_s=ttl_s
@@ -324,6 +337,8 @@ class QueryBroker:
         self._n_sql_cache_served = 0
         self._n_patches = 0
         self._n_explain = 0
+        self._n_gateway_served = 0
+        self._n_gateway_fallbacks = 0
         self._prune_totals = {
             "executions": 0,
             "pruned_executions": 0,
@@ -656,17 +671,25 @@ class QueryBroker:
                 "window_s": self.window_s,
                 "max_batch": self.max_batch,
                 "max_pending": self.max_pending,
+                "gateway_served": self._n_gateway_served,
+                "gateway_fallbacks": self._n_gateway_fallbacks,
             }
         out["cache"] = self.cache.stats() if self.cache is not None else None
+        out["gateway"] = (
+            self.gateway.metrics() if self.gateway is not None else None
+        )
         return out
 
     def _on_invalidated(self, name: str) -> None:
         """Registry hook: drop cached results for a replaced/removed name."""
         if self.cache is not None:
             self.cache.purge_dataset(name)
+        if self.gateway is not None:
+            self.gateway.drop(name)
 
     def close(self) -> None:
-        """Flush every pending micro-batch and stop accepting new work."""
+        """Flush every pending micro-batch, stop accepting new work, and
+        shut down the gateway's executors (if one is attached)."""
         with self._lock:
             self._closed = True
             pending = list(self._pending.items())
@@ -675,6 +698,8 @@ class QueryBroker:
             if batch.timer is not None:
                 batch.timer.cancel()
             self._run_batch(batch)
+        if self.gateway is not None:
+            self.gateway.close()
 
     # ------------------------------------------------------------------
     # Internals
@@ -763,11 +788,46 @@ class QueryBroker:
             algorithm=params["algorithm"],
             weights=params["weights"],
         )
+        backend = params["backend"]
+        if self.gateway is not None and backend in ("auto", "gateway"):
+            result = self._execute_gateway(entry, snap, query)
+            if result is not None:
+                return result
+        if backend == "gateway":
+            # No gateway attached (single-process mode) or it declined:
+            # the local planner serves the same bit-identical answer.
+            backend = "auto"
         return execute_query(
             query,
-            backend=params["backend"],
+            backend=backend,
             options=self._options(snap, params["prune"]),
         )
+
+    def _execute_gateway(self, entry, snap, query):
+        """Partition-parallel execution, or ``None`` to fall back locally.
+
+        The gateway raises
+        :class:`~repro.service.gateway.GatewayUnavailable` when it cannot
+        serve exactly right now (executor loss beyond the retry budget, a
+        snapshot racing a redistribute); the broker answers from the local
+        planner instead — same bit-identical values, one process — and
+        counts the fallback. Any other error propagates: it is a bug, not
+        a degradation.
+        """
+        from repro.service.gateway import GatewayUnavailable
+
+        try:
+            result = self.gateway.execute_query(
+                entry.name, query, fingerprint=snap.fingerprint
+            )
+        except GatewayUnavailable:
+            with self._lock:
+                self._n_gateway_fallbacks += 1
+            return None
+        with self._lock:
+            self._n_gateway_served += 1
+        entry.set_partitioning(self.gateway.describe_dataset(entry.name))
+        return result
 
     def _execute_direct(
         self,
@@ -834,19 +894,32 @@ class QueryBroker:
         future: Future = Future()
         flush_now: _PendingBatch | None = None
         with self._lock:
-            batch = self._pending.get(family)
-            if batch is None:
-                batch = _PendingBatch(entry, snap, params)
-                self._pending[family] = batch
-                batch.timer = threading.Timer(
-                    self.window_s, self._flush_family, (family, batch)
+            # Re-check under the lock: a request that passed the admission
+            # check can reach this insertion after close() drained
+            # self._pending — inserting here would leave a fresh batch (and
+            # its daemon timer) firing into a closed broker, and the
+            # request's future would never resolve. Fail it instead.
+            if self._closed:
+                future.set_exception(
+                    AdmissionError(
+                        "broker closed while the request was being enqueued",
+                        retry_after=1.0,
+                    )
                 )
-                batch.timer.daemon = True
-                batch.timer.start()
-            batch.items.append((point, future))
-            if len(batch.items) >= self.max_batch:
-                self._pending.pop(family, None)
-                flush_now = batch
+            else:
+                batch = self._pending.get(family)
+                if batch is None:
+                    batch = _PendingBatch(entry, snap, params)
+                    self._pending[family] = batch
+                    batch.timer = threading.Timer(
+                        self.window_s, self._flush_family, (family, batch)
+                    )
+                    batch.timer.daemon = True
+                    batch.timer.start()
+                batch.items.append((point, future))
+                if len(batch.items) >= self.max_batch:
+                    self._pending.pop(family, None)
+                    flush_now = batch
         if flush_now is not None:
             if flush_now.timer is not None:
                 flush_now.timer.cancel()

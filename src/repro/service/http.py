@@ -39,6 +39,7 @@ thread — what the tests and the CI smoke job use) or :func:`serve`
 from __future__ import annotations
 
 import json
+import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -110,6 +111,9 @@ def make_service(
     host: str = "127.0.0.1",
     port: int = 0,
     start: bool = True,
+    executors: int = 0,
+    partitions_per_executor: int = 2,
+    executor_timeout_s: float = 30.0,
     **broker_kwargs,
 ) -> ServiceServer:
     """Build a :class:`ServiceServer` (port ``0`` = ephemeral).
@@ -119,8 +123,23 @@ def make_service(
     examples and the CI smoke job share. ``broker_kwargs`` go to
     :class:`~repro.service.broker.QueryBroker` (``window_s``,
     ``max_batch``, ``max_pending``, ``backend``, ``n_jobs``, ``ttl_s``...).
+
+    ``executors > 0`` selects the partitioned multi-process topology: a
+    :class:`~repro.service.gateway.Gateway` with that many executor worker
+    processes is spawned and handed to the broker, which scatter-gathers
+    CP queries across them (bit-identical answers, automatic respawn of
+    dead executors, transparent local fallback). ``0`` (default) is the
+    classic single-process service.
     """
     registry = registry if registry is not None else DatasetRegistry()
+    if executors > 0:
+        from repro.service.gateway import Gateway
+
+        broker_kwargs["gateway"] = Gateway(
+            executors,
+            partitions_per_executor=partitions_per_executor,
+            timeout_s=executor_timeout_s,
+        )
     broker = QueryBroker(registry, **broker_kwargs)
     server = ServiceServer((host, port), registry, broker)
     if start:
@@ -136,22 +155,51 @@ def serve(
     registry: DatasetRegistry | None = None,
     host: str = "127.0.0.1",
     port: int = 8970,
-    **broker_kwargs,
+    **kwargs,
 ) -> None:
-    """Run the service in the foreground until interrupted (``repro serve``)."""
-    server = make_service(registry, host=host, port=port, start=False, **broker_kwargs)
+    """Run the service in the foreground until interrupted (``repro serve``).
+
+    SIGINT *and* SIGTERM drain before exiting: both are routed into the
+    ``KeyboardInterrupt`` path, whose ``finally`` runs
+    :meth:`ServiceServer.close` — flushing every pending micro-batch (each
+    in-flight future resolves or fails cleanly, no connection resets) and
+    shutting down gateway executors, in single- and multi-process modes
+    alike. The handlers raise instead of calling ``shutdown()`` directly
+    because ``shutdown()`` deadlocks when invoked from the thread running
+    ``serve_forever()`` — which is exactly where a signal handler runs.
+    """
+    server = make_service(registry, host=host, port=port, start=False, **kwargs)
     # flush=True: with stdout piped (CI smoke, subprocess tests) the listen
     # line must escape the block buffer before serve_forever() parks.
     print(f"repro service listening on {server.url}", flush=True)
     print(f"datasets registered: {server.registry.names() or '(none)'}", flush=True)
+
+    def _graceful(signum, frame):
+        raise KeyboardInterrupt
+
+    installed: list[tuple[int, object]] = []
+    try:
+        # Only the main thread may install handlers; embedded callers
+        # (tests driving serve() from a worker thread) simply keep the
+        # KeyboardInterrupt-only path.
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            installed.append((signum, signal.signal(signum, _graceful)))
+    except ValueError:
+        pass
     server._accepting = True
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        for signum, previous in installed:
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, TypeError):
+                pass
         server._accepting = False  # the loop already exited; skip shutdown()
         server.close()
+        print("repro service drained and stopped", flush=True)
 
 
 # ---------------------------------------------------------------------------

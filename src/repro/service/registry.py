@@ -160,6 +160,11 @@ class DatasetEntry:
         self.n_points_served = 0
         self.n_clean_steps = 0
         self._session: CleaningSession | None = None
+        #: Partition layout of the last gateway execution (``None`` until
+        #: the partitioned topology serves this entry). Written by the
+        #: broker, echoed by ``/datasets/<name>`` — registry entries carry
+        #: their placement so operators can see which executor owns what.
+        self.partitioning: dict | None = None
         self._lock = threading.RLock()
         # Serialises whole cleaning steps (mutation + checkpoint query).
         # Separate from _lock so long checkpoint queries never block the
@@ -336,6 +341,7 @@ class DatasetEntry:
             dataset = self.dataset
             fingerprint = self.fingerprint
             version = self.version
+            partitioning = self.partitioning
             n_cleaned = 0 if self._session is None else len(self._session.fixed)
             stats = {
                 "n_queries": self.n_queries,
@@ -361,8 +367,14 @@ class DatasetEntry:
             "supports_cleaning": self.supports_cleaning,
             "has_oracle": self.gt_choice is not None,
             "n_cleaned": n_cleaned,
+            "partitioning": partitioning,
             **stats,
         }
+
+    def set_partitioning(self, partitioning: dict | None) -> None:
+        """Record the gateway's partition layout for this entry."""
+        with self._lock:
+            self.partitioning = partitioning
 
 
 class CoddTableEntry:

@@ -31,6 +31,7 @@ exactly that standard.
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from typing import Any
 
@@ -198,6 +199,23 @@ def _encode_cell_scalar(value: Any, where: str) -> Any:
     )
 
 
+def _decode_cell_scalar(value: Any, where: str) -> Any:
+    """An inbound cell scalar, with non-finite floats rejected.
+
+    ``json.loads`` parses ``NaN`` / ``Infinity`` tokens by default, but a
+    non-finite constant breaks the exact equality/comparison semantics
+    every Codd evaluation relies on (``NaN != NaN``), so it must bounce at
+    the wire, not corrupt a served answer.
+    """
+    value = _encode_cell_scalar(value, where)
+    if isinstance(value, float) and not math.isfinite(value):
+        raise WireError(
+            f"{where}: non-finite float cells cannot be served under the "
+            "exactness guarantee"
+        )
+    return value
+
+
 def encode_codd_table(table: CoddTable) -> dict:
     """A Codd table as pure JSON structure.
 
@@ -243,11 +261,18 @@ def decode_codd_table(payload: Any) -> CoddTable:
                         '{"null": [domain...]} NULL markers'
                     )
                 try:
-                    cells.append(Null(domain))
+                    cells.append(
+                        Null(
+                            [
+                                _decode_cell_scalar(v, f"codd_table row {r}")
+                                for v in domain
+                            ]
+                        )
+                    )
                 except ValueError as exc:
                     raise WireError(f"codd_table row {r}: {exc}") from None
             else:
-                cells.append(cell)
+                cells.append(_decode_cell_scalar(cell, f"codd_table row {r}"))
         decoded_rows.append(cells)
     try:
         return CoddTable(schema, decoded_rows)
@@ -378,7 +403,7 @@ def decode_codd_fixes(payload: Any) -> list[tuple[int, int, Any]]:
                 (
                     int(item["row"]),
                     int(item["column"]),
-                    _encode_cell_scalar(item["value"], f"fixes[{i}]"),
+                    _decode_cell_scalar(item["value"], f"fixes[{i}]"),
                 )
             )
         except KeyError as exc:
@@ -389,7 +414,14 @@ def decode_codd_fixes(payload: Any) -> list[tuple[int, int, Any]]:
 
 
 def decode_matrix(payload: Any, name: str) -> np.ndarray:
-    """A JSON nested list → float matrix (one row per point)."""
+    """A JSON nested list → float matrix (one row per point).
+
+    Non-finite values are rejected: ``json.loads`` happily parses
+    ``NaN`` / ``Infinity`` (and ``float64`` parses ``"1e999"`` to
+    ``inf``), but a NaN similarity poisons every comparison downstream —
+    the scan order and the min/max tallies would be garbage served under
+    an exactness guarantee.
+    """
     try:
         matrix = np.asarray(payload, dtype=np.float64)
     except (TypeError, ValueError) as exc:
@@ -398,4 +430,9 @@ def decode_matrix(payload: Any, name: str) -> np.ndarray:
         matrix = matrix.reshape(1, -1)
     if matrix.ndim != 2 or matrix.size == 0:
         raise WireError(f"{name} must be a non-empty point or list of points")
+    if not np.isfinite(matrix).all():
+        raise WireError(
+            f"{name} must contain only finite values; NaN/Inf cannot be "
+            "served under the exactness guarantee"
+        )
     return matrix

@@ -315,3 +315,85 @@ class TestCachingAndAdmission:
     def test_invalid_window_rejected(self, registry):
         with pytest.raises(ValueError):
             QueryBroker(registry, window_s=-1.0)
+
+
+class TestCloseRace:
+    """close() vs in-flight _submit_single: nobody hangs, nothing leaks.
+
+    A request that passes admission can reach the batch-insertion critical
+    section after close() drained the pending map; without the re-check it
+    would create a fresh batch whose future nothing ever resolves. The
+    hammer drives that window hard: every submitter must terminate with
+    either a real answer or a clear AdmissionError — never a stuck future.
+    """
+
+    @pytest.mark.parametrize("round_", range(4))
+    def test_concurrent_close_never_strands_a_request(self, registry, round_):
+        broker = QueryBroker(registry, window_s=30.0, max_batch=1024, cache=False)
+        n_threads = 12
+        start = threading.Barrier(n_threads + 1)
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def submit(index: int) -> None:
+            start.wait()
+            try:
+                response = broker.query(
+                    "d", np.zeros(2), kind="counts", timeout=10.0
+                )
+                outcome = "answered" if response["values"] else "empty"
+            except AdmissionError:
+                outcome = "rejected"
+            with lock:
+                outcomes.append(outcome)
+
+        threads = [
+            threading.Thread(target=submit, args=(index,))
+            for index in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        time.sleep(0.001 * round_)  # vary where close() lands in the window
+        broker.close()
+        for thread in threads:
+            thread.join(timeout=15.0)
+            assert not thread.is_alive(), "a submitter hung against close()"
+        assert len(outcomes) == n_threads
+        assert set(outcomes) <= {"answered", "rejected"}
+        # The closed broker must hold no pending batch (no orphan timers).
+        assert not broker._pending
+
+    def test_post_close_insertion_window_fails_cleanly(self, registry, monkeypatch):
+        """Deterministic replay of the race: admission passes, then close()
+        lands before the insertion critical section runs."""
+        broker = QueryBroker(registry, window_s=30.0, max_batch=64, cache=False)
+        original = broker._family_key
+        entered = threading.Event()
+        proceed = threading.Event()
+
+        def stalled_family_key(*args, **kwargs):
+            entered.set()
+            proceed.wait(timeout=10.0)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(broker, "_family_key", stalled_family_key)
+        failure: dict[str, object] = {}
+
+        def submit() -> None:
+            try:
+                broker.query("d", np.zeros(2), kind="counts", timeout=10.0)
+            except AdmissionError as exc:
+                failure["error"] = exc
+
+        thread = threading.Thread(target=submit)
+        thread.start()
+        assert entered.wait(timeout=5.0)
+        monkeypatch.setattr(broker, "_family_key", original)
+        broker.close()  # drains _pending while the submitter is stalled
+        proceed.set()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert isinstance(failure.get("error"), AdmissionError)
+        assert "enqueued" in str(failure["error"])
+        assert not broker._pending

@@ -1,0 +1,113 @@
+"""Partition planning, the consistent-hash ring, and tally merging.
+
+These are the pure building blocks under the gateway: contiguous
+candidate-row spans, deterministic bounded-load placement, and the
+lossless concatenation of per-partition results back into global order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service.partition import (
+    HashRing,
+    RowPartition,
+    merge_minmax_tallies,
+    merge_sim_blocks,
+    plan_row_partitions,
+)
+
+
+class TestPlanRowPartitions:
+    def test_spans_tile_the_row_range_exactly(self):
+        parts = plan_row_partitions(17, 4)
+        assert [p.index for p in parts] == [0, 1, 2, 3]
+        assert parts[0].start == 0
+        assert parts[-1].stop == 17
+        for prev, cur in zip(parts, parts[1:]):
+            assert prev.stop == cur.start  # contiguous, no gap, no overlap
+
+    def test_balanced_within_one_row(self):
+        parts = plan_row_partitions(17, 4)
+        sizes = [p.n_rows for p in parts]
+        assert sum(sizes) == 17
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_partitions_than_rows_clamps(self):
+        parts = plan_row_partitions(3, 8)
+        assert len(parts) == 3
+        assert all(p.n_rows == 1 for p in parts)
+
+    def test_single_partition_covers_everything(self):
+        (part,) = plan_row_partitions(9, 1)
+        assert (part.start, part.stop) == (0, 9)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            plan_row_partitions(0, 2)
+        with pytest.raises(ValueError):
+            plan_row_partitions(5, 0)
+        with pytest.raises(ValueError):
+            RowPartition(index=0, start=4, stop=4)
+
+
+class TestHashRing:
+    def test_placement_is_deterministic(self):
+        keys = [f"dataset/{i}" for i in range(32)]
+        a = HashRing([0, 1, 2, 3]).assign(keys)
+        b = HashRing([0, 1, 2, 3]).assign(keys)
+        assert a == b  # md5-based: stable across processes and runs
+
+    def test_bounded_load_never_overfills_a_node(self):
+        keys = [f"d/{i}" for i in range(37)]
+        nodes = [0, 1, 2, 3, 4]
+        assignment = HashRing(nodes).assign(keys)
+        capacity = -(-len(keys) // len(nodes))  # ceil
+        loads = {n: 0 for n in nodes}
+        for node in assignment.values():
+            loads[node] += 1
+        assert max(loads.values()) <= capacity
+        assert sum(loads.values()) == len(keys)
+
+    def test_every_node_reachable_in_preference_order(self):
+        ring = HashRing(["a", "b", "c"])
+        order = ring.preference("some-key")
+        assert sorted(order) == ["a", "b", "c"]
+        assert order[0] == ring.node_for("some-key")
+
+    def test_removal_moves_only_the_lost_nodes_keys(self):
+        # Consistent hashing's point: dropping one node must not reshuffle
+        # keys that were not on it (modulo bounded-load spill).
+        keys = [f"k/{i}" for i in range(64)]
+        full = {k: HashRing([0, 1, 2, 3]).node_for(k) for k in keys}
+        reduced = {k: HashRing([0, 1, 2]).node_for(k) for k in keys}
+        moved = [k for k in keys if full[k] != reduced[k] and full[k] != 3]
+        assert not moved
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+
+class TestMerges:
+    def test_minmax_merge_is_concatenation_in_partition_order(self):
+        rng = np.random.default_rng(0)
+        lo = rng.normal(size=(3, 7))
+        hi = lo + rng.uniform(size=(3, 7))
+        tallies = [(lo[:, :4], hi[:, :4]), (lo[:, 4:], hi[:, 4:])]
+        mins, maxs = merge_minmax_tallies(tallies)
+        np.testing.assert_array_equal(mins, lo)
+        np.testing.assert_array_equal(maxs, hi)
+
+    def test_sim_merge_restores_global_candidate_order(self):
+        rng = np.random.default_rng(1)
+        sims = rng.normal(size=(2, 9))
+        merged = merge_sim_blocks([sims[:, :3], sims[:, 3:8], sims[:, 8:]])
+        np.testing.assert_array_equal(merged, sims)
+
+    def test_merge_of_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            merge_minmax_tallies([])
+        with pytest.raises(ValueError):
+            merge_sim_blocks([])

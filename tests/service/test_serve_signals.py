@@ -1,0 +1,104 @@
+"""`repro serve` must drain the broker on SIGINT *and* SIGTERM.
+
+Before the fix, SIGTERM killed the process outright (Python's default
+handler) — in-flight micro-batches were stranded and gateway executors
+leaked. Both signals now funnel into the ``KeyboardInterrupt`` path whose
+``finally`` runs ``broker.close()``: pending batches flush, executors
+shut down, and the process exits 0 after printing a drain marker these
+tests (and operators' logs) can assert on.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import ServiceClient
+
+_SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+
+def _spawn_serve(*extra_args: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def _wait_for_url(process: subprocess.Popen) -> str:
+    seen = []
+    for _ in range(10):  # a recipe preload logs a line before the listen line
+        line = process.stdout.readline()
+        seen.append(line)
+        match = re.search(r"listening on (http://\S+)", line)
+        if match:
+            return match.group(1)
+    raise AssertionError(f"no listen line in {seen!r}")
+
+
+def _finish(process: subprocess.Popen, timeout: float = 15.0) -> str:
+    try:
+        output, _ = process.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:  # pragma: no cover — the bug itself
+        process.kill()
+        raise
+    return output
+
+
+@pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM])
+def test_signal_drains_and_exits_cleanly(signum):
+    process = _spawn_serve()
+    try:
+        url = _wait_for_url(process)
+        client = ServiceClient(url)
+        assert client.wait_until_ready(timeout=15)["status"] == "ok"
+    except BaseException:
+        process.kill()
+        raise
+    process.send_signal(signum)
+    output = _finish(process)
+    assert process.returncode == 0, f"exit {process.returncode}: {output}"
+    assert "drained and stopped" in output
+
+
+def test_sigterm_drains_the_gateway_mode_too():
+    """Multi-process mode: the drain must also shut the executors down."""
+    process = _spawn_serve("--executors", "2", "--recipe", "supreme",
+                          "--n-train", "30", "--n-val", "4")
+    try:
+        url = _wait_for_url(process)
+        client = ServiceClient(url)
+        assert client.wait_until_ready(timeout=30)["status"] == "ok"
+        response = client.query("supreme", points="validation", kind="counts")
+        assert response["backend"] == "gateway"
+        executors = client.metrics()["broker"]["gateway"]["executors"]
+        pids = [entry["pid"] for entry in executors.values()]
+        assert len(pids) == 2
+    except BaseException:
+        process.kill()
+        raise
+    process.send_signal(signal.SIGTERM)
+    output = _finish(process, timeout=30.0)
+    assert process.returncode == 0, f"exit {process.returncode}: {output}"
+    assert "drained and stopped" in output
+    deadline = time.monotonic() + 10.0
+    for pid in pids:
+        while time.monotonic() < deadline:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                break  # executor gone, as required
+            time.sleep(0.05)
+        else:  # pragma: no cover — leak
+            pytest.fail(f"executor {pid} outlived the drained server")
