@@ -38,7 +38,6 @@ to single-process serving, never to a wrong or dropped answer.
 from __future__ import annotations
 
 import multiprocessing
-import sys
 import threading
 import time
 from typing import Any
@@ -156,11 +155,19 @@ class _DistributedDataset:
 
 
 def _preferred_context():
-    """Fork where available (shares the warm interpreter), spawn otherwise."""
-    if sys.platform.startswith("linux") and (
-        "fork" in multiprocessing.get_all_start_methods()
-    ):
-        return multiprocessing.get_context("fork")
+    """Forkserver where available, spawn otherwise.
+
+    Never plain ``fork``: respawns run at arbitrary times from
+    request-handling threads (HTTP connection threads, the monitor), and
+    forking a multithreaded parent can deadlock the child on locks held
+    at fork time (malloc/BLAS/NumPy internals). ``forkserver`` forks from
+    a dedicated single-threaded server process instead; preloading the
+    executor module there pays the heavy imports once, not per respawn.
+    """
+    if "forkserver" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("forkserver")
+        context.set_forkserver_preload(["repro.service.executor"])
+        return context
     return multiprocessing.get_context("spawn")
 
 
@@ -367,14 +374,19 @@ class Gateway:
             raise GatewayUnavailable("gateway is closed")
         last_error: Exception | None = None
         for _ in range(self.retries + 1):
-            try:
-                with handle.lock:
+            with handle.lock:
+                try:
                     if handle.process is None or not handle.process.is_alive():
                         self._respawn_locked(handle)
                     reply = self._roundtrip_locked(handle, message)
-            except _ExecutorDown as exc:
-                last_error = exc
-                continue
+                except _ExecutorDown as exc:
+                    last_error = exc
+                    # A wedged-but-alive executor still owes this request its
+                    # reply; reusing the pipe would read that stale reply as
+                    # the answer to a *later* request. Kill under the lock so
+                    # every subsequent attempt respawns with a fresh pipe.
+                    self._kill_locked(handle)
+                    continue
             if reply.get("ok"):
                 return reply
             if reply.get("stale"):
@@ -433,8 +445,6 @@ class Gateway:
         dist = _DistributedDataset(
             name, fingerprint, partitions, assignment, candidate_sets
         )
-        with self._datasets_lock:
-            self._datasets[name] = dist
         for handle in self._handles:
             specs = dist.specs_for(handle.executor_id)
             if specs:
@@ -447,6 +457,13 @@ class Gateway:
                         "partitions": specs,
                     },
                 )
+        # Commit only after every executor accepted its partitions: a push
+        # that dies mid-way must not leave a record claiming the dataset is
+        # distributed (queries would scatter into "not prepared" replies).
+        # Respawn re-registration reads from committed records only, so a
+        # respawn during the push simply retries this register afterwards.
+        with self._datasets_lock:
+            self._datasets[name] = dist
         return dist
 
     def drop(self, name: str) -> None:

@@ -132,16 +132,30 @@ def make_service(
     classic single-process service.
     """
     registry = registry if registry is not None else DatasetRegistry()
+    gateway = None
     if executors > 0:
         from repro.service.gateway import Gateway
 
-        broker_kwargs["gateway"] = Gateway(
+        gateway = Gateway(
             executors,
             partitions_per_executor=partitions_per_executor,
             timeout_s=executor_timeout_s,
         )
-    broker = QueryBroker(registry, **broker_kwargs)
-    server = ServiceServer((host, port), registry, broker)
+        broker_kwargs["gateway"] = gateway
+    # Until the broker owns the gateway (and the server owns the broker),
+    # a constructor failure must not leak executor processes or the broker's
+    # timers — close whatever was already built before re-raising.
+    try:
+        broker = QueryBroker(registry, **broker_kwargs)
+    except BaseException:
+        if gateway is not None:
+            gateway.close()
+        raise
+    try:
+        server = ServiceServer((host, port), registry, broker)
+    except BaseException:
+        broker.close()  # also shuts down the gateway it owns
+        raise
     if start:
         server._accepting = True
         thread = threading.Thread(

@@ -120,6 +120,35 @@ class TestFailureModel:
         gathered = gateway.execute_query("cold-kill", query)
         assert gathered.values == local.values
 
+    def test_wedged_executor_is_killed_and_its_pipe_never_reused(self):
+        # SIGSTOP leaves the executor alive but unresponsive: the request
+        # times out while its reply is still owed on the pipe. The gateway
+        # must kill + respawn (fresh pipe) rather than retry on the same
+        # pipe, where the stale reply would answer a *later* request.
+        with Gateway(2, partitions_per_executor=2, timeout_s=1.0, retries=1) as gw:
+            dataset = small_dataset(n_rows=10)
+            query = counts_query(dataset)
+            local = execute_query(query, options=ExecutionOptions(cache=False))
+            assert gw.execute_query("wedge", query).values == local.values
+
+            victim_pid = gw.metrics()["executors"]["0"]["pid"]
+            os.kill(victim_pid, signal.SIGSTOP)
+            try:
+                gathered = gw.execute_query("wedge", query)
+            finally:
+                try:
+                    os.kill(victim_pid, signal.SIGCONT)  # if it survived
+                except ProcessLookupError:
+                    pass
+            assert gathered.values == local.values
+            metrics = gw.metrics()
+            assert metrics["executors"]["0"]["pid"] != victim_pid
+            assert metrics["executors"]["0"]["restarts"] >= 1
+            # The follow-up query must not see any stale reply either.
+            again = counts_query(dataset, seed=7, kind="certain_label")
+            local_again = execute_query(again, options=ExecutionOptions(cache=False))
+            assert gw.execute_query("wedge", again).values == local_again.values
+
     def test_closed_gateway_is_unavailable_not_wrong(self, gateway):
         dataset = small_dataset()
         query = counts_query(dataset)

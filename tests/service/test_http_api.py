@@ -30,6 +30,28 @@ def service():
     server.close()
 
 
+def test_make_service_failure_does_not_leak_executor_processes():
+    """A broker-constructor failure after the gateway spawned must shut the
+    executor processes down, not orphan them (window_s=-1 is rejected by
+    QueryBroker *after* make_service built the Gateway)."""
+    import multiprocessing
+    import time
+
+    before = {p.pid for p in multiprocessing.active_children()}
+    with pytest.raises(ValueError):
+        make_service(executors=2, window_s=-1.0, start=False)
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        leaked = [
+            p for p in multiprocessing.active_children()
+            if p.pid not in before and p.name.startswith("repro-executor")
+        ]
+        if not leaked:
+            break
+        time.sleep(0.05)
+    assert not leaked
+
+
 def test_close_without_started_loop_does_not_deadlock():
     """make_service(start=False) followed by close() must return (the
     shutdown() handshake only applies to a running accept loop)."""
