@@ -38,6 +38,7 @@ the printed results, only wall-clock time and memory.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
@@ -234,7 +235,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="per-executor request timeout in seconds before retry/respawn",
     )
+    serve.add_argument(
+        "--slow-ms",
+        type=_float_flag("--slow-ms", 0.0, inclusive=False),
+        default=None,
+        help=(
+            "slow-query log threshold: requests slower than this emit one "
+            "structured JSON line to stderr (default: off)"
+        ),
+    )
+    serve.add_argument(
+        "--access-log",
+        action="store_true",
+        help="emit one structured JSON access-log line per request to stderr",
+    )
+    serve.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable span collection (metrics stay on; /debug/traces is empty)",
+    )
+    serve.add_argument(
+        "--trace-buffer",
+        type=_positive_int_flag("--trace-buffer"),
+        default=256,
+        help="recent traces kept for /debug/traces (a bounded ring)",
+    )
     _add_executor_flags(serve)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="fetch and pretty-print /metrics from a running repro serve",
+        description=(
+            "Scrape a running service's /metrics endpoint and print the "
+            "top-line numbers a human wants first: throughput, cache hit "
+            "rate, and latency quantiles derived from the served "
+            "histograms. --format raw dumps the JSON; --format prometheus "
+            "prints the text exposition; --traces lists recent span trees "
+            "from /debug/traces instead."
+        ),
+    )
+    metrics.add_argument(
+        "--url", required=True, help="base URL of a running `repro serve`"
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("summary", "raw", "prometheus"),
+        default="summary",
+        help="summary (default): human top-lines; raw: the /metrics JSON; "
+        "prometheus: the text exposition",
+    )
+    metrics.add_argument(
+        "--traces",
+        action="store_true",
+        help="list recent traces from /debug/traces instead of metrics",
+    )
+    metrics.add_argument(
+        "--limit",
+        type=_positive_int_flag("--limit"),
+        default=None,
+        help="with --traces: at most this many recent traces",
+    )
 
     patch = sub.add_parser(
         "patch",
@@ -900,7 +960,91 @@ def _command_serve(args: argparse.Namespace) -> int:
         executors=args.executors,
         partitions_per_executor=args.partitions_per_executor,
         executor_timeout_s=args.executor_timeout,
+        trace=not args.no_trace,
+        trace_buffer=args.trace_buffer,
+        slow_ms=args.slow_ms,
+        access_log=args.access_log,
     )
+    return 0
+
+
+def _format_quantiles(histogram: dict) -> str:
+    """``p50=1.2ms p95=3.4ms p99=7.8ms`` from one histogram snapshot."""
+    from repro.obs import quantile_from_buckets
+
+    parts = []
+    for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+        value = quantile_from_buckets(histogram, q)
+        parts.append(f"{label}=—" if value is None else f"{label}={value * 1e3:.2f}ms")
+    return " ".join(parts)
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.traces:
+        traces = client.traces(limit=args.limit)
+        if not traces:
+            print("no buffered traces (is tracing enabled on the server?)")
+            return 0
+        for record in traces:
+            print(json.dumps(record, indent=2, default=str))
+        return 0
+    if args.format == "prometheus":
+        print(client.metrics(format="prometheus"), end="")
+        return 0
+    payload = client.metrics()
+    if args.format == "raw":
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+
+    broker = payload.get("broker", {})
+    obs = payload.get("obs", {})
+    uptime = float(payload.get("uptime_s", 0.0))
+    requests = int(broker.get("requests", 0))
+    print(f"service        {args.url}")
+    print(f"uptime         {uptime:.1f}s")
+    throughput = requests / uptime if uptime > 0 else 0.0
+    print(f"requests       {requests} ({throughput:.2f}/s over uptime)")
+    served = int(broker.get("served_from_cache", 0))
+    if requests:
+        print(f"cache hit rate {served / requests:.1%} ({served} served from cache)")
+    batches = int(broker.get("batches_executed", 0))
+    if batches:
+        print(
+            f"micro-batches  {batches} "
+            f"(max size {broker.get('max_batch_size', 0)}, "
+            f"{broker.get('coalesced_batches', 0)} coalesced)"
+        )
+    gateway = broker.get("gateway")
+    if gateway:
+        print(
+            f"gateway        {gateway.get('queries', 0)} queries over "
+            f"{gateway.get('executors_alive', gateway.get('n_executors', 0))} executors "
+            f"({gateway.get('respawns', 0)} respawns)"
+        )
+    histograms = obs.get("histograms", {})
+    latency = {
+        name: snap
+        for name, snap in sorted(histograms.items())
+        if name.startswith("broker_request_seconds")
+        or name.startswith("http_request_seconds")
+    }
+    if latency:
+        print("latency:")
+        for name, snap in latency.items():
+            if not snap.get("count"):
+                continue
+            print(f"  {name}: n={snap['count']} {_format_quantiles(snap)}")
+    tracing = obs.get("tracing", {})
+    if tracing:
+        state = "on" if tracing.get("enabled") else "off"
+        print(
+            f"tracing        {state}: {tracing.get('published', 0)} traces "
+            f"({tracing.get('buffered', 0)} buffered, "
+            f"{tracing.get('slow_queries', 0)} slow)"
+        )
     return 0
 
 
@@ -919,6 +1063,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_query(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "metrics":
+        return _command_metrics(args)
     if args.command == "patch":
         return _command_patch(args)
     if args.command == "sql":

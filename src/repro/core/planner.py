@@ -101,6 +101,7 @@ from repro.core.kernels import Kernel, resolve_kernel
 from repro.core.label_uncertainty import LabelUncertainDataset, label_uncertain_counts
 from repro.core.multiclass import sortscan_counts_multiclass
 from repro.core.prepared import PreparedQuery
+from repro.obs.tracing import trace_span
 from repro.core.pruning import (
     accumulate_prune_stats,
     empty_prune_stats,
@@ -599,16 +600,31 @@ def execute_query(
 ) -> QueryResult:
     """Plan and run ``query``; the one call every front door goes through."""
     options = options or ExecutionOptions()
-    plan = plan_query(query, backend, options)
-    if query.n_points == 0:
-        return QueryResult(query=query, plan=plan, values=[])
-    chosen = get_backend(plan.backend)
-    values = chosen.execute(query, options)
-    # Snapshot, not reference: last_stats is per-backend mutable state and
-    # the next execute() on the same backend will overwrite it. (Under
-    # concurrent callers the snapshot may mix calls — acceptable for an
-    # observability-only field.)
-    stats = dict(getattr(chosen, "last_stats", {}) or {})
+    with trace_span("planner.execute_query") as span:
+        plan = plan_query(query, backend, options)
+        span.set(
+            backend=plan.backend,
+            reason=plan.reason,
+            flavor=query.flavor,
+            kind=query.kind,
+            n_points=query.n_points,
+        )
+        if query.n_points == 0:
+            return QueryResult(query=query, plan=plan, values=[])
+        chosen = get_backend(plan.backend)
+        values = chosen.execute(query, options)
+        # Snapshot, not reference: last_stats is per-backend mutable state and
+        # the next execute() on the same backend will overwrite it. (Under
+        # concurrent callers the snapshot may mix calls — acceptable for an
+        # observability-only field.)
+        stats = dict(getattr(chosen, "last_stats", {}) or {})
+        span.set(
+            **{
+                key: value
+                for key, value in stats.items()
+                if isinstance(value, (int, float, bool, str))
+            }
+        )
     return QueryResult(query=query, plan=plan, values=values, stats=stats)
 
 

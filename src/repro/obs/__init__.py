@@ -1,0 +1,98 @@
+"""Observability: typed metrics and distributed tracing for the service.
+
+``repro.obs`` is deliberately a leaf package — stdlib only, importing
+nothing from the rest of ``repro`` — so the core planner can open spans
+without creating an import cycle, and the instruments work identically
+in executor worker processes.
+
+Two halves:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with typed
+  counters, gauges, and fixed-bucket latency histograms; JSON snapshots
+  for ``/metrics`` and Prometheus text exposition for
+  ``/metrics?format=prometheus``.
+* :mod:`repro.obs.tracing` — :func:`trace_span` span trees with
+  cross-process record adoption, the ``/debug/traces`` ring buffer, and
+  the slow-query log.
+
+:class:`Observability` bundles one of each; ``make_service`` creates a
+single instance and threads it through registry, broker, gateway, and
+HTTP server so all layers report into the same place.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+    quantile_from_buckets,
+    validate_prometheus,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    TraceBuffer,
+    Tracer,
+    current_span,
+    new_span_id,
+    trace_span,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Observability",
+    "Span",
+    "TraceBuffer",
+    "Tracer",
+    "current_span",
+    "new_span_id",
+    "parse_prometheus",
+    "quantile_from_buckets",
+    "trace_span",
+    "validate_prometheus",
+]
+
+
+class Observability:
+    """One metrics registry + one tracer, shared by every service layer.
+
+    ``enabled=False`` builds a disabled tracer (every ``trace_span``
+    resolves to the null span) while keeping metrics live — counters are
+    cheap; span trees are the part worth switching off. This is the knob
+    ``benchmarks/bench_obs.py`` flips to measure overhead.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        trace_buffer_size: int = 256,
+        slow_s: float | None = None,
+        slow_sink=None,
+        prefix: str = "repro_",
+    ) -> None:
+        self.metrics = MetricsRegistry(prefix=prefix)
+        self.tracer = Tracer(
+            enabled=enabled,
+            buffer_size=trace_buffer_size,
+            slow_s=slow_s,
+            slow_sink=slow_sink,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+    def snapshot(self) -> dict:
+        """The ``"obs"`` section of ``/metrics``: instruments + tracer stats."""
+        out = self.metrics.snapshot()
+        out["tracing"] = self.tracer.stats()
+        return out

@@ -1,0 +1,466 @@
+"""Typed process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+Until PR 9 every layer of the service kept its own ad-hoc integer dict
+(`QueryBroker` guarded ``_n_requests`` and friends under its broker lock,
+``Gateway`` kept another set under ``_metrics_lock``, per-executor
+counters lived on handles) and ``/metrics`` merged them per layer. That
+worked while the counters were few, but it offered no latency
+distributions, no shared naming, and no machine-readable exposition.
+
+:class:`MetricsRegistry` is the one typed store those layers now write
+to:
+
+* :class:`Counter` — monotonically increasing integer (requests served,
+  batches flushed, fallbacks taken);
+* :class:`Gauge` — a settable level (in-flight requests, executor
+  liveness) with a :meth:`Gauge.set_max` high-watermark helper;
+* :class:`Histogram` — fixed upper-bound buckets over a float
+  observation (request latency via the monotonic clock), carrying
+  ``sum`` and ``count`` so both averages and quantile estimates
+  (:func:`quantile_from_buckets`) fall out of one snapshot.
+
+Every instrument is lock-guarded independently (they are leaf locks —
+safe to bump while holding a broker or gateway lock), identified by
+``(name, labels)``, and created idempotently: asking for an existing
+instrument returns it, asking for the same name with a different type
+raises. ``snapshot()`` returns the JSON-friendly view ``/metrics``
+embeds under ``"obs"``; :meth:`MetricsRegistry.render_prometheus`
+renders the text exposition format (``_bucket``/``_sum``/``_count``
+series for histograms) served by ``/metrics?format=prometheus``, and
+:func:`validate_prometheus` re-parses it — the CI smoke's exposition
+gate.
+
+Registered *collectors* (callbacks run at snapshot/render time) let
+layers publish point-in-time levels — broker in-flight, registry sizes,
+executor liveness — without polling threads.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+import time
+from collections.abc import Callable, Sequence
+from contextlib import contextmanager
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "quantile_from_buckets",
+    "parse_prometheus",
+    "validate_prometheus",
+]
+
+#: Default latency buckets (seconds): sub-millisecond service hits up to
+#: ten-second stragglers, roughly geometric so relative error is bounded.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ValueError(
+            f"metric name must match [a-zA-Z_][a-zA-Z0-9_]*, got {name!r}"
+        )
+    return name
+
+
+def _labels_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    for key in labels:
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"label name must be an identifier, got {key!r}")
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{value.replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for key, value in labels
+    )
+    return "{" + inner + "}"
+
+
+class _Instrument:
+    """Shared identity plumbing for every instrument kind."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...], help: str) -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self._lock = threading.Lock()
+
+    @property
+    def display_name(self) -> str:
+        return self.name + _render_labels(self.labels)
+
+
+class Counter(_Instrument):
+    """A monotonically increasing integer counter."""
+
+    kind = "counter"
+
+    def __init__(self, name, labels=(), help: str = "") -> None:
+        super().__init__(name, labels, help)
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Instrument):
+    """A settable level (may go up or down)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, labels=(), help: str = "") -> None:
+        super().__init__(name, labels, help)
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_max(self, value: float) -> None:
+        """High-watermark update: keep the larger of current and ``value``."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution of a float observation.
+
+    ``buckets`` are inclusive upper bounds in strictly increasing order;
+    an implicit ``+Inf`` bucket catches the overflow. Counts are stored
+    per-bucket (not cumulative); :meth:`snapshot` and the Prometheus
+    renderer derive the cumulative form.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name,
+        labels=(),
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, labels, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must strictly increase, got {bounds}")
+        if any(b != b or b in (float("inf"), float("-inf")) for b in bounds):
+            raise ValueError("bucket bounds must be finite (the +Inf bucket is implicit)")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # + the overflow (+Inf) bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, float(value))
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += float(value)
+            self._count += 1
+
+    @contextmanager
+    def time(self):
+        """Observe the monotonic wall-clock duration of the ``with`` body."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - started)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counts = list(self._counts)
+            total, acc = self._count, self._sum
+        return {
+            "le": [*self.bounds, "+Inf"],
+            "counts": counts,
+            "sum": acc,
+            "count": total,
+        }
+
+
+class MetricsRegistry:
+    """The process-wide instrument store every service layer writes to."""
+
+    def __init__(self, prefix: str = "repro_") -> None:
+        self.prefix = prefix
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple, _Instrument] = {}
+        self._collectors: list[Callable[["MetricsRegistry"], None]] = []
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, labels: dict, **kwargs) -> _Instrument:
+        key = (_check_name(name), _labels_key(labels))
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as a "
+                        f"{existing.kind}, cannot re-register as a {cls.kind}"
+                    )
+                return existing
+            instrument = cls(key[0], key[1], **kwargs)
+            self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels, help=help)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, labels, help=help, buckets=buckets
+        )
+
+    # ------------------------------------------------------------------
+    def add_collector(self, collector: Callable[["MetricsRegistry"], None]) -> None:
+        """Register a callback run before each snapshot/render; collectors
+        refresh point-in-time gauges (in-flight, liveness) on demand
+        instead of from a polling thread."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    def _collect(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            collector(self)
+
+    def _instruments_snapshot(self) -> list[_Instrument]:
+        with self._lock:
+            return list(self._instruments.values())
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The JSON view ``/metrics`` serves under ``"obs"``."""
+        self._collect()
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for instrument in self._instruments_snapshot():
+            if isinstance(instrument, Counter):
+                counters[instrument.display_name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[instrument.display_name] = instrument.value
+            elif isinstance(instrument, Histogram):
+                histograms[instrument.display_name] = instrument.snapshot()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def render_prometheus(self) -> str:
+        """The ``text/plain; version=0.0.4`` exposition of every instrument."""
+        self._collect()
+        by_name: dict[str, list[_Instrument]] = {}
+        for instrument in self._instruments_snapshot():
+            by_name.setdefault(instrument.name, []).append(instrument)
+        lines: list[str] = []
+        for name in sorted(by_name):
+            group = by_name[name]
+            full = self.prefix + name
+            kind = group[0].kind
+            help_text = next((i.help for i in group if i.help), "")
+            if help_text:
+                lines.append(f"# HELP {full} {help_text}")
+            lines.append(f"# TYPE {full} {kind}")
+            for instrument in sorted(group, key=lambda i: i.labels):
+                if isinstance(instrument, Histogram):
+                    snap = instrument.snapshot()
+                    cumulative = 0
+                    for bound, count in zip(snap["le"], snap["counts"]):
+                        cumulative += count
+                        le = "+Inf" if bound == "+Inf" else format(bound, "g")
+                        labels = dict(instrument.labels)
+                        labels["le"] = le
+                        rendered = _render_labels(_labels_key(labels))
+                        lines.append(f"{full}_bucket{rendered} {cumulative}")
+                    rendered = _render_labels(instrument.labels)
+                    lines.append(f"{full}_sum{rendered} {format(snap['sum'], 'g')}")
+                    lines.append(f"{full}_count{rendered} {snap['count']}")
+                else:
+                    rendered = _render_labels(instrument.labels)
+                    lines.append(
+                        f"{full}{rendered} {format(instrument.value, 'g')}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Quantiles and exposition parsing
+# ---------------------------------------------------------------------------
+
+
+def quantile_from_buckets(snapshot: dict, q: float) -> float | None:
+    """Estimate the ``q``-quantile of a histogram snapshot.
+
+    Standard cumulative-bucket interpolation (what Prometheus'
+    ``histogram_quantile`` does): find the first bucket whose cumulative
+    count reaches ``q * count`` and interpolate linearly inside it. The
+    overflow bucket has no finite upper bound, so a quantile landing
+    there reports the largest finite bound — an honest lower bound.
+    Returns ``None`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = snapshot["count"]
+    if total == 0:
+        return None
+    target = q * total
+    cumulative = 0
+    previous_bound = 0.0
+    for bound, count in zip(snapshot["le"], snapshot["counts"]):
+        cumulative += count
+        if cumulative >= target:
+            if bound == "+Inf":
+                finite = [b for b in snapshot["le"] if b != "+Inf"]
+                return float(finite[-1]) if finite else 0.0
+            if count == 0:
+                return float(bound)
+            inside = target - (cumulative - count)
+            return previous_bound + (float(bound) - previous_bound) * (
+                inside / count
+            )
+        if bound != "+Inf":
+            previous_bound = float(bound)
+    return previous_bound
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$"
+)
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse a text exposition into ``{"name{labels}": value}``.
+
+    Strict about sample-line shape (:class:`ValueError` on anything that
+    is neither a comment nor a well-formed sample) — the point is to be
+    the CI gate proving ``/metrics?format=prometheus`` stays parseable.
+    """
+    samples: dict[str, float] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line.strip())
+        if match is None:
+            raise ValueError(
+                f"malformed exposition sample on line {line_number}: {line!r}"
+            )
+        key = match.group("name") + (match.group("labels") or "")
+        samples[key] = float(match.group("value").replace("Inf", "inf"))
+    return samples
+
+
+def validate_prometheus(text: str) -> int:
+    """Parse ``text`` and check histogram invariants; returns the sample count.
+
+    Beyond line-shape parsing, every histogram series must satisfy: a
+    ``+Inf`` bucket exists, cumulative bucket counts are non-decreasing,
+    and the ``+Inf`` bucket equals the ``_count`` series.
+    """
+    samples = parse_prometheus(text)
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    for key, value in samples.items():
+        name, _, labels = key.partition("{")
+        if not name.endswith("_bucket"):
+            continue
+        match = re.search(r'le="([^"]+)"', "{" + labels)
+        if match is None:
+            raise ValueError(f"histogram bucket without le label: {key}")
+        le = float(match.group(1).replace("+Inf", "inf"))
+        base = name[: -len("_bucket")]
+        rest = re.sub(r'le="[^"]+",?', "", labels).rstrip(",}").lstrip("{")
+        buckets.setdefault(f"{base}{{{rest}}}", []).append((le, value))
+    for series, pairs in buckets.items():
+        pairs.sort()
+        bounds = [le for le, _ in pairs]
+        counts = [count for _, count in pairs]
+        if bounds[-1] != float("inf"):
+            raise ValueError(f"histogram {series} has no +Inf bucket")
+        if any(c2 < c1 for c1, c2 in zip(counts, counts[1:])):
+            raise ValueError(f"histogram {series} buckets are not cumulative")
+        base, _, labels = series.partition("{")
+        labels = labels.rstrip("}")
+        count_key = base + "_count" + (("{" + labels + "}") if labels else "")
+        if count_key not in samples:
+            raise ValueError(f"histogram {series} has no _count series")
+        if samples[count_key] != counts[-1]:
+            raise ValueError(
+                f"histogram {series}: +Inf bucket {counts[-1]} != "
+                f"_count {samples[count_key]}"
+            )
+        sum_key = base + "_sum" + (("{" + labels + "}") if labels else "")
+        if sum_key not in samples:
+            raise ValueError(f"histogram {series} has no _sum series")
+    return len(samples)

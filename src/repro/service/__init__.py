@@ -18,6 +18,9 @@ keeps it pinned across requests and callers:
 * :mod:`repro.service.client` — :class:`ServiceClient`, the stdlib
   Python client with exact (bit-identical) value round-tripping;
 * :mod:`repro.service.wire` — the JSON wire format both ends share;
+* every layer reports into one shared :class:`repro.obs.Observability`
+  bundle — typed metrics (``/metrics``, also Prometheus text) and
+  request span trees (``/debug/traces``, ``explain="trace"``);
 * :mod:`repro.service.gateway` / :mod:`repro.service.executor` /
   :mod:`repro.service.partition` — the partitioned multi-process
   topology (``repro serve --executors N``): a :class:`Gateway` that

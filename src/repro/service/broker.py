@@ -58,6 +58,8 @@ from repro.core.planner import (
     make_query,
 )
 from repro.core.deltas import Delta
+from repro.obs import Observability
+from repro.obs.tracing import current_span, trace_span
 from repro.service.registry import (
     DatasetEntry,
     DatasetRegistry,
@@ -227,7 +229,9 @@ class _PendingBatch:
     Carries the :class:`~repro.service.registry.DatasetSnapshot` of the
     request that opened the batch; the family key embeds the snapshot's
     fingerprint, so every coalesced request sees the same dataset version
-    and the flush executes against exactly that version.
+    and the flush executes against exactly that version. Each item also
+    remembers the waiting request's span id, so the batch's (detached)
+    trace can name every request it served.
     """
 
     __slots__ = ("entry", "snap", "params", "items", "timer")
@@ -238,7 +242,7 @@ class _PendingBatch:
         self.entry = entry
         self.snap = snap
         self.params = params
-        self.items: list[tuple[np.ndarray, Future]] = []
+        self.items: list[tuple[np.ndarray, Future, str | None]] = []
         self.timer: threading.Timer | None = None
 
 
@@ -283,6 +287,10 @@ class QueryBroker:
         in ``/metrics``. The broker owns the gateway's lifecycle:
         :meth:`close` drains pending batches, then shuts the executors
         down.
+    obs:
+        The :class:`~repro.obs.Observability` bundle (metrics registry +
+        tracer) this broker reports into. ``make_service`` shares one
+        across every layer; a bare broker creates its own.
     """
 
     def __init__(
@@ -299,6 +307,7 @@ class QueryBroker:
         tile_rows: int | None = None,
         tile_candidates: int | None = None,
         gateway=None,
+        obs: Observability | None = None,
     ) -> None:
         if window_s < 0:
             raise ValueError(f"window_s must be >= 0, got {window_s}")
@@ -323,27 +332,54 @@ class QueryBroker:
         self._pending: dict[tuple, _PendingBatch] = {}
         self._inflight = 0
         self._closed = False
-        # Metrics (guarded by the lock).
-        self._n_requests = 0
-        self._n_single = 0
-        self._n_multi = 0
-        self._n_batches = 0
-        self._n_batched_points = 0
-        self._n_coalesced_batches = 0
-        self._max_batch_seen = 0
-        self._n_rejected = 0
-        self._n_cache_served = 0
-        self._n_sql = 0
-        self._n_sql_cache_served = 0
-        self._n_patches = 0
-        self._n_explain = 0
-        self._n_gateway_served = 0
-        self._n_gateway_fallbacks = 0
-        self._prune_totals = {
-            "executions": 0,
-            "pruned_executions": 0,
-            **{key: 0 for key in _PRUNE_METRIC_KEYS},
+        # Typed instruments on the shared MetricsRegistry replace the old
+        # per-broker integer dict; the legacy ``metrics()`` key set is
+        # preserved by reading the counters back (golden-keys contract).
+        self.obs = obs if obs is not None else Observability()
+        m = self.obs.metrics
+        self._c_requests = m.counter(
+            "broker_requests_total", help="CP query requests admitted or rejected"
+        )
+        self._c_single = m.counter("broker_single_point_requests_total")
+        self._c_multi = m.counter("broker_multi_point_requests_total")
+        self._c_batches = m.counter(
+            "broker_batches_total", help="planner executions (flushes + direct)"
+        )
+        self._c_batched_points = m.counter("broker_points_executed_total")
+        self._c_coalesced = m.counter(
+            "broker_coalesced_batches_total", help="flushes serving >1 request"
+        )
+        self._g_max_batch = m.gauge(
+            "broker_max_batch_size", help="largest batch executed so far"
+        )
+        self._c_rejected = m.counter(
+            "broker_rejected_total", help="requests shed by admission control"
+        )
+        self._c_cache_served = m.counter("broker_cache_served_total")
+        self._c_sql = m.counter("broker_sql_requests_total")
+        self._c_sql_cache_served = m.counter("broker_sql_cache_served_total")
+        self._c_patches = m.counter("broker_patch_requests_total")
+        self._c_explain = m.counter("broker_explain_requests_total")
+        self._c_gateway_served = m.counter("broker_gateway_served_total")
+        self._c_gateway_fallbacks = m.counter("broker_gateway_fallbacks_total")
+        self._prune_counters = {
+            key: m.counter(f"broker_prune_{key}_total")
+            for key in ("executions", "pruned_executions", *_PRUNE_METRIC_KEYS)
         }
+        self._h_batch_size = m.histogram(
+            "broker_batch_points",
+            help="points per planner execution",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
+        self._h_op_seconds = {
+            op: m.histogram(
+                "broker_request_seconds",
+                help="end-to-end broker handling time",
+                op=op,
+            )
+            for op in ("query", "sql", "patch")
+        }
+        m.add_collector(self._collect_gauges)
         # Re-registration/removal under an existing name invalidates that
         # name's cached results (satellite of the delta-maintenance work:
         # fingerprint-keyed entries for the old content must not linger).
@@ -366,7 +402,7 @@ class QueryBroker:
         backend: str | None = None,
         with_cleaned: bool = False,
         prune: str = "auto",
-        explain: bool = False,
+        explain: bool | str = False,
         timeout: float | None = 60.0,
     ) -> dict:
         """Answer a CP query against a registered dataset.
@@ -389,8 +425,24 @@ class QueryBroker:
         result cache read (the explain block needs this execution's
         telemetry, not a cached value's) and the response carries an
         ``explain`` dict: chosen backend, plan reason, and the backend's
-        pruning / early-termination counters.
+        pruning / early-termination counters. ``explain="trace"``
+        additionally embeds the request's span tree under ``"trace"``.
         """
+        with self._h_op_seconds["query"].time(), trace_span(
+            "broker.query", tracer=self.obs.tracer, dataset=dataset, kind=kind
+        ) as span:
+            response = self._query_traced(
+                span, dataset, points, kind, flavor, k, pins, label, weights,
+                algorithm, backend, with_cleaned, prune, explain, timeout,
+            )
+        if explain == "trace" and span:
+            response["trace"] = span.root().record()
+        return response
+
+    def _query_traced(
+        self, span, dataset, points, kind, flavor, k, pins, label, weights,
+        algorithm, backend, with_cleaned, prune, explain, timeout,
+    ) -> dict:
         entry = self.registry.get(dataset)
         # One atomic read of (dataset, fingerprint, version, prepared):
         # everything below — family key, execution, response — uses the
@@ -421,16 +473,16 @@ class QueryBroker:
         # singles, per-request singles, and matrix queries alike: one
         # admitted request = one in-flight slot until its response exists.
         with self._lock:
-            self._n_requests += 1
+            self._c_requests.inc()
             if single:
-                self._n_single += 1
+                self._c_single.inc()
             else:
-                self._n_multi += 1
-            sweep = self.cache is not None and self._n_requests % 256 == 0
+                self._c_multi.inc()
+            sweep = self.cache is not None and self._c_requests.value % 256 == 0
             if self._closed:
                 raise AdmissionError("broker is shut down", retry_after=1.0)
             if self._inflight >= self.max_pending:
-                self._n_rejected += 1
+                self._c_rejected.inc()
                 raise AdmissionError(
                     f"{self._inflight} requests in flight (max_pending="
                     f"{self.max_pending}); shedding load",
@@ -443,8 +495,7 @@ class QueryBroker:
             self.cache.purge()
         try:
             if explain:
-                with self._lock:
-                    self._n_explain += 1
+                self._c_explain.inc()
                 response = self._execute_direct(
                     entry, snap, matrix, params, explain=True
                 )
@@ -466,6 +517,13 @@ class QueryBroker:
             version=snap.version,
             fingerprint=snap.fingerprint,
         )
+        span.set(
+            flavor=params["flavor"],
+            n_points=matrix.shape[0],
+            backend=response.get("backend"),
+            batch_size=response.get("batch_size"),
+            cache_hit=bool(response.get("cached")),
+        )
         return response
 
     def sql(
@@ -474,6 +532,7 @@ class QueryBroker:
         mode: str = "certain",
         backend: str = "auto",
         codd_table: CoddTable | None = None,
+        explain: bool | str = False,
     ) -> dict:
         """Answer a SQL query over registered Codd tables with certain-answer
         semantics (the ``/sql`` endpoint).
@@ -489,7 +548,18 @@ class QueryBroker:
         from the broker's TTL cache when the same query hits the same
         table content within the TTL, and always ride the wire as exact
         :func:`~repro.service.wire.encode_relation` structures.
+        ``explain="trace"`` embeds the request's span tree under
+        ``"trace"``.
         """
+        with self._h_op_seconds["sql"].time(), trace_span(
+            "broker.sql", tracer=self.obs.tracer, mode=mode
+        ) as span:
+            response = self._sql_traced(span, query, mode, backend, codd_table)
+        if explain == "trace" and span:
+            response["trace"] = span.root().record()
+        return response
+
+    def _sql_traced(self, span, query, mode, backend, codd_table) -> dict:
         if mode not in (*MODES, "both"):
             raise WireError(
                 f"mode must be one of {(*MODES, 'both')}, got {mode!r}"
@@ -515,12 +585,12 @@ class QueryBroker:
             versions = {name: snap.version for name, snap in snaps.items()}
 
         with self._lock:
-            self._n_sql += 1
-            sweep = self.cache is not None and self._n_sql % 256 == 0
+            self._c_sql.inc()
+            sweep = self.cache is not None and self._c_sql.value % 256 == 0
             if self._closed:
                 raise AdmissionError("broker is shut down", retry_after=1.0)
             if self._inflight >= self.max_pending:
-                self._n_rejected += 1
+                self._c_rejected.inc()
                 raise AdmissionError(
                     f"{self._inflight} requests in flight (max_pending="
                     f"{self.max_pending}); shedding load",
@@ -540,8 +610,8 @@ class QueryBroker:
             if self.cache is not None:
                 hit = self.cache.get(cache_key, _MISS)
                 if hit is not _MISS:
-                    with self._lock:
-                        self._n_sql_cache_served += 1
+                    self._c_sql_cache_served.inc()
+                    span.set(cache_hit=True, n_tables=len(names))
                     for entry in entries.values():
                         entry.record_served()
                     return {**hit, "versions": versions, "cached": True}
@@ -580,6 +650,11 @@ class QueryBroker:
                 self.cache.put(cache_key, dict(response))
             for entry in entries.values():
                 entry.record_served()
+            span.set(
+                cache_hit=False,
+                n_tables=len(names),
+                backends=",".join(sorted(set(backends.values()))),
+            )
             return {**response, "versions": versions, "cached": False}
         finally:
             with self._lock:
@@ -614,32 +689,19 @@ class QueryBroker:
             if self._closed:
                 raise AdmissionError("broker is shut down", retry_after=1.0)
             if self._inflight >= self.max_pending:
-                self._n_rejected += 1
+                self._c_rejected.inc()
                 raise AdmissionError(
                     f"{self._inflight} requests in flight (max_pending="
                     f"{self.max_pending}); shedding load",
                     retry_after=max(self.window_s * 2, 0.01),
                 )
             self._inflight += 1
-            self._n_patches += 1
+            self._c_patches.inc()
         try:
-            if deltas is not None:
-                result = self.registry.get(name).apply_deltas(deltas)
-            else:
-                if not fixes:
-                    raise WireError("'fixes' must contain at least one operation")
-                entry = self.registry.get_codd(name)
-                reports = [
-                    entry.apply_fix(row, column, value)
-                    for row, column, value in fixes
-                ]
-                result = {
-                    "table": name,
-                    "version": reports[-1]["version"],
-                    "fingerprint": reports[-1]["fingerprint"],
-                    "n_worlds": reports[-1]["n_worlds"],
-                    "reports": reports,
-                }
+            with self._h_op_seconds["patch"].time(), trace_span(
+                "broker.patch", tracer=self.obs.tracer, dataset=name
+            ):
+                result = self._patch_traced(name, deltas, fixes)
         finally:
             with self._lock:
                 self._inflight -= 1
@@ -649,31 +711,68 @@ class QueryBroker:
                 self.cache.purge_dataset(name)
         return result
 
-    def metrics(self) -> dict:
-        """A snapshot of the broker's serving counters (for ``/metrics``)."""
+    def _patch_traced(self, name, deltas, fixes) -> dict:
+        if deltas is not None:
+            return self.registry.get(name).apply_deltas(deltas)
+        if not fixes:
+            raise WireError("'fixes' must contain at least one operation")
+        entry = self.registry.get_codd(name)
+        reports = [
+            entry.apply_fix(row, column, value)
+            for row, column, value in fixes
+        ]
+        return {
+            "table": name,
+            "version": reports[-1]["version"],
+            "fingerprint": reports[-1]["fingerprint"],
+            "n_worlds": reports[-1]["n_worlds"],
+            "reports": reports,
+        }
+
+    def _collect_gauges(self, metrics) -> None:
+        """Metrics collector: point-in-time levels read at snapshot time."""
         with self._lock:
-            out = {
-                "requests": self._n_requests,
-                "single_point_requests": self._n_single,
-                "multi_point_requests": self._n_multi,
-                "batches_executed": self._n_batches,
-                "points_executed": self._n_batched_points,
-                "coalesced_batches": self._n_coalesced_batches,
-                "max_batch_size": self._max_batch_seen,
-                "rejected": self._n_rejected,
-                "served_from_cache": self._n_cache_served,
-                "sql_requests": self._n_sql,
-                "sql_served_from_cache": self._n_sql_cache_served,
-                "patch_requests": self._n_patches,
-                "explain_requests": self._n_explain,
-                "prune": dict(self._prune_totals),
-                "inflight": self._inflight,
-                "window_s": self.window_s,
-                "max_batch": self.max_batch,
-                "max_pending": self.max_pending,
-                "gateway_served": self._n_gateway_served,
-                "gateway_fallbacks": self._n_gateway_fallbacks,
-            }
+            inflight = self._inflight
+        metrics.gauge("broker_inflight").set(inflight)
+        if self.cache is not None:
+            stats = self.cache.stats()
+            metrics.gauge("broker_cache_size").set(stats["size"])
+            metrics.gauge("broker_cache_hit_rate").set(stats["hit_rate"])
+
+    def metrics(self) -> dict:
+        """A snapshot of the broker's serving counters (for ``/metrics``).
+
+        The key set is the documented legacy schema (guarded by the
+        golden-keys test); values are read back from the typed
+        instruments that now own the counts.
+        """
+        with self._lock:
+            inflight = self._inflight
+        out = {
+            "requests": self._c_requests.value,
+            "single_point_requests": self._c_single.value,
+            "multi_point_requests": self._c_multi.value,
+            "batches_executed": self._c_batches.value,
+            "points_executed": self._c_batched_points.value,
+            "coalesced_batches": self._c_coalesced.value,
+            "max_batch_size": int(self._g_max_batch.value),
+            "rejected": self._c_rejected.value,
+            "served_from_cache": self._c_cache_served.value,
+            "sql_requests": self._c_sql.value,
+            "sql_served_from_cache": self._c_sql_cache_served.value,
+            "patch_requests": self._c_patches.value,
+            "explain_requests": self._c_explain.value,
+            "prune": {
+                key: counter.value
+                for key, counter in self._prune_counters.items()
+            },
+            "inflight": inflight,
+            "window_s": self.window_s,
+            "max_batch": self.max_batch,
+            "max_pending": self.max_pending,
+            "gateway_served": self._c_gateway_served.value,
+            "gateway_fallbacks": self._c_gateway_fallbacks.value,
+        }
         out["cache"] = self.cache.stats() if self.cache is not None else None
         out["gateway"] = (
             self.gateway.metrics() if self.gateway is not None else None
@@ -760,14 +859,13 @@ class QueryBroker:
         """Fold one execution's backend stats into the /metrics counters."""
         if not stats:
             return
-        with self._lock:
-            self._prune_totals["executions"] += 1
-            if stats.get("prune"):
-                self._prune_totals["pruned_executions"] += 1
-            for key in _PRUNE_METRIC_KEYS:
-                value = stats.get(key)
-                if isinstance(value, int):
-                    self._prune_totals[key] += value
+        self._prune_counters["executions"].inc()
+        if stats.get("prune"):
+            self._prune_counters["pruned_executions"].inc()
+        for key in _PRUNE_METRIC_KEYS:
+            value = stats.get(key)
+            if isinstance(value, int):
+                self._prune_counters[key].inc(value)
 
     def _execute(
         self,
@@ -789,19 +887,24 @@ class QueryBroker:
             weights=params["weights"],
         )
         backend = params["backend"]
-        if self.gateway is not None and backend in ("auto", "gateway"):
-            result = self._execute_gateway(entry, snap, query)
-            if result is not None:
-                return result
-        if backend == "gateway":
-            # No gateway attached (single-process mode) or it declined:
-            # the local planner serves the same bit-identical answer.
-            backend = "auto"
-        return execute_query(
-            query,
-            backend=backend,
-            options=self._options(snap, params["prune"]),
-        )
+        with trace_span(
+            "planner.route", requested_backend=backend, dataset=entry.name
+        ) as span:
+            if self.gateway is not None and backend in ("auto", "gateway"):
+                result = self._execute_gateway(entry, snap, query)
+                if result is not None:
+                    span.set(served_by="gateway")
+                    return result
+            if backend == "gateway":
+                # No gateway attached (single-process mode) or it declined:
+                # the local planner serves the same bit-identical answer.
+                backend = "auto"
+            span.set(served_by="local")
+            return execute_query(
+                query,
+                backend=backend,
+                options=self._options(snap, params["prune"]),
+            )
 
     def _execute_gateway(self, entry, snap, query):
         """Partition-parallel execution, or ``None`` to fall back locally.
@@ -820,12 +923,11 @@ class QueryBroker:
             result = self.gateway.execute_query(
                 entry.name, query, fingerprint=snap.fingerprint
             )
-        except GatewayUnavailable:
-            with self._lock:
-                self._n_gateway_fallbacks += 1
+        except GatewayUnavailable as exc:
+            self._c_gateway_fallbacks.inc()
+            current_span().set(fallback_reason=str(exc) or "gateway unavailable")
             return None
-        with self._lock:
-            self._n_gateway_served += 1
+        self._c_gateway_served.inc()
         entry.set_partitioning(self.gateway.describe_dataset(entry.name))
         return result
 
@@ -845,15 +947,14 @@ class QueryBroker:
         if self.cache is not None and not explain:
             hit = self.cache.get(cache_key, _MISS)
             if hit is not _MISS:
-                with self._lock:
-                    self._n_cache_served += 1
+                self._c_cache_served.inc()
                 return {"values": list(hit[0]), "backend": hit[1], "batch_size": matrix.shape[0], "cached": True}
         result = self._execute(entry, snap, matrix, params)
         self._record_stats(result.stats)
-        with self._lock:
-            self._n_batches += 1
-            self._n_batched_points += matrix.shape[0]
-            self._max_batch_seen = max(self._max_batch_seen, matrix.shape[0])
+        self._c_batches.inc()
+        self._c_batched_points.inc(matrix.shape[0])
+        self._g_max_batch.set_max(matrix.shape[0])
+        self._h_batch_size.observe(matrix.shape[0])
         if self.cache is not None:
             self.cache.put(cache_key, (list(result.values), result.plan.backend))
             for index in range(matrix.shape[0]):
@@ -887,8 +988,7 @@ class QueryBroker:
         if self.cache is not None:
             hit = self.cache.get(self._point_cache_key(family, point), _MISS)
             if hit is not _MISS:
-                with self._lock:
-                    self._n_cache_served += 1
+                self._c_cache_served.inc()
                 return {"values": [hit[0]], "backend": hit[1], "batch_size": 1, "cached": True}
 
         future: Future = Future()
@@ -916,7 +1016,7 @@ class QueryBroker:
                     )
                     batch.timer.daemon = True
                     batch.timer.start()
-                batch.items.append((point, future))
+                batch.items.append((point, future, current_span().span_id))
                 if len(batch.items) >= self.max_batch:
                     self._pending.pop(family, None)
                     flush_now = batch
@@ -924,7 +1024,13 @@ class QueryBroker:
             if flush_now.timer is not None:
                 flush_now.timer.cancel()
             self._run_batch(flush_now)
-        value, backend_name, batch_size = future.result(timeout=timeout)
+        value, backend_name, batch_size, batch_record = future.result(
+            timeout=timeout
+        )
+        # The flush ran detached (it served many requests, possibly on a
+        # timer thread); grafting its span record here renders this
+        # request's share of the batch inside this request's trace.
+        current_span().adopt(batch_record)
         return {"values": [value], "backend": backend_name, "batch_size": batch_size, "cached": False}
 
     def _flush_family(self, family: tuple, batch: _PendingBatch) -> None:
@@ -938,20 +1044,38 @@ class QueryBroker:
     def _run_batch(self, batch: _PendingBatch) -> None:
         if not batch.items:
             return
-        points = [point for point, _ in batch.items]
-        futures = [future for _, future in batch.items]
+        points = [point for point, _, _ in batch.items]
+        futures = [future for _, future, _ in batch.items]
+        waiters = [span_id for _, _, span_id in batch.items if span_id]
         n = len(futures)
         try:
-            test_X = np.vstack([point.reshape(1, -1) for point in points])
-            result = self._execute(batch.entry, batch.snap, test_X, batch.params)
+            # Detached: the flush may run on a timer thread, and even on a
+            # caller's thread the batch serves *every* coalesced request —
+            # nesting it under one request's span would mis-attribute it.
+            # Waiters adopt the record from their future results instead.
+            with trace_span(
+                "broker.batch", tracer=self.obs.tracer, detached=True
+            ) as bspan:
+                bspan.set(
+                    dataset=batch.entry.name,
+                    n_points=n,
+                    coalesced=n > 1,
+                    request_span_ids=waiters,
+                )
+                test_X = np.vstack([point.reshape(1, -1) for point in points])
+                result = self._execute(
+                    batch.entry, batch.snap, test_X, batch.params
+                )
+                bspan.set(backend=result.plan.backend)
+            batch_record = bspan.record()
             self._record_stats(result.stats)
             family = self._family_key(batch.entry, batch.snap, batch.params)
-            with self._lock:
-                self._n_batches += 1
-                self._n_batched_points += n
-                self._max_batch_seen = max(self._max_batch_seen, n)
-                if n > 1:
-                    self._n_coalesced_batches += 1
+            self._c_batches.inc()
+            self._c_batched_points.inc(n)
+            self._g_max_batch.set_max(n)
+            self._h_batch_size.observe(n)
+            if n > 1:
+                self._c_coalesced.inc()
             for index, future in enumerate(futures):
                 value = result.values[index]
                 if self.cache is not None:
@@ -959,7 +1083,9 @@ class QueryBroker:
                         self._point_cache_key(family, points[index]),
                         (value, result.plan.backend),
                     )
-                future.set_result((value, result.plan.backend, n))
+                future.set_result(
+                    (value, result.plan.backend, n, batch_record)
+                )
         except BaseException as exc:  # noqa: BLE001 — futures carry it to callers
             for future in futures:
                 if not future.done():

@@ -84,6 +84,15 @@ class ServiceClient:
             except (json.JSONDecodeError, KeyError, UnicodeDecodeError):
                 raise ServiceError(exc.code, "error", exc.reason) from None
 
+    def _request_text(self, method: str, path: str) -> str:
+        """Like :meth:`_request` but for non-JSON (text) responses."""
+        req = request.Request(self.base_url + path, method=method)
+        try:
+            with request.urlopen(req, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except error.HTTPError as exc:
+            raise ServiceError(exc.code, "error", exc.reason) from None
+
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
@@ -103,8 +112,19 @@ class ServiceClient:
                     ) from None
                 time.sleep(interval)
 
-    def metrics(self) -> dict:
+    def metrics(self, format: str | None = None) -> dict | str:
+        """Fetch ``/metrics``. ``format="prometheus"`` returns the text
+        exposition as a string; the default returns the JSON dict."""
+        if format == "prometheus":
+            return self._request_text("GET", "/metrics?format=prometheus")
         return self._request("GET", "/metrics")
+
+    def traces(self, trace_id: str | None = None, limit: int | None = None):
+        """Fetch buffered traces (``/debug/traces``) or one by id."""
+        if trace_id is not None:
+            return self._request("GET", f"/debug/traces/{trace_id}")
+        path = "/debug/traces" if limit is None else f"/debug/traces?limit={int(limit)}"
+        return self._request("GET", path)["traces"]
 
     def datasets(self) -> list[dict]:
         return self._request("GET", "/datasets")["datasets"]
@@ -153,6 +173,7 @@ class ServiceClient:
         mode: str = "certain",
         backend: str = "auto",
         codd_table=None,
+        explain: bool | str = False,
     ) -> dict:
         """Run a SQL query with certain-answer semantics over a registered
         Codd table (or an inline one) and decode the results.
@@ -164,6 +185,8 @@ class ServiceClient:
         format is exact.
         """
         payload: dict[str, Any] = {"query": query, "mode": mode, "backend": backend}
+        if explain:
+            payload["explain"] = explain if explain == "trace" else True
         if codd_table is not None:
             payload["codd_table"] = encode_codd_table(codd_table)
         response = self._request("POST", "/sql", payload)
@@ -194,7 +217,7 @@ class ServiceClient:
         backend: str | None = None,
         with_cleaned: bool = False,
         prune: str = "auto",
-        explain: bool = False,
+        explain: bool | str = False,
     ) -> dict:
         """Run a CP query; the response's ``values`` are exact local types.
 
@@ -206,7 +229,8 @@ class ServiceClient:
         ``on`` / ``off``; values are bit-identical either way), and
         ``explain=True`` asks for the response's ``explain`` block —
         chosen backend, plan reason, and pruning / early-termination
-        counters for this execution.
+        counters for this execution. ``explain="trace"`` additionally
+        embeds the request's span tree under ``"trace"``.
         """
         if (point is None) == (points is None):
             raise ValueError("provide exactly one of point= or points=")
@@ -219,7 +243,7 @@ class ServiceClient:
             "prune": prune,
         }
         if explain:
-            payload["explain"] = True
+            payload["explain"] = explain if explain == "trace" else True
         if point is not None:
             payload["point"] = np.asarray(point, dtype=np.float64).tolist()
         elif isinstance(points, str):

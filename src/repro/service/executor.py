@@ -33,6 +33,7 @@ redistribute" and falls back to local execution for that query.
 from __future__ import annotations
 
 import os
+import time
 import traceback
 from typing import Any
 
@@ -254,6 +255,14 @@ def _handle(
             return state
         kernel = resolve_kernel(message.get("kernel"))
         test_X = np.asarray(message["test_X"], dtype=np.float64)
+        # When the gateway is tracing ("trace": True in the request), each
+        # partition's work is timed and shipped back as a plain-dict span
+        # record; the gateway grafts these under its gather span so the
+        # distributed query renders as one tree. Records are self-contained
+        # (no Span objects cross the pipe) and ids are restamped on
+        # adoption, so nothing about the parent trace needs to ride along.
+        trace = bool(message.get("trace"))
+        spans: list[dict] = []
         out: dict[int, Any] = {}
         for partition_id in message["partition_ids"]:
             partition = state["partitions"].get(int(partition_id))
@@ -263,6 +272,8 @@ def _handle(
                     "stale": True,
                     "error": f"partition {partition_id} not prepared here",
                 }
+            started = time.perf_counter() if trace else 0.0
+            wall = time.time() if trace else 0.0
             if op == "minmax":
                 out[int(partition_id)] = partition.minmax_tallies(
                     test_X, kernel, dict(message.get("pins") or {})
@@ -271,7 +282,32 @@ def _handle(
                 out[int(partition_id)] = partition.sim_block(
                     test_X, kernel, restrict=message.get("restrict")
                 )
-        return {"ok": True, "partitions": out}
+            if trace:
+                spans.append(
+                    {
+                        "name": "executor.partition",
+                        "start_time": wall,
+                        "duration_ms": max(
+                            time.perf_counter() - started, 0.0
+                        )
+                        * 1000.0,
+                        "status": "ok",
+                        "attributes": {
+                            "executor": executor_id,
+                            "pid": os.getpid(),
+                            "partition": int(partition_id),
+                            "op": op,
+                            "n_rows": partition.n_rows,
+                            "n_candidates": int(partition.offsets[-1]),
+                            "n_points": int(test_X.shape[0]),
+                        },
+                        "children": [],
+                    }
+                )
+        reply = {"ok": True, "partitions": out}
+        if trace:
+            reply["spans"] = spans
+        return reply
     return {"ok": False, "error": f"unknown op {op!r}"}
 
 

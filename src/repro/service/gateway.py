@@ -59,6 +59,8 @@ from repro.core.scan import _scan_from_sims, candidate_index_arrays
 from repro.core.shards import binary_minmax_label
 from repro.core.topk_prob import topk_inclusion_counts
 from repro.core.weighted import weighted_prediction_probabilities
+from repro.obs import Observability
+from repro.obs.tracing import trace_span
 from repro.service.executor import executor_main
 from repro.service.partition import (
     HashRing,
@@ -103,6 +105,7 @@ class _ExecutorHandle:
         "errors",
         "latency_total_s",
         "last_latency_s",
+        "last_seen",
     )
 
     def __init__(self, executor_id: int) -> None:
@@ -115,6 +118,9 @@ class _ExecutorHandle:
         self.errors = 0
         self.latency_total_s = 0.0
         self.last_latency_s: float | None = None
+        # Monotonic timestamp of the last proof of life (spawn, successful
+        # round trip, or monitor observation); /healthz reports its age.
+        self.last_seen: float | None = None
 
 
 class _DistributedDataset:
@@ -193,6 +199,10 @@ class Gateway:
         The health monitor's poll period: dead executors are respawned
         proactively, not just when a query trips over them. ``0``
         disables the monitor thread.
+    obs:
+        The :class:`~repro.obs.Observability` bundle the gateway reports
+        into (shared with the broker/server by ``make_service``); a bare
+        gateway creates its own.
     """
 
     def __init__(
@@ -204,6 +214,7 @@ class Gateway:
         ring_replicas: int = 64,
         monitor_interval_s: float = 0.5,
         start: bool = True,
+        obs: Observability | None = None,
     ) -> None:
         self.n_executors = check_positive_int(n_executors, "n_executors")
         self.partitions_per_executor = check_positive_int(
@@ -222,12 +233,26 @@ class Gateway:
         self._datasets: dict[str, _DistributedDataset] = {}
         self._datasets_lock = threading.Lock()
         self._dist_lock = threading.Lock()
-        self._metrics_lock = threading.Lock()
-        self._n_queries = 0
-        self._n_scatters = 0
-        self._n_respawns = 0
-        self._n_stale = 0
-        self._n_unavailable = 0
+        # Typed instruments replace the old _metrics_lock-guarded ints; the
+        # legacy metrics() key set reads them back.
+        self.obs = obs if obs is not None else Observability()
+        m = self.obs.metrics
+        self._c_queries = m.counter(
+            "gateway_queries_total", help="queries executed partition-parallel"
+        )
+        self._c_scatters = m.counter("gateway_scatters_total")
+        self._c_respawns = m.counter(
+            "gateway_respawns_total", help="executor processes respawned"
+        )
+        self._c_stale = m.counter("gateway_stale_snapshots_total")
+        self._c_unavailable = m.counter(
+            "gateway_unavailable_total",
+            help="queries abandoned to the local-planner fallback",
+        )
+        self._h_roundtrip = m.histogram(
+            "gateway_roundtrip_seconds", help="one executor pipe round trip"
+        )
+        m.add_collector(self._collect_gauges)
         self._closed = False
         self._monitor_stop = threading.Event()
         self._monitor: threading.Thread | None = None
@@ -273,9 +298,9 @@ class Gateway:
         handle.process = process
         handle.conn = parent_conn
         handle.restarts += 1
+        handle.last_seen = time.monotonic()
         if handle.restarts > 0:
-            with self._metrics_lock:
-                self._n_respawns += 1
+            self._c_respawns.inc()
         with self._datasets_lock:
             distributed = list(self._datasets.values())
         for dist in distributed:
@@ -312,6 +337,8 @@ class Gateway:
                 if self._closed:
                     return
                 process = handle.process
+                if process is not None and process.is_alive():
+                    handle.last_seen = time.monotonic()
                 if process is not None and not process.is_alive():
                     try:
                         with handle.lock:
@@ -366,6 +393,8 @@ class Gateway:
         elapsed = time.perf_counter() - started
         handle.last_latency_s = elapsed
         handle.latency_total_s += elapsed
+        handle.last_seen = time.monotonic()
+        self._h_roundtrip.observe(elapsed)
         return reply
 
     def _call(self, handle: _ExecutorHandle, message: dict) -> dict:
@@ -390,8 +419,7 @@ class Gateway:
             if reply.get("ok"):
                 return reply
             if reply.get("stale"):
-                with self._metrics_lock:
-                    self._n_stale += 1
+                self._c_stale.inc()
                 raise GatewayUnavailable(
                     f"stale snapshot on executor {handle.executor_id}: "
                     f"{reply.get('error')}"
@@ -399,8 +427,7 @@ class Gateway:
             raise GatewayError(
                 f"executor {handle.executor_id} failed: {reply.get('error')}"
             )
-        with self._metrics_lock:
-            self._n_unavailable += 1
+        self._c_unavailable.inc()
         raise GatewayUnavailable(
             f"executor {handle.executor_id} unavailable after "
             f"{self.retries + 1} attempts: {last_error}"
@@ -486,8 +513,7 @@ class Gateway:
     ) -> list[Any]:
         """Issue ``op`` to every executor owning a partition of ``dist``,
         concurrently, and return per-partition results in partition order."""
-        with self._metrics_lock:
-            self._n_scatters += 1
+        self._c_scatters.inc()
         groups: dict[int, list[int]] = {}
         for partition in dist.partitions:
             groups.setdefault(dist.assignment[partition.index], []).append(
@@ -496,6 +522,15 @@ class Gateway:
         results: dict[int, Any] = {}
         failures: list[Exception] = []
         gather_lock = threading.Lock()
+        # Gather threads attach their spans to the scatter span explicitly:
+        # thread-local propagation does not cross threading.Thread.
+        scatter_span = trace_span(
+            "gateway.scatter",
+            op=op,
+            dataset=dist.name,
+            partitions_scattered=len(dist.partitions),
+            n_executors=len(groups),
+        )
 
         def gather(executor_id: int, partition_ids: list[int]) -> None:
             message = {
@@ -503,27 +538,41 @@ class Gateway:
                 "name": dist.name,
                 "fingerprint": dist.fingerprint,
                 "partition_ids": partition_ids,
+                "trace": bool(scatter_span),
                 **payload,
             }
-            try:
-                reply = self._call(self._handles[executor_id], message)
-            except Exception as exc:  # noqa: BLE001 — re-raised below
-                with gather_lock:
-                    failures.append(exc)
-                return
+            with trace_span(
+                "gateway.gather",
+                parent=scatter_span,
+                executor=executor_id,
+                n_partitions=len(partition_ids),
+            ) as gspan:
+                try:
+                    reply = self._call(self._handles[executor_id], message)
+                except Exception as exc:  # noqa: BLE001 — re-raised below
+                    with gather_lock:
+                        failures.append(exc)
+                    return
+                # Executor-side timings crossed the pipe as plain records;
+                # grafting them here renders the distributed execution as
+                # one tree.
+                for record in reply.get("spans") or ():
+                    gspan.adopt(record)
             with gather_lock:
                 results.update(reply["partitions"])
 
-        items = sorted(groups.items())
-        threads = [
-            threading.Thread(target=gather, args=item, daemon=True)
-            for item in items[1:]
-        ]
-        for thread in threads:
-            thread.start()
-        gather(*items[0])  # run one group on the calling thread
-        for thread in threads:
-            thread.join()
+        with scatter_span:
+            items = sorted(groups.items())
+            threads = [
+                threading.Thread(target=gather, args=item, daemon=True)
+                for item in items[1:]
+            ]
+            for thread in threads:
+                thread.start()
+            gather(*items[0])  # run one group on the calling thread
+            for thread in threads:
+                thread.join()
+            scatter_span.set(failures=len(failures))
         if failures:
             for failure in failures:
                 if isinstance(failure, GatewayUnavailable):
@@ -547,12 +596,20 @@ class Gateway:
         if self._closed:
             raise GatewayUnavailable("gateway is closed")
         dist = self.ensure_distributed(name, query.dataset, fingerprint)
-        with self._metrics_lock:
-            self._n_queries += 1
-        if query.flavor == "binary" and query.kind in ("certain_label", "check"):
-            values, mode = self._execute_minmax(dist, query), "minmax"
-        else:
-            values, mode = self._execute_scan(dist, query), "scan"
+        self._c_queries.inc()
+        with trace_span(
+            "gateway.execute",
+            dataset=name,
+            flavor=query.flavor,
+            kind=query.kind,
+            n_points=query.n_points,
+            n_partitions=len(dist.partitions),
+        ) as span:
+            if query.flavor == "binary" and query.kind in ("certain_label", "check"):
+                values, mode = self._execute_minmax(dist, query), "minmax"
+            else:
+                values, mode = self._execute_scan(dist, query), "scan"
+            span.set(merge_mode=mode)
         n_owning = len({dist.assignment[p.index] for p in dist.partitions})
         plan = QueryPlan(
             backend="gateway",
@@ -736,14 +793,13 @@ class Gateway:
                     handle.latency_total_s / requests if requests else None
                 ),
             }
-        with self._metrics_lock:
-            totals = {
-                "queries": self._n_queries,
-                "scatters": self._n_scatters,
-                "respawns": self._n_respawns,
-                "stale_snapshots": self._n_stale,
-                "unavailable": self._n_unavailable,
-            }
+        totals = {
+            "queries": self._c_queries.value,
+            "scatters": self._c_scatters.value,
+            "respawns": self._c_respawns.value,
+            "stale_snapshots": self._c_stale.value,
+            "unavailable": self._c_unavailable.value,
+        }
         return {
             "n_executors": self.n_executors,
             "partitions_per_executor": self.partitions_per_executor,
@@ -759,6 +815,53 @@ class Gateway:
                 for dist in distributed
             },
         }
+
+    def health(self) -> dict:
+        """Per-executor readiness for ``/healthz``.
+
+        ``status`` is ``"ok"`` only while every executor process is
+        alive; a dead executor awaiting respawn degrades the whole
+        gateway (the broker still serves exactly via local fallback, but
+        an operator or load balancer should know capacity is reduced).
+        """
+        now = time.monotonic()
+        executors = []
+        degraded = False
+        for handle in self._handles:
+            process = handle.process
+            alive = bool(process is not None and process.is_alive())
+            if not alive:
+                degraded = True
+            executors.append(
+                {
+                    "executor_id": handle.executor_id,
+                    "pid": process.pid if process is not None else None,
+                    "alive": alive,
+                    "restarts": max(handle.restarts, 0),
+                    "last_heartbeat_age_s": (
+                        now - handle.last_seen
+                        if handle.last_seen is not None
+                        else None
+                    ),
+                }
+            )
+        return {
+            "status": "degraded" if degraded else "ok",
+            "n_executors": self.n_executors,
+            "executors": executors,
+        }
+
+    def _collect_gauges(self, metrics) -> None:
+        """Metrics collector: executor liveness levels at snapshot time."""
+        alive = sum(
+            1
+            for handle in self._handles
+            if handle.process is not None and handle.process.is_alive()
+        )
+        metrics.gauge(
+            "gateway_executors_alive", help="live executor processes"
+        ).set(alive)
+        metrics.gauge("gateway_executors_total").set(self.n_executors)
 
     def __enter__(self) -> "Gateway":
         return self

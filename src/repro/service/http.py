@@ -4,32 +4,52 @@
 container bakes in no web framework and the service does not need one)
 exposes the registry + broker behind these JSON endpoints:
 
-====================  ======  ====================================================
-path                  method  what it does
-====================  ======  ====================================================
-``/healthz``          GET     liveness: status, uptime, registered dataset names
-``/metrics``          GET     registry counters + broker/micro-batching/cache stats
-``/datasets``         GET     list registered datasets and Codd tables (``POST``
-                              registers one: a recipe build, a wire-encoded
-                              dataset, or a wire-encoded ``codd_table``)
-``/datasets/<name>``  GET     one dataset's (or Codd table's) description
-``/datasets/<name>``  PATCH   base-data deltas: cell repairs / row appends /
-                              row deletes on a CP dataset (``deltas``) or
-                              single-cell fixes on a Codd table (``fixes``);
-                              bumps the entry version, maintained in O(Δ)
-``/query``            POST    a CP query — single point (micro-batched) or matrix;
-                              ``prune`` selects certificate pruning and
-                              ``explain`` adds plan + pruning telemetry
-``/sql``              POST    a SQL query over a registered (or inline) Codd
-                              table with certain/possible-answer semantics
-``/clean/step``       POST    one cleaning answer; returns the session checkpoint
-====================  ======  ====================================================
+==========================  ======  ==============================================
+path                        method  what it does
+==========================  ======  ==============================================
+``/healthz``                GET     readiness: status + uptime + datasets, plus
+                                    per-executor liveness in gateway mode — 503
+                                    with ``status: "degraded"`` while any
+                                    executor is down awaiting respawn
+``/metrics``                GET     registry counters + broker/micro-batching/
+                                    cache stats + the typed ``obs`` snapshot;
+                                    ``?format=prometheus`` renders the text
+                                    exposition instead
+``/debug/traces``           GET     the tracer's ring buffer of recent span
+                                    trees (``?limit=N``)
+``/debug/traces/<id>``      GET     one span tree by trace id
+``/datasets``               GET     list registered datasets and Codd tables
+                                    (``POST`` registers one: a recipe build, a
+                                    wire-encoded dataset or ``codd_table``)
+``/datasets/<name>``        GET     one dataset's (or Codd table's) description
+``/datasets/<name>``        PATCH   base-data deltas: cell repairs / row appends
+                                    / row deletes on a CP dataset (``deltas``)
+                                    or single-cell fixes on a Codd table
+                                    (``fixes``); bumps the entry version,
+                                    maintained in O(Δ)
+``/query``                  POST    a CP query — single point (micro-batched) or
+                                    matrix; ``prune`` selects certificate
+                                    pruning, ``explain`` adds plan + pruning
+                                    telemetry, ``explain="trace"`` embeds the
+                                    request's span tree
+``/sql``                    POST    a SQL query over a registered (or inline)
+                                    Codd table with certain/possible-answer
+                                    semantics (``explain="trace"`` as above)
+``/clean/step``             POST    one cleaning answer; returns the checkpoint
+==========================  ======  ==============================================
 
 Every error is a structured JSON payload ``{"error": {"code", "message"}}``
 with the right status class: malformed JSON and invalid queries are 400,
 an unknown dataset is 404, a duplicate registration is 409, admission
 rejection is 429 with a ``Retry-After`` header, and anything unexpected
 is a 500 that never leaks a traceback to the client.
+
+Every request runs inside an ``http.request`` root span (the head of the
+trace tree the lower layers grow), is timed into per-route latency
+histograms, echoes its ``X-Trace-Id`` header, and — with
+``access_log=True`` (``repro serve --access-log``) — emits one JSON
+access-log line to stderr. Root spans slower than ``slow_ms`` land in
+the slow-query log (see :class:`repro.obs.Tracer`).
 
 Start a server with :func:`make_service` (ephemeral port, background
 thread — what the tests and the CI smoke job use) or :func:`serve`
@@ -40,14 +60,17 @@ from __future__ import annotations
 
 import json
 import signal
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import urlparse
+from urllib.parse import parse_qs, urlparse
 
 from repro.codd.engine import CoddPlanError
 from repro.codd.sql import SqlError
 from repro.core.planner import PlanError
+from repro.obs import Observability
+from repro.obs.tracing import trace_span
 from repro.service.broker import AdmissionError, QueryBroker
 from repro.service.registry import (
     DatasetRegistry,
@@ -80,10 +103,21 @@ class ServiceServer(ThreadingHTTPServer):
     # decisions belong to the broker (429 + Retry-After), not the backlog.
     request_queue_size = 128
 
-    def __init__(self, address, registry: DatasetRegistry, broker: QueryBroker):
+    def __init__(
+        self,
+        address,
+        registry: DatasetRegistry,
+        broker: QueryBroker,
+        obs: Observability | None = None,
+        access_log: bool = False,
+        access_sink=None,
+    ):
         super().__init__(address, _Handler)
         self.registry = registry
         self.broker = broker
+        self.obs = obs if obs is not None else broker.obs
+        self.access_log = bool(access_log)
+        self.access_sink = access_sink  # None → sys.stderr at emit time
         self.started = time.monotonic()
         self._accepting = False  # True once serve_forever is (about to be) live
 
@@ -114,6 +148,11 @@ def make_service(
     executors: int = 0,
     partitions_per_executor: int = 2,
     executor_timeout_s: float = 30.0,
+    trace: bool = True,
+    trace_buffer: int = 256,
+    slow_ms: float | None = None,
+    access_log: bool = False,
+    obs: Observability | None = None,
     **broker_kwargs,
 ) -> ServiceServer:
     """Build a :class:`ServiceServer` (port ``0`` = ephemeral).
@@ -130,8 +169,22 @@ def make_service(
     CP queries across them (bit-identical answers, automatic respawn of
     dead executors, transparent local fallback). ``0`` (default) is the
     classic single-process service.
+
+    One :class:`~repro.obs.Observability` bundle is created here (unless
+    ``obs`` hands one in) and shared by every layer — registry, broker,
+    gateway, and HTTP server all report into the same metrics registry
+    and tracer. ``trace=False`` disables span collection (metrics stay
+    on), ``slow_ms`` arms the slow-query log, ``access_log`` emits one
+    JSON line per request to stderr.
     """
     registry = registry if registry is not None else DatasetRegistry()
+    if obs is None:
+        obs = Observability(
+            enabled=trace,
+            trace_buffer_size=trace_buffer,
+            slow_s=None if slow_ms is None else slow_ms / 1000.0,
+        )
+    registry.attach_observability(obs)
     gateway = None
     if executors > 0:
         from repro.service.gateway import Gateway
@@ -140,19 +193,22 @@ def make_service(
             executors,
             partitions_per_executor=partitions_per_executor,
             timeout_s=executor_timeout_s,
+            obs=obs,
         )
         broker_kwargs["gateway"] = gateway
     # Until the broker owns the gateway (and the server owns the broker),
     # a constructor failure must not leak executor processes or the broker's
     # timers — close whatever was already built before re-raising.
     try:
-        broker = QueryBroker(registry, **broker_kwargs)
+        broker = QueryBroker(registry, obs=obs, **broker_kwargs)
     except BaseException:
         if gateway is not None:
             gateway.close()
         raise
     try:
-        server = ServiceServer((host, port), registry, broker)
+        server = ServiceServer(
+            (host, port), registry, broker, obs=obs, access_log=access_log
+        )
     except BaseException:
         broker.close()  # also shuts down the gateway it owns
         raise
@@ -220,9 +276,14 @@ def serve(
 # Request handling
 # ---------------------------------------------------------------------------
 
+class _NotFound(Exception):
+    """Internal: an unrouted path (mapped to a structured 404)."""
+
+
 #: Exception → (HTTP status, error code). Order matters: subclasses first.
 _ERROR_MAP: tuple[tuple[type[BaseException], int, str], ...] = (
     (AdmissionError, 429, "overloaded"),
+    (_NotFound, 404, "not_found"),
     (UnknownDatasetError, 404, "unknown_dataset"),
     (DuplicateDatasetError, 409, "registry_conflict"),
     (RegistryError, 400, "invalid_request"),
@@ -234,30 +295,73 @@ _ERROR_MAP: tuple[tuple[type[BaseException], int, str], ...] = (
 )
 
 
+#: Content type of the Prometheus text exposition format we emit.
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _RawResponse:
+    """A handler result that bypasses JSON encoding (Prometheus text)."""
+
+    __slots__ = ("status", "body", "content_type")
+
+    def __init__(self, status: int, body: str, content_type: str) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+
+
+#: Known route templates, for bounded-cardinality metric labels.
+_ROUTE_TEMPLATES = (
+    "/healthz",
+    "/metrics",
+    "/debug/traces",
+    "/datasets",
+    "/query",
+    "/sql",
+    "/clean/step",
+)
+
+
+def _route_label(path: str) -> str:
+    """Collapse a concrete path to its route template.
+
+    Metric labels must stay bounded; raw paths embed dataset names and
+    trace ids, which would mint one histogram per name.
+    """
+    if path in _ROUTE_TEMPLATES:
+        return path
+    if path.startswith("/debug/traces/"):
+        return "/debug/traces/:id"
+    if path.startswith("/datasets/"):
+        return "/datasets/:name"
+    return ":unrouted"
+
+
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server: ServiceServer  # narrowed for type checkers
 
     # -- plumbing ------------------------------------------------------
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        pass  # the service is quiet by default; /metrics is the observability
+        pass  # default http.server chatter stays off; --access-log is structured
 
-    def _send_json(self, status: int, payload: dict, headers: dict | None = None) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: dict | None = None,
+    ) -> None:
+        self._last_status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if getattr(self, "_trace_id", None):
+            self.send_header("X-Trace-Id", self._trace_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
-
-    def _send_error_json(
-        self, status: int, code: str, message: str, headers: dict | None = None
-    ) -> None:
-        self._send_json(
-            status, {"error": {"code": code, "message": message}}, headers
-        )
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -271,9 +375,76 @@ class _Handler(BaseHTTPRequestHandler):
         return payload
 
     def _dispatch(self, handler) -> None:
+        server = self.server
+        path = urlparse(self.path).path.rstrip("/") or "/"
+        route = _route_label(path)
+        self._last_status = 0
+        self._trace_id = None
+        started = time.perf_counter()
+        # The root span of the request's trace tree: broker, planner,
+        # gateway and executor spans all hang off it via thread-local
+        # propagation (+ record adoption across threads and processes).
+        with trace_span(
+            "http.request",
+            tracer=server.obs.tracer,
+            method=self.command,
+            path=path,
+        ) as span:
+            self._trace_id = span.trace_id
+            status, body, content_type, headers = self._evaluate(handler)
+            span.set(status=status)
+        # The span closes (publishing the finished trace to the ring
+        # buffer) before the response bytes leave: a client that reads
+        # its answer and immediately asks /debug/traces finds its trace.
+        self._send_bytes(status, body, content_type, headers)
+        duration_s = time.perf_counter() - started
+        metrics = server.obs.metrics
+        metrics.counter(
+            "http_requests_total", route=route, status=str(status)
+        ).inc()
+        metrics.histogram(
+            "http_request_seconds",
+            help="request handling latency by route",
+            route=route,
+        ).observe(duration_s)
+        if server.access_log:
+            self._emit_access_line(path, duration_s)
+
+    def _emit_access_line(self, path: str, duration_s: float) -> None:
+        sink = self.server.access_sink
+        line = json.dumps(
+            {
+                "method": self.command,
+                "path": path,
+                "status": self._last_status,
+                "duration_ms": round(duration_s * 1000.0, 3),
+                "trace_id": self._trace_id,
+            },
+            sort_keys=True,
+        )
         try:
-            status, payload = handler()
-            self._send_json(status, payload)
+            print(line, file=sink if sink is not None else sys.stderr, flush=True)
+        except (OSError, ValueError):
+            pass  # a closed sink must never take down request handling
+
+    def _evaluate(self, handler) -> tuple[int, bytes, str, dict | None]:
+        """Run one route handler to a fully rendered response.
+
+        Returns ``(status, body bytes, content type, extra headers)``
+        without touching the socket — ``_dispatch`` sends after the
+        request's root span has closed.
+        """
+        try:
+            result = handler()
+            if isinstance(result, _RawResponse):
+                return (
+                    result.status,
+                    result.body.encode("utf-8"),
+                    result.content_type,
+                    None,
+                )
+            status, payload = result
+            return status, json.dumps(payload).encode("utf-8"), "application/json", None
         except BaseException as exc:  # noqa: BLE001 — mapped to structured errors
             for exc_types, status, code in _ERROR_MAP:
                 if isinstance(exc, exc_types):
@@ -286,26 +457,40 @@ class _Handler(BaseHTTPRequestHandler):
                         str(exc) if isinstance(exc, UnknownDatasetError)
                         else f"missing field {exc.args[0]!r}"
                     )
-                    self._send_error_json(status, code, message, headers)
-                    return
-            self._send_error_json(
+                    return self._error_response(status, code, message, headers)
+            return self._error_response(
                 500, "internal_error", f"{type(exc).__name__} (see server logs)"
             )
 
+    @staticmethod
+    def _error_response(
+        status: int, code: str, message: str, headers: dict | None = None
+    ) -> tuple[int, bytes, str, dict | None]:
+        body = json.dumps({"error": {"code": code, "message": message}})
+        return status, body.encode("utf-8"), "application/json", headers
+
     # -- routes --------------------------------------------------------
+    def _not_found(self, path: str):
+        raise _NotFound(f"no route for {self.command} {path}")
+
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         path = urlparse(self.path).path.rstrip("/") or "/"
         if path == "/healthz":
             self._dispatch(self._get_healthz)
         elif path == "/metrics":
             self._dispatch(self._get_metrics)
+        elif path == "/debug/traces":
+            self._dispatch(self._get_traces)
+        elif path.startswith("/debug/traces/"):
+            trace_id = path[len("/debug/traces/") :]
+            self._dispatch(lambda: self._get_trace(trace_id))
         elif path == "/datasets":
             self._dispatch(self._get_datasets)
         elif path.startswith("/datasets/"):
             name = path[len("/datasets/") :]
             self._dispatch(lambda: self._get_dataset(name))
         else:
-            self._send_error_json(404, "not_found", f"no route for GET {path}")
+            self._dispatch(lambda: self._not_found(path))
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         path = urlparse(self.path).path.rstrip("/")
@@ -318,7 +503,7 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/clean/step":
             self._dispatch(self._post_clean_step)
         else:
-            self._send_error_json(404, "not_found", f"no route for POST {path}")
+            self._dispatch(lambda: self._not_found(path))
 
     def do_PATCH(self) -> None:  # noqa: N802 — http.server API
         path = urlparse(self.path).path.rstrip("/")
@@ -326,22 +511,51 @@ class _Handler(BaseHTTPRequestHandler):
             name = path[len("/datasets/") :]
             self._dispatch(lambda: self._patch_dataset(name))
         else:
-            self._send_error_json(404, "not_found", f"no route for PATCH {path}")
+            self._dispatch(lambda: self._not_found(path))
 
     # -- GET bodies ----------------------------------------------------
     def _get_healthz(self):
-        return 200, {
+        body = {
             "status": "ok",
             "uptime_s": time.monotonic() - self.server.started,
             "datasets": self.server.registry.names(),
         }
+        gateway = getattr(self.server.broker, "gateway", None)
+        if gateway is not None:
+            health = gateway.health()
+            body["status"] = health["status"]
+            body["executors"] = health["executors"]
+            if health["status"] != "ok":
+                return 503, body
+        return 200, body
 
     def _get_metrics(self):
+        query = parse_qs(urlparse(self.path).query)
+        if query.get("format", [""])[-1] == "prometheus":
+            text = self.server.obs.metrics.render_prometheus()
+            return _RawResponse(200, text, _PROMETHEUS_CONTENT_TYPE)
         return 200, {
             "uptime_s": time.monotonic() - self.server.started,
             "registry": dict(self.server.registry.stats()),
             "broker": self.server.broker.metrics(),
+            "obs": self.server.obs.snapshot(),
         }
+
+    def _get_traces(self):
+        query = parse_qs(urlparse(self.path).query)
+        limit = None
+        if "limit" in query:
+            try:
+                limit = int(query["limit"][-1])
+            except ValueError:
+                raise WireError("'limit' must be an integer") from None
+        return 200, {"traces": self.server.obs.tracer.buffer.list(limit=limit)}
+
+    def _get_trace(self, trace_id: str):
+        record = self.server.obs.tracer.buffer.get(trace_id)
+        if record is None:
+            raise _NotFound(f"no buffered trace {trace_id!r}")
+        return 200, record
 
     def _get_datasets(self):
         return 200, {"datasets": self.server.registry.describe_all()}
@@ -427,6 +641,9 @@ class _Handler(BaseHTTPRequestHandler):
                 points = decode_matrix(spec, "points")
         else:
             raise WireError("query needs a 'point' or 'points' field")
+        explain = payload.get("explain", False)
+        if explain != "trace":
+            explain = bool(explain)
         response = self.server.broker.query(
             name,
             points,
@@ -440,7 +657,7 @@ class _Handler(BaseHTTPRequestHandler):
             backend=payload.get("backend"),
             with_cleaned=bool(payload.get("with_cleaned", False)),
             prune=payload.get("prune", "auto"),
-            explain=bool(payload.get("explain", False)),
+            explain=explain,
         )
         response["values"] = encode_values(response["values"])
         return 200, response
@@ -448,11 +665,15 @@ class _Handler(BaseHTTPRequestHandler):
     def _post_sql(self):
         payload = self._read_json()
         inline = payload.get("codd_table")
+        explain = payload.get("explain", False)
+        if explain != "trace":
+            explain = bool(explain)
         response = self.server.broker.sql(
             payload["query"],
             mode=payload.get("mode", "certain"),
             backend=payload.get("backend", "auto"),
             codd_table=None if inline is None else decode_codd_table(inline),
+            explain=explain,
         )
         return 200, response
 

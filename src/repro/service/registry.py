@@ -523,6 +523,43 @@ class DatasetRegistry:
         self._codd: dict[str, CoddTableEntry] = {}
         self._lock = threading.RLock()
         self._invalidation_hooks: list[Callable[[str], None]] = []
+        self._obs = None
+        self._c_registrations = None
+        self._c_invalidations = None
+        self._c_removals = None
+
+    def attach_observability(self, obs) -> None:
+        """Report into ``obs`` (an :class:`~repro.obs.Observability`).
+
+        Registration/invalidation/removal events become counters; the
+        current dataset/table population and their served totals surface
+        as gauges via a snapshot-time collector (levels, not counters —
+        removals make them go down). ``stats()`` keeps the legacy JSON
+        shape either way.
+        """
+        self._obs = obs
+        self._c_registrations = obs.metrics.counter(
+            "registry_registrations_total",
+            help="datasets + codd tables registered",
+        )
+        self._c_invalidations = obs.metrics.counter(
+            "registry_invalidations_total",
+            help="names whose content was replaced or removed",
+        )
+        self._c_removals = obs.metrics.counter("registry_removals_total")
+        obs.metrics.add_collector(self._collect_gauges)
+
+    def _collect_gauges(self, metrics) -> None:
+        stats = self.stats()
+        gauge = metrics.gauge
+        gauge("registry_datasets", help="registered CP datasets").set(
+            stats["n_datasets"]
+        )
+        gauge("registry_codd_tables").set(stats["n_codd_tables"])
+        gauge("registry_queries").set(stats["n_queries"])
+        gauge("registry_points_served").set(stats["n_points_served"])
+        gauge("registry_clean_steps").set(stats["n_clean_steps"])
+        gauge("registry_sql_queries").set(stats["n_sql_queries"])
 
     # ------------------------------------------------------------------
     def add_invalidation_hook(self, hook: Callable[[str], None]) -> None:
@@ -537,6 +574,8 @@ class DatasetRegistry:
         self._invalidation_hooks.append(hook)
 
     def _notify_invalidation(self, name: str) -> None:
+        if self._c_invalidations is not None:
+            self._c_invalidations.inc()
         for hook in list(self._invalidation_hooks):
             hook(name)
 
@@ -571,6 +610,8 @@ class DatasetRegistry:
                 raise DuplicateDatasetError(f"dataset {name!r} is already registered")
             replaced = name in self._entries
             self._entries[name] = entry
+        if self._c_registrations is not None:
+            self._c_registrations.inc()
         if replaced:
             # The name now maps to different content: anything cached for
             # the old registration must go (fired outside the lock).
@@ -640,6 +681,8 @@ class DatasetRegistry:
                 )
             replaced = name in self._codd
             self._codd[name] = entry
+        if self._c_registrations is not None:
+            self._c_registrations.inc()
         if replaced:
             self._notify_invalidation(name)
         return entry
@@ -672,6 +715,8 @@ class DatasetRegistry:
         with self._lock:
             if self._entries.pop(name, None) is None:
                 raise UnknownDatasetError(name, sorted(self._entries))
+        if self._c_removals is not None:
+            self._c_removals.inc()
         self._notify_invalidation(name)
 
     def remove_codd(self, name: str) -> None:
@@ -679,6 +724,8 @@ class DatasetRegistry:
         with self._lock:
             if self._codd.pop(name, None) is None:
                 raise UnknownDatasetError(name, sorted(self._codd))
+        if self._c_removals is not None:
+            self._c_removals.inc()
         self._notify_invalidation(name)
 
     def names(self) -> list[str]:

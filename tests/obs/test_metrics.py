@@ -1,0 +1,253 @@
+"""repro.obs.metrics: typed instruments, exposition, quantiles, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    parse_prometheus,
+    quantile_from_buckets,
+    validate_prometheus,
+)
+
+
+# ---------------------------------------------------------------------------
+# Counters and gauges
+# ---------------------------------------------------------------------------
+
+
+def test_counter_monotone():
+    m = MetricsRegistry()
+    c = m.counter("requests_total")
+    assert c.value == 0
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.value == 5
+
+
+def test_gauge_levels_and_high_watermark():
+    m = MetricsRegistry()
+    g = m.gauge("inflight")
+    g.set(3)
+    g.inc()
+    g.dec(2)
+    assert g.value == 2
+    g.set_max(10)
+    g.set_max(4)  # lower than current max: ignored
+    assert g.value == 10
+
+
+def test_instruments_are_idempotent_by_name_and_labels():
+    m = MetricsRegistry()
+    assert m.counter("x_total") is m.counter("x_total")
+    assert m.counter("x_total", op="a") is m.counter("x_total", op="a")
+    assert m.counter("x_total", op="a") is not m.counter("x_total", op="b")
+
+
+def test_type_conflict_raises():
+    m = MetricsRegistry()
+    m.counter("thing")
+    with pytest.raises(ValueError, match="already registered"):
+        m.gauge("thing")
+
+
+def test_bad_metric_name_rejected():
+    m = MetricsRegistry()
+    with pytest.raises(ValueError):
+        m.counter("bad name")
+    with pytest.raises(ValueError):
+        m.counter("x", **{"0label": "v"})
+
+
+# ---------------------------------------------------------------------------
+# Histograms
+# ---------------------------------------------------------------------------
+
+
+def test_histogram_buckets_and_snapshot():
+    m = MetricsRegistry()
+    h = m.histogram("lat_seconds", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.01, 0.05, 0.5, 5.0):
+        h.observe(value)
+    snap = h.snapshot()
+    assert snap["le"] == [0.01, 0.1, 1.0, "+Inf"]
+    # 0.005 and 0.01 land in the first bucket (inclusive upper bound).
+    assert snap["counts"] == [2, 1, 1, 1]
+    assert snap["count"] == 5
+    assert snap["sum"] == pytest.approx(5.565)
+
+
+def test_histogram_bad_buckets_rejected():
+    m = MetricsRegistry()
+    with pytest.raises(ValueError):
+        m.histogram("a", buckets=())
+    with pytest.raises(ValueError):
+        m.histogram("b", buckets=(1.0, 1.0))
+    with pytest.raises(ValueError):
+        m.histogram("c", buckets=(1.0, float("inf")))
+
+
+def test_histogram_timer_observes_nonnegative():
+    m = MetricsRegistry()
+    h = m.histogram("t_seconds")
+    with h.time():
+        pass
+    assert h.count == 1
+    assert h.sum >= 0.0
+
+
+def test_default_latency_buckets_strictly_increase():
+    assert list(DEFAULT_LATENCY_BUCKETS) == sorted(set(DEFAULT_LATENCY_BUCKETS))
+
+
+# ---------------------------------------------------------------------------
+# Quantiles
+# ---------------------------------------------------------------------------
+
+
+def test_quantile_interpolates_inside_bucket():
+    m = MetricsRegistry()
+    h = m.histogram("q_seconds", buckets=(1.0, 2.0, 4.0))
+    for _ in range(100):
+        h.observe(1.5)  # all in the (1, 2] bucket
+    snap = h.snapshot()
+    p50 = quantile_from_buckets(snap, 0.5)
+    assert 1.0 < p50 <= 2.0
+    assert quantile_from_buckets(snap, 1.0) == pytest.approx(2.0)
+
+
+def test_quantile_empty_and_overflow():
+    m = MetricsRegistry()
+    h = m.histogram("q2_seconds", buckets=(1.0, 2.0))
+    assert quantile_from_buckets(h.snapshot(), 0.5) is None
+    h.observe(100.0)  # overflow bucket: reports the largest finite bound
+    assert quantile_from_buckets(h.snapshot(), 0.5) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        quantile_from_buckets(h.snapshot(), 1.5)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot, collectors, Prometheus exposition
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_shape_and_display_names():
+    m = MetricsRegistry()
+    m.counter("hits_total", route="/query").inc(3)
+    m.gauge("level").set(7)
+    m.histogram("lat_seconds", buckets=(1.0,)).observe(0.5)
+    snap = m.snapshot()
+    assert snap["counters"] == {'hits_total{route="/query"}': 3}
+    assert snap["gauges"] == {"level": 7.0}
+    assert snap["histograms"]["lat_seconds"]["count"] == 1
+
+
+def test_collectors_refresh_gauges_at_snapshot_time():
+    m = MetricsRegistry()
+    state = {"level": 1}
+    m.add_collector(lambda metrics: metrics.gauge("live").set(state["level"]))
+    assert m.snapshot()["gauges"]["live"] == 1.0
+    state["level"] = 9
+    assert m.snapshot()["gauges"]["live"] == 9.0
+    # collectors also run before a Prometheus render
+    state["level"] = 12
+    assert parse_prometheus(m.render_prometheus())["repro_live"] == 12.0
+
+
+def test_prometheus_render_parses_and_validates():
+    m = MetricsRegistry()
+    m.counter("requests_total", help="served requests", route="/query").inc(2)
+    m.counter("requests_total", route="/sql").inc(1)
+    m.gauge("inflight").set(3)
+    h = m.histogram("lat_seconds", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(50.0)
+    text = m.render_prometheus()
+    assert "# TYPE repro_requests_total counter" in text
+    assert "# HELP repro_requests_total served requests" in text
+    samples = parse_prometheus(text)
+    assert samples['repro_requests_total{route="/query"}'] == 2.0
+    assert samples['repro_lat_seconds_bucket{le="0.1"}'] == 1.0
+    assert samples['repro_lat_seconds_bucket{le="1"}'] == 2.0
+    assert samples['repro_lat_seconds_bucket{le="+Inf"}'] == 3.0
+    assert samples["repro_lat_seconds_count"] == 3.0
+    assert validate_prometheus(text) == len(samples)
+
+
+def test_parse_prometheus_rejects_garbage():
+    with pytest.raises(ValueError, match="malformed"):
+        parse_prometheus("this is not a sample line\n")
+
+
+def test_validate_prometheus_rejects_broken_histograms():
+    # cumulative counts that decrease must fail validation
+    bad = (
+        'x_bucket{le="1"} 5\n'
+        'x_bucket{le="+Inf"} 3\n'
+        "x_count 3\n"
+        "x_sum 1\n"
+    )
+    with pytest.raises(ValueError, match="not cumulative"):
+        validate_prometheus(bad)
+    # a histogram without a +Inf bucket must fail
+    with pytest.raises(ValueError, match=r"\+Inf"):
+        validate_prometheus('y_bucket{le="1"} 1\ny_count 1\ny_sum 1\n')
+
+
+# ---------------------------------------------------------------------------
+# Concurrency hammer
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_increments_are_not_lost():
+    m = MetricsRegistry()
+    c = m.counter("hammer_total")
+    g = m.gauge("hammer_gauge")
+    h = m.histogram("hammer_seconds", buckets=(0.5,))
+    n_threads, n_iter = 8, 2000
+    barrier = threading.Barrier(n_threads)
+
+    def work():
+        barrier.wait()
+        for _ in range(n_iter):
+            c.inc()
+            g.inc()
+            h.observe(0.25)
+
+    threads = [threading.Thread(target=work) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    expected = n_threads * n_iter
+    assert c.value == expected
+    assert g.value == expected
+    snap = h.snapshot()
+    assert snap["count"] == expected
+    assert snap["counts"][0] == expected
+    validate_prometheus(m.render_prometheus())
+
+
+def test_concurrent_instrument_creation_yields_one_instrument():
+    m = MetricsRegistry()
+    results = []
+    barrier = threading.Barrier(8)
+
+    def create():
+        barrier.wait()
+        results.append(m.counter("race_total"))
+
+    threads = [threading.Thread(target=create) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(c is results[0] for c in results)

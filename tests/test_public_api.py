@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.data",
     "repro.cleaning",
     "repro.experiments",
+    "repro.obs",
     "repro.service",
     "repro.utils",
 ]
@@ -53,6 +54,7 @@ def _iter_submodules(package_name: str):
             "repro.codd",
             "repro.data",
             "repro.cleaning",
+            "repro.obs",
             "repro.service",
         )
         for name in _iter_submodules(pkg)
