@@ -356,8 +356,9 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument(
         "--query",
         required=True,
-        help="SELECT ... FROM <name> [WHERE ...] (the CSV table is bound to "
-        "whatever name the FROM clause uses)",
+        help="SELECT ... FROM <name> [JOIN <name> ON ...] [WHERE ...] "
+        "[GROUP BY ...] (the CSV table is bound to every name the "
+        "FROM/JOIN clauses use, so self-joins work)",
     )
     sql.add_argument(
         "--limit", type=int, default=20, help="print at most this many answer rows"
@@ -378,6 +379,14 @@ def build_parser() -> argparse.ArgumentParser:
             "base URL of a running `repro serve` instance; with it the "
             "query runs server-side over the /sql endpoint (the CSV's Codd "
             "table ships inline) instead of in-process"
+        ),
+    )
+    sql.add_argument(
+        "--explain",
+        action="store_true",
+        help=(
+            "print the optimized logical plan and the rewrite rules the "
+            "planner applied before the answers"
         ),
     )
     return parser
@@ -777,13 +786,13 @@ def _command_query(args: argparse.Namespace) -> int:
 
 
 def _command_sql(args: argparse.Namespace) -> int:
-    from repro.codd.engine import answer_query, scan_relations
+    from repro.codd.engine import answer_query
     from repro.codd.from_table import codd_table_from_dirty_table
-    from repro.codd.sql import SqlError, parse_sql
+    from repro.codd.sql import SqlError, parse_sql, referenced_tables
     from repro.data.io import read_csv
 
     try:
-        query = parse_sql(args.query)
+        names = referenced_tables(args.query)
     except SqlError as exc:
         print(f"SQL error: {exc}", file=sys.stderr)
         return 2
@@ -795,15 +804,27 @@ def _command_sql(args: argparse.Namespace) -> int:
         f"possible_worlds={codd.n_worlds()}"
     )
 
-    # The CSV table answers to whatever name the query's FROM clause uses.
-    database = {name: codd for name in scan_relations(query)}
+    # The CSV table answers to whatever name(s) the query's FROM/JOIN
+    # clauses use — a self-join of the CSV against itself is legal SQL.
+    try:
+        query = parse_sql(
+            args.query, schemas={name: codd.schema for name in names}
+        )
+    except SqlError as exc:
+        print(f"SQL error: {exc}", file=sys.stderr)
+        return 2
+    database = {name: codd for name in names}
     if args.url is not None:
         from repro.service import ServiceClient, ServiceError
 
         client = ServiceClient(args.url)
         try:
             response = client.sql(
-                args.query, mode="both", backend=args.engine, codd_table=codd
+                args.query,
+                mode="both",
+                backend=args.engine,
+                codd_table=codd,
+                explain=args.explain,
             )
         except ServiceError as exc:
             print(f"service error: {exc}", file=sys.stderr)
@@ -814,6 +835,11 @@ def _command_sql(args: argparse.Namespace) -> int:
             f"served by {args.url} (engine: {response['backends']['certain']}, "
             f"cached: {response['cached']})"
         )
+        if args.explain and response.get("explain"):
+            _print_sql_explain(
+                response["explain"].get("plan"),
+                response["explain"].get("rewrites") or (),
+            )
     else:
         certain_result = answer_query(
             query, database, mode="certain", backend=args.engine
@@ -823,6 +849,13 @@ def _command_sql(args: argparse.Namespace) -> int:
             query, database, mode="possible", backend=args.engine
         ).relation
         print(f"engine: {certain_result.plan.backend} ({certain_result.plan.reason})")
+        if args.explain:
+            _print_sql_explain(
+                certain_result.logical.render()
+                if certain_result.logical is not None
+                else None,
+                certain_result.rewrites,
+            )
     uncertain = maybe.rows - sure.rows
     print(f"\ncertain answers ({len(sure)} rows, true in every world):")
     for row in sorted(sure.rows, key=repr)[: args.limit]:
@@ -835,6 +868,19 @@ def _command_sql(args: argparse.Namespace) -> int:
     if len(uncertain) > args.limit:
         print(f"  ... {len(uncertain) - args.limit} more")
     return 0
+
+
+def _print_sql_explain(plan: str | None, rewrites) -> None:
+    print("\noptimized plan:")
+    if plan:
+        for line in plan.splitlines():
+            print("  " + line)
+    else:
+        print("  (optimizer declined; query ran as written)")
+    if rewrites:
+        print("rewrites applied: " + ", ".join(rewrites))
+    else:
+        print("rewrites applied: (none)")
 
 
 def _parse_cell_value(text: str):

@@ -23,7 +23,10 @@ world.  This subpackage implements that database side of the bridge:
   the CP queries can run where the SQL queries stop.
 """
 
+from repro.codd.aggregate import summarize
 from repro.codd.algebra import (
+    Aggregate,
+    AggregateSpec,
     Attribute,
     Comparison,
     Conjunction,
@@ -80,10 +83,14 @@ from repro.codd.ctable import (
     evaluate_ctable,
 )
 from repro.codd.from_table import codd_table_from_dirty_table
+from repro.codd.optimizer import optimize, optimize_query, prune_rewrite
+from repro.codd.plan import LogicalPlan, plan_dict
 from repro.codd.relation import Relation
-from repro.codd.sql import SqlError, parse_sql
+from repro.codd.sql import SqlError, parse_sql, referenced_tables
 
 __all__ = [
+    "Aggregate",
+    "AggregateSpec",
     "Attribute",
     "CTable",
     "CoddAnswerBackend",
@@ -98,6 +105,7 @@ __all__ = [
     "Disjunction",
     "Join",
     "Literal",
+    "LogicalPlan",
     "Negation",
     "Null",
     "Project",
@@ -124,15 +132,21 @@ __all__ = [
     "evaluate",
     "evaluate_ctable",
     "get_codd_backend",
+    "optimize",
+    "optimize_query",
     "parse_sql",
     "plan_codd_query",
+    "plan_dict",
     "possible_answers",
     "possible_answers_database",
     "possible_answers_naive",
     "possible_answers_select_project",
     "possible_answers_vectorized",
     "prune_database",
+    "prune_rewrite",
+    "referenced_tables",
     "register_codd_backend",
     "scan_relations",
+    "summarize",
     "SqlError",
 ]

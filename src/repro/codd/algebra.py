@@ -8,12 +8,20 @@ three-valued logic over incomplete cells, and lets :mod:`repro.codd.ctable`
 propagate predicates into row conditions.
 
 Queries are trees of :class:`Scan`, :class:`Select`, :class:`Project`,
-:class:`Join`, :class:`Union`, :class:`Difference` and :class:`Rename`
-nodes; :func:`evaluate` runs a query against a database, a mapping from
-relation name to :class:`~repro.codd.relation.Relation`.
+:class:`Join`, :class:`Union`, :class:`Difference`, :class:`Rename` and
+:class:`Aggregate` nodes; :func:`evaluate` runs a query against a database,
+a mapping from relation name to :class:`~repro.codd.relation.Relation`.
+
+:class:`Aggregate` gives the algebra SUMMARIZE-style grouping: ``GROUP BY``
+attributes plus ``COUNT``/``SUM``/``MAX``/``MIN`` over the *set* of child
+tuples (set semantics: duplicate child tuples collapse before aggregation,
+so the classical evaluator stays the single source of truth for what every
+possible world computes).
 """
 
 from __future__ import annotations
+
+import math
 
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
@@ -37,6 +45,10 @@ __all__ = [
     "Union",
     "Difference",
     "Rename",
+    "Aggregate",
+    "AggregateSpec",
+    "AGGREGATE_FUNCS",
+    "aggregate_column",
     "Query",
     "evaluate",
 ]
@@ -226,7 +238,64 @@ class Rename:
         object.__setattr__(self, "mapping", tuple(sorted(mapping.items())))
 
 
-Query = Scan | Select | Project | Join | Union | Difference | Rename
+#: Aggregate functions understood by :class:`AggregateSpec`.
+AGGREGATE_FUNCS = ("count", "sum", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate in a SUMMARIZE: ``func(attribute) AS alias``.
+
+    ``attribute`` is ``None`` only for ``COUNT(*)``.  ``COUNT(attribute)``
+    counts non-``None`` values, matching the SQL convention (``None`` cells
+    only ever arise from aggregates over empty value sets, never from base
+    tables — the wire layer rejects them there).
+    """
+
+    func: str
+    attribute: str | None
+    alias: str
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATE_FUNCS:
+            raise ValueError(f"unknown aggregate function {self.func!r}")
+        if self.func != "count" and self.attribute is None:
+            raise ValueError(f"{self.func}(*) is not defined; name an attribute")
+        if not self.alias:
+            raise ValueError("an aggregate needs a non-empty output alias")
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``GROUP BY group_by`` + aggregate list over the child's tuple set.
+
+    Output schema is ``group_by + (spec.alias, ...)``.  With an empty
+    ``group_by`` this is a global aggregate and always yields exactly one
+    row (``COUNT`` 0 and ``None`` for the value aggregates on empty input),
+    matching SQL.
+    """
+
+    child: "Query"
+    group_by: tuple[str, ...]
+    aggregates: tuple[AggregateSpec, ...]
+
+    def __init__(
+        self,
+        child: "Query",
+        group_by: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+    ) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "group_by", tuple(group_by))
+        object.__setattr__(self, "aggregates", tuple(aggregates))
+        if not self.aggregates:
+            raise ValueError("Aggregate needs at least one aggregate (use Project to group-only)")
+        out = self.group_by + tuple(spec.alias for spec in self.aggregates)
+        if len(set(out)) != len(out):
+            raise ValueError(f"duplicate output names in aggregate schema {out}")
+
+
+Query = Scan | Select | Project | Join | Union | Difference | Rename | Aggregate
 
 
 def is_positive(query: Query) -> bool:
@@ -245,6 +314,10 @@ def is_positive(query: Query) -> bool:
     if isinstance(query, (Join, Union)):
         return is_positive(query.left) and is_positive(query.right)
     if isinstance(query, Difference):
+        return False
+    if isinstance(query, Aggregate):
+        # COUNT/SUM shrink when rows are added to a group, so aggregates
+        # are not monotone even over positive children.
         return False
     raise TypeError(f"not a query: {query!r}")
 
@@ -286,4 +359,60 @@ def evaluate(query: Query, database: Mapping[str, Relation]) -> Relation:
         return evaluate(query.left, database).difference(evaluate(query.right, database))
     if isinstance(query, Rename):
         return evaluate(query.child, database).renamed(dict(query.mapping))
+    if isinstance(query, Aggregate):
+        return _evaluate_aggregate(query, evaluate(query.child, database))
     raise TypeError(f"not a query: {query!r}")
+
+
+# ----------------------------------------------------------------------
+# Aggregation over a complete relation
+# ----------------------------------------------------------------------
+def aggregate_column(func: str, values: Sequence[Any]) -> Any:
+    """Apply one aggregate function to the non-``None`` values of a group.
+
+    Deterministic regardless of input order: integer sums use exact integer
+    arithmetic, and any float in the group routes the whole sum through
+    ``math.fsum`` over ``float()``-converted values (correctly rounded, so
+    order-insensitive).  This pins down the exact bits every evaluation
+    path — naive world enumeration, rowwise, vectorized — must reproduce.
+    """
+    present = [v for v in values if v is not None]
+    if func == "count":
+        return len(present)
+    if not present:
+        return None
+    if func == "min":
+        return min(present)
+    if func == "max":
+        return max(present)
+    if func == "sum":
+        if all(isinstance(v, int) for v in present):  # bool is an int subclass
+            return sum(int(v) for v in present)
+        return math.fsum(float(v) for v in present)
+    raise ValueError(f"unknown aggregate function {func!r}")
+
+
+def _evaluate_aggregate(query: Aggregate, child: Relation) -> Relation:
+    schema = child.schema
+    key_idx = [child.attribute_index(a) for a in query.group_by]
+    spec_idx = [
+        None if spec.attribute is None else child.attribute_index(spec.attribute)
+        for spec in query.aggregates
+    ]
+    groups: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+    if not query.group_by:
+        groups[()] = []  # a global aggregate has one group even on empty input
+    for row in child:
+        groups.setdefault(tuple(row[i] for i in key_idx), []).append(row)
+    out_schema = query.group_by + tuple(spec.alias for spec in query.aggregates)
+    out_rows = []
+    for key, rows in groups.items():
+        aggs = tuple(
+            aggregate_column(
+                spec.func,
+                [True for _ in rows] if idx is None else [row[idx] for row in rows],
+            )
+            for spec, idx in zip(query.aggregates, spec_idx)
+        )
+        out_rows.append(key + aggs)
+    return Relation(out_schema, out_rows)

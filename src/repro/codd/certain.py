@@ -41,6 +41,7 @@ from collections.abc import Mapping
 from typing import Any
 
 from repro.codd.algebra import (
+    Aggregate,
     Difference,
     Join,
     Project,
@@ -184,6 +185,8 @@ def _scan_chains(query: Query) -> dict[str, list[Query]]:
             chains.setdefault(scan.relation, []).append(node)
             return
         if isinstance(node, (Select, Project, Rename)):
+            walk(node.child)
+        elif isinstance(node, Aggregate):
             walk(node.child)
         elif isinstance(node, (Join, Union, Difference)):
             walk(node.left)

@@ -24,14 +24,28 @@ Three backends ship by default:
     select-project(-rename) queries whose grid fits the stacking cap.
     Prepared :class:`~repro.codd.vectorized.StackedTable` grids are kept
     in a small fingerprint-keyed LRU (and the service registry can hand
-    its pinned grid in directly).
+    its pinned grid in directly). Joins, unions, differences and GROUP BY
+    aggregation route through the composite analysis in
+    :mod:`repro.codd.joins` / :mod:`repro.codd.aggregate` — pair-table
+    hash joins, set-operator combinators and the exact per-group state
+    DP — with grid-backed leaf evaluation, whenever the exactness
+    conditions hold.
 ``rowwise``
     The streaming per-row generators (one completion resident at a time)
-    — same tractable class, unbounded table size, pure-Python speed.
+    — the same query classes (composite analysis included), unbounded
+    table size, pure-Python speed.
 ``naive``
     World enumeration with the enumeration cap, for every query shape,
     multi-table databases included (after
-    :func:`repro.codd.certain.prune_database` shrinks the product).
+    :func:`repro.codd.certain.prune_database` shrinks the product). Every
+    composite decline — a NULL row pairing twice, an incomplete source on
+    both sides of a set operator, an aggregation tuple collision — lands
+    here, so the fast paths are performance decisions, never semantic ones.
+
+:func:`answer_query` first lowers the query through the logical optimizer
+(:mod:`repro.codd.optimizer`, ``optimize=False`` opts out) and records the
+rewrites on the result; any optimizer failure falls back to running the
+query exactly as written, preserving error behaviour.
 
 All backends return bit-identical :class:`~repro.codd.relation.Relation`
 values for any query they all support
@@ -47,6 +61,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass
 
 from repro.codd.algebra import (
+    Aggregate,
     Difference,
     Join,
     Project,
@@ -64,6 +79,13 @@ from repro.codd.certain import (
     possible_select_project_rowwise,
 )
 from repro.codd.codd_table import CoddTable
+from repro.codd.joins import (
+    Composite,
+    FlatQuery,
+    composite_analysis,
+    composite_answer,
+)
+from repro.codd.plan import LogicalPlan
 from repro.codd.relation import Relation
 from repro.codd.vectorized import (
     MAX_STACKED_CELLS,
@@ -120,11 +142,19 @@ class CoddAnswerPlan:
 
 @dataclass(frozen=True, eq=False)
 class CoddAnswerResult:
-    """A certain/possible answer relation plus the plan that produced it."""
+    """A certain/possible answer relation plus the plan that produced it.
+
+    ``logical`` is the optimized :class:`~repro.codd.plan.LogicalPlan` the
+    engine executed (``None`` when optimization was skipped or declined)
+    and ``rewrites`` the rule applications that shaped it — what
+    ``/sql?explain=1`` and ``repro sql --explain`` surface.
+    """
 
     relation: Relation
     plan: CoddAnswerPlan
     mode: str
+    logical: LogicalPlan | None = None
+    rewrites: tuple[str, ...] = ()
 
 
 def scan_relations(query: Query) -> list[str]:
@@ -134,7 +164,7 @@ def scan_relations(query: Query) -> list[str]:
     def walk(node: Query) -> None:
         if isinstance(node, Scan):
             names.add(node.relation)
-        elif isinstance(node, (Select, Project, Rename)):
+        elif isinstance(node, (Select, Project, Rename, Aggregate)):
             walk(node.child)
         elif isinstance(node, (Join, Union, Difference)):
             walk(node.left)
@@ -286,6 +316,7 @@ def answer_query(
     mode: str = "certain",
     backend: str = "auto",
     prepared: Mapping[str, StackedTable] | None = None,
+    optimize: bool = True,
 ) -> CoddAnswerResult:
     """Plan and run one certain/possible-answer query; the one call the
     dispatchers, the SQL service and the CLI all go through.
@@ -293,14 +324,53 @@ def answer_query(
     ``prepared`` optionally hands pinned
     :class:`~repro.codd.vectorized.StackedTable` grids (keyed by relation
     name) to the vectorized backend — the service registry's warm state.
+
+    With ``optimize`` on (the default) the query is first lowered to a
+    :class:`~repro.codd.plan.LogicalPlan` and rewritten by
+    :func:`repro.codd.optimizer.optimize`; planning and execution then run
+    on the rewritten query, and when the naive backend is chosen the
+    :func:`~repro.codd.optimizer.prune_rewrite` records join the rewrite
+    trail.  Every rewrite is a per-world equivalence, so answers are
+    unchanged; if lowering or rewriting fails for any reason the original
+    query runs untouched, preserving the unoptimized error behaviour.
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
-    plan = plan_codd_query(query, database, backend=backend)
+    logical: LogicalPlan | None = None
+    rewrites: tuple[str, ...] = ()
+    run_query = query
+    if optimize:
+        from repro.codd.optimizer import optimize_query
+
+        try:
+            optimized = optimize_query(query, database)
+        except Exception:
+            # Malformed queries must fail exactly where (and as) they did
+            # before the optimizer existed — during evaluation, below.
+            optimized = None
+        if optimized is not None:
+            logical = optimized.plan
+            rewrites = optimized.rewrites
+            run_query = optimized.query()
+    plan = plan_codd_query(run_query, database, backend=backend)
+    if plan.backend == "naive" and optimize and logical is not None:
+        from repro.codd.optimizer import prune_rewrite
+
+        try:
+            _, prune_records = prune_rewrite(run_query, database)
+        except Exception:
+            prune_records = ()
+        rewrites = rewrites + tuple(prune_records)
     relation = get_codd_backend(plan.backend).answer(
-        query, database, mode, prepared=prepared
+        run_query, database, mode, prepared=prepared
     )
-    return CoddAnswerResult(relation=relation, plan=plan, mode=mode)
+    return CoddAnswerResult(
+        relation=relation,
+        plan=plan,
+        mode=mode,
+        logical=logical,
+        rewrites=rewrites,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -343,17 +413,22 @@ class VectorizedCoddBackend(CoddAnswerBackend):
 
     def supports(self, query, database):
         bound = _single_scan_table(query, database)
-        return (
-            bound is not None
-            and estimate_stacked_cells(bound[1]) <= MAX_STACKED_CELLS
-        )
+        if bound is not None:
+            return estimate_stacked_cells(bound[1]) <= MAX_STACKED_CELLS
+        return composite_analysis(query, database, MAX_STACKED_CELLS) is not None
 
     def estimate_cost(self, query, database):
         bound = _single_scan_table(query, database)
-        assert bound is not None
+        if bound is not None:
+            return (
+                float(estimate_stacked_cells(bound[1])),
+                "one vectorised pass over the stacked completion grid",
+            )
+        composite = composite_analysis(query, database, MAX_STACKED_CELLS)
+        assert composite is not None
         return (
-            float(estimate_stacked_cells(bound[1])),
-            "one vectorised pass over the stacked completion grid",
+            composite.estimated_cells(),
+            "hash-joined pair tables / set combinators over stacked grids",
         )
 
     def _stacked_for(
@@ -383,17 +458,21 @@ class VectorizedCoddBackend(CoddAnswerBackend):
                 self._prepared.popitem(last=False)
         return stacked
 
-    def _run(self, query, database, prepared, evaluator, fallback) -> Relation:
-        bound = _single_scan_table(query, database)
-        if bound is None:
-            raise CoddPlanError(
-                "vectorized backend needs a select-project(-rename) query "
-                "over a single bound Scan"
-            )
-        name, table = bound
-        stacked = self._stacked_for(name, table, prepared)
+    def _evaluate_flat(
+        self,
+        flat: FlatQuery,
+        mode: str,
+        prepared: Mapping[str, StackedTable] | None,
+    ) -> Relation:
+        query = flat.to_query()
+        stacked = self._stacked_for(flat.name, flat.table, prepared)
+        evaluator, fallback = (
+            (certain_answers_vectorized, certain_select_project_rowwise)
+            if mode == "certain"
+            else (possible_answers_vectorized, possible_select_project_rowwise)
+        )
         try:
-            return evaluator(query, table, name=name, stacked=stacked)
+            return evaluator(query, flat.table, name=flat.name, stacked=stacked)
         except TypeError:
             # Mixed-type ordering comparisons: the grid evaluates every
             # stacked completion at once, so it can hit a non-comparable
@@ -401,25 +480,40 @@ class VectorizedCoddBackend(CoddAnswerBackend):
             # row exactly like the naive oracle's per-world evaluation).
             # The reference path's answer-or-error is the semantics of
             # record, so replay the query there.
-            return fallback(query, table, name=name)
+            return fallback(query, flat.table, name=flat.name)
+
+    def _run(self, query, database, prepared, mode) -> Relation:
+        bound = _single_scan_table(query, database)
+        if bound is not None:
+            # Run the original query directly so the pinned single-table
+            # fast path stays byte-for-byte what it was.
+            name, table = bound
+            stacked = self._stacked_for(name, table, prepared)
+            evaluator, fallback = (
+                (certain_answers_vectorized, certain_select_project_rowwise)
+                if mode == "certain"
+                else (possible_answers_vectorized, possible_select_project_rowwise)
+            )
+            try:
+                return evaluator(query, table, name=name, stacked=stacked)
+            except TypeError:
+                return fallback(query, table, name=name)
+        composite = composite_analysis(query, database, MAX_STACKED_CELLS)
+        if composite is None:
+            raise CoddPlanError(
+                "vectorized backend needs a select-project(-rename) query "
+                "over a single bound Scan, or a join/set/aggregate tree it "
+                "can flatten exactly"
+            )
+        return composite_answer(
+            composite, mode, lambda flat, m: self._evaluate_flat(flat, m, prepared)
+        )
 
     def certain(self, query, database, prepared=None):
-        return self._run(
-            query,
-            database,
-            prepared,
-            certain_answers_vectorized,
-            certain_select_project_rowwise,
-        )
+        return self._run(query, database, prepared, "certain")
 
     def possible(self, query, database, prepared=None):
-        return self._run(
-            query,
-            database,
-            prepared,
-            possible_answers_vectorized,
-            possible_select_project_rowwise,
-        )
+        return self._run(query, database, prepared, "possible")
 
 
 class RowwiseCoddBackend(CoddAnswerBackend):
@@ -432,28 +526,54 @@ class RowwiseCoddBackend(CoddAnswerBackend):
 
     def supports(self, query, database):
         bound = _single_scan_table(query, database)
-        return (
-            bound is not None
-            and estimate_stacked_cells(bound[1]) <= MAX_ROWWISE_CELLS
-        )
+        if bound is not None:
+            return estimate_stacked_cells(bound[1]) <= MAX_ROWWISE_CELLS
+        return composite_analysis(query, database, MAX_ROWWISE_CELLS) is not None
 
     def estimate_cost(self, query, database):
         bound = _single_scan_table(query, database)
-        assert bound is not None
-        # The same completions as the vectorized grid, each paying a
-        # Python-level loop iteration instead of a vector-op share.
+        if bound is not None:
+            # The same completions as the vectorized grid, each paying a
+            # Python-level loop iteration instead of a vector-op share.
+            return (
+                8.0 * float(estimate_stacked_cells(bound[1])),
+                "streaming per-row completion scan",
+            )
+        composite = composite_analysis(query, database, MAX_ROWWISE_CELLS)
+        assert composite is not None
         return (
-            8.0 * float(estimate_stacked_cells(bound[1])),
-            "streaming per-row completion scan",
+            8.0 * composite.estimated_cells(),
+            "hash-joined pair tables / set combinators, streamed row-wise",
         )
 
+    @staticmethod
+    def _evaluate_flat(flat: FlatQuery, mode: str) -> Relation:
+        query = flat.to_query()
+        if mode == "certain":
+            return certain_select_project_rowwise(query, flat.table, name=flat.name)
+        return possible_select_project_rowwise(query, flat.table, name=flat.name)
+
+    def _run(self, query, database, mode) -> Relation:
+        bound = _single_scan_table(query, database)
+        if bound is not None:
+            name, table = bound
+            if mode == "certain":
+                return certain_select_project_rowwise(query, table, name=name)
+            return possible_select_project_rowwise(query, table, name=name)
+        composite = composite_analysis(query, database, MAX_ROWWISE_CELLS)
+        if composite is None:
+            raise CoddPlanError(
+                "rowwise backend needs a select-project(-rename) query over "
+                "a single bound Scan, or a join/set/aggregate tree it can "
+                "flatten exactly"
+            )
+        return composite_answer(composite, mode, self._evaluate_flat)
+
     def certain(self, query, database, prepared=None):
-        name, table = _single_scan_table(query, database)
-        return certain_select_project_rowwise(query, table, name=name)
+        return self._run(query, database, "certain")
 
     def possible(self, query, database, prepared=None):
-        name, table = _single_scan_table(query, database)
-        return possible_select_project_rowwise(query, table, name=name)
+        return self._run(query, database, "possible")
 
 
 class NaiveCoddBackend(CoddAnswerBackend):

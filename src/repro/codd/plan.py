@@ -1,0 +1,399 @@
+"""Logical plans: a schema-annotated IR between the algebra AST and engines.
+
+:mod:`repro.codd.algebra` trees are what users (and the SQL front door)
+build, but they carry no schema information — a ``Project`` does not know
+what its child produces until evaluation time.  The optimizer needs that
+information to decide, e.g., which side of a ``Join`` a filter conjunct can
+move below.  This module lowers an :class:`~repro.codd.algebra.Query` into
+a tree of frozen *plan nodes*, each annotated with its output schema
+(inferred against a catalog of base-relation schemas), and converts back:
+
+    ``Query`` --:func:`lower`--> ``PlanNode`` --:func:`to_query`--> ``Query``
+
+The round trip is the identity on semantics: plan nodes mirror the algebra
+one-to-one, so every rewrite in :mod:`repro.codd.optimizer` is a classical
+set-semantics equivalence, valid in every possible world and therefore
+valid for certain/possible answers.
+
+:func:`render` pretty-prints a plan as an indented tree (the ``explain``
+surface of the CLI), and :func:`plan_dict` produces the JSON-safe nested
+form the HTTP broker returns for ``explain`` requests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.codd.algebra import (
+    Aggregate,
+    AggregateSpec,
+    Attribute,
+    Comparison,
+    Conjunction,
+    Difference,
+    Disjunction,
+    Join,
+    Literal,
+    Negation,
+    Predicate,
+    Project,
+    Query,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+
+__all__ = [
+    "PlanNode",
+    "ScanNode",
+    "SelectNode",
+    "ProjectNode",
+    "RenameNode",
+    "JoinNode",
+    "UnionNode",
+    "DifferenceNode",
+    "AggregateNode",
+    "LogicalPlan",
+    "lower",
+    "to_query",
+    "render",
+    "render_predicate",
+    "plan_dict",
+    "scan_node",
+    "select_node",
+    "project_node",
+    "rename_node",
+    "join_node",
+    "union_node",
+    "difference_node",
+    "aggregate_node",
+]
+
+
+# ----------------------------------------------------------------------
+# Plan nodes: algebra operators annotated with their output schema
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScanNode:
+    relation: str
+    schema: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SelectNode:
+    child: "PlanNode"
+    predicate: Predicate
+    schema: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ProjectNode:
+    child: "PlanNode"
+    attributes: tuple[str, ...]
+    schema: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RenameNode:
+    child: "PlanNode"
+    mapping: tuple[tuple[str, str], ...]
+    schema: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class JoinNode:
+    left: "PlanNode"
+    right: "PlanNode"
+    schema: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class UnionNode:
+    left: "PlanNode"
+    right: "PlanNode"
+    schema: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class DifferenceNode:
+    left: "PlanNode"
+    right: "PlanNode"
+    schema: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class AggregateNode:
+    child: "PlanNode"
+    group_by: tuple[str, ...]
+    aggregates: tuple[AggregateSpec, ...]
+    schema: tuple[str, ...]
+
+
+PlanNode = (
+    ScanNode
+    | SelectNode
+    | ProjectNode
+    | RenameNode
+    | JoinNode
+    | UnionNode
+    | DifferenceNode
+    | AggregateNode
+)
+
+
+# ----------------------------------------------------------------------
+# Schema-checked constructors (the only way rewrite rules build nodes)
+# ----------------------------------------------------------------------
+def scan_node(relation: str, schema: Sequence[str]) -> ScanNode:
+    return ScanNode(relation, tuple(schema))
+
+
+def select_node(child: PlanNode, predicate: Predicate) -> SelectNode:
+    # Predicate attributes are intentionally *not* validated here: the
+    # classical evaluator only resolves them row by row, so an unknown
+    # attribute over an empty relation is not an error there either.
+    return SelectNode(child, predicate, child.schema)
+
+
+def project_node(child: PlanNode, attributes: Sequence[str]) -> ProjectNode:
+    attrs = tuple(attributes)
+    for name in attrs:
+        if name not in child.schema:
+            raise KeyError(f"attribute {name!r} not in schema {child.schema}")
+    if len(set(attrs)) != len(attrs):
+        raise ValueError(f"duplicate attribute names in projection {attrs}")
+    return ProjectNode(child, attrs, attrs)
+
+
+def rename_node(child: PlanNode, mapping: Mapping[str, str]) -> RenameNode:
+    pairs = tuple(sorted(mapping.items()))
+    renamer = dict(pairs)
+    schema = tuple(renamer.get(name, name) for name in child.schema)
+    if len(set(schema)) != len(schema):
+        raise ValueError(f"duplicate attribute names in schema {schema}")
+    return RenameNode(child, pairs, schema)
+
+
+def join_node(left: PlanNode, right: PlanNode) -> JoinNode:
+    extra = tuple(a for a in right.schema if a not in left.schema)
+    return JoinNode(left, right, left.schema + extra)
+
+
+def union_node(left: PlanNode, right: PlanNode) -> UnionNode:
+    _check_compatible(left, right, "union")
+    return UnionNode(left, right, left.schema)
+
+
+def difference_node(left: PlanNode, right: PlanNode) -> DifferenceNode:
+    _check_compatible(left, right, "difference")
+    return DifferenceNode(left, right, left.schema)
+
+
+def aggregate_node(
+    child: PlanNode,
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> AggregateNode:
+    keys = tuple(group_by)
+    specs = tuple(aggregates)
+    for name in keys:
+        if name not in child.schema:
+            raise KeyError(f"group-by attribute {name!r} not in schema {child.schema}")
+    for spec in specs:
+        if spec.attribute is not None and spec.attribute not in child.schema:
+            raise KeyError(
+                f"aggregate attribute {spec.attribute!r} not in schema {child.schema}"
+            )
+    # Reuse the algebra node's own validation of funcs/aliases.
+    Aggregate(Scan("_"), keys, specs)
+    return AggregateNode(child, keys, specs, keys + tuple(s.alias for s in specs))
+
+
+def _check_compatible(left: PlanNode, right: PlanNode, op: str) -> None:
+    if left.schema != right.schema:
+        raise ValueError(
+            f"{op} needs identical schemas, got {left.schema} and {right.schema}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Lowering and raising
+# ----------------------------------------------------------------------
+def lower(query: Query, catalog: Mapping[str, Sequence[str]]) -> PlanNode:
+    """Lower an algebra query to a schema-annotated plan tree.
+
+    ``catalog`` maps relation names to their schemas (``LogicalPlan.catalog_of``
+    builds one from any database-like mapping).  Raises :class:`KeyError` for
+    unknown relations or projected/grouped attributes — the same error class
+    evaluation would raise, just earlier.
+    """
+    if isinstance(query, Scan):
+        try:
+            schema = catalog[query.relation]
+        except KeyError:
+            raise KeyError(
+                f"relation {query.relation!r} not in database {sorted(catalog)}"
+            ) from None
+        return scan_node(query.relation, schema)
+    if isinstance(query, Select):
+        return select_node(lower(query.child, catalog), query.predicate)
+    if isinstance(query, Project):
+        return project_node(lower(query.child, catalog), query.attributes)
+    if isinstance(query, Rename):
+        return rename_node(lower(query.child, catalog), dict(query.mapping))
+    if isinstance(query, Join):
+        return join_node(lower(query.left, catalog), lower(query.right, catalog))
+    if isinstance(query, Union):
+        return union_node(lower(query.left, catalog), lower(query.right, catalog))
+    if isinstance(query, Difference):
+        return difference_node(lower(query.left, catalog), lower(query.right, catalog))
+    if isinstance(query, Aggregate):
+        return aggregate_node(lower(query.child, catalog), query.group_by, query.aggregates)
+    raise TypeError(f"not a query: {query!r}")
+
+
+def to_query(node: PlanNode) -> Query:
+    """Raise a plan tree back to the plain algebra AST the engines execute."""
+    if isinstance(node, ScanNode):
+        return Scan(node.relation)
+    if isinstance(node, SelectNode):
+        return Select(to_query(node.child), node.predicate)
+    if isinstance(node, ProjectNode):
+        return Project(to_query(node.child), node.attributes)
+    if isinstance(node, RenameNode):
+        return Rename(to_query(node.child), dict(node.mapping))
+    if isinstance(node, JoinNode):
+        return Join(to_query(node.left), to_query(node.right))
+    if isinstance(node, UnionNode):
+        return Union(to_query(node.left), to_query(node.right))
+    if isinstance(node, DifferenceNode):
+        return Difference(to_query(node.left), to_query(node.right))
+    if isinstance(node, AggregateNode):
+        return Aggregate(to_query(node.child), node.group_by, node.aggregates)
+    raise TypeError(f"not a plan node: {node!r}")
+
+
+# ----------------------------------------------------------------------
+# The user-facing wrapper
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LogicalPlan:
+    """A plan tree plus the catalog it was inferred against."""
+
+    root: PlanNode
+    catalog: tuple[tuple[str, tuple[str, ...]], ...]
+
+    @property
+    def schema(self) -> tuple[str, ...]:
+        return self.root.schema
+
+    @classmethod
+    def from_query(
+        cls, query: Query, catalog: Mapping[str, Sequence[str]]
+    ) -> "LogicalPlan":
+        frozen = tuple(sorted((name, tuple(schema)) for name, schema in catalog.items()))
+        return cls(lower(query, dict(frozen)), frozen)
+
+    @staticmethod
+    def catalog_of(database: Mapping[str, Any]) -> dict[str, tuple[str, ...]]:
+        """Build a catalog from anything whose values expose ``.schema``."""
+        return {name: tuple(table.schema) for name, table in database.items()}
+
+    def with_root(self, root: PlanNode) -> "LogicalPlan":
+        return LogicalPlan(root, self.catalog)
+
+    def render(self) -> str:
+        return render(self.root)
+
+
+# ----------------------------------------------------------------------
+# Rendering (CLI explain) and JSON form (wire explain)
+# ----------------------------------------------------------------------
+def render_predicate(pred: Predicate) -> str:
+    """A compact SQL-ish rendering of a predicate tree."""
+    if isinstance(pred, Comparison):
+        return f"{_render_term(pred.left)} {pred.op} {_render_term(pred.right)}"
+    if isinstance(pred, Conjunction):
+        return "(" + " AND ".join(render_predicate(p) for p in pred.parts) + ")"
+    if isinstance(pred, Disjunction):
+        return "(" + " OR ".join(render_predicate(p) for p in pred.parts) + ")"
+    if isinstance(pred, Negation):
+        return f"NOT {render_predicate(pred.part)}"
+    raise TypeError(f"not a predicate: {pred!r}")
+
+
+def _render_term(term: Attribute | Literal) -> str:
+    if isinstance(term, Attribute):
+        return term.name
+    return repr(term.value)
+
+
+def _describe(node: PlanNode) -> str:
+    if isinstance(node, ScanNode):
+        return f"Scan {node.relation} :: {', '.join(node.schema)}"
+    if isinstance(node, SelectNode):
+        return f"Select {render_predicate(node.predicate)}"
+    if isinstance(node, ProjectNode):
+        return f"Project [{', '.join(node.attributes)}]"
+    if isinstance(node, RenameNode):
+        pairs = ", ".join(f"{old}->{new}" for old, new in node.mapping)
+        return f"Rename {{{pairs}}}"
+    if isinstance(node, JoinNode):
+        return f"Join :: {', '.join(node.schema)}"
+    if isinstance(node, UnionNode):
+        return "Union"
+    if isinstance(node, DifferenceNode):
+        return "Difference"
+    if isinstance(node, AggregateNode):
+        aggs = ", ".join(
+            f"{s.func}({s.attribute if s.attribute is not None else '*'}) AS {s.alias}"
+            for s in node.aggregates
+        )
+        keys = ", ".join(node.group_by) if node.group_by else "()"
+        return f"Aggregate group by {keys} :: {aggs}"
+    raise TypeError(f"not a plan node: {node!r}")
+
+
+def _children(node: PlanNode) -> tuple[PlanNode, ...]:
+    if isinstance(node, (SelectNode, ProjectNode, RenameNode, AggregateNode)):
+        return (node.child,)
+    if isinstance(node, (JoinNode, UnionNode, DifferenceNode)):
+        return (node.left, node.right)
+    return ()
+
+
+def render(node: PlanNode, indent: int = 0) -> str:
+    """Pretty-print a plan as an indented tree."""
+    lines = ["  " * indent + _describe(node)]
+    for child in _children(node):
+        lines.append(render(child, indent + 1))
+    return "\n".join(lines)
+
+
+def plan_dict(node: PlanNode) -> dict[str, Any]:
+    """A JSON-safe nested dict of the plan tree (the wire ``explain`` form)."""
+    out: dict[str, Any] = {"op": type(node).__name__.removesuffix("Node").lower(),
+                           "schema": list(node.schema)}
+    if isinstance(node, ScanNode):
+        out["relation"] = node.relation
+    elif isinstance(node, SelectNode):
+        out["predicate"] = render_predicate(node.predicate)
+    elif isinstance(node, ProjectNode):
+        out["attributes"] = list(node.attributes)
+    elif isinstance(node, RenameNode):
+        out["mapping"] = {old: new for old, new in node.mapping}
+    elif isinstance(node, AggregateNode):
+        out["group_by"] = list(node.group_by)
+        out["aggregates"] = [
+            {"func": s.func, "attribute": s.attribute, "alias": s.alias}
+            for s in node.aggregates
+        ]
+    children = _children(node)
+    if len(children) == 1:
+        out["input"] = plan_dict(children[0])
+    elif children:
+        out["inputs"] = [plan_dict(c) for c in children]
+    return out

@@ -1,71 +1,133 @@
 """A miniature SQL front door for the Codd-table machinery.
 
 The paper presents its Figure-1 example as SQL (``SELECT * FROM Person
-WHERE age < 30``); this module parses exactly that fragment into the
+WHERE age < 30``); this module parses that fragment — now grown to
+two-or-more-table joins and SUMMARIZE-style aggregation — into the
 relational-algebra AST of :mod:`repro.codd.algebra`, so examples, the CLI
-and tests can write the query the way the paper does:
+and the ``/sql`` service can write queries the way the paper does:
 
     >>> parse_sql("SELECT name FROM person WHERE age < 30")
     Project(child=Select(child=Scan(relation='person'), ...), attributes=('name',))
 
 Supported grammar (case-insensitive keywords)::
 
-    query      := SELECT columns FROM identifier [WHERE predicate]
-    columns    := '*' | identifier (',' identifier)*
+    query      := SELECT select_list FROM table_ref join* [WHERE predicate]
+                  [GROUP BY column (',' column)*]
+    table_ref  := identifier [[AS] identifier]
+    join       := JOIN table_ref ON predicate
+    select_list:= '*' | select_item (',' select_item)*
+    select_item:= column | agg '(' ('*' | column) ')' [AS identifier]
+    agg        := COUNT | SUM | MIN | MAX          (contextual, before '(')
+    column     := identifier ['.' identifier]
     predicate  := disjunct (OR disjunct)*
     disjunct   := conjunct (AND conjunct)*
     conjunct   := NOT conjunct | '(' predicate ')' | comparison
     comparison := term op term,   op ∈ {=, ==, !=, <>, <, <=, >, >=}
-    term       := identifier | number | 'string' | "string"
+    term       := column | number | 'string' | "string"
 
-This is intentionally a fragment — single table, no aggregation, no nested
-queries — matching the select-project class for which certain answers are
-tractable over Codd tables.
+String literals escape an embedded quote by doubling it (``'it''s'``).
+Parse errors carry the character offset and nearby source text.
+
+**Single-table queries** (no join, no alias, no dots) parse to exactly the
+AST they always did — ``π?(σ?(Scan))`` over bare column names.
+
+**Multi-table queries** name every table with an alias (defaulting to the
+table name) and require every column reference to be ``alias.column``.
+Each source lowers to a full ``Rename`` over its ``Scan`` mapping every
+schema column to its qualified name — which requires knowing the schemas,
+so ``parse_sql(text, schemas=...)`` takes a ``{table: columns}`` mapping
+and :func:`referenced_tables` lets a caller discover, pre-parse, which
+schemas to fetch.  Qualification makes the sources' attribute sets
+disjoint, so the algebra's natural ``Join`` is exactly the SQL cross join
+and ``ON`` / ``WHERE`` become ordinary ``Select`` predicates.
+
+**Aggregation** lowers to an :class:`~repro.codd.algebra.Aggregate` node
+(``GROUP BY`` keys plus one :class:`~repro.codd.algebra.AggregateSpec` per
+aggregate item), wrapped in a final ``Project`` when the select list's
+order or width differs from the node's canonical ``keys + aliases``
+schema.  Plain select-list columns must appear in ``GROUP BY``.
 """
 
 from __future__ import annotations
 
 import re
+from collections.abc import Mapping, Sequence
 
 from repro.codd.algebra import (
+    AGGREGATE_FUNCS,
+    Aggregate,
+    AggregateSpec,
     Attribute,
     Comparison,
     Conjunction,
     Disjunction,
+    Join,
     Literal,
     Negation,
     Predicate,
     Project,
     Query,
+    Rename,
     Scan,
     Select,
 )
 
-__all__ = ["parse_sql", "SqlError"]
+__all__ = ["parse_sql", "referenced_tables", "SqlError"]
 
 
 class SqlError(ValueError):
-    """Raised on any lexical or syntactic problem in the SQL text."""
+    """Raised on any lexical or syntactic problem in the SQL text.
+
+    ``offset`` is the character position the error points at (``None``
+    when no position applies); the message embeds it plus nearby source.
+    """
+
+    def __init__(self, message: str, offset: int | None = None) -> None:
+        super().__init__(message)
+        self.offset = offset
 
 
 _TOKEN_RE = re.compile(
     r"""
     \s*(?:
         (?P<number>-?\d+(?:\.\d+)?)
-      | (?P<string>'[^']*'|"[^"]*")
+      | (?P<string>'(?:[^']|'')*'|"(?:[^"]|"")*")
       | (?P<op><>|<=|>=|!=|==|=|<|>)
-      | (?P<punct>[(),*])
+      | (?P<punct>[(),*.])
       | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
     )
     """,
     re.VERBOSE,
 )
 
-_KEYWORDS = {"select", "from", "where", "and", "or", "not"}
+_KEYWORDS = {
+    "select",
+    "from",
+    "where",
+    "and",
+    "or",
+    "not",
+    "join",
+    "on",
+    "as",
+    "group",
+    "by",
+}
 
 
-def _tokenize(text: str) -> list[tuple[str, str]]:
-    tokens: list[tuple[str, str]] = []
+def _positioned(text: str, offset: int) -> str:
+    """``" at offset N near '...'"`` — the error-location suffix."""
+    start = max(0, offset - 20)
+    end = min(len(text), offset + 20)
+    snippet = text[start:end]
+    if offset >= len(text.rstrip()):
+        return f" at offset {offset} (end of query)"
+    return f" at offset {offset} near {snippet!r}"
+
+
+def _tokenize(text: str) -> list[tuple[str, str, int]]:
+    """``(kind, value, offset)`` triples; keywords are lower-cased."""
+    tokens: list[tuple[str, str, int]] = []
     pos = 0
     while pos < len(text):
         match = _TOKEN_RE.match(text, pos)
@@ -73,72 +135,273 @@ def _tokenize(text: str) -> list[tuple[str, str]]:
             remainder = text[pos:].strip()
             if not remainder:
                 break
-            raise SqlError(f"cannot tokenise SQL at: {remainder[:25]!r}")
-        pos = match.end()
+            offset = pos + (len(text[pos:]) - len(text[pos:].lstrip()))
+            raise SqlError(
+                f"cannot tokenise SQL at: {remainder[:25]!r}"
+                + _positioned(text, offset),
+                offset=offset,
+            )
         kind = match.lastgroup
         value = match.group(kind)
+        offset = match.start(kind)
+        pos = match.end()
         if kind == "ident" and value.lower() in _KEYWORDS:
-            tokens.append(("keyword", value.lower()))
+            tokens.append(("keyword", value.lower(), offset))
         else:
-            tokens.append((kind, value))
+            tokens.append((kind, value, offset))
     return tokens
 
 
+def _unescape_string(raw: str) -> str:
+    quote = raw[0]
+    return raw[1:-1].replace(quote + quote, quote)
+
+
+def referenced_tables(text: str) -> list[str]:
+    """The table names a query reads, sorted and deduplicated.
+
+    A cheap pre-parse scan (``FROM``/``JOIN`` targets only) so a caller
+    holding the catalog — the service broker, the CLI — can look up the
+    schemas :func:`parse_sql` needs for a multi-table query before running
+    the full parse.  Raises :class:`SqlError` only on lexical problems.
+    """
+    tokens = _tokenize(text)
+    names: set[str] = set()
+    for i, (kind, value, _) in enumerate(tokens):
+        if kind == "keyword" and value in ("from", "join"):
+            if i + 1 < len(tokens) and tokens[i + 1][0] == "ident":
+                names.add(tokens[i + 1][1])
+    return sorted(names)
+
+
 class _Parser:
-    def __init__(self, tokens: list[tuple[str, str]]) -> None:
+    def __init__(
+        self,
+        text: str,
+        tokens: list[tuple[str, str, int]],
+        schemas: Mapping[str, Sequence[str]] | None,
+    ) -> None:
+        self._text = text
         self._tokens = tokens
+        self._schemas = schemas
         self._pos = 0
+        self._saw_qualified = False
 
     # ------------------------------------------------------------------
     def _peek(self) -> tuple[str, str] | None:
-        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+        if self._pos < len(self._tokens):
+            kind, value, _ = self._tokens[self._pos]
+            return (kind, value)
+        return None
+
+    def _offset(self) -> int:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos][2]
+        return len(self._text)
+
+    def _fail(self, message: str, offset: int | None = None) -> SqlError:
+        at = self._offset() if offset is None else offset
+        return SqlError(message + _positioned(self._text, at), offset=at)
 
     def _next(self) -> tuple[str, str]:
         token = self._peek()
         if token is None:
-            raise SqlError("unexpected end of query")
+            raise self._fail("unexpected end of query")
         self._pos += 1
         return token
 
     def _expect(self, kind: str, value: str | None = None) -> str:
+        offset = self._offset()
         token = self._next()
         if token[0] != kind or (value is not None and token[1] != value):
             want = value if value is not None else kind
-            raise SqlError(f"expected {want!r}, got {token[1]!r}")
+            raise self._fail(
+                f"expected {want!r}, got {token[1]!r}", offset=offset
+            )
         return token[1]
 
     # ------------------------------------------------------------------
     def parse_query(self) -> Query:
         self._expect("keyword", "select")
-        columns = self._parse_columns()
+        select_items = self._parse_select_list()
         self._expect("keyword", "from")
-        table = self._expect("ident")
+        tables = [self._parse_table_ref()]
+        joins: list[tuple[tuple[str, str | None, int], Predicate]] = []
+        while self._peek() == ("keyword", "join"):
+            self._next()
+            ref = self._parse_table_ref()
+            self._expect("keyword", "on")
+            joins.append((ref, self._parse_predicate()))
         predicate: Predicate | None = None
-        token = self._peek()
-        if token == ("keyword", "where"):
+        if self._peek() == ("keyword", "where"):
             self._next()
             predicate = self._parse_predicate()
+        group_by: list[str] = []
+        grouped = False
+        if self._peek() == ("keyword", "group"):
+            self._next()
+            self._expect("keyword", "by")
+            grouped = True
+            group_by.append(self._parse_column_name())
+            while self._peek() == ("punct", ","):
+                self._next()
+                group_by.append(self._parse_column_name())
         if self._peek() is not None:
-            raise SqlError(f"trailing tokens after query: {self._peek()[1]!r}")
+            raise self._fail(
+                f"trailing tokens after query: {self._peek()[1]!r}"
+            )
 
-        query: Query = Scan(table)
+        qualified = bool(joins) or any(alias is not None for _, alias, _ in tables)
+        qualified = qualified or self._saw_qualified
+        if qualified:
+            source = self._build_qualified_sources(tables, joins)
+        else:
+            source = Scan(tables[0][0])
+        query: Query = source
         if predicate is not None:
             query = Select(query, predicate)
-        if columns is not None:
-            query = Project(query, columns)
+        return self._apply_select_list(query, select_items, group_by, grouped)
+
+    def _parse_table_ref(self) -> tuple[str, str | None, int]:
+        offset = self._offset()
+        table = self._expect("ident")
+        alias: str | None = None
+        if self._peek() == ("keyword", "as"):
+            self._next()
+            alias = self._expect("ident")
+        elif self._peek() is not None and self._peek()[0] == "ident":
+            alias = self._next()[1]
+        return (table, alias, offset)
+
+    def _build_qualified_sources(
+        self,
+        tables: list[tuple[str, str | None, int]],
+        joins: list[tuple[tuple[str, str | None, int], Predicate]],
+    ) -> Query:
+        refs = tables + [ref for ref, _ in joins]
+        seen_aliases: set[str] = set()
+        for table, alias, offset in refs:
+            name = alias or table
+            if name in seen_aliases:
+                raise self._fail(
+                    f"duplicate table alias {name!r}", offset=offset
+                )
+            seen_aliases.add(name)
+
+        def lower(ref: tuple[str, str | None, int]) -> Query:
+            table, alias, offset = ref
+            alias = alias or table
+            if self._schemas is None:
+                raise self._fail(
+                    "multi-table queries need table schemas: call "
+                    "parse_sql(text, schemas={table: columns}); "
+                    "referenced_tables(text) lists the tables to look up",
+                    offset=offset,
+                )
+            columns = self._schemas.get(table)
+            if columns is None:
+                raise self._fail(f"unknown table {table!r}", offset=offset)
+            return Rename(
+                Scan(table), {col: f"{alias}.{col}" for col in columns}
+            )
+
+        query = lower(tables[0])
+        for ref, on in joins:
+            query = Select(Join(query, lower(ref)), on)
         return query
 
-    def _parse_columns(self) -> tuple[str, ...] | None:
-        token = self._peek()
-        if token == ("punct", "*"):
+    # ------------------------------------------------------------------
+    # Select list / aggregation
+    # ------------------------------------------------------------------
+    def _parse_column_name(self) -> str:
+        name = self._expect("ident")
+        if self._peek() == ("punct", "."):
+            self._next()
+            self._saw_qualified = True
+            name = f"{name}.{self._expect('ident')}"
+        return name
+
+    def _parse_select_list(self):
+        if self._peek() == ("punct", "*"):
             self._next()
             return None
-        columns = [self._expect("ident")]
-        while self._peek() == ("punct", ","):
-            self._next()
-            columns.append(self._expect("ident"))
-        return tuple(columns)
+        items: list[tuple[str, ...]] = []
+        while True:
+            items.append(self._parse_select_item())
+            if self._peek() == ("punct", ","):
+                self._next()
+                continue
+            return items
 
+    def _parse_select_item(self) -> tuple[str, ...]:
+        token = self._peek()
+        if (
+            token is not None
+            and token[0] == "ident"
+            and token[1].lower() in AGGREGATE_FUNCS
+            and self._pos + 1 < len(self._tokens)
+            and self._tokens[self._pos + 1][:2] == ("punct", "(")
+        ):
+            func = self._next()[1].lower()
+            self._expect("punct", "(")
+            attribute: str | None = None
+            if self._peek() == ("punct", "*"):
+                if func != "count":
+                    raise self._fail(f"{func.upper()}(*) is not supported")
+                self._next()
+            else:
+                attribute = self._parse_column_name()
+            self._expect("punct", ")")
+            alias = f"{func}({attribute if attribute is not None else '*'})"
+            if self._peek() == ("keyword", "as"):
+                self._next()
+                alias = self._expect("ident")
+            return ("agg", func, attribute, alias)
+        return ("col", self._parse_column_name())
+
+    def _apply_select_list(
+        self,
+        query: Query,
+        select_items,
+        group_by: list[str],
+        grouped: bool,
+    ) -> Query:
+        has_aggregate = select_items is not None and any(
+            item[0] == "agg" for item in select_items
+        )
+        if not grouped and not has_aggregate:
+            if select_items is None:
+                return query
+            return Project(query, tuple(item[1] for item in select_items))
+        if select_items is None:
+            raise self._fail("aggregate queries cannot SELECT *")
+        if not has_aggregate:
+            raise self._fail(
+                "GROUP BY needs at least one aggregate in the select list"
+            )
+        keys = tuple(group_by)
+        specs = []
+        names: list[str] = []
+        for item in select_items:
+            if item[0] == "col":
+                if item[1] not in keys:
+                    raise self._fail(
+                        f"column {item[1]!r} must appear in GROUP BY to be "
+                        "selected alongside aggregates"
+                    )
+                names.append(item[1])
+            else:
+                _, func, attribute, alias = item
+                specs.append(AggregateSpec(func, attribute, alias))
+                names.append(alias)
+        query = Aggregate(query, keys, tuple(specs))
+        canonical = keys + tuple(spec.alias for spec in specs)
+        if tuple(names) != canonical:
+            return Project(query, tuple(names))
+        return query
+
+    # ------------------------------------------------------------------
+    # Predicates
     # ------------------------------------------------------------------
     def _parse_predicate(self) -> Predicate:
         parts = [self._parse_disjunct()]
@@ -168,31 +431,45 @@ class _Parser:
 
     def _parse_comparison(self) -> Comparison:
         left = self._parse_term()
+        offset = self._offset()
         kind, op = self._next()
         if kind != "op":
-            raise SqlError(f"expected a comparison operator, got {op!r}")
+            raise self._fail(
+                f"expected a comparison operator, got {op!r}", offset=offset
+            )
         op = {"=": "==", "<>": "!="}.get(op, op)
         right = self._parse_term()
         return Comparison(left, op, right)
 
     def _parse_term(self) -> Attribute | Literal:
+        offset = self._offset()
         kind, value = self._next()
         if kind == "ident":
+            if self._peek() == ("punct", "."):
+                self._next()
+                self._saw_qualified = True
+                value = f"{value}.{self._expect('ident')}"
             return Attribute(value)
         if kind == "number":
             number = float(value)
             return Literal(int(number) if number.is_integer() else number)
         if kind == "string":
-            return Literal(value[1:-1])
-        raise SqlError(f"expected a column, number or string, got {value!r}")
+            return Literal(_unescape_string(value))
+        raise self._fail(
+            f"expected a column, number or string, got {value!r}", offset=offset
+        )
 
 
-def parse_sql(text: str) -> Query:
-    """Parse a ``SELECT ... FROM ... [WHERE ...]`` string into the algebra AST.
+def parse_sql(
+    text: str, schemas: Mapping[str, Sequence[str]] | None = None
+) -> Query:
+    """Parse SQL into the algebra AST; :class:`SqlError` outside the fragment.
 
-    Raises :class:`SqlError` on anything outside the supported fragment.
+    ``schemas`` (``{table: columns}``) is only consulted for multi-table
+    queries, whose sources must be fully qualified — see the module
+    docstring.  Single-table queries parse identically with or without it.
     """
     tokens = _tokenize(text)
     if not tokens:
-        raise SqlError("empty query")
-    return _Parser(tokens).parse_query()
+        raise SqlError("empty query", offset=0)
+    return _Parser(text, tokens, schemas).parse_query()

@@ -48,8 +48,9 @@ from typing import Any
 import numpy as np
 
 from repro.codd.codd_table import CoddTable
-from repro.codd.engine import MODES, answer_query, scan_relations
-from repro.codd.sql import parse_sql
+from repro.codd.engine import MODES, answer_query
+from repro.codd.plan import plan_dict
+from repro.codd.sql import parse_sql, referenced_tables
 from repro.core.label_uncertainty import LabelUncertainDataset
 from repro.core.batch_engine import kernel_cache_key
 from repro.core.planner import (
@@ -566,8 +567,9 @@ class QueryBroker:
             )
         if not isinstance(query, str) or not query.strip():
             raise WireError("'query' must be a non-empty SQL string")
-        parsed = parse_sql(query)
-        names = scan_relations(parsed)
+        # Chicken-and-egg: a multi-table query parses against the scanned
+        # tables' schemas, so a lexical pre-scan finds the names first.
+        names = referenced_tables(query)
         if codd_table is not None:
             entries = {}
             snaps = {}
@@ -583,6 +585,9 @@ class QueryBroker:
             database = {name: snap.table for name, snap in snaps.items()}
             fingerprints = {name: snap.fingerprint for name, snap in snaps.items()}
             versions = {name: snap.version for name, snap in snaps.items()}
+        parsed = parse_sql(
+            query, schemas={name: t.schema for name, t in database.items()}
+        )
 
         with self._lock:
             self._c_sql.inc()
@@ -626,6 +631,7 @@ class QueryBroker:
             modes = MODES if mode == "both" else (mode,)
             results: dict[str, dict] = {}
             backends: dict[str, str] = {}
+            explain_info: dict | None = None
             for one_mode in modes:
                 answer = answer_query(
                     parsed, database, mode=one_mode, backend=backend,
@@ -633,6 +639,20 @@ class QueryBroker:
                 )
                 results[one_mode] = encode_relation(answer.relation)
                 backends[one_mode] = answer.plan.backend
+                if explain_info is None:
+                    explain_info = {
+                        "plan": (
+                            answer.logical.render()
+                            if answer.logical is not None
+                            else None
+                        ),
+                        "tree": (
+                            plan_dict(answer.logical.root)
+                            if answer.logical is not None
+                            else None
+                        ),
+                        "rewrites": list(answer.rewrites),
+                    }
             n_worlds = 1
             for table in database.values():
                 n_worlds *= table.n_worlds()
@@ -643,6 +663,7 @@ class QueryBroker:
                 "results": results,
                 "backends": backends,
                 "n_worlds": str(n_worlds),
+                "explain": explain_info,
             }
             if self.cache is not None:
                 # Versions are not part of the cached payload: content can

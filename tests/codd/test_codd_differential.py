@@ -25,8 +25,10 @@ import pytest
 from fuzz.codd_cases import (
     SEEDS,
     TYPE_POOLS as _TYPE_POOLS,
+    random_aggregate_case,
     random_case,
     random_database_case,
+    random_join_case,
 )
 from repro.codd.algebra import Project, Rename, Select
 from repro.codd.certain import (
@@ -37,7 +39,7 @@ from repro.codd.certain import (
     possible_answers_database,
     possible_answers_naive,
 )
-from repro.codd.engine import answer_query
+from repro.codd.engine import answer_query, plan_codd_query
 
 
 class TestSingleTableDifferential:
@@ -102,3 +104,92 @@ class TestMultiTableDifferential:
             pruned = func(query, database)
             unpruned = func(query, database, prune=False)
             assert pruned == unpruned, f"{func.__name__} diverged: {description}"
+
+
+def _oracle(query, database, mode):
+    """Pure unpruned world enumeration — the ground truth for every path."""
+    func = (
+        certain_answers_database if mode == "certain" else possible_answers_database
+    )
+    return func(query, database, prune=False)
+
+
+def _capable_backends(query, database):
+    """``auto`` plus every explicit backend that can serve the query."""
+    from repro.codd.engine import capable_codd_backends
+
+    return ["auto"] + [b.name for b in capable_codd_backends(query, database)]
+
+
+class TestJoinDifferential:
+    """The pair-table hash join (and its declines) against the oracle."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("mode", ["certain", "possible"])
+    def test_joins_match_oracle(self, seed, mode):
+        query, database, description = random_join_case(seed)
+        oracle = _oracle(query, database, mode)
+        for backend in _capable_backends(query, database):
+            result = answer_query(
+                query, database, mode=mode, backend=backend
+            ).relation
+            assert result == oracle, f"{backend}/{mode} diverged: {description}"
+
+    def test_fast_path_actually_engages(self):
+        """Enough seeds must plan off the naive backend, or the join work
+        is untested; enough must fall back, or the declines are."""
+        fast = slow = 0
+        for seed in SEEDS:
+            query, database, _ = random_join_case(seed)
+            plan = plan_codd_query(query, database)
+            fast += plan.backend != "naive"
+            slow += plan.backend == "naive"
+        assert fast >= 8, f"only {fast} join seeds took a fast path"
+        assert slow >= 3, f"only {slow} join seeds exercised the fallback"
+
+
+class TestAggregateDifferential:
+    """The aggregation DP (and its declines) against the oracle."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("mode", ["certain", "possible"])
+    def test_aggregates_match_oracle(self, seed, mode):
+        query, database, description = random_aggregate_case(seed)
+        oracle = _oracle(query, database, mode)
+        for backend in _capable_backends(query, database):
+            result = answer_query(
+                query, database, mode=mode, backend=backend
+            ).relation
+            assert result == oracle, f"{backend}/{mode} diverged: {description}"
+
+    def test_fast_path_actually_engages(self):
+        fast = 0
+        for seed in SEEDS:
+            query, database, _ = random_aggregate_case(seed)
+            fast += plan_codd_query(query, database).backend != "naive"
+        assert fast >= 8, f"only {fast} aggregate seeds took a fast path"
+
+
+class TestOptimizerDifferential:
+    """Optimized and unoptimized execution must be bit-identical — every
+    rewrite is a per-world equivalence, certified here over fuzzed inputs."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize(
+        "generator", [random_case, random_join_case, random_aggregate_case],
+        ids=["single", "join", "aggregate"],
+    )
+    def test_optimized_matches_unoptimized(self, seed, generator):
+        made = generator(seed)
+        if generator is random_case:
+            query, table, name, description = made
+            database = {name: table}
+        else:
+            query, database, description = made
+        for mode in ("certain", "possible"):
+            plain = answer_query(query, database, mode=mode, optimize=False)
+            optimized = answer_query(query, database, mode=mode, optimize=True)
+            assert plain.relation == optimized.relation, (
+                f"optimizer changed the {mode} answer: {description} "
+                f"(rewrites: {optimized.rewrites})"
+            )

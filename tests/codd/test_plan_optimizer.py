@@ -1,0 +1,288 @@
+"""Unit tests for the logical-plan IR and the rule-based optimizer.
+
+The fuzz harness (``test_codd_differential.TestOptimizerDifferential``)
+certifies that rewrites never change answers; these tests pin the
+*mechanics* — lowering round trips, schema inference, each rule's exact
+output shape, the rewrite trace, and the render/plan_dict explain
+surfaces the CLI and wire expose.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codd.algebra import (
+    Aggregate,
+    AggregateSpec,
+    Attribute,
+    Comparison,
+    Conjunction,
+    Difference,
+    Join,
+    Literal,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.codd.codd_table import CoddTable, Null
+from repro.codd.optimizer import (
+    MAX_OPTIMIZER_PASSES,
+    optimize,
+    optimize_query,
+    prune_rewrite,
+)
+from repro.codd.plan import (
+    LogicalPlan,
+    ProjectNode,
+    RenameNode,
+    ScanNode,
+    SelectNode,
+    lower,
+    plan_dict,
+    render,
+    to_query,
+)
+
+CATALOG = {
+    "fact": ("key", "amount"),
+    "dim": ("key", "label"),
+    "t": ("a", "b", "c"),
+}
+
+
+def _lt(attr: str, value: object) -> Comparison:
+    return Comparison(Attribute(attr), "<", Literal(value))
+
+
+class TestLowering:
+    def test_round_trip_is_identity(self) -> None:
+        queries = [
+            Scan("t"),
+            Select(Scan("t"), _lt("a", 3)),
+            Project(Select(Scan("t"), _lt("a", 3)), ("b",)),
+            Rename(Scan("t"), {"a": "x"}),
+            Join(Scan("fact"), Scan("dim")),
+            Union(Scan("t"), Scan("t")),
+            Difference(Scan("t"), Scan("t")),
+            Aggregate(Scan("t"), ("a",), (AggregateSpec("sum", "b", "total"),)),
+        ]
+        for query in queries:
+            assert to_query(lower(query, CATALOG)) == query
+
+    def test_schemas_are_inferred(self) -> None:
+        node = lower(Project(Rename(Scan("t"), {"a": "x"}), ("x", "c")), CATALOG)
+        assert node.schema == ("x", "c")
+        join = lower(Join(Scan("fact"), Scan("dim")), CATALOG)
+        assert join.schema == ("key", "amount", "label")
+        agg = lower(
+            Aggregate(Scan("t"), ("a",), (AggregateSpec("count", None, "n"),)),
+            CATALOG,
+        )
+        assert agg.schema == ("a", "n")
+
+    def test_unknown_relation_raises_key_error(self) -> None:
+        with pytest.raises(KeyError, match="'nope' not in database"):
+            lower(Scan("nope"), CATALOG)
+
+    def test_bad_projection_raises_key_error(self) -> None:
+        with pytest.raises(KeyError, match="'zz' not in schema"):
+            lower(Project(Scan("t"), ("zz",)), CATALOG)
+
+    def test_incompatible_union_raises(self) -> None:
+        with pytest.raises(ValueError, match="identical schemas"):
+            lower(Union(Scan("t"), Scan("dim")), CATALOG)
+
+    def test_logical_plan_catalog_of_database(self) -> None:
+        database = {"t": CoddTable(("a", "b"), [(1, 2)])}
+        plan = LogicalPlan.from_query(Scan("t"), LogicalPlan.catalog_of(database))
+        assert plan.schema == ("a", "b")
+        assert plan.catalog == (("t", ("a", "b")),)
+
+
+class TestExplainSurfaces:
+    def test_render_is_an_indented_tree(self) -> None:
+        plan = LogicalPlan.from_query(
+            Project(Select(Scan("t"), _lt("a", 3)), ("b",)), CATALOG
+        )
+        assert plan.render() == (
+            "Project [b]\n"
+            "  Select a < 3\n"
+            "    Scan t :: a, b, c"
+        )
+
+    def test_plan_dict_is_json_shaped(self) -> None:
+        node = lower(Select(Join(Scan("fact"), Scan("dim")), _lt("amount", 5)), CATALOG)
+        tree = plan_dict(node)
+        assert tree["op"] == "select"
+        assert tree["predicate"] == "amount < 5"
+        join = tree["input"]
+        assert join["op"] == "join"
+        assert [c["relation"] for c in join["inputs"]] == ["fact", "dim"]
+        assert join["schema"] == ["key", "amount", "label"]
+
+
+class TestRules:
+    def _opt(self, query):
+        return optimize(LogicalPlan.from_query(query, CATALOG))
+
+    def test_merge_selects(self) -> None:
+        result = self._opt(Select(Select(Scan("t"), _lt("a", 3)), _lt("b", 4)))
+        assert "merge-selects" in result.rewrites
+        root = result.root
+        assert isinstance(root, SelectNode)
+        assert isinstance(root.child, ScanNode)
+        assert result.query() == Select(
+            Scan("t"), Conjunction(_lt("b", 4), _lt("a", 3))
+        )
+
+    def test_push_select_below_project(self) -> None:
+        result = self._opt(Select(Project(Scan("t"), ("a", "b")), _lt("a", 3)))
+        assert "push-select-below-project" in result.rewrites
+        assert result.query() == Project(Select(Scan("t"), _lt("a", 3)), ("a", "b"))
+
+    def test_select_over_hidden_attribute_stays_put(self) -> None:
+        # π dropped `c`; a filter on `c` cannot move below the projection.
+        query = Select(Project(Scan("t"), ("a",)), _lt("c", 3))
+        assert self._opt(query).query() == query
+
+    def test_canonical_scan_shape_is_preserved(self) -> None:
+        # σ(ρ(Scan)) is the tractable single-scan shape — leave it alone.
+        query = Select(Rename(Scan("t"), {"a": "x"}), _lt("x", 3))
+        result = self._opt(query)
+        assert result.query() == query
+        assert "push-select-below-rename" not in result.rewrites
+
+    def test_push_select_below_rename_above_deeper_trees(self) -> None:
+        query = Select(
+            Rename(Project(Scan("t"), ("a", "b")), {"a": "x"}), _lt("x", 3)
+        )
+        result = self._opt(query)
+        assert "push-select-below-rename" in result.rewrites
+        # The predicate is rewritten through the inverse renaming, then
+        # keeps sinking below the projection too.
+        assert result.query() == Rename(
+            Project(Select(Scan("t"), _lt("a", 3)), ("a", "b")), {"a": "x"}
+        )
+
+    def test_rename_distributes_over_union_then_select_follows(self) -> None:
+        query = Select(
+            Rename(Union(Scan("t"), Scan("t")), {"a": "x"}), _lt("x", 3)
+        )
+        result = self._opt(query)
+        assert "push-rename-below-union" in result.rewrites
+        assert "push-select-below-union" in result.rewrites
+        # Each branch ends in the canonical σ(ρ(Scan)) shape the guard keeps.
+        branch = Select(Rename(Scan("t"), {"a": "x"}), _lt("x", 3))
+        assert result.query() == Union(branch, branch)
+
+    def test_push_select_below_join_splits_conjuncts(self) -> None:
+        predicate = Conjunction(_lt("amount", 5), _lt("label", "c"))
+        result = self._opt(Select(Join(Scan("fact"), Scan("dim")), predicate))
+        assert "push-select-below-join" in result.rewrites
+        assert result.query() == Join(
+            Select(Scan("fact"), _lt("amount", 5)),
+            Select(Scan("dim"), _lt("label", "c")),
+        )
+
+    def test_shared_attribute_conjunct_goes_to_both_sides(self) -> None:
+        result = self._opt(Select(Join(Scan("fact"), Scan("dim")), _lt("key", 2)))
+        assert result.query() == Join(
+            Select(Scan("fact"), _lt("key", 2)),
+            Select(Scan("dim"), _lt("key", 2)),
+        )
+
+    def test_cross_side_conjunct_stays_above_the_join(self) -> None:
+        predicate = Comparison(Attribute("amount"), "==", Attribute("label"))
+        query = Select(Join(Scan("fact"), Scan("dim")), predicate)
+        assert self._opt(query).query() == query
+
+    def test_push_select_below_difference(self) -> None:
+        result = self._opt(Select(Difference(Scan("t"), Scan("t")), _lt("a", 3)))
+        assert "push-select-below-difference" in result.rewrites
+        assert result.query() == Difference(
+            Select(Scan("t"), _lt("a", 3)), Select(Scan("t"), _lt("a", 3))
+        )
+
+    def test_push_select_below_aggregate_on_group_keys(self) -> None:
+        agg = Aggregate(Scan("t"), ("a",), (AggregateSpec("count", None, "n"),))
+        result = self._opt(Select(agg, _lt("a", 3)))
+        assert "push-select-below-aggregate" in result.rewrites
+        assert result.query() == Aggregate(
+            Select(Scan("t"), _lt("a", 3)), ("a",), (AggregateSpec("count", None, "n"),)
+        )
+
+    def test_select_on_aggregate_output_stays_above(self) -> None:
+        agg = Aggregate(Scan("t"), ("a",), (AggregateSpec("count", None, "n"),))
+        query = Select(agg, _lt("n", 3))
+        assert self._opt(query).query() == query
+
+    def test_merge_projects_and_drop_identity(self) -> None:
+        result = self._opt(Project(Project(Scan("t"), ("a", "b")), ("a",)))
+        assert "merge-projects" in result.rewrites
+        assert result.query() == Project(Scan("t"), ("a",))
+        identity = self._opt(Project(Scan("t"), ("a", "b", "c")))
+        assert "drop-identity-project" in identity.rewrites
+        assert identity.query() == Scan("t")
+
+    def test_push_project_below_join_keeps_join_keys(self) -> None:
+        result = self._opt(Project(Join(Scan("fact"), Scan("dim")), ("label",)))
+        assert "push-project-below-join" in result.rewrites
+        # `key` is shared, so both inputs must keep it even though the
+        # final projection drops it.
+        assert result.query() == Project(
+            Join(Project(Scan("fact"), ("key",)), Scan("dim")), ("label",)
+        )
+
+    def test_compose_and_drop_renames(self) -> None:
+        result = self._opt(Rename(Rename(Scan("t"), {"a": "x"}), {"x": "y"}))
+        assert "compose-renames" in result.rewrites
+        assert result.query() == Rename(Scan("t"), {"a": "y"})
+        undone = self._opt(Rename(Rename(Scan("t"), {"a": "x"}), {"x": "a"}))
+        assert "drop-identity-rename" in undone.rewrites
+        assert undone.query() == Scan("t")
+
+    def test_optimize_reaches_a_fixpoint(self) -> None:
+        query = Select(Scan("t"), _lt("a", 3))
+        for _ in range(4):
+            query = Select(query, _lt("b", 4))
+        result = self._opt(query)
+        assert len(result.rewrites) <= MAX_OPTIMIZER_PASSES
+        again = optimize(result.plan)
+        assert again.rewrites == ()
+        assert again.root == result.root
+
+
+class TestPruneRewrite:
+    def test_records_describe_what_shrank(self) -> None:
+        database = {
+            "orders": CoddTable(
+                ("status",),
+                [("open",), (Null(["open", "held"]),), ("closed",)],
+            ),
+        }
+        query = Select(
+            Scan("orders"), Comparison(Attribute("status"), "==", Literal("closed"))
+        )
+        pruned, records = prune_rewrite(query, database)
+        assert len(pruned["orders"].rows) < 3
+        assert records
+        assert records[0].startswith("prune-database[orders: ")
+        assert "rows" in records[0] and "nulls" in records[0]
+
+    def test_no_change_yields_no_records(self) -> None:
+        database = {"t": CoddTable(("a",), [(1,), (2,)])}
+        pruned, records = prune_rewrite(Scan("t"), database)
+        assert records == ()
+        assert pruned["t"].rows == database["t"].rows
+
+
+class TestOptimizeQuery:
+    def test_convenience_wrapper_uses_table_schemas(self) -> None:
+        database = {"t": CoddTable(("a", "b"), [(1, 2)])}
+        result = optimize_query(
+            Select(Project(Scan("t"), ("a",)), _lt("a", 3)), database
+        )
+        assert result.query() == Project(Select(Scan("t"), _lt("a", 3)), ("a",))
+        assert result.rewrites == ("push-select-below-project",)

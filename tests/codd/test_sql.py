@@ -7,13 +7,17 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.codd.algebra import (
+    Aggregate,
+    AggregateSpec,
     Attribute,
     Comparison,
     Conjunction,
     Disjunction,
+    Join,
     Literal,
     Negation,
     Project,
+    Rename,
     Scan,
     Select,
     evaluate,
@@ -21,7 +25,7 @@ from repro.codd.algebra import (
 from repro.codd.certain import certain_answers
 from repro.codd.codd_table import CoddTable, Null
 from repro.codd.relation import Relation
-from repro.codd.sql import SqlError, parse_sql
+from repro.codd.sql import SqlError, _tokenize, parse_sql, referenced_tables
 
 
 class TestParsing:
@@ -118,6 +122,185 @@ class TestErrors:
 
     def test_sql_error_is_value_error(self) -> None:
         assert issubclass(SqlError, ValueError)
+
+    def test_errors_carry_offset_and_context(self) -> None:
+        with pytest.raises(SqlError, match=r"at offset 24 near") as exc_info:
+            parse_sql("SELECT a FROM t WHERE a ~ 1")
+        assert exc_info.value.offset == 24
+        with pytest.raises(SqlError, match=r"end of query") as exc_info:
+            parse_sql("SELECT a FROM t WHERE a <")
+        assert exc_info.value.offset == len("SELECT a FROM t WHERE a <")
+
+    def test_multi_table_without_schemas_is_a_clear_error(self) -> None:
+        with pytest.raises(SqlError, match="referenced_tables"):
+            parse_sql("SELECT a.x FROM t a JOIN u b ON a.x = b.y")
+
+    def test_unknown_table_with_schemas(self) -> None:
+        with pytest.raises(SqlError, match="unknown table 'u'"):
+            parse_sql(
+                "SELECT a.x FROM t a JOIN u b ON a.x = b.y", schemas={"t": ("x",)}
+            )
+
+    def test_duplicate_alias_rejected(self) -> None:
+        with pytest.raises(SqlError, match="duplicate table alias"):
+            parse_sql(
+                "SELECT a.x FROM t a JOIN u a ON 1 = 1",
+                schemas={"t": ("x",), "u": ("y",)},
+            )
+
+    def test_group_by_without_aggregate_rejected(self) -> None:
+        with pytest.raises(SqlError, match="at least one aggregate"):
+            parse_sql("SELECT g FROM t GROUP BY g")
+
+    def test_bare_column_next_to_aggregate_needs_group_by(self) -> None:
+        with pytest.raises(SqlError, match="must appear in GROUP BY"):
+            parse_sql("SELECT g, COUNT(*) FROM t")
+
+    def test_select_star_with_aggregation_rejected(self) -> None:
+        with pytest.raises(SqlError, match=r"cannot SELECT \*"):
+            parse_sql("SELECT * FROM t GROUP BY g")
+
+
+class TestTokenizer:
+    def test_doubled_quote_escapes(self) -> None:
+        q = parse_sql("SELECT * FROM t WHERE a = 'it''s'")
+        assert q.predicate.right == Literal("it's")
+        q = parse_sql('SELECT * FROM t WHERE a = "say ""hi"""')
+        assert q.predicate.right == Literal('say "hi"')
+
+    def test_adjacent_operators_tokenize_individually(self) -> None:
+        kinds_values = [(k, v) for k, v, _ in _tokenize("a<=b<>c==d")]
+        assert kinds_values == [
+            ("ident", "a"),
+            ("op", "<="),
+            ("ident", "b"),
+            ("op", "<>"),
+            ("ident", "c"),
+            ("op", "=="),
+            ("ident", "d"),
+        ]
+
+    def test_negative_number_after_identifier(self) -> None:
+        # The lexer greedily attaches the sign: `a-1` is `a`, `-1` — there
+        # is no arithmetic in the fragment, so the parser then rejects it
+        # rather than silently misreading.
+        kinds_values = [(k, v) for k, v, _ in _tokenize("a-1")]
+        assert kinds_values == [("ident", "a"), ("number", "-1")]
+        with pytest.raises(SqlError):
+            parse_sql("SELECT * FROM t WHERE a-1 = 2")
+
+    def test_negative_literals_in_comparisons(self) -> None:
+        q = parse_sql("SELECT * FROM t WHERE a < -2.5")
+        assert q.predicate.right == Literal(-2.5)
+
+    def test_tokens_carry_offsets(self) -> None:
+        offsets = [off for _, _, off in _tokenize("SELECT a FROM t")]
+        assert offsets == [0, 7, 9, 14]
+
+    def test_unterminated_string_is_lexical_error(self) -> None:
+        with pytest.raises(SqlError, match="cannot tokenise"):
+            parse_sql("SELECT * FROM t WHERE a = 'oops")
+
+
+class TestJoinsAndAliases:
+    SCHEMAS = {"people": ("pid", "city"), "orders": ("oid", "pid", "amt")}
+
+    def test_join_on_lowers_to_select_over_join(self) -> None:
+        query = parse_sql(
+            "SELECT p.pid, o.amt FROM people p JOIN orders o ON p.pid = o.pid",
+            schemas=self.SCHEMAS,
+        )
+        assert query == Project(
+            Select(
+                Join(
+                    Rename(Scan("people"), {"pid": "p.pid", "city": "p.city"}),
+                    Rename(
+                        Scan("orders"),
+                        {"oid": "o.oid", "pid": "o.pid", "amt": "o.amt"},
+                    ),
+                ),
+                Comparison(Attribute("p.pid"), "==", Attribute("o.pid")),
+            ),
+            ("p.pid", "o.amt"),
+        )
+
+    def test_alias_defaults_to_table_name(self) -> None:
+        with_alias = parse_sql(
+            "SELECT people.pid FROM people AS people", schemas=self.SCHEMAS
+        )
+        without = parse_sql("SELECT people.pid FROM people", schemas=self.SCHEMAS)
+        assert with_alias == without
+
+    def test_as_keyword_is_optional(self) -> None:
+        explicit = parse_sql(
+            "SELECT p.pid FROM people AS p", schemas=self.SCHEMAS
+        )
+        implicit = parse_sql("SELECT p.pid FROM people p", schemas=self.SCHEMAS)
+        assert explicit == implicit
+
+    def test_referenced_tables_prescan(self) -> None:
+        assert referenced_tables(
+            "SELECT p.pid FROM people p JOIN orders o ON p.pid = o.pid"
+        ) == ["orders", "people"]
+        assert referenced_tables("SELECT * FROM t") == ["t"]
+
+    def test_single_table_ast_is_unchanged_with_schemas(self) -> None:
+        plain = parse_sql("SELECT name FROM person WHERE age < 30")
+        with_schemas = parse_sql(
+            "SELECT name FROM person WHERE age < 30",
+            schemas={"person": ("name", "age")},
+        )
+        assert plain == with_schemas
+        assert plain == Project(
+            Select(Scan("person"), Comparison(Attribute("age"), "<", Literal(30))),
+            ("name",),
+        )
+
+
+class TestAggregationSql:
+    def test_group_by_with_aggregates(self) -> None:
+        query = parse_sql("SELECT g, COUNT(*) AS n, SUM(v) AS total FROM t GROUP BY g")
+        assert query == Aggregate(
+            Scan("t"),
+            ("g",),
+            (
+                AggregateSpec("count", None, "n"),
+                AggregateSpec("sum", "v", "total"),
+            ),
+        )
+
+    def test_global_aggregate_without_group_by(self) -> None:
+        query = parse_sql("SELECT MIN(v) AS lo, MAX(v) AS hi FROM t")
+        assert query == Aggregate(
+            Scan("t"),
+            (),
+            (AggregateSpec("min", "v", "lo"), AggregateSpec("max", "v", "hi")),
+        )
+
+    def test_default_alias_spells_the_call(self) -> None:
+        query = parse_sql("SELECT COUNT(*) FROM t")
+        assert query.aggregates[0].alias == "count(*)"
+        query = parse_sql("SELECT SUM(v) FROM t")
+        assert query.aggregates[0].alias == "sum(v)"
+
+    def test_select_order_is_preserved_by_projection(self) -> None:
+        query = parse_sql("SELECT COUNT(*) AS n, g FROM t GROUP BY g")
+        assert isinstance(query, Project)
+        assert query.attributes == ("n", "g")
+        assert isinstance(query.child, Aggregate)
+
+    def test_aggregate_names_stay_usable_as_identifiers(self) -> None:
+        # count/sum/min/max are contextual: fine as plain column names.
+        query = parse_sql("SELECT count FROM t WHERE sum < 3")
+        assert query == Project(
+            Select(Scan("t"), Comparison(Attribute("sum"), "<", Literal(3))),
+            ("count",),
+        )
+
+    def test_where_filters_before_grouping(self) -> None:
+        query = parse_sql("SELECT g, COUNT(*) AS n FROM t WHERE v > 1 GROUP BY g")
+        assert isinstance(query, Aggregate)
+        assert isinstance(query.child, Select)
 
 
 class TestSemantics:

@@ -228,7 +228,9 @@ class TestEngineRegistry:
         assert result.plan.backend == "naive"
 
     def test_explicit_backend_is_validated(self):
-        table = CoddTable(("a",), [(1,)])
+        # An incomplete table on both sides of a Union couples its worlds
+        # across the sides, which only the naive backend can serve.
+        table = CoddTable(("a",), [(Null([1, 2]),)])
         with pytest.raises(CoddPlanError, match="cannot serve"):
             plan_codd_query(Union(Scan("T"), Scan("T")), {"T": table}, backend="vectorized")
         with pytest.raises(CoddPlanError, match="unknown codd backend"):
@@ -251,7 +253,7 @@ class TestEngineRegistry:
         assert results["vectorized"].rows == {("Anna",)}
 
     def test_capable_backends_filters_by_shape(self):
-        table = CoddTable(("a",), [(1,)])
+        table = CoddTable(("a",), [(Null([1, 2]),)])
         names = {b.name for b in capable_codd_backends(Union(Scan("T"), Scan("T")), {"T": table})}
         assert "vectorized" not in names and "naive" in names
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.codd.algebra import (
+    Aggregate,
+    AggregateSpec,
     Attribute,
     Comparison,
     Conjunction,
@@ -34,6 +36,8 @@ __all__ = [
     "random_predicate",
     "random_case",
     "random_database_case",
+    "random_join_case",
+    "random_aggregate_case",
 ]
 
 SEEDS = list(range(30))
@@ -133,6 +137,96 @@ def random_case(seed: int):
         query = Project(query, tuple(schema[i] for i in kept))
     description = f"seed={seed} types={types} n_rows={len(table)} name={name}"
     return query, table, name, description
+
+
+def random_join_case(seed: int):
+    """A two-table equi-join database shaped so the pair-table fast path
+    engages on a healthy share of seeds.
+
+    The ``dim`` side has unique complete keys; the ``fact`` side's keys are
+    sometimes NULL with a domain holding at most one live ``dim`` key (the
+    other candidates miss), so a NULL-bearing row rarely pairs twice — the
+    exactness condition of the hash join.  Other seeds deliberately break
+    it (wide NULL key domains, NULLs on both sides) to exercise the naive
+    fallback through the same assertions.
+    """
+    rng = np.random.default_rng(5000 + seed)
+    n_dim = int(rng.integers(2, 5))
+    dim_rows = []
+    for k in range(n_dim):
+        payload: object = TYPE_POOLS["str"][int(rng.integers(0, 4))]
+        if rng.random() < 0.25:
+            payload = Null(["a", "b"])
+        dim_rows.append((k, payload))
+    dim = CoddTable(("key", "label"), dim_rows)
+
+    n_fact = int(rng.integers(1, 5))
+    fact_rows = []
+    for i in range(n_fact):
+        key: object = int(rng.integers(0, n_dim + 1))  # may dangle
+        if rng.random() < 0.4:
+            if rng.random() < 0.7:
+                # One live candidate at most: {k, miss} — fast-path friendly.
+                key = Null([int(rng.integers(0, n_dim)), 100 + i])
+            else:
+                # Two live candidates: forces the exactness decline.
+                key = Null([0, 1])
+        amount: object = TYPE_POOLS["int"][int(rng.integers(0, 5))]
+        if rng.random() < 0.35:
+            amount = Null([1, 2, 3])
+        fact_rows.append((key, amount))
+    fact = CoddTable(("key", "amount"), fact_rows)
+
+    query = Join(Scan("fact"), Scan("dim"))
+    if rng.random() < 0.6:
+        query = Select(
+            query, random_comparison(rng, ("amount",), ["int"])
+        )
+    if rng.random() < 0.5:
+        query = Project(query, ("key", "label"))
+    database = {"fact": fact, "dim": dim}
+    return query, database, f"seed={seed} fact={n_fact} dim={n_dim}"
+
+
+def random_aggregate_case(seed: int):
+    """A GROUP BY / aggregate query over one table, sometimes filtered.
+
+    Value pools are kept small so seeds split between fast-path exact DP
+    runs and deliberate declines (two rows able to produce the same child
+    tuple), both checked against the naive oracle.
+    """
+    rng = np.random.default_rng(7000 + seed)
+    n_rows = int(rng.integers(1, 5))
+    rows = []
+    for _ in range(n_rows):
+        group: object = int(rng.integers(0, 3))
+        if rng.random() < 0.3:
+            group = Null([0, 1])
+        value: object = (
+            TYPE_POOLS["float"][int(rng.integers(0, 5))]
+            if rng.random() < 0.4
+            else TYPE_POOLS["int"][int(rng.integers(0, 5))]
+        )
+        if rng.random() < 0.35:
+            value = Null([1, 2.5])
+        tag = TYPE_POOLS["str"][int(rng.integers(0, 4))]
+        rows.append((group, value, tag))
+    table = CoddTable(("g", "v", "tag"), rows)
+
+    child = Scan("T")
+    if rng.random() < 0.4:
+        child = Select(child, random_comparison(rng, ("g",), ["int"]))
+    funcs = ["count", "sum", "min", "max"]
+    n_aggs = int(rng.integers(1, 3))
+    picked = rng.choice(len(funcs), size=n_aggs, replace=False)
+    specs = []
+    for idx in picked:
+        func = funcs[int(idx)]
+        attribute = None if func == "count" and rng.random() < 0.5 else "v"
+        specs.append(AggregateSpec(func, attribute, f"{func}_out"))
+    group_by = ("g",) if rng.random() < 0.8 else ()
+    query = Aggregate(child, group_by, tuple(specs))
+    return query, {"T": table}, f"seed={seed} group_by={group_by} n_aggs={n_aggs}"
 
 
 def random_database_case(seed: int):

@@ -180,6 +180,138 @@ class TestSqlRoundTrip:
             assert response["results"]["certain"].rows == {("Anna",), ("Pi",)}
 
 
+class TestMultiTableSql:
+    """JOIN / GROUP BY queries spanning registered tables, end to end.
+
+    The acceptance bar from the planner refactor: a two-table join with
+    aliases and a GROUP BY must come back over the wire bit-identical to
+    the in-process engine, the response must explain its optimized plan,
+    and a PATCH to *any* referenced table must purge the cached answer.
+    """
+
+    JOIN_SQL = (
+        "SELECT c.name, o.amount FROM customers c "
+        "JOIN orders o ON c.cid = o.cid WHERE o.amount > 4"
+    )
+
+    @pytest.fixture(scope="class")
+    def join_tables(self, service):
+        server, client = service
+        customers = CoddTable(
+            ("cid", "name"),
+            [(1, "Ada"), (2, "Bob"), (3, Null(["Cy", "Cyd"]))],
+        )
+        orders = CoddTable(
+            ("oid", "cid", "amount"),
+            [(10, 1, 7), (11, 2, Null([3, 9])), (12, 1, 2)],
+        )
+        server.registry.register_codd_table("customers", customers, replace=True)
+        server.registry.register_codd_table("orders", orders, replace=True)
+        return {"customers": customers, "orders": orders}
+
+    def _local(self, sql, database, mode):
+        from repro.codd.engine import answer_query
+
+        query = parse_sql(
+            sql, schemas={name: t.schema for name, t in database.items()}
+        )
+        return answer_query(query, database, mode=mode).relation
+
+    def test_join_round_trip_matches_in_process(self, service, join_tables):
+        server, client = service
+        response = client.sql(self.JOIN_SQL, mode="both")
+        assert response["results"]["certain"] == self._local(
+            self.JOIN_SQL, join_tables, "certain"
+        )
+        assert response["results"]["possible"] == self._local(
+            self.JOIN_SQL, join_tables, "possible"
+        )
+        assert response["results"]["certain"].rows == {("Ada", 7)}
+        assert response["results"]["possible"].rows == {("Ada", 7), ("Bob", 9)}
+        assert set(response["tables"]) == {"customers", "orders"}
+        assert set(response["versions"]) == {"customers", "orders"}
+
+    def test_group_by_round_trip_matches_in_process(self, service, join_tables):
+        server, client = service
+        sql = "SELECT cid, COUNT(*) AS n, SUM(amount) AS total FROM orders GROUP BY cid"
+        response = client.sql(sql, mode="both")
+        for mode in ("certain", "possible"):
+            assert response["results"][mode] == self._local(
+                sql, {"orders": join_tables["orders"]}, mode
+            )
+        assert ((1, 2, 9)) in response["results"]["certain"].rows
+
+    def test_response_explains_the_optimized_plan(self, service, join_tables):
+        server, client = service
+        response = client.sql(self.JOIN_SQL)
+        explain = response["explain"]
+        assert "Join" in explain["plan"] and "Scan customers" in explain["plan"]
+        assert "push-select-below-join" in explain["rewrites"]
+        ops = set()
+        stack = [explain["tree"]]
+        while stack:
+            node = stack.pop()
+            ops.add(node["op"])
+            stack.extend(node.get("inputs", []))
+            if "input" in node:
+                stack.append(node["input"])
+        assert {"join", "select", "project", "rename", "scan"} <= ops
+        # The explain payload is cached with the answer.
+        again = client.sql(self.JOIN_SQL)
+        assert again["cached"] is True
+        assert again["explain"] == explain
+
+    def test_patch_to_any_referenced_table_purges_the_cache(self, service):
+        server, client = service
+        left = CoddTable(("k", "tag"), [(1, "x"), (2, Null(["y", "z"]))])
+        right = CoddTable(("k", "amt"), [(1, Null([5, 6])), (2, 8)])
+        server.registry.register_codd_table("purge_left", left, replace=True)
+        server.registry.register_codd_table("purge_right", right, replace=True)
+        sql = (
+            "SELECT l.tag, r.amt FROM purge_left l "
+            "JOIN purge_right r ON l.k = r.k"
+        )
+        first = client.sql(sql, mode="both")
+        assert first["cached"] is False
+        assert client.sql(sql, mode="both")["cached"] is True
+
+        # Fixing a NULL in ONE referenced table must purge the shared entry.
+        client.fix_cell("purge_right", 0, 1, 5)
+        after_right = client.sql(sql, mode="both")
+        assert after_right["cached"] is False
+        assert after_right["results"]["certain"].rows >= {("x", 5)}
+        assert after_right["versions"]["purge_right"] > first["versions"]["purge_right"]
+
+        # Re-primed... and a PATCH to the *other* table purges it too.
+        assert client.sql(sql, mode="both")["cached"] is True
+        client.fix_cell("purge_left", 1, 1, "y")
+        after_left = client.sql(sql, mode="both")
+        assert after_left["cached"] is False
+        assert after_left["results"]["certain"].rows == {("x", 5), ("y", 8)}
+
+    def test_patch_leaves_unrelated_sql_entries_cached(self, service):
+        server, client = service
+        table = CoddTable(("q",), [(1,), (2,)])
+        server.registry.register_codd_table("purge_bystander", table, replace=True)
+        sql = "SELECT q FROM purge_bystander WHERE q > 0"
+        client.sql(sql)
+        other = CoddTable(("k",), [(Null([1, 2]),)])
+        server.registry.register_codd_table("purge_other", other, replace=True)
+        client.sql("SELECT k FROM purge_other")
+        client.fix_cell("purge_other", 0, 0, 1)
+        assert client.sql(sql)["cached"] is True
+
+    def test_self_join_with_aliases(self, service, join_tables):
+        server, client = service
+        sql = (
+            "SELECT a.name, b.name FROM customers a "
+            "JOIN customers b ON a.cid = b.cid WHERE a.cid < 2"
+        )
+        response = client.sql(sql)
+        assert response["results"]["certain"].rows == {("Ada", "Ada")}
+        assert set(response["tables"]) == {"customers"}
+
+
 class TestSqlErrorPaths:
     def test_bad_sql_is_400_sql_error(self, service):
         server, client = service
